@@ -1,0 +1,154 @@
+package nodesampling
+
+// One benchmark per table and figure of the paper's evaluation, each
+// regenerating its artifact through the experiment harness (quick-mode
+// workloads, 2 trials — run `cmd/unsbench -run all -trials 100` for the
+// full paper-scale regeneration), plus micro-benchmarks of the public API's
+// hot paths. Run with:
+//
+//	go test -bench=. -benchmem .
+
+import (
+	"testing"
+
+	"nodesampling/internal/experiments"
+	"nodesampling/internal/rng"
+	"nodesampling/internal/stream"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	_, registry := experiments.Registry()
+	runner, ok := registry[id]
+	if !ok {
+		b.Fatalf("unknown experiment %q", id)
+	}
+	cfg := experiments.Config{Trials: 2, Seed: 1, Workers: 4, Quick: true}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = uint64(i + 1)
+		tbl, err := runner(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tbl.Rows) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+func BenchmarkFig3(b *testing.B)   { benchExperiment(b, "fig3") }
+func BenchmarkFig4(b *testing.B)   { benchExperiment(b, "fig4") }
+func BenchmarkTable1(b *testing.B) { benchExperiment(b, "table1") }
+func BenchmarkTable2(b *testing.B) { benchExperiment(b, "table2") }
+func BenchmarkFig5(b *testing.B)   { benchExperiment(b, "fig5") }
+func BenchmarkFig6(b *testing.B)   { benchExperiment(b, "fig6") }
+func BenchmarkFig7a(b *testing.B)  { benchExperiment(b, "fig7a") }
+func BenchmarkFig7b(b *testing.B)  { benchExperiment(b, "fig7b") }
+func BenchmarkFig8(b *testing.B)   { benchExperiment(b, "fig8") }
+func BenchmarkFig9(b *testing.B)   { benchExperiment(b, "fig9") }
+func BenchmarkFig10a(b *testing.B) { benchExperiment(b, "fig10a") }
+func BenchmarkFig10b(b *testing.B) { benchExperiment(b, "fig10b") }
+func BenchmarkFig11(b *testing.B)  { benchExperiment(b, "fig11") }
+func BenchmarkFig12(b *testing.B)  { benchExperiment(b, "fig12") }
+func BenchmarkThm4(b *testing.B)   { benchExperiment(b, "thm4") }
+
+func BenchmarkTransient(b *testing.B)       { benchExperiment(b, "transient") }
+func BenchmarkAblationMinWise(b *testing.B) { benchExperiment(b, "ablation-minwise") }
+func BenchmarkAblationEvict(b *testing.B)   { benchExperiment(b, "ablation-evict") }
+func BenchmarkAblationCU(b *testing.B)      { benchExperiment(b, "ablation-cu") }
+func BenchmarkAblationChurn(b *testing.B)   { benchExperiment(b, "ablation-churn") }
+func BenchmarkGossipOverlay(b *testing.B)   { benchExperiment(b, "gossip") }
+
+// BenchmarkSamplerProcess measures the public knowledge-free sampler's
+// per-element cost under the paper's Figure 7 settings (c=10, 10x5 sketch,
+// peak-attacked stream over 1000 ids).
+func BenchmarkSamplerProcess(b *testing.B) {
+	s, err := NewSampler(10, WithSeed(1), WithSketch(10, 5))
+	if err != nil {
+		b.Fatal(err)
+	}
+	pmf, err := stream.PeakPMF(1000, 0, 50000, 50)
+	if err != nil {
+		b.Fatal(err)
+	}
+	src, err := stream.NewCategorical(pmf, rng.New(2))
+	if err != nil {
+		b.Fatal(err)
+	}
+	ids := stream.Collect(src, 1<<14)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Process(NodeID(ids[i&(1<<14-1)]))
+	}
+}
+
+// BenchmarkSamplerProcessWideSketch uses the paper's strongest defender
+// settings (c=50, 250x17 sketch).
+func BenchmarkSamplerProcessWideSketch(b *testing.B) {
+	s, err := NewSampler(50, WithSeed(1), WithSketch(250, 17))
+	if err != nil {
+		b.Fatal(err)
+	}
+	src, err := stream.NewCategorical(stream.UniformPMF(100000), rng.New(2))
+	if err != nil {
+		b.Fatal(err)
+	}
+	ids := stream.Collect(src, 1<<14)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Process(NodeID(ids[i&(1<<14-1)]))
+	}
+}
+
+// BenchmarkServicePush measures the concurrent pipeline's per-element cost.
+func BenchmarkServicePush(b *testing.B) {
+	s, err := NewSampler(10, WithSeed(1), WithSketch(10, 5))
+	if err != nil {
+		b.Fatal(err)
+	}
+	svc, err := NewService(s, WithInputBuffer(1024))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer func() { _ = svc.Close() }()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := svc.Push(NodeID(i % 1000)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkServiceSample measures concurrent sample reads against a live
+// pipeline.
+func BenchmarkServiceSample(b *testing.B) {
+	s, err := NewSampler(10, WithSeed(1), WithSketch(10, 5))
+	if err != nil {
+		b.Fatal(err)
+	}
+	svc, err := NewService(s, WithInputBuffer(1024))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer func() { _ = svc.Close() }()
+	for i := 0; i < 10000; i++ {
+		if err := svc.Push(NodeID(i % 500)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = svc.Sample()
+	}
+}
+
+// BenchmarkHashID measures the SHA-1 id derivation.
+func BenchmarkHashID(b *testing.B) {
+	data := []byte("node-042.rack-7.dc-eu-west.example.com:7946")
+	var sink NodeID
+	for i := 0; i < b.N; i++ {
+		sink ^= HashID(data)
+	}
+	_ = sink
+}

@@ -1,0 +1,53 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPlanOutput(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-k", "10", "-s", "5", "-eta", "0.1"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "L_{k,s} = 38") {
+		t.Errorf("missing targeted effort in output:\n%s", out)
+	}
+	if !strings.Contains(out, "E_k     = 44") {
+		t.Errorf("missing flooding effort in output:\n%s", out)
+	}
+	if !strings.Contains(out, "400 bytes") {
+		t.Errorf("missing sketch size in output:\n%s", out)
+	}
+	if strings.Contains(out, "empirical") {
+		t.Error("verification printed without -verify")
+	}
+}
+
+func TestVerifyRuns(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-k", "8", "-s", "3", "-eta", "0.2", "-verify", "-trials", "300"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "empirical check (300 trials)") {
+		t.Errorf("missing verification block:\n%s", out)
+	}
+	if !strings.Contains(out, "targeted success") || !strings.Contains(out, "flooding success") {
+		t.Errorf("missing success lines:\n%s", out)
+	}
+}
+
+func TestBadParameters(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-k", "0"}, &sb); err == nil {
+		t.Error("k=0 should fail")
+	}
+	if err := run([]string{"-eta", "2"}, &sb); err == nil {
+		t.Error("eta=2 should fail")
+	}
+	if err := run([]string{"-nope"}, &sb); err == nil {
+		t.Error("unknown flag should fail")
+	}
+}

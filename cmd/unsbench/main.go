@@ -1,0 +1,112 @@
+// Command unsbench regenerates the tables and figures of the paper's
+// evaluation (Anceaume, Busnel, Sericola — DSN 2013).
+//
+// Usage:
+//
+//	unsbench -list
+//	unsbench -run fig3
+//	unsbench -run fig8,fig9 -trials 100
+//	unsbench -run all -quick
+//
+// Each experiment prints a TSV block: a title line, a header row, data
+// rows, and an optional note. Paper-vs-measured records live in
+// EXPERIMENTS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"nodesampling/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "unsbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("unsbench", flag.ContinueOnError)
+	var (
+		list    = fs.Bool("list", false, "list experiment identifiers and exit")
+		runIDs  = fs.String("run", "", "comma-separated experiment ids, or 'all'")
+		trials  = fs.Int("trials", 10, "trials to average for simulation experiments (paper: 100)")
+		seed    = fs.Uint64("seed", 1, "root random seed")
+		quick   = fs.Bool("quick", false, "shrink streams and sweeps for a fast smoke run")
+		workers = fs.Int("workers", runtime.NumCPU(), "trial-level parallelism")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	order, registry := experiments.Registry()
+	if *list {
+		for _, id := range order {
+			fmt.Fprintln(w, id)
+		}
+		return nil
+	}
+	if *runIDs == "" {
+		fs.Usage()
+		return fmt.Errorf("nothing to run: pass -run <ids> or -list")
+	}
+	var ids []string
+	if *runIDs == "all" {
+		ids = order
+	} else {
+		for _, id := range strings.Split(*runIDs, ",") {
+			id = strings.TrimSpace(id)
+			if id == "" {
+				continue
+			}
+			if _, ok := registry[id]; !ok {
+				return fmt.Errorf("unknown experiment %q (use -list)", id)
+			}
+			ids = append(ids, id)
+		}
+	}
+	cfg := experiments.Config{
+		Trials:  *trials,
+		Seed:    *seed,
+		Workers: *workers,
+		Quick:   *quick,
+	}
+	for _, id := range ids {
+		start := time.Now()
+		tbl, err := registry[id](cfg)
+		if err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+		if err := writeTable(w, tbl, time.Since(start)); err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+	}
+	return nil
+}
+
+func writeTable(w io.Writer, t experiments.Table, elapsed time.Duration) error {
+	if _, err := fmt.Fprintf(w, "# %s [%s] (%.1fs)\n", t.ID, t.Title, elapsed.Seconds()); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(t.Columns, "\t")); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if _, err := fmt.Fprintln(w, strings.Join(row, "\t")); err != nil {
+			return err
+		}
+	}
+	if t.Notes != "" {
+		if _, err := fmt.Fprintf(w, "# note: %s\n", t.Notes); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}

@@ -1,0 +1,85 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestListPrintsAllExperiments(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-list"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, id := range []string{"fig3", "fig12", "table1", "table2", "thm4", "transient", "gossip"} {
+		if !strings.Contains(out, id) {
+			t.Errorf("list output missing %q", id)
+		}
+	}
+}
+
+func TestRunSingleExperiment(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-run", "table1"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "# table1") {
+		t.Error("missing table header")
+	}
+	if !strings.Contains(out, "38") || !strings.Contains(out, "44") {
+		t.Error("missing the (10,5,0.1) Table I values")
+	}
+	if !strings.Contains(out, "# note:") {
+		t.Error("missing the note line")
+	}
+}
+
+func TestRunMultipleQuick(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-run", "fig3, fig4", "-quick"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "# fig3") || !strings.Contains(out, "# fig4") {
+		t.Errorf("missing experiment blocks in output:\n%s", out)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{}, &sb); err == nil {
+		t.Error("no -run should fail")
+	}
+	if err := run([]string{"-run", "nope"}, &sb); err == nil {
+		t.Error("unknown experiment should fail")
+	}
+	if err := run([]string{"-bogusflag"}, &sb); err == nil {
+		t.Error("unknown flag should fail")
+	}
+}
+
+func TestRowsAreTabSeparatedWithHeaderArity(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-run", "table2", "-quick"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	var header []string
+	for _, line := range lines {
+		if strings.HasPrefix(line, "#") || line == "" {
+			continue
+		}
+		cells := strings.Split(line, "\t")
+		if header == nil {
+			header = cells
+			continue
+		}
+		if len(cells) != len(header) {
+			t.Fatalf("row arity %d != header arity %d: %q", len(cells), len(header), line)
+		}
+	}
+	if header == nil {
+		t.Fatal("no header row found")
+	}
+}

@@ -1,0 +1,64 @@
+package main
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestSmallOverlayRun(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{
+		"-nodes", "40", "-malicious", "0.1", "-burst", "6",
+		"-warmup", "60", "-rounds", "120", "-c", "10", "-k", "6", "-s", "3",
+	}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"overlay: 40 nodes (4 malicious)",
+		"sybil pressure",
+		"steady-state KL gain",
+		"sample coverage",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// The reported mean gain must parse and be a sane value.
+	idx := strings.Index(out, "mean ")
+	if idx < 0 {
+		t.Fatalf("no mean gain in output:\n%s", out)
+	}
+	rest := out[idx+len("mean "):]
+	end := strings.IndexByte(rest, ',')
+	mean, err := strconv.ParseFloat(rest[:end], 64)
+	if err != nil {
+		t.Fatalf("unparsable mean %q", rest[:end])
+	}
+	if mean < -1 || mean > 1 {
+		t.Fatalf("mean gain %v out of range", mean)
+	}
+}
+
+func TestDefaultSybils(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-nodes", "30", "-warmup", "10", "-rounds", "20", "-c", "5", "-k", "4", "-s", "2"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "15 sybil ids") {
+		t.Errorf("default sybils not nodes/2:\n%s", sb.String())
+	}
+}
+
+func TestBadFlags(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-nodes", "1"}, &sb); err == nil {
+		t.Error("tiny overlay should fail")
+	}
+	if err := run([]string{"-nope"}, &sb); err == nil {
+		t.Error("unknown flag should fail")
+	}
+}

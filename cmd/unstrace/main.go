@@ -1,0 +1,172 @@
+// Command unstrace analyzes a node-identifier trace — either a real HTTP
+// log in Common Log Format (the paper evaluates NASA, ClarkNet and
+// Saskatchewan logs from the Internet Traffic Archive) or a synthetic trace
+// matching one of those published profiles — and measures how well the
+// sampling strategies unbias it.
+//
+// Usage:
+//
+//	unstrace -synth NASA                     # Table II synthetic equivalent
+//	unstrace -log access.log                 # real CLF log, key = remote host
+//	unstrace -log access.log -key url        # key = request URL
+//	unstrace -synth ClarkNet -c 900 -k 900   # custom sampler sizing
+//
+// Output: the trace's Table II statistics, its top ranks, and the KL
+// divergence to uniform of the input versus the knowledge-free and
+// omniscient outputs (the Figure 12 measurement).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"nodesampling/internal/core"
+	"nodesampling/internal/metrics"
+	"nodesampling/internal/rng"
+	"nodesampling/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "unstrace:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("unstrace", flag.ContinueOnError)
+	var (
+		synth   = fs.String("synth", "", "synthesize a Table II trace: NASA, ClarkNet or Saskatchewan")
+		logPath = fs.String("log", "", "path to a Common Log Format file")
+		key     = fs.String("key", "host", "identity field for -log: host or url")
+		c       = fs.Int("c", 0, "sampling memory size (default: 0.01 * distinct ids)")
+		k       = fs.Int("k", 0, "sketch columns (default: 0.01 * distinct ids)")
+		s       = fs.Int("s", 10, "sketch rows")
+		seed    = fs.Uint64("seed", 1, "random seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	tr, name, err := loadTrace(*synth, *logPath, *key, *seed)
+	if err != nil {
+		return err
+	}
+	n := tr.Distinct()
+	fmt.Fprintf(w, "trace %s: m=%d ids, n=%d distinct, max frequency %d\n",
+		name, tr.Len(), n, tr.MaxFreq())
+	rf := tr.RankFrequency()
+	fmt.Fprintf(w, "top ranks: ")
+	for i := 0; i < 5 && i < len(rf); i++ {
+		fmt.Fprintf(w, "%d ", rf[i])
+	}
+	fmt.Fprintf(w, "... tail %d\n", rf[len(rf)-1])
+
+	if *c == 0 {
+		*c = max(2, n/100)
+	}
+	if *k == 0 {
+		*k = max(2, n/100)
+	}
+	fmt.Fprintf(w, "samplers: c=%d, sketch %dx%d\n", *c, *k, *s)
+
+	oracle, err := core.NewCountOracle(tr.Counts())
+	if err != nil {
+		return err
+	}
+	kf, err := core.NewKnowledgeFree(*c, *k, *s, rng.New(rng.Mix64(*seed+1)))
+	if err != nil {
+		return err
+	}
+	om, err := core.NewOmniscient(*c, oracle, rng.New(rng.Mix64(*seed+2)))
+	if err != nil {
+		return err
+	}
+	input := metrics.NewHistogram()
+	outKf := metrics.NewHistogram()
+	outOm := metrics.NewHistogram()
+	for _, id := range tr.IDs() {
+		input.Add(id)
+		outKf.Add(kf.Process(id))
+		outOm.Add(om.Process(id))
+	}
+	din, err := input.KLvsUniform(n)
+	if err != nil {
+		return err
+	}
+	dKf, err := outKf.KLvsUniform(n)
+	if err != nil {
+		return err
+	}
+	dOm, err := outOm.KLvsUniform(n)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "KL divergence to uniform (nats):\n")
+	fmt.Fprintf(w, "  input stream:        %.4f\n", din)
+	fmt.Fprintf(w, "  knowledge-free:      %.4f (gain %.3f)\n", dKf, gain(din, dKf))
+	fmt.Fprintf(w, "  omniscient:          %.4f (gain %.3f)\n", dOm, gain(din, dOm))
+	return nil
+}
+
+func gain(din, dout float64) float64 {
+	if din <= 0 {
+		return math.NaN()
+	}
+	return 1 - dout/din
+}
+
+func loadTrace(synth, logPath, key string, seed uint64) (*trace.Trace, string, error) {
+	switch {
+	case synth != "" && logPath != "":
+		return nil, "", fmt.Errorf("pass either -synth or -log, not both")
+	case synth != "":
+		for _, spec := range trace.TableII() {
+			if spec.Name == synth {
+				tr, err := trace.Synthesize(spec, seed)
+				if err != nil {
+					return nil, "", err
+				}
+				return tr, spec.Name + " (synthetic)", nil
+			}
+		}
+		return nil, "", fmt.Errorf("unknown trace %q (want NASA, ClarkNet or Saskatchewan)", synth)
+	case logPath != "":
+		field := trace.KeyRemoteHost
+		switch key {
+		case "host":
+		case "url":
+			field = trace.KeyRequestURL
+		default:
+			return nil, "", fmt.Errorf("unknown -key %q (want host or url)", key)
+		}
+		f, err := os.Open(logPath)
+		if err != nil {
+			return nil, "", err
+		}
+		defer f.Close()
+		ids, skipped, err := trace.ParseCommonLog(f, field)
+		if err != nil {
+			return nil, "", err
+		}
+		if skipped > 0 {
+			fmt.Fprintf(os.Stderr, "unstrace: skipped %d malformed lines\n", skipped)
+		}
+		tr, err := trace.FromIDs(ids)
+		if err != nil {
+			return nil, "", err
+		}
+		return tr, logPath, nil
+	default:
+		return nil, "", fmt.Errorf("pass -synth <name> or -log <file>")
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,85 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestSyntheticTraceRequiresKnownName(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-synth", "NotATrace"}, &sb); err == nil {
+		t.Error("unknown trace name should fail")
+	}
+}
+
+func TestFlagValidation(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{}, &sb); err == nil {
+		t.Error("no input should fail")
+	}
+	if err := run([]string{"-synth", "NASA", "-log", "x"}, &sb); err == nil {
+		t.Error("both inputs should fail")
+	}
+	if err := run([]string{"-log", "x", "-key", "wat"}, &sb); err == nil {
+		t.Error("bad key should fail")
+	}
+	if err := run([]string{"-log", "/does/not/exist"}, &sb); err == nil {
+		t.Error("missing file should fail")
+	}
+}
+
+func TestRealLogAnalysis(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "access.log")
+	var lines []string
+	// 40 hosts, one of which floods; enough volume for the samplers.
+	for i := 0; i < 4000; i++ {
+		host := "evil.example.com"
+		if i%2 == 0 {
+			host = strings.ReplaceAll("hNN.example.com", "NN", string(rune('a'+i%40/2)))
+		}
+		lines = append(lines, host+` - - [01/Jul/1995:00:00:01 -0400] "GET /x HTTP/1.0" 200 100`)
+	}
+	if err := os.WriteFile(path, []byte(strings.Join(lines, "\n")), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := run([]string{"-log", path, "-c", "8", "-k", "4", "-s", "3"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "m=4000 ids") {
+		t.Errorf("missing stream length:\n%s", out)
+	}
+	if !strings.Contains(out, "KL divergence to uniform") {
+		t.Errorf("missing divergence block:\n%s", out)
+	}
+	if !strings.Contains(out, "omniscient") {
+		t.Errorf("missing omniscient row:\n%s", out)
+	}
+}
+
+func TestURLKey(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "access.log")
+	var lines []string
+	for i := 0; i < 1000; i++ {
+		url := "/popular.html"
+		if i%4 == 0 {
+			url = "/rare" + string(rune('0'+(i/4)%10)) + ".html"
+		}
+		lines = append(lines, `h - - [t] "GET `+url+` HTTP/1.0" 200 1`)
+	}
+	if err := os.WriteFile(path, []byte(strings.Join(lines, "\n")), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := run([]string{"-log", path, "-key", "url", "-c", "4", "-k", "3", "-s", "2"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "n=11 distinct") {
+		t.Errorf("unexpected distinct count:\n%s", sb.String())
+	}
+}

@@ -1,0 +1,48 @@
+// Package nodesampling provides a uniform node sampling service that is
+// robust against collusions of malicious (Byzantine) nodes, implementing
+//
+//	E. Anceaume, Y. Busnel, B. Sericola,
+//	"Uniform Node Sampling Service Robust against Collusions of Malicious
+//	Nodes", 43rd IEEE/IFIP DSN, 2013.
+//
+// # The problem
+//
+// Large-scale distributed systems (gossip overlays, DHTs, load balancers)
+// need a primitive that returns the identifier of a node chosen uniformly at
+// random from the system. The primitive is fed by an unbounded stream of
+// node identifiers exchanged by the system — a stream that colluding
+// malicious nodes can bias arbitrarily by injecting their own (Sybil)
+// identifiers. A robust sampler must guarantee, despite such bias:
+//
+//   - Uniformity: at any time, every node has probability 1/n of being the
+//     emitted sample;
+//   - Freshness: every node keeps reappearing in the output forever.
+//
+// # The algorithms
+//
+// The package offers two one-pass strategies operating in memory sublinear
+// in the population size:
+//
+//   - The knowledge-free sampler (NewSampler) — the deployable strategy. It
+//     maintains a sampling memory Γ of c identifiers and a Count-Min sketch
+//     of k×s counters. An arriving id j is admitted into Γ with probability
+//     minσ/f̂_j (the sketch's smallest counter over j's estimated
+//     frequency), evicting a uniform victim; every step outputs a uniform
+//     element of Γ.
+//   - The omniscient sampler (NewOmniscientSampler) — the reference
+//     strategy, which knows each id's true occurrence probability p_j and
+//     admits with probability min(p)/p_j. Its output is provably uniform
+//     and fresh (the paper's Theorem 4), making it the gold standard the
+//     knowledge-free strategy approximates.
+//
+// The defender's lever is memory: the adversary must mint at least L_{k,s}
+// distinct certified identifiers to bias one victim id and E_k to bias all
+// of them, both of which grow linearly with the sketch width k and are
+// independent of the system size.
+//
+// # Concurrency
+//
+// Samplers returned by the constructors are single-goroutine objects.
+// Service wraps a sampler with a goroutine-backed pipeline (Push/Sample/
+// Outputs) safe for concurrent use.
+package nodesampling

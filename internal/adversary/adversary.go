@@ -1,0 +1,199 @@
+// Package adversary models the strong adversary of Section III-B: an entity
+// that fully controls ℓ malicious node identifiers and biases the input
+// stream of correct nodes by injecting them at arbitrary rates.
+//
+// The package provides three things:
+//
+//   - Stream builders that superimpose the paper's representative attacks
+//     (peak, targeted, flooding) onto a legitimate workload, returning the
+//     exact composite distribution so both strategies can be evaluated on it.
+//   - A Planner wrapping the Section V analysis: how many distinct ids the
+//     adversary must create (L_{k,s} for a targeted attack, E_k for a
+//     flooding attack) for a desired success probability.
+//   - Empirical verifiers that measure the actual success probability of an
+//     attack against freshly drawn 2-universal hash families, closing the
+//     loop between the urn analysis and the implementation.
+package adversary
+
+import (
+	"fmt"
+
+	"nodesampling/internal/hashing"
+	"nodesampling/internal/rng"
+	"nodesampling/internal/stream"
+	"nodesampling/internal/urn"
+)
+
+// Plan reports the minimum adversarial effort against a k-column, s-row
+// Count-Min sketch (Table I of the paper).
+type Plan struct {
+	K, S         int
+	Eta          float64
+	TargetedIDs  int // L_{k,s}: distinct ids to bias one victim
+	FloodingIDs  int // E_k: distinct ids to bias every id
+	SketchBytes  int // memory the defender spends for this sketch shape
+	EffortsRatio float64
+}
+
+// NewPlan computes the effort table entry for the given sketch shape and
+// failure probability eta (the attack succeeds with probability > 1 − eta).
+func NewPlan(k, s int, eta float64) (Plan, error) {
+	l, err := urn.TargetedEffort(k, s, eta)
+	if err != nil {
+		return Plan{}, fmt.Errorf("adversary: targeted effort: %w", err)
+	}
+	e, err := urn.FloodingEffort(k, eta)
+	if err != nil {
+		return Plan{}, fmt.Errorf("adversary: flooding effort: %w", err)
+	}
+	return Plan{
+		K: k, S: s, Eta: eta,
+		TargetedIDs:  l,
+		FloodingIDs:  e,
+		SketchBytes:  k * s * 8,
+		EffortsRatio: float64(e) / float64(l),
+	}, nil
+}
+
+// Peak returns the composite pmf of a peak attack over a population of n
+// ids: the adversary makes one id (target) carry `fraction` of the whole
+// stream while the legitimate base distribution carries the rest. With
+// fraction = 0.5 over a uniform base of weight 50 per id this reproduces
+// Figure 7a's 50 000-vs-50 stream.
+func Peak(basePMF []float64, target uint64, fraction float64) ([]float64, error) {
+	n := len(basePMF)
+	if int(target) >= n {
+		return nil, fmt.Errorf("adversary: target %d outside population [0,%d)", target, n)
+	}
+	if !(fraction > 0 && fraction < 1) {
+		return nil, fmt.Errorf("adversary: fraction must be in (0,1), got %v", fraction)
+	}
+	point := make([]float64, n)
+	point[target] = 1
+	return stream.MixPMF([]float64{1 - fraction, fraction}, basePMF, point)
+}
+
+// OverRepresent returns the composite pmf in which the given malicious ids
+// collectively carry `fraction` of the stream (uniformly among themselves)
+// on top of the base distribution. It models both the targeted attack
+// (ids = the L_{k,s} decoys) and the flooding attack (ids = the E_k decoys)
+// of Section V, as well as Figure 11's sweep over the number of malicious
+// identifiers.
+func OverRepresent(basePMF []float64, ids []uint64, fraction float64) ([]float64, error) {
+	n := len(basePMF)
+	if len(ids) == 0 {
+		return nil, fmt.Errorf("adversary: no malicious ids")
+	}
+	if !(fraction > 0 && fraction < 1) {
+		return nil, fmt.Errorf("adversary: fraction must be in (0,1), got %v", fraction)
+	}
+	inject := make([]float64, n)
+	for _, id := range ids {
+		if int(id) >= n {
+			return nil, fmt.Errorf("adversary: malicious id %d outside population [0,%d)", id, n)
+		}
+		inject[id] += 1
+	}
+	return stream.MixPMF([]float64{1 - fraction, fraction}, basePMF, inject)
+}
+
+// FirstIDs returns the ids {0, …, count−1}, a convenient malicious-id block
+// for experiments (the analysis is invariant under relabelling).
+func FirstIDs(count int) []uint64 {
+	ids := make([]uint64, count)
+	for i := range ids {
+		ids[i] = uint64(i)
+	}
+	return ids
+}
+
+// EmpiricalTargetedSuccess estimates, over `trials` freshly drawn hash
+// families, the probability that `decoys` distinct malicious ids collide
+// with a victim id in every one of the s rows of a k-column sketch — the
+// event whose probability the L_{k,s} analysis lower-bounds. The victim and
+// decoy ids are drawn disjointly at random each trial.
+func EmpiricalTargetedSuccess(k, s, decoys, trials int, r *rng.Xoshiro) (float64, error) {
+	if err := validateEmpirical(k, s, decoys, trials, r); err != nil {
+		return 0, err
+	}
+	success := 0
+	for t := 0; t < trials; t++ {
+		fam, err := hashing.NewFamily(s, k, r)
+		if err != nil {
+			return 0, err
+		}
+		victim := r.Uint64()
+		hit := 0
+		for row := 0; row < s; row++ {
+			target := fam.Hash(row, victim)
+			for d := 0; d < decoys; d++ {
+				// Decoy ids are fixed per trial across rows: derive them
+				// deterministically from the trial nonce so each row sees
+				// the same id set, as in the real attack.
+				id := rng.Mix64(victim ^ uint64(d+1))
+				if fam.Hash(row, id) == target {
+					hit++
+					break
+				}
+			}
+		}
+		if hit == s {
+			success++
+		}
+	}
+	return float64(success) / float64(trials), nil
+}
+
+// EmpiricalFloodingSuccess estimates the probability that `decoys` distinct
+// ids cover all k columns in every row — the flooding event bounded by E_k.
+func EmpiricalFloodingSuccess(k, s, decoys, trials int, r *rng.Xoshiro) (float64, error) {
+	if err := validateEmpirical(k, s, decoys, trials, r); err != nil {
+		return 0, err
+	}
+	success := 0
+	covered := make([]bool, k)
+	for t := 0; t < trials; t++ {
+		fam, err := hashing.NewFamily(s, k, r)
+		if err != nil {
+			return 0, err
+		}
+		nonce := r.Uint64()
+		all := true
+		for row := 0; row < s && all; row++ {
+			for i := range covered {
+				covered[i] = false
+			}
+			cnt := 0
+			for d := 0; d < decoys && cnt < k; d++ {
+				id := rng.Mix64(nonce ^ uint64(d+1))
+				if col := fam.Hash(row, id); !covered[col] {
+					covered[col] = true
+					cnt++
+				}
+			}
+			if cnt < k {
+				all = false
+			}
+		}
+		if all {
+			success++
+		}
+	}
+	return float64(success) / float64(trials), nil
+}
+
+func validateEmpirical(k, s, decoys, trials int, r *rng.Xoshiro) error {
+	if k < 1 || s < 1 {
+		return fmt.Errorf("adversary: sketch shape (k=%d, s=%d) invalid", k, s)
+	}
+	if decoys < 1 {
+		return fmt.Errorf("adversary: decoy count must be positive, got %d", decoys)
+	}
+	if trials < 1 {
+		return fmt.Errorf("adversary: trial count must be positive, got %d", trials)
+	}
+	if r == nil {
+		return fmt.Errorf("adversary: nil random source")
+	}
+	return nil
+}

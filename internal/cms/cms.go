@@ -1,0 +1,257 @@
+// Package cms implements the Count-Min sketch of Cormode and Muthukrishnan,
+// exactly as used by Algorithm 2 of the paper: an s × k matrix F̂ of counters
+// with one 2-universal hash function per row. Each arriving id increments one
+// counter per row; the frequency estimate f̂_j is the minimum of j's counters
+// and never underestimates the true frequency f_j, while
+// P{f̂_j > f_j + ε·m} ≤ δ for k = ⌈e/ε⌉ and s = ⌈log₂(1/δ)⌉.
+//
+// The knowledge-free sampler (Algorithm 3) additionally needs minσ, the
+// minimum counter value over the whole matrix; Sketch maintains it
+// incrementally so a sampler step stays O(s) instead of O(s·k).
+package cms
+
+import (
+	"fmt"
+	"math"
+
+	"nodesampling/internal/hashing"
+	"nodesampling/internal/rng"
+)
+
+// Sketch is a Count-Min sketch over uint64 identifiers. It is not safe for
+// concurrent use; wrap it or confine it to one goroutine.
+type Sketch struct {
+	rows    int // s in the paper
+	cols    int // k in the paper
+	counts  [][]uint64
+	hashes  *hashing.Family
+	total   uint64 // number of Add calls (stream length m)
+	gMin    uint64 // cached min over all counters
+	gMinCnt int    // how many counters currently equal gMin
+}
+
+// New creates a sketch from the accuracy targets of Algorithm 2:
+// k = ⌈e/ε⌉ columns and s = ⌈log₂(1/δ)⌉ rows.
+func New(epsilon, delta float64, r *rng.Xoshiro) (*Sketch, error) {
+	if !(epsilon > 0 && epsilon < 1) {
+		return nil, fmt.Errorf("cms: epsilon must be in (0,1), got %v", epsilon)
+	}
+	if !(delta > 0 && delta < 1) {
+		return nil, fmt.Errorf("cms: delta must be in (0,1), got %v", delta)
+	}
+	k := int(math.Ceil(math.E / epsilon))
+	s := int(math.Ceil(math.Log2(1 / delta)))
+	if s < 1 {
+		s = 1
+	}
+	return NewWithDimensions(k, s, r)
+}
+
+// NewWithDimensions creates a sketch with an explicit k × s shape, matching
+// the parameterisation used throughout the paper's evaluation section.
+func NewWithDimensions(k, s int, r *rng.Xoshiro) (*Sketch, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("cms: column count k must be positive, got %d", k)
+	}
+	if s <= 0 {
+		return nil, fmt.Errorf("cms: row count s must be positive, got %d", s)
+	}
+	fam, err := hashing.NewFamily(s, k, r)
+	if err != nil {
+		return nil, fmt.Errorf("cms: %w", err)
+	}
+	counts := make([][]uint64, s)
+	backing := make([]uint64, s*k)
+	for i := range counts {
+		counts[i], backing = backing[:k:k], backing[k:]
+	}
+	return &Sketch{
+		rows:    s,
+		cols:    k,
+		counts:  counts,
+		hashes:  fam,
+		gMin:    0,
+		gMinCnt: s * k,
+	}, nil
+}
+
+// Rows returns s, the number of rows (hash functions).
+func (sk *Sketch) Rows() int { return sk.rows }
+
+// Cols returns k, the number of counters per row.
+func (sk *Sketch) Cols() int { return sk.cols }
+
+// Total returns the number of ids added so far (the stream length m).
+func (sk *Sketch) Total() uint64 { return sk.total }
+
+// Add records one occurrence of id, incrementing one counter per row
+// (Algorithm 2, lines 6–7).
+func (sk *Sketch) Add(id uint64) {
+	sk.total++
+	for row := 0; row < sk.rows; row++ {
+		col := sk.hashes.Hash(row, id)
+		v := sk.counts[row][col]
+		sk.counts[row][col] = v + 1
+		if v == sk.gMin {
+			sk.gMinCnt--
+		}
+	}
+	if sk.gMinCnt == 0 {
+		sk.rescanMin()
+	}
+}
+
+// AddConservative records one occurrence of id with the conservative-update
+// (CM-CU) rule of Estan & Varghese: only counters that would otherwise fall
+// below the new estimate est+1 are raised, i.e. each of id's counters
+// becomes max(counter, est+1) where est is id's estimate before the update.
+// The estimate remains an upper bound on the true frequency while the
+// collision over-count shrinks dramatically on skewed streams, which
+// sharpens the knowledge-free strategy's discrimination when k is small
+// relative to the population (see the ablation-cu experiment).
+func (sk *Sketch) AddConservative(id uint64) {
+	sk.total++
+	target := sk.Estimate(id) + 1
+	for row := 0; row < sk.rows; row++ {
+		col := sk.hashes.Hash(row, id)
+		v := sk.counts[row][col]
+		if v >= target {
+			continue
+		}
+		sk.counts[row][col] = target
+		if v == sk.gMin {
+			sk.gMinCnt--
+		}
+	}
+	if sk.gMinCnt == 0 {
+		sk.rescanMin()
+	}
+}
+
+// rescanMin recomputes the global minimum after all counters at the previous
+// minimum have been incremented. Counters only ever grow, so the new minimum
+// is at least the old one; a full scan is the simplest correct recovery and
+// it amortises: between rescans every one of the s·k counters at the minimum
+// must receive an increment.
+func (sk *Sketch) rescanMin() {
+	minV := ^uint64(0)
+	cnt := 0
+	for _, row := range sk.counts {
+		for _, v := range row {
+			switch {
+			case v < minV:
+				minV, cnt = v, 1
+			case v == minV:
+				cnt++
+			}
+		}
+	}
+	sk.gMin, sk.gMinCnt = minV, cnt
+}
+
+// Estimate returns f̂_id, the estimated number of occurrences of id: the
+// minimum of its counters across rows (Algorithm 2, line 8). The estimate
+// never underestimates the true count.
+func (sk *Sketch) Estimate(id uint64) uint64 {
+	est := ^uint64(0)
+	for row := 0; row < sk.rows; row++ {
+		if v := sk.counts[row][sk.hashes.Hash(row, id)]; v < est {
+			est = v
+		}
+	}
+	return est
+}
+
+// GlobalMin returns minσ, the minimum counter value over the entire matrix,
+// as used for the insertion probability of Algorithm 3 (line 6).
+func (sk *Sketch) GlobalMin() uint64 { return sk.gMin }
+
+// globalMinNaive is the O(s·k) reference implementation of GlobalMin, used
+// by tests to validate the incremental tracker.
+func (sk *Sketch) globalMinNaive() uint64 {
+	minV := ^uint64(0)
+	for _, row := range sk.counts {
+		for _, v := range row {
+			if v < minV {
+				minV = v
+			}
+		}
+	}
+	return minV
+}
+
+// Halve divides every counter by two (rounding down) and rescans the global
+// minimum. Halving the sketch periodically exponentially decays the weight
+// of old stream elements, letting the knowledge-free sampler track a slowly
+// changing population — the paper assumes churn ceases at T0; this is the
+// natural relaxation for streams where it merely slows down. Estimates stay
+// within a factor-2 window of the decayed frequencies and never drop below
+// half of a just-observed burst.
+func (sk *Sketch) Halve() {
+	for _, row := range sk.counts {
+		for i := range row {
+			row[i] >>= 1
+		}
+	}
+	sk.total >>= 1
+	sk.rescanMin()
+}
+
+// Reset zeroes all counters while keeping the hash functions, so the sketch
+// can be reused across experiment trials without re-deriving the family.
+func (sk *Sketch) Reset() {
+	for _, row := range sk.counts {
+		for i := range row {
+			row[i] = 0
+		}
+	}
+	sk.total = 0
+	sk.gMin = 0
+	sk.gMinCnt = sk.rows * sk.cols
+}
+
+// Merge adds the counters of other into sk. Both sketches must have been
+// created with the same dimensions and the same hash family to be mergeable;
+// Merge can only verify the dimensions, so callers are responsible for
+// sharing the family (e.g. by Clone).
+func (sk *Sketch) Merge(other *Sketch) error {
+	if other == nil {
+		return fmt.Errorf("cms: merge with nil sketch")
+	}
+	if sk.rows != other.rows || sk.cols != other.cols {
+		return fmt.Errorf("cms: dimension mismatch: %dx%d vs %dx%d",
+			sk.rows, sk.cols, other.rows, other.cols)
+	}
+	for r := range sk.counts {
+		for c := range sk.counts[r] {
+			sk.counts[r][c] += other.counts[r][c]
+		}
+	}
+	sk.total += other.total
+	sk.rescanMin()
+	return nil
+}
+
+// Clone returns a deep copy of the sketch sharing the same hash family, so
+// that the copy estimates identically and is mergeable with the original.
+func (sk *Sketch) Clone() *Sketch {
+	counts := make([][]uint64, sk.rows)
+	backing := make([]uint64, sk.rows*sk.cols)
+	for i := range counts {
+		counts[i], backing = backing[:sk.cols:sk.cols], backing[sk.cols:]
+		copy(counts[i], sk.counts[i])
+	}
+	return &Sketch{
+		rows:    sk.rows,
+		cols:    sk.cols,
+		counts:  counts,
+		hashes:  sk.hashes,
+		total:   sk.total,
+		gMin:    sk.gMin,
+		gMinCnt: sk.gMinCnt,
+	}
+}
+
+// CounterBytes returns the memory footprint of the counter matrix in bytes,
+// which is what the paper means by the "very small memory" of the sampler.
+func (sk *Sketch) CounterBytes() int { return sk.rows * sk.cols * 8 }

@@ -1,0 +1,439 @@
+package cms
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"nodesampling/internal/rng"
+)
+
+func mustSketch(t testing.TB, k, s int, seed uint64) *Sketch {
+	t.Helper()
+	sk, err := NewWithDimensions(k, s, rng.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sk
+}
+
+func TestNewFromAccuracyTargets(t *testing.T) {
+	cases := []struct {
+		epsilon, delta float64
+		wantK, wantS   int
+	}{
+		{0.3, 0.01, 10, 7}, // k = ceil(e/0.3) = 10, s = ceil(log2 100) = 7
+		{0.05, 0.001, 55, 10},
+		{0.01, 1e-12, 272, 40},
+	}
+	for _, c := range cases {
+		sk, err := New(c.epsilon, c.delta, rng.New(1))
+		if err != nil {
+			t.Fatalf("New(%v, %v): %v", c.epsilon, c.delta, err)
+		}
+		if sk.Cols() != c.wantK || sk.Rows() != c.wantS {
+			t.Errorf("New(%v, %v) shape = (k=%d, s=%d), want (k=%d, s=%d)",
+				c.epsilon, c.delta, sk.Cols(), sk.Rows(), c.wantK, c.wantS)
+		}
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	r := rng.New(1)
+	bad := []struct{ eps, delta float64 }{
+		{0, 0.1}, {1, 0.1}, {-0.2, 0.1}, {0.1, 0}, {0.1, 1}, {0.1, -3},
+	}
+	for _, c := range bad {
+		if _, err := New(c.eps, c.delta, r); err == nil {
+			t.Errorf("New(%v, %v) should fail", c.eps, c.delta)
+		}
+	}
+	if _, err := NewWithDimensions(0, 5, r); err == nil {
+		t.Error("NewWithDimensions(0, 5) should fail")
+	}
+	if _, err := NewWithDimensions(5, 0, r); err == nil {
+		t.Error("NewWithDimensions(5, 0) should fail")
+	}
+}
+
+// TestNeverUnderestimates is the fundamental Count-Min guarantee: the
+// estimate is always at least the true count.
+func TestNeverUnderestimates(t *testing.T) {
+	sk := mustSketch(t, 20, 4, 7)
+	r := rng.New(8)
+	truth := make(map[uint64]uint64)
+	for i := 0; i < 50000; i++ {
+		id := r.Uint64n(500)
+		truth[id]++
+		sk.Add(id)
+	}
+	for id, f := range truth {
+		if est := sk.Estimate(id); est < f {
+			t.Fatalf("Estimate(%d) = %d underestimates true count %d", id, est, f)
+		}
+	}
+}
+
+// TestErrorBound checks the (ε, δ) guarantee statistically: the fraction of
+// ids whose estimate exceeds f + ε·m should be at most about δ.
+func TestErrorBound(t *testing.T) {
+	const epsilon, delta = 0.1, 0.05
+	sk, err := New(epsilon, delta, rng.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(10)
+	const n, m = 1000, 100000
+	truth := make(map[uint64]uint64, n)
+	for i := 0; i < m; i++ {
+		id := r.Uint64n(n)
+		truth[id]++
+		sk.Add(id)
+	}
+	bound := uint64(epsilon * float64(m))
+	bad := 0
+	for id, f := range truth {
+		if sk.Estimate(id) > f+bound {
+			bad++
+		}
+	}
+	frac := float64(bad) / float64(len(truth))
+	if frac > 3*delta {
+		t.Fatalf("%v of ids exceed the epsilon bound, want <= about %v", frac, delta)
+	}
+}
+
+func TestExactWhenSparse(t *testing.T) {
+	// With far fewer distinct ids than columns and several rows, collisions
+	// in every row simultaneously are very unlikely, so estimates should be
+	// exact for most ids.
+	sk := mustSketch(t, 1024, 6, 11)
+	truth := map[uint64]uint64{1: 3, 2: 7, 42: 1, 999: 12}
+	for id, f := range truth {
+		for i := uint64(0); i < f; i++ {
+			sk.Add(id)
+		}
+	}
+	for id, f := range truth {
+		if est := sk.Estimate(id); est != f {
+			t.Errorf("Estimate(%d) = %d, want exact %d", id, est, f)
+		}
+	}
+	if sk.Total() != 23 {
+		t.Errorf("Total() = %d, want 23", sk.Total())
+	}
+}
+
+// TestGlobalMinMatchesNaive is the property test for the incremental minσ
+// tracker: after any sequence of adds it must equal a full scan.
+func TestGlobalMinMatchesNaive(t *testing.T) {
+	r := rng.New(12)
+	f := func(seed uint64, nOps uint16) bool {
+		sk, err := NewWithDimensions(1+int(seed%13), 1+int(seed%5), rng.New(seed))
+		if err != nil {
+			return false
+		}
+		local := rng.New(seed ^ 0xabcdef)
+		ops := int(nOps%2000) + 1
+		for i := 0; i < ops; i++ {
+			sk.Add(local.Uint64n(64))
+			if sk.GlobalMin() != sk.globalMinNaive() {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 30, Rand: rng.NewRand(r.Uint64())}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGlobalMinStartsAtZeroUntilMatrixFull(t *testing.T) {
+	sk := mustSketch(t, 8, 2, 13)
+	if sk.GlobalMin() != 0 {
+		t.Fatalf("fresh sketch GlobalMin = %d, want 0", sk.GlobalMin())
+	}
+	// One add touches at most s counters, the rest stay zero.
+	sk.Add(5)
+	if sk.GlobalMin() != 0 {
+		t.Fatalf("GlobalMin after one add = %d, want 0", sk.GlobalMin())
+	}
+}
+
+func TestGlobalMinGrowsOnUniformStream(t *testing.T) {
+	sk := mustSketch(t, 8, 3, 14)
+	r := rng.New(15)
+	for i := 0; i < 20000; i++ {
+		sk.Add(r.Uint64n(1000))
+	}
+	if sk.GlobalMin() == 0 {
+		t.Fatal("GlobalMin still zero after a long uniform stream over many ids")
+	}
+	if sk.GlobalMin() != sk.globalMinNaive() {
+		t.Fatalf("GlobalMin %d != naive %d", sk.GlobalMin(), sk.globalMinNaive())
+	}
+}
+
+// TestConservativeNeverUnderestimates: the CM-CU rule must preserve the
+// upper-bound guarantee.
+func TestConservativeNeverUnderestimates(t *testing.T) {
+	sk := mustSketch(t, 20, 4, 30)
+	r := rng.New(31)
+	truth := make(map[uint64]uint64)
+	for i := 0; i < 50000; i++ {
+		id := r.Uint64n(500)
+		truth[id]++
+		sk.AddConservative(id)
+	}
+	for id, f := range truth {
+		if est := sk.Estimate(id); est < f {
+			t.Fatalf("CU Estimate(%d) = %d underestimates true count %d", id, est, f)
+		}
+	}
+}
+
+// TestConservativeTighterThanPlain: on the same stream and the same hash
+// family, conservative-update estimates are never above plain Count-Min
+// estimates, and are strictly tighter somewhere on a skewed stream.
+func TestConservativeTighterThanPlain(t *testing.T) {
+	plain := mustSketch(t, 10, 4, 32)
+	cu := plain.Clone()
+	cu.Reset()
+	r := rng.New(33)
+	ids := make([]uint64, 80000)
+	for i := range ids {
+		// Skewed: id 0 half the time, the rest uniform over 500.
+		if r.Bernoulli(0.5) {
+			ids[i] = 0
+		} else {
+			ids[i] = 1 + r.Uint64n(500)
+		}
+	}
+	for _, id := range ids {
+		plain.Add(id)
+		cu.AddConservative(id)
+	}
+	strictly := false
+	for id := uint64(0); id <= 500; id++ {
+		p, c := plain.Estimate(id), cu.Estimate(id)
+		if c > p {
+			t.Fatalf("CU estimate %d above plain %d for id %d", c, p, id)
+		}
+		if c < p {
+			strictly = true
+		}
+	}
+	if !strictly {
+		t.Fatal("CU never tighter than plain on a skewed stream")
+	}
+	if cu.GlobalMin() > plain.GlobalMin() {
+		t.Fatalf("CU global min %d above plain %d", cu.GlobalMin(), plain.GlobalMin())
+	}
+}
+
+// TestConservativeGlobalMinTracking: the incremental minσ tracker must stay
+// correct under the jumpy CU cell updates.
+func TestConservativeGlobalMinTracking(t *testing.T) {
+	sk := mustSketch(t, 8, 3, 34)
+	r := rng.New(35)
+	for i := 0; i < 30000; i++ {
+		sk.AddConservative(r.Uint64n(200))
+		if i%97 == 0 && sk.GlobalMin() != sk.globalMinNaive() {
+			t.Fatalf("step %d: GlobalMin %d != naive %d", i, sk.GlobalMin(), sk.globalMinNaive())
+		}
+	}
+	if sk.GlobalMin() != sk.globalMinNaive() {
+		t.Fatalf("final GlobalMin %d != naive %d", sk.GlobalMin(), sk.globalMinNaive())
+	}
+}
+
+func TestHalve(t *testing.T) {
+	sk := mustSketch(t, 16, 3, 40)
+	for i := 0; i < 1000; i++ {
+		sk.Add(7)
+	}
+	before := sk.Estimate(7)
+	sk.Halve()
+	after := sk.Estimate(7)
+	if after != before/2 {
+		t.Fatalf("estimate after halve = %d, want %d", after, before/2)
+	}
+	if sk.Total() != 500 {
+		t.Fatalf("total after halve = %d, want 500", sk.Total())
+	}
+	if sk.GlobalMin() != sk.globalMinNaive() {
+		t.Fatalf("GlobalMin inconsistent after halve: %d vs %d", sk.GlobalMin(), sk.globalMinNaive())
+	}
+	// Halving all the way down reaches zero and stays consistent.
+	for i := 0; i < 20; i++ {
+		sk.Halve()
+	}
+	if sk.Estimate(7) != 0 || sk.GlobalMin() != 0 {
+		t.Fatalf("estimate %d / min %d after decaying to zero", sk.Estimate(7), sk.GlobalMin())
+	}
+}
+
+func TestHalveDecaysOldHeavyHitters(t *testing.T) {
+	sk := mustSketch(t, 32, 4, 41)
+	// Old heavy hitter, then halvings interleaved with a new arrival.
+	for i := 0; i < 10000; i++ {
+		sk.Add(1)
+	}
+	for epoch := 0; epoch < 10; epoch++ {
+		sk.Halve()
+		for i := 0; i < 100; i++ {
+			sk.Add(2)
+		}
+	}
+	if old, fresh := sk.Estimate(1), sk.Estimate(2); old >= fresh {
+		t.Fatalf("old id estimate %d not decayed below fresh id %d", old, fresh)
+	}
+}
+
+func TestReset(t *testing.T) {
+	sk := mustSketch(t, 16, 3, 16)
+	for i := uint64(0); i < 1000; i++ {
+		sk.Add(i)
+	}
+	sk.Reset()
+	if sk.Total() != 0 {
+		t.Errorf("Total after reset = %d", sk.Total())
+	}
+	if sk.GlobalMin() != 0 {
+		t.Errorf("GlobalMin after reset = %d", sk.GlobalMin())
+	}
+	if est := sk.Estimate(3); est != 0 {
+		t.Errorf("Estimate(3) after reset = %d", est)
+	}
+	// The sketch must remain consistent after reuse.
+	sk.Add(3)
+	if est := sk.Estimate(3); est != 1 {
+		t.Errorf("Estimate(3) after reset+add = %d, want 1", est)
+	}
+}
+
+func TestCloneSharesFamilyAndMerges(t *testing.T) {
+	sk := mustSketch(t, 32, 4, 17)
+	r := rng.New(18)
+	for i := 0; i < 5000; i++ {
+		sk.Add(r.Uint64n(100))
+	}
+	cp := sk.Clone()
+	if cp.Estimate(42) != sk.Estimate(42) {
+		t.Fatal("clone does not estimate identically")
+	}
+	// Diverge the copy, then merge back: totals and estimates add up.
+	for i := 0; i < 1000; i++ {
+		cp.Add(7)
+	}
+	before := sk.Estimate(7)
+	if err := sk.Merge(cp); err != nil {
+		t.Fatal(err)
+	}
+	if got := sk.Estimate(7); got < before+1000 {
+		t.Fatalf("post-merge Estimate(7) = %d, want at least %d", got, before+1000)
+	}
+	if sk.GlobalMin() != sk.globalMinNaive() {
+		t.Fatalf("GlobalMin inconsistent after merge: %d vs %d", sk.GlobalMin(), sk.globalMinNaive())
+	}
+}
+
+func TestMergeValidation(t *testing.T) {
+	a := mustSketch(t, 8, 2, 19)
+	b := mustSketch(t, 16, 2, 19)
+	if err := a.Merge(b); err == nil {
+		t.Error("merge with mismatched dimensions should fail")
+	}
+	if err := a.Merge(nil); err == nil {
+		t.Error("merge with nil should fail")
+	}
+}
+
+func TestEstimateMonotoneInAdds(t *testing.T) {
+	sk := mustSketch(t, 16, 4, 20)
+	prev := uint64(0)
+	for i := 0; i < 500; i++ {
+		sk.Add(99)
+		est := sk.Estimate(99)
+		if est < prev {
+			t.Fatalf("estimate decreased from %d to %d", prev, est)
+		}
+		prev = est
+	}
+	if prev < 500 {
+		t.Fatalf("estimate %d below true count 500", prev)
+	}
+}
+
+func TestCounterBytes(t *testing.T) {
+	sk := mustSketch(t, 50, 10, 21)
+	if got := sk.CounterBytes(); got != 50*10*8 {
+		t.Fatalf("CounterBytes = %d, want %d", got, 50*10*8)
+	}
+}
+
+// TestHeavyHitterAccuracy mirrors the paper's use: under a skewed stream the
+// sketch must rank a heavy hitter far above light ids.
+func TestHeavyHitterAccuracy(t *testing.T) {
+	sk := mustSketch(t, 50, 5, 22)
+	r := rng.New(23)
+	for i := 0; i < 50000; i++ {
+		sk.Add(1) // heavy
+		sk.Add(r.Uint64n(1000) + 10)
+	}
+	heavy := float64(sk.Estimate(1))
+	light := float64(sk.Estimate(500))
+	if heavy < 10*light {
+		t.Fatalf("heavy hitter estimate %v not well separated from light id %v", heavy, light)
+	}
+	if math.Abs(heavy-50000)/50000 > 0.5 {
+		t.Fatalf("heavy hitter estimate %v too far from true 50000", heavy)
+	}
+}
+
+func BenchmarkAdd(b *testing.B) {
+	sk := mustSketch(b, 50, 10, 1)
+	r := rng.New(2)
+	ids := make([]uint64, 4096)
+	for i := range ids {
+		ids[i] = r.Uint64n(10000)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sk.Add(ids[i&4095])
+	}
+}
+
+func BenchmarkEstimate(b *testing.B) {
+	sk := mustSketch(b, 50, 10, 1)
+	r := rng.New(2)
+	for i := 0; i < 100000; i++ {
+		sk.Add(r.Uint64n(10000))
+	}
+	b.ResetTimer()
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += sk.Estimate(uint64(i & 8191))
+	}
+	_ = sink
+}
+
+func BenchmarkAddAndEstimate(b *testing.B) {
+	// The exact per-element cost profile of the knowledge-free sampler's
+	// sketch interaction: one Add, one Estimate, one GlobalMin per id.
+	sk := mustSketch(b, 50, 10, 1)
+	r := rng.New(2)
+	ids := make([]uint64, 4096)
+	for i := range ids {
+		ids[i] = r.Uint64n(10000)
+	}
+	b.ResetTimer()
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		id := ids[i&4095]
+		sk.Add(id)
+		sink += sk.Estimate(id) + sk.GlobalMin()
+	}
+	_ = sink
+}

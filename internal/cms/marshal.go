@@ -1,0 +1,96 @@
+package cms
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"nodesampling/internal/hashing"
+)
+
+// Binary layout (all fields big-endian uint64 unless noted):
+//
+//	magic "CMSK" | version (uint32) | rows | cols | total
+//	rows × (a, b) hash parameters
+//	rows × cols counters
+const (
+	marshalMagic   = "CMSK"
+	marshalVersion = 1
+)
+
+// MarshalBinary serialises the sketch — counters and hash-family
+// parameters — so a sampler's frequency state survives restarts. It
+// implements encoding.BinaryMarshaler.
+func (sk *Sketch) MarshalBinary() ([]byte, error) {
+	size := 4 + 4 + 8*3 + sk.rows*16 + sk.rows*sk.cols*8
+	buf := make([]byte, 0, size)
+	buf = append(buf, marshalMagic...)
+	buf = binary.BigEndian.AppendUint32(buf, marshalVersion)
+	buf = binary.BigEndian.AppendUint64(buf, uint64(sk.rows))
+	buf = binary.BigEndian.AppendUint64(buf, uint64(sk.cols))
+	buf = binary.BigEndian.AppendUint64(buf, sk.total)
+	for _, p := range sk.hashes.Params() {
+		buf = binary.BigEndian.AppendUint64(buf, p[0])
+		buf = binary.BigEndian.AppendUint64(buf, p[1])
+	}
+	for _, row := range sk.counts {
+		for _, v := range row {
+			buf = binary.BigEndian.AppendUint64(buf, v)
+		}
+	}
+	return buf, nil
+}
+
+// UnmarshalBinary reconstructs a sketch serialised by MarshalBinary,
+// including its hash family, counters and global-minimum tracking. It
+// implements encoding.BinaryUnmarshaler; the receiver's previous state is
+// discarded.
+func (sk *Sketch) UnmarshalBinary(data []byte) error {
+	const header = 4 + 4 + 8*3
+	if len(data) < header {
+		return errors.New("cms: truncated sketch data")
+	}
+	if string(data[:4]) != marshalMagic {
+		return errors.New("cms: bad magic, not a serialised sketch")
+	}
+	if v := binary.BigEndian.Uint32(data[4:8]); v != marshalVersion {
+		return fmt.Errorf("cms: unsupported version %d", v)
+	}
+	rows := binary.BigEndian.Uint64(data[8:16])
+	cols := binary.BigEndian.Uint64(data[16:24])
+	total := binary.BigEndian.Uint64(data[24:32])
+	if rows == 0 || cols == 0 || rows > 1<<20 || cols > 1<<30 {
+		return fmt.Errorf("cms: implausible dimensions %dx%d", rows, cols)
+	}
+	want := header + int(rows)*16 + int(rows*cols)*8
+	if len(data) != want {
+		return fmt.Errorf("cms: data length %d, want %d for a %dx%d sketch", len(data), want, rows, cols)
+	}
+	off := header
+	params := make([][2]uint64, rows)
+	for i := range params {
+		params[i][0] = binary.BigEndian.Uint64(data[off:])
+		params[i][1] = binary.BigEndian.Uint64(data[off+8:])
+		off += 16
+	}
+	fam, err := hashing.NewFamilyFromParams(params, int(cols))
+	if err != nil {
+		return fmt.Errorf("cms: reconstruct hash family: %w", err)
+	}
+	counts := make([][]uint64, rows)
+	backing := make([]uint64, rows*cols)
+	for i := range counts {
+		counts[i], backing = backing[:cols:cols], backing[cols:]
+		for j := range counts[i] {
+			counts[i][j] = binary.BigEndian.Uint64(data[off:])
+			off += 8
+		}
+	}
+	sk.rows = int(rows)
+	sk.cols = int(cols)
+	sk.total = total
+	sk.hashes = fam
+	sk.counts = counts
+	sk.rescanMin()
+	return nil
+}

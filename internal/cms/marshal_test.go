@@ -1,0 +1,120 @@
+package cms
+
+import (
+	"encoding"
+	"testing"
+
+	"nodesampling/internal/rng"
+)
+
+var (
+	_ encoding.BinaryMarshaler   = (*Sketch)(nil)
+	_ encoding.BinaryUnmarshaler = (*Sketch)(nil)
+)
+
+func TestMarshalRoundTrip(t *testing.T) {
+	sk := mustSketch(t, 20, 4, 50)
+	r := rng.New(51)
+	for i := 0; i < 20000; i++ {
+		sk.Add(r.Uint64n(300))
+	}
+	data, err := sk.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Sketch
+	if err := back.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if back.Rows() != sk.Rows() || back.Cols() != sk.Cols() || back.Total() != sk.Total() {
+		t.Fatalf("shape/total mismatch: (%d,%d,%d) vs (%d,%d,%d)",
+			back.Rows(), back.Cols(), back.Total(), sk.Rows(), sk.Cols(), sk.Total())
+	}
+	if back.GlobalMin() != sk.GlobalMin() {
+		t.Fatalf("GlobalMin %d vs %d", back.GlobalMin(), sk.GlobalMin())
+	}
+	// Identical estimates, including for never-seen ids (same hash family).
+	for id := uint64(0); id < 600; id++ {
+		if back.Estimate(id) != sk.Estimate(id) {
+			t.Fatalf("estimate mismatch for id %d: %d vs %d", id, back.Estimate(id), sk.Estimate(id))
+		}
+	}
+	// The restored sketch must keep evolving identically.
+	sk.Add(42)
+	back.Add(42)
+	if back.Estimate(42) != sk.Estimate(42) {
+		t.Fatal("post-restore evolution diverged")
+	}
+	if back.GlobalMin() != back.globalMinNaive() {
+		t.Fatal("restored GlobalMin tracker inconsistent")
+	}
+}
+
+func TestUnmarshalRejectsGarbage(t *testing.T) {
+	var sk Sketch
+	cases := map[string][]byte{
+		"empty":     nil,
+		"short":     []byte("CMSK"),
+		"bad magic": append([]byte("NOPE"), make([]byte, 60)...),
+	}
+	for name, data := range cases {
+		if err := sk.UnmarshalBinary(data); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestUnmarshalRejectsWrongVersionAndLength(t *testing.T) {
+	good := mustSketch(t, 4, 2, 52)
+	data, err := good.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the version.
+	bad := append([]byte(nil), data...)
+	bad[7] = 99
+	var sk Sketch
+	if err := sk.UnmarshalBinary(bad); err == nil {
+		t.Error("wrong version accepted")
+	}
+	// Truncate the counters.
+	if err := sk.UnmarshalBinary(data[:len(data)-8]); err == nil {
+		t.Error("truncated data accepted")
+	}
+	// Extend with junk.
+	if err := sk.UnmarshalBinary(append(append([]byte(nil), data...), 0)); err == nil {
+		t.Error("oversized data accepted")
+	}
+}
+
+func TestUnmarshalRejectsBadHashParams(t *testing.T) {
+	good := mustSketch(t, 4, 2, 53)
+	data, err := good.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First hash parameter a lives right after the 32-byte header; zero is
+	// outside [1, p-1].
+	bad := append([]byte(nil), data...)
+	for i := 32; i < 40; i++ {
+		bad[i] = 0
+	}
+	var sk Sketch
+	if err := sk.UnmarshalBinary(bad); err == nil {
+		t.Error("a=0 hash parameter accepted")
+	}
+}
+
+func BenchmarkMarshal(b *testing.B) {
+	sk := mustSketch(b, 250, 17, 1)
+	r := rng.New(2)
+	for i := 0; i < 100000; i++ {
+		sk.Add(r.Uint64n(10000))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sk.MarshalBinary(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,628 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"nodesampling/internal/metrics"
+	"nodesampling/internal/rng"
+	"nodesampling/internal/stream"
+)
+
+// zipfStream builds a strongly biased categorical stream, the adversarial
+// workload of the paper's Figures 7a/8/9/10a.
+func zipfStream(t testing.TB, n int, alpha float64, seed uint64) *stream.Categorical {
+	t.Helper()
+	c, err := stream.NewCategorical(stream.ZipfPMF(n, alpha), rng.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestConstructorValidation(t *testing.T) {
+	r := rng.New(1)
+	oracle, err := NewCountOracle(map[uint64]uint64{1: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewOmniscient(0, oracle, r); err == nil {
+		t.Error("c=0 should fail")
+	}
+	if _, err := NewOmniscient(5, nil, r); err == nil {
+		t.Error("nil oracle should fail")
+	}
+	if _, err := NewOmniscient(5, oracle, nil); err == nil {
+		t.Error("nil rng should fail")
+	}
+	if _, err := NewKnowledgeFree(0, 10, 5, r); err == nil {
+		t.Error("c=0 should fail")
+	}
+	if _, err := NewKnowledgeFree(5, 0, 5, r); err == nil {
+		t.Error("k=0 should fail")
+	}
+	if _, err := NewKnowledgeFree(5, 10, 0, r); err == nil {
+		t.Error("s=0 should fail")
+	}
+	if _, err := NewKnowledgeFree(5, 10, 5, nil); err == nil {
+		t.Error("nil rng should fail")
+	}
+	if _, err := NewKnowledgeFree(5, 10, 5, r, WithEviction(nil)); err == nil {
+		t.Error("nil eviction policy should fail")
+	}
+	if _, err := NewKnowledgeFreeFromAccuracy(0, 0.1, 0.1, r); err == nil {
+		t.Error("c=0 should fail (accuracy ctor)")
+	}
+	if _, err := NewKnowledgeFreeFromAccuracy(5, 0, 0.1, r); err == nil {
+		t.Error("bad epsilon should fail")
+	}
+	if _, err := NewFullSpace(nil); err == nil {
+		t.Error("nil rng should fail (full space)")
+	}
+	if _, err := NewMinWiseSampler(nil); err == nil {
+		t.Error("nil rng should fail (min-wise)")
+	}
+}
+
+func TestNewKnowledgeFreeFromAccuracyShape(t *testing.T) {
+	kf, err := NewKnowledgeFreeFromAccuracy(5, 0.3, 0.01, rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kf.Sketch().Cols() != 10 || kf.Sketch().Rows() != 7 {
+		t.Fatalf("sketch shape (k=%d, s=%d), want (10, 7)", kf.Sketch().Cols(), kf.Sketch().Rows())
+	}
+}
+
+func TestSampleBeforeAnyInput(t *testing.T) {
+	r := rng.New(3)
+	oracle, _ := NewCountOracle(map[uint64]uint64{1: 1})
+	om, err := NewOmniscient(3, oracle, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := om.Sample(); ok {
+		t.Error("omniscient Sample ok before input")
+	}
+	kf, err := NewKnowledgeFree(3, 10, 5, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := kf.Sample(); ok {
+		t.Error("knowledge-free Sample ok before input")
+	}
+	fs, err := NewFullSpace(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := fs.Sample(); ok {
+		t.Error("full-space Sample ok before input")
+	}
+	mw, err := NewMinWiseSampler(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := mw.Sample(); ok {
+		t.Error("min-wise Sample ok before input")
+	}
+	if mw.Memory() != nil {
+		t.Error("min-wise Memory non-nil before input")
+	}
+}
+
+func TestFillPhaseKeepsDistinctIDs(t *testing.T) {
+	kf, err := NewKnowledgeFree(4, 16, 3, rng.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []uint64{10, 20, 10, 30, 20, 40} {
+		kf.Process(id)
+	}
+	mem := kf.Memory()
+	if len(mem) != 4 {
+		t.Fatalf("memory size %d, want 4", len(mem))
+	}
+	seen := map[uint64]bool{}
+	for _, id := range mem {
+		if seen[id] {
+			t.Fatalf("memory holds duplicate id %d: %v", id, mem)
+		}
+		seen[id] = true
+	}
+	for _, want := range []uint64{10, 20, 30, 40} {
+		if !seen[want] {
+			t.Fatalf("memory missing %d: %v", want, mem)
+		}
+	}
+	st := kf.Stats()
+	if st.Processed != 6 || st.Admitted != 4 || st.Duplicates != 2 || st.Evicted != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestMemoryInvariants is the property test on Γ: after any sequence of
+// arrivals the memory holds at most c pairwise-distinct ids, and every
+// emitted output is a member of the memory at emission time.
+func TestMemoryInvariants(t *testing.T) {
+	f := func(seed uint64, capRaw uint8, opsRaw uint16) bool {
+		c := int(capRaw%20) + 1
+		ops := int(opsRaw%3000) + 1
+		kf, err := NewKnowledgeFree(c, 8, 3, rng.New(seed))
+		if err != nil {
+			return false
+		}
+		in := rng.New(seed ^ 0x55aa)
+		for i := 0; i < ops; i++ {
+			id := in.Uint64n(40)
+			out := kf.Process(id)
+			mem := kf.Memory()
+			if len(mem) > c {
+				return false
+			}
+			distinct := map[uint64]bool{}
+			found := false
+			for _, v := range mem {
+				if distinct[v] {
+					return false
+				}
+				distinct[v] = true
+				if v == out {
+					found = true
+				}
+			}
+			if !found {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25, Rand: rng.NewRand(77)}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestOmniscientUnbiasesZipf is the core claim of Theorem 4 / Corollary 5,
+// measured the way the paper's Figure 8 does: the omniscient output of a
+// heavily biased stream has near-zero KL divergence to uniform.
+func TestOmniscientUnbiasesZipf(t *testing.T) {
+	const n, m, c = 50, 400000, 10
+	src := zipfStream(t, n, 2, 10)
+	om, err := NewOmniscient(c, src, rng.New(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	input := metrics.NewHistogram()
+	output := metrics.NewHistogram()
+	for i := 0; i < m; i++ {
+		id := src.Next()
+		input.Add(id)
+		output.Add(om.Process(id))
+	}
+	gain, err := metrics.Gain(input, output, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gain < 0.95 {
+		t.Fatalf("omniscient gain %v, want > 0.95", gain)
+	}
+	// Every id of the population must appear in the output (freshness
+	// precondition) and no id may dominate.
+	if output.Distinct() != n {
+		t.Fatalf("output misses ids: %d of %d", output.Distinct(), n)
+	}
+	_, maxC := output.Max()
+	if ratio := float64(maxC) / (float64(m) / n); ratio > 1.6 {
+		t.Fatalf("most frequent output id is %vx uniform share", ratio)
+	}
+}
+
+// TestOmniscientFreshness: after an arbitrary prefix, every id keeps
+// reappearing in the output stream (Property 2).
+func TestOmniscientFreshness(t *testing.T) {
+	const n, m, c = 20, 200000, 5
+	src := zipfStream(t, n, 3, 12)
+	om, err := NewOmniscient(c, src, rng.New(13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lastSeen := make(map[uint64]int, n)
+	for i := 0; i < m; i++ {
+		out := om.Process(src.Next())
+		lastSeen[out] = i
+	}
+	for id := uint64(0); id < n; id++ {
+		last, ok := lastSeen[id]
+		if !ok {
+			t.Fatalf("id %d never appeared in the output", id)
+		}
+		if last < m/2 {
+			t.Fatalf("id %d last appeared at step %d of %d: output stream is static for it", id, last, m)
+		}
+	}
+}
+
+// TestKnowledgeFreeReducesPeakAttack mirrors Figure 7a: under the 50000/50
+// peak attack the knowledge-free strategy must crush the peak's output
+// frequency by an order of magnitude.
+func TestKnowledgeFreeReducesPeakAttack(t *testing.T) {
+	const n, m, c, k, s = 1000, 100000, 10, 10, 5
+	pmf, err := stream.PeakPMF(n, 0, 50000, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := stream.NewCategorical(pmf, rng.New(14))
+	if err != nil {
+		t.Fatal(err)
+	}
+	kf, err := NewKnowledgeFree(c, k, s, rng.New(15))
+	if err != nil {
+		t.Fatal(err)
+	}
+	input := metrics.NewHistogram()
+	output := metrics.NewHistogram()
+	for i := 0; i < m; i++ {
+		id := src.Next()
+		input.Add(id)
+		output.Add(kf.Process(id))
+	}
+	inPeak := float64(input.Count(0))
+	outPeak := float64(output.Count(0))
+	if outPeak > inPeak/10 {
+		t.Fatalf("peak frequency only reduced from %v to %v, want ≥ 10x", inPeak, outPeak)
+	}
+	gain, err := metrics.Gain(input, output, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gain < 0.5 {
+		t.Fatalf("knowledge-free gain %v under peak attack, want > 0.5", gain)
+	}
+}
+
+// TestOmniscientBeatsKnowledgeFree: on the same attack the omniscient
+// strategy achieves at least the knowledge-free gain (Figures 7–10 all show
+// this ordering).
+func TestOmniscientBeatsKnowledgeFree(t *testing.T) {
+	const n, m, c = 200, 150000, 10
+	src := zipfStream(t, n, 4, 16)
+	om, err := NewOmniscient(c, src, rng.New(17))
+	if err != nil {
+		t.Fatal(err)
+	}
+	kf, err := NewKnowledgeFree(c, 10, 5, rng.New(18))
+	if err != nil {
+		t.Fatal(err)
+	}
+	input := metrics.NewHistogram()
+	outOm := metrics.NewHistogram()
+	outKf := metrics.NewHistogram()
+	for i := 0; i < m; i++ {
+		id := src.Next()
+		input.Add(id)
+		outOm.Add(om.Process(id))
+		outKf.Add(kf.Process(id))
+	}
+	gOm, err := metrics.Gain(input, outOm, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gKf, err := metrics.Gain(input, outKf, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gOm < gKf-0.02 { // tiny statistical slack
+		t.Fatalf("omniscient gain %v below knowledge-free gain %v", gOm, gKf)
+	}
+	if gKf <= 0 {
+		t.Fatalf("knowledge-free gain %v not positive", gKf)
+	}
+}
+
+func TestOmniscientAdmissionProb(t *testing.T) {
+	oracle, err := NewCountOracle(map[uint64]uint64{1: 1, 2: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	om, err := NewOmniscient(1, oracle, rng.New(19))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := om.admissionProb(1); got != 1 {
+		t.Errorf("a_rarest = %v, want 1 (clamped)", got)
+	}
+	if got, want := om.admissionProb(2), 0.01/0.99; math.Abs(got-want) > 1e-12 {
+		t.Errorf("a_frequent = %v, want %v", got, want)
+	}
+	if got := om.admissionProb(777); got != 1 {
+		t.Errorf("a_unknown = %v, want 1 (maximally rare)", got)
+	}
+}
+
+func TestCountOracle(t *testing.T) {
+	if _, err := NewCountOracle(nil); err == nil {
+		t.Error("empty counts should fail")
+	}
+	if _, err := NewCountOracle(map[uint64]uint64{3: 0}); err == nil {
+		t.Error("all-zero counts should fail")
+	}
+	o, err := NewCountOracle(map[uint64]uint64{1: 3, 2: 1, 5: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := o.Prob(1); math.Abs(p-0.75) > 1e-15 {
+		t.Errorf("Prob(1) = %v", p)
+	}
+	if p := o.Prob(5); p != 0 {
+		t.Errorf("Prob(zero-count id) = %v", p)
+	}
+	if p := o.Prob(42); p != 0 {
+		t.Errorf("Prob(unknown) = %v", p)
+	}
+	if mp := o.MinProb(); math.Abs(mp-0.25) > 1e-15 {
+		t.Errorf("MinProb = %v", mp)
+	}
+}
+
+func TestCountOracleFromStream(t *testing.T) {
+	if _, err := NewCountOracleFromStream(nil); err == nil {
+		t.Error("empty stream should fail")
+	}
+	o, err := NewCountOracleFromStream([]uint64{7, 7, 8, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := o.Prob(7); math.Abs(p-0.5) > 1e-15 {
+		t.Errorf("Prob(7) = %v", p)
+	}
+	if mp := o.MinProb(); math.Abs(mp-0.25) > 1e-15 {
+		t.Errorf("MinProb = %v", mp)
+	}
+}
+
+func TestFullSpaceBaseline(t *testing.T) {
+	fs, err := NewFullSpace(rng.New(20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		fs.Process(uint64(i % 10))
+	}
+	if len(fs.Memory()) != 10 {
+		t.Fatalf("full-space memory %d, want 10 distinct", len(fs.Memory()))
+	}
+	h := metrics.NewHistogram()
+	for i := 0; i < 100000; i++ {
+		id, ok := fs.Sample()
+		if !ok {
+			t.Fatal("sample not ok")
+		}
+		h.Add(id)
+	}
+	chi, err := h.ChiSquareUniform(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chi > 40 { // df=9, 99.99th percentile ≈ 33.7
+		t.Fatalf("full-space samples not uniform: chi2 = %v", chi)
+	}
+}
+
+// TestMinWiseStaticity demonstrates the defect of the Bortnikov et al.
+// baseline that motivates the paper: after convergence the sample never
+// changes, violating Freshness.
+func TestMinWiseStaticity(t *testing.T) {
+	const n, m = 100, 50000
+	src := zipfStream(t, n, 1, 21)
+	mw, err := NewMinWiseSampler(rng.New(22))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm-up: let the sampler see every id at least once.
+	for i := 0; i < m; i++ {
+		mw.Process(src.Next())
+	}
+	converged, ok := mw.Sample()
+	if !ok {
+		t.Fatal("no sample after warm-up")
+	}
+	changesAfterWarmup := mw.Changes()
+	for i := 0; i < m; i++ {
+		out := mw.Process(src.Next())
+		if out != converged {
+			t.Fatalf("min-wise sample changed after convergence: %d -> %d", converged, out)
+		}
+	}
+	if mw.Changes() != changesAfterWarmup {
+		t.Fatalf("min-wise changes grew after convergence: %d -> %d", changesAfterWarmup, mw.Changes())
+	}
+	if len(mw.Memory()) != 1 || mw.Memory()[0] != converged {
+		t.Fatalf("min-wise memory = %v", mw.Memory())
+	}
+}
+
+// TestKnowledgeFreeStallsWhenSketchWiderThanPopulation documents a known
+// boundary of Algorithm 3: if every row has more columns than there are
+// distinct ids, some counter stays zero forever, minσ stays 0, and no id is
+// ever admitted after the fill phase.
+func TestKnowledgeFreeStallsWhenSketchWiderThanPopulation(t *testing.T) {
+	const n, c = 4, 2 // 4 distinct ids, 64-column sketch
+	kf, err := NewKnowledgeFree(c, 64, 4, rng.New(23))
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := rng.New(24)
+	for i := 0; i < 20000; i++ {
+		kf.Process(in.Uint64n(n))
+	}
+	st := kf.Stats()
+	if st.Admitted != c {
+		t.Fatalf("admitted %d ids, want exactly the %d fill admissions (minσ = 0 regime)", st.Admitted, c)
+	}
+	if kf.Sketch().GlobalMin() != 0 {
+		t.Fatalf("GlobalMin = %d, want 0 with %d ids over %d columns", kf.Sketch().GlobalMin(), n, 64)
+	}
+}
+
+func TestWeightedEvictionPickDistribution(t *testing.T) {
+	mem := []uint64{1, 2, 3}
+	w := WeightedEviction{Weight: func(id uint64) float64 { return float64(id) }}
+	r := rng.New(25)
+	const trials = 60000
+	counts := make(map[int]int)
+	for i := 0; i < trials; i++ {
+		counts[w.Pick(mem, r)]++
+	}
+	for i, want := range []float64{1.0 / 6, 2.0 / 6, 3.0 / 6} {
+		got := float64(counts[i]) / trials
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("index %d picked %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestWeightedEvictionDegenerateWeights(t *testing.T) {
+	mem := []uint64{1, 2}
+	w := WeightedEviction{Weight: func(uint64) float64 { return 0 }}
+	r := rng.New(26)
+	for i := 0; i < 100; i++ {
+		if got := w.Pick(mem, r); got < 0 || got > 1 {
+			t.Fatalf("degenerate pick %d out of range", got)
+		}
+	}
+	neg := WeightedEviction{Weight: func(id uint64) float64 { return -1 }}
+	for i := 0; i < 100; i++ {
+		if got := neg.Pick(mem, r); got < 0 || got > 1 {
+			t.Fatalf("negative-weight pick %d out of range", got)
+		}
+	}
+}
+
+// TestBiasedEvictionBreaksUniformity is the ablation behind Theorem 4: with
+// non-constant removal probabilities r_j the stationary occupancy is no
+// longer uniform, so the output degrades compared to uniform eviction.
+func TestBiasedEvictionBreaksUniformity(t *testing.T) {
+	const n, m, c = 30, 300000, 6
+	src := zipfStream(t, n, 2, 27)
+	// Pathological policy: always prefer evicting low ids (the rare ones
+	// under Zipf are the high ids, so this protects frequent ids — wrong).
+	biased := WeightedEviction{Weight: func(id uint64) float64 { return float64(n - id) }}
+	omBiased, err := NewOmniscient(c, src, rng.New(28), WithEviction(biased))
+	if err != nil {
+		t.Fatal(err)
+	}
+	omUniform, err := NewOmniscient(c, src, rng.New(29))
+	if err != nil {
+		t.Fatal(err)
+	}
+	input := metrics.NewHistogram()
+	outB := metrics.NewHistogram()
+	outU := metrics.NewHistogram()
+	for i := 0; i < m; i++ {
+		id := src.Next()
+		input.Add(id)
+		outB.Add(omBiased.Process(id))
+		outU.Add(omUniform.Process(id))
+	}
+	gB, err := metrics.Gain(input, outB, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gU, err := metrics.Gain(input, outU, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gU <= gB {
+		t.Fatalf("uniform eviction gain %v not above biased eviction gain %v", gU, gB)
+	}
+}
+
+func TestDeterministicWithSameSeed(t *testing.T) {
+	mk := func() ([]uint64, error) {
+		kf, err := NewKnowledgeFree(5, 10, 5, rng.New(30))
+		if err != nil {
+			return nil, err
+		}
+		in := rng.New(31)
+		out := make([]uint64, 2000)
+		for i := range out {
+			out[i] = kf.Process(in.Uint64n(100))
+		}
+		return out, nil
+	}
+	a, err := mk()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := mk()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same-seed samplers diverged at %d", i)
+		}
+	}
+}
+
+func TestStatsConsistency(t *testing.T) {
+	const c = 8
+	kf, err := NewKnowledgeFree(c, 10, 5, rng.New(32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := rng.New(33)
+	const m = 50000
+	for i := 0; i < m; i++ {
+		kf.Process(in.Uint64n(200))
+	}
+	st := kf.Stats()
+	if st.Processed != m {
+		t.Errorf("Processed = %d, want %d", st.Processed, m)
+	}
+	if st.Admitted != st.Evicted+c {
+		t.Errorf("Admitted (%d) != Evicted (%d) + c (%d)", st.Admitted, st.Evicted, c)
+	}
+	if st.Admitted < c {
+		t.Errorf("Admitted = %d below capacity %d", st.Admitted, c)
+	}
+}
+
+func BenchmarkOmniscientProcess(b *testing.B) {
+	src := zipfStream(b, 1000, 4, 1)
+	om, err := NewOmniscient(10, src, rng.New(2))
+	if err != nil {
+		b.Fatal(err)
+	}
+	ids := stream.Collect(src, 8192)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		om.Process(ids[i&8191])
+	}
+}
+
+func BenchmarkKnowledgeFreeProcess(b *testing.B) {
+	src := zipfStream(b, 1000, 4, 1)
+	kf, err := NewKnowledgeFree(10, 10, 5, rng.New(2))
+	if err != nil {
+		b.Fatal(err)
+	}
+	ids := stream.Collect(src, 8192)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		kf.Process(ids[i&8191])
+	}
+}
+
+func BenchmarkKnowledgeFreeProcessLargeSketch(b *testing.B) {
+	src := zipfStream(b, 100000, 1.2, 1)
+	kf, err := NewKnowledgeFree(50, 250, 17, rng.New(2))
+	if err != nil {
+		b.Fatal(err)
+	}
+	ids := stream.Collect(src, 8192)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		kf.Process(ids[i&8191])
+	}
+}

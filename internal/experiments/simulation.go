@@ -1,0 +1,404 @@
+package experiments
+
+import (
+	"fmt"
+
+	"nodesampling/internal/adversary"
+	"nodesampling/internal/core"
+	"nodesampling/internal/metrics"
+	"nodesampling/internal/rng"
+	"nodesampling/internal/stream"
+)
+
+// peakAttackPMF is the peak-attack workload of Figures 8, 9 and 10a: the
+// adversary's single id carries half the stream, the legitimate uniform
+// traffic the other half. At n = 1000 and m = 100000 this is exactly the
+// paper's "50000 occurrences of one id, 50 of every other" stream (the
+// paper labels it a Zipf α=4 peak; a literal Zipf(4) tail would have
+// probabilities below 10⁻¹², i.e. ids that never occur, contradicting the
+// paper's own Figure 7a input profile).
+func peakAttackPMF(n int) ([]float64, error) {
+	return adversary.Peak(stream.UniformPMF(n), 0, 0.5)
+}
+
+// poissonAttackPMF is the targeted+flooding workload of Figures 6, 7b and
+// 10b: legitimate uniform traffic mixed 1:1 with a truncated Poisson
+// (λ = n/2) injection that over-represents the ~√n·2 ids around id n/2 —
+// matching the paper's Figure 7b input profile (a base of ~50 occurrences
+// per id with a band peaking near 1000).
+func poissonAttackPMF(n int) ([]float64, error) {
+	return stream.MixPMF(
+		[]float64{0.5, 0.5},
+		stream.UniformPMF(n),
+		stream.TruncatedPoissonPMF(n, float64(n)/2),
+	)
+}
+
+// Fig6 regenerates Figure 6: the frequency profile over time of the input
+// stream versus the two strategies' outputs, under a Poisson-biased input
+// (m = 40000, n = 1000, c = 15, k = 15, s = 17). The isopleth is summarised
+// per time checkpoint by the maximum id frequency and the number of distinct
+// ids, which captures the figure's visual claim: the input grows a bright
+// high-frequency band while the omniscient output stays uniform and the
+// knowledge-free output strongly flattens the band.
+func Fig6(cfg Config) (Table, error) {
+	cfg = cfg.withDefaults()
+	const n, c, k, s = 1000, 15, 15, 17
+	m := 40000
+	if cfg.Quick {
+		m = 16000
+	}
+	pmf, err := poissonAttackPMF(n)
+	if err != nil {
+		return Table{}, fmt.Errorf("fig6: %w", err)
+	}
+	src, err := stream.NewCategorical(pmf, rng.New(cfg.Seed))
+	if err != nil {
+		return Table{}, fmt.Errorf("fig6: %w", err)
+	}
+	om, err := core.NewOmniscient(c, src, rng.New(rng.Mix64(cfg.Seed+1)))
+	if err != nil {
+		return Table{}, fmt.Errorf("fig6: %w", err)
+	}
+	kf, err := core.NewKnowledgeFree(c, k, s, rng.New(rng.Mix64(cfg.Seed+2)))
+	if err != nil {
+		return Table{}, fmt.Errorf("fig6: %w", err)
+	}
+	input := metrics.NewHistogram()
+	outOm := metrics.NewHistogram()
+	outKf := metrics.NewHistogram()
+	t := Table{
+		ID:    "fig6",
+		Title: "Figure 6: frequency profile over time (truncated Poisson input, lambda = n/2)",
+		Columns: []string{
+			"t", "max freq in", "max freq kf", "max freq om",
+			"distinct in", "distinct kf", "distinct om",
+		},
+		Notes: "Settings m=40000, n=1000, c=15, k=15, s=17. The input's maximum frequency grows " +
+			"steeply; the omniscient output stays near t/n; the knowledge-free output sits in between.",
+	}
+	checkpoints := 10
+	for chk := 1; chk <= checkpoints; chk++ {
+		until := m * chk / checkpoints
+		for input.Total() < uint64(until) {
+			id := src.Next()
+			input.Add(id)
+			outOm.Add(om.Process(id))
+			outKf.Add(kf.Process(id))
+		}
+		_, maxIn := input.Max()
+		_, maxKf := outKf.Max()
+		_, maxOm := outOm.Max()
+		t.Rows = append(t.Rows, []string{
+			fmtInt(until),
+			fmtInt(int(maxIn)), fmtInt(int(maxKf)), fmtInt(int(maxOm)),
+			fmtInt(input.Distinct()), fmtInt(outKf.Distinct()), fmtInt(outOm.Distinct()),
+		})
+	}
+	return t, nil
+}
+
+// fig7 is the shared core of Figures 7a and 7b: frequency distribution per
+// node id for the input stream and both strategies, summarised by the
+// frequencies of the attacked ids versus the correct ids plus the KL gains.
+func fig7(cfg Config, id, title string, pmf []float64, attacked []uint64, notes string) (Table, error) {
+	cfg = cfg.withDefaults()
+	const n, c, k, s = 1000, 10, 10, 5
+	m := 100000
+	if cfg.Quick {
+		m = 10000
+	}
+	src, err := stream.NewCategorical(pmf, rng.New(cfg.Seed))
+	if err != nil {
+		return Table{}, fmt.Errorf("%s: %w", id, err)
+	}
+	om, err := core.NewOmniscient(c, src, rng.New(rng.Mix64(cfg.Seed+1)))
+	if err != nil {
+		return Table{}, fmt.Errorf("%s: %w", id, err)
+	}
+	kf, err := core.NewKnowledgeFree(c, k, s, rng.New(rng.Mix64(cfg.Seed+2)))
+	if err != nil {
+		return Table{}, fmt.Errorf("%s: %w", id, err)
+	}
+	input := metrics.NewHistogram()
+	outOm := metrics.NewHistogram()
+	outKf := metrics.NewHistogram()
+	for i := 0; i < m; i++ {
+		v := src.Next()
+		input.Add(v)
+		outOm.Add(om.Process(v))
+		outKf.Add(kf.Process(v))
+	}
+	isAttacked := make(map[uint64]bool, len(attacked))
+	for _, a := range attacked {
+		isAttacked[a] = true
+	}
+	meanFreq := func(h *metrics.Histogram, attackedIDs bool) float64 {
+		var sum, cnt float64
+		for idv := uint64(0); idv < n; idv++ {
+			if isAttacked[idv] == attackedIDs {
+				sum += float64(h.Count(idv))
+				cnt++
+			}
+		}
+		if cnt == 0 {
+			return 0
+		}
+		return sum / cnt
+	}
+	gKf, err := metrics.Gain(input, outKf, n)
+	if err != nil {
+		return Table{}, fmt.Errorf("%s: %w", id, err)
+	}
+	gOm, err := metrics.Gain(input, outOm, n)
+	if err != nil {
+		return Table{}, fmt.Errorf("%s: %w", id, err)
+	}
+	t := Table{
+		ID:      id,
+		Title:   title,
+		Columns: []string{"stream", "mean freq attacked ids", "mean freq correct ids", "attacked/correct ratio", "G_KL"},
+		Notes:   notes,
+	}
+	for _, row := range []struct {
+		name string
+		h    *metrics.Histogram
+		g    string
+	}{
+		{"input", input, "-"},
+		{"knowledge-free", outKf, fmtF(gKf)},
+		{"omniscient", outOm, fmtF(gOm)},
+	} {
+		att := meanFreq(row.h, true)
+		cor := meanFreq(row.h, false)
+		ratio := 0.0
+		if cor > 0 {
+			ratio = att / cor
+		}
+		t.Rows = append(t.Rows, []string{row.name, fmtF(att), fmtF(cor), fmtF(ratio), row.g})
+	}
+	return t, nil
+}
+
+// Fig7a regenerates Figure 7a: the peak attack (one id injected 50000
+// times, every other id occurring 50 times; m = 100000, n = 1000, c = 10,
+// k = 10, s = 5).
+func Fig7a(cfg Config) (Table, error) {
+	pmf, err := stream.PeakPMF(1000, 0, 50000, 50)
+	if err != nil {
+		return Table{}, fmt.Errorf("fig7a: %w", err)
+	}
+	return fig7(cfg, "fig7a",
+		"Figure 7a: frequency distribution under a peak attack (50000 vs 50)",
+		pmf, []uint64{0},
+		"Paper shape: knowledge-free divides the peak by about 50; omniscient restores uniformity.")
+}
+
+// Fig7b regenerates Figure 7b: combined targeted + flooding attack modelled
+// by a truncated Poisson input (lambda = n/2) over-representing the ~50 ids
+// around id 500.
+func Fig7b(cfg Config) (Table, error) {
+	const n = 1000
+	pmf, err := poissonAttackPMF(n)
+	if err != nil {
+		return Table{}, fmt.Errorf("fig7b: %w", err)
+	}
+	// The attacked band: ids whose probability exceeds twice the uniform
+	// share (the ~50 over-represented identifiers of the figure).
+	var attacked []uint64
+	for i, p := range normalise(pmf) {
+		if p > 2.0/n {
+			attacked = append(attacked, uint64(i))
+		}
+	}
+	return fig7(cfg, "fig7b",
+		"Figure 7b: frequency distribution under targeted+flooding attacks (truncated Poisson, lambda = n/2)",
+		pmf, attacked,
+		fmt.Sprintf("%d ids over-represented. Paper shape: knowledge-free divides malicious frequencies by about 3; omniscient fully robust.", len(attacked)))
+}
+
+func normalise(w []float64) []float64 {
+	out := make([]float64, len(w))
+	sum := 0.0
+	for _, v := range w {
+		sum += v
+	}
+	for i, v := range w {
+		out[i] = v / sum
+	}
+	return out
+}
+
+// Fig8 regenerates Figure 8: gain G_KL as a function of the population size
+// n under a Zipf(4) peak attack (m = 100000, k = 10, c = 10, s = 17),
+// including the inset's raw KL divergences.
+func Fig8(cfg Config) (Table, error) {
+	cfg = cfg.withDefaults()
+	const c, k, s = 10, 10, 17
+	m := 100000
+	ns := []int{10, 20, 50, 100, 200, 500, 1000}
+	if cfg.Quick {
+		m = 10000
+		ns = []int{10, 100, 1000}
+	}
+	t := Table{
+		ID:      "fig8",
+		Title:   "Figure 8: G_KL vs population size n (peak attack)",
+		Columns: []string{"n", "D(input||U)", "D(kf||U)", "D(om||U)", "G_KL kf", "G_KL om"},
+		Notes:   "Settings m=100000, k=10, c=10, s=17. Paper shape: both gains above 0.9 for all n; omniscient ~1.",
+	}
+	for _, n := range ns {
+		pmf, err := peakAttackPMF(n)
+		if err != nil {
+			return Table{}, fmt.Errorf("fig8: n=%d: %w", n, err)
+		}
+		avg, err := averageTrials(cfg, pmf, m, []samplerFactory{
+			knowledgeFreeFactory(c, k, s), omniscientFactory(c),
+		})
+		if err != nil {
+			return Table{}, fmt.Errorf("fig8: n=%d: %w", n, err)
+		}
+		t.Rows = append(t.Rows, []string{
+			fmtInt(n), fmtF(avg.din), fmtF(avg.dout[0]), fmtF(avg.dout[1]),
+			fmtF(gain(avg.din, avg.dout[0])), fmtF(gain(avg.din, avg.dout[1])),
+		})
+	}
+	return t, nil
+}
+
+// Fig9 regenerates Figure 9: gain G_KL as a function of the stream length m
+// (n = 1000, k = 10, c = 10, s = 17, Zipf(4) peak attack).
+func Fig9(cfg Config) (Table, error) {
+	cfg = cfg.withDefaults()
+	const n, c, k, s = 1000, 10, 10, 17
+	ms := []int{10000, 20000, 50000, 100000, 200000, 500000, 1000000}
+	if cfg.Quick {
+		ms = []int{10000, 50000}
+	}
+	pmf, err := peakAttackPMF(n)
+	if err != nil {
+		return Table{}, fmt.Errorf("fig9: %w", err)
+	}
+	t := Table{
+		ID:      "fig9",
+		Title:   "Figure 9: G_KL vs stream length m (peak attack)",
+		Columns: []string{"m", "D(input||U)", "D(kf||U)", "D(om||U)", "G_KL kf", "G_KL om"},
+		Notes: "Settings n=1000, k=10, c=10, s=17. Paper shape: omniscient converges within ~3000 " +
+			"elements, knowledge-free within ~3x more; both gains climb towards 1 with m.",
+	}
+	for _, m := range ms {
+		avg, err := averageTrials(cfg, pmf, m, []samplerFactory{
+			knowledgeFreeFactory(c, k, s), omniscientFactory(c),
+		})
+		if err != nil {
+			return Table{}, fmt.Errorf("fig9: m=%d: %w", m, err)
+		}
+		t.Rows = append(t.Rows, []string{
+			fmtInt(m), fmtF(avg.din), fmtF(avg.dout[0]), fmtF(avg.dout[1]),
+			fmtF(gain(avg.din, avg.dout[0])), fmtF(gain(avg.din, avg.dout[1])),
+		})
+	}
+	return t, nil
+}
+
+// fig10 is the shared sweep of Figures 10a/10b: gain versus the sampling
+// memory size c.
+func fig10(cfg Config, id, title string, pmf []float64, notes string) (Table, error) {
+	cfg = cfg.withDefaults()
+	const k, s = 10, 17
+	m := 100000
+	cs := []int{5, 10, 25, 50, 100, 200, 300, 500, 700, 1000}
+	if cfg.Quick {
+		m = 10000
+		cs = []int{5, 50, 300}
+	}
+	t := Table{
+		ID:      id,
+		Title:   title,
+		Columns: []string{"c", "D(input||U)", "D(kf||U)", "D(om||U)", "G_KL kf", "G_KL om"},
+		Notes:   notes,
+	}
+	for _, c := range cs {
+		avg, err := averageTrials(cfg, pmf, m, []samplerFactory{
+			knowledgeFreeFactory(c, k, s), omniscientFactory(c),
+		})
+		if err != nil {
+			return Table{}, fmt.Errorf("%s: c=%d: %w", id, c, err)
+		}
+		t.Rows = append(t.Rows, []string{
+			fmtInt(c), fmtF(avg.din), fmtF(avg.dout[0]), fmtF(avg.dout[1]),
+			fmtF(gain(avg.din, avg.dout[0])), fmtF(gain(avg.din, avg.dout[1])),
+		})
+	}
+	return t, nil
+}
+
+// Fig10a regenerates Figure 10a: gain versus memory size c under the
+// Zipf(4) peak attack (m = 100000, n = 1000, k = 10, s = 17).
+func Fig10a(cfg Config) (Table, error) {
+	pmf, err := peakAttackPMF(1000)
+	if err != nil {
+		return Table{}, fmt.Errorf("fig10a: %w", err)
+	}
+	return fig10(cfg, "fig10a",
+		"Figure 10a: G_KL vs memory size c (peak attack)",
+		pmf,
+		"Paper shape: the peak attack is fully masked by the knowledge-free strategy from about c=300.")
+}
+
+// Fig10b regenerates Figure 10b: gain versus memory size c under the
+// targeted+flooding attack (truncated Poisson, lambda = n/2).
+func Fig10b(cfg Config) (Table, error) {
+	pmf, err := poissonAttackPMF(1000)
+	if err != nil {
+		return Table{}, fmt.Errorf("fig10b: %w", err)
+	}
+	return fig10(cfg, "fig10b",
+		"Figure 10b: G_KL vs memory size c (targeted+flooding, truncated Poisson lambda = n/2)",
+		pmf,
+		"Paper shape: both attacks are masked from about c=700.")
+}
+
+// Fig11 regenerates Figure 11: the knowledge-free gain as a function of the
+// number of malicious identifiers over-represented in the input stream
+// (m = 100000, n = 1000, c = 50, k = 50, s = 10).
+func Fig11(cfg Config) (Table, error) {
+	cfg = cfg.withDefaults()
+	const n, c, k, s = 1000, 50, 50, 10
+	m := 100000
+	ells := []int{10, 20, 50, 100, 200, 500, 1000}
+	if cfg.Quick {
+		m = 10000
+		ells = []int{10, 100, 1000}
+	}
+	t := Table{
+		ID:      "fig11",
+		Title:   "Figure 11: knowledge-free G_KL vs number of malicious identifiers",
+		Columns: []string{"malicious ids", "D(input||U)", "D(kf||U)", "G_KL kf"},
+		Notes: "Settings m=100000, n=1000, c=50, k=50, s=10; the adversary's ids collectively carry " +
+			"half the stream. Paper shape: the strategy degrades once malicious ids reach ~10% of the population.",
+	}
+	base := stream.UniformPMF(n)
+	for _, ell := range ells {
+		var pmf []float64
+		var err error
+		if ell >= n {
+			// Every id malicious: the composite stream is uniform again;
+			// report the degenerate row explicitly.
+			pmf, err = adversary.OverRepresent(base, adversary.FirstIDs(n-1), 0.5)
+		} else {
+			pmf, err = adversary.OverRepresent(base, adversary.FirstIDs(ell), 0.5)
+		}
+		if err != nil {
+			return Table{}, fmt.Errorf("fig11: ell=%d: %w", ell, err)
+		}
+		avg, err := averageTrials(cfg, pmf, m, []samplerFactory{knowledgeFreeFactory(c, k, s)})
+		if err != nil {
+			return Table{}, fmt.Errorf("fig11: ell=%d: %w", ell, err)
+		}
+		t.Rows = append(t.Rows, []string{
+			fmtInt(ell), fmtF(avg.din), fmtF(avg.dout[0]), fmtF(gain(avg.din, avg.dout[0])),
+		})
+	}
+	return t, nil
+}

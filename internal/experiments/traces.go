@@ -1,0 +1,178 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"nodesampling/internal/core"
+	"nodesampling/internal/metrics"
+	"nodesampling/internal/rng"
+	"nodesampling/internal/trace"
+)
+
+// traceSpecs returns the Table II specifications, shrunk by a factor 20 in
+// Quick mode so the suite stays fast while keeping the Zipf profile.
+func traceSpecs(cfg Config) []trace.Spec {
+	specs := trace.TableII()
+	if !cfg.Quick {
+		return specs
+	}
+	// Shrink the stream 20x but the population 50x, preserving enough
+	// stream-per-id for the samplers to reach their stationary regime in
+	// quick runs (the full-scale ratio is restored in real runs).
+	for i := range specs {
+		specs[i].M /= 20
+		specs[i].N /= 50
+		specs[i].MaxFreq /= 20
+	}
+	return specs
+}
+
+// Table2 regenerates Table II: the statistics of the three data traces. The
+// synthetic substitutes must reproduce all three statistics exactly.
+func Table2(cfg Config) (Table, error) {
+	cfg = cfg.withDefaults()
+	t := Table{
+		ID:      "table2",
+		Title:   "Table II: statistics of the (synthesized) data traces",
+		Columns: []string{"trace", "# ids (m)", "# distinct (n)", "max freq", "calibrated zipf alpha"},
+		Notes: "Synthetic traces calibrated to the paper's published statistics (see DESIGN.md " +
+			"substitution table); all three statistics are matched exactly by construction.",
+	}
+	for _, spec := range traceSpecs(cfg) {
+		tr, err := trace.Synthesize(spec, cfg.Seed)
+		if err != nil {
+			return Table{}, fmt.Errorf("table2: %s: %w", spec.Name, err)
+		}
+		alpha, err := trace.CalibrateZipfAlpha(spec)
+		if err != nil {
+			return Table{}, fmt.Errorf("table2: %s: %w", spec.Name, err)
+		}
+		t.Rows = append(t.Rows, []string{
+			spec.Name, fmtInt(tr.Len()), fmtInt(tr.Distinct()), fmtInt(int(tr.MaxFreq())), fmtF(alpha),
+		})
+	}
+	return t, nil
+}
+
+// Fig5 regenerates Figure 5: the log-log rank/frequency profile of each
+// trace, sampled at log-spaced ranks.
+func Fig5(cfg Config) (Table, error) {
+	cfg = cfg.withDefaults()
+	specs := traceSpecs(cfg)
+	type rf struct {
+		name  string
+		freqs []uint64
+	}
+	var series []rf
+	maxN := 0
+	for _, spec := range specs {
+		tr, err := trace.Synthesize(spec, cfg.Seed)
+		if err != nil {
+			return Table{}, fmt.Errorf("fig5: %s: %w", spec.Name, err)
+		}
+		series = append(series, rf{name: spec.Name, freqs: tr.RankFrequency()})
+		if spec.N > maxN {
+			maxN = spec.N
+		}
+	}
+	t := Table{
+		ID:      "fig5",
+		Title:   "Figure 5: rank/frequency distribution of each trace (log-log)",
+		Columns: []string{"rank"},
+		Notes:   "Paper shape: straight lines in log-log space (Zipfian), Saskatchewan with the lowest slope.",
+	}
+	for _, s := range series {
+		t.Columns = append(t.Columns, s.name)
+	}
+	for _, rank := range logGrid(1, maxN, 20) {
+		row := []string{fmtInt(rank)}
+		for _, s := range series {
+			if rank <= len(s.freqs) {
+				row = append(row, fmtInt(int(s.freqs[rank-1])))
+			} else {
+				row = append(row, "-")
+			}
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// Fig12 regenerates Figure 12: the KL divergence of the input stream and of
+// the sampler outputs for each trace, with the knowledge-free strategy at
+// the paper's two sizing points c = k = log n and c = k = 0.01·n.
+func Fig12(cfg Config) (Table, error) {
+	cfg = cfg.withDefaults()
+	const s = 10 // row count; the figure's caption fixes only c and k
+	t := Table{
+		ID:    "fig12",
+		Title: "Figure 12: KL divergence to uniform on the (synthesized) real traces",
+		Columns: []string{
+			"trace", "D(input||U)", "D(kf, c=k=log n)", "D(kf, c=k=0.01n)", "D(omniscient)",
+		},
+		Notes: "Paper shape: input well above the outputs; kf with c=k=0.01n close to omniscient; " +
+			"omniscient near zero. Sketch depth s=10 (unspecified in the paper's caption).",
+	}
+	for _, spec := range traceSpecs(cfg) {
+		tr, err := trace.Synthesize(spec, cfg.Seed)
+		if err != nil {
+			return Table{}, fmt.Errorf("fig12: %s: %w", spec.Name, err)
+		}
+		n := tr.Distinct()
+		logN := int(math.Round(math.Log(float64(n))))
+		if logN < 2 {
+			logN = 2
+		}
+		pctN := n / 100
+		if pctN < 2 {
+			pctN = 2
+		}
+		oracle, err := core.NewCountOracle(tr.Counts())
+		if err != nil {
+			return Table{}, fmt.Errorf("fig12: %s: %w", spec.Name, err)
+		}
+		kfSmall, err := core.NewKnowledgeFree(logN, logN, s, rng.New(rng.Mix64(cfg.Seed+11)))
+		if err != nil {
+			return Table{}, fmt.Errorf("fig12: %s: %w", spec.Name, err)
+		}
+		kfLarge, err := core.NewKnowledgeFree(pctN, pctN, s, rng.New(rng.Mix64(cfg.Seed+12)))
+		if err != nil {
+			return Table{}, fmt.Errorf("fig12: %s: %w", spec.Name, err)
+		}
+		om, err := core.NewOmniscient(pctN, oracle, rng.New(rng.Mix64(cfg.Seed+13)))
+		if err != nil {
+			return Table{}, fmt.Errorf("fig12: %s: %w", spec.Name, err)
+		}
+		input := metrics.NewHistogram()
+		hSmall := metrics.NewHistogram()
+		hLarge := metrics.NewHistogram()
+		hOm := metrics.NewHistogram()
+		for _, id := range tr.IDs() {
+			input.Add(id)
+			hSmall.Add(kfSmall.Process(id))
+			hLarge.Add(kfLarge.Process(id))
+			hOm.Add(om.Process(id))
+		}
+		din, err := input.KLvsUniform(n)
+		if err != nil {
+			return Table{}, fmt.Errorf("fig12: %s: %w", spec.Name, err)
+		}
+		dSmall, err := hSmall.KLvsUniform(n)
+		if err != nil {
+			return Table{}, fmt.Errorf("fig12: %s: %w", spec.Name, err)
+		}
+		dLarge, err := hLarge.KLvsUniform(n)
+		if err != nil {
+			return Table{}, fmt.Errorf("fig12: %s: %w", spec.Name, err)
+		}
+		dOm, err := hOm.KLvsUniform(n)
+		if err != nil {
+			return Table{}, fmt.Errorf("fig12: %s: %w", spec.Name, err)
+		}
+		t.Rows = append(t.Rows, []string{
+			spec.Name, fmtF(din), fmtF(dSmall), fmtF(dLarge), fmtF(dOm),
+		})
+	}
+	return t, nil
+}

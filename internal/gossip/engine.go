@@ -1,0 +1,420 @@
+package gossip
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"nodesampling/internal/core"
+	"nodesampling/internal/metrics"
+	"nodesampling/internal/rng"
+)
+
+// Role classifies an overlay node.
+type Role int
+
+// Node roles. Malicious nodes are fully controlled by the adversary of
+// Section III-B: instead of gossiping honestly, they flood their neighbours
+// with the Sybil identifiers the adversary manufactured.
+const (
+	Correct Role = iota + 1
+	Malicious
+)
+
+// Config parameterises a simulated overlay.
+type Config struct {
+	// Nodes is the number of real nodes in the overlay (correct + malicious).
+	Nodes int
+	// MaliciousFraction of the nodes is controlled by the adversary.
+	MaliciousFraction float64
+	// SybilIDs is the number of distinct fake identifiers the adversary
+	// manufactured (ℓ in the paper). They occupy the id range
+	// [Nodes, Nodes+SybilIDs).
+	SybilIDs int
+	// Fanout is how many random neighbours each node pushes to per round.
+	Fanout int
+	// ForwardBuffer is the per-node buffer of recently received ids that a
+	// correct node re-forwards (rumor mongering). Zero disables forwarding.
+	ForwardBuffer int
+	// Burst is how many ids a malicious node pushes per neighbour per round
+	// (correct nodes push 1 own id + up to 2 forwarded ids).
+	Burst int
+	// Degree is the out-degree used to build the k-out overlay.
+	Degree int
+	// Seed drives all randomness in the simulation.
+	Seed uint64
+}
+
+func (c Config) validate() error {
+	if c.Nodes < 3 {
+		return fmt.Errorf("gossip: need at least 3 nodes, got %d", c.Nodes)
+	}
+	if c.MaliciousFraction < 0 || c.MaliciousFraction >= 1 {
+		return fmt.Errorf("gossip: malicious fraction %v outside [0,1)", c.MaliciousFraction)
+	}
+	if c.SybilIDs < 0 {
+		return fmt.Errorf("gossip: negative sybil id count %d", c.SybilIDs)
+	}
+	if c.MaliciousFraction > 0 && c.SybilIDs == 0 {
+		return fmt.Errorf("gossip: malicious nodes present but no sybil ids configured")
+	}
+	if c.Fanout < 1 {
+		return fmt.Errorf("gossip: fanout must be at least 1, got %d", c.Fanout)
+	}
+	if c.ForwardBuffer < 0 {
+		return fmt.Errorf("gossip: negative forward buffer %d", c.ForwardBuffer)
+	}
+	if c.Burst < 1 {
+		return fmt.Errorf("gossip: burst must be at least 1, got %d", c.Burst)
+	}
+	if c.Degree < 2 {
+		return fmt.Errorf("gossip: degree must be at least 2, got %d", c.Degree)
+	}
+	return nil
+}
+
+// SamplerFactory builds the per-node sampling service. The node index and a
+// private random generator are provided; returning a nil Sampler disables
+// sampling at that node (its stream statistics are still collected).
+type SamplerFactory func(node int, r *rng.Xoshiro) (core.Sampler, error)
+
+// node is the per-node simulation state.
+type node struct {
+	role    Role
+	r       *rng.Xoshiro
+	sampler core.Sampler
+	forward []uint64 // ring buffer of recently received ids
+	fwdPos  int
+	inbox   []uint64
+	input   *metrics.Histogram
+	output  *metrics.Histogram
+}
+
+// Network is a simulated overlay running the node sampling service at every
+// correct node.
+type Network struct {
+	cfg    Config
+	graph  *Graph
+	nodes  []*node
+	rounds int
+}
+
+// NewNetwork builds the overlay (k-out graph, retrying the seed until
+// connected), assigns the first ⌊n·f⌋ node indices as malicious, and
+// installs a sampler at every correct node via the factory.
+func NewNetwork(cfg Config, factory SamplerFactory) (*Network, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if factory == nil {
+		return nil, fmt.Errorf("gossip: nil sampler factory")
+	}
+	root := rng.New(cfg.Seed)
+	var graph *Graph
+	for attempt := 0; ; attempt++ {
+		g, err := NewKOut(cfg.Nodes, cfg.Degree, root)
+		if err != nil {
+			return nil, err
+		}
+		if g.Connected() {
+			graph = g
+			break
+		}
+		if attempt == 16 {
+			return nil, fmt.Errorf("gossip: could not build a connected %d-out overlay over %d nodes", cfg.Degree, cfg.Nodes)
+		}
+	}
+	numMal := int(float64(cfg.Nodes) * cfg.MaliciousFraction)
+	nodes := make([]*node, cfg.Nodes)
+	for i := range nodes {
+		nd := &node{
+			role:   Correct,
+			r:      root.Split(),
+			input:  metrics.NewHistogram(),
+			output: metrics.NewHistogram(),
+		}
+		if i < numMal {
+			nd.role = Malicious
+		} else {
+			s, err := factory(i, nd.r.Split())
+			if err != nil {
+				return nil, fmt.Errorf("gossip: sampler for node %d: %w", i, err)
+			}
+			nd.sampler = s
+		}
+		if cfg.ForwardBuffer > 0 {
+			nd.forward = make([]uint64, 0, cfg.ForwardBuffer)
+		}
+		nodes[i] = nd
+	}
+	return &Network{cfg: cfg, graph: graph, nodes: nodes}, nil
+}
+
+// Graph exposes the overlay topology.
+func (nw *Network) Graph() *Graph { return nw.graph }
+
+// Rounds returns how many gossip rounds have been simulated.
+func (nw *Network) Rounds() int { return nw.rounds }
+
+// NumMalicious returns the number of adversary-controlled nodes.
+func (nw *Network) NumMalicious() int {
+	return int(float64(nw.cfg.Nodes) * nw.cfg.MaliciousFraction)
+}
+
+// Role returns the role of node i.
+func (nw *Network) Role(i int) Role { return nw.nodes[i].role }
+
+// InputHistogram returns the id frequencies node i has received so far.
+func (nw *Network) InputHistogram(i int) *metrics.Histogram { return nw.nodes[i].input }
+
+// OutputHistogram returns the id frequencies node i's sampler has emitted.
+func (nw *Network) OutputHistogram(i int) *metrics.Histogram { return nw.nodes[i].output }
+
+// Sampler returns node i's sampling service (nil for malicious nodes).
+func (nw *Network) Sampler(i int) core.Sampler { return nw.nodes[i].sampler }
+
+// produce fills the per-node outboxes for one round. Message order within a
+// node is deterministic given its private generator.
+func (nw *Network) produce(i int, outbox *[]message) {
+	nd := nw.nodes[i]
+	deg := nw.graph.Degree(i)
+	for f := 0; f < nw.cfg.Fanout; f++ {
+		dst := nw.graph.neighborAt(i, nd.r.Intn(deg))
+		if nd.role == Malicious {
+			for b := 0; b < nw.cfg.Burst; b++ {
+				sybil := uint64(nw.cfg.Nodes) + nd.r.Uint64n(uint64(nw.cfg.SybilIDs))
+				*outbox = append(*outbox, message{to: dst, id: sybil})
+			}
+			continue
+		}
+		// Correct behaviour: push own id plus up to two forwarded ids.
+		*outbox = append(*outbox, message{to: dst, id: uint64(i)})
+		for j := 0; j < 2 && len(nd.forward) > 0; j++ {
+			pick := nd.forward[nd.r.Intn(len(nd.forward))]
+			*outbox = append(*outbox, message{to: dst, id: pick})
+		}
+	}
+}
+
+// consume lets node i process its inbox through its sampler and stream
+// statistics, and refresh its forward buffer.
+func (nw *Network) consume(i int) {
+	nd := nw.nodes[i]
+	for _, id := range nd.inbox {
+		nd.input.Add(id)
+		if nd.sampler != nil {
+			nd.output.Add(nd.sampler.Process(id))
+		}
+		if cap(nd.forward) > 0 {
+			if len(nd.forward) < cap(nd.forward) {
+				nd.forward = append(nd.forward, id)
+			} else {
+				nd.forward[nd.fwdPos] = id
+				nd.fwdPos = (nd.fwdPos + 1) % cap(nd.forward)
+			}
+		}
+	}
+	nd.inbox = nd.inbox[:0]
+}
+
+type message struct {
+	to int
+	id uint64
+}
+
+// Run simulates `rounds` gossip rounds sequentially and deterministically.
+func (nw *Network) Run(rounds int) error {
+	if rounds < 0 {
+		return fmt.Errorf("gossip: negative round count %d", rounds)
+	}
+	outbox := make([]message, 0, nw.cfg.Nodes*nw.cfg.Fanout*(nw.cfg.Burst+2))
+	for r := 0; r < rounds; r++ {
+		outbox = outbox[:0]
+		for i := range nw.nodes {
+			nw.produce(i, &outbox)
+		}
+		for _, m := range outbox {
+			nw.nodes[m.to].inbox = append(nw.nodes[m.to].inbox, m.id)
+		}
+		for i := range nw.nodes {
+			nw.consume(i)
+		}
+		nw.rounds++
+	}
+	return nil
+}
+
+// RunParallel simulates rounds with a goroutine pool: each round runs a
+// parallel produce phase, a deterministic delivery phase, and a parallel
+// consume phase. Results are bit-identical to Run because every node owns a
+// private generator and deliveries are ordered by sender index.
+func (nw *Network) RunParallel(rounds, workers int) error {
+	if rounds < 0 {
+		return fmt.Errorf("gossip: negative round count %d", rounds)
+	}
+	if workers < 1 {
+		return fmt.Errorf("gossip: worker count must be at least 1, got %d", workers)
+	}
+	n := len(nw.nodes)
+	if workers > n {
+		workers = n
+	}
+	outboxes := make([][]message, n)
+	for r := 0; r < rounds; r++ {
+		runSharded(n, workers, func(i int) {
+			outboxes[i] = outboxes[i][:0]
+			nw.produce(i, &outboxes[i])
+		})
+		// Delivery: sender order 0..n−1 matches the sequential engine.
+		for i := 0; i < n; i++ {
+			for _, m := range outboxes[i] {
+				nw.nodes[m.to].inbox = append(nw.nodes[m.to].inbox, m.id)
+			}
+		}
+		runSharded(n, workers, func(i int) {
+			nw.consume(i)
+		})
+		nw.rounds++
+	}
+	return nil
+}
+
+// runSharded applies fn to every index in [0, n) using `workers` goroutines
+// over contiguous shards, then waits for completion.
+func runSharded(n, workers int, fn func(i int)) {
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		if lo >= n {
+			break
+		}
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				fn(i)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// ResetStreamStats clears every node's input/output histograms while
+// keeping samplers, sketches and buffers warm. Experiments call it after a
+// warm-up phase so gains are measured in steady state (the paper's Figure 9
+// shows the knowledge-free strategy needs thousands of elements to reach its
+// stationary regime).
+func (nw *Network) ResetStreamStats() {
+	for _, nd := range nw.nodes {
+		nd.input.Reset()
+		nd.output.Reset()
+	}
+}
+
+// GainSummary aggregates the per-node KL gain of the sampling service over
+// all correct nodes; population is the id-space size the uniformity is
+// measured against (real nodes + sybil ids).
+type GainSummary struct {
+	Mean, Min, Max float64
+	Nodes          int // correct nodes with enough data to score
+}
+
+// CorrectGains computes the KL gain at every correct node. Nodes whose
+// input stream is still too uniform or too short to score are skipped.
+func (nw *Network) CorrectGains() (GainSummary, error) {
+	population := nw.cfg.Nodes + nw.cfg.SybilIDs
+	sum := GainSummary{Min: 2, Max: -2}
+	var gains []float64
+	for _, nd := range nw.nodes {
+		if nd.role != Correct || nd.sampler == nil {
+			continue
+		}
+		if nd.input.Total() == 0 || nd.output.Total() == 0 {
+			continue
+		}
+		g, err := metrics.Gain(nd.input, nd.output, population)
+		if err != nil {
+			continue // zero-divergence or degenerate input at this node
+		}
+		gains = append(gains, g)
+		if g < sum.Min {
+			sum.Min = g
+		}
+		if g > sum.Max {
+			sum.Max = g
+		}
+	}
+	if len(gains) == 0 {
+		return GainSummary{}, fmt.Errorf("gossip: no correct node produced scoreable streams")
+	}
+	total := 0.0
+	for _, g := range gains {
+		total += g
+	}
+	sum.Mean = total / float64(len(gains))
+	sum.Nodes = len(gains)
+	return sum, nil
+}
+
+// SybilPressure reports which fraction of all ids received by correct nodes
+// are sybil identifiers — the observable strength of the attack.
+func (nw *Network) SybilPressure() float64 {
+	var sybil, total uint64
+	limit := uint64(nw.cfg.Nodes)
+	for _, nd := range nw.nodes {
+		if nd.role != Correct {
+			continue
+		}
+		for id, c := range nd.input.Counts() {
+			total += c
+			if id >= limit {
+				sybil += c
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(sybil) / float64(total)
+}
+
+// SampleCoverage returns how many distinct correct ids currently appear in
+// the union of the correct nodes' sampling memories — a diversity indicator
+// used by the epidemic example (a partitioned or eclipsed overlay shows a
+// collapsing coverage).
+func (nw *Network) SampleCoverage() int {
+	seen := make(map[uint64]struct{})
+	limit := uint64(nw.cfg.Nodes)
+	for _, nd := range nw.nodes {
+		if nd.role != Correct || nd.sampler == nil {
+			continue
+		}
+		for _, id := range nd.sampler.Memory() {
+			if id < limit {
+				seen[id] = struct{}{}
+			}
+		}
+	}
+	return len(seen)
+}
+
+// sortedCorrectIndices returns the indices of correct nodes in order;
+// exposed for deterministic iteration in experiments.
+func (nw *Network) sortedCorrectIndices() []int {
+	var idx []int
+	for i, nd := range nw.nodes {
+		if nd.role == Correct {
+			idx = append(idx, i)
+		}
+	}
+	sort.Ints(idx)
+	return idx
+}
+
+// CorrectIndices returns the indices of all correct nodes.
+func (nw *Network) CorrectIndices() []int { return nw.sortedCorrectIndices() }

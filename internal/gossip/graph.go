@@ -1,0 +1,185 @@
+// Package gossip simulates the dissemination substrate the paper assumes:
+// each correct node's input stream σ_i is produced by push gossip (or random
+// walks) over a weakly connected overlay, and malicious nodes bias those
+// streams by injecting the Sybil identifiers they control (Section III).
+//
+// The paper's analysis is explicitly independent of how streams are built;
+// this package provides a concrete, attack-capable instantiation so the
+// sampling service can be exercised end-to-end: overlay graphs, a
+// deterministic round-based engine (with an equivalent goroutine-parallel
+// driver), per-node samplers and per-node stream statistics.
+package gossip
+
+import (
+	"fmt"
+
+	"nodesampling/internal/rng"
+)
+
+// Graph is an undirected overlay over nodes 0..n−1.
+type Graph struct {
+	n   int
+	adj [][]int
+}
+
+// NumNodes returns the node count.
+func (g *Graph) NumNodes() int { return g.n }
+
+// Degree returns the number of neighbours of node i.
+func (g *Graph) Degree(i int) int { return len(g.adj[i]) }
+
+// Neighbors returns a copy of i's adjacency list.
+func (g *Graph) Neighbors(i int) []int {
+	return append([]int(nil), g.adj[i]...)
+}
+
+// neighborAt returns the j-th neighbour without copying (engine hot path).
+func (g *Graph) neighborAt(i, j int) int { return g.adj[i][j] }
+
+// NewRing returns the n-cycle, the minimal connected overlay.
+func NewRing(n int) (*Graph, error) {
+	if n < 3 {
+		return nil, fmt.Errorf("gossip: ring needs at least 3 nodes, got %d", n)
+	}
+	g := &Graph{n: n, adj: make([][]int, n)}
+	for i := 0; i < n; i++ {
+		g.adj[i] = []int{(i + n - 1) % n, (i + 1) % n}
+	}
+	return g, nil
+}
+
+// NewRingWithChords returns the n-cycle augmented with `chords` random
+// extra edges — a connected small-world overlay. Duplicate and self edges
+// are skipped, so the realised chord count may be lower.
+func NewRingWithChords(n, chords int, r *rng.Xoshiro) (*Graph, error) {
+	if chords < 0 {
+		return nil, fmt.Errorf("gossip: negative chord count %d", chords)
+	}
+	if r == nil && chords > 0 {
+		return nil, fmt.Errorf("gossip: nil random source")
+	}
+	g, err := NewRing(n)
+	if err != nil {
+		return nil, err
+	}
+	seen := make(map[[2]int]bool, n+chords)
+	for i := 0; i < n; i++ {
+		j := (i + 1) % n
+		a, b := i, j
+		if a > b {
+			a, b = b, a
+		}
+		seen[[2]int{a, b}] = true
+	}
+	for c := 0; c < chords; c++ {
+		a, b := r.Intn(n), r.Intn(n)
+		if a == b {
+			continue
+		}
+		if a > b {
+			a, b = b, a
+		}
+		if seen[[2]int{a, b}] {
+			continue
+		}
+		seen[[2]int{a, b}] = true
+		g.adj[a] = append(g.adj[a], b)
+		g.adj[b] = append(g.adj[b], a)
+	}
+	return g, nil
+}
+
+// NewKOut returns the undirected union of a k-out digraph: every node draws
+// k random out-neighbours and each arc becomes an undirected edge. For
+// k ≥ 2 the result is connected with overwhelming probability; call
+// Connected to verify.
+func NewKOut(n, k int, r *rng.Xoshiro) (*Graph, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("gossip: k-out graph needs at least 2 nodes, got %d", n)
+	}
+	if k < 1 || k >= n {
+		return nil, fmt.Errorf("gossip: out-degree %d outside [1, %d)", k, n)
+	}
+	if r == nil {
+		return nil, fmt.Errorf("gossip: nil random source")
+	}
+	g := &Graph{n: n, adj: make([][]int, n)}
+	seen := make(map[[2]int]bool, n*k)
+	for i := 0; i < n; i++ {
+		for d := 0; d < k; d++ {
+			j := r.Intn(n - 1)
+			if j >= i {
+				j++
+			}
+			a, b := i, j
+			if a > b {
+				a, b = b, a
+			}
+			if seen[[2]int{a, b}] {
+				continue
+			}
+			seen[[2]int{a, b}] = true
+			g.adj[a] = append(g.adj[a], b)
+			g.adj[b] = append(g.adj[b], a)
+		}
+	}
+	return g, nil
+}
+
+// Connected reports whether the overlay is (weakly) connected — the
+// assumption of Section III-C under which every correct id has a non-null
+// probability of reaching every stream.
+func (g *Graph) Connected() bool {
+	if g.n == 0 {
+		return false
+	}
+	visited := make([]bool, g.n)
+	queue := []int{0}
+	visited[0] = true
+	count := 1
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range g.adj[u] {
+			if !visited[v] {
+				visited[v] = true
+				count++
+				queue = append(queue, v)
+			}
+		}
+	}
+	return count == g.n
+}
+
+// RandomWalk is a stream source produced by a random walk on the overlay:
+// Next returns the identifier of the next visited node. It is the paper's
+// alternative stream construction ("node ids received during random walks").
+type RandomWalk struct {
+	g   *Graph
+	cur int
+	r   *rng.Xoshiro
+}
+
+// NewRandomWalk starts a walk at node start.
+func NewRandomWalk(g *Graph, start int, r *rng.Xoshiro) (*RandomWalk, error) {
+	if g == nil {
+		return nil, fmt.Errorf("gossip: nil graph")
+	}
+	if start < 0 || start >= g.n {
+		return nil, fmt.Errorf("gossip: start node %d outside [0,%d)", start, g.n)
+	}
+	if r == nil {
+		return nil, fmt.Errorf("gossip: nil random source")
+	}
+	if g.Degree(start) == 0 {
+		return nil, fmt.Errorf("gossip: start node %d is isolated", start)
+	}
+	return &RandomWalk{g: g, cur: start, r: r}, nil
+}
+
+// Next advances the walk one step and returns the visited node's id.
+func (w *RandomWalk) Next() uint64 {
+	d := w.g.Degree(w.cur)
+	w.cur = w.g.neighborAt(w.cur, w.r.Intn(d))
+	return uint64(w.cur)
+}

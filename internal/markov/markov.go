@@ -1,0 +1,375 @@
+// Package markov implements the exact Markov-chain analysis of Section IV
+// of the paper. The chain X tracks the contents of the sampling memory Γ of
+// Algorithm 1: its state space is S = {A ⊆ N : |A| = c}, and a transition
+// replaces an element i ∈ A by an arriving element j ∉ A with probability
+//
+//	P_{A,B} = (r_i / Σ_{ℓ∈A} r_ℓ) · p_j · a_j,   A\B = {i}, B\A = {j}.
+//
+// Theorem 3 states the chain is reversible with stationary distribution
+//
+//	π_A = (1/K) (Σ_{ℓ∈A} r_ℓ) (Π_{h∈A} p_h·a_h/r_h),
+//
+// and Theorem 4 derives γ_ℓ = P{ℓ ∈ Γ} = c/n for the families
+// a_j = min_i(p_i)/p_j and r_j = 1/n. This package constructs the chain for
+// small (n, c), solves for the stationary distribution numerically, and
+// exposes the theoretical quantities so tests and the `thm4` experiment can
+// verify the theorems exactly.
+package markov
+
+import (
+	"fmt"
+	"math"
+)
+
+// Chain is the memory-contents Markov chain for a population of n ids with
+// occurrence probabilities p, insertion probabilities a, removal weights r,
+// and memory size c.
+type Chain struct {
+	n, c   int
+	p      []float64
+	a      []float64
+	r      []float64
+	states [][]int // sorted c-subsets of [0, n)
+	index  map[string]int
+}
+
+// MaxStates bounds the state-space size C(n, c) accepted by NewChain; the
+// dense linear-algebra solver is cubic in this count.
+const MaxStates = 6000
+
+// NewChain validates the parameter families and enumerates the state space.
+func NewChain(p, a, r []float64, c int) (*Chain, error) {
+	n := len(p)
+	if n < 1 {
+		return nil, fmt.Errorf("markov: empty probability vector")
+	}
+	if len(a) != n || len(r) != n {
+		return nil, fmt.Errorf("markov: family sizes disagree: |p|=%d |a|=%d |r|=%d", n, len(a), len(r))
+	}
+	if c < 1 || c > n {
+		return nil, fmt.Errorf("markov: memory size c=%d outside [1, %d]", c, n)
+	}
+	sum := 0.0
+	for i, v := range p {
+		if v < 0 || math.IsNaN(v) {
+			return nil, fmt.Errorf("markov: p[%d] = %v invalid", i, v)
+		}
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		return nil, fmt.Errorf("markov: probabilities sum to %v, want 1", sum)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] < 0 || a[i] > 1 || math.IsNaN(a[i]) {
+			return nil, fmt.Errorf("markov: a[%d] = %v outside [0,1]", i, a[i])
+		}
+		if r[i] <= 0 || math.IsNaN(r[i]) {
+			return nil, fmt.Errorf("markov: r[%d] = %v must be positive", i, r[i])
+		}
+	}
+	if s := binomial(n, c); s > MaxStates {
+		return nil, fmt.Errorf("markov: state space C(%d,%d) = %d exceeds limit %d", n, c, s, MaxStates)
+	}
+	ch := &Chain{
+		n: n, c: c,
+		p: append([]float64(nil), p...),
+		a: append([]float64(nil), a...),
+		r: append([]float64(nil), r...),
+	}
+	ch.enumerate()
+	return ch, nil
+}
+
+// binomial returns C(n, c) with saturation above MaxStates+1 to avoid
+// overflow during validation.
+func binomial(n, c int) int {
+	if c < 0 || c > n {
+		return 0
+	}
+	if c > n-c {
+		c = n - c
+	}
+	res := 1
+	for i := 0; i < c; i++ {
+		res = res * (n - i) / (i + 1)
+		if res > MaxStates+1 {
+			return MaxStates + 1
+		}
+	}
+	return res
+}
+
+// enumerate lists all c-subsets of [0, n) in lexicographic order.
+func (ch *Chain) enumerate() {
+	ch.index = make(map[string]int)
+	cur := make([]int, ch.c)
+	for i := range cur {
+		cur[i] = i
+	}
+	for {
+		state := append([]int(nil), cur...)
+		ch.index[subsetKey(state)] = len(ch.states)
+		ch.states = append(ch.states, state)
+		// Advance to the next combination.
+		i := ch.c - 1
+		for i >= 0 && cur[i] == ch.n-ch.c+i {
+			i--
+		}
+		if i < 0 {
+			return
+		}
+		cur[i]++
+		for j := i + 1; j < ch.c; j++ {
+			cur[j] = cur[j-1] + 1
+		}
+	}
+}
+
+func subsetKey(sorted []int) string {
+	b := make([]byte, 0, len(sorted)*3)
+	for _, v := range sorted {
+		b = append(b, byte(v>>16), byte(v>>8), byte(v))
+	}
+	return string(b)
+}
+
+// NumStates returns |S| = C(n, c).
+func (ch *Chain) NumStates() int { return len(ch.states) }
+
+// States returns a copy of the enumerated states (sorted id lists).
+func (ch *Chain) States() [][]int {
+	out := make([][]int, len(ch.states))
+	for i, s := range ch.states {
+		out[i] = append([]int(nil), s...)
+	}
+	return out
+}
+
+// TransitionMatrix builds the dense row-stochastic matrix P.
+func (ch *Chain) TransitionMatrix() [][]float64 {
+	m := len(ch.states)
+	P := make([][]float64, m)
+	for i := range P {
+		P[i] = make([]float64, m)
+	}
+	for ai, A := range ch.states {
+		rSum := 0.0
+		inA := make(map[int]bool, ch.c)
+		for _, ell := range A {
+			rSum += ch.r[ell]
+			inA[ell] = true
+		}
+		rowOut := 0.0
+		for pos, i := range A { // element to evict
+			for j := 0; j < ch.n; j++ { // arriving element
+				if inA[j] {
+					continue
+				}
+				// B = A \ {i} ∪ {j}
+				B := make([]int, 0, ch.c)
+				for q, v := range A {
+					if q == pos {
+						continue
+					}
+					B = append(B, v)
+				}
+				B = insertSorted(B, j)
+				bi := ch.index[subsetKey(B)]
+				pr := (ch.r[i] / rSum) * ch.p[j] * ch.a[j]
+				P[ai][bi] += pr
+				rowOut += pr
+			}
+		}
+		P[ai][ai] = 1 - rowOut
+	}
+	return P
+}
+
+func insertSorted(s []int, v int) []int {
+	i := 0
+	for i < len(s) && s[i] < v {
+		i++
+	}
+	s = append(s, 0)
+	copy(s[i+1:], s[i:])
+	s[i] = v
+	return s
+}
+
+// Stationary solves π = πP, Σπ = 1 directly by Gaussian elimination with
+// partial pivoting on (Pᵀ − I) with the normalisation constraint replacing
+// one equation. It returns an error if the system is numerically singular
+// (which cannot happen for an irreducible chain with valid parameters).
+func (ch *Chain) Stationary() ([]float64, error) {
+	P := ch.TransitionMatrix()
+	m := len(P)
+	// Build M x = b where rows 0..m-2 are (Pᵀ − I) and row m−1 is Σπ = 1.
+	M := make([][]float64, m)
+	for i := range M {
+		M[i] = make([]float64, m+1)
+	}
+	for i := 0; i < m-1; i++ {
+		for j := 0; j < m; j++ {
+			M[i][j] = P[j][i]
+		}
+		M[i][i] -= 1
+	}
+	for j := 0; j < m; j++ {
+		M[m-1][j] = 1
+	}
+	M[m-1][m] = 1
+
+	for col := 0; col < m; col++ {
+		// Partial pivot.
+		pivot := col
+		for row := col + 1; row < m; row++ {
+			if math.Abs(M[row][col]) > math.Abs(M[pivot][col]) {
+				pivot = row
+			}
+		}
+		if math.Abs(M[pivot][col]) < 1e-14 {
+			return nil, fmt.Errorf("markov: singular system at column %d", col)
+		}
+		M[col], M[pivot] = M[pivot], M[col]
+		inv := 1 / M[col][col]
+		for row := 0; row < m; row++ {
+			if row == col || M[row][col] == 0 {
+				continue
+			}
+			f := M[row][col] * inv
+			for j := col; j <= m; j++ {
+				M[row][j] -= f * M[col][j]
+			}
+		}
+	}
+	pi := make([]float64, m)
+	for i := 0; i < m; i++ {
+		pi[i] = M[i][m] / M[i][i]
+		if pi[i] < 0 && pi[i] > -1e-12 {
+			pi[i] = 0
+		}
+	}
+	return pi, nil
+}
+
+// PowerIteration computes the stationary distribution iteratively; it exists
+// as an independent cross-check of Stationary.
+func (ch *Chain) PowerIteration(tol float64, maxIter int) ([]float64, error) {
+	if tol <= 0 {
+		return nil, fmt.Errorf("markov: tolerance must be positive, got %v", tol)
+	}
+	if maxIter < 1 {
+		return nil, fmt.Errorf("markov: maxIter must be positive, got %d", maxIter)
+	}
+	P := ch.TransitionMatrix()
+	m := len(P)
+	pi := make([]float64, m)
+	next := make([]float64, m)
+	for i := range pi {
+		pi[i] = 1 / float64(m)
+	}
+	for iter := 0; iter < maxIter; iter++ {
+		for j := range next {
+			next[j] = 0
+		}
+		for i := 0; i < m; i++ {
+			v := pi[i]
+			if v == 0 {
+				continue
+			}
+			row := P[i]
+			for j := 0; j < m; j++ {
+				next[j] += v * row[j]
+			}
+		}
+		diff := 0.0
+		for j := 0; j < m; j++ {
+			diff += math.Abs(next[j] - pi[j])
+		}
+		pi, next = next, pi
+		if diff < tol {
+			return pi, nil
+		}
+	}
+	return nil, fmt.Errorf("markov: power iteration did not converge in %d iterations", maxIter)
+}
+
+// TheoreticalStationary evaluates the closed form of Theorem 3:
+// π_A ∝ (Σ_{ℓ∈A} r_ℓ)·Π_{h∈A}(p_h·a_h/r_h).
+func (ch *Chain) TheoreticalStationary() []float64 {
+	pi := make([]float64, len(ch.states))
+	total := 0.0
+	for i, A := range ch.states {
+		rSum := 0.0
+		prod := 1.0
+		for _, h := range A {
+			rSum += ch.r[h]
+			prod *= ch.p[h] * ch.a[h] / ch.r[h]
+		}
+		pi[i] = rSum * prod
+		total += pi[i]
+	}
+	for i := range pi {
+		pi[i] /= total
+	}
+	return pi
+}
+
+// ReversibilityDefect returns max over state pairs of
+// |π_A·P_{A,B} − π_B·P_{B,A}|, which Theorem 3 says is zero.
+func (ch *Chain) ReversibilityDefect(pi []float64) float64 {
+	P := ch.TransitionMatrix()
+	maxV := 0.0
+	for i := range P {
+		for j := range P {
+			if i == j {
+				continue
+			}
+			if v := math.Abs(pi[i]*P[i][j] - pi[j]*P[j][i]); v > maxV {
+				maxV = v
+			}
+		}
+	}
+	return maxV
+}
+
+// OccupancyProbabilities returns γ_ℓ = Σ_{A ∋ ℓ} π_A for every id ℓ;
+// Theorem 4 proves γ_ℓ = c/n for the paper's families.
+func (ch *Chain) OccupancyProbabilities(pi []float64) []float64 {
+	gamma := make([]float64, ch.n)
+	for i, A := range ch.states {
+		for _, ell := range A {
+			gamma[ell] += pi[i]
+		}
+	}
+	return gamma
+}
+
+// PaperFamilies returns the families of Corollary 5 for a given occurrence
+// distribution: a_j = min_i(p_i)/p_j (over non-zero p_i) and r_j = 1/n.
+func PaperFamilies(p []float64) (a, r []float64, err error) {
+	n := len(p)
+	if n == 0 {
+		return nil, nil, fmt.Errorf("markov: empty probability vector")
+	}
+	minP := math.Inf(1)
+	for _, v := range p {
+		if v > 0 && v < minP {
+			minP = v
+		}
+	}
+	if math.IsInf(minP, 1) {
+		return nil, nil, fmt.Errorf("markov: all probabilities are zero")
+	}
+	a = make([]float64, n)
+	r = make([]float64, n)
+	for j := range p {
+		if p[j] > 0 {
+			a[j] = minP / p[j]
+		} else {
+			a[j] = 1
+		}
+		r[j] = 1 / float64(n)
+	}
+	return a, r, nil
+}

@@ -1,0 +1,382 @@
+package markov
+
+import (
+	"math"
+	"testing"
+
+	"nodesampling/internal/core"
+	"nodesampling/internal/metrics"
+	"nodesampling/internal/rng"
+	"nodesampling/internal/stream"
+)
+
+func zipfP(n int, alpha float64) []float64 {
+	w := stream.ZipfPMF(n, alpha)
+	sum := 0.0
+	for _, v := range w {
+		sum += v
+	}
+	for i := range w {
+		w[i] /= sum
+	}
+	return w
+}
+
+func mustChain(t *testing.T, p []float64, c int) *Chain {
+	t.Helper()
+	a, r, err := PaperFamilies(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, err := NewChain(p, a, r, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ch
+}
+
+func TestNewChainValidation(t *testing.T) {
+	p := []float64{0.5, 0.5}
+	a := []float64{1, 1}
+	r := []float64{0.5, 0.5}
+	if _, err := NewChain(nil, nil, nil, 1); err == nil {
+		t.Error("empty p should fail")
+	}
+	if _, err := NewChain(p, a[:1], r, 1); err == nil {
+		t.Error("mismatched a should fail")
+	}
+	if _, err := NewChain(p, a, r, 0); err == nil {
+		t.Error("c=0 should fail")
+	}
+	if _, err := NewChain(p, a, r, 3); err == nil {
+		t.Error("c>n should fail")
+	}
+	if _, err := NewChain([]float64{0.3, 0.3}, a, r, 1); err == nil {
+		t.Error("non-normalised p should fail")
+	}
+	if _, err := NewChain(p, []float64{2, 1}, r, 1); err == nil {
+		t.Error("a>1 should fail")
+	}
+	if _, err := NewChain(p, a, []float64{0, 1}, 1); err == nil {
+		t.Error("r=0 should fail")
+	}
+	// State-space blow-up guard.
+	big := make([]float64, 40)
+	ba := make([]float64, 40)
+	br := make([]float64, 40)
+	for i := range big {
+		big[i] = 1.0 / 40
+		ba[i] = 1
+		br[i] = 1
+	}
+	if _, err := NewChain(big, ba, br, 20); err == nil {
+		t.Error("C(40,20) states should exceed the limit")
+	}
+}
+
+func TestEnumerationCount(t *testing.T) {
+	cases := []struct{ n, c, want int }{
+		{4, 2, 6}, {5, 3, 10}, {6, 1, 6}, {6, 6, 1}, {10, 3, 120},
+	}
+	for _, cse := range cases {
+		ch := mustChain(t, zipfP(cse.n, 1), cse.c)
+		if got := ch.NumStates(); got != cse.want {
+			t.Errorf("C(%d,%d) enumerated %d states, want %d", cse.n, cse.c, got, cse.want)
+		}
+		// All states distinct, sorted, of size c.
+		seen := map[string]bool{}
+		for _, s := range ch.States() {
+			if len(s) != cse.c {
+				t.Fatalf("state %v has size %d", s, len(s))
+			}
+			for i := 1; i < len(s); i++ {
+				if s[i] <= s[i-1] {
+					t.Fatalf("state %v not strictly sorted", s)
+				}
+			}
+			k := subsetKey(s)
+			if seen[k] {
+				t.Fatalf("duplicate state %v", s)
+			}
+			seen[k] = true
+		}
+	}
+}
+
+func TestTransitionMatrixIsStochastic(t *testing.T) {
+	ch := mustChain(t, zipfP(7, 2), 3)
+	P := ch.TransitionMatrix()
+	for i, row := range P {
+		sum := 0.0
+		for _, v := range row {
+			if v < -1e-15 {
+				t.Fatalf("negative transition probability %v in row %d", v, i)
+			}
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-12 {
+			t.Fatalf("row %d sums to %v", i, sum)
+		}
+	}
+}
+
+// TestTheorem3Reversibility: the chain is reversible under the closed-form
+// stationary distribution, for the paper's families AND for arbitrary
+// positive (a, r) families — exactly the statement of Theorem 3.
+func TestTheorem3Reversibility(t *testing.T) {
+	p := zipfP(6, 1.5)
+	// Paper families.
+	ch := mustChain(t, p, 2)
+	pi := ch.TheoreticalStationary()
+	if d := ch.ReversibilityDefect(pi); d > 1e-14 {
+		t.Errorf("paper families: reversibility defect %v", d)
+	}
+	// Arbitrary families.
+	a := []float64{0.9, 0.5, 0.7, 0.2, 1, 0.3}
+	r := []float64{0.1, 0.4, 0.05, 0.8, 0.33, 0.27}
+	ch2, err := NewChain(p, a, r, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pi2 := ch2.TheoreticalStationary()
+	if d := ch2.ReversibilityDefect(pi2); d > 1e-14 {
+		t.Errorf("arbitrary families: reversibility defect %v", d)
+	}
+}
+
+// TestTheorem3StationaryMatchesSolver: the closed form of Theorem 3 agrees
+// with the numerically solved stationary distribution.
+func TestTheorem3StationaryMatchesSolver(t *testing.T) {
+	for _, cse := range []struct {
+		n, c  int
+		alpha float64
+	}{
+		{5, 2, 1}, {6, 3, 2}, {8, 2, 0.5}, {7, 4, 3},
+	} {
+		ch := mustChain(t, zipfP(cse.n, cse.alpha), cse.c)
+		solved, err := ch.Stationary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		theory := ch.TheoreticalStationary()
+		for i := range theory {
+			if math.Abs(solved[i]-theory[i]) > 1e-9 {
+				t.Fatalf("n=%d c=%d state %d: solver %v vs theory %v",
+					cse.n, cse.c, i, solved[i], theory[i])
+			}
+		}
+	}
+}
+
+func TestSolverMatchesPowerIteration(t *testing.T) {
+	ch := mustChain(t, zipfP(6, 2), 3)
+	solved, err := ch.Stationary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	iterated, err := ch.PowerIteration(1e-13, 500000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range solved {
+		if math.Abs(solved[i]-iterated[i]) > 1e-8 {
+			t.Fatalf("state %d: direct %v vs power %v", i, solved[i], iterated[i])
+		}
+	}
+}
+
+func TestPowerIterationValidation(t *testing.T) {
+	ch := mustChain(t, zipfP(4, 1), 2)
+	if _, err := ch.PowerIteration(0, 100); err == nil {
+		t.Error("tol=0 should fail")
+	}
+	if _, err := ch.PowerIteration(1e-12, 0); err == nil {
+		t.Error("maxIter=0 should fail")
+	}
+	if _, err := ch.PowerIteration(1e-30, 1); err == nil {
+		t.Error("unreachable tolerance should report non-convergence")
+	}
+}
+
+// TestTheorem4UniformOccupancy is the central result: with the paper's
+// families the stationary distribution is uniform over states and every id
+// occupies the memory with probability exactly c/n, regardless of how
+// biased the input distribution is.
+func TestTheorem4UniformOccupancy(t *testing.T) {
+	for _, cse := range []struct {
+		n, c  int
+		alpha float64
+	}{
+		{6, 2, 4},   // heavy bias
+		{8, 3, 2},   //
+		{10, 4, 1},  //
+		{5, 5, 2},   // memory holds everything
+		{9, 1, 0.5}, // single-slot memory
+	} {
+		ch := mustChain(t, zipfP(cse.n, cse.alpha), cse.c)
+		pi, err := ch.Stationary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantPi := 1 / float64(ch.NumStates())
+		for i, v := range pi {
+			if math.Abs(v-wantPi) > 1e-9 {
+				t.Fatalf("n=%d c=%d: π_%d = %v, want uniform %v", cse.n, cse.c, i, v, wantPi)
+			}
+		}
+		gamma := ch.OccupancyProbabilities(pi)
+		want := float64(cse.c) / float64(cse.n)
+		for ell, g := range gamma {
+			if math.Abs(g-want) > 1e-9 {
+				t.Fatalf("n=%d c=%d: γ_%d = %v, want c/n = %v", cse.n, cse.c, ell, g, want)
+			}
+		}
+	}
+}
+
+// TestNonPaperFamiliesBreakUniformity: with a constant insertion family
+// (a_j = 1) the stationary occupancy tracks the input bias — the ablation
+// justifying the a_j = min(p)/p_j choice.
+func TestNonPaperFamiliesBreakUniformity(t *testing.T) {
+	p := zipfP(6, 2)
+	n := len(p)
+	a := make([]float64, n)
+	r := make([]float64, n)
+	for i := range a {
+		a[i] = 1
+		r[i] = 1 / float64(n)
+	}
+	ch, err := NewChain(p, a, r, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pi, err := ch.Stationary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gamma := ch.OccupancyProbabilities(pi)
+	// The most frequent id must now be strictly over-represented.
+	want := float64(2) / float64(n)
+	if gamma[0] < want*1.5 {
+		t.Fatalf("γ_0 = %v with a_j = 1; expected well above c/n = %v", gamma[0], want)
+	}
+	if gamma[n-1] > want {
+		t.Fatalf("γ_last = %v with a_j = 1; expected below c/n = %v", gamma[n-1], want)
+	}
+}
+
+// TestGammaSumsToC: Σ_ℓ γ_ℓ = c for any stationary distribution (the memory
+// always holds exactly c ids).
+func TestGammaSumsToC(t *testing.T) {
+	p := zipfP(7, 1)
+	a := []float64{1, 0.9, 0.8, 0.7, 0.6, 0.5, 0.4}
+	r := []float64{1, 2, 3, 4, 5, 6, 7}
+	ch, err := NewChain(p, a, r, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pi, err := ch.Stationary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gamma := ch.OccupancyProbabilities(pi)
+	sum := 0.0
+	for _, g := range gamma {
+		sum += g
+	}
+	if math.Abs(sum-3) > 1e-9 {
+		t.Fatalf("Σγ = %v, want c = 3", sum)
+	}
+}
+
+func TestPaperFamilies(t *testing.T) {
+	p := []float64{0.5, 0.25, 0.25, 0}
+	a, r, err := PaperFamilies(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a[0] != 0.5 || a[1] != 1 || a[2] != 1 {
+		t.Errorf("a = %v", a)
+	}
+	if a[3] != 1 {
+		t.Errorf("zero-probability id should get a=1, got %v", a[3])
+	}
+	for _, v := range r {
+		if v != 0.25 {
+			t.Errorf("r = %v, want all 1/n", r)
+		}
+	}
+	if _, _, err := PaperFamilies(nil); err == nil {
+		t.Error("empty p should fail")
+	}
+	if _, _, err := PaperFamilies([]float64{0, 0}); err == nil {
+		t.Error("all-zero p should fail")
+	}
+}
+
+// TestSimulationAgreesWithChain closes the loop between the analysis and
+// the implementation: the empirical memory-occupancy frequencies of the
+// actual Omniscient sampler converge to the chain's exact γ_ℓ = c/n.
+func TestSimulationAgreesWithChain(t *testing.T) {
+	const n, c, m = 8, 3, 300000
+	pmf := stream.ZipfPMF(n, 2)
+	src, err := stream.NewCategorical(pmf, rng.New(41))
+	if err != nil {
+		t.Fatal(err)
+	}
+	om, err := core.NewOmniscient(c, src, rng.New(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	occupancy := metrics.NewHistogram()
+	for i := 0; i < m; i++ {
+		om.Process(src.Next())
+		if i >= m/10 { // discard burn-in
+			for _, id := range om.Memory() {
+				occupancy.Add(id)
+			}
+		}
+	}
+	total := float64(occupancy.Total())
+	want := float64(c) / float64(n) // fraction of snapshots containing each id is γ = c/n
+	for id := uint64(0); id < n; id++ {
+		got := float64(occupancy.Count(id)) / (total / float64(c))
+		if math.Abs(got-want) > 0.03 {
+			t.Errorf("empirical γ_%d = %v, want %v", id, got, want)
+		}
+	}
+}
+
+func BenchmarkStationary(b *testing.B) {
+	p := zipfP(10, 2)
+	a, r, err := PaperFamilies(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ch, err := NewChain(p, a, r, 3) // 120 states
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ch.Stationary(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTransitionMatrix(b *testing.B) {
+	p := zipfP(12, 2)
+	a, r, err := PaperFamilies(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ch, err := NewChain(p, a, r, 4) // 495 states
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ch.TransitionMatrix()
+	}
+}

@@ -1,0 +1,281 @@
+package markov
+
+import (
+	"fmt"
+	"math"
+)
+
+// The paper's conclusion announces, as future work, the analysis of the
+// sampling service's transient behaviour. This file provides that analysis
+// for the exact chain: the distribution of the memory contents after t
+// arrivals, its total-variation distance to stationarity, and the mixing
+// time — the number of stream elements after which the sampler's memory is
+// provably within ε of the uniform stationary regime, whatever the
+// adversary chose as the initial memory contents.
+
+// StateIndex returns the index of the state holding exactly the given ids
+// (need not be sorted). It errors if the set is not a valid state.
+func (ch *Chain) StateIndex(ids []int) (int, error) {
+	if len(ids) != ch.c {
+		return 0, fmt.Errorf("markov: state must hold %d ids, got %d", ch.c, len(ids))
+	}
+	sorted := append([]int(nil), ids...)
+	for i := 1; i < len(sorted); i++ {
+		for j := i; j > 0 && sorted[j] < sorted[j-1]; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	for i, v := range sorted {
+		if v < 0 || v >= ch.n {
+			return 0, fmt.Errorf("markov: id %d outside population [0,%d)", v, ch.n)
+		}
+		if i > 0 && sorted[i] == sorted[i-1] {
+			return 0, fmt.Errorf("markov: duplicate id %d in state", v)
+		}
+	}
+	idx, ok := ch.index[subsetKey(sorted)]
+	if !ok {
+		return 0, fmt.Errorf("markov: state %v not found", sorted)
+	}
+	return idx, nil
+}
+
+// DeltaAt returns the point distribution concentrated on the given state
+// index — the transient analysis' initial condition.
+func (ch *Chain) DeltaAt(state int) ([]float64, error) {
+	if state < 0 || state >= len(ch.states) {
+		return nil, fmt.Errorf("markov: state index %d outside [0,%d)", state, len(ch.states))
+	}
+	pi := make([]float64, len(ch.states))
+	pi[state] = 1
+	return pi, nil
+}
+
+// Transient evolves the distribution `start` for `steps` arrivals and
+// returns π_steps = start · P^steps.
+func (ch *Chain) Transient(start []float64, steps int) ([]float64, error) {
+	if err := ch.validateDistribution(start); err != nil {
+		return nil, err
+	}
+	if steps < 0 {
+		return nil, fmt.Errorf("markov: negative step count %d", steps)
+	}
+	P := ch.TransitionMatrix()
+	cur := append([]float64(nil), start...)
+	next := make([]float64, len(cur))
+	for t := 0; t < steps; t++ {
+		stepDistribution(P, cur, next)
+		cur, next = next, cur
+	}
+	return cur, nil
+}
+
+func stepDistribution(P [][]float64, cur, next []float64) {
+	for j := range next {
+		next[j] = 0
+	}
+	for i, v := range cur {
+		if v == 0 {
+			continue
+		}
+		row := P[i]
+		for j, p := range row {
+			if p != 0 {
+				next[j] += v * p
+			}
+		}
+	}
+}
+
+func (ch *Chain) validateDistribution(d []float64) error {
+	if len(d) != len(ch.states) {
+		return fmt.Errorf("markov: distribution over %d states, want %d", len(d), len(ch.states))
+	}
+	sum := 0.0
+	for i, v := range d {
+		if v < 0 || math.IsNaN(v) {
+			return fmt.Errorf("markov: entry %d is %v", i, v)
+		}
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		return fmt.Errorf("markov: distribution sums to %v", sum)
+	}
+	return nil
+}
+
+// TV returns the total-variation distance (1/2)·Σ|a−b| between two
+// distributions over the state space.
+func TV(a, b []float64) float64 {
+	d := 0.0
+	for i := range a {
+		d += math.Abs(a[i] - b[i])
+	}
+	return d / 2
+}
+
+// MixingProfile returns the total-variation distance to the stationary
+// distribution after each checkpoint (an increasing list of step counts),
+// starting from `start`.
+func (ch *Chain) MixingProfile(start []float64, checkpoints []int) ([]float64, error) {
+	if err := ch.validateDistribution(start); err != nil {
+		return nil, err
+	}
+	for i := 1; i < len(checkpoints); i++ {
+		if checkpoints[i] <= checkpoints[i-1] {
+			return nil, fmt.Errorf("markov: checkpoints must increase, got %v", checkpoints)
+		}
+	}
+	if len(checkpoints) > 0 && checkpoints[0] < 0 {
+		return nil, fmt.Errorf("markov: negative checkpoint %d", checkpoints[0])
+	}
+	target, err := ch.Stationary()
+	if err != nil {
+		return nil, err
+	}
+	P := ch.TransitionMatrix()
+	cur := append([]float64(nil), start...)
+	next := make([]float64, len(cur))
+	out := make([]float64, len(checkpoints))
+	t := 0
+	for ci, cp := range checkpoints {
+		for ; t < cp; t++ {
+			stepDistribution(P, cur, next)
+			cur, next = next, cur
+		}
+		out[ci] = TV(cur, target)
+	}
+	return out, nil
+}
+
+// MixingTime returns the smallest number of arrivals after which the
+// worst-case initial memory is within eps total variation of stationarity.
+// The worst case is taken over all point-mass initial states; a tight upper
+// bound on that maximum is obtained by evolving every initial state at
+// once, which is O(states²) per step — keep the chain small. maxSteps
+// bounds the search.
+func (ch *Chain) MixingTime(eps float64, maxSteps int) (int, error) {
+	if !(eps > 0 && eps < 1) {
+		return 0, fmt.Errorf("markov: eps must be in (0,1), got %v", eps)
+	}
+	if maxSteps < 1 {
+		return 0, fmt.Errorf("markov: maxSteps must be positive, got %d", maxSteps)
+	}
+	target, err := ch.Stationary()
+	if err != nil {
+		return 0, err
+	}
+	P := ch.TransitionMatrix()
+	m := len(P)
+	// rows[i] = distribution after t steps starting from state i; evolving
+	// all of them together is exactly computing P^t row by row.
+	rows := make([][]float64, m)
+	next := make([][]float64, m)
+	for i := range rows {
+		rows[i] = make([]float64, m)
+		rows[i][i] = 1
+		next[i] = make([]float64, m)
+	}
+	for t := 1; t <= maxSteps; t++ {
+		worst := 0.0
+		for i := range rows {
+			stepDistribution(P, rows[i], next[i])
+			rows[i], next[i] = next[i], rows[i]
+			if d := TV(rows[i], target); d > worst {
+				worst = d
+			}
+		}
+		if worst < eps {
+			return t, nil
+		}
+	}
+	return 0, fmt.Errorf("markov: not mixed within %d steps (eps=%v)", maxSteps, eps)
+}
+
+// SLEM estimates the second-largest eigenvalue modulus of the transition
+// matrix by power iteration on the subspace orthogonal to the constant
+// right eigenvector (vectors with zero sum stay zero-sum under μ → μP).
+// For the reversible chain of Theorem 3 the asymptotic convergence rate of
+// the sampler's memory distribution is exactly SLEM^t, and 1 − SLEM is the
+// spectral gap governing the mixing times reported by MixingTime.
+func (ch *Chain) SLEM(maxIter int, tol float64) (float64, error) {
+	if maxIter < 1 {
+		return 0, fmt.Errorf("markov: maxIter must be positive, got %d", maxIter)
+	}
+	if tol <= 0 {
+		return 0, fmt.Errorf("markov: tolerance must be positive, got %v", tol)
+	}
+	P := ch.TransitionMatrix()
+	m := len(P)
+	if m < 2 {
+		return 0, nil // a single state is already stationary
+	}
+	// Zero-sum start vector with deterministic structure.
+	x := make([]float64, m)
+	for i := range x {
+		if i%2 == 0 {
+			x[i] = 1
+		} else {
+			x[i] = -1
+		}
+	}
+	if m%2 == 1 {
+		x[m-1] = 0
+	}
+	next := make([]float64, m)
+	prev := 0.0
+	for iter := 0; iter < maxIter; iter++ {
+		stepDistribution(P, x, next)
+		norm := 0.0
+		for _, v := range next {
+			norm += v * v
+		}
+		norm = math.Sqrt(norm)
+		if norm == 0 {
+			return 0, nil // start vector happened to be in the kernel
+		}
+		for i := range next {
+			next[i] /= norm
+		}
+		x, next = next, x
+		if iter > 2 && math.Abs(norm-prev) < tol {
+			return norm, nil
+		}
+		prev = norm
+	}
+	return prev, nil
+}
+
+// AdversarialStart returns the point distribution on the state an adversary
+// would prefer as the initial memory: the c most frequent ids of the input
+// distribution — the slowest state to leave, since frequent ids have the
+// smallest insertion probabilities driving their replacement.
+func (ch *Chain) AdversarialStart() ([]float64, error) {
+	type idp struct {
+		id int
+		p  float64
+	}
+	items := make([]idp, ch.n)
+	for i := range items {
+		items[i] = idp{i, ch.p[i]}
+	}
+	// Selection sort of the top c by probability (n is small here).
+	for i := 0; i < ch.c; i++ {
+		best := i
+		for j := i + 1; j < ch.n; j++ {
+			if items[j].p > items[best].p {
+				best = j
+			}
+		}
+		items[i], items[best] = items[best], items[i]
+	}
+	ids := make([]int, ch.c)
+	for i := 0; i < ch.c; i++ {
+		ids[i] = items[i].id
+	}
+	idx, err := ch.StateIndex(ids)
+	if err != nil {
+		return nil, err
+	}
+	return ch.DeltaAt(idx)
+}

@@ -1,0 +1,315 @@
+package markov
+
+import (
+	"math"
+	"testing"
+)
+
+func TestStateIndexRoundTrip(t *testing.T) {
+	ch := mustChain(t, zipfP(6, 1), 3)
+	for i, s := range ch.States() {
+		idx, err := ch.StateIndex(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if idx != i {
+			t.Fatalf("state %v indexed %d, want %d", s, idx, i)
+		}
+	}
+	// Unsorted input must resolve too.
+	idx, err := ch.StateIndex([]int{5, 0, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx2, err := ch.StateIndex([]int{0, 2, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx != idx2 {
+		t.Fatal("unsorted state resolved differently")
+	}
+}
+
+func TestStateIndexValidation(t *testing.T) {
+	ch := mustChain(t, zipfP(5, 1), 2)
+	if _, err := ch.StateIndex([]int{0}); err == nil {
+		t.Error("wrong size should fail")
+	}
+	if _, err := ch.StateIndex([]int{0, 5}); err == nil {
+		t.Error("out-of-range id should fail")
+	}
+	if _, err := ch.StateIndex([]int{1, 1}); err == nil {
+		t.Error("duplicate id should fail")
+	}
+}
+
+func TestDeltaAt(t *testing.T) {
+	ch := mustChain(t, zipfP(5, 1), 2)
+	d, err := ch.DeltaAt(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range d {
+		want := 0.0
+		if i == 3 {
+			want = 1
+		}
+		if v != want {
+			t.Fatalf("delta[%d] = %v", i, v)
+		}
+	}
+	if _, err := ch.DeltaAt(-1); err == nil {
+		t.Error("negative index should fail")
+	}
+	if _, err := ch.DeltaAt(ch.NumStates()); err == nil {
+		t.Error("overflow index should fail")
+	}
+}
+
+// TestTransientConvergesToStationary: evolving any point mass long enough
+// must land on the (uniform) stationary distribution.
+func TestTransientConvergesToStationary(t *testing.T) {
+	ch := mustChain(t, zipfP(6, 2), 2)
+	start, err := ch.AdversarialStart()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pi, err := ch.Stationary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	late, err := ch.Transient(start, 20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := TV(late, pi); d > 1e-6 {
+		t.Fatalf("TV to stationary after 20000 steps = %v", d)
+	}
+}
+
+func TestTransientZeroStepsIsIdentity(t *testing.T) {
+	ch := mustChain(t, zipfP(5, 1), 2)
+	start, err := ch.DeltaAt(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := ch.Transient(start, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if TV(out, start) != 0 {
+		t.Fatal("zero steps changed the distribution")
+	}
+}
+
+func TestTransientValidation(t *testing.T) {
+	ch := mustChain(t, zipfP(5, 1), 2)
+	if _, err := ch.Transient([]float64{1}, 3); err == nil {
+		t.Error("wrong length should fail")
+	}
+	bad := make([]float64, ch.NumStates())
+	bad[0] = 0.5 // sums to 0.5
+	if _, err := ch.Transient(bad, 1); err == nil {
+		t.Error("non-normalised distribution should fail")
+	}
+	good, err := ch.DeltaAt(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ch.Transient(good, -1); err == nil {
+		t.Error("negative steps should fail")
+	}
+}
+
+// TestMixingProfileMonotone: the TV distance to stationarity decreases
+// along checkpoints (monotone for reversible chains started at a point).
+func TestMixingProfileMonotone(t *testing.T) {
+	ch := mustChain(t, zipfP(7, 2), 3)
+	start, err := ch.AdversarialStart()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, err := ch.MixingProfile(start, []int{0, 10, 50, 200, 1000, 5000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(prof); i++ {
+		if prof[i] > prof[i-1]+1e-12 {
+			t.Fatalf("TV increased along profile: %v", prof)
+		}
+	}
+	if prof[0] < 0.5 {
+		t.Fatalf("initial TV %v suspiciously small for a point start", prof[0])
+	}
+	if prof[len(prof)-1] > 0.01 {
+		t.Fatalf("final TV %v did not converge", prof[len(prof)-1])
+	}
+}
+
+func TestMixingProfileValidation(t *testing.T) {
+	ch := mustChain(t, zipfP(5, 1), 2)
+	start, err := ch.DeltaAt(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ch.MixingProfile(start, []int{5, 5}); err == nil {
+		t.Error("non-increasing checkpoints should fail")
+	}
+	if _, err := ch.MixingProfile(start, []int{-1, 5}); err == nil {
+		t.Error("negative checkpoint should fail")
+	}
+}
+
+// TestMixingTimeBehaviour: mixing takes longer under heavier bias (smaller
+// insertion probabilities) and for tighter eps.
+func TestMixingTimeBehaviour(t *testing.T) {
+	mild := mustChain(t, zipfP(6, 0.5), 2)
+	heavy := mustChain(t, zipfP(6, 3), 2)
+	tMild, err := mild.MixingTime(0.05, 200000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tHeavy, err := heavy.MixingTime(0.05, 200000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tHeavy <= tMild {
+		t.Fatalf("heavier bias mixed faster: mild %d vs heavy %d", tMild, tHeavy)
+	}
+	tTight, err := mild.MixingTime(0.005, 200000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tTight <= tMild {
+		t.Fatalf("tighter eps mixed faster: %d vs %d", tTight, tMild)
+	}
+}
+
+func TestMixingTimeValidation(t *testing.T) {
+	ch := mustChain(t, zipfP(5, 1), 2)
+	if _, err := ch.MixingTime(0, 100); err == nil {
+		t.Error("eps=0 should fail")
+	}
+	if _, err := ch.MixingTime(1, 100); err == nil {
+		t.Error("eps=1 should fail")
+	}
+	if _, err := ch.MixingTime(0.1, 0); err == nil {
+		t.Error("maxSteps=0 should fail")
+	}
+	if _, err := ch.MixingTime(1e-9, 1); err == nil {
+		t.Error("unreachable eps within 1 step should fail")
+	}
+}
+
+func TestAdversarialStartIsTopIDs(t *testing.T) {
+	ch := mustChain(t, zipfP(6, 2), 2)
+	start, err := ch.AdversarialStart()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Zipf probabilities decrease with id, so the adversarial state must be
+	// {0, 1}.
+	want, err := ch.StateIndex([]int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range start {
+		if i == want && v != 1 {
+			t.Fatalf("mass %v on adversarial state", v)
+		}
+		if i != want && v != 0 {
+			t.Fatalf("mass %v on state %d", v, i)
+		}
+	}
+}
+
+// TestSLEMGovernsDecay: the measured TV decay factor between consecutive
+// late steps must approach the second eigenvalue modulus.
+func TestSLEMGovernsDecay(t *testing.T) {
+	ch := mustChain(t, zipfP(6, 2), 2)
+	slem, err := ch.SLEM(100000, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(slem > 0 && slem < 1) {
+		t.Fatalf("SLEM = %v outside (0,1)", slem)
+	}
+	start, err := ch.AdversarialStart()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, err := ch.MixingProfile(start, []int{400, 401})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prof[0] == 0 {
+		t.Skip("chain fully mixed before the measurement window")
+	}
+	ratio := prof[1] / prof[0]
+	if math.Abs(ratio-slem) > 0.05 {
+		t.Fatalf("late TV decay %v vs SLEM %v", ratio, slem)
+	}
+}
+
+// TestSLEMOrdersWithBias: heavier input bias shrinks the spectral gap.
+func TestSLEMOrdersWithBias(t *testing.T) {
+	mild := mustChain(t, zipfP(6, 0.5), 2)
+	heavy := mustChain(t, zipfP(6, 3), 2)
+	sMild, err := mild.SLEM(100000, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sHeavy, err := heavy.SLEM(100000, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sHeavy <= sMild {
+		t.Fatalf("heavier bias did not shrink the gap: %v vs %v", sHeavy, sMild)
+	}
+}
+
+func TestSLEMValidation(t *testing.T) {
+	ch := mustChain(t, zipfP(5, 1), 2)
+	if _, err := ch.SLEM(0, 1e-9); err == nil {
+		t.Error("maxIter=0 should fail")
+	}
+	if _, err := ch.SLEM(100, 0); err == nil {
+		t.Error("tol=0 should fail")
+	}
+}
+
+func TestTVProperties(t *testing.T) {
+	a := []float64{1, 0, 0}
+	b := []float64{0, 0.5, 0.5}
+	if d := TV(a, b); d != 1 {
+		t.Fatalf("TV disjoint = %v, want 1", d)
+	}
+	if d := TV(a, a); d != 0 {
+		t.Fatalf("TV identical = %v, want 0", d)
+	}
+	if d := TV(a, b); math.Abs(d-TV(b, a)) > 1e-15 {
+		t.Fatal("TV not symmetric")
+	}
+}
+
+func BenchmarkTransientStep(b *testing.B) {
+	p := zipfP(10, 2)
+	a, r, err := PaperFamilies(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ch, err := NewChain(p, a, r, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	start, err := ch.AdversarialStart()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ch.Transient(start, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,224 @@
+// Package metrics provides the statistical distances used by the paper's
+// evaluation (Section VI): the Kullback–Leibler divergence between a stream's
+// empirical frequency distribution and the uniform one (Relation 6), the
+// derived gain G_KL = 1 − D(σ′,U)/D(σ,U), plus entropy, total-variation and
+// chi-square helpers used by tests.
+package metrics
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrZeroDivergence is returned by Gain when the input stream is already
+// uniform (zero divergence), making the gain undefined.
+var ErrZeroDivergence = errors.New("metrics: input divergence is zero, gain undefined")
+
+// Histogram counts occurrences of node identifiers. The zero value is not
+// usable; construct with NewHistogram.
+type Histogram struct {
+	counts map[uint64]uint64
+	total  uint64
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram {
+	return &Histogram{counts: make(map[uint64]uint64)}
+}
+
+// Add records one occurrence of id.
+func (h *Histogram) Add(id uint64) { h.AddN(id, 1) }
+
+// AddN records n occurrences of id.
+func (h *Histogram) AddN(id uint64, n uint64) {
+	if n == 0 {
+		return
+	}
+	h.counts[id] += n
+	h.total += n
+}
+
+// Count returns the number of recorded occurrences of id.
+func (h *Histogram) Count(id uint64) uint64 { return h.counts[id] }
+
+// Total returns the total number of recorded occurrences.
+func (h *Histogram) Total() uint64 { return h.total }
+
+// Distinct returns the number of distinct ids recorded.
+func (h *Histogram) Distinct() int { return len(h.counts) }
+
+// Max returns the id with the highest count and that count. When empty it
+// returns (0, 0). Ties break toward the smallest id so the result is
+// deterministic.
+func (h *Histogram) Max() (id uint64, count uint64) {
+	first := true
+	for k, v := range h.counts {
+		if first || v > count || (v == count && k < id) {
+			id, count, first = k, v, false
+		}
+	}
+	return id, count
+}
+
+// Counts returns a copy of the underlying count map.
+func (h *Histogram) Counts() map[uint64]uint64 {
+	out := make(map[uint64]uint64, len(h.counts))
+	for k, v := range h.counts {
+		out[k] = v
+	}
+	return out
+}
+
+// Reset forgets all recorded occurrences.
+func (h *Histogram) Reset() {
+	h.counts = make(map[uint64]uint64)
+	h.total = 0
+}
+
+// Merge adds all counts of other into h.
+func (h *Histogram) Merge(other *Histogram) {
+	if other == nil {
+		return
+	}
+	for k, v := range other.counts {
+		h.AddN(k, v)
+	}
+}
+
+// Entropy returns the empirical Shannon entropy H(v) = −Σ v_i ln v_i of the
+// histogram's frequency distribution, in nats. An empty histogram has
+// entropy 0.
+func (h *Histogram) Entropy() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	total := float64(h.total)
+	e := 0.0
+	for _, c := range h.counts {
+		p := float64(c) / total
+		e -= p * math.Log(p)
+	}
+	return e
+}
+
+// KLvsUniform returns D_KL(v ‖ U) where v is the histogram's empirical
+// distribution and U is uniform over a support of n ids (Relation 6 with
+// w = U). Ids absent from the histogram contribute zero (0·log 0 = 0). It
+// returns an error when n is not positive or the histogram is empty, or when
+// the histogram contains more distinct ids than the claimed support.
+func (h *Histogram) KLvsUniform(n int) (float64, error) {
+	if n <= 0 {
+		return 0, fmt.Errorf("metrics: support size must be positive, got %d", n)
+	}
+	if h.total == 0 {
+		return 0, errors.New("metrics: empty histogram")
+	}
+	if h.Distinct() > n {
+		return 0, fmt.Errorf("metrics: histogram has %d distinct ids, more than support %d", h.Distinct(), n)
+	}
+	total := float64(h.total)
+	logN := math.Log(float64(n))
+	d := 0.0
+	for _, c := range h.counts {
+		p := float64(c) / total
+		d += p * (math.Log(p) + logN)
+	}
+	// Numerical noise can push an exactly-uniform distribution a hair below
+	// zero; KL is non-negative by Gibbs' inequality.
+	if d < 0 {
+		d = 0
+	}
+	return d, nil
+}
+
+// KL returns D_KL(v ‖ w) between the empirical distributions of two
+// histograms over the same implicit support. If v puts mass on an id that w
+// never saw, the divergence is +Inf (standard convention).
+func KL(v, w *Histogram) (float64, error) {
+	if v == nil || w == nil {
+		return 0, errors.New("metrics: nil histogram")
+	}
+	if v.total == 0 || w.total == 0 {
+		return 0, errors.New("metrics: empty histogram")
+	}
+	vt, wt := float64(v.total), float64(w.total)
+	d := 0.0
+	for id, c := range v.counts {
+		p := float64(c) / vt
+		wc := w.counts[id]
+		if wc == 0 {
+			return math.Inf(1), nil
+		}
+		q := float64(wc) / wt
+		d += p * math.Log(p/q)
+	}
+	if d < 0 {
+		d = 0
+	}
+	return d, nil
+}
+
+// TVvsUniform returns the total-variation distance between the histogram's
+// empirical distribution and the uniform distribution over n ids:
+// (1/2)·Σ_i |v_i − 1/n|, including the ids the histogram never saw.
+func (h *Histogram) TVvsUniform(n int) (float64, error) {
+	if n <= 0 {
+		return 0, fmt.Errorf("metrics: support size must be positive, got %d", n)
+	}
+	if h.total == 0 {
+		return 0, errors.New("metrics: empty histogram")
+	}
+	total := float64(h.total)
+	u := 1 / float64(n)
+	d := 0.0
+	for _, c := range h.counts {
+		d += math.Abs(float64(c)/total - u)
+	}
+	if missing := n - h.Distinct(); missing > 0 {
+		d += float64(missing) * u
+	}
+	return d / 2, nil
+}
+
+// ChiSquareUniform returns the chi-square statistic of the histogram against
+// the uniform distribution over n cells (including never-seen cells). Under
+// uniformity it follows approximately a chi-square law with n−1 degrees of
+// freedom.
+func (h *Histogram) ChiSquareUniform(n int) (float64, error) {
+	if n <= 0 {
+		return 0, fmt.Errorf("metrics: support size must be positive, got %d", n)
+	}
+	if h.total == 0 {
+		return 0, errors.New("metrics: empty histogram")
+	}
+	expected := float64(h.total) / float64(n)
+	chi := 0.0
+	for _, c := range h.counts {
+		d := float64(c) - expected
+		chi += d * d / expected
+	}
+	if missing := n - h.Distinct(); missing > 0 {
+		chi += float64(missing) * expected
+	}
+	return chi, nil
+}
+
+// Gain returns G_KL = 1 − D(output‖U)/D(input‖U), the paper's headline
+// robustness metric: the fraction of the input stream's divergence from
+// uniform that the sampler removed. It returns ErrZeroDivergence when the
+// input is already uniform.
+func Gain(input, output *Histogram, n int) (float64, error) {
+	din, err := input.KLvsUniform(n)
+	if err != nil {
+		return 0, fmt.Errorf("input divergence: %w", err)
+	}
+	dout, err := output.KLvsUniform(n)
+	if err != nil {
+		return 0, fmt.Errorf("output divergence: %w", err)
+	}
+	if din == 0 {
+		return 0, ErrZeroDivergence
+	}
+	return 1 - dout/din, nil
+}

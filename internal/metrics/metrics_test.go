@@ -1,0 +1,374 @@
+package metrics
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"nodesampling/internal/rng"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram()
+	if h.Total() != 0 || h.Distinct() != 0 {
+		t.Fatal("fresh histogram not empty")
+	}
+	h.Add(3)
+	h.Add(3)
+	h.AddN(7, 5)
+	h.AddN(9, 0) // no-op
+	if h.Count(3) != 2 || h.Count(7) != 5 || h.Count(9) != 0 {
+		t.Fatalf("counts wrong: %v", h.Counts())
+	}
+	if h.Total() != 7 || h.Distinct() != 2 {
+		t.Fatalf("total=%d distinct=%d", h.Total(), h.Distinct())
+	}
+	id, c := h.Max()
+	if id != 7 || c != 5 {
+		t.Fatalf("Max = (%d, %d), want (7, 5)", id, c)
+	}
+	h.Reset()
+	if h.Total() != 0 || h.Distinct() != 0 {
+		t.Fatal("reset did not clear histogram")
+	}
+}
+
+func TestMaxTieBreaksDeterministically(t *testing.T) {
+	h := NewHistogram()
+	h.AddN(10, 4)
+	h.AddN(2, 4)
+	h.AddN(5, 4)
+	id, c := h.Max()
+	if id != 2 || c != 4 {
+		t.Fatalf("Max tie = (%d, %d), want smallest id (2, 4)", id, c)
+	}
+}
+
+func TestMaxEmpty(t *testing.T) {
+	id, c := NewHistogram().Max()
+	if id != 0 || c != 0 {
+		t.Fatalf("Max of empty = (%d, %d)", id, c)
+	}
+}
+
+func TestCountsReturnsCopy(t *testing.T) {
+	h := NewHistogram()
+	h.Add(1)
+	m := h.Counts()
+	m[1] = 999
+	if h.Count(1) != 1 {
+		t.Fatal("Counts exposed internal state")
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a, b := NewHistogram(), NewHistogram()
+	a.AddN(1, 2)
+	b.AddN(1, 3)
+	b.AddN(2, 4)
+	a.Merge(b)
+	if a.Count(1) != 5 || a.Count(2) != 4 || a.Total() != 9 {
+		t.Fatalf("merge wrong: %v", a.Counts())
+	}
+	a.Merge(nil) // must not panic
+}
+
+func TestKLvsUniformExactlyUniform(t *testing.T) {
+	h := NewHistogram()
+	const n = 100
+	for i := uint64(0); i < n; i++ {
+		h.AddN(i, 7)
+	}
+	d, err := h.KLvsUniform(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 0 {
+		t.Fatalf("KL of uniform = %v, want 0", d)
+	}
+}
+
+func TestKLvsUniformPointMass(t *testing.T) {
+	h := NewHistogram()
+	h.AddN(5, 1000)
+	d, err := h.KLvsUniform(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All mass on one of 100 ids: D = ln(100).
+	if math.Abs(d-math.Log(100)) > 1e-12 {
+		t.Fatalf("KL of point mass = %v, want ln(100) = %v", d, math.Log(100))
+	}
+}
+
+func TestKLvsUniformKnownValue(t *testing.T) {
+	// v = (0.75, 0.25) over n=2: D = 0.75 ln(1.5) + 0.25 ln(0.5).
+	h := NewHistogram()
+	h.AddN(0, 3)
+	h.AddN(1, 1)
+	want := 0.75*math.Log(1.5) + 0.25*math.Log(0.5)
+	d, err := h.KLvsUniform(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d-want) > 1e-12 {
+		t.Fatalf("KL = %v, want %v", d, want)
+	}
+}
+
+func TestKLvsUniformValidation(t *testing.T) {
+	h := NewHistogram()
+	if _, err := h.KLvsUniform(10); err == nil {
+		t.Error("empty histogram should error")
+	}
+	h.Add(1)
+	if _, err := h.KLvsUniform(0); err == nil {
+		t.Error("n=0 should error")
+	}
+	h.Add(2)
+	h.Add(3)
+	if _, err := h.KLvsUniform(2); err == nil {
+		t.Error("support smaller than distinct ids should error")
+	}
+}
+
+// TestKLNonNegativity is Gibbs' inequality as a property test: KL vs uniform
+// is never negative and is zero only for the uniform distribution.
+func TestKLNonNegativity(t *testing.T) {
+	r := rng.New(17)
+	f := func(seed uint64) bool {
+		local := rng.New(seed)
+		h := NewHistogram()
+		n := 2 + local.Intn(50)
+		for i := 0; i < n; i++ {
+			h.AddN(uint64(i), 1+uint64(local.Intn(20)))
+		}
+		d, err := h.KLvsUniform(n)
+		return err == nil && d >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rng.NewRand(r.Uint64())}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKLBetweenHistograms(t *testing.T) {
+	v, w := NewHistogram(), NewHistogram()
+	v.AddN(1, 1)
+	v.AddN(2, 1)
+	w.AddN(1, 1)
+	w.AddN(2, 3)
+	// v = (1/2, 1/2), w = (1/4, 3/4):
+	want := 0.5*math.Log(0.5/0.25) + 0.5*math.Log(0.5/0.75)
+	d, err := KL(v, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d-want) > 1e-12 {
+		t.Fatalf("KL = %v, want %v", d, want)
+	}
+	// Identical histograms: zero.
+	d2, err := KL(v, v)
+	if err != nil || d2 != 0 {
+		t.Fatalf("KL(v, v) = %v, %v", d2, err)
+	}
+}
+
+func TestKLInfiniteOnMissingSupport(t *testing.T) {
+	v, w := NewHistogram(), NewHistogram()
+	v.Add(1)
+	v.Add(2)
+	w.Add(1)
+	d, err := KL(v, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(d, 1) {
+		t.Fatalf("KL with missing support = %v, want +Inf", d)
+	}
+}
+
+func TestKLValidation(t *testing.T) {
+	v := NewHistogram()
+	v.Add(1)
+	if _, err := KL(nil, v); err == nil {
+		t.Error("nil v should error")
+	}
+	if _, err := KL(v, nil); err == nil {
+		t.Error("nil w should error")
+	}
+	if _, err := KL(v, NewHistogram()); err == nil {
+		t.Error("empty w should error")
+	}
+}
+
+func TestTVvsUniform(t *testing.T) {
+	h := NewHistogram()
+	h.AddN(0, 10)
+	// Point mass over n=4: TV = (1/2)(|1 − 1/4| + 3·(1/4)) = 0.75.
+	d, err := h.TVvsUniform(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d-0.75) > 1e-12 {
+		t.Fatalf("TV = %v, want 0.75", d)
+	}
+	// Uniform: 0.
+	u := NewHistogram()
+	for i := uint64(0); i < 4; i++ {
+		u.AddN(i, 5)
+	}
+	d, err = u.TVvsUniform(4)
+	if err != nil || d != 0 {
+		t.Fatalf("TV of uniform = %v, %v", d, err)
+	}
+}
+
+func TestChiSquareUniform(t *testing.T) {
+	h := NewHistogram()
+	for i := uint64(0); i < 10; i++ {
+		h.AddN(i, 100)
+	}
+	chi, err := h.ChiSquareUniform(10)
+	if err != nil || chi != 0 {
+		t.Fatalf("chi2 of uniform = %v, %v", chi, err)
+	}
+	// Skew one cell: counts (200, 100×8, 0) over 10 cells, expected 100.
+	h2 := NewHistogram()
+	h2.AddN(0, 200)
+	for i := uint64(1); i < 9; i++ {
+		h2.AddN(i, 100)
+	}
+	chi, err = h2.ChiSquareUniform(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 100.0 + 0 + 100.0 // (200-100)^2/100 + missing cell 100
+	if math.Abs(chi-want) > 1e-9 {
+		t.Fatalf("chi2 = %v, want %v", chi, want)
+	}
+}
+
+func TestEntropy(t *testing.T) {
+	h := NewHistogram()
+	if h.Entropy() != 0 {
+		t.Fatal("empty entropy not zero")
+	}
+	h.AddN(1, 5)
+	if h.Entropy() != 0 {
+		t.Fatal("point-mass entropy not zero")
+	}
+	u := NewHistogram()
+	const n = 64
+	for i := uint64(0); i < n; i++ {
+		u.AddN(i, 3)
+	}
+	if got, want := u.Entropy(), math.Log(n); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("uniform entropy = %v, want ln(%d) = %v", got, n, want)
+	}
+}
+
+func TestGain(t *testing.T) {
+	input, output := NewHistogram(), NewHistogram()
+	input.AddN(0, 97)
+	for i := uint64(1); i < 4; i++ {
+		input.AddN(i, 1)
+	}
+	for i := uint64(0); i < 4; i++ {
+		output.AddN(i, 25)
+	}
+	g, err := Gain(input, output, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g != 1 {
+		t.Fatalf("gain for perfectly unbiased output = %v, want 1", g)
+	}
+	// Output identical to input: gain 0.
+	g, err = Gain(input, input, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(g) > 1e-12 {
+		t.Fatalf("gain for unchanged stream = %v, want 0", g)
+	}
+}
+
+func TestGainZeroDivergenceInput(t *testing.T) {
+	u := NewHistogram()
+	for i := uint64(0); i < 4; i++ {
+		u.AddN(i, 10)
+	}
+	if _, err := Gain(u, u, 4); !errors.Is(err, ErrZeroDivergence) {
+		t.Fatalf("want ErrZeroDivergence, got %v", err)
+	}
+}
+
+func TestGainPropagatesErrors(t *testing.T) {
+	bad := NewHistogram()
+	good := NewHistogram()
+	good.Add(1)
+	if _, err := Gain(bad, good, 4); err == nil {
+		t.Error("empty input histogram should error")
+	}
+	if _, err := Gain(good, bad, 4); err == nil {
+		t.Error("empty output histogram should error")
+	}
+}
+
+// TestGainOrdering: a mildly biased output must score a higher gain than a
+// strongly biased one, which is the property every figure of Section VI
+// relies on.
+func TestGainOrdering(t *testing.T) {
+	const n = 100
+	input := NewHistogram()
+	input.AddN(0, 10000)
+	for i := uint64(1); i < n; i++ {
+		input.AddN(i, 10)
+	}
+	mild, strong := NewHistogram(), NewHistogram()
+	for i := uint64(0); i < n; i++ {
+		mild.AddN(i, 100)
+		strong.AddN(i, 10)
+	}
+	mild.AddN(0, 50)      // slight residual peak
+	strong.AddN(0, 10000) // output still dominated by the peak
+	gm, err := Gain(input, mild, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gs, err := Gain(input, strong, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gm <= gs {
+		t.Fatalf("gain ordering violated: mild %v <= strong %v", gm, gs)
+	}
+}
+
+func BenchmarkKLvsUniform(b *testing.B) {
+	r := rng.New(1)
+	h := NewHistogram()
+	for i := 0; i < 100000; i++ {
+		h.Add(r.Uint64n(1000))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := h.KLvsUniform(1000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHistogramAdd(b *testing.B) {
+	h := NewHistogram()
+	r := rng.New(1)
+	ids := make([]uint64, 4096)
+	for i := range ids {
+		ids[i] = r.Uint64n(10000)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Add(ids[i&4095])
+	}
+}

@@ -1,0 +1,312 @@
+package netgossip
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+func peerConfig(self uint64) Config {
+	return Config{
+		Self: self, C: 15, K: 8, S: 4,
+		Fanout: 2, ForwardBuffer: 16, ForwardPerPush: 2,
+		Seed: self + 1,
+	}
+}
+
+func TestBatchRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	want := []uint64{1, 99, 1 << 60, 0}
+	if err := writeBatch(&buf, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := readBatch(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("length %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("id %d: %d vs %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestBatchValidation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := writeBatch(&buf, nil); err == nil {
+		t.Error("empty batch should fail")
+	}
+	if err := writeBatch(&buf, make([]uint64, MaxBatch+1)); !errors.Is(err, ErrBatchTooLarge) {
+		t.Errorf("oversized batch = %v, want ErrBatchTooLarge", err)
+	}
+	// Bad magic.
+	if _, err := readBatch(bytes.NewReader([]byte{0x00, 1, 0, 0, 0, 1})); err == nil {
+		t.Error("bad magic should fail")
+	}
+	// Bad version.
+	if _, err := readBatch(bytes.NewReader([]byte{protocolMagic, 9, 0, 0, 0, 1})); err == nil {
+		t.Error("bad version should fail")
+	}
+	// Announced count above the limit must fail before allocation.
+	big := []byte{protocolMagic, protocolVersion, 0xff, 0xff, 0xff, 0xff}
+	if _, err := readBatch(bytes.NewReader(big)); !errors.Is(err, ErrBatchTooLarge) {
+		t.Errorf("huge announced count = %v, want ErrBatchTooLarge", err)
+	}
+	// Zero count.
+	if _, err := readBatch(bytes.NewReader([]byte{protocolMagic, protocolVersion, 0, 0, 0, 0})); err == nil {
+		t.Error("zero count should fail")
+	}
+	// Truncated payload.
+	var tr bytes.Buffer
+	if err := writeBatch(&tr, []uint64{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := readBatch(bytes.NewReader(tr.Bytes()[:10])); err == nil {
+		t.Error("truncated payload should fail")
+	}
+	// Clean EOF surfaces as io.EOF.
+	if _, err := readBatch(bytes.NewReader(nil)); !errors.Is(err, io.EOF) {
+		t.Errorf("empty reader = %v, want io.EOF", err)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{Self: 1, C: 0, K: 8, S: 4, Fanout: 1},
+		{Self: 1, C: 5, K: 0, S: 4, Fanout: 1},
+		{Self: 1, C: 5, K: 8, S: 0, Fanout: 1},
+		{Self: 1, C: 5, K: 8, S: 4, Fanout: 0},
+		{Self: 1, C: 5, K: 8, S: 4, Fanout: 1, ForwardBuffer: -1},
+		{Self: 1, C: 5, K: 8, S: 4, Fanout: 1, ForwardPerPush: MaxBatch},
+	}
+	for i, cfg := range bad {
+		if _, err := NewPeer(cfg); err == nil {
+			t.Errorf("config %d should fail", i)
+		}
+	}
+}
+
+// meshedPeers wires n peers into a full mesh over in-memory pipes.
+func meshedPeers(t *testing.T, n int) []*Peer {
+	t.Helper()
+	peers := make([]*Peer, n)
+	for i := range peers {
+		p, err := NewPeer(peerConfig(uint64(i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		peers[i] = p
+		t.Cleanup(func() { _ = p.Close() })
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			a, b := net.Pipe()
+			if err := peers[i].AddConn(a); err != nil {
+				t.Fatal(err)
+			}
+			if err := peers[j].AddConn(b); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return peers
+}
+
+// waitFor polls cond until true or the deadline passes.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timeout waiting for %s", what)
+}
+
+func TestMeshGossipPropagatesAllIDs(t *testing.T) {
+	const n = 5
+	peers := meshedPeers(t, n)
+	for round := 0; round < 60; round++ {
+		for _, p := range peers {
+			if _, err := p.PushRound(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// Every peer must eventually have heard every other peer's id (readers
+	// are asynchronous, so poll).
+	for i, p := range peers {
+		p := p
+		waitFor(t, "full id coverage", func() bool {
+			stats := p.InputStats()
+			for j := 0; j < n; j++ {
+				if j != i && stats[uint64(j)] == 0 {
+					return false
+				}
+			}
+			return true
+		})
+		if id, ok := p.Sample(); !ok || id >= n {
+			t.Fatalf("peer %d sample (%d, %v) outside the overlay", i, id, ok)
+		}
+		if len(p.Memory()) == 0 {
+			t.Fatalf("peer %d has empty memory", i)
+		}
+	}
+}
+
+func TestInjectFloodIsAbsorbed(t *testing.T) {
+	peers := meshedPeers(t, 4)
+	attacker := peers[0]
+	sybil := []uint64{1000, 1001, 1002}
+	for round := 0; round < 150; round++ {
+		for _, p := range peers[1:] {
+			if _, err := p.PushRound(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := attacker.Inject(sybil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	victim := peers[1]
+	waitFor(t, "attack traffic to arrive", func() bool {
+		return victim.InputStats()[1000] > 50
+	})
+	stats := victim.InputStats()
+	var sybilIn, totalIn uint64
+	for id, c := range stats {
+		totalIn += c
+		if id >= 1000 {
+			sybilIn += c
+		}
+	}
+	if frac := float64(sybilIn) / float64(totalIn); frac < 0.3 {
+		t.Fatalf("attack too weak to be meaningful: sybil input share %v", frac)
+	}
+	// The sampler's memory must not be monopolised by the three sybil ids.
+	mem := victim.Memory()
+	sybilSlots := 0
+	for _, id := range mem {
+		if id >= 1000 {
+			sybilSlots++
+		}
+	}
+	if sybilSlots == len(mem) {
+		t.Fatalf("memory fully captured by sybil ids: %v", mem)
+	}
+}
+
+func TestPushRoundWithoutConns(t *testing.T) {
+	p, err := NewPeer(peerConfig(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	delivered, err := p.PushRound()
+	if err != nil || delivered != 0 {
+		t.Fatalf("PushRound on isolated peer = (%d, %v)", delivered, err)
+	}
+}
+
+func TestCloseLifecycle(t *testing.T) {
+	peers := meshedPeers(t, 3)
+	if err := peers[0].Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := peers[0].Close(); err != nil {
+		t.Fatal(err) // idempotent
+	}
+	if _, err := peers[0].PushRound(); err == nil {
+		t.Error("PushRound after close should fail")
+	}
+	if err := peers[0].Inject([]uint64{1}); err == nil {
+		t.Error("Inject after close should fail")
+	}
+	a, _ := net.Pipe()
+	if err := peers[0].AddConn(a); err == nil {
+		t.Error("AddConn after close should fail")
+	}
+	// The surviving peers lose the connection eventually and keep working.
+	waitFor(t, "neighbours to drop the closed peer", func() bool {
+		return peers[1].NumConns() == 1 && peers[2].NumConns() == 1
+	})
+	if _, err := peers[1].PushRound(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGarbageOnWireDropsConnection(t *testing.T) {
+	p, err := NewPeer(peerConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	a, b := net.Pipe()
+	if err := p.AddConn(a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Write([]byte{0xde, 0xad, 0xbe, 0xef, 0x00, 0x00}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "garbage connection to be dropped", func() bool {
+		return p.NumConns() == 0
+	})
+}
+
+func TestTCPEndToEnd(t *testing.T) {
+	server, err := NewPeer(peerConfig(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer server.Close()
+	ln, err := server.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	client, err := NewPeer(peerConfig(200))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	if err := client.Connect(ln.Addr().String()); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "server to accept", func() bool { return server.NumConns() == 1 })
+
+	for i := 0; i < 30; i++ {
+		if _, err := client.PushRound(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := server.PushRound(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, "ids to cross the TCP link", func() bool {
+		return server.InputStats()[200] > 0 && client.InputStats()[100] > 0
+	})
+}
+
+func TestConnectFailure(t *testing.T) {
+	p, err := NewPeer(peerConfig(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if err := p.Connect("127.0.0.1:1"); err == nil {
+		t.Error("connect to a dead port should fail")
+	}
+	if err := p.AddConn(nil); err == nil {
+		t.Error("nil conn should fail")
+	}
+}

@@ -1,0 +1,319 @@
+// Package stream generates the node-identifier streams that feed the
+// sampling service. Node identifiers are modelled as dense indices [0, n)
+// into the system population N; every synthetic workload of the paper's
+// evaluation (Zipf peaks, truncated Poisson, uniform background, mixtures of
+// a legitimate stream with adversarial injections) is a categorical
+// distribution over that population, sampled i.i.d.
+//
+// A Categorical carries its own probability mass function, which is exactly
+// the knowledge the omniscient strategy of Algorithm 1 assumes (the true
+// occurrence probabilities p_j and their minimum), so the same object serves
+// both as the workload generator and as the omniscient oracle.
+package stream
+
+import (
+	"fmt"
+	"math"
+
+	"nodesampling/internal/rng"
+)
+
+// Source produces an unbounded stream of node identifiers.
+type Source interface {
+	Next() uint64
+}
+
+// Categorical is an i.i.d. stream over ids [0, n) with a fixed probability
+// mass function, sampled in O(1) per element with Vose's alias method.
+type Categorical struct {
+	pmf     []float64
+	prob    []float64 // alias-method acceptance probabilities
+	alias   []int32
+	r       *rng.Xoshiro
+	minProb float64 // smallest non-zero mass
+}
+
+var _ Source = (*Categorical)(nil)
+
+// NewCategorical builds a stream from an unnormalised weight vector. The
+// weights must be non-negative, finite, and not all zero. The vector is
+// copied and normalised.
+func NewCategorical(weights []float64, r *rng.Xoshiro) (*Categorical, error) {
+	n := len(weights)
+	if n == 0 {
+		return nil, fmt.Errorf("stream: empty weight vector")
+	}
+	if r == nil {
+		return nil, fmt.Errorf("stream: nil random source")
+	}
+	if n > math.MaxInt32 {
+		return nil, fmt.Errorf("stream: support too large: %d", n)
+	}
+	total := 0.0
+	for i, w := range weights {
+		if w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+			return nil, fmt.Errorf("stream: weight %d is invalid: %v", i, w)
+		}
+		total += w
+	}
+	if total == 0 {
+		return nil, fmt.Errorf("stream: all weights are zero")
+	}
+	pmf := make([]float64, n)
+	minProb := math.Inf(1)
+	for i, w := range weights {
+		pmf[i] = w / total
+		if pmf[i] > 0 && pmf[i] < minProb {
+			minProb = pmf[i]
+		}
+	}
+
+	// Vose's alias method: split the scaled masses into "small" and "large"
+	// stacks and pair each small cell with a large donor.
+	prob := make([]float64, n)
+	alias := make([]int32, n)
+	scaled := make([]float64, n)
+	small := make([]int32, 0, n)
+	large := make([]int32, 0, n)
+	for i, p := range pmf {
+		scaled[i] = p * float64(n)
+		if scaled[i] < 1 {
+			small = append(small, int32(i))
+		} else {
+			large = append(large, int32(i))
+		}
+	}
+	for len(small) > 0 && len(large) > 0 {
+		s := small[len(small)-1]
+		small = small[:len(small)-1]
+		l := large[len(large)-1]
+		large = large[:len(large)-1]
+		prob[s] = scaled[s]
+		alias[s] = l
+		scaled[l] -= 1 - scaled[s]
+		if scaled[l] < 1 {
+			small = append(small, l)
+		} else {
+			large = append(large, l)
+		}
+	}
+	for _, l := range large {
+		prob[l] = 1
+		alias[l] = l
+	}
+	for _, s := range small { // numerical leftovers
+		prob[s] = 1
+		alias[s] = s
+	}
+	return &Categorical{pmf: pmf, prob: prob, alias: alias, r: r, minProb: minProb}, nil
+}
+
+// Next draws one id according to the distribution.
+func (c *Categorical) Next() uint64 {
+	i := c.r.Intn(len(c.pmf))
+	if c.r.Float64() < c.prob[i] {
+		return uint64(i)
+	}
+	return uint64(c.alias[i])
+}
+
+// Support returns n, the population size of the stream.
+func (c *Categorical) Support() int { return len(c.pmf) }
+
+// Prob returns the occurrence probability p_j of id j, the quantity the
+// omniscient strategy consults on every arrival. Ids outside [0, n) have
+// probability zero.
+func (c *Categorical) Prob(id uint64) float64 {
+	if id >= uint64(len(c.pmf)) {
+		return 0
+	}
+	return c.pmf[id]
+}
+
+// MinProb returns min_{i: p_i>0} p_i, the numerator of the omniscient
+// insertion probability a_j = min_i(p_i)/p_j.
+func (c *Categorical) MinProb() float64 { return c.minProb }
+
+// PMF returns a copy of the normalised probability mass function.
+func (c *Categorical) PMF() []float64 {
+	out := make([]float64, len(c.pmf))
+	copy(out, c.pmf)
+	return out
+}
+
+// Collect draws m consecutive ids into a slice, the finite stream σ used by
+// one experiment trial.
+func Collect(s Source, m int) []uint64 {
+	out := make([]uint64, m)
+	for i := range out {
+		out[i] = s.Next()
+	}
+	return out
+}
+
+// UniformPMF returns the uniform weight vector over n ids.
+func UniformPMF(n int) []float64 {
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = 1
+	}
+	return w
+}
+
+// ZipfPMF returns weights w_i ∝ 1/(i+1)^alpha over n ids, the Zipfian
+// workload of Figures 7a, 8, 9 and 10a (α = 4 there) and of the real traces
+// in Figure 5.
+func ZipfPMF(n int, alpha float64) []float64 {
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = math.Pow(float64(i+1), -alpha)
+	}
+	return w
+}
+
+// TruncatedPoissonPMF returns weights w_i ∝ e^{−λ}·λ^i/i! restricted to
+// i ∈ [0, n), the workload of Figures 6, 7b and 10b (λ = n/2 there): ids
+// around λ are strongly over-represented, modelling a colluding group of
+// about √λ malicious identifiers.
+func TruncatedPoissonPMF(n int, lambda float64) []float64 {
+	w := make([]float64, n)
+	// Work in log space and rebase by the maximum to avoid underflow at
+	// large λ: log w_i = i·ln λ − λ − lnΓ(i+1).
+	logs := make([]float64, n)
+	maxLog := math.Inf(-1)
+	for i := range logs {
+		lg, _ := math.Lgamma(float64(i + 1))
+		logs[i] = float64(i)*math.Log(lambda) - lambda - lg
+		if logs[i] > maxLog {
+			maxLog = logs[i]
+		}
+	}
+	for i := range w {
+		w[i] = math.Exp(logs[i] - maxLog)
+	}
+	return w
+}
+
+// PeakPMF returns the peak-attack workload of Figure 7a: one id (peak)
+// receives weight peakWeight while every other id receives baseWeight. With
+// peakWeight = 50 000 and baseWeight = 50 this reproduces the paper's
+// "50 000 occurrences of a single id, 50 of every other" stream.
+func PeakPMF(n, peak int, peakWeight, baseWeight float64) ([]float64, error) {
+	if peak < 0 || peak >= n {
+		return nil, fmt.Errorf("stream: peak id %d outside population [0,%d)", peak, n)
+	}
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = baseWeight
+	}
+	w[peak] = peakWeight
+	return w, nil
+}
+
+// MixPMF returns the convex combination Σ coeff_i · pmf_i of weight vectors
+// over the same support; it is how adversarial injections are superimposed
+// on a legitimate stream while keeping the exact composite distribution
+// available to the omniscient oracle. Vectors are normalised before mixing.
+func MixPMF(coeffs []float64, pmfs ...[]float64) ([]float64, error) {
+	if len(coeffs) != len(pmfs) || len(pmfs) == 0 {
+		return nil, fmt.Errorf("stream: %d coefficients for %d pmfs", len(coeffs), len(pmfs))
+	}
+	n := len(pmfs[0])
+	for i, p := range pmfs {
+		if len(p) != n {
+			return nil, fmt.Errorf("stream: pmf %d has support %d, want %d", i, len(p), n)
+		}
+	}
+	csum := 0.0
+	for i, c := range coeffs {
+		if c < 0 || math.IsNaN(c) || math.IsInf(c, 0) {
+			return nil, fmt.Errorf("stream: coefficient %d is invalid: %v", i, c)
+		}
+		csum += c
+	}
+	if csum == 0 {
+		return nil, fmt.Errorf("stream: all coefficients are zero")
+	}
+	out := make([]float64, n)
+	for i, p := range pmfs {
+		t := 0.0
+		for _, v := range p {
+			t += v
+		}
+		if t == 0 {
+			return nil, fmt.Errorf("stream: pmf %d sums to zero", i)
+		}
+		scale := coeffs[i] / (csum * t)
+		for j, v := range p {
+			out[j] += scale * v
+		}
+	}
+	return out, nil
+}
+
+// SliceSource replays a recorded stream (for example a parsed trace),
+// cycling when exhausted. Use Len to bound reads when cycling is unwanted.
+type SliceSource struct {
+	ids []uint64
+	pos int
+}
+
+var _ Source = (*SliceSource)(nil)
+
+// NewSliceSource wraps ids; the slice is copied.
+func NewSliceSource(ids []uint64) (*SliceSource, error) {
+	if len(ids) == 0 {
+		return nil, fmt.Errorf("stream: empty id slice")
+	}
+	cp := make([]uint64, len(ids))
+	copy(cp, ids)
+	return &SliceSource{ids: cp}, nil
+}
+
+// Next returns the next recorded id, cycling at the end.
+func (s *SliceSource) Next() uint64 {
+	v := s.ids[s.pos]
+	s.pos++
+	if s.pos == len(s.ids) {
+		s.pos = 0
+	}
+	return v
+}
+
+// Len returns the number of recorded ids.
+func (s *SliceSource) Len() int { return len(s.ids) }
+
+// Interleave alternates deterministically between sources in round-robin
+// order, modelling a node whose input stream multiplexes several gossip
+// channels.
+type Interleave struct {
+	sources []Source
+	next    int
+}
+
+var _ Source = (*Interleave)(nil)
+
+// NewInterleave round-robins over the given sources.
+func NewInterleave(sources ...Source) (*Interleave, error) {
+	if len(sources) == 0 {
+		return nil, fmt.Errorf("stream: no sources to interleave")
+	}
+	for i, s := range sources {
+		if s == nil {
+			return nil, fmt.Errorf("stream: source %d is nil", i)
+		}
+	}
+	cp := make([]Source, len(sources))
+	copy(cp, sources)
+	return &Interleave{sources: cp}, nil
+}
+
+// Next returns the next id from the current source and advances the rotor.
+func (in *Interleave) Next() uint64 {
+	v := in.sources[in.next].Next()
+	in.next++
+	if in.next == len(in.sources) {
+		in.next = 0
+	}
+	return v
+}

@@ -1,0 +1,391 @@
+package stream
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"nodesampling/internal/metrics"
+	"nodesampling/internal/rng"
+)
+
+func mustCategorical(t testing.TB, w []float64, seed uint64) *Categorical {
+	t.Helper()
+	c, err := NewCategorical(w, rng.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestNewCategoricalValidation(t *testing.T) {
+	r := rng.New(1)
+	cases := []struct {
+		name string
+		w    []float64
+	}{
+		{"empty", nil},
+		{"negative", []float64{1, -1}},
+		{"nan", []float64{1, math.NaN()}},
+		{"inf", []float64{math.Inf(1), 1}},
+		{"all zero", []float64{0, 0, 0}},
+	}
+	for _, c := range cases {
+		if _, err := NewCategorical(c.w, r); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+	if _, err := NewCategorical([]float64{1}, nil); err == nil {
+		t.Error("nil rng: expected error")
+	}
+}
+
+func TestCategoricalNormalisesPMF(t *testing.T) {
+	c := mustCategorical(t, []float64{2, 6}, 2)
+	if p := c.Prob(0); math.Abs(p-0.25) > 1e-15 {
+		t.Errorf("Prob(0) = %v, want 0.25", p)
+	}
+	if p := c.Prob(1); math.Abs(p-0.75) > 1e-15 {
+		t.Errorf("Prob(1) = %v, want 0.75", p)
+	}
+	if p := c.Prob(7); p != 0 {
+		t.Errorf("Prob out of support = %v, want 0", p)
+	}
+	if c.Support() != 2 {
+		t.Errorf("Support = %d", c.Support())
+	}
+	if mp := c.MinProb(); math.Abs(mp-0.25) > 1e-15 {
+		t.Errorf("MinProb = %v, want 0.25", mp)
+	}
+}
+
+func TestMinProbSkipsZeros(t *testing.T) {
+	c := mustCategorical(t, []float64{0, 1, 3}, 3)
+	if mp := c.MinProb(); math.Abs(mp-0.25) > 1e-15 {
+		t.Errorf("MinProb = %v, want 0.25 (zero-mass ids excluded)", mp)
+	}
+}
+
+func TestPMFReturnsCopy(t *testing.T) {
+	c := mustCategorical(t, []float64{1, 1}, 4)
+	p := c.PMF()
+	p[0] = 99
+	if c.Prob(0) == 99 {
+		t.Fatal("PMF exposed internal state")
+	}
+}
+
+// TestAliasMatchesPMF draws heavily from skewed distributions and compares
+// empirical frequencies to the pmf — the core correctness property of the
+// alias construction.
+func TestAliasMatchesPMF(t *testing.T) {
+	cases := [][]float64{
+		{1, 1, 1, 1},
+		{10, 1, 1, 1, 1, 1},
+		{0.5, 0, 0.25, 0.25},
+		ZipfPMF(50, 2),
+		TruncatedPoissonPMF(100, 50),
+	}
+	for ci, w := range cases {
+		c := mustCategorical(t, w, uint64(100+ci))
+		const draws = 400000
+		counts := make([]float64, c.Support())
+		for i := 0; i < draws; i++ {
+			counts[c.Next()]++
+		}
+		for i := range counts {
+			want := c.Prob(uint64(i))
+			got := counts[i] / draws
+			tol := 5*math.Sqrt(want*(1-want)/draws) + 2e-4
+			if math.Abs(got-want) > tol {
+				t.Errorf("case %d id %d: empirical %v vs pmf %v (tol %v)", ci, i, got, want, tol)
+			}
+		}
+	}
+}
+
+// TestAliasNeverEmitsZeroMass: ids with zero probability must never appear.
+func TestAliasNeverEmitsZeroMass(t *testing.T) {
+	c := mustCategorical(t, []float64{0, 5, 0, 5, 0}, 7)
+	for i := 0; i < 100000; i++ {
+		id := c.Next()
+		if id == 0 || id == 2 || id == 4 {
+			t.Fatalf("drew zero-mass id %d", id)
+		}
+	}
+}
+
+func TestPMFSumsToOneProperty(t *testing.T) {
+	f := func(seed uint64, sz uint8) bool {
+		n := int(sz%64) + 1
+		local := rng.New(seed)
+		w := make([]float64, n)
+		for i := range w {
+			w[i] = local.Float64() * 10
+		}
+		w[local.Intn(n)] = 1 // guarantee one positive weight
+		c, err := NewCategorical(w, rng.New(seed^1))
+		if err != nil {
+			return false
+		}
+		sum := 0.0
+		for _, p := range c.PMF() {
+			sum += p
+		}
+		return math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rng.NewRand(55)}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZipfPMFShape(t *testing.T) {
+	w := ZipfPMF(10, 4)
+	for i := 1; i < len(w); i++ {
+		if w[i] >= w[i-1] {
+			t.Fatalf("Zipf weights not strictly decreasing at %d", i)
+		}
+	}
+	// alpha=4: w0/w1 = 2^4.
+	if math.Abs(w[0]/w[1]-16) > 1e-9 {
+		t.Fatalf("Zipf ratio w0/w1 = %v, want 16", w[0]/w[1])
+	}
+}
+
+func TestZipfAlphaZeroIsUniform(t *testing.T) {
+	w := ZipfPMF(5, 0)
+	for _, v := range w {
+		if v != 1 {
+			t.Fatalf("alpha=0 weights = %v, want all 1", w)
+		}
+	}
+}
+
+func TestTruncatedPoissonPMFShape(t *testing.T) {
+	const n, lambda = 1000, 500.0
+	w := TruncatedPoissonPMF(n, lambda)
+	// Mode at floor(lambda) (or lambda-1).
+	best := 0
+	for i, v := range w {
+		if v > w[best] {
+			best = i
+		}
+	}
+	if best != 500 && best != 499 {
+		t.Fatalf("Poisson mode at %d, want 499 or 500", best)
+	}
+	// Mass far from the mode must be negligible: the attack over-represents
+	// only ~sqrt(lambda) ids around λ.
+	if w[0] > 1e-100 || w[n-1] > 1e-30 {
+		t.Fatalf("tails not negligible: w[0]=%v w[n-1]=%v", w[0], w[n-1])
+	}
+	// No NaN/Inf anywhere (log-space stability).
+	for i, v := range w {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("w[%d] = %v", i, v)
+		}
+	}
+}
+
+func TestTruncatedPoissonSmallLambda(t *testing.T) {
+	w := TruncatedPoissonPMF(20, 2)
+	// Compare with the untruncated ratios: w[i]/w[0] = λ^i/i!.
+	for i, want := range []float64{1, 2, 2, 4.0 / 3} {
+		if got := w[i] / w[0]; math.Abs(got-want) > 1e-9 {
+			t.Fatalf("w[%d]/w[0] = %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestPeakPMF(t *testing.T) {
+	w, err := PeakPMF(1000, 42, 50000, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w[42] != 50000 {
+		t.Fatalf("peak weight = %v", w[42])
+	}
+	if w[0] != 50 || w[999] != 50 {
+		t.Fatalf("base weights wrong: %v, %v", w[0], w[999])
+	}
+	if _, err := PeakPMF(10, 10, 1, 1); err == nil {
+		t.Error("peak outside population should fail")
+	}
+	if _, err := PeakPMF(10, -1, 1, 1); err == nil {
+		t.Error("negative peak should fail")
+	}
+}
+
+func TestMixPMF(t *testing.T) {
+	a := []float64{1, 0}
+	b := []float64{0, 1}
+	m, err := MixPMF([]float64{3, 1}, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m[0]-0.75) > 1e-12 || math.Abs(m[1]-0.25) > 1e-12 {
+		t.Fatalf("mix = %v, want [0.75, 0.25]", m)
+	}
+}
+
+func TestMixPMFNormalisesComponents(t *testing.T) {
+	// Component scales must not matter, only the mixing coefficients.
+	a := []float64{2, 0} // same distribution as {1, 0}
+	b := []float64{0, 10}
+	m, err := MixPMF([]float64{1, 1}, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m[0]-0.5) > 1e-12 || math.Abs(m[1]-0.5) > 1e-12 {
+		t.Fatalf("mix = %v, want [0.5, 0.5]", m)
+	}
+}
+
+func TestMixPMFValidation(t *testing.T) {
+	if _, err := MixPMF([]float64{1}, []float64{1}, []float64{1}); err == nil {
+		t.Error("coefficient count mismatch should fail")
+	}
+	if _, err := MixPMF(nil); err == nil {
+		t.Error("no pmfs should fail")
+	}
+	if _, err := MixPMF([]float64{1, 1}, []float64{1}, []float64{1, 2}); err == nil {
+		t.Error("support mismatch should fail")
+	}
+	if _, err := MixPMF([]float64{0, 0}, []float64{1}, []float64{1}); err == nil {
+		t.Error("all-zero coefficients should fail")
+	}
+	if _, err := MixPMF([]float64{1}, []float64{0}); err == nil {
+		t.Error("zero-sum pmf should fail")
+	}
+	if _, err := MixPMF([]float64{-1, 2}, []float64{1}, []float64{1}); err == nil {
+		t.Error("negative coefficient should fail")
+	}
+}
+
+func TestCollect(t *testing.T) {
+	c := mustCategorical(t, []float64{1}, 9)
+	ids := Collect(c, 5)
+	if len(ids) != 5 {
+		t.Fatalf("Collect length %d", len(ids))
+	}
+	for _, id := range ids {
+		if id != 0 {
+			t.Fatalf("single-support stream emitted %d", id)
+		}
+	}
+}
+
+func TestSliceSourceCycles(t *testing.T) {
+	s, err := NewSliceSource([]uint64{4, 5, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	got := Collect(s, 7)
+	want := []uint64{4, 5, 6, 4, 5, 6, 4}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("cycle mismatch at %d: %v", i, got)
+		}
+	}
+}
+
+func TestSliceSourceCopiesInput(t *testing.T) {
+	ids := []uint64{1, 2}
+	s, err := NewSliceSource(ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids[0] = 99
+	if got := s.Next(); got != 1 {
+		t.Fatalf("slice source saw caller mutation: %d", got)
+	}
+}
+
+func TestSliceSourceEmpty(t *testing.T) {
+	if _, err := NewSliceSource(nil); err == nil {
+		t.Error("empty slice should fail")
+	}
+}
+
+func TestInterleave(t *testing.T) {
+	a, err := NewSliceSource([]uint64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewSliceSource([]uint64{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := NewInterleave(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := Collect(in, 4)
+	want := []uint64{1, 2, 1, 2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("interleave = %v", got)
+		}
+	}
+}
+
+func TestInterleaveValidation(t *testing.T) {
+	if _, err := NewInterleave(); err == nil {
+		t.Error("no sources should fail")
+	}
+	if _, err := NewInterleave(nil); err == nil {
+		t.Error("nil source should fail")
+	}
+}
+
+// TestZipfStreamKLMatchesTheory: the empirical KL divergence of a generated
+// Zipf stream against uniform should approach the analytic divergence of the
+// pmf itself — the property Figure 8's x-axis sweep relies on.
+func TestZipfStreamKLMatchesTheory(t *testing.T) {
+	const n, m = 100, 200000
+	pmf := ZipfPMF(n, 1.5)
+	c := mustCategorical(t, pmf, 33)
+	h := metrics.NewHistogram()
+	for i := 0; i < m; i++ {
+		h.Add(c.Next())
+	}
+	got, err := h.KLvsUniform(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0.0
+	norm := c.PMF()
+	for _, p := range norm {
+		if p > 0 {
+			want += p * math.Log(p*float64(n))
+		}
+	}
+	if math.Abs(got-want) > 0.05*want {
+		t.Fatalf("empirical KL %v vs analytic %v", got, want)
+	}
+}
+
+func BenchmarkCategoricalNext(b *testing.B) {
+	c, err := NewCategorical(ZipfPMF(1000, 4), rng.New(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += c.Next()
+	}
+	_ = sink
+}
+
+func BenchmarkNewCategorical(b *testing.B) {
+	w := ZipfPMF(10000, 2)
+	r := rng.New(1)
+	for i := 0; i < b.N; i++ {
+		if _, err := NewCategorical(w, r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

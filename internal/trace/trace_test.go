@@ -1,0 +1,270 @@
+package trace
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// smallSpec is a fast, fully checkable stand-in for the Table II traces.
+func smallSpec() Spec {
+	return Spec{Name: "small", M: 20000, N: 500, MaxFreq: 800}
+}
+
+func TestTableIISpecsMatchPaper(t *testing.T) {
+	specs := TableII()
+	if len(specs) != 3 {
+		t.Fatalf("TableII returned %d specs", len(specs))
+	}
+	want := map[string][3]uint64{
+		"NASA":         {1_891_715, 81_983, 17_572},
+		"ClarkNet":     {1_673_794, 94_787, 7_239},
+		"Saskatchewan": {2_408_625, 162_523, 52_695},
+	}
+	for _, s := range specs {
+		w, ok := want[s.Name]
+		if !ok {
+			t.Fatalf("unexpected trace %q", s.Name)
+		}
+		if uint64(s.M) != w[0] || uint64(s.N) != w[1] || s.MaxFreq != w[2] {
+			t.Errorf("%s spec = (%d, %d, %d), want (%d, %d, %d)",
+				s.Name, s.M, s.N, s.MaxFreq, w[0], w[1], w[2])
+		}
+	}
+}
+
+func TestCalibrateZipfAlpha(t *testing.T) {
+	spec := smallSpec()
+	alpha, err := CalibrateZipfAlpha(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Verify the fixed point: 1/H_{n,alpha} = maxFreq/m.
+	h := 0.0
+	for i := 1; i <= spec.N; i++ {
+		h += math.Pow(float64(i), -alpha)
+	}
+	got := 1 / h
+	want := float64(spec.MaxFreq) / float64(spec.M)
+	if math.Abs(got-want)/want > 1e-6 {
+		t.Fatalf("calibrated top share %v, want %v (alpha=%v)", got, want, alpha)
+	}
+}
+
+func TestCalibrateValidation(t *testing.T) {
+	bad := []Spec{
+		{Name: "zero m", M: 0, N: 10, MaxFreq: 1},
+		{Name: "zero n", M: 10, N: 0, MaxFreq: 1},
+		{Name: "max too big", M: 10, N: 5, MaxFreq: 11},
+		{Name: "max zero", M: 10, N: 5, MaxFreq: 0},
+		{Name: "flatter than uniform", M: 100, N: 100, MaxFreq: 1},
+	}
+	for _, s := range bad {
+		if _, err := CalibrateZipfAlpha(s); err == nil {
+			t.Errorf("%s: expected error", s.Name)
+		}
+	}
+}
+
+func TestCalibrateSingleID(t *testing.T) {
+	if _, err := CalibrateZipfAlpha(Spec{Name: "one", M: 7, N: 1, MaxFreq: 7}); err != nil {
+		t.Fatalf("single-id spec: %v", err)
+	}
+	if _, err := CalibrateZipfAlpha(Spec{Name: "one-bad", M: 7, N: 1, MaxFreq: 3}); err == nil {
+		t.Error("inconsistent single-id spec should fail")
+	}
+}
+
+// TestSynthesizeMatchesSpecExactly is the substitution contract: the
+// synthetic trace reproduces all three Table II statistics exactly.
+func TestSynthesizeMatchesSpecExactly(t *testing.T) {
+	spec := smallSpec()
+	tr, err := Synthesize(spec, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != spec.M {
+		t.Errorf("stream length %d, want %d", tr.Len(), spec.M)
+	}
+	if tr.Distinct() != spec.N {
+		t.Errorf("distinct ids %d, want %d", tr.Distinct(), spec.N)
+	}
+	if tr.MaxFreq() != spec.MaxFreq {
+		t.Errorf("max frequency %d, want %d", tr.MaxFreq(), spec.MaxFreq)
+	}
+}
+
+func TestSynthesizeZipfShape(t *testing.T) {
+	spec := smallSpec()
+	tr, err := Synthesize(spec, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rf := tr.RankFrequency()
+	if len(rf) != spec.N {
+		t.Fatalf("rank-frequency length %d", len(rf))
+	}
+	// Non-increasing, top equals MaxFreq, bottom at least 1.
+	for i := 1; i < len(rf); i++ {
+		if rf[i] > rf[i-1] {
+			t.Fatalf("rank-frequency not sorted at %d", i)
+		}
+	}
+	if rf[0] != spec.MaxFreq || rf[len(rf)-1] < 1 {
+		t.Fatalf("rank-frequency ends = %d .. %d", rf[0], rf[len(rf)-1])
+	}
+	// Zipf linearity in log-log space: the ratio log(f_1/f_r)/log(r) should
+	// be roughly constant (= alpha) at well-separated ranks.
+	alpha, err := CalibrateZipfAlpha(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rank := range []int{10, 50, 200} {
+		est := math.Log(float64(rf[0])/float64(rf[rank])) / math.Log(float64(rank+1))
+		if math.Abs(est-alpha) > 0.25*alpha {
+			t.Errorf("log-log slope at rank %d = %v, want about %v", rank, est, alpha)
+		}
+	}
+}
+
+func TestSynthesizeDeterministicPerSeed(t *testing.T) {
+	spec := Spec{Name: "tiny", M: 2000, N: 50, MaxFreq: 100}
+	a, err := Synthesize(spec, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Synthesize(spec, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.IDs() {
+		if a.IDs()[i] != b.IDs()[i] {
+			t.Fatalf("same-seed traces diverge at %d", i)
+		}
+	}
+	c, err := Synthesize(spec, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := 0
+	for i := range a.IDs() {
+		if a.IDs()[i] == c.IDs()[i] {
+			same++
+		}
+	}
+	if same == len(a.IDs()) {
+		t.Fatal("different seeds produced identical order")
+	}
+}
+
+func TestSynthesizeInfeasibleSpec(t *testing.T) {
+	// 10 elements cannot hold 8 distinct ids plus a peak of 5 (5+7 > 10).
+	if _, err := Synthesize(Spec{Name: "bad", M: 10, N: 8, MaxFreq: 5}, 1); err == nil {
+		t.Error("infeasible spec should fail")
+	}
+}
+
+// TestSynthesizeNASA builds the real NASA-scale trace and verifies the
+// Table II statistics exactly; this is the actual Figure 12 substrate.
+func TestSynthesizeNASA(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale trace synthesis in -short mode")
+	}
+	spec := TableII()[0]
+	tr, err := Synthesize(spec, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != spec.M || tr.Distinct() != spec.N || tr.MaxFreq() != spec.MaxFreq {
+		t.Fatalf("NASA synthetic = (%d, %d, %d), want (%d, %d, %d)",
+			tr.Len(), tr.Distinct(), tr.MaxFreq(), spec.M, spec.N, spec.MaxFreq)
+	}
+}
+
+func TestFromIDs(t *testing.T) {
+	tr, err := FromIDs([]uint64{1, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 3 || tr.Distinct() != 2 || tr.MaxFreq() != 2 {
+		t.Fatalf("stats = (%d, %d, %d)", tr.Len(), tr.Distinct(), tr.MaxFreq())
+	}
+	if _, err := FromIDs(nil); err == nil {
+		t.Error("empty ids should fail")
+	}
+	counts := tr.Counts()
+	counts[1] = 99
+	if tr.Counts()[1] != 2 {
+		t.Error("Counts exposed internal state")
+	}
+}
+
+func TestParseCommonLogRemoteHost(t *testing.T) {
+	log := strings.Join([]string{
+		`alpha.example.com - - [01/Jul/1995:00:00:01 -0400] "GET /a.html HTTP/1.0" 200 6245`,
+		`beta.example.com - - [01/Jul/1995:00:00:06 -0400] "GET /b.html HTTP/1.0" 200 3985`,
+		`alpha.example.com - - [01/Jul/1995:00:00:09 -0400] "GET /c.html HTTP/1.0" 200 4085`,
+		``,
+		`malformed-line-without-space`,
+	}, "\n")
+	ids, skipped, err := ParseCommonLog(strings.NewReader(log), KeyRemoteHost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 3 {
+		t.Fatalf("parsed %d ids, want 3", len(ids))
+	}
+	if skipped != 2 {
+		t.Fatalf("skipped %d lines, want 2", skipped)
+	}
+	if ids[0] != ids[2] {
+		t.Error("same host must hash to the same id")
+	}
+	if ids[0] == ids[1] {
+		t.Error("different hosts must hash to different ids")
+	}
+}
+
+func TestParseCommonLogRequestURL(t *testing.T) {
+	log := strings.Join([]string{
+		`h1 - - [t] "GET /same.html HTTP/1.0" 200 1`,
+		`h2 - - [t] "GET /same.html HTTP/1.0" 200 1`,
+		`h3 - - [t] "GET /other.html HTTP/1.0" 200 1`,
+		`h4 - - [t] "BADREQUEST" 400 1`,
+		`h5 no quotes at all`,
+	}, "\n")
+	ids, skipped, err := ParseCommonLog(strings.NewReader(log), KeyRequestURL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 3 || skipped != 2 {
+		t.Fatalf("parsed %d ids (skipped %d), want 3 (2)", len(ids), skipped)
+	}
+	if ids[0] != ids[1] {
+		t.Error("same URL must hash to the same id")
+	}
+	if ids[0] == ids[2] {
+		t.Error("different URLs must hash to different ids")
+	}
+}
+
+func TestParseCommonLogErrors(t *testing.T) {
+	if _, _, err := ParseCommonLog(strings.NewReader("x y z"), KeyField(0)); err == nil {
+		t.Error("unknown key field should fail")
+	}
+	if _, _, err := ParseCommonLog(strings.NewReader(""), KeyRemoteHost); err == nil {
+		t.Error("empty log should fail")
+	}
+	if _, _, err := ParseCommonLog(strings.NewReader("\n\n"), KeyRemoteHost); err == nil {
+		t.Error("blank-only log should fail")
+	}
+}
+
+func BenchmarkSynthesizeSmall(b *testing.B) {
+	spec := smallSpec()
+	for i := 0; i < b.N; i++ {
+		if _, err := Synthesize(spec, uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,371 @@
+// Package urn implements the balls-into-urns analysis of Section V of the
+// paper, which quantifies the minimum number of distinct node identifiers an
+// adversary must create to subvert the knowledge-free sampler.
+//
+// Each column of a Count-Min row is an urn; every distinct malicious id is a
+// ball thrown uniformly (by 2-universality of the row hash). With N_ℓ the
+// number of occupied urns among k after ℓ balls:
+//
+//   - P{N_ℓ = i} = S(ℓ,i)·k! / (k^ℓ·(k−i)!)                  (Theorem 6)
+//   - P{N_ℓ = N_{ℓ-1}} = E[N_{ℓ-1}]/k = 1 − (1−1/k)^{ℓ-1}
+//
+// A targeted attack on one victim id succeeds once some ball collides in
+// every one of the s independent rows:
+//
+//	L_{k,s} = inf{ ℓ ≥ 2 : (P{N_ℓ = N_{ℓ-1}})^s > 1 − η_T }   (Relation 2)
+//
+// A flooding attack must occupy all k urns (coupon collector U_k):
+//
+//	E_k = inf{ ℓ ≥ k : P{U_k ≤ ℓ} > 1 − η_F }                 (Relation 5)
+//
+// The package provides numerically stable dynamic-programming evaluations of
+// all these quantities, exact big-integer Stirling numbers for cross-checks,
+// and the closed forms used for fast computation.
+package urn
+
+import (
+	"fmt"
+	"math"
+	"math/big"
+)
+
+// Occupancy iterates the exact distribution of N_ℓ, the number of occupied
+// urns among k after ℓ uniform ball throws. The zero value is not usable;
+// construct with NewOccupancy.
+type Occupancy struct {
+	k   int
+	ell int
+	q   []float64 // q[i] = P{N_ell = i}, i in [0, k]
+	tmp []float64
+}
+
+// NewOccupancy returns the occupancy distribution at ℓ = 0 (no balls thrown,
+// all urns empty) for k urns.
+func NewOccupancy(k int) (*Occupancy, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("urn: urn count must be at least 1, got %d", k)
+	}
+	q := make([]float64, k+1)
+	q[0] = 1
+	return &Occupancy{k: k, q: q, tmp: make([]float64, k+1)}, nil
+}
+
+// K returns the number of urns.
+func (o *Occupancy) K() int { return o.k }
+
+// Balls returns ℓ, the number of balls thrown so far.
+func (o *Occupancy) Balls() int { return o.ell }
+
+// P returns P{N_ℓ = i} for the current ℓ. Out-of-range i yields 0.
+func (o *Occupancy) P(i int) float64 {
+	if i < 0 || i > o.k {
+		return 0
+	}
+	return o.q[i]
+}
+
+// Step throws one more ball, advancing the distribution from ℓ to ℓ+1 via
+// the recursion in the proof of Theorem 6:
+//
+//	P{N_ℓ = i} = ((k−i+1)/k)·P{N_{ℓ-1} = i−1} + (i/k)·P{N_{ℓ-1} = i}.
+func (o *Occupancy) Step() {
+	k := float64(o.k)
+	o.tmp[0] = 0
+	for i := 1; i <= o.k; i++ {
+		o.tmp[i] = o.q[i-1]*(k-float64(i)+1)/k + o.q[i]*float64(i)/k
+	}
+	o.q, o.tmp = o.tmp, o.q
+	o.ell++
+}
+
+// Expected returns E[N_ℓ] computed from the current distribution.
+func (o *Occupancy) Expected() float64 {
+	e := 0.0
+	for i := 1; i <= o.k; i++ {
+		e += float64(i) * o.q[i]
+	}
+	return e
+}
+
+// AllOccupied returns P{N_ℓ = k}, the probability that every urn holds at
+// least one ball — equivalently P{U_k ≤ ℓ} for the coupon-collector time.
+func (o *Occupancy) AllOccupied() float64 { return o.q[o.k] }
+
+// CollisionProb returns P{N_{ℓ+1} = N_ℓ} for the current state: the chance
+// that the next ball lands in an already-occupied urn, which equals
+// E[N_ℓ]/k (Section V-A).
+func (o *Occupancy) CollisionProb() float64 { return o.Expected() / float64(o.k) }
+
+// ExpectedOccupied is the closed form E[N_ℓ] = k(1 − (1−1/k)^ℓ).
+func ExpectedOccupied(k, ell int) float64 {
+	if k < 1 || ell < 0 {
+		return 0
+	}
+	return float64(k) * (1 - math.Pow(1-1/float64(k), float64(ell)))
+}
+
+// CollisionProbClosed is the closed form P{N_ℓ = N_{ℓ-1}} = 1 − (1−1/k)^{ℓ-1}.
+func CollisionProbClosed(k, ell int) float64 {
+	if ell < 1 {
+		return 0
+	}
+	return 1 - math.Pow(1-1/float64(k), float64(ell-1))
+}
+
+// validateEffortInputs checks the shared parameter domain of the effort
+// functions.
+func validateEffortInputs(k, s int, eta float64) error {
+	if k < 1 {
+		return fmt.Errorf("urn: k must be at least 1, got %d", k)
+	}
+	if s < 1 {
+		return fmt.Errorf("urn: s must be at least 1, got %d", s)
+	}
+	if !(eta > 0 && eta < 1) {
+		return fmt.Errorf("urn: eta must be in (0,1), got %v", eta)
+	}
+	return nil
+}
+
+// TargetedEffort returns L_{k,s}, the minimum number of distinct malicious
+// ids to inject so that, with probability greater than 1 − eta, at least one
+// of them collides with the victim's counter in every one of the s rows of a
+// k-column Count-Min sketch (Relation 2 of the paper).
+func TargetedEffort(k, s int, eta float64) (int, error) {
+	if err := validateEffortInputs(k, s, eta); err != nil {
+		return 0, err
+	}
+	if k == 1 {
+		// A single urn: the second ball always collides.
+		return 2, nil
+	}
+	// Closed form: need (1 − (1−1/k)^{ℓ-1})^s > 1 − η, i.e.
+	// (ℓ−1)·ln(1−1/k) < ln(1 − (1−η)^{1/s}).
+	target := 1 - math.Pow(1-eta, 1/float64(s))
+	guess := 2
+	if target > 0 {
+		x := math.Log(target) / math.Log(1-1/float64(k))
+		guess = int(x) // will be adjusted by the exact scan below
+	}
+	if guess < 2 {
+		guess = 2
+	}
+	ok := func(ell int) bool {
+		if ell < 2 {
+			return false
+		}
+		p := CollisionProbClosed(k, ell)
+		return math.Pow(p, float64(s)) > 1-eta
+	}
+	// Walk down to the boundary then up, so floating-point slack in the
+	// closed-form guess cannot produce an off-by-one.
+	for guess > 2 && ok(guess-1) {
+		guess--
+	}
+	for !ok(guess) {
+		guess++
+	}
+	return guess, nil
+}
+
+// TargetedEffortDP computes L_{k,s} by evolving the exact occupancy
+// distribution instead of the closed form. It exists as an independent
+// implementation for cross-validation; both must agree exactly.
+func TargetedEffortDP(k, s int, eta float64) (int, error) {
+	if err := validateEffortInputs(k, s, eta); err != nil {
+		return 0, err
+	}
+	occ, err := NewOccupancy(k)
+	if err != nil {
+		return 0, err
+	}
+	occ.Step() // ℓ = 1
+	for ell := 2; ; ell++ {
+		// P{N_ell = N_{ell-1}} uses the distribution at ell−1.
+		p := occ.CollisionProb()
+		if math.Pow(p, float64(s)) > 1-eta {
+			return ell, nil
+		}
+		occ.Step()
+		if ell > 100_000_000 {
+			return 0, fmt.Errorf("urn: targeted effort did not converge for k=%d s=%d eta=%v", k, s, eta)
+		}
+	}
+}
+
+// FloodingEffort returns E_k, the minimum number of distinct malicious ids
+// to inject so that, with probability greater than 1 − eta, every one of the
+// k columns of the sketch is hit — biasing the estimate of every id in the
+// system (Relation 5). The value is independent of the row count s because
+// the rows fill simultaneously and independently.
+func FloodingEffort(k int, eta float64) (int, error) {
+	if err := validateEffortInputs(k, 1, eta); err != nil {
+		return 0, err
+	}
+	if k == 1 {
+		return 1, nil
+	}
+	occ, err := NewOccupancy(k)
+	if err != nil {
+		return 0, err
+	}
+	for ell := 0; ell < k; ell++ {
+		occ.Step()
+	}
+	for ell := k; ; ell++ {
+		if occ.AllOccupied() > 1-eta {
+			return ell, nil
+		}
+		occ.Step()
+		if ell > 100_000_000 {
+			return 0, fmt.Errorf("urn: flooding effort did not converge for k=%d eta=%v", k, eta)
+		}
+	}
+}
+
+// FloodingEffortAllRows returns the exact flooding threshold when the event
+// is required in all s independent rows simultaneously:
+// inf{ ℓ ≥ k : (P{N_ℓ = k})^s > 1 − eta }. The paper's E_k corresponds to
+// s = 1 (its Section V-B argues the row count does not matter, which holds
+// only approximately); the gap to E_k quantifies that approximation.
+func FloodingEffortAllRows(k, s int, eta float64) (int, error) {
+	if err := validateEffortInputs(k, s, eta); err != nil {
+		return 0, err
+	}
+	if k == 1 {
+		return 1, nil
+	}
+	occ, err := NewOccupancy(k)
+	if err != nil {
+		return 0, err
+	}
+	for ell := 0; ell < k; ell++ {
+		occ.Step()
+	}
+	for ell := k; ; ell++ {
+		if math.Pow(occ.AllOccupied(), float64(s)) > 1-eta {
+			return ell, nil
+		}
+		occ.Step()
+		if ell > 100_000_000 {
+			return 0, fmt.Errorf("urn: all-rows flooding effort did not converge for k=%d s=%d eta=%v", k, s, eta)
+		}
+	}
+}
+
+// AllOccupiedInclusionExclusion returns P{N_ℓ = k} via the explicit
+// inclusion–exclusion sum Σ_j (−1)^j C(k,j)(1−j/k)^ℓ. It is numerically
+// reliable only where the sum converges quickly (ℓ well above k·ln k, the
+// regime where the effort thresholds live) and is used to cross-check the
+// DP.
+func AllOccupiedInclusionExclusion(k, ell int) float64 {
+	if ell < k {
+		return 0
+	}
+	sum := 1.0
+	sign := -1.0
+	logC := 0.0 // log C(k, j), built incrementally
+	for j := 1; j <= k; j++ {
+		logC += math.Log(float64(k-j+1)) - math.Log(float64(j))
+		frac := 1 - float64(j)/float64(k)
+		if frac <= 0 {
+			break
+		}
+		term := math.Exp(logC + float64(ell)*math.Log(frac))
+		sum += sign * term
+		sign = -sign
+		if term < 1e-18 {
+			break
+		}
+	}
+	return sum
+}
+
+// UkPMF returns P{U_k = ℓ}, the probability that the coupon-collector time
+// over k urns equals exactly ℓ, computed as (1/k)·P{N_{ℓ-1} = k−1}.
+func UkPMF(k, ell int) (float64, error) {
+	if k < 1 {
+		return 0, fmt.Errorf("urn: k must be at least 1, got %d", k)
+	}
+	if ell < k {
+		return 0, nil
+	}
+	if k == 1 {
+		if ell == 1 {
+			return 1, nil
+		}
+		return 0, nil
+	}
+	occ, err := NewOccupancy(k)
+	if err != nil {
+		return 0, err
+	}
+	for i := 0; i < ell-1; i++ {
+		occ.Step()
+	}
+	return occ.P(k-1) / float64(k), nil
+}
+
+// Stirling2 returns the Stirling number of the second kind S(ℓ, i) as an
+// exact big integer, using the defining recursion (Relation 3 of the paper):
+// S(ℓ,i) = S(ℓ−1,i−1)·1{i≠1} + i·S(ℓ−1,i)·1{i≠ℓ}, S(1,1) = 1.
+func Stirling2(ell, i int) *big.Int {
+	if ell < 1 || i < 1 || i > ell {
+		return big.NewInt(0)
+	}
+	// Rolling one-dimensional DP over ℓ.
+	prev := make([]*big.Int, ell+1)
+	cur := make([]*big.Int, ell+1)
+	for j := range prev {
+		prev[j] = big.NewInt(0)
+		cur[j] = big.NewInt(0)
+	}
+	prev[1].SetInt64(1) // S(1,1)
+	for l := 2; l <= ell; l++ {
+		for j := 1; j <= l && j <= i; j++ {
+			cur[j].SetInt64(0)
+			if j != 1 {
+				cur[j].Add(cur[j], prev[j-1])
+			}
+			if j != l {
+				var t big.Int
+				t.Mul(big.NewInt(int64(j)), prev[j])
+				cur[j].Add(cur[j], &t)
+			}
+		}
+		prev, cur = cur, prev
+	}
+	return new(big.Int).Set(prev[i])
+}
+
+// OccupancyExact returns P{N_ℓ = i} evaluated through the explicit Theorem 6
+// formula S(ℓ,i)·k!/(k^ℓ·(k−i)!) with exact big-rational arithmetic. It is
+// exponential in ℓ only through big-int growth, so keep ℓ modest (tests use
+// it to validate the DP).
+func OccupancyExact(k, ell, i int) (float64, error) {
+	if k < 1 {
+		return 0, fmt.Errorf("urn: k must be at least 1, got %d", k)
+	}
+	if ell < 1 || i < 1 || i > k || i > ell {
+		return 0, nil
+	}
+	num := Stirling2(ell, i)
+	// num *= k! / (k-i)! = k·(k−1)···(k−i+1)
+	for j := 0; j < i; j++ {
+		num.Mul(num, big.NewInt(int64(k-j)))
+	}
+	den := new(big.Int).Exp(big.NewInt(int64(k)), big.NewInt(int64(ell)), nil)
+	rat := new(big.Rat).SetFrac(num, den)
+	f, _ := rat.Float64()
+	return f, nil
+}
+
+// HarmonicMeanFillTime returns the classical coupon-collector expectation
+// E[U_k] = k·H_k, useful as a sanity anchor for E_k values.
+func HarmonicMeanFillTime(k int) float64 {
+	h := 0.0
+	for i := 1; i <= k; i++ {
+		h += 1 / float64(i)
+	}
+	return float64(k) * h
+}

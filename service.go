@@ -1,0 +1,191 @@
+package nodesampling
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// ErrServiceClosed is returned by Push and Flush after Close.
+var ErrServiceClosed = errors.New("nodesampling: service closed")
+
+// Service runs a Sampler behind a goroutine so that many producers can feed
+// the input stream concurrently while consumers read samples or subscribe
+// to the output stream. It is the "sampling service local to a correct
+// node" of the paper's Figure 1, continuously reading σ and writing σ′.
+//
+// A Service must be created with NewService and released with Close.
+type Service struct {
+	mu      sync.Mutex
+	sampler Sampler
+
+	in     chan NodeID
+	done   chan struct{}
+	closed chan struct{} // signalled once by Close
+	once   sync.Once
+
+	outMu   sync.Mutex
+	outSubs []chan NodeID
+	dropped uint64
+}
+
+// ServiceOption customises a Service.
+type ServiceOption func(*serviceConfig) error
+
+type serviceConfig struct {
+	buffer int
+}
+
+// WithInputBuffer sets the input channel capacity (default 1, per the
+// "channel size is one or none" rule; raise it for bursty producers that
+// must not block on the sampler's processing).
+func WithInputBuffer(n int) ServiceOption {
+	return func(c *serviceConfig) error {
+		if n < 0 {
+			return fmt.Errorf("nodesampling: negative input buffer %d", n)
+		}
+		c.buffer = n
+		return nil
+	}
+}
+
+// NewService wraps sampler in a concurrent pipeline. The service owns the
+// sampler from this point: the caller must not invoke the sampler directly
+// anymore.
+func NewService(sampler Sampler, opts ...ServiceOption) (*Service, error) {
+	if sampler == nil {
+		return nil, errors.New("nodesampling: nil sampler")
+	}
+	cfg := serviceConfig{buffer: 1}
+	for _, o := range opts {
+		if err := o(&cfg); err != nil {
+			return nil, err
+		}
+	}
+	s := &Service{
+		sampler: sampler,
+		in:      make(chan NodeID, cfg.buffer),
+		done:    make(chan struct{}),
+		closed:  make(chan struct{}),
+	}
+	go s.run()
+	return s, nil
+}
+
+func (s *Service) run() {
+	defer close(s.done)
+	for {
+		select {
+		case id := <-s.in:
+			s.process(id)
+		case <-s.closed:
+			// Drain whatever producers managed to enqueue, then stop.
+			for {
+				select {
+				case id := <-s.in:
+					s.process(id)
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+func (s *Service) process(id NodeID) {
+	s.mu.Lock()
+	out := s.sampler.Process(id)
+	s.mu.Unlock()
+	s.publish(out)
+}
+
+func (s *Service) publish(id NodeID) {
+	s.outMu.Lock()
+	defer s.outMu.Unlock()
+	for _, ch := range s.outSubs {
+		select {
+		case ch <- id:
+		default:
+			// A slow subscriber must not stall the sampling pipeline: the
+			// output stream is a sampling stream, so dropping an element
+			// loses no information a later sample will not carry again.
+			s.dropped++
+		}
+	}
+}
+
+// Push feeds one id from the node's input stream. It blocks while the input
+// buffer is full and returns ErrServiceClosed after Close.
+func (s *Service) Push(id NodeID) error {
+	select {
+	case <-s.closed:
+		return ErrServiceClosed
+	default:
+	}
+	select {
+	case s.in <- id:
+		return nil
+	case <-s.closed:
+		return ErrServiceClosed
+	}
+}
+
+// Sample returns the service's current sample S(t). It is safe to call
+// concurrently with Push; ok is false before any id was processed.
+func (s *Service) Sample() (NodeID, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sampler.Sample()
+}
+
+// Memory returns a copy of the sampler's current memory Γ.
+func (s *Service) Memory() []NodeID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sampler.Memory()
+}
+
+// Subscribe returns a channel carrying the service's output stream σ′. The
+// channel has the given capacity; elements are dropped (and counted) when
+// the subscriber lags. The channel is closed when the service closes.
+func (s *Service) Subscribe(capacity int) (<-chan NodeID, error) {
+	if capacity < 1 {
+		return nil, fmt.Errorf("nodesampling: subscription capacity must be at least 1, got %d", capacity)
+	}
+	select {
+	case <-s.closed:
+		return nil, ErrServiceClosed
+	default:
+	}
+	ch := make(chan NodeID, capacity)
+	s.outMu.Lock()
+	s.outSubs = append(s.outSubs, ch)
+	s.outMu.Unlock()
+	return ch, nil
+}
+
+// Dropped reports how many output elements were discarded because
+// subscribers lagged.
+func (s *Service) Dropped() uint64 {
+	s.outMu.Lock()
+	defer s.outMu.Unlock()
+	return s.dropped
+}
+
+// Close stops the pipeline, waits for the worker goroutine to drain the
+// input buffer, and closes all subscription channels. It is idempotent.
+// Pushes racing with Close either complete or return ErrServiceClosed; the
+// input channel itself is never closed, so no send can panic.
+func (s *Service) Close() error {
+	s.once.Do(func() {
+		close(s.closed)
+		<-s.done
+		s.outMu.Lock()
+		for _, ch := range s.outSubs {
+			close(ch)
+		}
+		s.outSubs = nil
+		s.outMu.Unlock()
+	})
+	return nil
+}

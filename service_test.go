@@ -1,0 +1,245 @@
+package nodesampling
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"nodesampling/internal/metrics"
+)
+
+func newTestService(t *testing.T, c int, opts ...ServiceOption) *Service {
+	t.Helper()
+	s, err := NewSampler(c, WithSeed(1), WithSketch(16, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := NewService(s, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = svc.Close() })
+	return svc
+}
+
+func TestNewServiceValidation(t *testing.T) {
+	if _, err := NewService(nil); err == nil {
+		t.Error("nil sampler should fail")
+	}
+	s, err := NewSampler(3, WithSeed(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewService(s, WithInputBuffer(-1)); err == nil {
+		t.Error("negative buffer should fail")
+	}
+}
+
+func TestServicePushAndSample(t *testing.T) {
+	svc := newTestService(t, 4)
+	for i := 0; i < 100; i++ {
+		if err := svc.Push(NodeID(i % 7)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_ = svc.Close()
+	id, ok := svc.Sample()
+	if !ok {
+		t.Fatal("no sample after 100 pushes")
+	}
+	if id > 6 {
+		t.Fatalf("sample %d outside pushed ids", id)
+	}
+	if mem := svc.Memory(); len(mem) == 0 || len(mem) > 4 {
+		t.Fatalf("memory size %d", len(mem))
+	}
+}
+
+func TestServicePushAfterClose(t *testing.T) {
+	svc := newTestService(t, 3)
+	if err := svc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Push(1); !errors.Is(err, ErrServiceClosed) {
+		t.Fatalf("Push after close = %v, want ErrServiceClosed", err)
+	}
+	// Idempotent close.
+	if err := svc.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestServiceSubscribe(t *testing.T) {
+	svc := newTestService(t, 4)
+	ch, err := svc.Subscribe(256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const pushes = 128
+	for i := 0; i < pushes; i++ {
+		if err := svc.Push(NodeID(i % 5)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_ = svc.Close()
+	received := 0
+	for range ch {
+		received++
+	}
+	if received+int(svc.Dropped()) != pushes {
+		t.Fatalf("received %d + dropped %d != pushed %d", received, svc.Dropped(), pushes)
+	}
+	if received == 0 {
+		t.Fatal("subscriber received nothing")
+	}
+}
+
+func TestServiceSubscribeValidation(t *testing.T) {
+	svc := newTestService(t, 3)
+	if _, err := svc.Subscribe(0); err == nil {
+		t.Error("capacity 0 should fail")
+	}
+	_ = svc.Close()
+	if _, err := svc.Subscribe(1); !errors.Is(err, ErrServiceClosed) {
+		t.Errorf("Subscribe after close = %v", err)
+	}
+}
+
+func TestServiceSlowSubscriberDoesNotBlock(t *testing.T) {
+	svc := newTestService(t, 4, WithInputBuffer(4))
+	// Subscribe with capacity 1 and never read: pushes must still complete.
+	if _, err := svc.Subscribe(1); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		if err := svc.Push(NodeID(i % 9)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_ = svc.Close()
+	if svc.Dropped() == 0 {
+		t.Fatal("expected drops with a stuck subscriber")
+	}
+}
+
+// TestServiceConcurrentProducers hammers the service from many goroutines
+// while a reader polls samples; run with -race this doubles as the data-race
+// test for the pipeline.
+func TestServiceConcurrentProducers(t *testing.T) {
+	svc := newTestService(t, 8, WithInputBuffer(64))
+	const producers, perProducer = 8, 500
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				if err := svc.Push(NodeID((p*perProducer + i) % 50)); err != nil {
+					t.Errorf("push: %v", err)
+					return
+				}
+			}
+		}(p)
+	}
+	var rg sync.WaitGroup
+	rg.Add(1)
+	go func() {
+		defer rg.Done()
+		// Concurrent reads for the race detector; assertions happen after
+		// the pipeline quiesces.
+		for i := 0; i < 2000; i++ {
+			_, _ = svc.Sample()
+			_ = svc.Memory()
+		}
+	}()
+	wg.Wait()
+	rg.Wait()
+	if err := svc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := svc.Sample(); !ok {
+		t.Fatal("no sample after all producers finished")
+	}
+}
+
+// TestServiceCloseRacesWithPush: concurrent Close and Push must neither
+// panic nor deadlock; pushes report ErrServiceClosed once closed.
+func TestServiceCloseRacesWithPush(t *testing.T) {
+	for round := 0; round < 20; round++ {
+		s, err := NewSampler(4, WithSeed(uint64(round)), WithSketch(8, 3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		svc, err := NewService(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		for p := 0; p < 4; p++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < 100; i++ {
+					if err := svc.Push(NodeID(i)); err != nil {
+						return // closed mid-stream: expected
+					}
+				}
+			}()
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = svc.Close()
+		}()
+		wg.Wait()
+		_ = svc.Close()
+	}
+}
+
+// TestServiceEndToEndUniformity runs the full pipeline over a biased input
+// and checks the subscribed output stream is much closer to uniform. The
+// sketch is sized well below the population (k ≪ n), per the sizing rule in
+// NewSampler's documentation.
+func TestServiceEndToEndUniformity(t *testing.T) {
+	s, err := NewSampler(16, WithSeed(1), WithSketch(8, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := NewService(s, WithInputBuffer(128))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = svc.Close() })
+	ch, err := svc.Subscribe(1 << 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	input := metrics.NewHistogram()
+	const n, m = 50, 30000
+	// Biased producer: id 0 takes half the stream.
+	for i := 0; i < m; i++ {
+		id := NodeID(i % (2 * n))
+		if id >= n {
+			id = 0
+		}
+		input.Add(uint64(id))
+		if err := svc.Push(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_ = svc.Close()
+	output := metrics.NewHistogram()
+	for id := range ch {
+		output.Add(uint64(id))
+	}
+	if output.Total() == 0 {
+		t.Fatal("no output received")
+	}
+	g, err := metrics.Gain(input, output, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g < 0.5 {
+		t.Fatalf("end-to-end gain %v", g)
+	}
+}
