@@ -120,6 +120,38 @@ func BenchmarkServicePush(b *testing.B) {
 	}
 }
 
+// benchPoolPushBatch measures the sharded pool's batch-ingest throughput on
+// the same workload as BenchmarkServicePush (ids cycling over 1000, c=10,
+// 10x5 sketch per shard), in batches of half the netgossip wire limit — the
+// size a daemon actually digests per hand-off. Small sub-batches are the
+// sharding tax: each shard wakes per batch, so the batch size is what
+// amortises the scheduler, not just the channel.
+func benchPoolPushBatch(b *testing.B, shards int) {
+	p, err := NewPool(10, shards, WithSeed(1), WithSketch(10, 5), WithShardBuffer(64))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer func() { _ = p.Close() }()
+	const batchSize = 2048
+	batch := make([]NodeID, batchSize)
+	b.ResetTimer()
+	for i := 0; i < b.N; i += batchSize {
+		for j := range batch {
+			batch[j] = NodeID((i + j) % 1000)
+		}
+		if err := p.PushBatch(batch); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := p.Flush(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkPoolPushBatch1(b *testing.B) { benchPoolPushBatch(b, 1) }
+func BenchmarkPoolPushBatch4(b *testing.B) { benchPoolPushBatch(b, 4) }
+func BenchmarkPoolPushBatch8(b *testing.B) { benchPoolPushBatch(b, 8) }
+
 // BenchmarkServiceSample measures concurrent sample reads against a live
 // pipeline.
 func BenchmarkServiceSample(b *testing.B) {

@@ -1,0 +1,337 @@
+// Command unsd is the uniform node sampling daemon: the deployable,
+// high-throughput form of the paper's sampling service. It absorbs node
+// identifiers from two directions — netgossip batches on a TCP listener
+// (the overlay's σ streams) and POST /push over HTTP — into a sharded
+// sampling pool, and serves uniform samples, the pooled memory Γ and
+// operational statistics over HTTP.
+//
+// Usage:
+//
+//	unsd -http 127.0.0.1:8080 -gossip 127.0.0.1:7946 -shards 8 -c 25
+//
+// Endpoints:
+//
+//	POST /push    {"ids":[1,2,3]}      feed identifiers
+//	GET  /sample?n=K                   K uniform samples (default 1)
+//	GET  /memory                       the pooled sampling memory Γ
+//	GET  /stats                        drops, per-shard depth, throughput
+//
+// Identifiers are 64-bit; responses encode them as decimal strings and
+// /push accepts numbers or strings, because JSON doubles corrupt integers
+// above 2^53.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"nodesampling/internal/core"
+	"nodesampling/internal/netgossip"
+	"nodesampling/internal/rng"
+	"nodesampling/internal/shard"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "unsd:", err)
+		os.Exit(1)
+	}
+}
+
+// options collects the daemon's configuration.
+type options struct {
+	shards, c, k, s int
+	buffer          int
+	block           bool
+	seed            uint64
+	self            uint64
+}
+
+// daemon ties the sharded pool to its gossip front-end. The HTTP layer is a
+// plain handler over it, so tests can drive a live listener via httptest.
+type daemon struct {
+	pool  *shard.Pool
+	peer  *netgossip.Peer
+	start time.Time
+}
+
+func newDaemon(o options) (*daemon, error) {
+	pool, err := shard.New(shard.Config{
+		Shards: o.shards,
+		Buffer: o.buffer,
+		Block:  o.block,
+		Seed:   o.seed,
+		NewSampler: func(r *rng.Xoshiro) (*core.KnowledgeFree, error) {
+			return core.NewKnowledgeFree(o.c, o.k, o.s, r)
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	peer, err := netgossip.NewPeer(netgossip.Config{
+		Self:   o.self,
+		Sink:   pool,
+		Fanout: 1,
+		Seed:   o.seed + 1,
+		// The exact per-id histogram is unbounded state an attacker could
+		// grow with distinct Sybil ids; the daemon exposes bounded shard
+		// stats instead.
+		DisableInputStats: true,
+	})
+	if err != nil {
+		_ = pool.Close()
+		return nil, err
+	}
+	return &daemon{pool: pool, peer: peer, start: time.Now()}, nil
+}
+
+// Close shuts the network front-end down first so no batch races the pool's
+// shutdown, then the pool.
+func (d *daemon) Close() {
+	_ = d.peer.Close()
+	_ = d.pool.Close()
+}
+
+// maxPushBody bounds a /push request body and maxPushIDs caps the ids one
+// request may carry (the wire protocol's MaxBatch): a flood has to arrive
+// as many requests, and no single HTTP push can monopolise shard workers
+// longer than a gossip batch could.
+const (
+	maxPushBody = 1 << 20
+	maxPushIDs  = netgossip.MaxBatch
+)
+
+// maxSampleN bounds how many samples one /sample request may ask for.
+const maxSampleN = 65536
+
+func (d *daemon) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /push", d.handlePush)
+	mux.HandleFunc("GET /sample", d.handleSample)
+	mux.HandleFunc("GET /memory", d.handleMemory)
+	mux.HandleFunc("GET /stats", d.handleStats)
+	return mux
+}
+
+// jsonID carries a 64-bit id through JSON losslessly: it renders as a
+// decimal string and accepts both strings and plain numbers on input.
+// Doubles (the number type of JavaScript and most JSON parsers) corrupt
+// integers above 2^53, and node ids are full-range 64-bit hashes.
+type jsonID uint64
+
+func (v jsonID) MarshalJSON() ([]byte, error) {
+	return []byte(`"` + strconv.FormatUint(uint64(v), 10) + `"`), nil
+}
+
+func (v *jsonID) UnmarshalJSON(data []byte) error {
+	s := string(data)
+	if len(s) >= 2 && s[0] == '"' && s[len(s)-1] == '"' {
+		s = s[1 : len(s)-1]
+	}
+	u, err := strconv.ParseUint(s, 10, 64)
+	if err != nil {
+		return fmt.Errorf("id %s: %w", string(data), err)
+	}
+	*v = jsonID(u)
+	return nil
+}
+
+func toJSONIDs(ids []uint64) []jsonID {
+	out := make([]jsonID, len(ids))
+	for i, id := range ids {
+		out[i] = jsonID(id)
+	}
+	return out
+}
+
+func (d *daemon) handlePush(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		IDs []jsonID `json:"ids"`
+	}
+	body := http.MaxBytesReader(w, r.Body, maxPushBody)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("bad body: %v", err))
+		return
+	}
+	if len(req.IDs) == 0 {
+		httpError(w, http.StatusBadRequest, "no ids")
+		return
+	}
+	if len(req.IDs) > maxPushIDs {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("batch of %d ids exceeds limit %d", len(req.IDs), maxPushIDs))
+		return
+	}
+	ids := make([]uint64, len(req.IDs))
+	for i, id := range req.IDs {
+		ids[i] = uint64(id)
+	}
+	if err := d.pool.PushBatch(ids); err != nil {
+		httpError(w, http.StatusServiceUnavailable, err.Error())
+		return
+	}
+	writeJSON(w, map[string]any{"accepted": len(ids)})
+}
+
+func (d *daemon) handleSample(w http.ResponseWriter, r *http.Request) {
+	n := 1
+	if raw := r.URL.Query().Get("n"); raw != "" {
+		v, err := strconv.Atoi(raw)
+		if err != nil || v < 1 || v > maxSampleN {
+			httpError(w, http.StatusBadRequest, fmt.Sprintf("n must be in [1, %d]", maxSampleN))
+			return
+		}
+		n = v
+	}
+	samples := d.pool.SampleN(n)
+	if len(samples) == 0 {
+		httpError(w, http.StatusServiceUnavailable, "pool is empty")
+		return
+	}
+	writeJSON(w, map[string]any{"samples": toJSONIDs(samples)})
+}
+
+func (d *daemon) handleMemory(w http.ResponseWriter, r *http.Request) {
+	mem := d.pool.Memory()
+	writeJSON(w, map[string]any{"memory": toJSONIDs(mem), "size": len(mem)})
+}
+
+// shardStatsJSON is one shard's row in /stats.
+type shardStatsJSON struct {
+	Processed  uint64 `json:"processed"`
+	Dropped    uint64 `json:"dropped"`
+	QueueDepth int    `json:"queue_depth"`
+	MemorySize int    `json:"memory_size"`
+}
+
+func (d *daemon) handleStats(w http.ResponseWriter, r *http.Request) {
+	st := d.pool.Stats()
+	shards := make([]shardStatsJSON, len(st.Shards))
+	for i, s := range st.Shards {
+		shards[i] = shardStatsJSON(s)
+	}
+	uptime := time.Since(d.start).Seconds()
+	throughput := 0.0
+	if uptime > 0 {
+		throughput = float64(st.Processed) / uptime
+	}
+	writeJSON(w, map[string]any{
+		"uptime_seconds":            uptime,
+		"processed":                 st.Processed,
+		"dropped":                   st.Dropped,
+		"throughput_ids_per_second": throughput,
+		"gossip_connections":        d.peer.NumConns(),
+		"shards":                    shards,
+	})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}
+
+func run(ctx context.Context, args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("unsd", flag.ContinueOnError)
+	var (
+		httpAddr   = fs.String("http", "127.0.0.1:8080", "HTTP listen address")
+		gossipAddr = fs.String("gossip", "", "netgossip TCP listen address (empty disables)")
+		connect    = fs.String("connect", "", "comma-separated netgossip peers to dial")
+		self       = fs.Uint64("self", 0, "this node's identifier (0 derives one from the seed)")
+		shards     = fs.Int("shards", 8, "sampler shards")
+		c          = fs.Int("c", 25, "sampling memory size per shard")
+		k          = fs.Int("k", 50, "sketch columns per shard")
+		s          = fs.Int("s", 10, "sketch rows per shard")
+		buffer     = fs.Int("buffer", 64, "per-shard ingest queue, in batches")
+		block      = fs.Bool("block", false, "block producers on a full shard queue instead of dropping")
+		seed       = fs.Uint64("seed", 0, "random seed (0 means time-derived)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *seed == 0 {
+		*seed = uint64(time.Now().UnixNano())
+	}
+	if *self == 0 {
+		*self = rng.Mix64(*seed)
+	}
+	d, err := newDaemon(options{
+		shards: *shards, c: *c, k: *k, s: *s,
+		buffer: *buffer, block: *block, seed: *seed, self: *self,
+	})
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+
+	if *gossipAddr != "" {
+		ln, err := d.peer.Listen(*gossipAddr)
+		if err != nil {
+			return err
+		}
+		defer ln.Close()
+		fmt.Fprintf(w, "gossip listening on %s\n", ln.Addr())
+	}
+	for _, addr := range strings.Split(*connect, ",") {
+		if addr = strings.TrimSpace(addr); addr != "" {
+			if err := d.peer.Connect(addr); err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "gossip connected to %s\n", addr)
+		}
+	}
+
+	ln, err := net.Listen("tcp", *httpAddr)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{
+		Handler: d.handler(),
+		// A daemon built to absorb hostile floods must not let a client pin
+		// a connection by trickling bytes (slowloris); the body size is
+		// already bounded by maxPushBody.
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	fmt.Fprintf(w, "http listening on %s\n", ln.Addr())
+	fmt.Fprintf(w, "pool: %d shards, c=%d, sketch %dx%d, buffer %d, block=%v\n",
+		*shards, *c, *k, *s, *buffer, *block)
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		return err
+	}
+	if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	fmt.Fprintln(w, "shut down")
+	return nil
+}

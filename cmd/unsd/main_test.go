@@ -1,0 +1,429 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"nodesampling/internal/netgossip"
+)
+
+func testDaemon(t *testing.T, o options) *daemon {
+	t.Helper()
+	d, err := newDaemon(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(d.Close)
+	return d
+}
+
+func defaultOptions() options {
+	return options{shards: 4, c: 10, k: 10, s: 5, buffer: 16, block: true, seed: 1, self: 99}
+}
+
+func postPush(t *testing.T, url string, ids []uint64) *http.Response {
+	t.Helper()
+	body, err := json.Marshal(map[string][]uint64{"ids": ids})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+"/push", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = resp.Body.Close() })
+	return resp
+}
+
+func getJSON(t *testing.T, url string, out any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatalf("decoding %s: %v", url, err)
+	}
+	return resp.StatusCode
+}
+
+// waitFor polls cond until true or the deadline passes.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timeout waiting for %s", what)
+}
+
+func TestPushSampleMemoryStats(t *testing.T) {
+	d := testDaemon(t, defaultOptions())
+	ts := httptest.NewServer(d.handler())
+	defer ts.Close()
+
+	ids := make([]uint64, 500)
+	for i := range ids {
+		ids[i] = uint64(i + 1)
+	}
+	resp := postPush(t, ts.URL, ids)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/push status %d", resp.StatusCode)
+	}
+	var pushed struct {
+		Accepted int `json:"accepted"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&pushed); err != nil {
+		t.Fatal(err)
+	}
+	if pushed.Accepted != 500 {
+		t.Fatalf("accepted %d, want 500", pushed.Accepted)
+	}
+	if err := d.pool.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	var sampled struct {
+		Samples []string `json:"samples"`
+	}
+	if code := getJSON(t, ts.URL+"/sample?n=100", &sampled); code != http.StatusOK {
+		t.Fatalf("/sample status %d", code)
+	}
+	if len(sampled.Samples) != 100 {
+		t.Fatalf("got %d samples, want 100", len(sampled.Samples))
+	}
+	for _, raw := range sampled.Samples {
+		id, err := strconv.ParseUint(raw, 10, 64)
+		if err != nil {
+			t.Fatalf("sample %q is not a decimal id: %v", raw, err)
+		}
+		if id < 1 || id > 500 {
+			t.Fatalf("sample %d outside the pushed population", id)
+		}
+	}
+
+	var mem struct {
+		Memory []string `json:"memory"`
+		Size   int      `json:"size"`
+	}
+	if code := getJSON(t, ts.URL+"/memory", &mem); code != http.StatusOK {
+		t.Fatalf("/memory status %d", code)
+	}
+	if mem.Size != 4*10 || len(mem.Memory) != mem.Size {
+		t.Fatalf("memory size %d (len %d), want full 40", mem.Size, len(mem.Memory))
+	}
+
+	// Ids above 2^53 must round-trip exactly: push as a string, observe the
+	// same string come back through /memory (doubles would corrupt it).
+	hugeID := "18446744073709551615" // 2^64 - 1
+	r2, err := http.Post(ts.URL+"/push", "application/json",
+		strings.NewReader(`{"ids":["`+hugeID+`", 17]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2.Body.Close()
+	if r2.StatusCode != http.StatusOK {
+		t.Fatalf("huge-id push status %d", r2.StatusCode)
+	}
+	if err := d.pool.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if code := getJSON(t, ts.URL+"/memory", &mem); code != http.StatusOK {
+		t.Fatalf("/memory status %d", code)
+	}
+	found := false
+	for _, raw := range mem.Memory {
+		if raw == hugeID {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("huge id did not round-trip through /memory: %v", mem.Memory)
+	}
+
+	var stats struct {
+		Processed  uint64  `json:"processed"`
+		Dropped    uint64  `json:"dropped"`
+		Throughput float64 `json:"throughput_ids_per_second"`
+		Conns      int     `json:"gossip_connections"`
+		Shards     []struct {
+			Processed  uint64 `json:"processed"`
+			Dropped    uint64 `json:"dropped"`
+			QueueDepth int    `json:"queue_depth"`
+			MemorySize int    `json:"memory_size"`
+		} `json:"shards"`
+	}
+	if code := getJSON(t, ts.URL+"/stats", &stats); code != http.StatusOK {
+		t.Fatalf("/stats status %d", code)
+	}
+	if stats.Processed != 502 || stats.Dropped != 0 { // 500 + the 2 round-trip ids
+		t.Fatalf("stats processed/dropped = %d/%d", stats.Processed, stats.Dropped)
+	}
+	if len(stats.Shards) != 4 {
+		t.Fatalf("stats has %d shards, want 4", len(stats.Shards))
+	}
+	var sum uint64
+	for i, s := range stats.Shards {
+		sum += s.Processed
+		if s.MemorySize != 10 {
+			t.Fatalf("shard %d memory %d, want full 10", i, s.MemorySize)
+		}
+	}
+	if sum != stats.Processed {
+		t.Fatalf("per-shard processed sums to %d, total says %d", sum, stats.Processed)
+	}
+	if stats.Throughput <= 0 {
+		t.Fatalf("throughput %v", stats.Throughput)
+	}
+}
+
+// TestStatsExposesPerShardDrops floods a deliberately tiny daemon (one
+// shard, unbuffered queue, drop policy, heavy sketch) until /stats reports
+// a non-zero per-shard drop count.
+func TestStatsExposesPerShardDrops(t *testing.T) {
+	o := defaultOptions()
+	o.shards, o.buffer, o.block = 1, 0, false
+	o.k, o.s = 300, 10 // slow per-batch digestion so follow-up pushes collide
+	d := testDaemon(t, o)
+	ts := httptest.NewServer(d.handler())
+	defer ts.Close()
+
+	ids := make([]uint64, 4096)
+	for i := range ids {
+		ids[i] = uint64(i)
+	}
+	body, err := json.Marshal(map[string][]uint64{"ids": ids})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Slam the daemon from several concurrent producers: with a single
+	// unbuffered shard, pushes that land while the worker digests an
+	// earlier batch must be dropped, not queued.
+	stop := make(chan struct{})
+	defer close(stop)
+	for g := 0; g < 8; g++ {
+		go func() {
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				resp, err := http.Post(ts.URL+"/push", "application/json", bytes.NewReader(body))
+				if err != nil {
+					return
+				}
+				resp.Body.Close()
+			}
+		}()
+	}
+	var stats struct {
+		Dropped uint64 `json:"dropped"`
+		Shards  []struct {
+			Dropped uint64 `json:"dropped"`
+		} `json:"shards"`
+	}
+	waitFor(t, "a drop to surface in /stats", func() bool {
+		getJSON(t, ts.URL+"/stats", &stats)
+		return stats.Dropped > 0
+	})
+	if len(stats.Shards) != 1 || stats.Shards[0].Dropped != stats.Dropped {
+		t.Fatalf("per-shard drops inconsistent with total: %+v", stats)
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	d := testDaemon(t, defaultOptions())
+	ts := httptest.NewServer(d.handler())
+	defer ts.Close()
+
+	// Sampling an empty pool is a 503, not an empty success.
+	resp, err := http.Get(ts.URL + "/sample")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("/sample on empty pool status %d", resp.StatusCode)
+	}
+	// GET on /push (wrong method).
+	resp, err = http.Get(ts.URL + "/push")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /push status %d", resp.StatusCode)
+	}
+	// Malformed JSON.
+	resp, err = http.Post(ts.URL+"/push", "application/json", strings.NewReader("{nope"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad JSON status %d", resp.StatusCode)
+	}
+	// Empty batch.
+	if resp := postPush(t, ts.URL, nil); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty batch status %d", resp.StatusCode)
+	}
+	// Oversized batch (id count above the wire-protocol-aligned cap).
+	big := make([]uint64, maxPushIDs+1)
+	if resp := postPush(t, ts.URL, big); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("oversized batch status %d", resp.StatusCode)
+	}
+	// Out-of-range n.
+	for _, q := range []string{"n=0", "n=-3", "n=abc", fmt.Sprintf("n=%d", maxSampleN+1)} {
+		resp, err := http.Get(ts.URL + "/sample?" + q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("/sample?%s status %d", q, resp.StatusCode)
+		}
+	}
+}
+
+// TestGossipFeedsDaemon drives the other ingestion path: a netgossip peer
+// dials the daemon's TCP listener and gossips; the ids must become visible
+// through the HTTP surface.
+func TestGossipFeedsDaemon(t *testing.T) {
+	d := testDaemon(t, defaultOptions())
+	ln, err := d.peer.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	ts := httptest.NewServer(d.handler())
+	defer ts.Close()
+
+	sender, err := netgossip.NewPeer(netgossip.Config{
+		Self: 7, C: 10, K: 8, S: 4, Fanout: 1, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sender.Close()
+	if err := sender.Connect(ln.Addr().String()); err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		for i := 0; i < 200; i++ {
+			if _, err := sender.PushRound(); err != nil {
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
+
+	var stats struct {
+		Processed uint64 `json:"processed"`
+		Conns     int    `json:"gossip_connections"`
+	}
+	waitFor(t, "gossiped ids to reach the pool", func() bool {
+		getJSON(t, ts.URL+"/stats", &stats)
+		return stats.Processed > 0 && stats.Conns == 1
+	})
+	var sampled struct {
+		Samples []string `json:"samples"`
+	}
+	if code := getJSON(t, ts.URL+"/sample", &sampled); code != http.StatusOK {
+		t.Fatalf("/sample status %d", code)
+	}
+	if len(sampled.Samples) != 1 || sampled.Samples[0] != "7" {
+		t.Fatalf("samples = %v, want the gossiping peer's id 7", sampled.Samples)
+	}
+}
+
+// safeBuilder is a strings.Builder safe for the cross-goroutine
+// write-then-poll pattern of TestRunLifecycle.
+type safeBuilder struct {
+	mu sync.Mutex
+	sb strings.Builder
+}
+
+func (b *safeBuilder) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.sb.Write(p)
+}
+
+func (b *safeBuilder) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.sb.String()
+}
+
+func TestRunLifecycle(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var sb safeBuilder
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{
+			"-http", "127.0.0.1:0", "-gossip", "127.0.0.1:0",
+			"-shards", "2", "-c", "5", "-k", "6", "-s", "3", "-seed", "11",
+		}, &sb)
+	}()
+	var url string
+	waitFor(t, "the http listener to come up", func() bool {
+		out := sb.String()
+		i := strings.Index(out, "http listening on ")
+		if i < 0 {
+			return false
+		}
+		rest := out[i+len("http listening on "):]
+		j := strings.IndexByte(rest, '\n')
+		if j < 0 {
+			return false
+		}
+		url = "http://" + rest[:j]
+		return true
+	})
+	resp := postPush(t, url, []uint64{1, 2, 3})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/push against run() daemon: status %d", resp.StatusCode)
+	}
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("run did not shut down")
+	}
+	if !strings.Contains(sb.String(), "gossip listening on ") {
+		t.Fatalf("missing gossip listener line:\n%s", sb.String())
+	}
+	if !strings.Contains(sb.String(), "shut down") {
+		t.Fatalf("missing shutdown line:\n%s", sb.String())
+	}
+}
+
+func TestBadFlags(t *testing.T) {
+	var sb safeBuilder
+	if err := run(context.Background(), []string{"-nope"}, &sb); err == nil {
+		t.Error("unknown flag should fail")
+	}
+	if err := run(context.Background(), []string{"-shards", "0"}, &sb); err == nil {
+		t.Error("zero shards should fail")
+	}
+	if err := run(context.Background(), []string{"-http", "256.0.0.1:bad"}, &sb); err == nil {
+		t.Error("unusable http address should fail")
+	}
+}

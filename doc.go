@@ -40,9 +40,20 @@
 // of them, both of which grow linearly with the sketch width k and are
 // independent of the system size.
 //
-// # Concurrency
+// # Concurrency and scale
 //
 // Samplers returned by the constructors are single-goroutine objects.
 // Service wraps a sampler with a goroutine-backed pipeline (Push/Sample/
-// Outputs) safe for concurrent use.
+// Subscribe) safe for concurrent use.
+//
+// Pool is the horizontally scaled form: it partitions the input stream by a
+// salted stationary hash across N independent knowledge-free shards — each
+// with its own sketch, memory Γ and worker goroutine — and ingests batches
+// (PushBatch) so the hand-off cost is amortised over many identifiers.
+// Sample draws a shard weighted by its current |Γ|, then a uniform element
+// of it — a uniform draw over the union of the memories, preserving
+// Uniformity at the population level, while Freshness holds per shard. Use
+// Service for a single node's modest stream, Pool (and the unsd daemon in
+// cmd/unsd, which serves it over HTTP and netgossip TCP) when one sampler
+// cannot absorb the traffic.
 package nodesampling

@@ -1,0 +1,3 @@
+module nodesampling
+
+go 1.24

@@ -28,6 +28,7 @@ type Sketch struct {
 	total   uint64 // number of Add calls (stream length m)
 	gMin    uint64 // cached min over all counters
 	gMinCnt int    // how many counters currently equal gMin
+	scratch []int  // per-row column cache for the one-pass CM-CU update
 }
 
 // New creates a sketch from the accuracy targets of Algorithm 2:
@@ -72,6 +73,7 @@ func NewWithDimensions(k, s int, r *rng.Xoshiro) (*Sketch, error) {
 		hashes:  fam,
 		gMin:    0,
 		gMinCnt: s * k,
+		scratch: make([]int, s),
 	}, nil
 }
 
@@ -86,19 +88,32 @@ func (sk *Sketch) Total() uint64 { return sk.total }
 
 // Add records one occurrence of id, incrementing one counter per row
 // (Algorithm 2, lines 6–7).
-func (sk *Sketch) Add(id uint64) {
+func (sk *Sketch) Add(id uint64) { sk.AddEstimate(id) }
+
+// AddEstimate records one occurrence of id and returns its updated estimate
+// f̂_id from the same hash pass: with plain Count-Min every one of id's
+// counters gains exactly one, so the post-add estimate is the minimum of
+// the incremented counters. Equivalent to Add followed by Estimate, minus
+// the second set of row hashes — the saving that makes batch ingestion
+// (KnowledgeFree.ProcessBatch) cheaper per id than the single-id path.
+func (sk *Sketch) AddEstimate(id uint64) uint64 {
 	sk.total++
+	est := ^uint64(0)
 	for row := 0; row < sk.rows; row++ {
 		col := sk.hashes.Hash(row, id)
-		v := sk.counts[row][col]
-		sk.counts[row][col] = v + 1
-		if v == sk.gMin {
+		v := sk.counts[row][col] + 1
+		sk.counts[row][col] = v
+		if v-1 == sk.gMin {
 			sk.gMinCnt--
+		}
+		if v < est {
+			est = v
 		}
 	}
 	if sk.gMinCnt == 0 {
 		sk.rescanMin()
 	}
+	return est
 }
 
 // AddConservative records one occurrence of id with the conservative-update
@@ -109,11 +124,25 @@ func (sk *Sketch) Add(id uint64) {
 // collision over-count shrinks dramatically on skewed streams, which
 // sharpens the knowledge-free strategy's discrimination when k is small
 // relative to the population (see the ablation-cu experiment).
-func (sk *Sketch) AddConservative(id uint64) {
+func (sk *Sketch) AddConservative(id uint64) { sk.AddConservativeEstimate(id) }
+
+// AddConservativeEstimate is AddConservative returning the updated estimate
+// f̂_id: the CM-CU rule lifts every counter of id to at least est+1, so the
+// post-update estimate is exactly est+1. One hash pass computes the columns
+// for both the estimate and the update.
+func (sk *Sketch) AddConservativeEstimate(id uint64) uint64 {
 	sk.total++
-	target := sk.Estimate(id) + 1
+	est := ^uint64(0)
 	for row := 0; row < sk.rows; row++ {
 		col := sk.hashes.Hash(row, id)
+		sk.scratch[row] = col
+		if v := sk.counts[row][col]; v < est {
+			est = v
+		}
+	}
+	target := est + 1
+	for row := 0; row < sk.rows; row++ {
+		col := sk.scratch[row]
 		v := sk.counts[row][col]
 		if v >= target {
 			continue
@@ -126,6 +155,7 @@ func (sk *Sketch) AddConservative(id uint64) {
 	if sk.gMinCnt == 0 {
 		sk.rescanMin()
 	}
+	return target
 }
 
 // rescanMin recomputes the global minimum after all counters at the previous
@@ -249,6 +279,7 @@ func (sk *Sketch) Clone() *Sketch {
 		total:   sk.total,
 		gMin:    sk.gMin,
 		gMinCnt: sk.gMinCnt,
+		scratch: make([]int, sk.rows),
 	}
 }
 

@@ -91,6 +91,7 @@ func (sk *Sketch) UnmarshalBinary(data []byte) error {
 	sk.total = total
 	sk.hashes = fam
 	sk.counts = counts
+	sk.scratch = make([]int, int(rows))
 	sk.rescanMin()
 	return nil
 }

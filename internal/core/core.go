@@ -111,38 +111,64 @@ func (w WeightedEviction) Pick(mem []uint64, r *rng.Xoshiro) int {
 	return len(mem) - 1
 }
 
-// gamma is the sampling memory Γ: a set of at most c distinct ids with O(1)
-// membership, insertion, replacement and uniform choice.
+// gammaScanThreshold is the memory capacity above which Γ maintains a
+// hash index for membership tests. Below it a linear scan over the
+// contiguous items slice is faster than any map operation (the whole
+// memory fits in a couple of cache lines at the paper's operating points,
+// c ∈ [10, 50]), and replacement needs no index maintenance at all.
+const gammaScanThreshold = 128
+
+// gamma is the sampling memory Γ: a set of at most c distinct ids with
+// cheap membership, insertion, replacement and uniform choice.
 type gamma struct {
 	items []uint64
-	index map[uint64]int
+	index map[uint64]int // nil below gammaScanThreshold: scanning wins
 	cap   int
 }
 
 func newGamma(c int) gamma {
-	return gamma{
+	g := gamma{
 		items: make([]uint64, 0, c),
-		index: make(map[uint64]int, c),
 		cap:   c,
 	}
+	if c > gammaScanThreshold {
+		g.index = make(map[uint64]int, c)
+	}
+	return g
 }
 
-func (g *gamma) contains(id uint64) bool { _, ok := g.index[id]; return ok }
-func (g *gamma) full() bool              { return len(g.items) == g.cap }
-func (g *gamma) size() int               { return len(g.items) }
+func (g *gamma) contains(id uint64) bool {
+	if g.index != nil {
+		_, ok := g.index[id]
+		return ok
+	}
+	for _, v := range g.items {
+		if v == id {
+			return true
+		}
+	}
+	return false
+}
+
+func (g *gamma) full() bool { return len(g.items) == g.cap }
+func (g *gamma) size() int  { return len(g.items) }
 
 // add appends id to a non-full memory.
 func (g *gamma) add(id uint64) {
-	g.index[id] = len(g.items)
+	if g.index != nil {
+		g.index[id] = len(g.items)
+	}
 	g.items = append(g.items, id)
 }
 
 // replace evicts the element at index i and installs id in its place.
 func (g *gamma) replace(i int, id uint64) (evicted uint64) {
 	evicted = g.items[i]
-	delete(g.index, evicted)
+	if g.index != nil {
+		delete(g.index, evicted)
+		g.index[id] = i
+	}
 	g.items[i] = id
-	g.index[id] = i
 	return evicted
 }
 
@@ -390,15 +416,37 @@ func NewKnowledgeFreeFromAccuracy(c int, epsilon, delta float64, r *rng.Xoshiro,
 // Process implements one step of Algorithm 3: the sketch and the sampling
 // logic both consume the arriving id (the paper's cobegin).
 func (kf *KnowledgeFree) Process(id uint64) uint64 {
+	kf.processOne(id)
+	out, _ := kf.Sample()
+	return out
+}
+
+// processOne runs the sketch update and admission for one arriving id,
+// shared by Process and ProcessBatch. The fused add-and-estimate keeps the
+// sketch work to a single hash pass; fj ≥ 1 because the sketch just
+// counted id.
+func (kf *KnowledgeFree) processOne(id uint64) {
 	kf.stats.Processed++
+	var fj uint64
 	if kf.conservative {
-		kf.sketch.AddConservative(id)
+		fj = kf.sketch.AddConservativeEstimate(id)
 	} else {
-		kf.sketch.Add(id)
+		fj = kf.sketch.AddEstimate(id)
 	}
 	if kf.halveEvery > 0 && kf.stats.Processed%kf.halveEvery == 0 {
 		kf.sketch.Halve()
+		// On a halving step the admission probability is computed from the
+		// halved counters.
+		fj = kf.sketch.Estimate(id)
 	}
+	kf.admitStep(id, fj)
+}
+
+// admitStep is the admission half of Algorithm 3, shared by the single-id
+// and batch paths: given the arriving id and its frequency estimate f̂_j,
+// admit it into Γ with probability minσ/f̂_j, evicting a victim chosen by
+// the eviction policy.
+func (kf *KnowledgeFree) admitStep(id, fj uint64) {
 	switch {
 	case kf.mem.contains(id):
 		kf.stats.Duplicates++
@@ -407,7 +455,6 @@ func (kf *KnowledgeFree) Process(id uint64) uint64 {
 		kf.stats.Admitted++
 	default:
 		minSigma := kf.sketch.GlobalMin()
-		fj := kf.sketch.Estimate(id) // ≥ 1: the sketch just counted id
 		aj := float64(minSigma) / float64(fj)
 		if kf.r.Bernoulli(aj) {
 			victim := kf.evict.Pick(kf.mem.items, kf.r)
@@ -416,8 +463,16 @@ func (kf *KnowledgeFree) Process(id uint64) uint64 {
 			kf.stats.Evicted++
 		}
 	}
-	out, _ := kf.Sample()
-	return out
+}
+
+// ProcessBatch consumes a whole batch of ids with the same admission logic
+// as Process, but without drawing a per-id output sample: batch ingestion
+// (the sharded pool) serves samples on demand, so the per-step output draw
+// of the paper's one-pass loop would be pure waste.
+func (kf *KnowledgeFree) ProcessBatch(ids []uint64) {
+	for _, id := range ids {
+		kf.processOne(id)
+	}
 }
 
 // Sample returns a uniformly chosen element of Γ.
@@ -430,6 +485,9 @@ func (kf *KnowledgeFree) Sample() (uint64, bool) {
 
 // Memory returns a copy of Γ.
 func (kf *KnowledgeFree) Memory() []uint64 { return kf.mem.snapshot() }
+
+// MemorySize returns the current |Γ| without copying the memory.
+func (kf *KnowledgeFree) MemorySize() int { return kf.mem.size() }
 
 // Stats returns the sampler's activity counters.
 func (kf *KnowledgeFree) Stats() Stats { return kf.stats }

@@ -1,0 +1,58 @@
+package netgossip
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzReadBatch hammers the wire decoder with hostile frames. The decoder
+// is the daemon's first line of defence: whatever the bytes, it must fail
+// cleanly (no panic, no large allocation) or decode a frame that re-encodes
+// to exactly the bytes it consumed.
+func FuzzReadBatch(f *testing.F) {
+	// A valid single-id frame.
+	var valid bytes.Buffer
+	if err := writeBatch(&valid, []uint64{42}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid.Bytes())
+	// A valid multi-id frame with trailing garbage.
+	var multi bytes.Buffer
+	if err := writeBatch(&multi, []uint64{0, 1, 1 << 63}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(append(multi.Bytes(), 0xff, 0xfe))
+	f.Add([]byte{})                                                  // clean EOF
+	f.Add([]byte{0x00, protocolVersion, 0, 0, 0, 1})                 // bad magic
+	f.Add([]byte{protocolMagic, 99, 0, 0, 0, 1})                     // bad version
+	f.Add([]byte{protocolMagic, protocolVersion, 0, 0, 0, 0})        // zero count
+	f.Add([]byte{protocolMagic, protocolVersion, 0xff, 0xff, 0xff, 0xff}) // oversized count
+	f.Add(valid.Bytes()[:7])                                         // truncated payload
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ids, err := readBatch(bytes.NewReader(data))
+		if err != nil {
+			if ids != nil {
+				t.Fatalf("decoder returned ids %v alongside error %v", ids, err)
+			}
+			return
+		}
+		if len(ids) == 0 || len(ids) > MaxBatch {
+			t.Fatalf("decoded batch size %d outside (0, %d]", len(ids), MaxBatch)
+		}
+		// A successful decode must have consumed a well-formed prefix:
+		// re-encoding the ids reproduces it byte for byte.
+		var re bytes.Buffer
+		if err := writeBatch(&re, ids); err != nil {
+			t.Fatalf("re-encoding decoded batch failed: %v", err)
+		}
+		consumed := 6 + 8*len(ids)
+		if len(data) < consumed || !bytes.Equal(re.Bytes(), data[:consumed]) {
+			t.Fatalf("decode/encode mismatch for %x", data)
+		}
+		if got := binary.BigEndian.Uint32(data[2:6]); int(got) != len(ids) {
+			t.Fatalf("decoded %d ids, header announced %d", len(ids), got)
+		}
+	})
+}

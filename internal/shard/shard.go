@@ -1,0 +1,437 @@
+// Package shard implements the horizontally scaled ingestion layer of the
+// node sampling service: a pool of independent knowledge-free sampler
+// shards, each owning its own Count-Min sketch, sampling memory Γ and
+// worker goroutine. The input stream is partitioned by a salted stationary
+// hash of the id, so shards never contend with each other; batch ingestion
+// amortises the channel hand-off and per-shard lock over many identifiers.
+//
+// Sampling draws a shard weighted by its current |Γ| and then a uniform
+// element of that shard's Γ — a uniform draw over the union of the
+// memories, preserving the paper's Uniformity property at the population
+// level while multiplying ingest throughput by the shard count. Freshness
+// is inherited per shard, since every id keeps hashing to the same shard
+// and that shard is the paper's single-stream sampler.
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"nodesampling/internal/core"
+	"nodesampling/internal/rng"
+)
+
+// ErrPoolClosed is returned by Push, PushBatch and Flush after Close.
+var ErrPoolClosed = errors.New("shard: pool closed")
+
+// MaxShards bounds a pool's shard count; the partitioner stores shard
+// indices as bytes, and a pool gains nothing from more shards than any
+// realistic core count.
+const MaxShards = 256
+
+// Config parameterises a Pool.
+type Config struct {
+	// Shards is the number of independent sampler shards, at most MaxShards.
+	Shards int
+	// Buffer is each shard's ingest queue capacity, in batches (not ids).
+	// Zero means unbuffered hand-off.
+	Buffer int
+	// Block selects the backpressure policy: when true a push into a full
+	// shard queue blocks the producer; when false the batch is dropped and
+	// counted (the right policy for a daemon absorbing hostile floods).
+	Block bool
+	// Seed drives the pool's private randomness; shard samplers receive
+	// independent generators split from it.
+	Seed uint64
+	// NewSampler constructs one shard's sampler from its private generator.
+	NewSampler func(r *rng.Xoshiro) (*core.KnowledgeFree, error)
+}
+
+func (c Config) validate() error {
+	if c.Shards < 1 || c.Shards > MaxShards {
+		return fmt.Errorf("shard: shard count must be in [1, %d], got %d", MaxShards, c.Shards)
+	}
+	if c.Buffer < 0 {
+		return fmt.Errorf("shard: negative buffer %d", c.Buffer)
+	}
+	if c.NewSampler == nil {
+		return errors.New("shard: nil sampler constructor")
+	}
+	return nil
+}
+
+// ShardOf returns the shard index id is routed to. The id is salted with a
+// per-pool secret before mixing: a stationary public hash would let an
+// adversary mint Sybil ids that all land on one chosen shard and keep its
+// queue full (targeted suppression of that shard's honest sub-population);
+// with the salt drawn from the pool's private randomness the partition is
+// unpredictable to outsiders while every id still maps to one stable shard
+// for the pool's lifetime, preserving the per-shard Freshness argument.
+func (p *Pool) ShardOf(id uint64) int {
+	return int(rng.Mix64(id^p.salt) % uint64(len(p.workers)))
+}
+
+// item is one unit of work on a shard queue. A nil-ids item with an ack is
+// a flush barrier: the worker signals it once everything enqueued before it
+// has been processed.
+type item struct {
+	ids []uint64
+	ack chan<- struct{}
+}
+
+// worker is one shard: a queue, a sampler and the goroutine that connects
+// them. Its mutex only serialises the worker loop against same-shard
+// Sample/Memory readers — never against other shards.
+type worker struct {
+	in   chan item
+	done chan struct{}
+
+	mu      sync.Mutex
+	sampler *core.KnowledgeFree
+
+	processed atomic.Uint64
+	dropped   atomic.Uint64
+	// memSize mirrors the sampler's |Γ| after each batch so the weighted
+	// shard draw in Sample can read sizes without taking every shard's
+	// lock. It lags behind by whatever is still queued (up to Buffer
+	// batches plus the one in flight), and not at all once the memories
+	// are full (the steady state).
+	memSize atomic.Int64
+}
+
+func (w *worker) run() {
+	defer close(w.done)
+	for it := range w.in {
+		if len(it.ids) > 0 {
+			w.mu.Lock()
+			w.sampler.ProcessBatch(it.ids)
+			w.memSize.Store(int64(w.sampler.MemorySize()))
+			w.mu.Unlock()
+			w.processed.Add(uint64(len(it.ids)))
+		}
+		if it.ack != nil {
+			close(it.ack)
+		}
+	}
+}
+
+// Pool is a sharded sampling pool. All methods are safe for concurrent use.
+type Pool struct {
+	cfg     Config
+	workers []*worker
+	salt    uint64 // private partition key, see ShardOf
+
+	// mu guards closed and makes channel sends safe against Close closing
+	// the shard queues: producers hold it for reading, Close for writing.
+	mu     sync.RWMutex
+	closed bool
+
+	rmu sync.Mutex
+	r   *rng.Xoshiro
+}
+
+// New creates a pool and starts its shard workers.
+func New(cfg Config) (*Pool, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	root := rng.New(cfg.Seed)
+	p := &Pool{
+		cfg:     cfg,
+		workers: make([]*worker, cfg.Shards),
+		salt:    root.Uint64(),
+		r:       root,
+	}
+	for i := range p.workers {
+		sampler, err := cfg.NewSampler(root.Split())
+		if err != nil {
+			// Unwind the workers already started so a failed construction
+			// leaks no goroutines.
+			for _, w := range p.workers[:i] {
+				close(w.in)
+				<-w.done
+			}
+			return nil, fmt.Errorf("shard %d: %w", i, err)
+		}
+		w := &worker{
+			in:      make(chan item, cfg.Buffer),
+			done:    make(chan struct{}),
+			sampler: sampler,
+		}
+		p.workers[i] = w
+		go w.run()
+	}
+	return p, nil
+}
+
+// NumShards returns the pool's shard count.
+func (p *Pool) NumShards() int { return len(p.workers) }
+
+// Push feeds a single id. PushBatch is the efficient path; Push exists for
+// drop-in compatibility with single-id producers.
+func (p *Pool) Push(id uint64) error {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if p.closed {
+		return ErrPoolClosed
+	}
+	p.send(p.ShardOf(id), []uint64{id})
+	return nil
+}
+
+// PushBatch partitions ids across the shards and enqueues one sub-batch per
+// shard touched. The slice is copied, so the caller may reuse it
+// immediately. Under the drop policy, sub-batches that find their shard
+// queue full are discarded whole and counted in that shard's drop counter.
+func (p *Pool) PushBatch(ids []uint64) error {
+	return PushBatchOf(p, ids)
+}
+
+// PushBatchOf is PushBatch over any uint64-kind id slice (e.g. the root
+// package's NodeID), partitioning and converting in the same single copy so
+// typed callers do not pay a conversion pass first.
+func PushBatchOf[T ~uint64](p *Pool, ids []T) error {
+	if len(ids) == 0 {
+		return nil
+	}
+	n := len(p.workers)
+	var buckets [][]uint64
+	if n == 1 {
+		b := make([]uint64, len(ids))
+		for i, id := range ids {
+			b[i] = uint64(id)
+		}
+		buckets = [][]uint64{b}
+	} else {
+		// Counting sort into one backing array: a single allocation for the
+		// payload and contiguous per-shard sub-batches, instead of n growing
+		// append chains. The shard of each id is hashed once and remembered,
+		// so the placement pass re-reads a byte instead of re-mixing.
+		shards := make([]uint8, len(ids))
+		counts := make([]int, 2*n) // [0,n) cursors, [n,2n) starts
+		for i, id := range ids {
+			s := p.ShardOf(uint64(id))
+			shards[i] = uint8(s)
+			counts[s]++
+		}
+		sum := 0
+		for i := 0; i < n; i++ {
+			c := counts[i]
+			counts[i], counts[n+i] = sum, sum
+			sum += c
+		}
+		backing := make([]uint64, len(ids))
+		for i, id := range ids {
+			s := shards[i]
+			backing[counts[s]] = uint64(id)
+			counts[s]++
+		}
+		buckets = make([][]uint64, n)
+		for i := 0; i < n; i++ {
+			buckets[i] = backing[counts[n+i]:counts[i]:counts[i]]
+		}
+	}
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if p.closed {
+		return ErrPoolClosed
+	}
+	for i, b := range buckets {
+		if len(b) > 0 {
+			p.send(i, b)
+		}
+	}
+	return nil
+}
+
+// send enqueues one sub-batch on shard i; the caller holds mu for reading.
+func (p *Pool) send(i int, batch []uint64) {
+	w := p.workers[i]
+	if p.cfg.Block {
+		w.in <- item{ids: batch}
+		return
+	}
+	select {
+	case w.in <- item{ids: batch}:
+	default:
+		w.dropped.Add(uint64(len(batch)))
+	}
+}
+
+// Flush blocks until every id enqueued before the call has been processed.
+// The barrier always enqueues (even under the drop policy), so Flush never
+// loses its place in a full queue.
+func (p *Pool) Flush() error {
+	p.mu.RLock()
+	if p.closed {
+		p.mu.RUnlock()
+		return ErrPoolClosed
+	}
+	acks := make([]chan struct{}, len(p.workers))
+	for i, w := range p.workers {
+		ch := make(chan struct{})
+		acks[i] = ch
+		w.in <- item{ack: ch}
+	}
+	p.mu.RUnlock()
+	for _, ch := range acks {
+		<-ch
+	}
+	return nil
+}
+
+// Sample draws a shard weighted by its current |Γ|, then a uniform element
+// of that shard's Γ — a uniform draw over the union of the memories. With
+// all memories equally full this equals a uniform shard draw, and when they
+// are not (warm-up, or a population small enough that shards fill to
+// unequal sub-population sizes) the weighting removes the bias a uniform
+// shard draw would bake in. Shard sizes are read from per-worker atomics,
+// so only the chosen shard's lock is taken.
+func (p *Pool) Sample() (uint64, bool) {
+	out := p.sample(1)
+	if len(out) == 0 {
+		return 0, false
+	}
+	return out[0], true
+}
+
+// SampleN draws n independent samples. Fewer are returned while the pool is
+// entirely empty.
+func (p *Pool) SampleN(n int) []uint64 { return p.sample(n) }
+
+// sample draws up to n weighted-shard samples against one snapshot of the
+// shard sizes, with all shard indices drawn under a single lock
+// acquisition so concurrent readers do not serialize per draw.
+func (p *Pool) sample(n int) []uint64 {
+	if n < 1 {
+		return nil
+	}
+	nw := len(p.workers)
+	sizes := make([]int64, nw)
+	var total int64
+	for i, w := range p.workers {
+		s := w.memSize.Load()
+		sizes[i] = s
+		total += s
+	}
+	if total == 0 {
+		return nil
+	}
+	picks := make([]int, nw)
+	p.rmu.Lock()
+	for j := 0; j < n; j++ {
+		x := int64(p.r.Uint64n(uint64(total)))
+		for i, s := range sizes {
+			if x < s {
+				picks[i]++
+				break
+			}
+			x -= s
+		}
+	}
+	p.rmu.Unlock()
+	// Draw each shard's quota under one lock acquisition, so a large n
+	// costs at most one lock round-trip per shard rather than per sample.
+	// The grouping does not change the distribution: the draws are
+	// independent and the output order is not part of the contract.
+	out := make([]uint64, 0, n)
+	misses := 0
+	for i, c := range picks {
+		if c == 0 {
+			continue
+		}
+		w := p.workers[i]
+		w.mu.Lock()
+		for j := 0; j < c; j++ {
+			id, ok := w.sampler.Sample()
+			if !ok {
+				// Only possible in the instant before the shard's first
+				// batch lands (memories never shrink after the snapshot).
+				misses += c - j
+				break
+			}
+			out = append(out, id)
+		}
+		w.mu.Unlock()
+	}
+	// Serve any draws that hit a still-empty shard from the others rather
+	// than starve the caller.
+	for m := 0; m < misses; m++ {
+		for i := 0; i < nw; i++ {
+			w := p.workers[i]
+			w.mu.Lock()
+			id, ok := w.sampler.Sample()
+			w.mu.Unlock()
+			if ok {
+				out = append(out, id)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// Memory returns the concatenation of every shard's Γ snapshot.
+func (p *Pool) Memory() []uint64 {
+	var out []uint64
+	for _, w := range p.workers {
+		w.mu.Lock()
+		out = append(out, w.sampler.Memory()...)
+		w.mu.Unlock()
+	}
+	return out
+}
+
+// ShardStats is one shard's activity snapshot.
+type ShardStats struct {
+	Processed  uint64 // ids processed by the shard's sampler
+	Dropped    uint64 // ids discarded because the shard queue was full
+	QueueDepth int    // batches currently waiting in the shard queue
+	MemorySize int    // current |Γ| of the shard's sampler
+}
+
+// Stats is a whole-pool activity snapshot.
+type Stats struct {
+	Shards    []ShardStats
+	Processed uint64 // sum over shards
+	Dropped   uint64 // sum over shards
+}
+
+// Stats returns a snapshot of per-shard and aggregate counters.
+func (p *Pool) Stats() Stats {
+	st := Stats{Shards: make([]ShardStats, len(p.workers))}
+	for i, w := range p.workers {
+		s := ShardStats{
+			Processed:  w.processed.Load(),
+			Dropped:    w.dropped.Load(),
+			QueueDepth: len(w.in),
+			MemorySize: int(w.memSize.Load()),
+		}
+		st.Shards[i] = s
+		st.Processed += s.Processed
+		st.Dropped += s.Dropped
+	}
+	return st
+}
+
+// Close stops the pool: shard queues are closed, workers drain what was
+// already enqueued and exit. Idempotent; concurrent pushes either complete
+// or return ErrPoolClosed.
+func (p *Pool) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	for _, w := range p.workers {
+		close(w.in)
+	}
+	p.mu.Unlock()
+	for _, w := range p.workers {
+		<-w.done
+	}
+	return nil
+}

@@ -1,0 +1,181 @@
+package nodesampling
+
+import (
+	"errors"
+	"fmt"
+
+	"nodesampling/internal/core"
+	"nodesampling/internal/rng"
+	"nodesampling/internal/shard"
+)
+
+// ErrPoolClosed is returned by Pool.Push, Pool.PushBatch and Pool.Flush
+// after Close.
+var ErrPoolClosed = errors.New("nodesampling: pool closed")
+
+// WithShardBuffer sets each shard's ingest queue capacity, counted in
+// batches (default 16). Raise it for bursty producers; it bounds how far
+// ingestion can run ahead of the shard samplers. Only affects NewPool.
+func WithShardBuffer(n int) Option {
+	return func(c *config) error {
+		if n < 0 {
+			return fmt.Errorf("nodesampling: negative shard buffer %d", n)
+		}
+		c.shardBuffer = n
+		c.shardBufferSet = true
+		return nil
+	}
+}
+
+// WithNonBlockingIngest makes Pool.Push and Pool.PushBatch drop (and count)
+// sub-batches aimed at a full shard queue instead of blocking the producer.
+// This is the right policy for a network daemon absorbing hostile floods: a
+// slow shard costs samples — which a uniform sampling stream can afford —
+// rather than stalling the listener. Only affects NewPool.
+func WithNonBlockingIngest() Option {
+	return func(c *config) error {
+		c.nonBlocking = true
+		return nil
+	}
+}
+
+// ShardStats is one shard's activity snapshot.
+type ShardStats struct {
+	Processed  uint64 // ids processed by the shard's sampler
+	Dropped    uint64 // ids discarded because the shard queue was full
+	QueueDepth int    // batches currently waiting in the shard queue
+	MemorySize int    // current |Γ| of the shard's sampler
+}
+
+// PoolStats is a whole-pool activity snapshot.
+type PoolStats struct {
+	Shards    []ShardStats
+	Processed uint64
+	Dropped   uint64
+}
+
+// Pool is the horizontally scaled form of Service: N independent
+// knowledge-free sampler shards, each with its own Count-Min sketch,
+// sampling memory Γ of c identifiers and worker goroutine. Identifiers are
+// partitioned across shards by a salted stationary hash (unpredictable to
+// an adversary, stable for the pool's lifetime), so shards never contend;
+// PushBatch amortises the hand-off over many ids. Sample draws a shard
+// weighted by its current |Γ| and then a uniform element of it — a uniform
+// draw over the union of the memories, preserving the paper's Uniformity
+// at the population level, while Freshness holds per shard because every
+// id keeps hashing to the same shard's single-stream sampler.
+//
+// All methods are safe for concurrent use. A Pool must be created with
+// NewPool and released with Close.
+type Pool struct {
+	inner *shard.Pool
+}
+
+// NewPool creates a sharded sampling pool of the given shard count (at
+// most 256), each shard holding a sampling memory of c identifiers. It accepts the same
+// options as NewSampler (seed, sketch shape or accuracy, decay,
+// conservative update — applied to every shard, with independent per-shard
+// randomness split from the seed) plus the pool-specific WithShardBuffer
+// and WithNonBlockingIngest.
+func NewPool(c, shards int, opts ...Option) (*Pool, error) {
+	if c < 1 {
+		return nil, fmt.Errorf("nodesampling: memory size c must be at least 1, got %d", c)
+	}
+	if shards < 1 || shards > shard.MaxShards {
+		return nil, fmt.Errorf("nodesampling: shard count must be in [1, %d], got %d", shard.MaxShards, shards)
+	}
+	cfg, err := buildConfig(opts)
+	if err != nil {
+		return nil, err
+	}
+	buffer := 16
+	if cfg.shardBufferSet {
+		buffer = cfg.shardBuffer
+	}
+	inner, err := shard.New(shard.Config{
+		Shards: shards,
+		Buffer: buffer,
+		Block:  !cfg.nonBlocking,
+		Seed:   cfg.seed,
+		NewSampler: func(r *rng.Xoshiro) (*core.KnowledgeFree, error) {
+			if cfg.useAcc {
+				return core.NewKnowledgeFreeFromAccuracy(c, cfg.eps, cfg.del, r, cfg.coreOption...)
+			}
+			return core.NewKnowledgeFree(c, cfg.k, cfg.s, r, cfg.coreOption...)
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Pool{inner: inner}, nil
+}
+
+// NumShards returns the pool's shard count.
+func (p *Pool) NumShards() int { return p.inner.NumShards() }
+
+// Push feeds a single id from the input stream. PushBatch is the efficient
+// path; Push exists as a drop-in for single-id producers.
+func (p *Pool) Push(id NodeID) error {
+	return poolErr(p.inner.Push(uint64(id)))
+}
+
+// PushBatch feeds a batch of ids, partitioning them across the shards in
+// one pass (the conversion and the partition share a single copy). The
+// slice may be reused immediately.
+func (p *Pool) PushBatch(ids []NodeID) error {
+	return poolErr(shard.PushBatchOf(p.inner, ids))
+}
+
+// Sample returns one uniform sample. ok is false only while every shard is
+// still empty.
+func (p *Pool) Sample() (NodeID, bool) {
+	id, ok := p.inner.Sample()
+	return NodeID(id), ok
+}
+
+// SampleN returns n independent samples (fewer while the pool is empty).
+func (p *Pool) SampleN(n int) []NodeID {
+	return convertIDs(p.inner.SampleN(n))
+}
+
+// Memory returns the concatenation of every shard's sampling memory Γ.
+func (p *Pool) Memory() []NodeID {
+	return convertIDs(p.inner.Memory())
+}
+
+// Flush blocks until every id pushed before the call has been processed by
+// its shard. Useful before reading Stats or Memory deterministically.
+func (p *Pool) Flush() error {
+	return poolErr(p.inner.Flush())
+}
+
+// Stats returns per-shard and aggregate counters: processed ids, drops
+// under WithNonBlockingIngest, queue depths and memory sizes.
+func (p *Pool) Stats() PoolStats {
+	st := p.inner.Stats()
+	out := PoolStats{
+		Shards:    make([]ShardStats, len(st.Shards)),
+		Processed: st.Processed,
+		Dropped:   st.Dropped,
+	}
+	for i, s := range st.Shards {
+		out.Shards[i] = ShardStats(s)
+	}
+	return out
+}
+
+// Close stops every shard worker after draining what was already enqueued.
+// Idempotent; pushes racing with Close either complete or return
+// ErrPoolClosed.
+func (p *Pool) Close() error {
+	return p.inner.Close()
+}
+
+// poolErr rewrites the internal sentinel into the public one so callers can
+// errors.Is against ErrPoolClosed.
+func poolErr(err error) error {
+	if errors.Is(err, shard.ErrPoolClosed) {
+		return ErrPoolClosed
+	}
+	return err
+}

@@ -1,0 +1,201 @@
+package nodesampling
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"nodesampling/internal/metrics"
+	"nodesampling/internal/rng"
+	"nodesampling/internal/stream"
+)
+
+func TestNewPoolValidation(t *testing.T) {
+	if _, err := NewPool(0, 4); err == nil {
+		t.Error("c=0 should fail")
+	}
+	if _, err := NewPool(5, 0); err == nil {
+		t.Error("shards=0 should fail")
+	}
+	if _, err := NewPool(5, 4, WithSketch(0, 3)); err == nil {
+		t.Error("bad sketch shape should fail")
+	}
+	if _, err := NewPool(5, 4, WithShardBuffer(-1)); err == nil {
+		t.Error("negative shard buffer should fail")
+	}
+}
+
+func TestPoolBasicFlow(t *testing.T) {
+	p, err := NewPool(4, 3, WithSeed(1), WithSketch(16, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = p.Close() }()
+	if p.NumShards() != 3 {
+		t.Fatalf("NumShards = %d", p.NumShards())
+	}
+	if _, ok := p.Sample(); ok {
+		t.Fatal("sample ok before input")
+	}
+	if err := p.Push(42); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if id, ok := p.Sample(); !ok || id != 42 {
+		t.Fatalf("sample = (%d, %v)", id, ok)
+	}
+	if mem := p.Memory(); len(mem) != 1 || mem[0] != 42 {
+		t.Fatalf("memory = %v", mem)
+	}
+	st := p.Stats()
+	if st.Processed != 1 || len(st.Shards) != 3 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestPoolUnbiasesAttack runs the quickstart attack scenario through the
+// sharded pool: the KL gain must match what the single sampler achieves.
+func TestPoolUnbiasesAttack(t *testing.T) {
+	const n, m = 500, 120000
+	pmf, err := stream.PeakPMF(n, 7, 50000, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := stream.NewCategorical(pmf, rng.New(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewPool(8, 4, WithSeed(22), WithSketch(15, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = p.Close() }()
+	input := metrics.NewHistogram()
+	output := metrics.NewHistogram()
+	// Mirror the single-sampler scenario's one-output-per-input semantics:
+	// after each ingested batch, draw as many samples from the evolving
+	// memories (a frozen final state could never cover more than the pool's
+	// total memory, which would cap the measurable gain).
+	batch := make([]NodeID, 0, 512)
+	drain := func() {
+		if err := p.PushBatch(batch); err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		for range batch {
+			id, ok := p.Sample()
+			if !ok {
+				t.Fatal("sample not ok on a warm pool")
+			}
+			output.Add(uint64(id))
+		}
+		batch = batch[:0]
+	}
+	for i := 0; i < m; i++ {
+		id := src.Next()
+		input.Add(id)
+		batch = append(batch, NodeID(id))
+		if len(batch) == cap(batch) {
+			drain()
+		}
+	}
+	drain()
+	g, err := metrics.Gain(input, output, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g < 0.5 {
+		t.Fatalf("pool gain %v under peak attack, want > 0.5", g)
+	}
+}
+
+func TestPoolConcurrentUse(t *testing.T) {
+	p, err := NewPool(10, 8, WithSeed(3), WithSketch(10, 5), WithShardBuffer(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = p.Close() }()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			src := rng.New(uint64(g) + 10)
+			batch := make([]NodeID, 64)
+			for b := 0; b < 40; b++ {
+				for i := range batch {
+					batch[i] = NodeID(src.Uint64n(5000))
+				}
+				if err := p.PushBatch(batch); err != nil {
+					t.Error(err)
+					return
+				}
+				p.Sample()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if err := p.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	st := p.Stats()
+	if want := uint64(8 * 40 * 64); st.Processed != want {
+		t.Fatalf("processed %d, want %d", st.Processed, want)
+	}
+	if st.Dropped != 0 {
+		t.Fatalf("blocking pool dropped %d", st.Dropped)
+	}
+	if len(p.SampleN(10)) != 10 {
+		t.Fatal("SampleN short on a warm pool")
+	}
+}
+
+func TestPoolNonBlockingIngestDrops(t *testing.T) {
+	p, err := NewPool(5, 1, WithSeed(4), WithSketch(200, 8),
+		WithShardBuffer(0), WithNonBlockingIngest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = p.Close() }()
+	big := make([]NodeID, 4096)
+	for i := range big {
+		big[i] = NodeID(i)
+	}
+	for i := 0; i < 200 && p.Stats().Dropped == 0; i++ {
+		if err := p.PushBatch(big); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if p.Stats().Dropped == 0 {
+		t.Fatal("unbuffered non-blocking pool never dropped under a flood")
+	}
+}
+
+func TestPoolClose(t *testing.T) {
+	p, err := NewPool(5, 2, WithSeed(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Push(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err) // idempotent
+	}
+	if err := p.Push(2); !errors.Is(err, ErrPoolClosed) {
+		t.Fatalf("Push after close = %v, want ErrPoolClosed", err)
+	}
+	if err := p.PushBatch([]NodeID{3}); !errors.Is(err, ErrPoolClosed) {
+		t.Fatalf("PushBatch after close = %v, want ErrPoolClosed", err)
+	}
+	if err := p.Flush(); !errors.Is(err, ErrPoolClosed) {
+		t.Fatalf("Flush after close = %v, want ErrPoolClosed", err)
+	}
+}

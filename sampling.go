@@ -64,6 +64,11 @@ type config struct {
 	useAcc     bool
 	eps, del   float64
 	coreOption []core.Option
+
+	// Pool-only knobs (see NewPool); ignored by the sampler constructors.
+	shardBuffer    int
+	shardBufferSet bool
+	nonBlocking    bool
 }
 
 // Option customises a sampler constructor.
@@ -111,8 +116,9 @@ func WithSketchAccuracy(epsilon, delta float64) Option {
 // elements. The paper assumes churn ceases at a time T0; enable decay when
 // the population keeps changing slowly, so that departed nodes wash out of
 // the frequency estimates and fresh attackers are suppressed promptly
-// (extension; see the ablation-churn experiment). Only affects samplers
-// from NewSampler.
+// (extension; see the ablation-churn experiment). Affects knowledge-free
+// samplers only: those from NewSampler, and every shard of a NewPool
+// (each shard halves on its own processed count).
 func WithDecay(every uint64) Option {
 	return func(c *config) error {
 		if every == 0 {
@@ -125,8 +131,9 @@ func WithDecay(every uint64) Option {
 
 // WithConservativeEstimates switches the sketch to the conservative-update
 // rule (CM-CU), which keeps the no-underestimate guarantee while shedding
-// most of the collision over-count. Only affects samplers from NewSampler
-// (extension; see the ablation-cu experiment).
+// most of the collision over-count. Affects knowledge-free samplers only:
+// those from NewSampler and every shard of a NewPool (extension; see the
+// ablation-cu experiment).
 func WithConservativeEstimates() Option {
 	return func(c *config) error {
 		c.coreOption = append(c.coreOption, core.WithConservativeUpdate())
