@@ -152,6 +152,49 @@ func BenchmarkPoolPushBatch1(b *testing.B) { benchPoolPushBatch(b, 1) }
 func BenchmarkPoolPushBatch4(b *testing.B) { benchPoolPushBatch(b, 4) }
 func BenchmarkPoolPushBatch8(b *testing.B) { benchPoolPushBatch(b, 8) }
 
+// benchPoolSubscribeFanout measures ingest throughput with the streaming
+// output plane live: subs subscribers (each drained by its own goroutine)
+// receive σ′ while the producer pushes batches. subs = 0 is the baseline —
+// emission gated off, the draw-free fast path. The per-id cost difference
+// against the baseline is the full price of generating, fanning out and
+// delivering the output stream.
+func benchPoolSubscribeFanout(b *testing.B, subs int) {
+	p, err := NewPool(10, 4, WithSeed(1), WithSketch(10, 5), WithShardBuffer(64))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer func() { _ = p.Close() }()
+	for i := 0; i < subs; i++ {
+		sub, err := p.Subscribe(4096)
+		if err != nil {
+			b.Fatal(err)
+		}
+		go func() {
+			for range sub.C() {
+			}
+		}()
+	}
+	const batchSize = 2048
+	batch := make([]NodeID, batchSize)
+	b.ResetTimer()
+	for i := 0; i < b.N; i += batchSize {
+		for j := range batch {
+			batch[j] = NodeID((i + j) % 1000)
+		}
+		if err := p.PushBatch(batch); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := p.Flush(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkPoolSubscribeFanout0(b *testing.B)  { benchPoolSubscribeFanout(b, 0) }
+func BenchmarkPoolSubscribeFanout1(b *testing.B)  { benchPoolSubscribeFanout(b, 1) }
+func BenchmarkPoolSubscribeFanout4(b *testing.B)  { benchPoolSubscribeFanout(b, 4) }
+func BenchmarkPoolSubscribeFanout16(b *testing.B) { benchPoolSubscribeFanout(b, 16) }
+
 // BenchmarkServiceSample measures concurrent sample reads against a live
 // pipeline.
 func BenchmarkServiceSample(b *testing.B) {

@@ -1,0 +1,327 @@
+// Package client speaks the unsd daemon's framed bidirectional protocol
+// over a single TCP connection: push identifier batches up, subscribe to
+// the sampling service's continuous output stream σ′ down, and issue
+// sample requests and keepalives in between — the paper's stream-in/
+// stream-out service shape without per-sample HTTP round trips.
+//
+// A Client is safe for concurrent use. Writes are serialised internally; a
+// dedicated reader goroutine dispatches stream data, sample responses and
+// pongs, so a subscription keeps flowing while other calls are in flight.
+//
+// Typical session:
+//
+//	c, err := client.Dial("127.0.0.1:7947")
+//	defer c.Close()
+//	out, _ := c.Subscribe(1024)
+//	go func() {
+//	    for id := range out { use(id) }
+//	}()
+//	c.PushBatch(ids) // as the overlay gossips them in
+package client
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"nodesampling"
+	"nodesampling/internal/netgossip"
+)
+
+// ErrClosed is returned by calls on a client whose connection has been
+// closed (by Close, a server Error frame, or a connection failure — Err
+// tells them apart).
+var ErrClosed = errors.New("client: connection closed")
+
+// MaxSubscribeCapacity bounds Subscribe's buffer argument: it caps the
+// client-side channel allocation (the daemon additionally clamps its own
+// buffer to a smaller operational limit).
+const MaxSubscribeCapacity = 1 << 20
+
+// rpcTimeout bounds how long Sample and Ping wait for their response frame.
+const rpcTimeout = 30 * time.Second
+
+// Client is one framed connection to an unsd daemon.
+type Client struct {
+	conn net.Conn
+
+	wmu sync.Mutex // serialises frame writes
+
+	// rpcMu admits one request/response exchange (Sample or Ping) at a
+	// time, so responses need no correlation ids on the wire.
+	rpcMu   sync.Mutex
+	samplec chan []uint64
+	pongc   chan uint64
+
+	mu     sync.Mutex
+	stream chan nodesampling.NodeID // nil until Subscribe
+	err    error                    // first fatal error, behind done
+
+	done          chan struct{} // closed when the reader exits
+	closing       atomic.Bool
+	pingSeq       atomic.Uint64
+	streamDropped atomic.Uint64
+}
+
+// Dial connects to an unsd stream listener.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("client: dial %s: %w", addr, err)
+	}
+	return New(conn), nil
+}
+
+// New wraps an established connection (any net.Conn speaking the framed
+// protocol). The client owns the connection from this point.
+func New(conn net.Conn) *Client {
+	c := &Client{
+		conn:    conn,
+		samplec: make(chan []uint64, 1),
+		pongc:   make(chan uint64, 1),
+		done:    make(chan struct{}),
+	}
+	go c.readLoop()
+	return c
+}
+
+// readLoop is the connection's only reader: it dispatches every incoming
+// frame and records the first fatal error. It is also the only closer of
+// the subscription channel, so stream sends never race a close.
+func (c *Client) readLoop() {
+	var err error
+	for {
+		var f netgossip.Frame
+		f, err = netgossip.ReadFrame(c.conn)
+		if err != nil {
+			break
+		}
+		switch f.Type {
+		case netgossip.FrameStreamData:
+			c.dispatchStream(f.IDs)
+		case netgossip.FrameSampleResp:
+			select {
+			case c.samplec <- f.IDs:
+			default: // unsolicited or abandoned response
+			}
+		case netgossip.FramePong:
+			select {
+			case c.pongc <- f.Token:
+			default:
+			}
+		case netgossip.FrameError:
+			err = fmt.Errorf("client: server error: %s", f.Msg)
+		default:
+			err = fmt.Errorf("client: unexpected frame type %d from server", f.Type)
+		}
+		if err != nil {
+			break
+		}
+	}
+	c.mu.Lock()
+	if c.closing.Load() {
+		c.err = ErrClosed
+	} else {
+		c.err = err
+	}
+	stream := c.stream
+	c.stream = nil
+	c.mu.Unlock()
+	_ = c.conn.Close()
+	close(c.done)
+	if stream != nil {
+		close(stream)
+	}
+}
+
+// dispatchStream hands σ′ ids to the subscription channel without ever
+// blocking the reader: a full buffer drops the new arrivals (counted), so
+// a stalled consumer cannot wedge sample responses behind stream data.
+func (c *Client) dispatchStream(ids []uint64) {
+	c.mu.Lock()
+	stream := c.stream
+	c.mu.Unlock()
+	if stream == nil {
+		c.streamDropped.Add(uint64(len(ids)))
+		return
+	}
+	for i, id := range ids {
+		select {
+		case stream <- nodesampling.NodeID(id):
+		default:
+			c.streamDropped.Add(uint64(len(ids) - i))
+			return
+		}
+	}
+}
+
+// write sends one frame under the write lock.
+func (c *Client) write(f netgossip.Frame) error {
+	select {
+	case <-c.done:
+		return c.Err()
+	default:
+	}
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if err := netgossip.WriteFrame(c.conn, f); err != nil {
+		return fmt.Errorf("client: write: %w", err)
+	}
+	return nil
+}
+
+// PushBatch feeds identifiers into the daemon's input stream. Batches
+// larger than the wire limit are split transparently. The slice may be
+// reused after the call returns.
+func (c *Client) PushBatch(ids []nodesampling.NodeID) error {
+	for len(ids) > 0 {
+		n := len(ids)
+		if n > netgossip.MaxBatch {
+			n = netgossip.MaxBatch
+		}
+		raw := make([]uint64, n)
+		for i, id := range ids[:n] {
+			raw[i] = uint64(id)
+		}
+		if err := c.write(netgossip.Frame{Type: netgossip.FramePushBatch, IDs: raw}); err != nil {
+			return err
+		}
+		ids = ids[n:]
+	}
+	return nil
+}
+
+// Sample requests n uniform samples (1 ≤ n; the daemon caps how many it
+// answers with). An empty slice with a nil error means the pool holds no
+// ids yet.
+func (c *Client) Sample(n int) ([]nodesampling.NodeID, error) {
+	// A SampleResp frame carries at most MaxBatch ids, so larger requests
+	// could never be answered in full anyway.
+	if n < 1 || n > netgossip.MaxBatch {
+		return nil, fmt.Errorf("client: sample count must be in [1, %d], got %d", netgossip.MaxBatch, n)
+	}
+	c.rpcMu.Lock()
+	defer c.rpcMu.Unlock()
+	// Clear any abandoned response from a timed-out predecessor.
+	select {
+	case <-c.samplec:
+	default:
+	}
+	if err := c.write(netgossip.Frame{Type: netgossip.FrameSample, N: uint32(n)}); err != nil {
+		return nil, err
+	}
+	select {
+	case ids := <-c.samplec:
+		out := make([]nodesampling.NodeID, len(ids))
+		for i, id := range ids {
+			out[i] = nodesampling.NodeID(id)
+		}
+		return out, nil
+	case <-c.done:
+		return nil, c.Err()
+	case <-time.After(rpcTimeout):
+		// The response may still arrive later and would be mistaken for the
+		// answer to the next request; the connection is indeterminate now,
+		// so tear it down.
+		_ = c.Close()
+		return nil, errors.New("client: sample response timed out")
+	}
+}
+
+// Ping round-trips a keepalive token and verifies the echo.
+func (c *Client) Ping() error {
+	c.rpcMu.Lock()
+	defer c.rpcMu.Unlock()
+	select {
+	case <-c.pongc:
+	default:
+	}
+	token := c.pingSeq.Add(1)
+	if err := c.write(netgossip.Frame{Type: netgossip.FramePing, Token: token}); err != nil {
+		return err
+	}
+	select {
+	case echo := <-c.pongc:
+		if echo != token {
+			return fmt.Errorf("client: pong token %d, want %d", echo, token)
+		}
+		return nil
+	case <-c.done:
+		return c.Err()
+	case <-time.After(rpcTimeout):
+		// As with Sample: a late pong would desynchronise the next exchange.
+		_ = c.Close()
+		return errors.New("client: pong timed out")
+	}
+}
+
+// Subscribe asks the daemon to stream σ′ to this connection and returns
+// the channel carrying it, buffered to the given capacity. Only one
+// subscription per connection; the channel closes when the connection
+// does. A consumer that stops reading loses the newest arrivals
+// (StreamDropped counts them) — the daemon additionally sheds oldest
+// buffered draws on its side, so a stalled subscriber never builds an
+// unbounded backlog anywhere. The daemon cuts connections with no inbound
+// traffic for an extended period (its slowloris defence); a subscriber
+// that pushes nothing should call Ping every few minutes to keep the
+// stream alive.
+func (c *Client) Subscribe(capacity int) (<-chan nodesampling.NodeID, error) {
+	if capacity < 1 || capacity > MaxSubscribeCapacity {
+		return nil, fmt.Errorf("client: subscription capacity must be in [1, %d], got %d", MaxSubscribeCapacity, capacity)
+	}
+	c.mu.Lock()
+	if c.stream != nil {
+		c.mu.Unlock()
+		return nil, errors.New("client: already subscribed")
+	}
+	// c.err is assigned inside the reader's final c.mu section, before it
+	// snapshots c.stream for closing — so checking it here (rather than
+	// c.done, which closes later) guarantees either this registration is
+	// observed by the reader's teardown or the teardown is observed here.
+	if c.err != nil {
+		err := c.err
+		c.mu.Unlock()
+		return nil, err
+	}
+	ch := make(chan nodesampling.NodeID, capacity)
+	c.stream = ch
+	c.mu.Unlock()
+	if err := c.write(netgossip.Frame{Type: netgossip.FrameSubscribe, N: uint32(capacity)}); err != nil {
+		// The reader is the only closer of the stream channel (closing it
+		// here would race a concurrent dispatchStream send); a connection
+		// whose Subscribe could not be written is dead weight anyway, so
+		// tear it down and let the reader close ch on its way out.
+		_ = c.Close()
+		return nil, err
+	}
+	return ch, nil
+}
+
+// StreamDropped reports how many σ′ ids the client discarded because the
+// subscription buffer was full when they arrived.
+func (c *Client) StreamDropped() uint64 { return c.streamDropped.Load() }
+
+// Err returns the error that terminated the connection, or nil while it is
+// live.
+func (c *Client) Err() error {
+	select {
+	case <-c.done:
+	default:
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.err
+}
+
+// Close tears the connection down and waits for the reader (closing any
+// subscription channel). Idempotent.
+func (c *Client) Close() error {
+	c.closing.Store(true)
+	_ = c.conn.Close()
+	<-c.done
+	return nil
+}

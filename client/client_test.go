@@ -1,0 +1,186 @@
+package client
+
+import (
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"nodesampling"
+	"nodesampling/internal/netgossip"
+)
+
+// fakeServer answers the framed protocol on one end of a pipe with
+// scripted behaviour: it echoes pings, answers samples with a fixed batch,
+// and on Subscribe starts streaming the pushed ids straight back.
+func fakeServer(t *testing.T, conn net.Conn, sampleResp []uint64) {
+	t.Helper()
+	go func() {
+		defer conn.Close()
+		subscribed := false
+		for {
+			f, err := netgossip.ReadFrame(conn)
+			if err != nil {
+				return
+			}
+			switch f.Type {
+			case netgossip.FramePushBatch:
+				if subscribed {
+					if err := netgossip.WriteFrame(conn, netgossip.Frame{Type: netgossip.FrameStreamData, IDs: f.IDs}); err != nil {
+						return
+					}
+				}
+			case netgossip.FrameSubscribe:
+				subscribed = true
+			case netgossip.FrameSample:
+				n := int(f.N)
+				if n > len(sampleResp) {
+					n = len(sampleResp)
+				}
+				if err := netgossip.WriteFrame(conn, netgossip.Frame{Type: netgossip.FrameSampleResp, IDs: sampleResp[:n]}); err != nil {
+					return
+				}
+			case netgossip.FramePing:
+				if err := netgossip.WriteFrame(conn, netgossip.Frame{Type: netgossip.FramePong, Token: f.Token}); err != nil {
+					return
+				}
+			}
+		}
+	}()
+}
+
+func newTestClient(t *testing.T, sampleResp []uint64) *Client {
+	t.Helper()
+	server, clientEnd := net.Pipe()
+	fakeServer(t, server, sampleResp)
+	c := New(clientEnd)
+	t.Cleanup(func() { _ = c.Close() })
+	return c
+}
+
+func TestClientPingSample(t *testing.T) {
+	c := newTestClient(t, []uint64{11, 22, 33})
+	if err := c.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	ids, err := c.Sample(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 2 || ids[0] != 11 || ids[1] != 22 {
+		t.Fatalf("sample = %v", ids)
+	}
+	if _, err := c.Sample(0); err == nil {
+		t.Fatal("Sample(0) should fail")
+	}
+}
+
+func TestClientSubscribeStream(t *testing.T) {
+	c := newTestClient(t, nil)
+	out, err := c.Subscribe(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Subscribe(16); err == nil {
+		t.Fatal("double subscribe should fail")
+	}
+	want := []nodesampling.NodeID{1, 2, 3, 4}
+	if err := c.PushBatch(want); err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range want {
+		select {
+		case got := <-out:
+			if got != w {
+				t.Fatalf("stream got %d, want %d", got, w)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("timed out waiting for %d", w)
+		}
+	}
+}
+
+// TestClientPushChunksLargeBatches pushes more ids than one frame may carry
+// and verifies they all arrive (split across frames).
+func TestClientPushChunksLargeBatches(t *testing.T) {
+	c := newTestClient(t, nil)
+	out, err := c.Subscribe(2 * netgossip.MaxBatch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big := make([]nodesampling.NodeID, netgossip.MaxBatch+10)
+	for i := range big {
+		big[i] = nodesampling.NodeID(i)
+	}
+	if err := c.PushBatch(big); err != nil {
+		t.Fatal(err)
+	}
+	for i := range big {
+		select {
+		case got := <-out:
+			if got != big[i] {
+				t.Fatalf("id %d: got %d", i, got)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("timed out at id %d", i)
+		}
+	}
+	if err := c.PushBatch(nil); err != nil {
+		t.Fatal("empty push should be a no-op")
+	}
+}
+
+func TestClientCloseUnblocksAndReports(t *testing.T) {
+	c := newTestClient(t, nil)
+	out, err := c.Subscribe(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case _, ok := <-out:
+		if ok {
+			t.Fatal("stream delivered after close")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("stream channel not closed")
+	}
+	if !errors.Is(c.Err(), ErrClosed) {
+		t.Fatalf("Err after Close = %v, want ErrClosed", c.Err())
+	}
+	if err := c.Ping(); err == nil {
+		t.Fatal("Ping on closed client should fail")
+	}
+	if err := c.PushBatch([]nodesampling.NodeID{1}); err == nil {
+		t.Fatal("PushBatch on closed client should fail")
+	}
+	_ = c.Close() // idempotent
+}
+
+// TestClientServerError pins that a server Error frame surfaces through Err
+// and terminates the connection.
+func TestClientServerError(t *testing.T) {
+	server, clientEnd := net.Pipe()
+	c := New(clientEnd)
+	defer c.Close()
+	go func() {
+		_, _ = netgossip.ReadFrame(server) // swallow the ping
+		_ = netgossip.WriteFrame(server, netgossip.Frame{Type: netgossip.FrameError, Msg: "go away"})
+		_ = server.Close()
+	}()
+	if err := c.Ping(); err == nil {
+		t.Fatal("Ping should fail after server error")
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for c.Err() == nil {
+		if time.Now().After(deadline) {
+			t.Fatal("Err never surfaced")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if got := c.Err().Error(); got != "client: server error: go away" {
+		t.Fatalf("Err = %q", got)
+	}
+}

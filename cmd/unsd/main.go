@@ -1,24 +1,32 @@
 // Command unsd is the uniform node sampling daemon: the deployable,
 // high-throughput form of the paper's sampling service. It absorbs node
-// identifiers from two directions — netgossip batches on a TCP listener
-// (the overlay's σ streams) and POST /push over HTTP — into a sharded
-// sampling pool, and serves uniform samples, the pooled memory Γ and
-// operational statistics over HTTP.
+// identifiers from three directions — netgossip batches on a TCP listener
+// (the overlay's σ streams), POST /push over HTTP, and PushBatch frames on
+// the stream listener — into a sharded sampling pool, and serves uniform
+// samples, the pooled memory Γ, the continuous output stream σ′ and
+// operational statistics.
 //
 // Usage:
 //
-//	unsd -http 127.0.0.1:8080 -gossip 127.0.0.1:7946 -shards 8 -c 25
+//	unsd -http 127.0.0.1:8080 -stream 127.0.0.1:7947 -gossip 127.0.0.1:7946 -shards 8 -c 25
 //
-// Endpoints:
+// HTTP endpoints:
 //
 //	POST /push    {"ids":[1,2,3]}      feed identifiers
 //	GET  /sample?n=K                   K uniform samples (default 1)
 //	GET  /memory                       the pooled sampling memory Γ
-//	GET  /stats                        drops, per-shard depth, throughput
+//	GET  /stats                        drops, per-shard depth, throughput,
+//	                                   per-subscriber delivery accounting
 //
-// Identifiers are 64-bit; responses encode them as decimal strings and
-// /push accepts numbers or strings, because JSON doubles corrupt integers
-// above 2^53.
+// The -stream listener speaks the framed bidirectional protocol of
+// internal/netgossip (and the public client package): a single persistent
+// TCP connection pushes id batches up and receives σ′ stream frames,
+// sample responses and pong keepalives down — the paper's stream-in/
+// stream-out service shape, without per-sample HTTP round trips.
+//
+// Identifiers are 64-bit; HTTP responses encode them as decimal strings
+// and /push accepts numbers or strings, because JSON doubles corrupt
+// integers above 2^53.
 package main
 
 import (
@@ -61,12 +69,14 @@ type options struct {
 	self            uint64
 }
 
-// daemon ties the sharded pool to its gossip front-end. The HTTP layer is a
-// plain handler over it, so tests can drive a live listener via httptest.
+// daemon ties the sharded pool to its gossip and stream front-ends. The
+// HTTP layer is a plain handler over it, so tests can drive a live listener
+// via httptest.
 type daemon struct {
-	pool  *shard.Pool
-	peer  *netgossip.Peer
-	start time.Time
+	pool   *shard.Pool
+	peer   *netgossip.Peer
+	stream *streamServer // nil until listenStream
+	start  time.Time
 }
 
 func newDaemon(o options) (*daemon, error) {
@@ -99,9 +109,13 @@ func newDaemon(o options) (*daemon, error) {
 	return &daemon{pool: pool, peer: peer, start: time.Now()}, nil
 }
 
-// Close shuts the network front-end down first so no batch races the pool's
-// shutdown, then the pool.
+// Close shuts the network front-ends down first so no batch races the
+// pool's shutdown, then the pool (which closes the subscription hub and
+// thereby every remaining stream subscription).
 func (d *daemon) Close() {
+	if d.stream != nil {
+		d.stream.Close()
+	}
 	_ = d.peer.Close()
 	_ = d.pool.Close()
 }
@@ -213,8 +227,19 @@ func (d *daemon) handleMemory(w http.ResponseWriter, r *http.Request) {
 type shardStatsJSON struct {
 	Processed  uint64 `json:"processed"`
 	Dropped    uint64 `json:"dropped"`
+	Halvings   uint64 `json:"halvings"`
 	QueueDepth int    `json:"queue_depth"`
 	MemorySize int    `json:"memory_size"`
+}
+
+// subscriberStatsJSON is one output-stream subscription's row in /stats.
+type subscriberStatsJSON struct {
+	ID        uint64 `json:"id"`
+	Offered   uint64 `json:"offered"`
+	Delivered uint64 `json:"delivered"`
+	Dropped   uint64 `json:"dropped"`
+	Capacity  int    `json:"capacity"`
+	Depth     int    `json:"depth"`
 }
 
 func (d *daemon) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -222,6 +247,10 @@ func (d *daemon) handleStats(w http.ResponseWriter, r *http.Request) {
 	shards := make([]shardStatsJSON, len(st.Shards))
 	for i, s := range st.Shards {
 		shards[i] = shardStatsJSON(s)
+	}
+	subs := make([]subscriberStatsJSON, len(st.Subscribers))
+	for i, s := range st.Subscribers {
+		subs[i] = subscriberStatsJSON(s)
 	}
 	uptime := time.Since(d.start).Seconds()
 	throughput := 0.0
@@ -232,9 +261,12 @@ func (d *daemon) handleStats(w http.ResponseWriter, r *http.Request) {
 		"uptime_seconds":            uptime,
 		"processed":                 st.Processed,
 		"dropped":                   st.Dropped,
+		"emit_dropped":              st.EmitDropped,
 		"throughput_ids_per_second": throughput,
 		"gossip_connections":        d.peer.NumConns(),
+		"stream_connections":        d.streamConns(),
 		"shards":                    shards,
+		"subscribers":               subs,
 	})
 }
 
@@ -253,6 +285,7 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("unsd", flag.ContinueOnError)
 	var (
 		httpAddr   = fs.String("http", "127.0.0.1:8080", "HTTP listen address")
+		streamAddr = fs.String("stream", "", "framed stream TCP listen address (empty disables)")
 		gossipAddr = fs.String("gossip", "", "netgossip TCP listen address (empty disables)")
 		connect    = fs.String("connect", "", "comma-separated netgossip peers to dial")
 		self       = fs.Uint64("self", 0, "this node's identifier (0 derives one from the seed)")
@@ -282,6 +315,13 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 	}
 	defer d.Close()
 
+	if *streamAddr != "" {
+		ln, err := d.listenStream(*streamAddr)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "stream listening on %s\n", ln.Addr())
+	}
 	if *gossipAddr != "" {
 		ln, err := d.peer.Listen(*gossipAddr)
 		if err != nil {

@@ -1,0 +1,268 @@
+package main
+
+import (
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"nodesampling/internal/netgossip"
+	"nodesampling/internal/subhub"
+)
+
+// Stream-endpoint limits. A subscriber asking for more buffer than
+// maxSubscribeBuffer is clamped, not rejected: the cap is the daemon's
+// memory-protection concern, not the client's. The read deadlines are the
+// stream plane's slowloris defence, mirroring the HTTP server's timeouts:
+// a connection that neither completes frames nor subscribes is cut after
+// streamIdleTimeout, and even a subscribed connection must show some
+// inbound life (a Ping suffices) within streamSubscribedIdleTimeout, so an
+// attacker cannot pin goroutines and fds by opening connections and going
+// silent. maxStreamConns bounds the total either way.
+const (
+	maxSubscribeBuffer          = 65536
+	maxStreamConns              = 4096
+	streamWriteTimeout          = 30 * time.Second
+	streamIdleTimeout           = 2 * time.Minute
+	streamSubscribedIdleTimeout = 15 * time.Minute
+)
+
+// streamServer serves the framed bidirectional protocol (version 2) on a
+// TCP listener: persistent connections that push id batches up and carry
+// the pool's output stream σ′, sample responses and keepalives down. It is
+// the subscription-shaped surface the HTTP endpoints cannot offer — one
+// connection instead of a poll loop per sample.
+type streamServer struct {
+	d *daemon
+
+	mu     sync.Mutex
+	ln     net.Listener
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// listenStream starts serving the framed protocol on addr and returns the
+// live listener (addr may carry port 0).
+func (d *daemon) listenStream(addr string) (net.Listener, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &streamServer{d: d, ln: ln, conns: make(map[net.Conn]struct{})}
+	d.stream = s
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return ln, nil
+}
+
+// streamConns reports the number of live framed connections (0 when the
+// stream listener is disabled).
+func (d *daemon) streamConns() int {
+	if d.stream == nil {
+		return 0
+	}
+	d.stream.mu.Lock()
+	defer d.stream.mu.Unlock()
+	return len(d.stream.conns)
+}
+
+func (s *streamServer) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		if len(s.conns) >= maxStreamConns {
+			s.mu.Unlock()
+			_ = conn.Close()
+			continue
+		}
+		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go s.handle(conn)
+	}
+}
+
+// Close stops the listener and every live connection, then joins all
+// connection goroutines. Idempotent.
+func (s *streamServer) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	_ = s.ln.Close()
+	for _, c := range conns {
+		_ = c.Close()
+	}
+	s.wg.Wait()
+}
+
+func (s *streamServer) drop(conn net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, conn)
+	s.mu.Unlock()
+	_ = conn.Close()
+}
+
+// connWriter serialises frame writes from the read loop (sample responses,
+// pongs, errors) and the subscription writer onto one connection. Every
+// write carries a deadline so a stalled subscriber's TCP window cannot pin
+// the goroutine forever.
+type connWriter struct {
+	mu   sync.Mutex
+	conn net.Conn
+}
+
+func (w *connWriter) write(f netgossip.Frame) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := w.conn.SetWriteDeadline(time.Now().Add(streamWriteTimeout)); err != nil {
+		return err
+	}
+	return netgossip.WriteFrame(w.conn, f)
+}
+
+// handle runs one framed connection until protocol error, read failure or
+// shutdown.
+func (s *streamServer) handle(conn net.Conn) {
+	defer s.wg.Done()
+	defer s.drop(conn)
+	w := &connWriter{conn: conn}
+	var sub *subhub.Subscription
+	var subDone chan struct{}
+	defer func() {
+		if sub != nil {
+			sub.Cancel()
+			<-subDone
+		}
+	}()
+	for {
+		idle := streamIdleTimeout
+		if sub != nil {
+			idle = streamSubscribedIdleTimeout
+		}
+		if err := conn.SetReadDeadline(time.Now().Add(idle)); err != nil {
+			return
+		}
+		f, err := netgossip.ReadFrame(conn)
+		if err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+				// Best effort: name the offence before hanging up.
+				_ = w.write(netgossip.Frame{Type: netgossip.FrameError, Msg: trimErr(err)})
+			}
+			return
+		}
+		switch f.Type {
+		case netgossip.FramePushBatch:
+			// A closed or overloaded pool only costs stream elements, like
+			// the gossip path: the connection stays up.
+			_ = s.d.pool.PushBatch(f.IDs)
+		case netgossip.FrameSample:
+			// A SampleResp frame carries at most MaxBatch ids, so that is
+			// the cap here (tighter than the HTTP plane's maxSampleN): a
+			// larger n must not make the response unencodable.
+			n := int(f.N)
+			if n > netgossip.MaxBatch {
+				n = netgossip.MaxBatch
+			}
+			if err := w.write(netgossip.Frame{Type: netgossip.FrameSampleResp, IDs: s.d.pool.SampleN(n)}); err != nil {
+				return
+			}
+		case netgossip.FrameSubscribe:
+			if sub != nil {
+				// FrameError is terminal by protocol contract (the client
+				// treats it as fatal), so hang up rather than leave the two
+				// ends disagreeing about connection state.
+				_ = w.write(netgossip.Frame{Type: netgossip.FrameError, Msg: "already subscribed"})
+				return
+			}
+			capacity := int(f.N)
+			if capacity > maxSubscribeBuffer {
+				capacity = maxSubscribeBuffer
+			}
+			var err error
+			sub, err = s.d.pool.Subscribe(capacity)
+			if err != nil {
+				_ = w.write(netgossip.Frame{Type: netgossip.FrameError, Msg: trimErr(err)})
+				return
+			}
+			subDone = make(chan struct{})
+			go streamWriter(sub, w, subDone)
+		case netgossip.FramePing:
+			if err := w.write(netgossip.Frame{Type: netgossip.FramePong, Token: f.Token}); err != nil {
+				return
+			}
+		default:
+			_ = w.write(netgossip.Frame{Type: netgossip.FrameError, Msg: "unexpected frame type"})
+			return
+		}
+	}
+}
+
+// streamWriter forwards a subscription's σ′ draws as StreamData frames,
+// batching greedily: after a blocking read it drains whatever else is
+// already buffered (up to the wire limit) into the same frame, so a fast
+// stream costs one syscall per burst rather than per id. Exits when the
+// subscription is cancelled or the connection dies.
+func streamWriter(sub *subhub.Subscription, w *connWriter, done chan struct{}) {
+	defer close(done)
+	batch := make([]uint64, 0, netgossip.MaxBatch)
+	for {
+		id, ok := <-sub.C()
+		if !ok {
+			return
+		}
+		batch = append(batch[:0], id)
+	fill:
+		for len(batch) < cap(batch) {
+			select {
+			case id, ok := <-sub.C():
+				if !ok {
+					break fill
+				}
+				batch = append(batch, id)
+			default:
+				break fill
+			}
+		}
+		if err := w.write(netgossip.Frame{Type: netgossip.FrameStreamData, IDs: batch}); err != nil {
+			// The connection is gone, or the subscriber stalled past the
+			// write deadline — in which case a partial write may have left a
+			// truncated frame on the wire, so the connection is unusable
+			// either way. Drop it (the read loop then unwinds) and cancel
+			// the subscription so the hub accounts the rest as drops.
+			sub.Cancel()
+			_ = w.conn.Close()
+			return
+		}
+	}
+}
+
+// trimErr bounds an error message to what an Error frame may carry.
+func trimErr(err error) string {
+	msg := err.Error()
+	if len(msg) > netgossip.MaxErrorLen {
+		msg = msg[:netgossip.MaxErrorLen]
+	}
+	if msg == "" {
+		msg = "internal error"
+	}
+	return msg
+}

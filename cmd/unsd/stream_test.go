@@ -1,0 +1,302 @@
+package main
+
+import (
+	"context"
+	"net"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"nodesampling"
+	"nodesampling/client"
+	"nodesampling/internal/netgossip"
+)
+
+func testContext(t *testing.T) (context.Context, context.CancelFunc) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	t.Cleanup(cancel)
+	return ctx, cancel
+}
+
+// waitForListener scans run()'s output for "<prefix><addr>\n" and returns
+// the address.
+func waitForListener(t *testing.T, sb *safeBuilder, prefix string) string {
+	t.Helper()
+	var addr string
+	waitFor(t, "the line "+strings.TrimSpace(prefix), func() bool {
+		out := sb.String()
+		i := strings.Index(out, prefix)
+		if i < 0 {
+			return false
+		}
+		rest := out[i+len(prefix):]
+		j := strings.IndexByte(rest, '\n')
+		if j < 0 {
+			return false
+		}
+		addr = rest[:j]
+		return true
+	})
+	return addr
+}
+
+func testStreamDaemon(t *testing.T, o options) (*daemon, net.Listener) {
+	t.Helper()
+	d := testDaemon(t, o)
+	ln, err := d.listenStream("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, ln
+}
+
+// TestStreamEndToEnd is the acceptance scenario: one framed TCP connection
+// pushes id batches, subscribes, and receives σ′ stream frames whose ids
+// are drawn from the pushed population; /stats reports the subscription's
+// delivery accounting.
+func TestStreamEndToEnd(t *testing.T) {
+	d, ln := testStreamDaemon(t, defaultOptions())
+	ts := httptest.NewServer(d.handler())
+	defer ts.Close()
+
+	c, err := client.Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	// Sampling before any push answers an empty (not failed) response.
+	if ids, err := c.Sample(3); err != nil || len(ids) != 0 {
+		t.Fatalf("Sample on empty pool = (%v, %v)", ids, err)
+	}
+
+	out, err := c.Subscribe(4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const population = 600
+	ids := make([]nodesampling.NodeID, population)
+	for i := range ids {
+		ids[i] = nodesampling.NodeID(i + 1)
+	}
+	// Push in several batches, like a gossiping overlay would.
+	for lo := 0; lo < population; lo += 200 {
+		if err := c.PushBatch(ids[lo : lo+200]); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	seen := 0
+	deadline := time.After(10 * time.Second)
+	for seen < 300 {
+		select {
+		case id := <-out:
+			if id < 1 || id > population {
+				t.Fatalf("σ′ draw %d outside the pushed population", id)
+			}
+			seen++
+		case <-deadline:
+			t.Fatalf("received only %d σ′ draws", seen)
+		}
+	}
+
+	// The request/response plane keeps working on the same connection while
+	// the stream flows.
+	samples, err := c.Sample(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) != 10 {
+		t.Fatalf("got %d samples, want 10", len(samples))
+	}
+	for _, id := range samples {
+		if id < 1 || id > population {
+			t.Fatalf("sample %d outside the pushed population", id)
+		}
+	}
+	if err := c.Ping(); err != nil {
+		t.Fatal(err)
+	}
+
+	// /stats must expose the subscription's delivery accounting.
+	var stats struct {
+		StreamConns int `json:"stream_connections"`
+		Subscribers []struct {
+			ID        uint64 `json:"id"`
+			Offered   uint64 `json:"offered"`
+			Delivered uint64 `json:"delivered"`
+			Dropped   uint64 `json:"dropped"`
+			Capacity  int    `json:"capacity"`
+		} `json:"subscribers"`
+	}
+	waitFor(t, "subscriber stats to surface", func() bool {
+		getJSON(t, ts.URL+"/stats", &stats)
+		return len(stats.Subscribers) == 1 && stats.Subscribers[0].Delivered > 0
+	})
+	if stats.StreamConns != 1 {
+		t.Fatalf("stream_connections = %d, want 1", stats.StreamConns)
+	}
+	if s := stats.Subscribers[0]; s.Offered < s.Delivered {
+		t.Fatalf("inconsistent subscriber accounting: %+v", s)
+	}
+}
+
+// TestStreamStalledSubscriber pins the slow-subscriber guarantee end to
+// end: a raw framed connection subscribes and then never reads a byte,
+// while a well-behaved client keeps pushing. Ingestion must proceed (the
+// pool blocks producers, so a stalled emit path would wedge PushBatch), and
+// /stats must eventually report drops for the stalled subscription.
+func TestStreamStalledSubscriber(t *testing.T) {
+	o := defaultOptions()
+	d, ln := testStreamDaemon(t, o)
+	ts := httptest.NewServer(d.handler())
+	defer ts.Close()
+
+	// The stalled subscriber: speaks just enough protocol to subscribe with
+	// a tiny buffer, then goes silent without ever reading.
+	stalled, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stalled.Close()
+	if err := netgossip.WriteFrame(stalled, netgossip.Frame{Type: netgossip.FrameSubscribe, N: 1}); err != nil {
+		t.Fatal(err)
+	}
+	var stats struct {
+		Subscribers []struct {
+			Dropped   uint64 `json:"dropped"`
+			Delivered uint64 `json:"delivered"`
+		} `json:"subscribers"`
+	}
+	waitFor(t, "the stalled subscription to register", func() bool {
+		getJSON(t, ts.URL+"/stats", &stats)
+		return len(stats.Subscribers) == 1
+	})
+
+	// The pusher: a normal client shoving batches through the same daemon.
+	pusher, err := client.Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pusher.Close()
+	batch := make([]nodesampling.NodeID, 1024)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for r := 0; r < 200; r++ {
+			for i := range batch {
+				batch[i] = nodesampling.NodeID(r*len(batch) + i)
+			}
+			if err := pusher.PushBatch(batch); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("pushes stalled behind a dead subscriber")
+	}
+	if err := d.pool.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "drops to surface for the stalled subscriber", func() bool {
+		getJSON(t, ts.URL+"/stats", &stats)
+		return len(stats.Subscribers) == 1 && stats.Subscribers[0].Dropped > 0
+	})
+}
+
+// TestStreamProtocolErrors checks the failure surfaces: garbage bytes earn
+// an Error frame and a hang-up; a second Subscribe earns an Error frame
+// with the connection kept alive.
+func TestStreamProtocolErrors(t *testing.T) {
+	_, ln := testStreamDaemon(t, defaultOptions())
+
+	// Garbage: the server must answer with an Error frame and close.
+	raw, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Close()
+	if _, err := raw.Write([]byte("GET / HTTP/1.1\r\n\r\n")); err != nil {
+		t.Fatal(err)
+	}
+	_ = raw.SetReadDeadline(time.Now().Add(10 * time.Second))
+	f, err := netgossip.ReadFrame(raw)
+	if err != nil {
+		t.Fatalf("expected an Error frame, read failed: %v", err)
+	}
+	if f.Type != netgossip.FrameError {
+		t.Fatalf("frame type %d, want FrameError", f.Type)
+	}
+	if _, err := netgossip.ReadFrame(raw); err == nil {
+		t.Fatal("connection should be closed after protocol error")
+	}
+
+	// Double subscribe: Error frame, then the server hangs up (FrameError
+	// is terminal by protocol contract).
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	for i := 0; i < 2; i++ {
+		if err := netgossip.WriteFrame(conn, netgossip.Frame{Type: netgossip.FrameSubscribe, N: 8}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_ = conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	f, err = netgossip.ReadFrame(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Type != netgossip.FrameError || f.Msg != "already subscribed" {
+		t.Fatalf("frame = %+v, want already-subscribed error", f)
+	}
+	waitFor(t, "the server to hang up after the error", func() bool {
+		// Drain any σ′ frames still in flight until the close surfaces.
+		_, err := netgossip.ReadFrame(conn)
+		return err != nil
+	})
+}
+
+// TestStreamRunFlag boots the daemon through run() with -stream and drives
+// it with the public client, proving the flag wiring end to end.
+func TestStreamRunFlag(t *testing.T) {
+	ctx, cancel := testContext(t)
+	var sb safeBuilder
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{
+			"-http", "127.0.0.1:0", "-stream", "127.0.0.1:0",
+			"-shards", "2", "-c", "5", "-k", "6", "-s", "3", "-seed", "13",
+		}, &sb)
+	}()
+	addr := waitForListener(t, &sb, "stream listening on ")
+	c, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.PushBatch([]nodesampling.NodeID{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "pushed ids to become sampleable", func() bool {
+		ids, err := c.Sample(1)
+		return err == nil && len(ids) == 1
+	})
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("run did not shut down")
+	}
+}

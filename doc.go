@@ -52,8 +52,36 @@
 // (PushBatch) so the hand-off cost is amortised over many identifiers.
 // Sample draws a shard weighted by its current |Γ|, then a uniform element
 // of it — a uniform draw over the union of the memories, preserving
-// Uniformity at the population level, while Freshness holds per shard. Use
-// Service for a single node's modest stream, Pool (and the unsd daemon in
-// cmd/unsd, which serves it over HTTP and netgossip TCP) when one sampler
-// cannot absorb the traffic.
+// Uniformity at the population level, while Freshness holds per shard.
+// WithDecay on a Pool runs a single global decay clock: all shards halve
+// their sketches on a shared epoch derived from the pool-wide ingest
+// count, keeping their frequency estimates comparable even when the
+// partition is momentarily skewed.
+//
+// # The streaming output plane
+//
+// The paper's service is stream-in/stream-out: Algorithm 1 continuously
+// emits the output stream σ′. Pool.Subscribe restores that surface at
+// sharded throughput: shard workers draw one output element per ingested
+// id (only while at least one subscription is live) and a subscription hub
+// fans the draws out to every subscriber through fixed-capacity buffers
+// with a non-blocking drop-oldest policy. A slow subscriber therefore
+// loses the oldest buffered elements — which a sampling stream can always
+// afford, since a later draw carries the same information — and never
+// backpressures ingestion; Stats reports exact per-subscriber
+// offered/delivered/dropped accounting.
+//
+// Use Service for a single node's modest stream, Pool when one sampler
+// cannot absorb the traffic, and the unsd daemon (cmd/unsd) to serve a
+// Pool over the network: HTTP for request/response, netgossip TCP for
+// overlay ingest, and a framed bidirectional stream protocol — push id
+// batches up, receive σ′ down, one persistent connection per consumer. The
+// client package (nodesampling/client) speaks that protocol:
+//
+//	c, _ := client.Dial("127.0.0.1:7947")
+//	out, _ := c.Subscribe(1024)
+//	c.PushBatch(ids)       // σ  upstream
+//	for id := range out {  // σ′ downstream
+//	    ...
+//	}
 package nodesampling

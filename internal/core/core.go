@@ -475,6 +475,24 @@ func (kf *KnowledgeFree) ProcessBatch(ids []uint64) {
 	}
 }
 
+// ProcessBatchEmit consumes a batch like ProcessBatch but restores the
+// per-id output draw of the paper's one-pass loop: after each ingested id
+// one uniform element of Γ is appended to out — the output stream σ′ that
+// Algorithm 1 writes continuously. It returns the extended slice. Γ is
+// non-empty from the first processed id on, so exactly len(ids) draws are
+// appended whenever the memory was seeded (always, except for the ids at
+// the very front of the sampler's first ever batch before one is admitted —
+// and the first id is always admitted, so in practice one draw per id).
+func (kf *KnowledgeFree) ProcessBatchEmit(ids []uint64, out []uint64) []uint64 {
+	for _, id := range ids {
+		kf.processOne(id)
+		if s, ok := kf.Sample(); ok {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
 // Sample returns a uniformly chosen element of Γ.
 func (kf *KnowledgeFree) Sample() (uint64, bool) {
 	if kf.mem.size() == 0 {

@@ -1,0 +1,209 @@
+package netgossip
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// The framed protocol (version 2) is the bidirectional successor of the
+// one-way batch protocol: one persistent connection carries id batches
+// upstream and the sampling service's output stream σ′ (plus sample
+// request/responses and keepalives) downstream. Every frame is
+//
+//	magic (1) | version (1) | type (1) | payload length (uint32 BE) | payload
+//
+// with the payload length hard-bounded before any allocation, so a hostile
+// peer can neither stall a correct node nor force a large allocation —
+// exactly the discipline of the v1 batch decoder, extended to a frame
+// vocabulary. The v2 magic differs from the v1 magic so that a client
+// speaking the wrong protocol on a listener fails on the first byte with a
+// clear error instead of a payload-shaped surprise.
+const (
+	frameMagic   = 0x55 // 'U'; v1's batch protocol uses 0x75 ('u')
+	FrameVersion = 2
+	// MaxFramePayload bounds a single frame's payload: enough for MaxBatch
+	// 64-bit ids and nothing bigger.
+	MaxFramePayload = 8 * MaxBatch
+	frameHeaderLen  = 7
+	// MaxErrorLen bounds an Error frame's message.
+	MaxErrorLen = 512
+)
+
+// FrameType discriminates the frame vocabulary.
+type FrameType uint8
+
+// Frame types of protocol version 2.
+const (
+	// FramePushBatch carries a batch of input-stream ids upstream
+	// (client → daemon). Payload: 1..MaxBatch ids, 8 bytes each.
+	FramePushBatch FrameType = iota + 1
+	// FrameSubscribe asks the daemon to start streaming σ′ to this
+	// connection. Payload: requested buffer capacity (uint32 BE, ≥ 1; the
+	// server clamps it to its own bound).
+	FrameSubscribe
+	// FrameSample requests uniform samples. Payload: count (uint32 BE, ≥ 1).
+	FrameSample
+	// FrameSampleResp answers FrameSample. Payload: 0..MaxBatch ids — zero
+	// ids means the pool is still empty.
+	FrameSampleResp
+	// FrameStreamData carries a batch of σ′ output draws downstream.
+	// Payload: 1..MaxBatch ids.
+	FrameStreamData
+	// FramePing and FramePong are keepalives. Payload: an 8-byte token the
+	// pong echoes.
+	FramePing
+	FramePong
+	// FrameError reports a terminal protocol or service error; the sender
+	// closes the connection after it. Payload: 1..MaxErrorLen message bytes.
+	FrameError
+)
+
+// Frame errors surfaced by the decoder; io errors pass through unwrapped so
+// clean shutdown (io.EOF) stays detectable.
+var (
+	ErrFrameTooLarge = errors.New("netgossip: frame payload exceeds protocol limit")
+	errLegacyMagic   = errors.New("netgossip: legacy batch-protocol magic on a framed connection")
+)
+
+// Frame is one decoded protocol frame. Which fields are meaningful depends
+// on Type: IDs for PushBatch/SampleResp/StreamData, N for Subscribe/Sample,
+// Token for Ping/Pong, Msg for Error.
+type Frame struct {
+	Type  FrameType
+	IDs   []uint64
+	N     uint32
+	Token uint64
+	Msg   string
+}
+
+// AppendFrame validates f and appends its canonical encoding to buf.
+func AppendFrame(buf []byte, f Frame) ([]byte, error) {
+	var payloadLen int
+	switch f.Type {
+	case FramePushBatch, FrameStreamData:
+		if len(f.IDs) == 0 {
+			return nil, fmt.Errorf("netgossip: empty id payload for frame type %d", f.Type)
+		}
+		fallthrough
+	case FrameSampleResp:
+		if len(f.IDs) > MaxBatch {
+			return nil, ErrBatchTooLarge
+		}
+		payloadLen = 8 * len(f.IDs)
+	case FrameSubscribe, FrameSample:
+		if f.N < 1 {
+			return nil, fmt.Errorf("netgossip: frame type %d requires N ≥ 1", f.Type)
+		}
+		payloadLen = 4
+	case FramePing, FramePong:
+		payloadLen = 8
+	case FrameError:
+		if len(f.Msg) == 0 || len(f.Msg) > MaxErrorLen {
+			return nil, fmt.Errorf("netgossip: error message length %d outside [1, %d]", len(f.Msg), MaxErrorLen)
+		}
+		payloadLen = len(f.Msg)
+	default:
+		return nil, fmt.Errorf("netgossip: unknown frame type %d", f.Type)
+	}
+	buf = append(buf, frameMagic, FrameVersion, byte(f.Type))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(payloadLen))
+	switch f.Type {
+	case FramePushBatch, FrameStreamData, FrameSampleResp:
+		for _, id := range f.IDs {
+			buf = binary.BigEndian.AppendUint64(buf, id)
+		}
+	case FrameSubscribe, FrameSample:
+		buf = binary.BigEndian.AppendUint32(buf, f.N)
+	case FramePing, FramePong:
+		buf = binary.BigEndian.AppendUint64(buf, f.Token)
+	case FrameError:
+		buf = append(buf, f.Msg...)
+	}
+	return buf, nil
+}
+
+// WriteFrame writes one frame. The encoding is assembled first so the frame
+// reaches the wire in a single Write (interleaving-safe under a caller's
+// write lock).
+func WriteFrame(w io.Writer, f Frame) error {
+	buf, err := AppendFrame(make([]byte, 0, frameHeaderLen+8*len(f.IDs)), f)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(buf)
+	return err
+}
+
+// ReadFrame reads and validates one frame. The header is checked before any
+// payload allocation; a malformed stream yields an error with nothing
+// consumed beyond the offending frame. io.EOF before the first header byte
+// passes through for clean shutdown detection.
+func ReadFrame(r io.Reader) (Frame, error) {
+	var h [frameHeaderLen]byte
+	if _, err := io.ReadFull(r, h[:]); err != nil {
+		return Frame{}, err
+	}
+	if h[0] != frameMagic {
+		if h[0] == protocolMagic {
+			return Frame{}, errLegacyMagic
+		}
+		return Frame{}, fmt.Errorf("netgossip: bad frame magic 0x%02x", h[0])
+	}
+	if h[1] != FrameVersion {
+		return Frame{}, fmt.Errorf("netgossip: unsupported frame version %d", h[1])
+	}
+	t := FrameType(h[2])
+	n := binary.BigEndian.Uint32(h[3:7])
+	if n > MaxFramePayload {
+		return Frame{}, ErrFrameTooLarge
+	}
+	switch t {
+	case FramePushBatch, FrameStreamData:
+		if n == 0 {
+			return Frame{}, fmt.Errorf("netgossip: empty id payload for frame type %d", t)
+		}
+		fallthrough
+	case FrameSampleResp:
+		if n%8 != 0 {
+			return Frame{}, fmt.Errorf("netgossip: id payload length %d not a multiple of 8", n)
+		}
+	case FrameSubscribe, FrameSample:
+		if n != 4 {
+			return Frame{}, fmt.Errorf("netgossip: frame type %d payload length %d, want 4", t, n)
+		}
+	case FramePing, FramePong:
+		if n != 8 {
+			return Frame{}, fmt.Errorf("netgossip: frame type %d payload length %d, want 8", t, n)
+		}
+	case FrameError:
+		if n == 0 || n > MaxErrorLen {
+			return Frame{}, fmt.Errorf("netgossip: error message length %d outside [1, %d]", n, MaxErrorLen)
+		}
+	default:
+		return Frame{}, fmt.Errorf("netgossip: unknown frame type %d", t)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return Frame{}, fmt.Errorf("netgossip: short frame payload: %w", err)
+	}
+	f := Frame{Type: t}
+	switch t {
+	case FramePushBatch, FrameStreamData, FrameSampleResp:
+		f.IDs = make([]uint64, n/8)
+		for i := range f.IDs {
+			f.IDs[i] = binary.BigEndian.Uint64(payload[8*i:])
+		}
+	case FrameSubscribe, FrameSample:
+		f.N = binary.BigEndian.Uint32(payload)
+		if f.N < 1 {
+			return Frame{}, fmt.Errorf("netgossip: frame type %d requires N ≥ 1", t)
+		}
+	case FramePing, FramePong:
+		f.Token = binary.BigEndian.Uint64(payload)
+	case FrameError:
+		f.Msg = string(payload)
+	}
+	return f, nil
+}

@@ -23,12 +23,12 @@ func FuzzReadBatch(f *testing.F) {
 		f.Fatal(err)
 	}
 	f.Add(append(multi.Bytes(), 0xff, 0xfe))
-	f.Add([]byte{})                                                  // clean EOF
-	f.Add([]byte{0x00, protocolVersion, 0, 0, 0, 1})                 // bad magic
-	f.Add([]byte{protocolMagic, 99, 0, 0, 0, 1})                     // bad version
-	f.Add([]byte{protocolMagic, protocolVersion, 0, 0, 0, 0})        // zero count
+	f.Add([]byte{})                                                       // clean EOF
+	f.Add([]byte{0x00, protocolVersion, 0, 0, 0, 1})                      // bad magic
+	f.Add([]byte{protocolMagic, 99, 0, 0, 0, 1})                          // bad version
+	f.Add([]byte{protocolMagic, protocolVersion, 0, 0, 0, 0})             // zero count
 	f.Add([]byte{protocolMagic, protocolVersion, 0xff, 0xff, 0xff, 0xff}) // oversized count
-	f.Add(valid.Bytes()[:7])                                         // truncated payload
+	f.Add(valid.Bytes()[:7])                                              // truncated payload
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		ids, err := readBatch(bytes.NewReader(data))

@@ -11,6 +11,16 @@
 // level while multiplying ingest throughput by the shard count. Freshness
 // is inherited per shard, since every id keeps hashing to the same shard
 // and that shard is the paper's single-stream sampler.
+//
+// The pool also carries the paper's output surface: while at least one
+// subscription is live (Subscribe), workers draw one σ′ element per
+// ingested id and hand the draws — via a non-blocking pool-level output
+// channel — to a subscription hub (internal/subhub) that fans them out
+// under a drop-oldest policy, so a slow subscriber sheds stream elements
+// instead of slowing ingestion. With Config.DecayEvery set, all shards
+// halve their sketches on one global decay epoch derived from the
+// pool-wide ingest count, keeping per-shard frequency estimates
+// comparable.
 package shard
 
 import (
@@ -21,6 +31,7 @@ import (
 
 	"nodesampling/internal/core"
 	"nodesampling/internal/rng"
+	"nodesampling/internal/subhub"
 )
 
 // ErrPoolClosed is returned by Push, PushBatch and Flush after Close.
@@ -47,6 +58,21 @@ type Config struct {
 	Seed uint64
 	// NewSampler constructs one shard's sampler from its private generator.
 	NewSampler func(r *rng.Xoshiro) (*core.KnowledgeFree, error)
+	// EmitBuffer is the capacity of the pool-level output channel, in draw
+	// batches (default 4 per shard). It bounds how far σ′ generation may run
+	// ahead of the subscription hub; overflow drops whole draw batches
+	// (counted) rather than stalling shard workers.
+	EmitBuffer int
+	// DecayEvery, when positive, halves every shard's sketch each time the
+	// pool as a whole has processed that many further ids — a global decay
+	// clock. Per-shard halving on each shard's own count would let a
+	// momentarily skewed partition decay shards at different rates, making
+	// their frequency estimates incomparable; the shared epoch (derived
+	// from the pool-wide processed count) keeps them aligned. Each shard
+	// applies pending halvings at its next batch or flush barrier, i.e.
+	// before its estimates are next consulted; a Flush not racing
+	// concurrent pushes leaves all shards at the same epoch.
+	DecayEvery uint64
 }
 
 func (c Config) validate() error {
@@ -55,6 +81,9 @@ func (c Config) validate() error {
 	}
 	if c.Buffer < 0 {
 		return fmt.Errorf("shard: negative buffer %d", c.Buffer)
+	}
+	if c.EmitBuffer < 0 {
+		return fmt.Errorf("shard: negative emit buffer %d", c.EmitBuffer)
 	}
 	if c.NewSampler == nil {
 		return errors.New("shard: nil sampler constructor")
@@ -93,6 +122,7 @@ type worker struct {
 
 	processed atomic.Uint64
 	dropped   atomic.Uint64
+	halvings  atomic.Uint64
 	// memSize mirrors the sampler's |Γ| after each batch so the weighted
 	// shard draw in Sample can read sizes without taking every shard's
 	// lock. It lags behind by whatever is still queued (up to Buffer
@@ -101,19 +131,56 @@ type worker struct {
 	memSize atomic.Int64
 }
 
-func (w *worker) run() {
+func (w *worker) run(p *Pool) {
 	defer close(w.done)
 	for it := range w.in {
 		if len(it.ids) > 0 {
+			// Gate σ′ generation on a single atomic load: with no live
+			// subscriber the batch path is exactly the draw-free fast path.
+			emit := p.hub.Active()
+			var draws []uint64
 			w.mu.Lock()
-			w.sampler.ProcessBatch(it.ids)
+			if emit {
+				draws = w.sampler.ProcessBatchEmit(it.ids, make([]uint64, 0, len(it.ids)))
+			} else {
+				w.sampler.ProcessBatch(it.ids)
+			}
+			if p.cfg.DecayEvery > 0 {
+				// The decay clock counts at processing time: exactly the ids
+				// that reached a sampler, perfectly ordered with this shard's
+				// own sketch updates (dropped batches never tick the clock).
+				total := p.decayTotal.Add(uint64(len(it.ids)))
+				w.halveTo(total / p.cfg.DecayEvery)
+			}
 			w.memSize.Store(int64(w.sampler.MemorySize()))
 			w.mu.Unlock()
 			w.processed.Add(uint64(len(it.ids)))
+			if len(draws) > 0 {
+				p.emit(draws)
+			}
 		}
 		if it.ack != nil {
+			if p.cfg.DecayEvery > 0 {
+				// A barrier catches the shard up to the current global epoch
+				// even if it saw no recent traffic. Flush runs two barrier
+				// rounds: after the first, every pre-flush id has been
+				// processed (and counted) somewhere, so the second observes
+				// the final total on every shard.
+				w.mu.Lock()
+				w.halveTo(p.decayTotal.Load() / p.cfg.DecayEvery)
+				w.mu.Unlock()
+			}
 			close(it.ack)
 		}
+	}
+}
+
+// halveTo halves the shard's sketch until it has applied `target` decay
+// epochs. The caller holds w.mu.
+func (w *worker) halveTo(target uint64) {
+	for w.halvings.Load() < target {
+		w.sampler.Sketch().Halve()
+		w.halvings.Add(1)
 	}
 }
 
@@ -122,6 +189,18 @@ type Pool struct {
 	cfg     Config
 	workers []*worker
 	salt    uint64 // private partition key, see ShardOf
+
+	// The streaming output plane: workers append per-id output draws onto
+	// out (non-blocking; overflow counted in emitDropped), and the emitter
+	// goroutine publishes them through the subscription hub.
+	hub         *subhub.Hub
+	out         chan []uint64
+	emitDropped atomic.Uint64
+	emitDone    chan struct{}
+
+	// decayTotal is the pool-wide processed count driving the global decay
+	// clock (Config.DecayEvery).
+	decayTotal atomic.Uint64
 
 	// mu guards closed and makes channel sends safe against Close closing
 	// the shard queues: producers hold it for reading, Close for writing.
@@ -138,11 +217,18 @@ func New(cfg Config) (*Pool, error) {
 		return nil, err
 	}
 	root := rng.New(cfg.Seed)
+	emitBuffer := cfg.EmitBuffer
+	if emitBuffer == 0 {
+		emitBuffer = 4 * cfg.Shards
+	}
 	p := &Pool{
-		cfg:     cfg,
-		workers: make([]*worker, cfg.Shards),
-		salt:    root.Uint64(),
-		r:       root,
+		cfg:      cfg,
+		workers:  make([]*worker, cfg.Shards),
+		salt:     root.Uint64(),
+		hub:      subhub.New(),
+		out:      make(chan []uint64, emitBuffer),
+		emitDone: make(chan struct{}),
+		r:        root,
 	}
 	for i := range p.workers {
 		sampler, err := cfg.NewSampler(root.Split())
@@ -161,10 +247,56 @@ func New(cfg Config) (*Pool, error) {
 			sampler: sampler,
 		}
 		p.workers[i] = w
-		go w.run()
+		go w.run(p)
 	}
+	go p.emitLoop()
 	return p, nil
 }
+
+// emitLoop publishes draw batches from the pool output channel through the
+// hub, then closes the hub (cancelling the remaining subscriptions) once
+// the channel is closed by Close.
+func (p *Pool) emitLoop() {
+	defer close(p.emitDone)
+	for draws := range p.out {
+		p.hub.Publish(draws)
+	}
+	p.hub.Close()
+}
+
+// emit hands one shard's draw batch to the emitter without ever blocking a
+// worker: when the output channel is full the batch is dropped and counted.
+// σ′ is a sampling stream, so a lost batch costs nothing a later draw does
+// not replace.
+func (p *Pool) emit(draws []uint64) {
+	select {
+	case p.out <- draws:
+	default:
+		p.emitDropped.Add(uint64(len(draws)))
+	}
+}
+
+// Subscribe registers a subscriber to the pool's output stream σ′ with a
+// buffer of the given capacity, in ids. The pool only generates output
+// draws while at least one subscription is live, so an idle pool pays
+// nothing for the streaming plane. Release with Unsubscribe (or Cancel on
+// the subscription); a slow subscriber loses the oldest buffered elements
+// rather than slowing ingestion.
+func (p *Pool) Subscribe(capacity int) (*subhub.Subscription, error) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if p.closed {
+		return nil, ErrPoolClosed
+	}
+	return p.hub.Subscribe(capacity)
+}
+
+// Unsubscribe cancels a subscription obtained from Subscribe. Nil-safe and
+// idempotent.
+func (p *Pool) Unsubscribe(s *subhub.Subscription) { p.hub.Unsubscribe(s) }
+
+// NumSubscribers returns the number of live output-stream subscriptions.
+func (p *Pool) NumSubscribers() int { return p.hub.NumSubscribers() }
 
 // NumShards returns the pool's shard count.
 func (p *Pool) NumShards() int { return len(p.workers) }
@@ -262,22 +394,31 @@ func (p *Pool) send(i int, batch []uint64) {
 
 // Flush blocks until every id enqueued before the call has been processed.
 // The barrier always enqueues (even under the drop policy), so Flush never
-// loses its place in a full queue.
+// loses its place in a full queue. With DecayEvery set, a Flush not racing
+// concurrent pushes additionally leaves every shard at the same decay
+// epoch: the first barrier round guarantees all prior ids are processed
+// and counted, the second lets every shard catch up to that final total.
 func (p *Pool) Flush() error {
-	p.mu.RLock()
-	if p.closed {
+	rounds := 1
+	if p.cfg.DecayEvery > 0 {
+		rounds = 2
+	}
+	for r := 0; r < rounds; r++ {
+		p.mu.RLock()
+		if p.closed {
+			p.mu.RUnlock()
+			return ErrPoolClosed
+		}
+		acks := make([]chan struct{}, len(p.workers))
+		for i, w := range p.workers {
+			ch := make(chan struct{})
+			acks[i] = ch
+			w.in <- item{ack: ch}
+		}
 		p.mu.RUnlock()
-		return ErrPoolClosed
-	}
-	acks := make([]chan struct{}, len(p.workers))
-	for i, w := range p.workers {
-		ch := make(chan struct{})
-		acks[i] = ch
-		w.in <- item{ack: ch}
-	}
-	p.mu.RUnlock()
-	for _, ch := range acks {
-		<-ch
+		for _, ch := range acks {
+			<-ch
+		}
 	}
 	return nil
 }
@@ -388,24 +529,32 @@ func (p *Pool) Memory() []uint64 {
 type ShardStats struct {
 	Processed  uint64 // ids processed by the shard's sampler
 	Dropped    uint64 // ids discarded because the shard queue was full
+	Halvings   uint64 // decay halvings applied to the shard's sketch
 	QueueDepth int    // batches currently waiting in the shard queue
 	MemorySize int    // current |Γ| of the shard's sampler
 }
 
 // Stats is a whole-pool activity snapshot.
 type Stats struct {
-	Shards    []ShardStats
-	Processed uint64 // sum over shards
-	Dropped   uint64 // sum over shards
+	Shards      []ShardStats
+	Processed   uint64 // sum over shards
+	Dropped     uint64 // sum over shards
+	EmitDropped uint64 // σ′ draws lost because the emitter lagged the shards
+	Subscribers []subhub.SubStats
 }
 
 // Stats returns a snapshot of per-shard and aggregate counters.
 func (p *Pool) Stats() Stats {
-	st := Stats{Shards: make([]ShardStats, len(p.workers))}
+	st := Stats{
+		Shards:      make([]ShardStats, len(p.workers)),
+		EmitDropped: p.emitDropped.Load(),
+		Subscribers: p.hub.Stats(),
+	}
 	for i, w := range p.workers {
 		s := ShardStats{
 			Processed:  w.processed.Load(),
 			Dropped:    w.dropped.Load(),
+			Halvings:   w.halvings.Load(),
 			QueueDepth: len(w.in),
 			MemorySize: int(w.memSize.Load()),
 		}
@@ -417,8 +566,9 @@ func (p *Pool) Stats() Stats {
 }
 
 // Close stops the pool: shard queues are closed, workers drain what was
-// already enqueued and exit. Idempotent; concurrent pushes either complete
-// or return ErrPoolClosed.
+// already enqueued and exit, then the output plane shuts down (remaining
+// draws are published and every subscription's channel is closed).
+// Idempotent; concurrent pushes either complete or return ErrPoolClosed.
 func (p *Pool) Close() error {
 	p.mu.Lock()
 	if p.closed {
@@ -433,5 +583,9 @@ func (p *Pool) Close() error {
 	for _, w := range p.workers {
 		<-w.done
 	}
+	// All workers have exited, so nothing can send on the output channel
+	// anymore; closing it lets the emitter drain and close the hub.
+	close(p.out)
+	<-p.emitDone
 	return nil
 }

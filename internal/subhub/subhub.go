@@ -1,0 +1,332 @@
+// Package subhub implements the fan-out half of the streaming output plane:
+// a subscription hub that distributes the sampling service's output stream
+// σ′ to many subscribers without ever letting a slow subscriber backpressure
+// the producer.
+//
+// Each subscriber owns a fixed-capacity ring buffer filled by Publish under
+// a non-blocking drop-oldest policy, and a pump goroutine that moves ring
+// contents onto the subscriber's delivery channel. Publish only appends to
+// rings — it never blocks and never waits for a consumer — so ingestion
+// throughput is decoupled from delivery entirely, mirroring the root
+// package's Service guarantee that a lagging subscriber costs dropped
+// stream elements (which a sampling stream can always afford: a later draw
+// carries the same information) rather than stalling the pipeline.
+//
+// Accounting is exact: every id offered to a subscription is eventually
+// counted as delivered (handed to the delivery channel) or dropped
+// (overwritten in the ring, or discarded at cancellation), so
+// Offered == Delivered + Dropped once a subscription has been cancelled.
+package subhub
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrHubClosed is returned by Subscribe after Close.
+var ErrHubClosed = errors.New("subhub: hub closed")
+
+// MaxSubscriptionBuffer bounds a single subscription's ring capacity; a
+// network daemon must not let one Subscribe request pin an arbitrary
+// allocation.
+const MaxSubscriptionBuffer = 1 << 20
+
+// Hub fans the output stream out to its current subscribers. All methods
+// are safe for concurrent use. A Hub is created with New and released with
+// Close, which cancels every remaining subscription.
+type Hub struct {
+	mu     sync.Mutex
+	subs   []*Subscription
+	nextID uint64
+	closed bool
+
+	// active mirrors len(subs) so producers can gate σ′ generation on a
+	// single atomic load instead of taking the hub lock per batch.
+	active atomic.Int32
+}
+
+// New creates an empty hub.
+func New() *Hub { return &Hub{} }
+
+// Active reports whether at least one subscription is live. Producers use
+// it to skip output-draw generation entirely while nobody is listening.
+func (h *Hub) Active() bool { return h.active.Load() > 0 }
+
+// NumSubscribers returns the current number of live subscriptions.
+func (h *Hub) NumSubscribers() int { return int(h.active.Load()) }
+
+// Subscribe registers a new subscriber with a ring buffer (and delivery
+// channel) of the given capacity, in ids.
+func (h *Hub) Subscribe(capacity int) (*Subscription, error) {
+	if capacity < 1 || capacity > MaxSubscriptionBuffer {
+		return nil, fmt.Errorf("subhub: subscription capacity must be in [1, %d], got %d", MaxSubscriptionBuffer, capacity)
+	}
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return nil, ErrHubClosed
+	}
+	h.nextID++
+	s := &Subscription{
+		id:       h.nextID,
+		hub:      h,
+		ring:     make([]uint64, capacity),
+		out:      make(chan uint64, capacity),
+		wake:     make(chan struct{}, 1),
+		done:     make(chan struct{}),
+		pumpDone: make(chan struct{}),
+	}
+	h.subs = append(h.subs, s)
+	h.active.Add(1)
+	h.mu.Unlock()
+	go s.pump()
+	return s, nil
+}
+
+// Unsubscribe cancels a subscription. Equivalent to s.Cancel; nil-safe and
+// idempotent.
+func (h *Hub) Unsubscribe(s *Subscription) {
+	if s != nil {
+		s.Cancel()
+	}
+}
+
+// Publish offers ids to every current subscriber. It never blocks: a full
+// ring overwrites its oldest element (counted against that subscriber).
+// The ids slice is copied into the rings; the caller keeps ownership.
+func (h *Hub) Publish(ids []uint64) {
+	if len(ids) == 0 || h.active.Load() == 0 {
+		return
+	}
+	h.mu.Lock()
+	for _, s := range h.subs {
+		s.offer(ids)
+	}
+	h.mu.Unlock()
+}
+
+// SubStats is one subscription's delivery accounting snapshot.
+type SubStats struct {
+	ID        uint64 // stable per-hub subscription identifier
+	Offered   uint64 // ids published while this subscription was live
+	Delivered uint64 // ids handed to the delivery channel
+	Dropped   uint64 // ids overwritten in the ring or discarded at cancel
+	Capacity  int    // ring capacity
+	Depth     int    // ids buffered and not yet consumed (ring + channel)
+}
+
+// Stats returns a snapshot of every live subscription's counters.
+func (h *Hub) Stats() []SubStats {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]SubStats, len(h.subs))
+	for i, s := range h.subs {
+		out[i] = s.stats()
+	}
+	return out
+}
+
+// remove unlinks s from the hub (cancel path). Idempotent per subscription
+// because Cancel runs at most once.
+func (h *Hub) remove(s *Subscription) {
+	h.mu.Lock()
+	for i, cur := range h.subs {
+		if cur == s {
+			h.subs = append(h.subs[:i], h.subs[i+1:]...)
+			h.active.Add(-1)
+			break
+		}
+	}
+	h.mu.Unlock()
+}
+
+// Close cancels every subscription (closing their delivery channels) and
+// rejects future Subscribe calls. Idempotent.
+func (h *Hub) Close() {
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return
+	}
+	h.closed = true
+	subs := append([]*Subscription(nil), h.subs...)
+	h.mu.Unlock()
+	for _, s := range subs {
+		s.Cancel()
+	}
+}
+
+// Subscription is one subscriber's endpoint: a ring buffer written by the
+// hub and a delivery channel read by the consumer. Obtain one from
+// Hub.Subscribe and release it with Cancel.
+type Subscription struct {
+	id  uint64
+	hub *Hub
+
+	// out is the delivery channel. Its buffer equals the ring capacity, so
+	// the total lag a subscriber can accumulate before losing elements is
+	// roughly twice the requested capacity.
+	out chan uint64
+
+	done       chan struct{} // closed by Cancel; unblocks the pump
+	pumpDone   chan struct{} // closed when the pump goroutine exits
+	cancelOnce sync.Once
+
+	mu     sync.Mutex
+	ring   []uint64
+	head   int // index of the oldest buffered id
+	size   int // ids currently buffered
+	closed bool
+	wake   chan struct{} // capacity 1: at-least-once data signal for the pump
+
+	offered   atomic.Uint64
+	delivered atomic.Uint64
+	dropped   atomic.Uint64
+}
+
+// ID returns the hub-assigned subscription identifier.
+func (s *Subscription) ID() uint64 { return s.id }
+
+// C returns the delivery channel. It is closed after Cancel (or hub Close)
+// once the pump has exited; ids already in the channel buffer remain
+// readable after the close.
+func (s *Subscription) C() <-chan uint64 { return s.out }
+
+// Done returns a channel closed when the subscription is cancelled. Bridges
+// that forward C to another sink select on it to unblock a pending send.
+func (s *Subscription) Done() <-chan struct{} { return s.done }
+
+// Offered returns how many ids were published while this subscription was
+// live.
+func (s *Subscription) Offered() uint64 { return s.offered.Load() }
+
+// Delivered returns how many ids were handed to the delivery channel.
+func (s *Subscription) Delivered() uint64 { return s.delivered.Load() }
+
+// Dropped returns how many ids were lost to the drop-oldest policy (plus
+// any discarded at cancellation).
+func (s *Subscription) Dropped() uint64 { return s.dropped.Load() }
+
+// Cancel detaches the subscription from the hub, discards (and counts) any
+// undelivered ids, and closes the delivery channel. Idempotent and safe to
+// call concurrently with Publish.
+func (s *Subscription) Cancel() {
+	s.cancelOnce.Do(func() {
+		s.mu.Lock()
+		s.closed = true
+		// The ring remainder will never be delivered; account for it now so
+		// Offered == Delivered + Dropped holds after cancellation.
+		s.dropped.Add(uint64(s.size))
+		s.size = 0
+		s.mu.Unlock()
+		close(s.done)
+		s.hub.remove(s)
+		<-s.pumpDone
+	})
+}
+
+// offer appends ids to the ring under the drop-oldest policy. Called by the
+// hub with the hub lock held; never blocks.
+func (s *Subscription) offer(ids []uint64) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.offered.Add(uint64(len(ids)))
+	n := len(s.ring)
+	var dropped uint64
+	for _, id := range ids {
+		if s.size == n {
+			s.ring[s.head] = id
+			s.head++
+			if s.head == n {
+				s.head = 0
+			}
+			dropped++
+		} else {
+			i := s.head + s.size
+			if i >= n {
+				i -= n
+			}
+			s.ring[i] = id
+			s.size++
+		}
+	}
+	if dropped > 0 {
+		s.dropped.Add(dropped)
+	}
+	s.mu.Unlock()
+	select {
+	case s.wake <- struct{}{}:
+	default:
+	}
+}
+
+// take moves the ring contents into buf. Empty after Cancel.
+func (s *Subscription) take(buf []uint64) []uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return buf
+	}
+	n := len(s.ring)
+	for i := 0; i < s.size; i++ {
+		buf = append(buf, s.ring[s.head])
+		s.head++
+		if s.head == n {
+			s.head = 0
+		}
+	}
+	s.size = 0
+	return buf
+}
+
+// pump moves ids from the ring to the delivery channel until cancellation.
+// It is the only sender on out, so it alone closes it.
+func (s *Subscription) pump() {
+	defer close(s.pumpDone)
+	defer close(s.out)
+	buf := make([]uint64, 0, len(s.ring))
+	for {
+		buf = s.take(buf[:0])
+		if len(buf) == 0 {
+			select {
+			case <-s.wake:
+				continue
+			case <-s.done:
+				return
+			}
+		}
+		for i, id := range buf {
+			select {
+			case s.out <- id:
+				s.delivered.Add(1)
+			case <-s.done:
+				// The rest of this chunk was taken out of the ring before
+				// cancellation accounted for it; count it here.
+				s.dropped.Add(uint64(len(buf) - i))
+				return
+			}
+		}
+	}
+}
+
+// stats snapshots the counters; the caller holds the hub lock. Depth spans
+// both buffering stages — the ring and the delivery channel — so a lagging
+// consumer's backlog is visible before drops begin.
+func (s *Subscription) stats() SubStats {
+	s.mu.Lock()
+	depth := s.size + len(s.out)
+	s.mu.Unlock()
+	return SubStats{
+		ID:        s.id,
+		Offered:   s.offered.Load(),
+		Delivered: s.delivered.Load(),
+		Dropped:   s.dropped.Load(),
+		Capacity:  len(s.ring),
+		Depth:     depth,
+	}
+}

@@ -1,0 +1,285 @@
+package subhub
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSubscribeValidation(t *testing.T) {
+	h := New()
+	defer h.Close()
+	if _, err := h.Subscribe(0); err == nil {
+		t.Error("capacity 0 should fail")
+	}
+	if _, err := h.Subscribe(-1); err == nil {
+		t.Error("negative capacity should fail")
+	}
+	if _, err := h.Subscribe(MaxSubscriptionBuffer + 1); err == nil {
+		t.Error("oversized capacity should fail")
+	}
+}
+
+func TestPublishDeliversInOrder(t *testing.T) {
+	h := New()
+	defer h.Close()
+	if h.Active() {
+		t.Fatal("hub active before any subscription")
+	}
+	s, err := h.Subscribe(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !h.Active() || h.NumSubscribers() != 1 {
+		t.Fatal("hub not active after subscribe")
+	}
+	h.Publish([]uint64{1, 2, 3})
+	h.Publish([]uint64{4, 5})
+	for want := uint64(1); want <= 5; want++ {
+		select {
+		case got := <-s.C():
+			if got != want {
+				t.Fatalf("got %d, want %d", got, want)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("timed out waiting for id %d", want)
+		}
+	}
+	if s.Offered() != 5 || s.Delivered() != 5 || s.Dropped() != 0 {
+		t.Fatalf("counters offered/delivered/dropped = %d/%d/%d",
+			s.Offered(), s.Delivered(), s.Dropped())
+	}
+}
+
+// TestDropOldest overfills a tiny subscription that nobody reads and checks
+// that the oldest elements are the ones lost: the ring (and channel) must
+// hold the newest ids.
+func TestDropOldest(t *testing.T) {
+	h := New()
+	defer h.Close()
+	s, err := h.Subscribe(2) // ring 2 + channel buffer 2
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := []uint64{10, 11, 12, 13, 14, 15, 16, 17}
+	h.Publish(ids)
+	// Wait until accounting settles: everything offered is either delivered
+	// (in the channel buffer) or dropped.
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Delivered()+s.Dropped() < uint64(len(ids)) {
+		if time.Now().After(deadline) {
+			t.Fatalf("accounting never settled: delivered %d dropped %d",
+				s.Delivered(), s.Dropped())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if s.Dropped() == 0 {
+		t.Fatal("overfilled subscription dropped nothing")
+	}
+	// Drain what survived; it must be a suffix-ordered subset ending near the
+	// newest id (drop-oldest keeps the most recent elements flowing).
+	var got []uint64
+	s.Cancel()
+	for id := range s.C() {
+		got = append(got, id)
+	}
+	if len(got) == 0 {
+		t.Fatal("nothing delivered")
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] <= got[i-1] {
+			t.Fatalf("out-of-order delivery %v", got)
+		}
+	}
+	if got[0] == 10 && s.Dropped() > 0 {
+		t.Fatalf("oldest id survived despite drops: %v", got)
+	}
+}
+
+// TestAccountingExact pins the invariant the streaming plane is built on:
+// after cancellation, every offered id is accounted as delivered or dropped.
+func TestAccountingExact(t *testing.T) {
+	h := New()
+	defer h.Close()
+	s, err := h.Subscribe(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var consumed uint64
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for range s.C() {
+			consumed++
+			if consumed%3 == 0 {
+				time.Sleep(50 * time.Microsecond) // a deliberately slow reader
+			}
+		}
+	}()
+	batch := make([]uint64, 17)
+	for round := 0; round < 300; round++ {
+		for i := range batch {
+			batch[i] = uint64(round*len(batch) + i)
+		}
+		h.Publish(batch)
+	}
+	s.Cancel()
+	wg.Wait()
+	offered, delivered, dropped := s.Offered(), s.Delivered(), s.Dropped()
+	if offered != uint64(300*len(batch)) {
+		t.Fatalf("offered %d, want %d", offered, 300*len(batch))
+	}
+	if delivered+dropped != offered {
+		t.Fatalf("accounting leak: offered %d != delivered %d + dropped %d",
+			offered, delivered, dropped)
+	}
+	if consumed > delivered {
+		t.Fatalf("consumed %d more than delivered %d", consumed, delivered)
+	}
+}
+
+// TestPublishNeverBlocks attaches a subscriber that never reads and checks
+// that Publish returns promptly regardless.
+func TestPublishNeverBlocks(t *testing.T) {
+	h := New()
+	defer h.Close()
+	if _, err := h.Subscribe(1); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		batch := make([]uint64, 256)
+		for i := 0; i < 2000; i++ {
+			h.Publish(batch)
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Publish blocked on a stalled subscriber")
+	}
+}
+
+func TestCancelIdempotentAndUnsubscribe(t *testing.T) {
+	h := New()
+	defer h.Close()
+	s, err := h.Subscribe(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Cancel()
+	s.Cancel()
+	h.Unsubscribe(s)
+	h.Unsubscribe(nil)
+	if h.NumSubscribers() != 0 {
+		t.Fatalf("subscribers after cancel: %d", h.NumSubscribers())
+	}
+	select {
+	case <-s.Done():
+	default:
+		t.Fatal("Done not closed after Cancel")
+	}
+	if _, ok := <-s.C(); ok {
+		t.Fatal("delivery channel not closed after Cancel")
+	}
+	// Publishing to a hub with no subscribers is a no-op.
+	h.Publish([]uint64{1})
+	if s.Offered() != 0 {
+		t.Fatal("cancelled subscription still offered ids")
+	}
+}
+
+func TestHubClose(t *testing.T) {
+	h := New()
+	a, err := h.Subscribe(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := h.Subscribe(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Close()
+	h.Close() // idempotent
+	for _, s := range []*Subscription{a, b} {
+		if _, ok := <-s.C(); ok {
+			t.Fatal("channel open after hub close")
+		}
+	}
+	if _, err := h.Subscribe(4); err != ErrHubClosed {
+		t.Fatalf("Subscribe after Close = %v, want ErrHubClosed", err)
+	}
+	if h.NumSubscribers() != 0 {
+		t.Fatalf("subscribers after close: %d", h.NumSubscribers())
+	}
+}
+
+// TestConcurrentChurn races Publish against Subscribe/Cancel churn and
+// consumer reads; the race detector is the assertion.
+func TestConcurrentChurn(t *testing.T) {
+	h := New()
+	defer h.Close()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			batch := []uint64{uint64(g), uint64(g) + 1}
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					h.Publish(batch)
+				}
+			}
+		}(g)
+	}
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				s, err := h.Subscribe(8)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				for j := 0; j < 10; j++ {
+					select {
+					case <-s.C():
+					case <-time.After(time.Millisecond):
+					}
+				}
+				s.Cancel()
+			}
+		}()
+	}
+	time.Sleep(50 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	if _, err := h.Subscribe(4); err != nil {
+		t.Fatalf("hub unusable after churn: %v", err)
+	}
+	h.Stats()
+}
+
+func TestStatsSnapshot(t *testing.T) {
+	h := New()
+	defer h.Close()
+	s, err := h.Subscribe(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Publish([]uint64{1, 2, 3})
+	st := h.Stats()
+	if len(st) != 1 {
+		t.Fatalf("stats rows = %d", len(st))
+	}
+	if st[0].ID != s.ID() || st[0].Capacity != 16 || st[0].Offered != 3 {
+		t.Fatalf("stats = %+v", st[0])
+	}
+}

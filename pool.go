@@ -7,6 +7,7 @@ import (
 	"nodesampling/internal/core"
 	"nodesampling/internal/rng"
 	"nodesampling/internal/shard"
+	"nodesampling/internal/subhub"
 )
 
 // ErrPoolClosed is returned by Pool.Push, Pool.PushBatch and Pool.Flush
@@ -43,15 +44,28 @@ func WithNonBlockingIngest() Option {
 type ShardStats struct {
 	Processed  uint64 // ids processed by the shard's sampler
 	Dropped    uint64 // ids discarded because the shard queue was full
+	Halvings   uint64 // decay halvings applied to the shard's sketch
 	QueueDepth int    // batches currently waiting in the shard queue
 	MemorySize int    // current |Γ| of the shard's sampler
 }
 
+// SubscriberStats is one output-stream subscription's delivery accounting.
+type SubscriberStats struct {
+	ID        uint64 // stable per-pool subscription identifier
+	Offered   uint64 // σ′ draws published while the subscription was live
+	Delivered uint64 // draws handed to the subscription's buffer
+	Dropped   uint64 // draws lost to the drop-oldest policy
+	Capacity  int    // subscription buffer capacity
+	Depth     int    // draws currently buffered
+}
+
 // PoolStats is a whole-pool activity snapshot.
 type PoolStats struct {
-	Shards    []ShardStats
-	Processed uint64
-	Dropped   uint64
+	Shards      []ShardStats
+	Processed   uint64
+	Dropped     uint64
+	EmitDropped uint64 // σ′ draws lost before reaching the subscription hub
+	Subscribers []SubscriberStats
 }
 
 // Pool is the horizontally scaled form of Service: N independent
@@ -97,6 +111,12 @@ func NewPool(c, shards int, opts ...Option) (*Pool, error) {
 		Buffer: buffer,
 		Block:  !cfg.nonBlocking,
 		Seed:   cfg.seed,
+		// WithDecay is implemented pool-wide: the shards share one decay
+		// epoch derived from the total processed count (see
+		// shard.Config.DecayEvery) instead of each halving on its own
+		// count, so per-shard sketches are never passed the core-level
+		// halving option here.
+		DecayEvery: cfg.decayEvery,
 		NewSampler: func(r *rng.Xoshiro) (*core.KnowledgeFree, error) {
 			if cfg.useAcc {
 				return core.NewKnowledgeFreeFromAccuracy(c, cfg.eps, cfg.del, r, cfg.coreOption...)
@@ -150,19 +170,95 @@ func (p *Pool) Flush() error {
 }
 
 // Stats returns per-shard and aggregate counters: processed ids, drops
-// under WithNonBlockingIngest, queue depths and memory sizes.
+// under WithNonBlockingIngest, queue depths, memory sizes, decay halvings
+// and the output plane's per-subscriber delivery accounting.
 func (p *Pool) Stats() PoolStats {
 	st := p.inner.Stats()
 	out := PoolStats{
-		Shards:    make([]ShardStats, len(st.Shards)),
-		Processed: st.Processed,
-		Dropped:   st.Dropped,
+		Shards:      make([]ShardStats, len(st.Shards)),
+		Processed:   st.Processed,
+		Dropped:     st.Dropped,
+		EmitDropped: st.EmitDropped,
+		Subscribers: make([]SubscriberStats, len(st.Subscribers)),
 	}
 	for i, s := range st.Shards {
 		out.Shards[i] = ShardStats(s)
 	}
+	for i, s := range st.Subscribers {
+		out.Subscribers[i] = SubscriberStats(s)
+	}
 	return out
 }
+
+// PoolSubscription is a live subscription to the pool's output stream σ′:
+// one uniform draw from the pooled memories per ingested id, exactly the
+// continuous output stream of the paper's Algorithm 1 at sharded
+// throughput. Obtain one from Pool.Subscribe; read ids from C; release it
+// with Cancel (or Pool.Unsubscribe).
+type PoolSubscription struct {
+	inner *subhub.Subscription
+	out   chan NodeID
+}
+
+// Subscribe registers a subscriber to the pool's output stream σ′ with a
+// buffer of the given capacity, in ids. Output draws are only generated
+// while at least one subscription is live, so an unsubscribed pool pays
+// nothing for the streaming plane. A subscriber that lags loses the oldest
+// buffered elements (counted in Stats) instead of slowing ingestion — the
+// same guarantee Service.Subscribe gives, at pool scale.
+func (p *Pool) Subscribe(capacity int) (*PoolSubscription, error) {
+	if capacity < 1 || capacity > subhub.MaxSubscriptionBuffer {
+		return nil, fmt.Errorf("nodesampling: subscription capacity must be in [1, %d], got %d", subhub.MaxSubscriptionBuffer, capacity)
+	}
+	inner, err := p.inner.Subscribe(capacity)
+	if err != nil {
+		return nil, poolErr(err)
+	}
+	s := &PoolSubscription{inner: inner, out: make(chan NodeID, capacity)}
+	go s.forward()
+	return s, nil
+}
+
+// Unsubscribe cancels a subscription obtained from Subscribe. Nil-safe and
+// idempotent; equivalent to s.Cancel.
+func (p *Pool) Unsubscribe(s *PoolSubscription) {
+	if s != nil {
+		s.Cancel()
+	}
+}
+
+// forward bridges the internal uint64 stream to the typed public channel.
+// A send to a slow consumer blocks here — never upstream, where the hub
+// keeps absorbing and dropping oldest — and cancellation unblocks it.
+func (s *PoolSubscription) forward() {
+	defer close(s.out)
+	for {
+		id, ok := <-s.inner.C()
+		if !ok {
+			return
+		}
+		select {
+		case s.out <- NodeID(id):
+		case <-s.inner.Done():
+			return
+		}
+	}
+}
+
+// C returns the channel carrying the output stream σ′. It is closed when
+// the subscription is cancelled or the pool closes.
+func (s *PoolSubscription) C() <-chan NodeID { return s.out }
+
+// Delivered reports how many draws were handed to this subscription's
+// buffer.
+func (s *PoolSubscription) Delivered() uint64 { return s.inner.Delivered() }
+
+// Dropped reports how many draws this subscription lost to the drop-oldest
+// policy (a measure of how far the consumer lags the stream).
+func (s *PoolSubscription) Dropped() uint64 { return s.inner.Dropped() }
+
+// Cancel detaches the subscription and closes its channel. Idempotent.
+func (s *PoolSubscription) Cancel() { s.inner.Cancel() }
 
 // Close stops every shard worker after draining what was already enqueued.
 // Idempotent; pushes racing with Close either complete or return

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"sync"
 	"testing"
+	"time"
 
 	"nodesampling/internal/metrics"
 	"nodesampling/internal/rng"
@@ -172,6 +173,240 @@ func TestPoolNonBlockingIngestDrops(t *testing.T) {
 	}
 	if p.Stats().Dropped == 0 {
 		t.Fatal("unbuffered non-blocking pool never dropped under a flood")
+	}
+}
+
+// TestPoolSubscribe drives the public streaming surface: draws arrive on
+// the subscription channel, come from the pushed population, and the
+// counters surface through Stats.
+func TestPoolSubscribe(t *testing.T) {
+	p, err := NewPool(10, 4, WithSeed(6), WithSketch(16, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = p.Close() }()
+	if _, err := p.Subscribe(0); err == nil {
+		t.Error("capacity 0 should fail")
+	}
+	sub, err := p.Subscribe(2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := make([]NodeID, 400)
+	for i := range ids {
+		ids[i] = NodeID(i + 1)
+	}
+	if err := p.PushBatch(ids); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	seen := 0
+	deadline := time.After(5 * time.Second)
+	for seen < 200 {
+		select {
+		case id := <-sub.C():
+			if id < 1 || id > 400 {
+				t.Fatalf("draw %d outside the pushed population", id)
+			}
+			seen++
+		case <-deadline:
+			t.Fatalf("received only %d draws", seen)
+		}
+	}
+	st := p.Stats()
+	if len(st.Subscribers) != 1 || st.Subscribers[0].Delivered == 0 {
+		t.Fatalf("subscriber stats = %+v", st.Subscribers)
+	}
+	sub.Cancel()
+	sub.Cancel() // idempotent
+	p.Unsubscribe(sub)
+	p.Unsubscribe(nil)
+	// The channel must close after cancellation (possibly after buffered
+	// draws drain).
+	deadline = time.After(5 * time.Second)
+	for {
+		select {
+		case _, ok := <-sub.C():
+			if !ok {
+				return
+			}
+		case <-deadline:
+			t.Fatal("subscription channel never closed after Cancel")
+		}
+	}
+}
+
+// TestPoolSlowSubscriberNeverBlocksIngest is the satellite guarantee: a
+// subscriber that never reads must not stall a *blocking* pool's ingestion,
+// and the drop counters must account for every undelivered draw.
+func TestPoolSlowSubscriberNeverBlocksIngest(t *testing.T) {
+	p, err := NewPool(10, 4, WithSeed(8), WithSketch(16, 4), WithShardBuffer(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = p.Close() }()
+	sub, err := p.Subscribe(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Nobody ever reads sub.C().
+	batch := make([]NodeID, 1024)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for r := 0; r < 100; r++ {
+			for i := range batch {
+				batch[i] = NodeID(r*len(batch) + i)
+			}
+			if err := p.PushBatch(batch); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+		if err := p.Flush(); err != nil {
+			t.Error(err)
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("ingestion blocked behind a stalled subscriber")
+	}
+	// Wait for the emitter to drain, then pin the accounting identity:
+	// every draw generated was offered to the subscriber or dropped by the
+	// emitter, and after cancellation offered == delivered + dropped.
+	deadline := time.Now().Add(5 * time.Second)
+	var st PoolStats
+	for {
+		st = p.Stats()
+		if len(st.Subscribers) == 1 &&
+			st.Subscribers[0].Offered+st.EmitDropped == st.Processed {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("emission accounting never settled: %+v", st)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if st.Subscribers[0].Dropped == 0 {
+		t.Fatal("stalled subscriber dropped nothing")
+	}
+	offered := st.Subscribers[0].Offered
+	sub.Cancel()
+	if got := sub.Delivered() + sub.Dropped(); got != offered {
+		t.Fatalf("accounting leak: delivered %d + dropped %d != offered %d",
+			sub.Delivered(), sub.Dropped(), offered)
+	}
+}
+
+// TestPoolCloseRaces fires Close in the middle of concurrent PushBatch,
+// Sample, Stats and Subscribe traffic; the race detector plus the
+// either-complete-or-ErrPoolClosed contract are the assertions.
+func TestPoolCloseRaces(t *testing.T) {
+	for round := 0; round < 5; round++ {
+		p, err := NewPool(10, 4, WithSeed(uint64(round)+30), WithSketch(10, 4),
+			WithShardBuffer(4), WithNonBlockingIngest())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		start := make(chan struct{})
+		for g := 0; g < 3; g++ {
+			wg.Add(4)
+			go func(g int) {
+				defer wg.Done()
+				<-start
+				batch := make([]NodeID, 64)
+				for i := range batch {
+					batch[i] = NodeID(g*1000 + i)
+				}
+				for j := 0; j < 50; j++ {
+					if err := p.PushBatch(batch); err != nil {
+						if !errors.Is(err, ErrPoolClosed) {
+							t.Errorf("PushBatch: %v", err)
+						}
+						return
+					}
+				}
+			}(g)
+			go func() {
+				defer wg.Done()
+				<-start
+				for j := 0; j < 50; j++ {
+					p.Sample()
+				}
+			}()
+			go func() {
+				defer wg.Done()
+				<-start
+				for j := 0; j < 50; j++ {
+					p.Stats()
+				}
+			}()
+			go func() {
+				defer wg.Done()
+				<-start
+				for j := 0; j < 10; j++ {
+					sub, err := p.Subscribe(8)
+					if err != nil {
+						if !errors.Is(err, ErrPoolClosed) {
+							t.Errorf("Subscribe: %v", err)
+						}
+						return
+					}
+					select {
+					case <-sub.C():
+					default:
+					}
+					sub.Cancel()
+				}
+			}()
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			if err := p.Close(); err != nil {
+				t.Errorf("Close: %v", err)
+			}
+		}()
+		close(start)
+		wg.Wait()
+		_ = p.Close()
+	}
+}
+
+// TestPoolDecayPublicAPI exercises WithDecay through NewPool: the global
+// clock must halve every shard the same number of times.
+func TestPoolDecayPublicAPI(t *testing.T) {
+	p, err := NewPool(10, 4, WithSeed(40), WithSketch(16, 4), WithDecay(500))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = p.Close() }()
+	src := rng.New(41)
+	batch := make([]NodeID, 250)
+	for r := 0; r < 8; r++ { // 2000 ids = 4 epochs
+		for i := range batch {
+			batch[i] = NodeID(src.Uint64n(1 << 40))
+		}
+		if err := p.PushBatch(batch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	st := p.Stats()
+	for i, s := range st.Shards {
+		if s.Halvings != 4 {
+			t.Fatalf("shard %d halvings = %d, want 4: %+v", i, s.Halvings, st.Shards)
+		}
+	}
+	if _, ok := p.Sample(); !ok {
+		t.Fatal("decaying pool cannot sample")
 	}
 }
 

@@ -64,6 +64,7 @@ type config struct {
 	useAcc     bool
 	eps, del   float64
 	coreOption []core.Option
+	decayEvery uint64
 
 	// Pool-only knobs (see NewPool); ignored by the sampler constructors.
 	shardBuffer    int
@@ -117,14 +118,16 @@ func WithSketchAccuracy(epsilon, delta float64) Option {
 // the population keeps changing slowly, so that departed nodes wash out of
 // the frequency estimates and fresh attackers are suppressed promptly
 // (extension; see the ablation-churn experiment). Affects knowledge-free
-// samplers only: those from NewSampler, and every shard of a NewPool
-// (each shard halves on its own processed count).
+// samplers only. In a NewPool the period is a global decay clock: every
+// shard halves each time the pool as a whole has processed `every` further
+// ids, so shard estimates stay comparable even when the salted partition
+// is momentarily skewed.
 func WithDecay(every uint64) Option {
 	return func(c *config) error {
 		if every == 0 {
 			return fmt.Errorf("nodesampling: decay period must be positive")
 		}
-		c.coreOption = append(c.coreOption, core.WithPeriodicHalving(every))
+		c.decayEvery = every
 		return nil
 	}
 }
@@ -230,6 +233,10 @@ func NewSampler(c int, opts ...Option) (Sampler, error) {
 	cfg, err := buildConfig(opts)
 	if err != nil {
 		return nil, err
+	}
+	if cfg.decayEvery > 0 {
+		// Single sampler: the decay clock is simply its own processed count.
+		cfg.coreOption = append(cfg.coreOption, core.WithPeriodicHalving(cfg.decayEvery))
 	}
 	r := rng.New(cfg.seed)
 	var inner *core.KnowledgeFree
