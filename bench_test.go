@@ -195,6 +195,96 @@ func BenchmarkPoolSubscribeFanout1(b *testing.B)  { benchPoolSubscribeFanout(b, 
 func BenchmarkPoolSubscribeFanout4(b *testing.B)  { benchPoolSubscribeFanout(b, 4) }
 func BenchmarkPoolSubscribeFanout16(b *testing.B) { benchPoolSubscribeFanout(b, 16) }
 
+// BenchmarkPoolResize measures the full hand-off latency of one live
+// resize — flush barrier, Γ re-partition, sketch merge, worker restart —
+// on a warm pool alternating between 4 and 8 shards.
+func BenchmarkPoolResize(b *testing.B) {
+	p, err := NewPool(25, 4, WithSeed(1), WithSketch(50, 10), WithShardBuffer(64))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer func() { _ = p.Close() }()
+	batch := make([]NodeID, 2048)
+	for i := range batch {
+		batch[i] = NodeID(i%1000 + 1)
+	}
+	for r := 0; r < 16; r++ {
+		if err := p.PushBatch(batch); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := p.Flush(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 8
+		if i%2 == 1 {
+			n = 4
+		}
+		if err := p.Resize(n); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPoolPushBatchResized is BenchmarkPoolPushBatch8 on a pool that
+// reached 8 shards through a live resize instead of construction — the
+// post-resize ns/id, pinning that the elastic plane leaves no lasting tax
+// on the hot path.
+func BenchmarkPoolPushBatchResized(b *testing.B) {
+	p, err := NewPool(10, 4, WithSeed(1), WithSketch(10, 5), WithShardBuffer(64))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer func() { _ = p.Close() }()
+	if err := p.Resize(8); err != nil {
+		b.Fatal(err)
+	}
+	const batchSize = 2048
+	batch := make([]NodeID, batchSize)
+	b.ResetTimer()
+	for i := 0; i < b.N; i += batchSize {
+		for j := range batch {
+			batch[j] = NodeID((i + j) % 1000)
+		}
+		if err := p.PushBatch(batch); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := p.Flush(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkPoolSnapshot measures serialising a warm 8-shard pool (the cost
+// a daemon pays per -snapshot-interval tick).
+func BenchmarkPoolSnapshot(b *testing.B) {
+	p, err := NewPool(25, 8, WithSeed(1), WithSketch(50, 10), WithShardBuffer(64))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer func() { _ = p.Close() }()
+	batch := make([]NodeID, 2048)
+	for i := range batch {
+		batch[i] = NodeID(i%1000 + 1)
+	}
+	for r := 0; r < 16; r++ {
+		if err := p.PushBatch(batch); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := p.Flush(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Snapshot(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkServiceSample measures concurrent sample reads against a live
 // pipeline.
 func BenchmarkServiceSample(b *testing.B) {

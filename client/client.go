@@ -8,9 +8,17 @@
 // dedicated reader goroutine dispatches stream data, sample responses and
 // pongs, so a subscription keeps flowing while other calls are in flight.
 //
+// Clients dialled with DialOptions.Reconnect survive daemon restarts: when
+// the connection drops, the client redials with exponential backoff and
+// jitter, re-issues its Subscribe (same capacity and decimation interval)
+// on the fresh connection, and keeps the subscription channel open
+// throughout — the consumer only observes a gap in the stream. Paired with
+// the daemon's -snapshot-path restore, a restart costs neither the
+// subscriber nor the sampler's accumulated frequency state.
+//
 // Typical session:
 //
-//	c, err := client.Dial("127.0.0.1:7947")
+//	c, err := client.DialWithOptions("127.0.0.1:7947", client.DialOptions{Reconnect: true})
 //	defer c.Close()
 //	out, _ := c.Subscribe(1024)
 //	go func() {
@@ -29,6 +37,8 @@ import (
 
 	"nodesampling"
 	"nodesampling/internal/netgossip"
+	"nodesampling/internal/rng"
+	"nodesampling/internal/subhub"
 )
 
 // ErrClosed is returned by calls on a client whose connection has been
@@ -41,12 +51,48 @@ var ErrClosed = errors.New("client: connection closed")
 // buffer to a smaller operational limit).
 const MaxSubscribeCapacity = 1 << 20
 
+// MaxSubscribeEvery bounds the decimation interval to the daemon's own
+// limit.
+const MaxSubscribeEvery = subhub.MaxDecimation
+
 // rpcTimeout bounds how long Sample and Ping wait for their response frame.
 const rpcTimeout = 30 * time.Second
 
-// Client is one framed connection to an unsd daemon.
+// DialOptions configures DialWithOptions. The zero value behaves exactly
+// like Dial: one connection, no reconnection.
+type DialOptions struct {
+	// Reconnect enables automatic redialling after the connection fails:
+	// exponential backoff from MinBackoff to MaxBackoff with random jitter
+	// (so a daemon restart is not greeted by a synchronised thundering
+	// herd), and automatic re-subscription of an active stream.
+	Reconnect bool
+	// MinBackoff is the first retry delay (default 50ms).
+	MinBackoff time.Duration
+	// MaxBackoff caps the exponential growth (default 5s).
+	MaxBackoff time.Duration
+	// MaxAttempts limits consecutive failed dial attempts before the client
+	// gives up and closes permanently. 0 means retry forever (until Close).
+	MaxAttempts int
+}
+
+func (o DialOptions) withDefaults() DialOptions {
+	if o.MinBackoff <= 0 {
+		o.MinBackoff = 50 * time.Millisecond
+	}
+	if o.MaxBackoff <= 0 {
+		o.MaxBackoff = 5 * time.Second
+	}
+	if o.MaxBackoff < o.MinBackoff {
+		o.MaxBackoff = o.MinBackoff
+	}
+	return o
+}
+
+// Client is one framed connection to an unsd daemon (transparently
+// re-established under DialOptions.Reconnect).
 type Client struct {
-	conn net.Conn
+	addr string
+	opts DialOptions
 
 	wmu sync.Mutex // serialises frame writes
 
@@ -56,49 +102,105 @@ type Client struct {
 	samplec chan []uint64
 	pongc   chan uint64
 
-	mu     sync.Mutex
-	stream chan nodesampling.NodeID // nil until Subscribe
-	err    error                    // first fatal error, behind done
+	mu       sync.Mutex
+	conn     net.Conn                 // current connection; swapped on reconnect
+	stream   chan nodesampling.NodeID // nil until Subscribe
+	subCap   int                      // saved Subscribe arguments for re-subscription
+	subEvery int
+	err      error // first fatal error, behind done
 
-	done          chan struct{} // closed when the reader exits
+	done          chan struct{} // closed when the supervisor exits for good
 	closing       atomic.Bool
+	closingCh     chan struct{} // closed by Close; unblocks backoff sleeps
+	closeOnce     sync.Once
 	pingSeq       atomic.Uint64
 	streamDropped atomic.Uint64
+	reconnects    atomic.Uint64
 }
 
 // Dial connects to an unsd stream listener.
 func Dial(addr string) (*Client, error) {
+	return DialWithOptions(addr, DialOptions{})
+}
+
+// DialWithOptions connects to an unsd stream listener with explicit
+// resilience options. The initial dial is synchronous (so a bad address
+// fails immediately); only established connections are re-dialled.
+func DialWithOptions(addr string, opts DialOptions) (*Client, error) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("client: dial %s: %w", addr, err)
 	}
-	return New(conn), nil
+	c := newClient(conn)
+	c.addr = addr
+	c.opts = opts.withDefaults()
+	go c.supervise(conn)
+	return c, nil
 }
 
 // New wraps an established connection (any net.Conn speaking the framed
-// protocol). The client owns the connection from this point.
+// protocol). The client owns the connection from this point. A client
+// built from a raw connection has no address to redial, so it never
+// reconnects.
 func New(conn net.Conn) *Client {
-	c := &Client{
-		conn:    conn,
-		samplec: make(chan []uint64, 1),
-		pongc:   make(chan uint64, 1),
-		done:    make(chan struct{}),
-	}
-	go c.readLoop()
+	c := newClient(conn)
+	go c.supervise(conn)
 	return c
 }
 
-// readLoop is the connection's only reader: it dispatches every incoming
-// frame and records the first fatal error. It is also the only closer of
-// the subscription channel, so stream sends never race a close.
-func (c *Client) readLoop() {
+func newClient(conn net.Conn) *Client {
+	return &Client{
+		conn:      conn,
+		samplec:   make(chan []uint64, 1),
+		pongc:     make(chan uint64, 1),
+		done:      make(chan struct{}),
+		closingCh: make(chan struct{}),
+	}
+}
+
+// supervise owns the connection lifecycle: it runs read sessions and — when
+// reconnection is enabled — replaces failed connections until Close or the
+// attempt budget is exhausted. Backoff state survives across sessions: a
+// connection that dies before proving itself productive (no frame read,
+// gone within a backoff window) counts as one more failed attempt rather
+// than resetting the clock, so a daemon that accepts-then-drops (full, or
+// crash-looping) is retried at backoff pace, not network speed.
+func (c *Client) supervise(conn net.Conn) {
+	attempts := 0
+	backoff := c.opts.MinBackoff
 	var err error
 	for {
-		var f netgossip.Frame
-		f, err = netgossip.ReadFrame(c.conn)
-		if err != nil {
+		started := time.Now()
+		var productive bool
+		productive, err = c.readSession(conn)
+		if productive || time.Since(started) > c.opts.MaxBackoff {
+			attempts, backoff = 0, c.opts.MinBackoff
+		}
+		if c.closing.Load() || !c.opts.Reconnect || c.addr == "" {
 			break
 		}
+		var rerr error
+		conn, attempts, backoff, rerr = c.redial(attempts, backoff)
+		if rerr != nil {
+			err = rerr
+			break
+		}
+		c.reconnects.Add(1)
+	}
+	c.finalize(err)
+}
+
+// readSession is one connection's read loop: it dispatches every incoming
+// frame until the connection fails or the server reports a terminal error.
+// productive reports whether at least one frame was read (the signal that
+// the dial reached a live daemon, used to reset the reconnect backoff).
+func (c *Client) readSession(conn net.Conn) (productive bool, err error) {
+	for {
+		f, err := netgossip.ReadFrame(conn)
+		if err != nil {
+			return productive, err
+		}
+		productive = true
 		switch f.Type {
 		case netgossip.FrameStreamData:
 			c.dispatchStream(f.IDs)
@@ -113,14 +215,73 @@ func (c *Client) readLoop() {
 			default:
 			}
 		case netgossip.FrameError:
-			err = fmt.Errorf("client: server error: %s", f.Msg)
+			return productive, fmt.Errorf("client: server error: %s", f.Msg)
 		default:
-			err = fmt.Errorf("client: unexpected frame type %d from server", f.Type)
-		}
-		if err != nil {
-			break
+			return productive, fmt.Errorf("client: unexpected frame type %d from server", f.Type)
 		}
 	}
+}
+
+// redial re-establishes the connection with exponential backoff and
+// jitter, then re-issues the stream subscription if one is active. It
+// returns the new live connection, already installed as c.conn, along with
+// the carried-forward attempt count and backoff. Every failure mode — dial
+// error, teardown during dial, re-subscribe write failure — spends one
+// attempt against MaxAttempts and waits out the backoff.
+func (c *Client) redial(attempts int, backoff time.Duration) (net.Conn, int, time.Duration, error) {
+	jitter := rng.New(uint64(time.Now().UnixNano()))
+	for {
+		if attempts > 0 {
+			// Full jitter keeps a fleet of clients from re-dialling a
+			// restarted daemon in lockstep.
+			delay := backoff/2 + time.Duration(jitter.Uint64n(uint64(backoff/2)+1))
+			select {
+			case <-time.After(delay):
+			case <-c.closingCh:
+				return nil, attempts, backoff, ErrClosed
+			}
+			backoff *= 2
+			if backoff > c.opts.MaxBackoff {
+				backoff = c.opts.MaxBackoff
+			}
+		}
+		if c.closing.Load() {
+			return nil, attempts, backoff, ErrClosed
+		}
+		attempts++
+		conn, err := net.Dial("tcp", c.addr)
+		if err == nil {
+			c.mu.Lock()
+			if c.closing.Load() {
+				c.mu.Unlock()
+				_ = conn.Close()
+				return nil, attempts, backoff, ErrClosed
+			}
+			c.conn = conn
+			subscribed, capacity, every := c.stream != nil, c.subCap, c.subEvery
+			c.mu.Unlock()
+			if subscribed {
+				if werr := c.write(netgossip.Frame{Type: netgossip.FrameSubscribe, N: uint32(capacity), Every: uint32(every)}); werr != nil {
+					// The fresh connection died before the subscription was
+					// re-established; treat it like any other failed attempt.
+					_ = conn.Close()
+					err = werr
+				}
+			}
+			if err == nil {
+				return conn, attempts, backoff, nil
+			}
+		}
+		if c.opts.MaxAttempts > 0 && attempts >= c.opts.MaxAttempts {
+			return nil, attempts, backoff, fmt.Errorf("client: reconnect to %s gave up after %d attempts: %w", c.addr, attempts, err)
+		}
+	}
+}
+
+// finalize records the terminal error and tears the client down. It is the
+// only closer of the subscription channel, so stream sends never race a
+// close.
+func (c *Client) finalize(err error) {
 	c.mu.Lock()
 	if c.closing.Load() {
 		c.err = ErrClosed
@@ -129,8 +290,9 @@ func (c *Client) readLoop() {
 	}
 	stream := c.stream
 	c.stream = nil
+	conn := c.conn
 	c.mu.Unlock()
-	_ = c.conn.Close()
+	_ = conn.Close()
 	close(c.done)
 	if stream != nil {
 		close(stream)
@@ -158,16 +320,21 @@ func (c *Client) dispatchStream(ids []uint64) {
 	}
 }
 
-// write sends one frame under the write lock.
+// write sends one frame under the write lock, against the current
+// connection. During a reconnection window the stale connection fails the
+// write, surfacing a transient error to the caller.
 func (c *Client) write(f netgossip.Frame) error {
 	select {
 	case <-c.done:
 		return c.Err()
 	default:
 	}
+	c.mu.Lock()
+	conn := c.conn
+	c.mu.Unlock()
 	c.wmu.Lock()
 	defer c.wmu.Unlock()
-	if err := netgossip.WriteFrame(c.conn, f); err != nil {
+	if err := netgossip.WriteFrame(conn, f); err != nil {
 		return fmt.Errorf("client: write: %w", err)
 	}
 	return nil
@@ -225,10 +392,25 @@ func (c *Client) Sample(n int) ([]nodesampling.NodeID, error) {
 	case <-time.After(rpcTimeout):
 		// The response may still arrive later and would be mistaken for the
 		// answer to the next request; the connection is indeterminate now,
-		// so tear it down.
-		_ = c.Close()
+		// so tear it down. (Under Reconnect only this session dies — the
+		// supervisor redials and the subscription survives.)
+		c.dropSession()
 		return nil, errors.New("client: sample response timed out")
 	}
+}
+
+// dropSession discards the current connection: a reconnecting client gets
+// a fresh one from the supervisor (re-subscribing as needed), any other
+// client closes for good.
+func (c *Client) dropSession() {
+	if c.opts.Reconnect && c.addr != "" {
+		c.mu.Lock()
+		conn := c.conn
+		c.mu.Unlock()
+		_ = conn.Close()
+		return
+	}
+	_ = c.Close()
 }
 
 // Ping round-trips a keepalive token and verifies the echo.
@@ -253,15 +435,17 @@ func (c *Client) Ping() error {
 		return c.Err()
 	case <-time.After(rpcTimeout):
 		// As with Sample: a late pong would desynchronise the next exchange.
-		_ = c.Close()
+		c.dropSession()
 		return errors.New("client: pong timed out")
 	}
 }
 
 // Subscribe asks the daemon to stream σ′ to this connection and returns
 // the channel carrying it, buffered to the given capacity. Only one
-// subscription per connection; the channel closes when the connection
-// does. A consumer that stops reading loses the newest arrivals
+// subscription per connection; the channel closes when the client closes
+// for good (under DialOptions.Reconnect it stays open across daemon
+// restarts, and the subscription is re-issued automatically on the fresh
+// connection). A consumer that stops reading loses the newest arrivals
 // (StreamDropped counts them) — the daemon additionally sheds oldest
 // buffered draws on its side, so a stalled subscriber never builds an
 // unbounded backlog anywhere. The daemon cuts connections with no inbound
@@ -269,18 +453,29 @@ func (c *Client) Ping() error {
 // that pushes nothing should call Ping every few minutes to keep the
 // stream alive.
 func (c *Client) Subscribe(capacity int) (<-chan nodesampling.NodeID, error) {
+	return c.SubscribeEvery(capacity, 1)
+}
+
+// SubscribeEvery is Subscribe with per-subscription decimation: the daemon
+// delivers only every every-th σ′ draw, so a modest consumer rides the
+// stream at a rate it can afford (a 1-in-k thinning of an i.i.d. uniform
+// stream is itself i.i.d. uniform).
+func (c *Client) SubscribeEvery(capacity, every int) (<-chan nodesampling.NodeID, error) {
 	if capacity < 1 || capacity > MaxSubscribeCapacity {
 		return nil, fmt.Errorf("client: subscription capacity must be in [1, %d], got %d", MaxSubscribeCapacity, capacity)
+	}
+	if every < 1 || every > MaxSubscribeEvery {
+		return nil, fmt.Errorf("client: decimation interval must be in [1, %d], got %d", MaxSubscribeEvery, every)
 	}
 	c.mu.Lock()
 	if c.stream != nil {
 		c.mu.Unlock()
 		return nil, errors.New("client: already subscribed")
 	}
-	// c.err is assigned inside the reader's final c.mu section, before it
-	// snapshots c.stream for closing — so checking it here (rather than
+	// c.err is assigned inside the supervisor's final c.mu section, before
+	// it snapshots c.stream for closing — so checking it here (rather than
 	// c.done, which closes later) guarantees either this registration is
-	// observed by the reader's teardown or the teardown is observed here.
+	// observed by the teardown or the teardown is observed here.
 	if c.err != nil {
 		err := c.err
 		c.mu.Unlock()
@@ -288,12 +483,20 @@ func (c *Client) Subscribe(capacity int) (<-chan nodesampling.NodeID, error) {
 	}
 	ch := make(chan nodesampling.NodeID, capacity)
 	c.stream = ch
+	c.subCap, c.subEvery = capacity, every
 	c.mu.Unlock()
-	if err := c.write(netgossip.Frame{Type: netgossip.FrameSubscribe, N: uint32(capacity)}); err != nil {
-		// The reader is the only closer of the stream channel (closing it
-		// here would race a concurrent dispatchStream send); a connection
-		// whose Subscribe could not be written is dead weight anyway, so
-		// tear it down and let the reader close ch on its way out.
+	if err := c.write(netgossip.Frame{Type: netgossip.FrameSubscribe, N: uint32(capacity), Every: uint32(every)}); err != nil {
+		if c.opts.Reconnect && c.addr != "" && !c.closing.Load() {
+			// The registration stands: the supervisor will re-issue it on
+			// the next connection, so the subscription survives a restart
+			// that lands exactly here.
+			return ch, nil
+		}
+		// The supervisor is the only closer of the stream channel (closing
+		// it here would race a concurrent dispatchStream send); a
+		// connection whose Subscribe could not be written is dead weight
+		// anyway, so tear it down and let the supervisor close ch on its
+		// way out.
 		_ = c.Close()
 		return nil, err
 	}
@@ -304,8 +507,12 @@ func (c *Client) Subscribe(capacity int) (<-chan nodesampling.NodeID, error) {
 // subscription buffer was full when they arrived.
 func (c *Client) StreamDropped() uint64 { return c.streamDropped.Load() }
 
+// Reconnects reports how many times the client re-established its
+// connection (always 0 without DialOptions.Reconnect).
+func (c *Client) Reconnects() uint64 { return c.reconnects.Load() }
+
 // Err returns the error that terminated the connection, or nil while it is
-// live.
+// live (including while a reconnecting client is between connections).
 func (c *Client) Err() error {
 	select {
 	case <-c.done:
@@ -317,11 +524,15 @@ func (c *Client) Err() error {
 	return c.err
 }
 
-// Close tears the connection down and waits for the reader (closing any
-// subscription channel). Idempotent.
+// Close tears the connection down and waits for the supervisor (closing
+// any subscription channel). Idempotent.
 func (c *Client) Close() error {
 	c.closing.Store(true)
-	_ = c.conn.Close()
+	c.closeOnce.Do(func() { close(c.closingCh) })
+	c.mu.Lock()
+	conn := c.conn
+	c.mu.Unlock()
+	_ = conn.Close()
 	<-c.done
 	return nil
 }

@@ -3,6 +3,7 @@ package client
 import (
 	"errors"
 	"net"
+	"sync"
 	"testing"
 	"time"
 
@@ -182,5 +183,260 @@ func TestClientServerError(t *testing.T) {
 	}
 	if got := c.Err().Error(); got != "client: server error: go away" {
 		t.Fatalf("Err = %q", got)
+	}
+}
+
+// restartableServer is a real TCP stub speaking the framed protocol, built
+// to be killed and resurrected on the same address for reconnect tests.
+type restartableServer struct {
+	t    *testing.T
+	addr string
+
+	mu   sync.Mutex
+	ln   net.Listener
+	conn net.Conn
+
+	subscribes chan netgossip.Frame // every Subscribe frame observed
+}
+
+func newRestartableServer(t *testing.T) *restartableServer {
+	t.Helper()
+	s := &restartableServer{t: t, subscribes: make(chan netgossip.Frame, 16)}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.addr = ln.Addr().String()
+	s.start(ln)
+	t.Cleanup(s.kill)
+	return s
+}
+
+func (s *restartableServer) start(ln net.Listener) {
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			s.mu.Lock()
+			s.conn = conn
+			s.mu.Unlock()
+			go s.serve(conn)
+		}
+	}()
+}
+
+// serve answers one connection: pongs pings, echoes pushed batches as
+// stream data once subscribed, and reports Subscribe frames.
+func (s *restartableServer) serve(conn net.Conn) {
+	defer conn.Close()
+	subscribed := false
+	for {
+		f, err := netgossip.ReadFrame(conn)
+		if err != nil {
+			return
+		}
+		switch f.Type {
+		case netgossip.FrameSubscribe:
+			subscribed = true
+			s.subscribes <- f
+		case netgossip.FramePushBatch:
+			if subscribed {
+				if err := netgossip.WriteFrame(conn, netgossip.Frame{Type: netgossip.FrameStreamData, IDs: f.IDs}); err != nil {
+					return
+				}
+			}
+		case netgossip.FramePing:
+			if err := netgossip.WriteFrame(conn, netgossip.Frame{Type: netgossip.FramePong, Token: f.Token}); err != nil {
+				return
+			}
+		}
+	}
+}
+
+// kill closes the listener and the live connection — a daemon crash.
+func (s *restartableServer) kill() {
+	s.mu.Lock()
+	ln, conn := s.ln, s.conn
+	s.ln, s.conn = nil, nil
+	s.mu.Unlock()
+	if ln != nil {
+		_ = ln.Close()
+	}
+	if conn != nil {
+		_ = conn.Close()
+	}
+}
+
+// restart brings the listener back on the same address.
+func (s *restartableServer) restart() {
+	s.t.Helper()
+	var ln net.Listener
+	var err error
+	// The just-freed port can lag a moment on some kernels.
+	for i := 0; i < 50; i++ {
+		if ln, err = net.Listen("tcp", s.addr); err == nil {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err != nil {
+		s.t.Fatalf("relisten on %s: %v", s.addr, err)
+	}
+	s.start(ln)
+}
+
+// TestClientReconnectResubscribes is the kill-and-restart e2e: a client
+// dialled with Reconnect survives a daemon restart — it redials with
+// backoff, re-issues its subscription (same capacity and decimation
+// interval) and keeps the same stream channel flowing.
+func TestClientReconnectResubscribes(t *testing.T) {
+	srv := newRestartableServer(t)
+	c, err := DialWithOptions(srv.addr, DialOptions{
+		Reconnect:  true,
+		MinBackoff: 5 * time.Millisecond,
+		MaxBackoff: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	out, err := c.SubscribeEvery(256, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case f := <-srv.subscribes:
+		if f.N != 256 || f.Every != 3 {
+			t.Fatalf("first subscribe N=%d Every=%d", f.N, f.Every)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("server never saw the subscription")
+	}
+	// The decimated echo stub streams pushed batches straight back.
+	if err := c.PushBatch([]nodesampling.NodeID{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case id := <-out:
+		if id < 1 || id > 3 {
+			t.Fatalf("stream echoed %d", id)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no stream data before the restart")
+	}
+
+	// Crash the daemon, then bring it back on the same address.
+	srv.kill()
+	srv.restart()
+
+	// The client must re-subscribe with the exact original parameters.
+	select {
+	case f := <-srv.subscribes:
+		if f.N != 256 || f.Every != 3 {
+			t.Fatalf("re-subscribe N=%d Every=%d, want 256 and 3", f.N, f.Every)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("client never re-subscribed after the restart")
+	}
+	if c.Reconnects() == 0 {
+		t.Fatal("Reconnects() did not count the re-established connection")
+	}
+	if c.Err() != nil {
+		t.Fatalf("reconnected client reports terminal error %v", c.Err())
+	}
+
+	// The original channel keeps flowing: pushes may race the dead window,
+	// so retry until an echo lands.
+	deadline := time.After(10 * time.Second)
+	got := false
+	for !got {
+		_ = c.PushBatch([]nodesampling.NodeID{4, 5, 6})
+		select {
+		case id, ok := <-out:
+			if !ok {
+				t.Fatal("stream channel closed across a reconnect")
+			}
+			if id < 1 || id > 6 {
+				t.Fatalf("stream echoed %d after reconnect", id)
+			}
+			if id >= 4 {
+				// Echo of a post-restart push (earlier ids are leftovers of
+				// the first push still buffered in the channel).
+				got = true
+			}
+		case <-deadline:
+			t.Fatal("no stream data after the reconnect")
+		case <-time.After(20 * time.Millisecond):
+		}
+	}
+	// RPCs work over the fresh connection too.
+	if err := c.Ping(); err != nil {
+		t.Fatalf("ping after reconnect: %v", err)
+	}
+	// Close ends it for good: the channel closes and Err reports ErrClosed.
+	_ = c.Close()
+	waitClosed := time.After(5 * time.Second)
+	for {
+		select {
+		case _, ok := <-out:
+			if !ok {
+				if !errors.Is(c.Err(), ErrClosed) {
+					t.Fatalf("Err after close = %v", c.Err())
+				}
+				return
+			}
+		case <-waitClosed:
+			t.Fatal("stream channel never closed after Close")
+		}
+	}
+}
+
+// TestClientReconnectGivesUp: with MaxAttempts set and no server coming
+// back, the client must close permanently instead of spinning forever.
+func TestClientReconnectGivesUp(t *testing.T) {
+	srv := newRestartableServer(t)
+	c, err := DialWithOptions(srv.addr, DialOptions{
+		Reconnect:   true,
+		MinBackoff:  time.Millisecond,
+		MaxBackoff:  5 * time.Millisecond,
+		MaxAttempts: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	srv.kill()
+	select {
+	case <-c.done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("client never gave up with MaxAttempts=3")
+	}
+	if c.Err() == nil {
+		t.Fatal("exhausted client reports no error")
+	}
+}
+
+// TestClientNoReconnectByDefault: a plain Dial dies with its connection.
+func TestClientNoReconnectByDefault(t *testing.T) {
+	srv := newRestartableServer(t)
+	c, err := Dial(srv.addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	srv.kill()
+	select {
+	case <-c.done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("plain client survived its connection")
+	}
+	if c.Reconnects() != 0 {
+		t.Fatal("plain client reconnected")
 	}
 }

@@ -12,17 +12,37 @@
 //
 // HTTP endpoints:
 //
-//	POST /push    {"ids":[1,2,3]}      feed identifiers
+//	POST /push      {"ids":[1,2,3]}    feed identifiers
 //	GET  /sample?n=K                   K uniform samples (default 1)
 //	GET  /memory                       the pooled sampling memory Γ
 //	GET  /stats                        drops, per-shard depth, throughput,
-//	                                   per-subscriber delivery accounting
+//	                                   shard map epoch, per-subscriber
+//	                                   delivery accounting
+//	POST /resize    {"shards":N}       live re-partition to N shards: a
+//	                                   flush barrier quiesces the pool, Γ
+//	                                   and sketch state follow the moved
+//	                                   ids (admin surface — front it with
+//	                                   auth before exposing it)
+//	POST /snapshot                     write a durable snapshot to
+//	                                   -snapshot-path now
 //
 // The -stream listener speaks the framed bidirectional protocol of
 // internal/netgossip (and the public client package): a single persistent
 // TCP connection pushes id batches up and receives σ′ stream frames,
 // sample responses and pong keepalives down — the paper's stream-in/
 // stream-out service shape, without per-sample HTTP round trips.
+// Subscribe frames may carry a decimation interval (sample-every-k), so
+// modest consumers ride the hub at a rate they can afford.
+//
+// Durability: with -snapshot-path set the daemon restores the pool from
+// the snapshot at boot (the snapshot governs shard count, memory capacity
+// and sketch shape; mismatched -k/-s flags fail loudly), writes it
+// periodically when -snapshot-interval is positive, and writes a final
+// snapshot on graceful shutdown. The blob is the versioned format of
+// internal/shard (magic "UNSS"): shard map + salt, per-shard Count-Min
+// sketches and sampling memories Γ, decay epoch and counters — everything
+// needed so a restarted daemon does not forget attacker frequencies. It
+// embeds the secret partition salt; protect the file like key material.
 //
 // Identifiers are 64-bit; HTTP responses encode them as decimal strings
 // and /push accepts numbers or strings, because JSON doubles corrupt
@@ -36,16 +56,19 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"io/fs"
 	"net"
 	"net/http"
 	"os"
 	"os/signal"
 	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
 
-	"nodesampling/internal/core"
+	"nodesampling/internal/cms"
 	"nodesampling/internal/netgossip"
 	"nodesampling/internal/rng"
 	"nodesampling/internal/shard"
@@ -62,11 +85,13 @@ func main() {
 
 // options collects the daemon's configuration.
 type options struct {
-	shards, c, k, s int
-	buffer          int
-	block           bool
-	seed            uint64
-	self            uint64
+	shards, c, k, s  int
+	buffer           int
+	block            bool
+	seed             uint64
+	self             uint64
+	snapshotPath     string
+	snapshotInterval time.Duration
 }
 
 // daemon ties the sharded pool to its gossip and stream front-ends. The
@@ -77,20 +102,54 @@ type daemon struct {
 	peer   *netgossip.Peer
 	stream *streamServer // nil until listenStream
 	start  time.Time
+
+	// The durability plane: writeSnapshot serialises the pool to
+	// snapshotPath (atomically, via rename), on demand (POST /snapshot),
+	// periodically (startSnapshotLoop) and finally at Close.
+	snapshotPath string
+	restored     bool
+	snapMu       sync.Mutex // serialises snapshot writes
+	snapBytes    atomic.Int64
+	snapUnix     atomic.Int64
+	snapStop     chan struct{}
+	snapDone     chan struct{}
 }
 
 func newDaemon(o options) (*daemon, error) {
-	pool, err := shard.New(shard.Config{
-		Shards: o.shards,
-		Buffer: o.buffer,
-		Block:  o.block,
-		Seed:   o.seed,
-		NewSampler: func(r *rng.Xoshiro) (*core.KnowledgeFree, error) {
-			return core.NewKnowledgeFree(o.c, o.k, o.s, r)
+	scfg := shard.Config{
+		Shards:   o.shards,
+		Buffer:   o.buffer,
+		Block:    o.block,
+		Seed:     o.seed,
+		Capacity: o.c,
+		NewSketch: func(r *rng.Xoshiro) (*cms.Sketch, error) {
+			return cms.NewWithDimensions(o.k, o.s, r)
 		},
-	})
-	if err != nil {
-		return nil, err
+	}
+	var pool *shard.Pool
+	restored := false
+	if o.snapshotPath != "" {
+		blob, err := os.ReadFile(o.snapshotPath)
+		switch {
+		case err == nil:
+			// The snapshot governs shard count, memory capacity and sketch
+			// shape; the -k/-s flags are validated against it and -shards/-c
+			// are superseded (resize later via POST /resize).
+			if pool, err = shard.Restore(scfg, blob); err != nil {
+				return nil, fmt.Errorf("restore %s: %w", o.snapshotPath, err)
+			}
+			restored = true
+		case errors.Is(err, fs.ErrNotExist):
+			// First boot: start fresh, snapshots will appear at this path.
+		default:
+			return nil, err
+		}
+	}
+	if pool == nil {
+		var err error
+		if pool, err = shard.New(scfg); err != nil {
+			return nil, err
+		}
 	}
 	peer, err := netgossip.NewPeer(netgossip.Config{
 		Self:   o.self,
@@ -106,17 +165,83 @@ func newDaemon(o options) (*daemon, error) {
 		_ = pool.Close()
 		return nil, err
 	}
-	return &daemon{pool: pool, peer: peer, start: time.Now()}, nil
+	return &daemon{
+		pool:         pool,
+		peer:         peer,
+		start:        time.Now(),
+		snapshotPath: o.snapshotPath,
+		restored:     restored,
+	}, nil
+}
+
+// writeSnapshot serialises the pool and installs it at snapshotPath via a
+// temp file + rename, so a crash mid-write never corrupts the last good
+// snapshot. Returns the blob size.
+func (d *daemon) writeSnapshot() (int, error) {
+	if d.snapshotPath == "" {
+		return 0, errors.New("no -snapshot-path configured")
+	}
+	d.snapMu.Lock()
+	defer d.snapMu.Unlock()
+	blob, err := d.pool.Snapshot()
+	if err != nil {
+		return 0, err
+	}
+	tmp := d.snapshotPath + ".tmp"
+	// 0600: the blob embeds the pool's secret partition salt.
+	if err := os.WriteFile(tmp, blob, 0o600); err != nil {
+		return 0, err
+	}
+	if err := os.Rename(tmp, d.snapshotPath); err != nil {
+		return 0, err
+	}
+	d.snapBytes.Store(int64(len(blob)))
+	d.snapUnix.Store(time.Now().Unix())
+	return len(blob), nil
+}
+
+// startSnapshotLoop writes a snapshot every interval until Close.
+func (d *daemon) startSnapshotLoop(interval time.Duration, w io.Writer) {
+	d.snapStop = make(chan struct{})
+	d.snapDone = make(chan struct{})
+	go func() {
+		defer close(d.snapDone)
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ticker.C:
+				if _, err := d.writeSnapshot(); err != nil {
+					fmt.Fprintf(w, "snapshot failed: %v\n", err)
+				}
+			case <-d.snapStop:
+				return
+			}
+		}
+	}()
 }
 
 // Close shuts the network front-ends down first so no batch races the
-// pool's shutdown, then the pool (which closes the subscription hub and
+// pool's shutdown, writes a final snapshot while the pool is still
+// serving, then closes the pool (which closes the subscription hub and
 // thereby every remaining stream subscription).
 func (d *daemon) Close() {
+	if d.snapStop != nil {
+		close(d.snapStop)
+		<-d.snapDone
+		d.snapStop = nil
+	}
 	if d.stream != nil {
 		d.stream.Close()
 	}
 	_ = d.peer.Close()
+	if d.snapshotPath != "" {
+		// Ingest fronts are gone, so the barrier is exact: ids already
+		// acknowledged into shard queues reach the samplers before the
+		// final snapshot captures them.
+		_ = d.pool.Flush()
+		_, _ = d.writeSnapshot()
+	}
 	_ = d.pool.Close()
 }
 
@@ -138,6 +263,8 @@ func (d *daemon) handler() http.Handler {
 	mux.HandleFunc("GET /sample", d.handleSample)
 	mux.HandleFunc("GET /memory", d.handleMemory)
 	mux.HandleFunc("GET /stats", d.handleStats)
+	mux.HandleFunc("POST /resize", d.handleResize)
+	mux.HandleFunc("POST /snapshot", d.handleSnapshot)
 	return mux
 }
 
@@ -223,6 +350,42 @@ func (d *daemon) handleMemory(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, map[string]any{"memory": toJSONIDs(mem), "size": len(mem)})
 }
 
+// handleResize serves the elastic-plane admin surface: a live
+// re-partition of the pool to the requested shard count.
+func (d *daemon) handleResize(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Shards int `json:"shards"`
+	}
+	body := http.MaxBytesReader(w, r.Body, 1024)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("bad body: %v", err))
+		return
+	}
+	if req.Shards < 1 || req.Shards > shard.MaxShards {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("shards must be in [1, %d]", shard.MaxShards))
+		return
+	}
+	if err := d.pool.Resize(req.Shards); err != nil {
+		httpError(w, http.StatusServiceUnavailable, err.Error())
+		return
+	}
+	writeJSON(w, map[string]any{"shards": d.pool.NumShards(), "epoch": d.pool.Epoch()})
+}
+
+// handleSnapshot writes a durable snapshot to -snapshot-path on demand.
+func (d *daemon) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	n, err := d.writeSnapshot()
+	if err != nil {
+		code := http.StatusInternalServerError
+		if d.snapshotPath == "" {
+			code = http.StatusConflict
+		}
+		httpError(w, code, err.Error())
+		return
+	}
+	writeJSON(w, map[string]any{"path": d.snapshotPath, "bytes": n})
+}
+
 // shardStatsJSON is one shard's row in /stats.
 type shardStatsJSON struct {
 	Processed  uint64 `json:"processed"`
@@ -238,8 +401,10 @@ type subscriberStatsJSON struct {
 	Offered   uint64 `json:"offered"`
 	Delivered uint64 `json:"delivered"`
 	Dropped   uint64 `json:"dropped"`
+	Filtered  uint64 `json:"filtered"`
 	Capacity  int    `json:"capacity"`
 	Depth     int    `json:"depth"`
+	Every     int    `json:"every"`
 }
 
 func (d *daemon) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -265,6 +430,11 @@ func (d *daemon) handleStats(w http.ResponseWriter, r *http.Request) {
 		"throughput_ids_per_second": throughput,
 		"gossip_connections":        d.peer.NumConns(),
 		"stream_connections":        d.streamConns(),
+		"shard_count":               len(shards),
+		"map_epoch":                 st.Epoch,
+		"restored":                  d.restored,
+		"snapshot_bytes":            d.snapBytes.Load(),
+		"snapshot_unix":             d.snapUnix.Load(),
 		"shards":                    shards,
 		"subscribers":               subs,
 	})
@@ -296,6 +466,8 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 		buffer     = fs.Int("buffer", 64, "per-shard ingest queue, in batches")
 		block      = fs.Bool("block", false, "block producers on a full shard queue instead of dropping")
 		seed       = fs.Uint64("seed", 0, "random seed (0 means time-derived)")
+		snapPath   = fs.String("snapshot-path", "", "durable pool snapshot file: restored at boot, written by POST /snapshot, -snapshot-interval and shutdown (a restored snapshot supersedes -shards and -c)")
+		snapEvery  = fs.Duration("snapshot-interval", 0, "write a snapshot this often (0 disables periodic snapshots; requires -snapshot-path)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -306,14 +478,29 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 	if *self == 0 {
 		*self = rng.Mix64(*seed)
 	}
+	if *snapEvery < 0 {
+		return fmt.Errorf("negative -snapshot-interval %v", *snapEvery)
+	}
+	if *snapEvery > 0 && *snapPath == "" {
+		return errors.New("-snapshot-interval requires -snapshot-path")
+	}
 	d, err := newDaemon(options{
 		shards: *shards, c: *c, k: *k, s: *s,
 		buffer: *buffer, block: *block, seed: *seed, self: *self,
+		snapshotPath: *snapPath, snapshotInterval: *snapEvery,
 	})
 	if err != nil {
 		return err
 	}
 	defer d.Close()
+	if d.restored {
+		st := d.pool.Stats()
+		fmt.Fprintf(w, "restored %s: %d shards, epoch %d, %d ids processed\n",
+			*snapPath, len(st.Shards), st.Epoch, st.Processed)
+	}
+	if *snapEvery > 0 {
+		d.startSnapshotLoop(*snapEvery, w)
+	}
 
 	if *streamAddr != "" {
 		ln, err := d.listenStream(*streamAddr)
@@ -355,7 +542,7 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 	}
 	fmt.Fprintf(w, "http listening on %s\n", ln.Addr())
 	fmt.Fprintf(w, "pool: %d shards, c=%d, sketch %dx%d, buffer %d, block=%v\n",
-		*shards, *c, *k, *s, *buffer, *block)
+		d.pool.NumShards(), *c, *k, *s, *buffer, *block)
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()

@@ -7,6 +7,8 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"path/filepath"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -425,5 +427,214 @@ func TestBadFlags(t *testing.T) {
 	}
 	if err := run(context.Background(), []string{"-http", "256.0.0.1:bad"}, &sb); err == nil {
 		t.Error("unusable http address should fail")
+	}
+}
+
+// postJSON posts a JSON body and decodes the JSON answer.
+func postJSON(t *testing.T, url string, body any, out any) int {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decoding %s: %v", url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// TestResizeEndpoint drives the elastic plane over HTTP: a live resize
+// changes the shard count in /stats, bumps the map epoch, and the pool
+// keeps serving samples from the re-partitioned memory.
+func TestResizeEndpoint(t *testing.T) {
+	d := testDaemon(t, defaultOptions())
+	ts := httptest.NewServer(d.handler())
+	defer ts.Close()
+
+	ids := make([]uint64, 512)
+	for i := range ids {
+		ids[i] = uint64(i + 1)
+	}
+	resp := postPush(t, ts.URL, ids)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("push status %d", resp.StatusCode)
+	}
+	if err := d.pool.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	var rr struct {
+		Shards int    `json:"shards"`
+		Epoch  uint64 `json:"epoch"`
+	}
+	if code := postJSON(t, ts.URL+"/resize", map[string]int{"shards": 8}, &rr); code != http.StatusOK {
+		t.Fatalf("resize status %d", code)
+	}
+	if rr.Shards != 8 || rr.Epoch != 1 {
+		t.Fatalf("resize answered %+v", rr)
+	}
+	var stats struct {
+		ShardCount int        `json:"shard_count"`
+		MapEpoch   uint64     `json:"map_epoch"`
+		Processed  uint64     `json:"processed"`
+		Shards     []struct{} `json:"shards"`
+	}
+	getJSON(t, ts.URL+"/stats", &stats)
+	if stats.ShardCount != 8 || len(stats.Shards) != 8 || stats.MapEpoch != 1 {
+		t.Fatalf("stats after resize: %+v", stats)
+	}
+	if stats.Processed != 512 {
+		t.Fatalf("processed %d across resize, want 512", stats.Processed)
+	}
+	var sample struct {
+		Samples []string `json:"samples"`
+	}
+	if code := getJSON(t, ts.URL+"/sample?n=16", &sample); code != http.StatusOK || len(sample.Samples) != 16 {
+		t.Fatalf("sample after resize: code %d, %d samples", code, len(sample.Samples))
+	}
+	// Bad requests.
+	if code := postJSON(t, ts.URL+"/resize", map[string]int{"shards": 0}, nil); code != http.StatusBadRequest {
+		t.Fatalf("resize 0 status %d", code)
+	}
+	if code := postJSON(t, ts.URL+"/resize", map[string]string{"shards": "x"}, nil); code != http.StatusBadRequest {
+		t.Fatalf("malformed resize status %d", code)
+	}
+}
+
+// TestSnapshotEndpointRequiresPath: without -snapshot-path the endpoint
+// must refuse rather than pretend.
+func TestSnapshotEndpointRequiresPath(t *testing.T) {
+	d := testDaemon(t, defaultOptions())
+	ts := httptest.NewServer(d.handler())
+	defer ts.Close()
+	if code := postJSON(t, ts.URL+"/snapshot", struct{}{}, nil); code != http.StatusConflict {
+		t.Fatalf("snapshot without path status %d", code)
+	}
+}
+
+// TestSnapshotRestartServesRestoredState is the acceptance e2e: a daemon
+// with -snapshot-path is killed and restarted, and the successor serves
+// Sample//memory//stats from the restored Γ and sketch state — attacker
+// frequencies are not forgotten.
+func TestSnapshotRestartServesRestoredState(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "pool.snap")
+	o := defaultOptions()
+	o.snapshotPath = path
+
+	d1, err := newDaemon(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts1 := httptest.NewServer(d1.handler())
+	// An "attack": one hot id pushed massively among background noise.
+	const hot = uint64(7777)
+	ids := make([]uint64, 1024)
+	for i := range ids {
+		if i%2 == 0 {
+			ids[i] = hot
+		} else {
+			ids[i] = uint64(i + 1)
+		}
+	}
+	for r := 0; r < 4; r++ {
+		if resp := postPush(t, ts1.URL, ids); resp.StatusCode != http.StatusOK {
+			t.Fatalf("push status %d", resp.StatusCode)
+		}
+	}
+	if err := d1.pool.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	var snap struct {
+		Path  string `json:"path"`
+		Bytes int    `json:"bytes"`
+	}
+	if code := postJSON(t, ts1.URL+"/snapshot", struct{}{}, &snap); code != http.StatusOK {
+		t.Fatalf("snapshot status %d", code)
+	}
+	if snap.Path != path || snap.Bytes == 0 {
+		t.Fatalf("snapshot answered %+v", snap)
+	}
+	var memBefore struct {
+		Memory []string `json:"memory"`
+		Size   int      `json:"size"`
+	}
+	getJSON(t, ts1.URL+"/memory", &memBefore)
+	estBefore := d1.pool.Estimate(hot)
+	if estBefore == 0 {
+		t.Fatal("hot id estimate is zero before the restart")
+	}
+	ts1.Close()
+	d1.Close() // also writes the final snapshot
+
+	// The restarted daemon restores from the same path (no pushes at all).
+	d2, err := newDaemon(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	if !d2.restored {
+		t.Fatal("second daemon did not restore from the snapshot")
+	}
+	ts2 := httptest.NewServer(d2.handler())
+	defer ts2.Close()
+	var stats struct {
+		Processed uint64 `json:"processed"`
+		Restored  bool   `json:"restored"`
+	}
+	getJSON(t, ts2.URL+"/stats", &stats)
+	if !stats.Restored || stats.Processed != 4*1024 {
+		t.Fatalf("restored stats: %+v", stats)
+	}
+	var memAfter struct {
+		Memory []string `json:"memory"`
+		Size   int      `json:"size"`
+	}
+	getJSON(t, ts2.URL+"/memory", &memAfter)
+	if memAfter.Size != memBefore.Size {
+		t.Fatalf("restored memory %d ids, want %d", memAfter.Size, memBefore.Size)
+	}
+	sortStrings := func(s []string) { sort.Strings(s) }
+	sortStrings(memBefore.Memory)
+	sortStrings(memAfter.Memory)
+	for i := range memBefore.Memory {
+		if memBefore.Memory[i] != memAfter.Memory[i] {
+			t.Fatalf("restored memory differs at %d: %s vs %s", i, memBefore.Memory[i], memAfter.Memory[i])
+		}
+	}
+	// The sketch state survived: the hot id's frequency estimate is intact.
+	if got := d2.pool.Estimate(hot); got != estBefore {
+		t.Fatalf("hot id estimate %d after restart, want %d (attacker forgotten)", got, estBefore)
+	}
+	// And the daemon serves samples with zero new input.
+	var sample struct {
+		Samples []string `json:"samples"`
+	}
+	if code := getJSON(t, ts2.URL+"/sample?n=8", &sample); code != http.StatusOK || len(sample.Samples) != 8 {
+		t.Fatalf("restored daemon sample: code %d, %d samples", code, len(sample.Samples))
+	}
+	// A daemon restarted with contradicting sketch flags must refuse.
+	bad := o
+	bad.k, bad.s = 3, 2
+	if _, err := newDaemon(bad); err == nil {
+		t.Fatal("sketch-shape mismatch against the snapshot should fail")
+	}
+}
+
+// TestSnapshotFlagValidation covers the run()-level flag contract.
+func TestSnapshotFlagValidation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var sb safeBuilder
+	if err := run(ctx, []string{"-snapshot-interval", "5s"}, &sb); err == nil {
+		t.Fatal("-snapshot-interval without -snapshot-path should fail")
+	}
+	if err := run(ctx, []string{"-snapshot-interval", "-5s", "-snapshot-path", "x"}, &sb); err == nil {
+		t.Fatal("negative -snapshot-interval should fail")
 	}
 }

@@ -197,8 +197,15 @@ func (s *streamServer) handle(conn net.Conn) {
 			if capacity > maxSubscribeBuffer {
 				capacity = maxSubscribeBuffer
 			}
+			every := int(f.Every)
+			if every < 1 {
+				every = 1
+			}
+			if every > subhub.MaxDecimation {
+				every = subhub.MaxDecimation
+			}
 			var err error
-			sub, err = s.d.pool.Subscribe(capacity)
+			sub, err = s.d.pool.SubscribeEvery(capacity, every)
 			if err != nil {
 				_ = w.write(netgossip.Frame{Type: netgossip.FrameError, Msg: trimErr(err)})
 				return

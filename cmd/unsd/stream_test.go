@@ -300,3 +300,57 @@ func TestStreamRunFlag(t *testing.T) {
 		t.Fatal("run did not shut down")
 	}
 }
+
+// TestStreamSubscribeDecimation drives sample-every-k through the wire: a
+// decimated subscription receives roughly 1-in-k of the σ′ rate and /stats
+// reports the interval and the filtered count.
+func TestStreamSubscribeDecimation(t *testing.T) {
+	d, ln := testStreamDaemon(t, defaultOptions())
+	ts := httptest.NewServer(d.handler())
+	defer ts.Close()
+
+	c, err := client.Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	const every = 6
+	out, err := c.SubscribeEvery(4096, every)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := make([]nodesampling.NodeID, 600)
+	for i := range ids {
+		ids[i] = nodesampling.NodeID(i + 1)
+	}
+	if err := c.PushBatch(ids); err != nil {
+		t.Fatal(err)
+	}
+	// A decimated stream still flows and stays inside the population.
+	select {
+	case id := <-out:
+		if id < 1 || id > 600 {
+			t.Fatalf("stream draw %d outside the population", id)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no decimated stream data")
+	}
+	var stats struct {
+		Subscribers []struct {
+			Offered  uint64 `json:"offered"`
+			Filtered uint64 `json:"filtered"`
+			Every    int    `json:"every"`
+		} `json:"subscribers"`
+	}
+	waitFor(t, "the decimated subscription in /stats", func() bool {
+		getJSON(t, ts.URL+"/stats", &stats)
+		return len(stats.Subscribers) == 1 && stats.Subscribers[0].Filtered > 0
+	})
+	sub := stats.Subscribers[0]
+	if sub.Every != every {
+		t.Fatalf("stats report every=%d, want %d", sub.Every, every)
+	}
+	if kept := sub.Offered - sub.Filtered; kept != sub.Offered/every {
+		t.Fatalf("kept %d of %d offered, want 1 in %d", kept, sub.Offered, every)
+	}
+}

@@ -46,17 +46,42 @@
 // Service wraps a sampler with a goroutine-backed pipeline (Push/Sample/
 // Subscribe) safe for concurrent use.
 //
-// Pool is the horizontally scaled form: it partitions the input stream by a
-// salted stationary hash across N independent knowledge-free shards — each
-// with its own sketch, memory Γ and worker goroutine — and ingests batches
-// (PushBatch) so the hand-off cost is amortised over many identifiers.
-// Sample draws a shard weighted by its current |Γ|, then a uniform element
-// of it — a uniform draw over the union of the memories, preserving
-// Uniformity at the population level, while Freshness holds per shard.
-// WithDecay on a Pool runs a single global decay clock: all shards halve
-// their sketches on a shared epoch derived from the pool-wide ingest
-// count, keeping their frequency estimates comparable even when the
-// partition is momentarily skewed.
+// Pool is the horizontally scaled form: it partitions the input stream
+// across N independent knowledge-free shards — each with its own sketch,
+// memory Γ and worker goroutine — and ingests batches (PushBatch) so the
+// hand-off cost is amortised over many identifiers. The partition is an
+// epoch-versioned shard map: salted rendezvous hashing over a slot table,
+// unpredictable to an adversary (no precomputable shard-flooding), O(1)
+// per id, and stable between resizes. Sample draws a shard weighted by its
+// current |Γ|, then a uniform element of it — a uniform draw over the
+// union of the memories, preserving Uniformity at the population level,
+// while Freshness holds per shard. WithDecay on a Pool runs a single
+// global decay clock: all shards halve their sketches on a shared epoch
+// derived from the pool-wide ingest count, keeping their frequency
+// estimates comparable even when the partition is momentarily skewed.
+//
+// # The elastic plane: Resize and snapshots
+//
+// The shard set is not fixed at construction. Pool.Resize re-partitions a
+// live pool to a new shard count: a flush barrier quiesces the workers
+// (the only ingestion stall), Γ entries move to their new owners under the
+// next shard-map epoch, and sketch state follows by merging counter
+// matrices — every shard's sketch is an empty clone of one pool template,
+// so all shards share a hash family and their counters add exactly. An id
+// that moves keeps a frequency estimate within standard Count-Min error of
+// what a single global sketch would report, so the attack resistance the
+// sketch provides survives the topology change. Rendezvous monotonicity
+// keeps the movement minimal: growing moves ids only onto the new shards,
+// shrinking only off the retired ones.
+//
+// The same machinery makes the pool durable. Pool.Snapshot serialises the
+// whole plane — shard map and salt, per-shard sketches and memories, decay
+// epoch and counters — into one versioned blob, and RestorePool revives it
+// exactly: identical Γ, identical estimates, identical routing. A sampler
+// restarted this way has not forgotten the attacker frequencies it spent
+// the whole attack window learning, which is precisely the state the
+// paper's defence depends on. The blob embeds the secret partition salt;
+// store it like key material.
 //
 // # The streaming output plane
 //
@@ -69,17 +94,26 @@
 // loses the oldest buffered elements — which a sampling stream can always
 // afford, since a later draw carries the same information — and never
 // backpressures ingestion; Stats reports exact per-subscriber
-// offered/delivered/dropped accounting.
+// offered/delivered/dropped/filtered accounting. Subscriptions may opt
+// into decimation (SubscribeEvery): only every k-th draw is delivered, so
+// a modest consumer rides a fast pool at a rate it can afford — a 1-in-k
+// thinning of an i.i.d. uniform stream is itself i.i.d. uniform. Service
+// fans out through the same hub, with the same accounting and decimation,
+// at single-sampler scale.
 //
 // Use Service for a single node's modest stream, Pool when one sampler
 // cannot absorb the traffic, and the unsd daemon (cmd/unsd) to serve a
-// Pool over the network: HTTP for request/response, netgossip TCP for
+// Pool over the network: HTTP for request/response (plus POST /resize and
+// POST /snapshot admin endpoints for the elastic plane), netgossip TCP for
 // overlay ingest, and a framed bidirectional stream protocol — push id
-// batches up, receive σ′ down, one persistent connection per consumer. The
-// client package (nodesampling/client) speaks that protocol:
+// batches up, receive σ′ down, one persistent connection per consumer.
+// With -snapshot-path the daemon restores its pool at boot and persists it
+// periodically and at shutdown. The client package (nodesampling/client)
+// speaks the stream protocol, optionally surviving daemon restarts with
+// automatic backoff-and-resubscribe:
 //
-//	c, _ := client.Dial("127.0.0.1:7947")
-//	out, _ := c.Subscribe(1024)
+//	c, _ := client.DialWithOptions("127.0.0.1:7947", client.DialOptions{Reconnect: true})
+//	out, _ := c.SubscribeEvery(1024, 4) // every 4th σ′ draw
 //	c.PushBatch(ids)       // σ  upstream
 //	for id := range out {  // σ′ downstream
 //	    ...

@@ -240,10 +240,29 @@ func (sk *Sketch) Reset() {
 	sk.gMinCnt = sk.rows * sk.cols
 }
 
-// Merge adds the counters of other into sk. Both sketches must have been
-// created with the same dimensions and the same hash family to be mergeable;
-// Merge can only verify the dimensions, so callers are responsible for
-// sharing the family (e.g. by Clone).
+// SharesFamily reports whether both sketches use the same dimensions and
+// the same hash-function parameters, i.e. whether identical ids hit
+// identical counters in both. Only such sketches can be merged meaningfully:
+// summing counters accumulated under different hash families yields a matrix
+// whose minima estimate nothing.
+func (sk *Sketch) SharesFamily(other *Sketch) bool {
+	if other == nil || sk.rows != other.rows || sk.cols != other.cols {
+		return false
+	}
+	a, b := sk.hashes.Params(), other.hashes.Params()
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Merge adds the counters of other into sk. Both sketches must share the
+// same dimensions and the same hash family (SharesFamily); when every id was
+// counted by exactly one of the merged sketches, the result is bit-identical
+// to a single sketch that saw the union of their streams — the property the
+// sharded pool's resize hand-off relies on.
 func (sk *Sketch) Merge(other *Sketch) error {
 	if other == nil {
 		return fmt.Errorf("cms: merge with nil sketch")
@@ -251,6 +270,9 @@ func (sk *Sketch) Merge(other *Sketch) error {
 	if sk.rows != other.rows || sk.cols != other.cols {
 		return fmt.Errorf("cms: dimension mismatch: %dx%d vs %dx%d",
 			sk.rows, sk.cols, other.rows, other.cols)
+	}
+	if !sk.SharesFamily(other) {
+		return fmt.Errorf("cms: merge across distinct hash families")
 	}
 	for r := range sk.counts {
 		for c := range sk.counts[r] {
@@ -279,6 +301,26 @@ func (sk *Sketch) Clone() *Sketch {
 		total:   sk.total,
 		gMin:    sk.gMin,
 		gMinCnt: sk.gMinCnt,
+		scratch: make([]int, sk.rows),
+	}
+}
+
+// CloneEmpty returns a zero-counter sketch sharing sk's hash family, so the
+// clone estimates over its own stream yet remains mergeable with sk and with
+// every other clone — the construction behind the pool's per-shard sketches.
+func (sk *Sketch) CloneEmpty() *Sketch {
+	counts := make([][]uint64, sk.rows)
+	backing := make([]uint64, sk.rows*sk.cols)
+	for i := range counts {
+		counts[i], backing = backing[:sk.cols:sk.cols], backing[sk.cols:]
+	}
+	return &Sketch{
+		rows:    sk.rows,
+		cols:    sk.cols,
+		counts:  counts,
+		hashes:  sk.hashes,
+		gMin:    0,
+		gMinCnt: sk.rows * sk.cols,
 		scratch: make([]int, sk.rows),
 	}
 }

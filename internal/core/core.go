@@ -385,6 +385,36 @@ func NewKnowledgeFree(c, k, s int, r *rng.Xoshiro, opts ...Option) (*KnowledgeFr
 	}, nil
 }
 
+// NewKnowledgeFreeWithSketch creates a knowledge-free sampler around an
+// existing sketch, taking ownership of it. The sharded pool uses this to
+// give every shard an empty clone of one template sketch (a shared hash
+// family makes per-shard sketches mergeable at resize), and to revive
+// samplers from snapshots and resize hand-offs with their frequency state
+// intact.
+func NewKnowledgeFreeWithSketch(c int, sk *cms.Sketch, r *rng.Xoshiro, opts ...Option) (*KnowledgeFree, error) {
+	if c < 1 {
+		return nil, fmt.Errorf("core: memory size c must be at least 1, got %d", c)
+	}
+	if sk == nil {
+		return nil, errors.New("core: nil sketch")
+	}
+	if r == nil {
+		return nil, errors.New("core: nil random source")
+	}
+	cfg, err := buildConfig(opts)
+	if err != nil {
+		return nil, err
+	}
+	return &KnowledgeFree{
+		mem:          newGamma(c),
+		sketch:       sk,
+		r:            r,
+		evict:        cfg.eviction,
+		conservative: cfg.conservative,
+		halveEvery:   cfg.halveEvery,
+	}, nil
+}
+
 // NewKnowledgeFreeFromAccuracy creates a knowledge-free sampler whose sketch
 // is sized from the (ε, δ) accuracy targets of Algorithm 2: k = ⌈e/ε⌉ and
 // s = ⌈log₂(1/δ)⌉.
@@ -506,6 +536,29 @@ func (kf *KnowledgeFree) Memory() []uint64 { return kf.mem.snapshot() }
 
 // MemorySize returns the current |Γ| without copying the memory.
 func (kf *KnowledgeFree) MemorySize() int { return kf.mem.size() }
+
+// MemoryCap returns c, the capacity of Γ.
+func (kf *KnowledgeFree) MemoryCap() int { return kf.mem.cap }
+
+// RestoreMemory replaces Γ with the given ids (duplicates collapse; Γ is a
+// set). The resize and snapshot-restore paths use it to hand a repartitioned
+// or deserialised memory to a sampler. Fails without modifying the sampler
+// if the distinct ids exceed the capacity; callers shedding overflow must
+// choose the survivors uniformly to preserve the Uniformity argument.
+func (kf *KnowledgeFree) RestoreMemory(ids []uint64) error {
+	mem := newGamma(kf.mem.cap)
+	for _, id := range ids {
+		if mem.contains(id) {
+			continue
+		}
+		if mem.full() {
+			return fmt.Errorf("core: restoring %d distinct ids into a memory of capacity %d", len(ids), kf.mem.cap)
+		}
+		mem.add(id)
+	}
+	kf.mem = mem
+	return nil
+}
 
 // Stats returns the sampler's activity counters.
 func (kf *KnowledgeFree) Stats() Stats { return kf.stats }

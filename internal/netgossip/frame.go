@@ -41,7 +41,11 @@ const (
 	FramePushBatch FrameType = iota + 1
 	// FrameSubscribe asks the daemon to start streaming σ′ to this
 	// connection. Payload: requested buffer capacity (uint32 BE, ≥ 1; the
-	// server clamps it to its own bound).
+	// server clamps it to its own bound), optionally followed by a
+	// decimation interval (uint32 BE, ≥ 1: deliver every k-th draw only).
+	// The 4-byte form is the protocol's original encoding and means
+	// "deliver everything"; both ends accept it, so decimation is a
+	// compatible extension.
 	FrameSubscribe
 	// FrameSample requests uniform samples. Payload: count (uint32 BE, ≥ 1).
 	FrameSample
@@ -69,11 +73,13 @@ var (
 
 // Frame is one decoded protocol frame. Which fields are meaningful depends
 // on Type: IDs for PushBatch/SampleResp/StreamData, N for Subscribe/Sample,
-// Token for Ping/Pong, Msg for Error.
+// Every for Subscribe (0 and 1 both mean "deliver everything"), Token for
+// Ping/Pong, Msg for Error.
 type Frame struct {
 	Type  FrameType
 	IDs   []uint64
 	N     uint32
+	Every uint32
 	Token uint64
 	Msg   string
 }
@@ -97,6 +103,12 @@ func AppendFrame(buf []byte, f Frame) ([]byte, error) {
 			return nil, fmt.Errorf("netgossip: frame type %d requires N ≥ 1", f.Type)
 		}
 		payloadLen = 4
+		if f.Type == FrameSubscribe && f.Every > 1 {
+			// Decimation rides an extended payload; the plain 4-byte form
+			// stays on the wire for every-draw subscriptions, so old peers
+			// keep decoding it.
+			payloadLen = 8
+		}
 	case FramePing, FramePong:
 		payloadLen = 8
 	case FrameError:
@@ -116,6 +128,9 @@ func AppendFrame(buf []byte, f Frame) ([]byte, error) {
 		}
 	case FrameSubscribe, FrameSample:
 		buf = binary.BigEndian.AppendUint32(buf, f.N)
+		if f.Type == FrameSubscribe && f.Every > 1 {
+			buf = binary.BigEndian.AppendUint32(buf, f.Every)
+		}
 	case FramePing, FramePong:
 		buf = binary.BigEndian.AppendUint64(buf, f.Token)
 	case FrameError:
@@ -169,7 +184,11 @@ func ReadFrame(r io.Reader) (Frame, error) {
 		if n%8 != 0 {
 			return Frame{}, fmt.Errorf("netgossip: id payload length %d not a multiple of 8", n)
 		}
-	case FrameSubscribe, FrameSample:
+	case FrameSubscribe:
+		if n != 4 && n != 8 {
+			return Frame{}, fmt.Errorf("netgossip: subscribe payload length %d, want 4 or 8", n)
+		}
+	case FrameSample:
 		if n != 4 {
 			return Frame{}, fmt.Errorf("netgossip: frame type %d payload length %d, want 4", t, n)
 		}
@@ -199,6 +218,16 @@ func ReadFrame(r io.Reader) (Frame, error) {
 		f.N = binary.BigEndian.Uint32(payload)
 		if f.N < 1 {
 			return Frame{}, fmt.Errorf("netgossip: frame type %d requires N ≥ 1", t)
+		}
+		f.Every = 1
+		if len(payload) == 8 {
+			f.Every = binary.BigEndian.Uint32(payload[4:])
+			if f.Every < 2 {
+				// The extended payload exists only to carry a real interval;
+				// "deliver everything" has exactly one encoding (the 4-byte
+				// form), so every frame re-encodes to the bytes it arrived as.
+				return Frame{}, errors.New("netgossip: subscribe decimation interval must be ≥ 2 in the extended form")
+			}
 		}
 	case FramePing, FramePong:
 		f.Token = binary.BigEndian.Uint64(payload)

@@ -31,6 +31,7 @@ func TestFrameRoundTrip(t *testing.T) {
 		{Type: FrameSampleResp, IDs: nil}, // empty pool answer
 		{Type: FrameSampleResp, IDs: []uint64{7, 8}},
 		{Type: FrameSubscribe, N: 256},
+		{Type: FrameSubscribe, N: 256, Every: 16},
 		{Type: FrameSample, N: 10},
 		{Type: FramePing, Token: 0xdeadbeef},
 		{Type: FramePong, Token: 1},
@@ -48,6 +49,53 @@ func TestFrameRoundTrip(t *testing.T) {
 			if got.IDs[i] != f.IDs[i] {
 				t.Fatalf("round trip %+v -> %+v", f, got)
 			}
+		}
+	}
+}
+
+// TestFrameSubscribeDecimation pins the compatible extension: the every-
+// draw form keeps the original 4-byte payload, the decimated form rides 8
+// bytes, and both decode to an explicit interval (0 → 1 on the legacy
+// form; an explicit 0 in the extended form is rejected).
+func TestFrameSubscribeDecimation(t *testing.T) {
+	plain, err := AppendFrame(nil, Frame{Type: FrameSubscribe, N: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plain) != frameHeaderLen+4 {
+		t.Fatalf("plain subscribe payload %d bytes, want 4", len(plain)-frameHeaderLen)
+	}
+	got := roundTrip(t, Frame{Type: FrameSubscribe, N: 64})
+	if got.Every != 1 {
+		t.Fatalf("legacy subscribe decoded Every=%d, want 1", got.Every)
+	}
+	ext, err := AppendFrame(nil, Frame{Type: FrameSubscribe, N: 64, Every: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ext) != frameHeaderLen+8 {
+		t.Fatalf("decimated subscribe payload %d bytes, want 8", len(ext)-frameHeaderLen)
+	}
+	got = roundTrip(t, Frame{Type: FrameSubscribe, N: 64, Every: 10})
+	if got.N != 64 || got.Every != 10 {
+		t.Fatalf("decimated subscribe decoded as N=%d Every=%d", got.N, got.Every)
+	}
+	// Every == 1 also stays on the 4-byte wire form.
+	one, err := AppendFrame(nil, Frame{Type: FrameSubscribe, N: 64, Every: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(one) != frameHeaderLen+4 {
+		t.Fatalf("every=1 subscribe payload %d bytes, want 4", len(one)-frameHeaderLen)
+	}
+	// Hand-crafted extended payloads with every=0 or every=1 must be
+	// rejected: "deliver everything" has exactly one (4-byte) encoding, so
+	// the decoder stays canonical.
+	for _, every := range []byte{0, 1} {
+		bad := append([]byte(nil), ext...)
+		copy(bad[frameHeaderLen+4:], []byte{0, 0, 0, every})
+		if _, err := ReadFrame(bytes.NewReader(bad)); err == nil {
+			t.Fatalf("non-canonical extended every=%d should be rejected", every)
 		}
 	}
 }

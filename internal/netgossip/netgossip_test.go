@@ -8,7 +8,7 @@ import (
 	"testing"
 	"time"
 
-	"nodesampling/internal/core"
+	"nodesampling/internal/cms"
 	"nodesampling/internal/rng"
 	"nodesampling/internal/shard"
 )
@@ -214,12 +214,13 @@ func TestInjectFloodIsAbsorbed(t *testing.T) {
 // must answer through the sink.
 func TestPeerFeedsSink(t *testing.T) {
 	pool, err := shard.New(shard.Config{
-		Shards: 4,
-		Buffer: 16,
-		Block:  true,
-		Seed:   5,
-		NewSampler: func(r *rng.Xoshiro) (*core.KnowledgeFree, error) {
-			return core.NewKnowledgeFree(10, 8, 4, r)
+		Shards:   4,
+		Buffer:   16,
+		Block:    true,
+		Seed:     5,
+		Capacity: 10,
+		NewSketch: func(r *rng.Xoshiro) (*cms.Sketch, error) {
+			return cms.NewWithDimensions(8, 4, r)
 		},
 	})
 	if err != nil {

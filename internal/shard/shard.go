@@ -1,16 +1,29 @@
 // Package shard implements the horizontally scaled ingestion layer of the
 // node sampling service: a pool of independent knowledge-free sampler
 // shards, each owning its own Count-Min sketch, sampling memory Γ and
-// worker goroutine. The input stream is partitioned by a salted stationary
-// hash of the id, so shards never contend with each other; batch ingestion
-// amortises the channel hand-off and per-shard lock over many identifiers.
+// worker goroutine. The input stream is partitioned by an immutable,
+// epoch-versioned shard map — salted rendezvous hashing over a slot table —
+// so shards never contend with each other, every id keeps routing to one
+// stable shard between resizes, and growing or shrinking the shard set
+// moves only the minimal set of ids. Batch ingestion amortises the channel
+// hand-off and per-shard lock over many identifiers.
 //
 // Sampling draws a shard weighted by its current |Γ| and then a uniform
 // element of that shard's Γ — a uniform draw over the union of the
 // memories, preserving the paper's Uniformity property at the population
 // level while multiplying ingest throughput by the shard count. Freshness
 // is inherited per shard, since every id keeps hashing to the same shard
-// and that shard is the paper's single-stream sampler.
+// between resizes and that shard is the paper's single-stream sampler.
+//
+// The pool is elastic and durable. Resize re-partitions the live pool to a
+// new shard count behind a flush barrier: Γ entries move to their new
+// owners and sketch state follows by merging (every shard's sketch is an
+// empty clone of one template, so all shards share one hash family and
+// their counter matrices add meaningfully), keeping frequency estimates of
+// hot ids within sketch error across the hand-off. Snapshot serialises the
+// whole plane — shard map, per-shard sketches, Γ and the decay epoch —
+// into one versioned blob that Restore turns back into a live pool, so a
+// restarted daemon does not forget attacker frequencies.
 //
 // The pool also carries the paper's output surface: while at least one
 // subscription is live (Subscribe), workers draw one σ′ element per
@@ -29,22 +42,34 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"nodesampling/internal/cms"
 	"nodesampling/internal/core"
 	"nodesampling/internal/rng"
 	"nodesampling/internal/subhub"
 )
 
-// ErrPoolClosed is returned by Push, PushBatch and Flush after Close.
+// ErrPoolClosed is returned by Push, PushBatch, Flush and Resize after
+// Close.
 var ErrPoolClosed = errors.New("shard: pool closed")
 
-// MaxShards bounds a pool's shard count; the partitioner stores shard
+// MaxShards bounds a pool's shard count; the shard map stores shard
 // indices as bytes, and a pool gains nothing from more shards than any
 // realistic core count.
 const MaxShards = 256
 
+// slotBits sizes the shard map's slot table: ids hash to one of 2^slotBits
+// slots, and rendezvous hashing assigns each slot to a shard. Routing stays
+// O(1) per id regardless of the shard count, while a resize recomputes only
+// the 4096-entry table instead of rehashing ids.
+const (
+	slotBits = 12
+	numSlots = 1 << slotBits
+)
+
 // Config parameterises a Pool.
 type Config struct {
 	// Shards is the number of independent sampler shards, at most MaxShards.
+	// Ignored by Restore, where the snapshot governs.
 	Shards int
 	// Buffer is each shard's ingest queue capacity, in batches (not ids).
 	// Zero means unbuffered hand-off.
@@ -56,8 +81,20 @@ type Config struct {
 	// Seed drives the pool's private randomness; shard samplers receive
 	// independent generators split from it.
 	Seed uint64
-	// NewSampler constructs one shard's sampler from its private generator.
-	NewSampler func(r *rng.Xoshiro) (*core.KnowledgeFree, error)
+	// Capacity is c, each shard's sampling memory size. Ignored by Restore,
+	// where the snapshot governs.
+	Capacity int
+	// NewSketch constructs the pool's sketch template. Every shard's sketch
+	// is an empty clone of the template, so all shards share one hash family
+	// and their counters stay mergeable — the property the Resize hand-off
+	// and the snapshot format rely on. Optional for Restore (the snapshot
+	// carries the sketches); when provided there, it only validates that the
+	// configured shape matches the snapshot.
+	NewSketch func(r *rng.Xoshiro) (*cms.Sketch, error)
+	// CoreOptions are applied to every shard sampler (eviction policy,
+	// conservative update). Not persisted by Snapshot: Restore callers must
+	// pass the same options again.
+	CoreOptions []core.Option
 	// EmitBuffer is the capacity of the pool-level output channel, in draw
 	// batches (default 4 per shard). It bounds how far σ′ generation may run
 	// ahead of the subscription hub; overflow drops whole draw batches
@@ -71,35 +108,81 @@ type Config struct {
 	// from the pool-wide processed count) keeps them aligned. Each shard
 	// applies pending halvings at its next batch or flush barrier, i.e.
 	// before its estimates are next consulted; a Flush not racing
-	// concurrent pushes leaves all shards at the same epoch.
+	// concurrent pushes leaves every shard at the same epoch.
 	DecayEvery uint64
 }
 
-func (c Config) validate() error {
-	if c.Shards < 1 || c.Shards > MaxShards {
-		return fmt.Errorf("shard: shard count must be in [1, %d], got %d", MaxShards, c.Shards)
-	}
+// validateCommon checks the fields shared by the New and Restore paths.
+func (c Config) validateCommon() error {
 	if c.Buffer < 0 {
 		return fmt.Errorf("shard: negative buffer %d", c.Buffer)
 	}
 	if c.EmitBuffer < 0 {
 		return fmt.Errorf("shard: negative emit buffer %d", c.EmitBuffer)
 	}
-	if c.NewSampler == nil {
-		return errors.New("shard: nil sampler constructor")
+	return nil
+}
+
+func (c Config) validate() error {
+	if err := c.validateCommon(); err != nil {
+		return err
+	}
+	if c.Shards < 1 || c.Shards > MaxShards {
+		return fmt.Errorf("shard: shard count must be in [1, %d], got %d", MaxShards, c.Shards)
+	}
+	if c.Capacity < 1 {
+		return fmt.Errorf("shard: memory capacity must be at least 1, got %d", c.Capacity)
+	}
+	if c.NewSketch == nil {
+		return errors.New("shard: nil sketch constructor")
 	}
 	return nil
 }
 
-// ShardOf returns the shard index id is routed to. The id is salted with a
-// per-pool secret before mixing: a stationary public hash would let an
-// adversary mint Sybil ids that all land on one chosen shard and keep its
-// queue full (targeted suppression of that shard's honest sub-population);
-// with the salt drawn from the pool's private randomness the partition is
-// unpredictable to outsiders while every id still maps to one stable shard
-// for the pool's lifetime, preserving the per-shard Freshness argument.
+// shardMap is one immutable epoch of the partition: a rendezvous key per
+// shard and the slot table derived from the keys. Ids hash (salted) to a
+// slot; the slot's owner is the shard whose key scores highest for it.
+// Because keys keep their indices across resizes, a grown map moves slots
+// only onto the new shards and a shrunk map moves only the retired shards'
+// slots — the minimal-disruption property of rendezvous hashing, at O(1)
+// routing cost per id.
+type shardMap struct {
+	epoch uint64
+	keys  []uint64
+	table []uint8
+}
+
+func newShardMap(epoch uint64, keys []uint64) *shardMap {
+	m := &shardMap{epoch: epoch, keys: keys, table: make([]uint8, numSlots)}
+	for slot := 0; slot < numSlots; slot++ {
+		h := rng.Mix64(uint64(slot))
+		best, bestScore := 0, rng.Mix64(h^keys[0])
+		for i := 1; i < len(keys); i++ {
+			// Strict inequality: ties go to the lowest index, so the winner
+			// among a surviving prefix of keys never depends on the keys
+			// removed after it.
+			if s := rng.Mix64(h ^ keys[i]); s > bestScore {
+				best, bestScore = i, s
+			}
+		}
+		m.table[slot] = uint8(best)
+	}
+	return m
+}
+
+// owner maps a salted id hash to its shard index.
+func (m *shardMap) owner(hashed uint64) int { return int(m.table[hashed>>(64-slotBits)]) }
+
+// ShardOf returns the shard index id is routed to under the current shard
+// map. The id is salted with a per-pool secret before mixing: a stationary
+// public hash would let an adversary mint Sybil ids that all land on one
+// chosen shard and keep its queue full (targeted suppression of that
+// shard's honest sub-population); with the salt drawn from the pool's
+// private randomness the partition is unpredictable to outsiders while
+// every id still maps to one stable shard between resizes, preserving the
+// per-shard Freshness argument.
 func (p *Pool) ShardOf(id uint64) int {
-	return int(rng.Mix64(id^p.salt) % uint64(len(p.workers)))
+	return p.smap.Load().owner(rng.Mix64(id ^ p.salt))
 }
 
 // item is one unit of work on a shard queue. A nil-ids item with an ack is
@@ -129,6 +212,27 @@ type worker struct {
 	// batches plus the one in flight), and not at all once the memories
 	// are full (the steady state).
 	memSize atomic.Int64
+}
+
+// newWorker wraps a sampler in a fresh (not yet running) worker.
+func newWorker(sampler *core.KnowledgeFree, buffer int) *worker {
+	w := &worker{
+		in:      make(chan item, buffer),
+		done:    make(chan struct{}),
+		sampler: sampler,
+	}
+	w.memSize.Store(int64(sampler.MemorySize()))
+	return w
+}
+
+// recycle moves a stopped worker's sampler and counters into a fresh
+// worker, ready to be restarted after a resize.
+func (w *worker) recycle(buffer int) *worker {
+	nw := newWorker(w.sampler, buffer)
+	nw.processed.Store(w.processed.Load())
+	nw.dropped.Store(w.dropped.Load())
+	nw.halvings.Store(w.halvings.Load())
+	return nw
 }
 
 func (w *worker) run(p *Pool) {
@@ -186,9 +290,14 @@ func (w *worker) halveTo(target uint64) {
 
 // Pool is a sharded sampling pool. All methods are safe for concurrent use.
 type Pool struct {
-	cfg     Config
-	workers []*worker
-	salt    uint64 // private partition key, see ShardOf
+	cfg  Config
+	salt uint64 // private partition key, see ShardOf
+
+	// smap is the current shard map epoch. It is swapped under mu (write),
+	// but stored atomically so ShardOf and NumShards stay safe without a
+	// lock; within a mu critical section (read or write) it is consistent
+	// with workers.
+	smap atomic.Pointer[shardMap]
 
 	// The streaming output plane: workers append per-id output draws onto
 	// out (non-blocking; overflow counted in emitDropped), and the emitter
@@ -202,10 +311,17 @@ type Pool struct {
 	// clock (Config.DecayEvery).
 	decayTotal atomic.Uint64
 
-	// mu guards closed and makes channel sends safe against Close closing
-	// the shard queues: producers hold it for reading, Close for writing.
-	mu     sync.RWMutex
-	closed bool
+	// Retired shards' counters, folded into Stats totals so a shrink does
+	// not make the pool forget work it did.
+	retiredProcessed atomic.Uint64
+	retiredDropped   atomic.Uint64
+
+	// mu guards workers and closed. Producers and readers hold it for
+	// reading; Resize and Close hold it for writing, so a reader always
+	// observes a complete worker set consistent with the shard map.
+	mu      sync.RWMutex
+	workers []*worker
+	closed  bool
 
 	rmu sync.Mutex
 	r   *rng.Xoshiro
@@ -217,40 +333,54 @@ func New(cfg Config) (*Pool, error) {
 		return nil, err
 	}
 	root := rng.New(cfg.Seed)
+	template, err := cfg.NewSketch(root.Split())
+	if err != nil {
+		return nil, fmt.Errorf("shard: sketch template: %w", err)
+	}
+	p := newPoolShell(cfg, root)
+	keys := make([]uint64, cfg.Shards)
+	p.workers = make([]*worker, cfg.Shards)
+	for i := range p.workers {
+		keys[i] = root.Uint64()
+		sampler, err := core.NewKnowledgeFreeWithSketch(cfg.Capacity, template.CloneEmpty(), root.Split(), cfg.CoreOptions...)
+		if err != nil {
+			return nil, fmt.Errorf("shard %d: %w", i, err)
+		}
+		p.workers[i] = newWorker(sampler, cfg.Buffer)
+	}
+	p.smap.Store(newShardMap(0, keys))
+	p.start()
+	return p, nil
+}
+
+// newPoolShell builds the pool chassis shared by New and Restore: the hub,
+// the output channel and the private randomness. Workers and the shard map
+// are installed by the caller before start.
+func newPoolShell(cfg Config, root *rng.Xoshiro) *Pool {
 	emitBuffer := cfg.EmitBuffer
 	if emitBuffer == 0 {
 		emitBuffer = 4 * cfg.Shards
+		if emitBuffer == 0 {
+			emitBuffer = 4
+		}
 	}
-	p := &Pool{
+	return &Pool{
 		cfg:      cfg,
-		workers:  make([]*worker, cfg.Shards),
 		salt:     root.Uint64(),
 		hub:      subhub.New(),
 		out:      make(chan []uint64, emitBuffer),
 		emitDone: make(chan struct{}),
 		r:        root,
 	}
-	for i := range p.workers {
-		sampler, err := cfg.NewSampler(root.Split())
-		if err != nil {
-			// Unwind the workers already started so a failed construction
-			// leaks no goroutines.
-			for _, w := range p.workers[:i] {
-				close(w.in)
-				<-w.done
-			}
-			return nil, fmt.Errorf("shard %d: %w", i, err)
-		}
-		w := &worker{
-			in:      make(chan item, cfg.Buffer),
-			done:    make(chan struct{}),
-			sampler: sampler,
-		}
-		p.workers[i] = w
+}
+
+// start launches the shard workers and the emitter. Called once, with no
+// concurrent access possible yet.
+func (p *Pool) start() {
+	for _, w := range p.workers {
 		go w.run(p)
 	}
 	go p.emitLoop()
-	return p, nil
 }
 
 // emitLoop publishes draw batches from the pool output channel through the
@@ -283,12 +413,19 @@ func (p *Pool) emit(draws []uint64) {
 // the subscription); a slow subscriber loses the oldest buffered elements
 // rather than slowing ingestion.
 func (p *Pool) Subscribe(capacity int) (*subhub.Subscription, error) {
+	return p.SubscribeEvery(capacity, 1)
+}
+
+// SubscribeEvery is Subscribe with per-subscription decimation: only every
+// every-th σ′ draw offered to this subscription is delivered, so a modest
+// consumer can ride a fast pool without paying for draws it would discard.
+func (p *Pool) SubscribeEvery(capacity, every int) (*subhub.Subscription, error) {
 	p.mu.RLock()
 	defer p.mu.RUnlock()
 	if p.closed {
 		return nil, ErrPoolClosed
 	}
-	return p.hub.Subscribe(capacity)
+	return p.hub.SubscribeEvery(capacity, every)
 }
 
 // Unsubscribe cancels a subscription obtained from Subscribe. Nil-safe and
@@ -298,8 +435,12 @@ func (p *Pool) Unsubscribe(s *subhub.Subscription) { p.hub.Unsubscribe(s) }
 // NumSubscribers returns the number of live output-stream subscriptions.
 func (p *Pool) NumSubscribers() int { return p.hub.NumSubscribers() }
 
-// NumShards returns the pool's shard count.
-func (p *Pool) NumShards() int { return len(p.workers) }
+// NumShards returns the pool's current shard count.
+func (p *Pool) NumShards() int { return len(p.smap.Load().keys) }
+
+// Epoch returns the shard map epoch: 0 at construction, incremented by
+// every completed Resize. Restore resumes from the snapshotted epoch.
+func (p *Pool) Epoch() uint64 { return p.smap.Load().epoch }
 
 // Push feeds a single id. PushBatch is the efficient path; Push exists for
 // drop-in compatibility with single-id producers.
@@ -309,7 +450,7 @@ func (p *Pool) Push(id uint64) error {
 	if p.closed {
 		return ErrPoolClosed
 	}
-	p.send(p.ShardOf(id), []uint64{id})
+	p.send(p.smap.Load().owner(rng.Mix64(id^p.salt)), []uint64{id})
 	return nil
 }
 
@@ -323,55 +464,53 @@ func (p *Pool) PushBatch(ids []uint64) error {
 
 // PushBatchOf is PushBatch over any uint64-kind id slice (e.g. the root
 // package's NodeID), partitioning and converting in the same single copy so
-// typed callers do not pay a conversion pass first.
+// typed callers do not pay a conversion pass first. The partition runs
+// under the pool's read lock so it always agrees with the worker set even
+// when a Resize lands between two batches.
 func PushBatchOf[T ~uint64](p *Pool, ids []T) error {
 	if len(ids) == 0 {
 		return nil
-	}
-	n := len(p.workers)
-	var buckets [][]uint64
-	if n == 1 {
-		b := make([]uint64, len(ids))
-		for i, id := range ids {
-			b[i] = uint64(id)
-		}
-		buckets = [][]uint64{b}
-	} else {
-		// Counting sort into one backing array: a single allocation for the
-		// payload and contiguous per-shard sub-batches, instead of n growing
-		// append chains. The shard of each id is hashed once and remembered,
-		// so the placement pass re-reads a byte instead of re-mixing.
-		shards := make([]uint8, len(ids))
-		counts := make([]int, 2*n) // [0,n) cursors, [n,2n) starts
-		for i, id := range ids {
-			s := p.ShardOf(uint64(id))
-			shards[i] = uint8(s)
-			counts[s]++
-		}
-		sum := 0
-		for i := 0; i < n; i++ {
-			c := counts[i]
-			counts[i], counts[n+i] = sum, sum
-			sum += c
-		}
-		backing := make([]uint64, len(ids))
-		for i, id := range ids {
-			s := shards[i]
-			backing[counts[s]] = uint64(id)
-			counts[s]++
-		}
-		buckets = make([][]uint64, n)
-		for i := 0; i < n; i++ {
-			buckets[i] = backing[counts[n+i]:counts[i]:counts[i]]
-		}
 	}
 	p.mu.RLock()
 	defer p.mu.RUnlock()
 	if p.closed {
 		return ErrPoolClosed
 	}
-	for i, b := range buckets {
-		if len(b) > 0 {
+	m := p.smap.Load()
+	n := len(p.workers)
+	if n == 1 {
+		b := make([]uint64, len(ids))
+		for i, id := range ids {
+			b[i] = uint64(id)
+		}
+		p.send(0, b)
+		return nil
+	}
+	// Counting sort into one backing array: a single allocation for the
+	// payload and contiguous per-shard sub-batches, instead of n growing
+	// append chains. The shard of each id is hashed once and remembered,
+	// so the placement pass re-reads a byte instead of re-mixing.
+	shards := make([]uint8, len(ids))
+	counts := make([]int, 2*n) // [0,n) cursors, [n,2n) starts
+	for i, id := range ids {
+		s := m.owner(rng.Mix64(uint64(id) ^ p.salt))
+		shards[i] = uint8(s)
+		counts[s]++
+	}
+	sum := 0
+	for i := 0; i < n; i++ {
+		c := counts[i]
+		counts[i], counts[n+i] = sum, sum
+		sum += c
+	}
+	backing := make([]uint64, len(ids))
+	for i, id := range ids {
+		s := shards[i]
+		backing[counts[s]] = uint64(id)
+		counts[s]++
+	}
+	for i := 0; i < n; i++ {
+		if b := backing[counts[n+i]:counts[i]:counts[i]]; len(b) > 0 {
 			p.send(i, b)
 		}
 	}
@@ -392,6 +531,21 @@ func (p *Pool) send(i int, batch []uint64) {
 	}
 }
 
+// barrierLocked enqueues a flush barrier on every worker and waits for all
+// acks. The caller holds mu (read or write); workers keep draining, so the
+// enqueues cannot deadlock even on full queues.
+func barrierLocked(workers []*worker) {
+	acks := make([]chan struct{}, len(workers))
+	for i, w := range workers {
+		ch := make(chan struct{})
+		acks[i] = ch
+		w.in <- item{ack: ch}
+	}
+	for _, ch := range acks {
+		<-ch
+	}
+}
+
 // Flush blocks until every id enqueued before the call has been processed.
 // The barrier always enqueues (even under the drop policy), so Flush never
 // loses its place in a full queue. With DecayEvery set, a Flush not racing
@@ -409,16 +563,8 @@ func (p *Pool) Flush() error {
 			p.mu.RUnlock()
 			return ErrPoolClosed
 		}
-		acks := make([]chan struct{}, len(p.workers))
-		for i, w := range p.workers {
-			ch := make(chan struct{})
-			acks[i] = ch
-			w.in <- item{ack: ch}
-		}
+		barrierLocked(p.workers)
 		p.mu.RUnlock()
-		for _, ch := range acks {
-			<-ch
-		}
 	}
 	return nil
 }
@@ -449,6 +595,8 @@ func (p *Pool) sample(n int) []uint64 {
 	if n < 1 {
 		return nil
 	}
+	p.mu.RLock()
+	defer p.mu.RUnlock()
 	nw := len(p.workers)
 	sizes := make([]int64, nw)
 	var total int64
@@ -516,6 +664,8 @@ func (p *Pool) sample(n int) []uint64 {
 
 // Memory returns the concatenation of every shard's Γ snapshot.
 func (p *Pool) Memory() []uint64 {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
 	var out []uint64
 	for _, w := range p.workers {
 		w.mu.Lock()
@@ -523,6 +673,194 @@ func (p *Pool) Memory() []uint64 {
 		w.mu.Unlock()
 	}
 	return out
+}
+
+// Estimate returns the owning shard's frequency estimate f̂ for id — an
+// upper bound on how often the pool has seen it (within sketch error, and
+// subject to decay halvings). Resize hand-offs and snapshot restores
+// preserve these estimates; the tests pin that.
+func (p *Pool) Estimate(id uint64) uint64 {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	w := p.workers[p.smap.Load().owner(rng.Mix64(id^p.salt))]
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.sampler.Sketch().Estimate(id)
+}
+
+// Resize re-partitions the live pool to the given shard count. A flush
+// barrier quiesces the workers (producers briefly block on the pool lock —
+// the only ingestion stall), then Γ entries are re-partitioned to their new
+// owners under the next shard-map epoch and sketch state follows by
+// merging:
+//
+//   - Growing: surviving shards keep their sketches (their remaining ids'
+//     estimates are untouched); every new shard receives a merge of all
+//     previous sketches, which — shards sharing one hash family, every id
+//     counted by exactly one shard — equals the single global sketch over
+//     the whole stream, so a stolen id's estimate survives within standard
+//     Count-Min error.
+//   - Shrinking: retired shards' sketches are merged into every survivor,
+//     the same global-sketch argument applied to the ids they inherit;
+//     retired counters fold into the pool totals.
+//
+// A shard whose re-partitioned Γ exceeds its capacity sheds uniformly
+// chosen ids (possible only when shrinking reduces total memory). Resizing
+// to the current count is a no-op. Concurrent Sample/Stats/Memory calls
+// block for the duration; queued batches are fully processed first, and no
+// pushed id is ever lost to a resize.
+func (p *Pool) Resize(shards int) error {
+	if shards < 1 || shards > MaxShards {
+		return fmt.Errorf("shard: shard count must be in [1, %d], got %d", MaxShards, shards)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return ErrPoolClosed
+	}
+	old := p.workers
+	if shards == len(old) {
+		return nil
+	}
+	// Quiesce: with producers excluded by the write lock, one barrier round
+	// drains every queue (two under decay, aligning all shards on the final
+	// global epoch), after which the workers are stopped and their samplers
+	// are exclusively ours.
+	rounds := 1
+	if p.cfg.DecayEvery > 0 {
+		rounds = 2
+	}
+	for r := 0; r < rounds; r++ {
+		barrierLocked(old)
+	}
+	for _, w := range old {
+		close(w.in)
+	}
+	for _, w := range old {
+		<-w.done
+	}
+
+	p.rmu.Lock()
+	resizeRng := p.r.Split()
+	p.rmu.Unlock()
+	oldMap := p.smap.Load()
+	grow := shards > len(old)
+	keys := append([]uint64(nil), oldMap.keys...)
+	if grow {
+		for len(keys) < shards {
+			keys = append(keys, resizeRng.Uint64())
+		}
+	} else {
+		keys = keys[:shards]
+	}
+	newMap := newShardMap(oldMap.epoch+1, keys)
+
+	// Γ re-partition: every remembered id moves to its owner under the new
+	// map (rendezvous monotonicity means ids only move onto new shards on a
+	// grow, and only off retired shards on a shrink).
+	parts := make([][]uint64, shards)
+	for _, w := range old {
+		for _, id := range w.sampler.Memory() {
+			s := newMap.owner(rng.Mix64(id ^ p.salt))
+			parts[s] = append(parts[s], id)
+		}
+	}
+
+	workers := make([]*worker, shards)
+	if grow {
+		merged := old[0].sampler.Sketch().Clone()
+		for _, w := range old[1:] {
+			if err := merged.Merge(w.sampler.Sketch()); err != nil {
+				p.restartWorkers(recycleAll(old, p.cfg.Buffer))
+				return fmt.Errorf("shard: resize sketch hand-off: %w", err)
+			}
+		}
+		for i := range workers {
+			if i < len(old) {
+				workers[i] = old[i].recycle(p.cfg.Buffer)
+				continue
+			}
+			sampler, err := core.NewKnowledgeFreeWithSketch(p.cfg.Capacity, merged.Clone(), resizeRng.Split(), p.cfg.CoreOptions...)
+			if err != nil {
+				p.restartWorkers(recycleAll(old, p.cfg.Buffer))
+				return fmt.Errorf("shard: resize sampler: %w", err)
+			}
+			w := newWorker(sampler, p.cfg.Buffer)
+			w.halvings.Store(old[0].halvings.Load())
+			workers[i] = w
+		}
+	} else {
+		for i := 0; i < shards; i++ {
+			workers[i] = old[i].recycle(p.cfg.Buffer)
+		}
+		// Accumulate the retired sketches once, then fold the accumulator
+		// into each survivor: retired+survivors merge passes instead of
+		// retired×survivors, bit-identical since counter addition is
+		// associative.
+		retired := old[shards:]
+		acc := retired[0].sampler.Sketch().Clone()
+		for _, w := range retired[1:] {
+			if err := acc.Merge(w.sampler.Sketch()); err != nil {
+				p.restartWorkers(recycleAll(old, p.cfg.Buffer))
+				return fmt.Errorf("shard: resize sketch hand-off: %w", err)
+			}
+		}
+		for i := 0; i < shards; i++ {
+			if err := workers[i].sampler.Sketch().Merge(acc); err != nil {
+				p.restartWorkers(recycleAll(old, p.cfg.Buffer))
+				return fmt.Errorf("shard: resize sketch hand-off: %w", err)
+			}
+		}
+		for _, w := range retired {
+			p.retiredProcessed.Add(w.processed.Load())
+			p.retiredDropped.Add(w.dropped.Load())
+		}
+	}
+	for i, w := range workers {
+		ids := parts[i]
+		if len(ids) > p.cfg.Capacity {
+			// Shed overflow uniformly: a partial Fisher-Yates keeps each id
+			// with equal probability, so the survivor set is a uniform
+			// subset and the stationary uniformity argument is undisturbed.
+			for j := 0; j < p.cfg.Capacity; j++ {
+				k := j + resizeRng.Intn(len(ids)-j)
+				ids[j], ids[k] = ids[k], ids[j]
+			}
+			ids = ids[:p.cfg.Capacity]
+		}
+		if err := w.sampler.RestoreMemory(ids); err != nil {
+			p.restartWorkers(recycleAll(old, p.cfg.Buffer))
+			return fmt.Errorf("shard: resize memory hand-off: %w", err)
+		}
+		w.memSize.Store(int64(w.sampler.MemorySize()))
+	}
+	p.workers = workers
+	p.smap.Store(newMap)
+	for _, w := range workers {
+		go w.run(p)
+	}
+	return nil
+}
+
+// recycleAll recycles a stopped worker set wholesale (failure-recovery
+// path: relaunch the previous plane untouched).
+func recycleAll(old []*worker, buffer int) []*worker {
+	out := make([]*worker, len(old))
+	for i, w := range old {
+		out[i] = w.recycle(buffer)
+	}
+	return out
+}
+
+// restartWorkers installs and launches ws as the pool's worker set. The
+// caller holds mu for writing. Only reachable on resize failure paths that
+// cannot occur with pools built by New/Restore (shared sketch families),
+// but kept so even an invariant breach leaves a functioning pool.
+func (p *Pool) restartWorkers(ws []*worker) {
+	p.workers = ws
+	for _, w := range ws {
+		go w.run(p)
+	}
 }
 
 // ShardStats is one shard's activity snapshot.
@@ -537,16 +875,22 @@ type ShardStats struct {
 // Stats is a whole-pool activity snapshot.
 type Stats struct {
 	Shards      []ShardStats
-	Processed   uint64 // sum over shards
-	Dropped     uint64 // sum over shards
+	Epoch       uint64 // shard map epoch (increments per Resize)
+	Processed   uint64 // sum over shards, including shards retired by Resize
+	Dropped     uint64 // sum over shards, including shards retired by Resize
 	EmitDropped uint64 // σ′ draws lost because the emitter lagged the shards
 	Subscribers []subhub.SubStats
 }
 
 // Stats returns a snapshot of per-shard and aggregate counters.
 func (p *Pool) Stats() Stats {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
 	st := Stats{
 		Shards:      make([]ShardStats, len(p.workers)),
+		Epoch:       p.smap.Load().epoch,
+		Processed:   p.retiredProcessed.Load(),
+		Dropped:     p.retiredDropped.Load(),
 		EmitDropped: p.emitDropped.Load(),
 		Subscribers: p.hub.Stats(),
 	}
@@ -579,8 +923,9 @@ func (p *Pool) Close() error {
 	for _, w := range p.workers {
 		close(w.in)
 	}
+	workers := p.workers
 	p.mu.Unlock()
-	for _, w := range p.workers {
+	for _, w := range workers {
 		<-w.done
 	}
 	// All workers have exited, so nothing can send on the output channel

@@ -6,22 +6,32 @@ import (
 	"testing"
 	"time"
 
-	"nodesampling/internal/core"
+	"nodesampling/internal/cms"
 	"nodesampling/internal/metrics"
 	"nodesampling/internal/rng"
 )
 
+// sketchMaker returns a NewSketch hook for a k×s sketch.
+func sketchMaker(k, s int) func(r *rng.Xoshiro) (*cms.Sketch, error) {
+	return func(r *rng.Xoshiro) (*cms.Sketch, error) {
+		return cms.NewWithDimensions(k, s, r)
+	}
+}
+
+func testConfig(shards, c, k, s int, block bool, buffer int) Config {
+	return Config{
+		Shards:    shards,
+		Buffer:    buffer,
+		Block:     block,
+		Seed:      uint64(shards)*1000 + 7,
+		Capacity:  c,
+		NewSketch: sketchMaker(k, s),
+	}
+}
+
 func newTestPool(t *testing.T, shards, c, k, s int, block bool, buffer int) *Pool {
 	t.Helper()
-	p, err := New(Config{
-		Shards: shards,
-		Buffer: buffer,
-		Block:  block,
-		Seed:   uint64(shards)*1000 + 7,
-		NewSampler: func(r *rng.Xoshiro) (*core.KnowledgeFree, error) {
-			return core.NewKnowledgeFree(c, k, s, r)
-		},
-	})
+	p, err := New(testConfig(shards, c, k, s, block, buffer))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -30,39 +40,26 @@ func newTestPool(t *testing.T, shards, c, k, s int, block bool, buffer int) *Poo
 }
 
 func TestConfigValidation(t *testing.T) {
-	mk := func(r *rng.Xoshiro) (*core.KnowledgeFree, error) {
-		return core.NewKnowledgeFree(5, 8, 4, r)
-	}
+	mk := sketchMaker(8, 4)
 	bad := []Config{
-		{Shards: 0, NewSampler: mk},
-		{Shards: MaxShards + 1, NewSampler: mk},
-		{Shards: 2, Buffer: -1, NewSampler: mk},
-		{Shards: 2},
+		{Shards: 0, Capacity: 5, NewSketch: mk},
+		{Shards: MaxShards + 1, Capacity: 5, NewSketch: mk},
+		{Shards: 2, Buffer: -1, Capacity: 5, NewSketch: mk},
+		{Shards: 2, Capacity: 0, NewSketch: mk},
+		{Shards: 2, Capacity: 5},
 	}
 	for i, cfg := range bad {
 		if _, err := New(cfg); err == nil {
 			t.Errorf("config %d should fail", i)
 		}
 	}
-	// A failing sampler constructor must surface with the shard index.
-	_, err := New(Config{Shards: 3, NewSampler: func(r *rng.Xoshiro) (*core.KnowledgeFree, error) {
-		return core.NewKnowledgeFree(0, 8, 4, r)
+	// A failing sketch constructor must propagate without leaking workers
+	// (run under -race / goroutine-leak checks).
+	_, err := New(Config{Shards: 3, Capacity: 5, NewSketch: func(r *rng.Xoshiro) (*cms.Sketch, error) {
+		return nil, errors.New("boom")
 	}})
 	if err == nil {
-		t.Fatal("failing constructor should propagate")
-	}
-	// A constructor failing after some shards started must unwind the
-	// already-running workers (run under -race / goroutine-leak checks).
-	calls := 0
-	_, err = New(Config{Shards: 4, NewSampler: func(r *rng.Xoshiro) (*core.KnowledgeFree, error) {
-		calls++
-		if calls > 2 {
-			return nil, errors.New("boom")
-		}
-		return core.NewKnowledgeFree(5, 8, 4, r)
-	}})
-	if err == nil {
-		t.Fatal("mid-construction failure should propagate")
+		t.Fatal("failing sketch constructor should propagate")
 	}
 }
 
@@ -88,9 +85,7 @@ func TestShardPartitionIsSalted(t *testing.T) {
 	mk := func(seed uint64) *Pool {
 		p, err := New(Config{
 			Shards: 8, Buffer: 4, Block: true, Seed: seed,
-			NewSampler: func(r *rng.Xoshiro) (*core.KnowledgeFree, error) {
-				return core.NewKnowledgeFree(5, 8, 4, r)
-			},
+			Capacity: 5, NewSketch: sketchMaker(8, 4),
 		})
 		if err != nil {
 			t.Fatal(err)

@@ -1,0 +1,258 @@
+package shard
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"nodesampling/internal/cms"
+	"nodesampling/internal/core"
+	"nodesampling/internal/rng"
+)
+
+// Snapshot blob layout, version 1 (all integers big-endian):
+//
+//	magic "UNSS" | version (uint32)
+//	salt | epoch | decayTotal | retiredProcessed | retiredDropped (uint64 each)
+//	capacity (uint32) | shards (uint32)
+//	shards × shard records:
+//	    key | halvings | processed | dropped   (uint64 each)
+//	    gammaLen (uint32) | gammaLen × id (uint64)
+//	    sketchLen (uint32) | sketch blob (cms.Sketch.MarshalBinary)
+//
+// The blob is self-contained: it carries the shard map (keys + epoch), the
+// private partition salt, every shard's Γ and serialised sketch, and the
+// global decay clock, so Restore rebuilds the exact partition — every id
+// keeps routing to the shard whose sketch counted it, and frequency
+// estimates resume bit-identical. The salt is a secret (it hides the
+// partition from adversaries), so treat snapshot files like key material.
+const (
+	snapshotMagic   = "UNSS"
+	snapshotVersion = 1
+)
+
+// Snapshot serialises the pool — shard map, per-shard sketches and Γ,
+// decay epoch and aggregate counters — into one versioned blob for
+// Restore. Each shard is captured under its own lock, so a snapshot taken
+// during live ingest is internally consistent per shard but may split a
+// cross-shard batch; quiesce with Flush first when an exact cut matters.
+// Snapshot works on a closed pool too (a daemon's final snapshot).
+func (p *Pool) Snapshot() ([]byte, error) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	m := p.smap.Load()
+	buf := make([]byte, 0, 1<<16)
+	buf = append(buf, snapshotMagic...)
+	buf = binary.BigEndian.AppendUint32(buf, snapshotVersion)
+	buf = binary.BigEndian.AppendUint64(buf, p.salt)
+	buf = binary.BigEndian.AppendUint64(buf, m.epoch)
+	buf = binary.BigEndian.AppendUint64(buf, p.decayTotal.Load())
+	buf = binary.BigEndian.AppendUint64(buf, p.retiredProcessed.Load())
+	buf = binary.BigEndian.AppendUint64(buf, p.retiredDropped.Load())
+	buf = binary.BigEndian.AppendUint32(buf, uint32(p.cfg.Capacity))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(p.workers)))
+	for i, w := range p.workers {
+		w.mu.Lock()
+		mem := w.sampler.Memory()
+		skBlob, err := w.sampler.Sketch().MarshalBinary()
+		// Counters are captured under the same lock as the sketch: halvings
+		// in particular must describe exactly this sketch state, or a decay
+		// epoch crossed between the two reads would be skipped after
+		// Restore, leaving the shard's estimates ~2× its peers forever.
+		halvings := w.halvings.Load()
+		processed := w.processed.Load()
+		dropped := w.dropped.Load()
+		w.mu.Unlock()
+		if err != nil {
+			return nil, fmt.Errorf("shard %d: marshal sketch: %w", i, err)
+		}
+		buf = binary.BigEndian.AppendUint64(buf, m.keys[i])
+		buf = binary.BigEndian.AppendUint64(buf, halvings)
+		buf = binary.BigEndian.AppendUint64(buf, processed)
+		buf = binary.BigEndian.AppendUint64(buf, dropped)
+		buf = binary.BigEndian.AppendUint32(buf, uint32(len(mem)))
+		for _, id := range mem {
+			buf = binary.BigEndian.AppendUint64(buf, id)
+		}
+		buf = binary.BigEndian.AppendUint32(buf, uint32(len(skBlob)))
+		buf = append(buf, skBlob...)
+	}
+	return buf, nil
+}
+
+// snapshotReader is a bounds-checked cursor over a snapshot blob.
+type snapshotReader struct {
+	data []byte
+	off  int
+}
+
+func (r *snapshotReader) u32() (uint32, error) {
+	if r.off+4 > len(r.data) {
+		return 0, errors.New("shard: truncated snapshot")
+	}
+	v := binary.BigEndian.Uint32(r.data[r.off:])
+	r.off += 4
+	return v, nil
+}
+
+func (r *snapshotReader) u64() (uint64, error) {
+	if r.off+8 > len(r.data) {
+		return 0, errors.New("shard: truncated snapshot")
+	}
+	v := binary.BigEndian.Uint64(r.data[r.off:])
+	r.off += 8
+	return v, nil
+}
+
+func (r *snapshotReader) bytes(n int) ([]byte, error) {
+	if n < 0 || r.off+n > len(r.data) {
+		return nil, errors.New("shard: truncated snapshot")
+	}
+	b := r.data[r.off : r.off+n]
+	r.off += n
+	return b, nil
+}
+
+// Restore rebuilds a live pool from a Snapshot blob. The snapshot governs
+// the shard count, memory capacity, shard map and sketches (cfg.Shards and
+// cfg.Capacity are ignored); cfg supplies everything a snapshot does not
+// persist — queueing, backpressure, decay period, core options and fresh
+// randomness. When cfg.NewSketch is set it is used only to validate that
+// the configured sketch shape matches the snapshot, so a daemon restarted
+// with different flags fails loudly instead of serving surprising
+// estimates.
+func Restore(cfg Config, data []byte) (*Pool, error) {
+	if err := cfg.validateCommon(); err != nil {
+		return nil, err
+	}
+	r := &snapshotReader{data: data}
+	magic, err := r.bytes(4)
+	if err != nil {
+		return nil, err
+	}
+	if string(magic) != snapshotMagic {
+		return nil, errors.New("shard: bad magic, not a pool snapshot")
+	}
+	version, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	if version != snapshotVersion {
+		return nil, fmt.Errorf("shard: unsupported snapshot version %d", version)
+	}
+	var hdr [5]uint64
+	for i := range hdr {
+		if hdr[i], err = r.u64(); err != nil {
+			return nil, err
+		}
+	}
+	salt, epoch, decayTotal, retProcessed, retDropped := hdr[0], hdr[1], hdr[2], hdr[3], hdr[4]
+	capacity32, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	shards32, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	capacity := int(capacity32)
+	shards := int(shards32)
+	// Sanity bounds before any capacity- or length-derived allocation: a
+	// corrupt (or hostile) blob must fail with a clean error, not an OOM —
+	// the same discipline as the wire decoders.
+	const maxSnapshotCapacity = 1 << 20
+	if capacity < 1 || capacity > maxSnapshotCapacity {
+		return nil, fmt.Errorf("shard: snapshot memory capacity %d outside [1, %d]", capacity, maxSnapshotCapacity)
+	}
+	if shards < 1 || shards > MaxShards {
+		return nil, fmt.Errorf("shard: snapshot shard count %d outside [1, %d]", shards, MaxShards)
+	}
+
+	root := rng.New(cfg.Seed)
+	var template *cms.Sketch
+	if cfg.NewSketch != nil {
+		if template, err = cfg.NewSketch(root.Split()); err != nil {
+			return nil, fmt.Errorf("shard: sketch template: %w", err)
+		}
+	}
+
+	keys := make([]uint64, shards)
+	workers := make([]*worker, shards)
+	var family *cms.Sketch
+	for i := 0; i < shards; i++ {
+		if keys[i], err = r.u64(); err != nil {
+			return nil, err
+		}
+		var counters [3]uint64
+		for j := range counters {
+			if counters[j], err = r.u64(); err != nil {
+				return nil, err
+			}
+		}
+		gammaLen, err := r.u32()
+		if err != nil {
+			return nil, err
+		}
+		if int(gammaLen) > capacity {
+			return nil, fmt.Errorf("shard %d: snapshot Γ of %d exceeds capacity %d", i, gammaLen, capacity)
+		}
+		if 8*int(gammaLen) > len(r.data)-r.off {
+			return nil, errors.New("shard: truncated snapshot")
+		}
+		mem := make([]uint64, gammaLen)
+		for j := range mem {
+			if mem[j], err = r.u64(); err != nil {
+				return nil, err
+			}
+		}
+		skLen, err := r.u32()
+		if err != nil {
+			return nil, err
+		}
+		skBlob, err := r.bytes(int(skLen))
+		if err != nil {
+			return nil, err
+		}
+		sk := new(cms.Sketch)
+		if err := sk.UnmarshalBinary(skBlob); err != nil {
+			return nil, fmt.Errorf("shard %d: %w", i, err)
+		}
+		if family == nil {
+			family = sk
+			if template != nil && (template.Rows() != sk.Rows() || template.Cols() != sk.Cols()) {
+				return nil, fmt.Errorf("shard: configured sketch %dx%d does not match snapshot %dx%d",
+					template.Cols(), template.Rows(), sk.Cols(), sk.Rows())
+			}
+		} else if !family.SharesFamily(sk) {
+			// Mixed families would make every later Resize merge garbage.
+			return nil, fmt.Errorf("shard %d: snapshot sketch hash family differs from shard 0", i)
+		}
+		sampler, err := core.NewKnowledgeFreeWithSketch(capacity, sk, root.Split(), cfg.CoreOptions...)
+		if err != nil {
+			return nil, fmt.Errorf("shard %d: %w", i, err)
+		}
+		if err := sampler.RestoreMemory(mem); err != nil {
+			return nil, fmt.Errorf("shard %d: %w", i, err)
+		}
+		w := newWorker(sampler, cfg.Buffer)
+		w.halvings.Store(counters[0])
+		w.processed.Store(counters[1])
+		w.dropped.Store(counters[2])
+		workers[i] = w
+	}
+	if r.off != len(data) {
+		return nil, fmt.Errorf("shard: %d trailing bytes after snapshot", len(data)-r.off)
+	}
+
+	cfg.Shards = shards // sizes the default emit buffer
+	cfg.Capacity = capacity
+	p := newPoolShell(cfg, root)
+	p.salt = salt
+	p.workers = workers
+	p.smap.Store(newShardMap(epoch, keys))
+	p.decayTotal.Store(decayTotal)
+	p.retiredProcessed.Store(retProcessed)
+	p.retiredDropped.Store(retDropped)
+	p.start()
+	return p, nil
+}

@@ -5,7 +5,6 @@ import (
 	"testing"
 	"time"
 
-	"nodesampling/internal/core"
 	"nodesampling/internal/rng"
 )
 
@@ -131,9 +130,8 @@ func TestGlobalDecayClock(t *testing.T) {
 		Block:      true,
 		Seed:       99,
 		DecayEvery: decayEvery,
-		NewSampler: func(r *rng.Xoshiro) (*core.KnowledgeFree, error) {
-			return core.NewKnowledgeFree(10, 16, 4, r)
-		},
+		Capacity:   10,
+		NewSketch:  sketchMaker(16, 4),
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -174,9 +172,8 @@ func TestGlobalDecayClockConcurrent(t *testing.T) {
 		Block:      true,
 		Seed:       123,
 		DecayEvery: decayEvery,
-		NewSampler: func(r *rng.Xoshiro) (*core.KnowledgeFree, error) {
-			return core.NewKnowledgeFree(10, 16, 4, r)
-		},
+		Capacity:   10,
+		NewSketch:  sketchMaker(16, 4),
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -227,9 +224,8 @@ func TestDecayStillUnbiases(t *testing.T) {
 		Block:      true,
 		Seed:       7,
 		DecayEvery: 500,
-		NewSampler: func(r *rng.Xoshiro) (*core.KnowledgeFree, error) {
-			return core.NewKnowledgeFree(8, 12, 4, r)
-		},
+		Capacity:   8,
+		NewSketch:  sketchMaker(12, 4),
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -12,10 +12,16 @@
 // stream elements (which a sampling stream can always afford: a later draw
 // carries the same information) rather than stalling the pipeline.
 //
+// Subscriptions may opt into decimation (SubscribeEvery): only every k-th
+// offered id enters the ring, so a modest consumer rides a fast hub
+// without paying for draws it would discard.
+//
 // Accounting is exact: every id offered to a subscription is eventually
-// counted as delivered (handed to the delivery channel) or dropped
-// (overwritten in the ring, or discarded at cancellation), so
-// Offered == Delivered + Dropped once a subscription has been cancelled.
+// counted as delivered (handed to the delivery channel), dropped
+// (overwritten in the ring, or discarded at cancellation) or filtered
+// (thinned away by the decimation interval), so
+// Offered == Delivered + Dropped + Filtered once a subscription has been
+// cancelled.
 package subhub
 
 import (
@@ -32,6 +38,10 @@ var ErrHubClosed = errors.New("subhub: hub closed")
 // network daemon must not let one Subscribe request pin an arbitrary
 // allocation.
 const MaxSubscriptionBuffer = 1 << 20
+
+// MaxDecimation bounds a subscription's sample-every-k interval; beyond it
+// a subscriber is asking for practically no stream at all.
+const MaxDecimation = 1 << 20
 
 // Hub fans the output stream out to its current subscribers. All methods
 // are safe for concurrent use. A Hub is created with New and released with
@@ -60,8 +70,22 @@ func (h *Hub) NumSubscribers() int { return int(h.active.Load()) }
 // Subscribe registers a new subscriber with a ring buffer (and delivery
 // channel) of the given capacity, in ids.
 func (h *Hub) Subscribe(capacity int) (*Subscription, error) {
+	return h.SubscribeEvery(capacity, 1)
+}
+
+// SubscribeEvery is Subscribe with per-subscription decimation: only every
+// every-th id offered to this subscription enters its ring (the rest are
+// counted as filtered, not dropped). Decimation lets a modest consumer
+// ride a fast hub without paying — in buffering or in drops — for stream
+// elements it would discard anyway; because the retained draws are a
+// deterministic 1-in-k thinning of an i.i.d. uniform stream, they are
+// themselves i.i.d. uniform. every == 1 delivers everything.
+func (h *Hub) SubscribeEvery(capacity, every int) (*Subscription, error) {
 	if capacity < 1 || capacity > MaxSubscriptionBuffer {
 		return nil, fmt.Errorf("subhub: subscription capacity must be in [1, %d], got %d", MaxSubscriptionBuffer, capacity)
+	}
+	if every < 1 || every > MaxDecimation {
+		return nil, fmt.Errorf("subhub: decimation interval must be in [1, %d], got %d", MaxDecimation, every)
 	}
 	h.mu.Lock()
 	if h.closed {
@@ -72,6 +96,7 @@ func (h *Hub) Subscribe(capacity int) (*Subscription, error) {
 	s := &Subscription{
 		id:       h.nextID,
 		hub:      h,
+		every:    uint64(every),
 		ring:     make([]uint64, capacity),
 		out:      make(chan uint64, capacity),
 		wake:     make(chan struct{}, 1),
@@ -113,8 +138,10 @@ type SubStats struct {
 	Offered   uint64 // ids published while this subscription was live
 	Delivered uint64 // ids handed to the delivery channel
 	Dropped   uint64 // ids overwritten in the ring or discarded at cancel
+	Filtered  uint64 // ids thinned away by the decimation interval
 	Capacity  int    // ring capacity
 	Depth     int    // ids buffered and not yet consumed (ring + channel)
+	Every     int    // decimation interval (1 delivers everything)
 }
 
 // Stats returns a snapshot of every live subscription's counters.
@@ -181,9 +208,15 @@ type Subscription struct {
 	closed bool
 	wake   chan struct{} // capacity 1: at-least-once data signal for the pump
 
+	// every is the decimation interval; seen counts offered ids modulo it
+	// (guarded by mu, like the ring it feeds).
+	every uint64
+	seen  uint64
+
 	offered   atomic.Uint64
 	delivered atomic.Uint64
 	dropped   atomic.Uint64
+	filtered  atomic.Uint64
 }
 
 // ID returns the hub-assigned subscription identifier.
@@ -209,17 +242,22 @@ func (s *Subscription) Delivered() uint64 { return s.delivered.Load() }
 // any discarded at cancellation).
 func (s *Subscription) Dropped() uint64 { return s.dropped.Load() }
 
-// Cancel detaches the subscription from the hub, discards (and counts) any
-// undelivered ids, and closes the delivery channel. Idempotent and safe to
-// call concurrently with Publish.
+// Filtered returns how many ids the decimation interval thinned away.
+func (s *Subscription) Filtered() uint64 { return s.filtered.Load() }
+
+// Every returns the subscription's decimation interval.
+func (s *Subscription) Every() int { return int(s.every) }
+
+// Cancel detaches the subscription from the hub and closes the delivery
+// channel. Ids already buffered are flushed into the channel as far as its
+// capacity allows — without ever blocking — and the remainder is counted
+// as dropped, so Offered == Delivered + Dropped + Filtered holds after
+// cancellation and a consumer that kept up loses nothing to the shutdown.
+// Idempotent and safe to call concurrently with Publish.
 func (s *Subscription) Cancel() {
 	s.cancelOnce.Do(func() {
 		s.mu.Lock()
-		s.closed = true
-		// The ring remainder will never be delivered; account for it now so
-		// Offered == Delivered + Dropped holds after cancellation.
-		s.dropped.Add(uint64(s.size))
-		s.size = 0
+		s.closed = true // no further offers enter the ring
 		s.mu.Unlock()
 		close(s.done)
 		s.hub.remove(s)
@@ -237,8 +275,16 @@ func (s *Subscription) offer(ids []uint64) {
 	}
 	s.offered.Add(uint64(len(ids)))
 	n := len(s.ring)
-	var dropped uint64
+	var dropped, filtered uint64
 	for _, id := range ids {
+		if s.every > 1 {
+			s.seen++
+			if s.seen < s.every {
+				filtered++
+				continue
+			}
+			s.seen = 0
+		}
 		if s.size == n {
 			s.ring[s.head] = id
 			s.head++
@@ -258,6 +304,9 @@ func (s *Subscription) offer(ids []uint64) {
 	if dropped > 0 {
 		s.dropped.Add(dropped)
 	}
+	if filtered > 0 {
+		s.filtered.Add(filtered)
+	}
 	s.mu.Unlock()
 	select {
 	case s.wake <- struct{}{}:
@@ -265,13 +314,12 @@ func (s *Subscription) offer(ids []uint64) {
 	}
 }
 
-// take moves the ring contents into buf. Empty after Cancel.
+// take moves the ring contents into buf. The pump keeps calling it after
+// Cancel to flush what was buffered before the cut (offers stop at Cancel,
+// so the drain terminates).
 func (s *Subscription) take(buf []uint64) []uint64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.closed {
-		return buf
-	}
 	n := len(s.ring)
 	for i := 0; i < s.size; i++ {
 		buf = append(buf, s.ring[s.head])
@@ -284,8 +332,10 @@ func (s *Subscription) take(buf []uint64) []uint64 {
 	return buf
 }
 
-// pump moves ids from the ring to the delivery channel until cancellation.
-// It is the only sender on out, so it alone closes it.
+// pump moves ids from the ring to the delivery channel until cancellation,
+// then flushes the remainder non-blockingly (the channel buffer is the
+// last stop a cancelled subscription's ids can still reach). It is the
+// only sender on out, so it alone closes it.
 func (s *Subscription) pump() {
 	defer close(s.pumpDone)
 	defer close(s.out)
@@ -297,6 +347,7 @@ func (s *Subscription) pump() {
 			case <-s.wake:
 				continue
 			case <-s.done:
+				s.flush(s.take(buf[:0]))
 				return
 			}
 		}
@@ -305,13 +356,33 @@ func (s *Subscription) pump() {
 			case s.out <- id:
 				s.delivered.Add(1)
 			case <-s.done:
-				// The rest of this chunk was taken out of the ring before
-				// cancellation accounted for it; count it here.
-				s.dropped.Add(uint64(len(buf) - i))
+				// Deliver what still fits — first the rest of this chunk,
+				// then whatever remains in the ring — and drop the rest.
+				if s.flush(buf[i:]) {
+					s.flush(s.take(buf[:0]))
+				} else {
+					s.dropped.Add(uint64(len(s.take(buf[:0]))))
+				}
 				return
 			}
 		}
 	}
+}
+
+// flush performs the post-cancellation hand-off: non-blocking sends into
+// the delivery channel's remaining buffer, counting what does not fit as
+// dropped. Reports whether everything fit.
+func (s *Subscription) flush(ids []uint64) bool {
+	for i, id := range ids {
+		select {
+		case s.out <- id:
+			s.delivered.Add(1)
+		default:
+			s.dropped.Add(uint64(len(ids) - i))
+			return false
+		}
+	}
+	return true
 }
 
 // stats snapshots the counters; the caller holds the hub lock. Depth spans
@@ -326,7 +397,9 @@ func (s *Subscription) stats() SubStats {
 		Offered:   s.offered.Load(),
 		Delivered: s.delivered.Load(),
 		Dropped:   s.dropped.Load(),
+		Filtered:  s.filtered.Load(),
 		Capacity:  len(s.ring),
 		Depth:     depth,
+		Every:     int(s.every),
 	}
 }

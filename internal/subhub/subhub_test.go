@@ -139,6 +139,95 @@ func TestAccountingExact(t *testing.T) {
 	}
 }
 
+// TestDecimation pins SubscribeEvery: exactly one in k offered ids reaches
+// the subscriber, the rest are counted as filtered, and the cancellation
+// accounting identity gains the filtered term.
+func TestDecimation(t *testing.T) {
+	h := New()
+	defer h.Close()
+	if _, err := h.SubscribeEvery(8, 0); err == nil {
+		t.Error("every=0 should fail")
+	}
+	if _, err := h.SubscribeEvery(8, MaxDecimation+1); err == nil {
+		t.Error("every beyond MaxDecimation should fail")
+	}
+	const every = 5
+	s, err := h.SubscribeEvery(1024, every)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Every() != every {
+		t.Fatalf("Every() = %d", s.Every())
+	}
+	const total = 1000
+	batch := make([]uint64, 20)
+	for round := 0; round < total/len(batch); round++ {
+		for i := range batch {
+			batch[i] = uint64(round*len(batch) + i + 1)
+		}
+		h.Publish(batch)
+	}
+	// The retained ids are exactly every 5th of the offered sequence.
+	var got []uint64
+	deadline := time.After(5 * time.Second)
+	for len(got) < total/every {
+		select {
+		case id := <-s.C():
+			got = append(got, id)
+		case <-deadline:
+			t.Fatalf("received %d decimated ids, want %d", len(got), total/every)
+		}
+	}
+	for i, id := range got {
+		if want := uint64((i + 1) * every); id != want {
+			t.Fatalf("decimated element %d = %d, want %d", i, id, want)
+		}
+	}
+	s.Cancel()
+	if s.Offered() != total {
+		t.Fatalf("offered %d, want %d", s.Offered(), total)
+	}
+	if s.Filtered() != total-total/every {
+		t.Fatalf("filtered %d, want %d", s.Filtered(), total-total/every)
+	}
+	if sum := s.Delivered() + s.Dropped() + s.Filtered(); sum != s.Offered() {
+		t.Fatalf("accounting leak: delivered %d + dropped %d + filtered %d != offered %d",
+			s.Delivered(), s.Dropped(), s.Filtered(), s.Offered())
+	}
+}
+
+// TestCancelFlushesBuffered pins the shutdown hand-off: ids buffered when
+// Cancel lands are flushed into the delivery channel as far as it has
+// room, so a consumer that kept up loses nothing to a close.
+func TestCancelFlushesBuffered(t *testing.T) {
+	h := New()
+	defer h.Close()
+	s, err := h.Subscribe(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := make([]uint64, 32)
+	for i := range ids {
+		ids[i] = uint64(i + 1)
+	}
+	h.Publish(ids)
+	s.Cancel()
+	var got int
+	for range s.C() {
+		got++
+	}
+	if uint64(got) != s.Delivered() {
+		t.Fatalf("read %d, delivered %d", got, s.Delivered())
+	}
+	if s.Delivered()+s.Dropped() != s.Offered() {
+		t.Fatalf("accounting leak after cancel flush: %d + %d != %d",
+			s.Delivered(), s.Dropped(), s.Offered())
+	}
+	if got == 0 {
+		t.Fatal("cancel flushed nothing despite ample channel capacity")
+	}
+}
+
 // TestPublishNeverBlocks attaches a subscriber that never reads and checks
 // that Publish returns promptly regardless.
 func TestPublishNeverBlocks(t *testing.T) {

@@ -4,7 +4,7 @@ import (
 	"errors"
 	"fmt"
 
-	"nodesampling/internal/core"
+	"nodesampling/internal/cms"
 	"nodesampling/internal/rng"
 	"nodesampling/internal/shard"
 	"nodesampling/internal/subhub"
@@ -55,15 +55,18 @@ type SubscriberStats struct {
 	Offered   uint64 // σ′ draws published while the subscription was live
 	Delivered uint64 // draws handed to the subscription's buffer
 	Dropped   uint64 // draws lost to the drop-oldest policy
+	Filtered  uint64 // draws thinned away by the decimation interval
 	Capacity  int    // subscription buffer capacity
 	Depth     int    // draws currently buffered
+	Every     int    // decimation interval (1 delivers everything)
 }
 
 // PoolStats is a whole-pool activity snapshot.
 type PoolStats struct {
 	Shards      []ShardStats
-	Processed   uint64
-	Dropped     uint64
+	Epoch       uint64 // shard map epoch: 0 at creation, +1 per Resize
+	Processed   uint64 // includes work done by shards retired through Resize
+	Dropped     uint64 // includes drops at shards retired through Resize
 	EmitDropped uint64 // σ′ draws lost before reaching the subscription hub
 	Subscribers []SubscriberStats
 }
@@ -71,16 +74,22 @@ type PoolStats struct {
 // Pool is the horizontally scaled form of Service: N independent
 // knowledge-free sampler shards, each with its own Count-Min sketch,
 // sampling memory Γ of c identifiers and worker goroutine. Identifiers are
-// partitioned across shards by a salted stationary hash (unpredictable to
-// an adversary, stable for the pool's lifetime), so shards never contend;
-// PushBatch amortises the hand-off over many ids. Sample draws a shard
-// weighted by its current |Γ| and then a uniform element of it — a uniform
-// draw over the union of the memories, preserving the paper's Uniformity
-// at the population level, while Freshness holds per shard because every
-// id keeps hashing to the same shard's single-stream sampler.
+// partitioned across shards by an epoch-versioned shard map (salted
+// rendezvous hashing, unpredictable to an adversary and stable between
+// resizes), so shards never contend; PushBatch amortises the hand-off over
+// many ids. Sample draws a shard weighted by its current |Γ| and then a
+// uniform element of it — a uniform draw over the union of the memories,
+// preserving the paper's Uniformity at the population level, while
+// Freshness holds per shard because every id keeps hashing to the same
+// shard's single-stream sampler.
+//
+// The pool is elastic and durable: Resize re-partitions a live pool to a
+// new shard count (Γ and sketch state follow the moved ids), and
+// Snapshot/RestorePool serialise and revive the whole plane so attacker
+// frequency estimates survive restarts.
 //
 // All methods are safe for concurrent use. A Pool must be created with
-// NewPool and released with Close.
+// NewPool (or RestorePool) and released with Close.
 type Pool struct {
 	inner *shard.Pool
 }
@@ -102,33 +111,92 @@ func NewPool(c, shards int, opts ...Option) (*Pool, error) {
 	if err != nil {
 		return nil, err
 	}
+	inner, err := shard.New(poolShardConfig(c, shards, cfg))
+	if err != nil {
+		return nil, err
+	}
+	return &Pool{inner: inner}, nil
+}
+
+// poolShardConfig translates the public options into the internal shard
+// configuration shared by NewPool and RestorePool.
+func poolShardConfig(c, shards int, cfg config) shard.Config {
 	buffer := 16
 	if cfg.shardBufferSet {
 		buffer = cfg.shardBuffer
 	}
-	inner, err := shard.New(shard.Config{
-		Shards: shards,
-		Buffer: buffer,
-		Block:  !cfg.nonBlocking,
-		Seed:   cfg.seed,
+	return shard.Config{
+		Shards:   shards,
+		Buffer:   buffer,
+		Block:    !cfg.nonBlocking,
+		Seed:     cfg.seed,
+		Capacity: c,
 		// WithDecay is implemented pool-wide: the shards share one decay
 		// epoch derived from the total processed count (see
 		// shard.Config.DecayEvery) instead of each halving on its own
 		// count, so per-shard sketches are never passed the core-level
 		// halving option here.
 		DecayEvery: cfg.decayEvery,
-		NewSampler: func(r *rng.Xoshiro) (*core.KnowledgeFree, error) {
+		// One sketch template per pool: every shard clones it empty, so all
+		// shards share a hash family and stay mergeable across Resize.
+		NewSketch: func(r *rng.Xoshiro) (*cms.Sketch, error) {
 			if cfg.useAcc {
-				return core.NewKnowledgeFreeFromAccuracy(c, cfg.eps, cfg.del, r, cfg.coreOption...)
+				return cms.New(cfg.eps, cfg.del, r)
 			}
-			return core.NewKnowledgeFree(c, cfg.k, cfg.s, r, cfg.coreOption...)
+			return cms.NewWithDimensions(cfg.k, cfg.s, r)
 		},
-	})
+		CoreOptions: cfg.coreOption,
+	}
+}
+
+// RestorePool revives a pool from a Pool.Snapshot blob: the shard map,
+// every shard's sketch and sampling memory Γ, and the decay epoch resume
+// exactly where the snapshot left them, so frequency estimates — including
+// an attacker's — survive a restart. The snapshot governs the shard count,
+// memory capacity and sketch shape; pass the same functional options the
+// original pool was built with (decay, conservative updates, buffering —
+// they are configuration, not state, and are not persisted). A sketch
+// shape requested via WithSketch/WithSketchAccuracy is checked against the
+// snapshot and mismatches fail loudly.
+func RestorePool(data []byte, opts ...Option) (*Pool, error) {
+	cfg, err := buildConfig(opts)
+	if err != nil {
+		return nil, err
+	}
+	// Capacity and shard count come from the blob; the placeholder values
+	// here only shape the template used for validation.
+	sc := poolShardConfig(1, 1, cfg)
+	inner, err := shard.Restore(sc, data)
 	if err != nil {
 		return nil, err
 	}
 	return &Pool{inner: inner}, nil
 }
+
+// Resize re-partitions the live pool to the given shard count under the
+// next shard-map epoch. A flush barrier quiesces the shards (the only
+// ingestion stall), Γ entries move to their new owners, and sketch state
+// follows by merging, so frequency estimates of moved ids survive within
+// standard Count-Min error. Growing adds parallel capacity for free;
+// shrinking concentrates the pool (shedding uniformly chosen Γ overflow
+// only when the total memory no longer fits). See shard.Pool.Resize for
+// the precise hand-off semantics.
+func (p *Pool) Resize(shards int) error {
+	return poolErr(p.inner.Resize(shards))
+}
+
+// Snapshot serialises the pool — shard map, per-shard sketches and Γ, and
+// the decay epoch — into one versioned blob for RestorePool. Taken under
+// live ingest it is internally consistent per shard; call Flush first for
+// an exact cut. The blob embeds the pool's private partition salt, so
+// store it like key material.
+func (p *Pool) Snapshot() ([]byte, error) {
+	return p.inner.Snapshot()
+}
+
+// Epoch returns the shard map epoch: 0 at creation, incremented by every
+// completed Resize, preserved across Snapshot/RestorePool.
+func (p *Pool) Epoch() uint64 { return p.inner.Epoch() }
 
 // NumShards returns the pool's shard count.
 func (p *Pool) NumShards() int { return p.inner.NumShards() }
@@ -176,6 +244,7 @@ func (p *Pool) Stats() PoolStats {
 	st := p.inner.Stats()
 	out := PoolStats{
 		Shards:      make([]ShardStats, len(st.Shards)),
+		Epoch:       st.Epoch,
 		Processed:   st.Processed,
 		Dropped:     st.Dropped,
 		EmitDropped: st.EmitDropped,
@@ -207,10 +276,22 @@ type PoolSubscription struct {
 // buffered elements (counted in Stats) instead of slowing ingestion — the
 // same guarantee Service.Subscribe gives, at pool scale.
 func (p *Pool) Subscribe(capacity int) (*PoolSubscription, error) {
+	return p.SubscribeEvery(capacity, 1)
+}
+
+// SubscribeEvery is Subscribe with per-subscription decimation: only every
+// every-th σ′ draw is delivered (the rest are counted as filtered in
+// Stats). A 1-in-k thinning of an i.i.d. uniform stream is itself i.i.d.
+// uniform, so a decimated subscriber keeps the paper's guarantees at a
+// rate it can afford.
+func (p *Pool) SubscribeEvery(capacity, every int) (*PoolSubscription, error) {
 	if capacity < 1 || capacity > subhub.MaxSubscriptionBuffer {
 		return nil, fmt.Errorf("nodesampling: subscription capacity must be in [1, %d], got %d", subhub.MaxSubscriptionBuffer, capacity)
 	}
-	inner, err := p.inner.Subscribe(capacity)
+	if every < 1 || every > subhub.MaxDecimation {
+		return nil, fmt.Errorf("nodesampling: decimation interval must be in [1, %d], got %d", subhub.MaxDecimation, every)
+	}
+	inner, err := p.inner.SubscribeEvery(capacity, every)
 	if err != nil {
 		return nil, poolErr(err)
 	}

@@ -410,6 +410,161 @@ func TestPoolDecayPublicAPI(t *testing.T) {
 	}
 }
 
+// TestPoolResizePublic drives the elastic plane through the public API:
+// resize up and down under traffic, with counters, epoch and memory
+// surviving.
+func TestPoolResizePublic(t *testing.T) {
+	p, err := NewPool(50, 2, WithSeed(91), WithSketch(64, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = p.Close() }()
+	ids := make([]NodeID, 1024)
+	for i := range ids {
+		ids[i] = NodeID(i%100 + 1)
+	}
+	for r := 0; r < 4; r++ {
+		if err := p.PushBatch(ids); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	memBefore := p.Memory()
+	if err := p.Resize(6); err != nil {
+		t.Fatal(err)
+	}
+	if p.NumShards() != 6 || p.Epoch() != 1 {
+		t.Fatalf("shards=%d epoch=%d after resize", p.NumShards(), p.Epoch())
+	}
+	st := p.Stats()
+	if len(st.Shards) != 6 || st.Epoch != 1 || st.Processed != 4*1024 {
+		t.Fatalf("stats after resize = %+v", st)
+	}
+	if len(p.Memory()) != len(memBefore) {
+		t.Fatalf("memory %d after resize, want %d", len(p.Memory()), len(memBefore))
+	}
+	if err := p.PushBatch(ids); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := p.Sample(); !ok {
+		t.Fatal("resized pool cannot sample")
+	}
+	if err := p.Resize(0); err == nil {
+		t.Error("Resize(0) should fail")
+	}
+}
+
+// TestPoolSnapshotRestorePublic: the public round trip — estimates, Γ and
+// counters revive, and a pool restored with mismatched sketch options
+// fails loudly.
+func TestPoolSnapshotRestorePublic(t *testing.T) {
+	p, err := NewPool(50, 3, WithSeed(92), WithSketch(64, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = p.Close() }()
+	ids := make([]NodeID, 2048)
+	for i := range ids {
+		ids[i] = NodeID(i%200 + 1)
+	}
+	if err := p.PushBatch(ids); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := p.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := RestorePool(blob, WithSketch(64, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = q.Close() }()
+	if q.NumShards() != 3 || q.Epoch() != p.Epoch() {
+		t.Fatalf("restored shape shards=%d epoch=%d", q.NumShards(), q.Epoch())
+	}
+	pm, qm := p.Memory(), q.Memory()
+	if len(pm) != len(qm) {
+		t.Fatalf("restored memory %d, want %d", len(qm), len(pm))
+	}
+	if qs := q.Stats(); qs.Processed != 2048 {
+		t.Fatalf("restored processed = %d", qs.Processed)
+	}
+	if _, ok := q.Sample(); !ok {
+		t.Fatal("restored pool cannot sample without new input")
+	}
+	if _, err := RestorePool(blob, WithSketch(10, 2)); err == nil {
+		t.Error("mismatched sketch shape should fail")
+	}
+	if _, err := RestorePool([]byte("junk")); err == nil {
+		t.Error("junk blob should fail")
+	}
+}
+
+// TestPoolSubscribeEvery pins decimation end to end at pool level: a
+// 1-in-k subscription receives roughly offered/k draws and accounts the
+// rest as filtered.
+func TestPoolSubscribeEvery(t *testing.T) {
+	p, err := NewPool(10, 4, WithSeed(93), WithSketch(16, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = p.Close() }()
+	if _, err := p.SubscribeEvery(8, 0); err == nil {
+		t.Error("every=0 should fail")
+	}
+	const every = 8
+	sub, err := p.SubscribeEvery(4096, every)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := make([]NodeID, 4096)
+	for i := range ids {
+		ids[i] = NodeID(i%500 + 1)
+	}
+	if err := p.PushBatch(ids); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// Wait for the emission plane to settle, then check the arithmetic.
+	deadline := time.After(5 * time.Second)
+	for {
+		st := p.Stats()
+		if len(st.Subscribers) == 1 && st.Subscribers[0].Offered+st.EmitDropped == st.Processed {
+			s := st.Subscribers[0]
+			if s.Every != every {
+				t.Fatalf("stats report every=%d, want %d", s.Every, every)
+			}
+			if s.Filtered == 0 {
+				t.Fatal("decimated subscription filtered nothing")
+			}
+			if total := s.Delivered + s.Dropped + s.Filtered; total != s.Offered {
+				t.Fatalf("accounting: delivered %d + dropped %d + filtered %d != offered %d",
+					s.Delivered, s.Dropped, s.Filtered, s.Offered)
+			}
+			if kept := s.Offered - s.Filtered; kept != s.Offered/every {
+				t.Fatalf("kept %d of %d offered, want 1 in %d", kept, s.Offered, every)
+			}
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("emission accounting never settled: %+v", st)
+		case <-time.After(time.Millisecond):
+		}
+	}
+	sub.Cancel()
+}
+
 func TestPoolClose(t *testing.T) {
 	p, err := NewPool(5, 2, WithSeed(5))
 	if err != nil {

@@ -4,6 +4,9 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
+
+	"nodesampling/internal/subhub"
 )
 
 // ErrServiceClosed is returned by Push and Flush after Close.
@@ -13,6 +16,12 @@ var ErrServiceClosed = errors.New("nodesampling: service closed")
 // the input stream concurrently while consumers read samples or subscribe
 // to the output stream. It is the "sampling service local to a correct
 // node" of the paper's Figure 1, continuously reading σ and writing σ′.
+//
+// The output stream fans out through the same subscription hub as Pool
+// (internal/subhub): each subscriber owns a drop-oldest ring with exact
+// offered/delivered/dropped accounting, optional decimation, and the
+// guarantee that a stalled subscriber sheds stream elements instead of
+// stalling the sampling pipeline.
 //
 // A Service must be created with NewService and released with Close.
 type Service struct {
@@ -24,9 +33,17 @@ type Service struct {
 	closed chan struct{} // signalled once by Close
 	once   sync.Once
 
-	outMu   sync.Mutex
-	outSubs []chan NodeID
-	dropped uint64
+	hub *subhub.Hub
+
+	// subs remembers every subscription ever taken (service-scoped, so the
+	// count is bounded by the consumer population) to keep Dropped
+	// cumulative after cancellations; extraDropped counts draws a bridge
+	// abandoned between the hub and a public channel at shutdown.
+	subMu        sync.Mutex
+	subs         []*subhub.Subscription
+	extraDropped atomic.Uint64
+
+	scratch [1]uint64 // run-goroutine-only publish buffer
 }
 
 // ServiceOption customises a Service.
@@ -67,6 +84,7 @@ func NewService(sampler Sampler, opts ...ServiceOption) (*Service, error) {
 		in:      make(chan NodeID, cfg.buffer),
 		done:    make(chan struct{}),
 		closed:  make(chan struct{}),
+		hub:     subhub.New(),
 	}
 	go s.run()
 	return s, nil
@@ -96,21 +114,9 @@ func (s *Service) process(id NodeID) {
 	s.mu.Lock()
 	out := s.sampler.Process(id)
 	s.mu.Unlock()
-	s.publish(out)
-}
-
-func (s *Service) publish(id NodeID) {
-	s.outMu.Lock()
-	defer s.outMu.Unlock()
-	for _, ch := range s.outSubs {
-		select {
-		case ch <- id:
-		default:
-			// A slow subscriber must not stall the sampling pipeline: the
-			// output stream is a sampling stream, so dropping an element
-			// loses no information a later sample will not carry again.
-			s.dropped++
-		}
+	if s.hub.Active() {
+		s.scratch[0] = uint64(out)
+		s.hub.Publish(s.scratch[:])
 	}
 }
 
@@ -149,27 +155,88 @@ func (s *Service) Memory() []NodeID {
 // channel has the given capacity; elements are dropped (and counted) when
 // the subscriber lags. The channel is closed when the service closes.
 func (s *Service) Subscribe(capacity int) (<-chan NodeID, error) {
-	if capacity < 1 {
-		return nil, fmt.Errorf("nodesampling: subscription capacity must be at least 1, got %d", capacity)
+	return s.SubscribeEvery(capacity, 1)
+}
+
+// SubscribeEvery is Subscribe with per-subscription decimation: only every
+// every-th output draw is delivered (the rest are counted as filtered in
+// SubscriberStats) — the same semantics Pool and the network protocol
+// offer, at single-sampler scale.
+func (s *Service) SubscribeEvery(capacity, every int) (<-chan NodeID, error) {
+	if capacity < 1 || capacity > subhub.MaxSubscriptionBuffer {
+		return nil, fmt.Errorf("nodesampling: subscription capacity must be in [1, %d], got %d", subhub.MaxSubscriptionBuffer, capacity)
+	}
+	if every < 1 || every > subhub.MaxDecimation {
+		return nil, fmt.Errorf("nodesampling: decimation interval must be in [1, %d], got %d", subhub.MaxDecimation, every)
 	}
 	select {
 	case <-s.closed:
 		return nil, ErrServiceClosed
 	default:
 	}
+	sub, err := s.hub.SubscribeEvery(capacity, every)
+	if err != nil {
+		// The hub only closes via Close; map its sentinel to ours.
+		return nil, ErrServiceClosed
+	}
+	s.subMu.Lock()
+	s.subs = append(s.subs, sub)
+	s.subMu.Unlock()
 	ch := make(chan NodeID, capacity)
-	s.outMu.Lock()
-	s.outSubs = append(s.outSubs, ch)
-	s.outMu.Unlock()
+	go s.bridge(sub, ch)
 	return ch, nil
 }
 
+// bridge forwards a hub subscription to the public typed channel. After
+// cancellation (service Close) it keeps draining the closing hub channel
+// but counts undeliverable draws as dropped, so the cumulative accounting
+// identity — received + Dropped() == published — survives shutdown even
+// for consumers that stopped reading.
+func (s *Service) bridge(sub *subhub.Subscription, ch chan<- NodeID) {
+	defer close(ch)
+	abandoned := false
+	for id := range sub.C() {
+		if abandoned {
+			s.extraDropped.Add(1)
+			continue
+		}
+		select {
+		case ch <- NodeID(id):
+		default:
+			select {
+			case ch <- NodeID(id):
+			case <-sub.Done():
+				// Cancelled with the consumer's buffer full: this draw and
+				// the rest of the hub buffer can never be handed over.
+				s.extraDropped.Add(1)
+				abandoned = true
+			}
+		}
+	}
+}
+
+// SubscriberStats reports each live subscription's delivery accounting
+// (offered, delivered, dropped, filtered), in subscription order.
+func (s *Service) SubscriberStats() []SubscriberStats {
+	st := s.hub.Stats()
+	out := make([]SubscriberStats, len(st))
+	for i, sub := range st {
+		out[i] = SubscriberStats(sub)
+	}
+	return out
+}
+
 // Dropped reports how many output elements were discarded because
-// subscribers lagged.
+// subscribers lagged (cumulative across all subscriptions, including
+// cancelled ones).
 func (s *Service) Dropped() uint64 {
-	s.outMu.Lock()
-	defer s.outMu.Unlock()
-	return s.dropped
+	s.subMu.Lock()
+	defer s.subMu.Unlock()
+	total := s.extraDropped.Load()
+	for _, sub := range s.subs {
+		total += sub.Dropped()
+	}
+	return total
 }
 
 // Close stops the pipeline, waits for the worker goroutine to drain the
@@ -180,12 +247,7 @@ func (s *Service) Close() error {
 	s.once.Do(func() {
 		close(s.closed)
 		<-s.done
-		s.outMu.Lock()
-		for _, ch := range s.outSubs {
-			close(ch)
-		}
-		s.outSubs = nil
-		s.outMu.Unlock()
+		s.hub.Close()
 	})
 	return nil
 }

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"sync"
 	"testing"
+	"time"
 
 	"nodesampling/internal/metrics"
 )
@@ -241,5 +242,65 @@ func TestServiceEndToEndUniformity(t *testing.T) {
 	}
 	if g < 0.5 {
 		t.Fatalf("end-to-end gain %v", g)
+	}
+}
+
+// TestServiceSubscriberStats pins the subhub backfill: per-subscriber
+// offered/delivered/dropped/filtered accounting and decimation, with the
+// cumulative Dropped surviving cancellation of the hub at Close.
+func TestServiceSubscriberStats(t *testing.T) {
+	svc := newTestService(t, 4)
+	if _, err := svc.SubscribeEvery(8, 0); err == nil {
+		t.Error("every=0 should fail")
+	}
+	full, err := svc.Subscribe(512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const every = 4
+	thin, err := svc.SubscribeEvery(512, every)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const pushes = 256
+	for i := 0; i < pushes; i++ {
+		if err := svc.Push(NodeID(i % 9)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var st []SubscriberStats
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st = svc.SubscriberStats()
+		if len(st) == 2 && st[0].Offered == pushes && st[1].Offered == pushes {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("stats never settled: %+v", st)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if st[0].Every != 1 || st[1].Every != every {
+		t.Fatalf("every fields: %+v", st)
+	}
+	if st[0].Filtered != 0 {
+		t.Fatalf("full subscription filtered %d", st[0].Filtered)
+	}
+	if want := uint64(pushes - pushes/every); st[1].Filtered != want {
+		t.Fatalf("thin subscription filtered %d, want %d", st[1].Filtered, want)
+	}
+	_ = svc.Close()
+	nFull, nThin := 0, 0
+	for range full {
+		nFull++
+	}
+	for range thin {
+		nThin++
+	}
+	if nFull != pushes {
+		t.Fatalf("full subscriber received %d of %d", nFull, pushes)
+	}
+	if nThin != pushes/every {
+		t.Fatalf("thin subscriber received %d, want %d", nThin, pushes/every)
 	}
 }
