@@ -460,6 +460,15 @@ func (c *Client) Subscribe(capacity int) (<-chan nodesampling.NodeID, error) {
 // delivers only every every-th σ′ draw, so a modest consumer rides the
 // stream at a rate it can afford (a 1-in-k thinning of an i.i.d. uniform
 // stream is itself i.i.d. uniform).
+//
+// A reconnect (DialOptions.Reconnect) restarts the decimation window: the
+// re-issued subscription counts every fresh offers before its first
+// delivery, forgetting the up-to-every-1 draws the old session had already
+// counted toward the next one. The restart can therefore only stretch the
+// spacing between two deliveries — never compress it below every offered
+// draws — so a decimated consumer's rate cap survives daemon restarts.
+// (The daemon-side test TestStreamReconnectDecimationPhaseResets pins
+// this.)
 func (c *Client) SubscribeEvery(capacity, every int) (<-chan nodesampling.NodeID, error) {
 	if capacity < 1 || capacity > MaxSubscribeCapacity {
 		return nil, fmt.Errorf("client: subscription capacity must be in [1, %d], got %d", MaxSubscribeCapacity, capacity)

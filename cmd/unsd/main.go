@@ -22,9 +22,27 @@
 //	                                   flush barrier quiesces the pool, Γ
 //	                                   and sketch state follow the moved
 //	                                   ids (admin surface — front it with
-//	                                   auth before exposing it)
+//	                                   auth before exposing it); answers
+//	                                   409 + Retry-After while another
+//	                                   resize or a snapshot is in flight
 //	POST /snapshot                     write a durable snapshot to
-//	                                   -snapshot-path now
+//	                                   -snapshot-path now (409 while busy)
+//	POST /autoscale {"enabled":b,...}  enable/disable/tune the autoscaler:
+//	                                   min, max, grow_threshold,
+//	                                   shrink_threshold, cooldown_ms —
+//	                                   partial updates, {} reports state
+//
+// With -autoscale the daemon runs a load-driven control loop
+// (internal/autoscale) over the elastic shard plane: each
+// -autoscale-interval it condenses the pool's load signals — queue
+// occupancy, ingest drop rate, σ′ emit drops — into a smoothed pressure
+// figure and grows or shrinks the shard set between -min-shards and
+// -max-shards, with hysteresis and a post-resize cooldown so a one-batch
+// spike cannot thrash the plane. An adversary flooding the input stream is
+// met with more parallel capacity instead of silent sample loss, and the
+// plane contracts again once the flood subsides. /stats reports the
+// controller's state (pressure EWMA, last decision and reason, cooldown,
+// resize count) under "autoscale".
 //
 // The -stream listener speaks the framed bidirectional protocol of
 // internal/netgossip (and the public client package): a single persistent
@@ -57,10 +75,12 @@ import (
 	"fmt"
 	"io"
 	"io/fs"
+	"math"
 	"net"
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"sync"
@@ -68,6 +88,7 @@ import (
 	"syscall"
 	"time"
 
+	"nodesampling/internal/autoscale"
 	"nodesampling/internal/cms"
 	"nodesampling/internal/netgossip"
 	"nodesampling/internal/rng"
@@ -92,6 +113,14 @@ type options struct {
 	self             uint64
 	snapshotPath     string
 	snapshotInterval time.Duration
+
+	// The autoscaling plane: the controller is always constructed (so POST
+	// /autoscale can arm it at runtime and /stats always shows live
+	// pressure) and starts enabled only with -autoscale.
+	autoscale         bool
+	minShards         int           // 0 defaults to 1
+	maxShards         int           // 0 defaults to 64
+	autoscaleInterval time.Duration // 0 defaults to 1s
 }
 
 // daemon ties the sharded pool to its gossip and stream front-ends. The
@@ -101,18 +130,41 @@ type daemon struct {
 	pool   *shard.Pool
 	peer   *netgossip.Peer
 	stream *streamServer // nil until listenStream
+	ctrl   *autoscale.Controller
 	start  time.Time
 
+	// opMu is the admin-plane gate: it serialises the mutating operations —
+	// resizes (manual and autoscaler-issued) and snapshot writes — so they
+	// queue behind each other in a known order instead of piling up on the
+	// pool's internal locks. The HTTP handlers TryLock it and answer 409
+	// when it is busy (a clean retry signal); the snapshot ticker and the
+	// autoscaler wait their turn.
+	opMu sync.Mutex
+
 	// The durability plane: writeSnapshot serialises the pool to
-	// snapshotPath (atomically, via rename), on demand (POST /snapshot),
-	// periodically (startSnapshotLoop) and finally at Close.
+	// snapshotPath (atomically: temp file + fsync + rename + directory
+	// fsync), on demand (POST /snapshot), periodically (startSnapshotLoop)
+	// and finally at Close.
 	snapshotPath string
 	restored     bool
-	snapMu       sync.Mutex // serialises snapshot writes
 	snapBytes    atomic.Int64
 	snapUnix     atomic.Int64
 	snapStop     chan struct{}
 	snapDone     chan struct{}
+}
+
+// scaleTarget adapts the daemon for the autoscale controller: signals come
+// straight from the pool, resizes go through the daemon's admin gate so
+// the controller, manual POST /resize and the snapshot ticker never
+// surprise each other.
+type scaleTarget struct{ d *daemon }
+
+func (t scaleTarget) LoadSignals() shard.LoadSignals { return t.d.pool.LoadSignals() }
+
+func (t scaleTarget) Resize(n int) error {
+	t.d.opMu.Lock()
+	defer t.d.opMu.Unlock()
+	return t.d.pool.Resize(n)
 }
 
 func newDaemon(o options) (*daemon, error) {
@@ -165,39 +217,107 @@ func newDaemon(o options) (*daemon, error) {
 		_ = pool.Close()
 		return nil, err
 	}
-	return &daemon{
+	d := &daemon{
 		pool:         pool,
 		peer:         peer,
 		start:        time.Now(),
 		snapshotPath: o.snapshotPath,
 		restored:     restored,
-	}, nil
+	}
+	minShards, maxShards := o.minShards, o.maxShards
+	if minShards == 0 {
+		minShards = 1
+	}
+	if maxShards == 0 {
+		maxShards = 64
+	}
+	interval := o.autoscaleInterval
+	if interval == 0 {
+		interval = time.Second
+	}
+	ctrl, err := autoscale.New(scaleTarget{d}, autoscale.Config{
+		Min:      minShards,
+		Max:      maxShards,
+		Interval: interval,
+		Enabled:  o.autoscale,
+	})
+	if err != nil {
+		_ = peer.Close()
+		_ = pool.Close()
+		return nil, err
+	}
+	d.ctrl = ctrl
+	ctrl.Start()
+	return d, nil
 }
 
-// writeSnapshot serialises the pool and installs it at snapshotPath via a
-// temp file + rename, so a crash mid-write never corrupts the last good
-// snapshot. Returns the blob size.
+// writeSnapshot serialises the pool and installs it at snapshotPath,
+// crash-durably: the blob is written to a temp file which is fsynced
+// before the rename, and the directory is fsynced after it. Either alone
+// is not enough — an unsynced file can rename into place and still be
+// empty after power loss (the metadata outruns the data), and an unsynced
+// rename can simply vanish, but a pre-rename blob that never got its
+// rename is only a lost update, never a corrupt one. A failed write
+// removes its orphaned temp file. Returns the blob size.
 func (d *daemon) writeSnapshot() (int, error) {
+	d.opMu.Lock()
+	defer d.opMu.Unlock()
+	return d.writeSnapshotLocked()
+}
+
+// writeSnapshotLocked is writeSnapshot for callers already holding opMu
+// (the TryLock path of POST /snapshot).
+func (d *daemon) writeSnapshotLocked() (int, error) {
 	if d.snapshotPath == "" {
 		return 0, errors.New("no -snapshot-path configured")
 	}
-	d.snapMu.Lock()
-	defer d.snapMu.Unlock()
 	blob, err := d.pool.Snapshot()
 	if err != nil {
 		return 0, err
 	}
 	tmp := d.snapshotPath + ".tmp"
-	// 0600: the blob embeds the pool's secret partition salt.
-	if err := os.WriteFile(tmp, blob, 0o600); err != nil {
+	if err := durableWrite(tmp, blob); err != nil {
+		_ = os.Remove(tmp)
 		return 0, err
 	}
 	if err := os.Rename(tmp, d.snapshotPath); err != nil {
+		_ = os.Remove(tmp)
 		return 0, err
 	}
+	syncDir(filepath.Dir(d.snapshotPath))
 	d.snapBytes.Store(int64(len(blob)))
 	d.snapUnix.Store(time.Now().Unix())
 	return len(blob), nil
+}
+
+// durableWrite writes blob to path (0600 — it embeds the pool's secret
+// partition salt) and fsyncs it before returning, so the bytes are on
+// stable storage before the caller renames the file into place.
+func durableWrite(path string, blob []byte) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o600)
+	if err != nil {
+		return err
+	}
+	_, err = f.Write(blob)
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// syncDir fsyncs a directory so a just-completed rename inside it survives
+// power loss. Best effort: some filesystems refuse to sync directories,
+// and the write itself already succeeded.
+func syncDir(dir string) {
+	f, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	_ = f.Sync()
+	_ = f.Close()
 }
 
 // startSnapshotLoop writes a snapshot every interval until Close.
@@ -221,11 +341,13 @@ func (d *daemon) startSnapshotLoop(interval time.Duration, w io.Writer) {
 	}()
 }
 
-// Close shuts the network front-ends down first so no batch races the
-// pool's shutdown, writes a final snapshot while the pool is still
-// serving, then closes the pool (which closes the subscription hub and
-// thereby every remaining stream subscription).
+// Close shuts the autoscaler down first (no resize may race the
+// teardown), then the network front-ends so no batch races the pool's
+// shutdown, writes a final snapshot while the pool is still serving, then
+// closes the pool (which closes the subscription hub and thereby every
+// remaining stream subscription).
 func (d *daemon) Close() {
+	d.ctrl.Close()
 	if d.snapStop != nil {
 		close(d.snapStop)
 		<-d.snapDone
@@ -265,7 +387,39 @@ func (d *daemon) handler() http.Handler {
 	mux.HandleFunc("GET /stats", d.handleStats)
 	mux.HandleFunc("POST /resize", d.handleResize)
 	mux.HandleFunc("POST /snapshot", d.handleSnapshot)
+	mux.HandleFunc("POST /autoscale", d.handleAutoscale)
 	return mux
+}
+
+// maxAdminBody bounds an admin-endpoint request body: the legitimate
+// payloads are a handful of small fields.
+const maxAdminBody = 1024
+
+// decodeAdminJSON parses a small admin request body strictly: unknown
+// fields, trailing data, oversized bodies and malformed JSON are all
+// client errors (the caller answers 400), never 500s or panics.
+func decodeAdminJSON(w http.ResponseWriter, r *http.Request, v any) error {
+	body := http.MaxBytesReader(w, r.Body, maxAdminBody)
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			return fmt.Errorf("body exceeds %d bytes", mbe.Limit)
+		}
+		return err
+	}
+	if dec.More() {
+		return errors.New("trailing data after JSON body")
+	}
+	return nil
+}
+
+// conflict answers 409 with a Retry-After hint: the admin plane is busy
+// with another resize or snapshot, and the client should simply try again.
+func conflict(w http.ResponseWriter, msg string) {
+	w.Header().Set("Retry-After", "1")
+	httpError(w, http.StatusConflict, msg)
 }
 
 // jsonID carries a 64-bit id through JSON losslessly: it renders as a
@@ -351,39 +505,141 @@ func (d *daemon) handleMemory(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleResize serves the elastic-plane admin surface: a live
-// re-partition of the pool to the requested shard count.
+// re-partition of the pool to the requested shard count. A request racing
+// another resize (manual or autoscaler-issued) or a snapshot write gets a
+// clean 409 + Retry-After instead of queueing on the pool's locks.
 func (d *daemon) handleResize(w http.ResponseWriter, r *http.Request) {
 	var req struct {
-		Shards int `json:"shards"`
+		Shards *int `json:"shards"`
 	}
-	body := http.MaxBytesReader(w, r.Body, 1024)
-	if err := json.NewDecoder(body).Decode(&req); err != nil {
+	if err := decodeAdminJSON(w, r, &req); err != nil {
 		httpError(w, http.StatusBadRequest, fmt.Sprintf("bad body: %v", err))
 		return
 	}
-	if req.Shards < 1 || req.Shards > shard.MaxShards {
+	if req.Shards == nil {
+		httpError(w, http.StatusBadRequest, `missing "shards"`)
+		return
+	}
+	if *req.Shards < 1 || *req.Shards > shard.MaxShards {
 		httpError(w, http.StatusBadRequest, fmt.Sprintf("shards must be in [1, %d]", shard.MaxShards))
 		return
 	}
-	if err := d.pool.Resize(req.Shards); err != nil {
+	if !d.opMu.TryLock() {
+		conflict(w, "another resize or snapshot is in progress")
+		return
+	}
+	defer d.opMu.Unlock()
+	if err := d.pool.Resize(*req.Shards); err != nil {
 		httpError(w, http.StatusServiceUnavailable, err.Error())
 		return
 	}
-	writeJSON(w, map[string]any{"shards": d.pool.NumShards(), "epoch": d.pool.Epoch()})
+	// One map load for the pair, so a concurrent autoscaler resize between
+	// two separate getters cannot produce an epoch from one topology and a
+	// shard count from the next.
+	epoch, shards := d.pool.Topology()
+	writeJSON(w, map[string]any{"shards": shards, "epoch": epoch})
 }
 
 // handleSnapshot writes a durable snapshot to -snapshot-path on demand.
 func (d *daemon) handleSnapshot(w http.ResponseWriter, r *http.Request) {
-	n, err := d.writeSnapshot()
+	if d.snapshotPath == "" {
+		httpError(w, http.StatusBadRequest, "no -snapshot-path configured")
+		return
+	}
+	if !d.opMu.TryLock() {
+		conflict(w, "another resize or snapshot is in progress")
+		return
+	}
+	defer d.opMu.Unlock()
+	n, err := d.writeSnapshotLocked()
 	if err != nil {
-		code := http.StatusInternalServerError
-		if d.snapshotPath == "" {
-			code = http.StatusConflict
-		}
-		httpError(w, code, err.Error())
+		httpError(w, http.StatusInternalServerError, err.Error())
 		return
 	}
 	writeJSON(w, map[string]any{"path": d.snapshotPath, "bytes": n})
+}
+
+// handleAutoscale enables, disables or tunes the autoscaling controller at
+// runtime. The body is a partial update — absent fields keep their current
+// value — and an empty object just reports the current state:
+//
+//	{"enabled":true,"min":2,"max":32,
+//	 "grow_threshold":0.5,"shrink_threshold":0.05,"cooldown_ms":3000}
+func (d *daemon) handleAutoscale(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Enabled         *bool    `json:"enabled"`
+		Min             *int     `json:"min"`
+		Max             *int     `json:"max"`
+		GrowThreshold   *float64 `json:"grow_threshold"`
+		ShrinkThreshold *float64 `json:"shrink_threshold"`
+		CooldownMS      *int64   `json:"cooldown_ms"`
+	}
+	if err := decodeAdminJSON(w, r, &req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("bad body: %v", err))
+		return
+	}
+	t := autoscale.Tuning{
+		Enabled:         req.Enabled,
+		Min:             req.Min,
+		Max:             req.Max,
+		GrowThreshold:   req.GrowThreshold,
+		ShrinkThreshold: req.ShrinkThreshold,
+	}
+	if req.CooldownMS != nil {
+		// Bound before converting: a huge millisecond count would wrap the
+		// int64 duration and could land on a small positive value, slipping
+		// garbage past Tune's non-negative check.
+		if *req.CooldownMS < 0 || *req.CooldownMS > math.MaxInt64/int64(time.Millisecond) {
+			httpError(w, http.StatusBadRequest, "cooldown_ms out of range")
+			return
+		}
+		cd := time.Duration(*req.CooldownMS) * time.Millisecond
+		t.Cooldown = &cd
+	}
+	st, err := d.ctrl.Tune(t)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	writeJSON(w, autoscaleJSON(st))
+}
+
+// autoscaleJSON renders controller state for /autoscale and /stats.
+func autoscaleJSON(st autoscale.State) map[string]any {
+	return map[string]any{
+		"enabled":               st.Enabled,
+		"min":                   st.Min,
+		"max":                   st.Max,
+		"interval_ms":           st.Interval.Milliseconds(),
+		"grow_threshold":        st.GrowThreshold,
+		"shrink_threshold":      st.ShrinkThreshold,
+		"cooldown_ms":           st.Cooldown.Milliseconds(),
+		"load_ewma":             st.EWMA,
+		"ticks":                 st.Ticks,
+		"resizes":               st.Resizes,
+		"cooldown_remaining_ms": st.CooldownRemaining.Milliseconds(),
+		"last_decision":         decisionJSON(st.Last),
+		"last_resize":           decisionJSON(st.LastResize),
+	}
+}
+
+// decisionJSON renders one controller decision.
+func decisionJSON(d autoscale.Decision) map[string]any {
+	out := map[string]any{
+		"action":   string(d.Action),
+		"reason":   d.Reason,
+		"from":     d.From,
+		"to":       d.To,
+		"pressure": d.Pressure,
+		"ewma":     d.EWMA,
+	}
+	if !d.At.IsZero() {
+		out["unix_ms"] = d.At.UnixMilli()
+	}
+	if d.Err != "" {
+		out["error"] = d.Err
+	}
+	return out
 }
 
 // shardStatsJSON is one shard's row in /stats.
@@ -435,6 +691,7 @@ func (d *daemon) handleStats(w http.ResponseWriter, r *http.Request) {
 		"restored":                  d.restored,
 		"snapshot_bytes":            d.snapBytes.Load(),
 		"snapshot_unix":             d.snapUnix.Load(),
+		"autoscale":                 autoscaleJSON(d.ctrl.State()),
 		"shards":                    shards,
 		"subscribers":               subs,
 	})
@@ -468,6 +725,10 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 		seed       = fs.Uint64("seed", 0, "random seed (0 means time-derived)")
 		snapPath   = fs.String("snapshot-path", "", "durable pool snapshot file: restored at boot, written by POST /snapshot, -snapshot-interval and shutdown (a restored snapshot supersedes -shards and -c)")
 		snapEvery  = fs.Duration("snapshot-interval", 0, "write a snapshot this often (0 disables periodic snapshots; requires -snapshot-path)")
+		autoOn     = fs.Bool("autoscale", false, "grow and shrink the shard plane automatically from observed load (queue occupancy and drop rates)")
+		minSh      = fs.Int("min-shards", 1, "autoscaler's lower shard bound")
+		maxSh      = fs.Int("max-shards", 64, "autoscaler's upper shard bound")
+		autoEvery  = fs.Duration("autoscale-interval", time.Second, "autoscaler tick period")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -484,15 +745,26 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 	if *snapEvery > 0 && *snapPath == "" {
 		return errors.New("-snapshot-interval requires -snapshot-path")
 	}
+	if *minSh < 1 || *maxSh < *minSh || *maxSh > shard.MaxShards {
+		return fmt.Errorf("-min-shards/-max-shards range [%d, %d] outside [1, %d]", *minSh, *maxSh, shard.MaxShards)
+	}
+	if *autoEvery <= 0 {
+		return fmt.Errorf("non-positive -autoscale-interval %v", *autoEvery)
+	}
 	d, err := newDaemon(options{
 		shards: *shards, c: *c, k: *k, s: *s,
 		buffer: *buffer, block: *block, seed: *seed, self: *self,
 		snapshotPath: *snapPath, snapshotInterval: *snapEvery,
+		autoscale: *autoOn, minShards: *minSh, maxShards: *maxSh,
+		autoscaleInterval: *autoEvery,
 	})
 	if err != nil {
 		return err
 	}
 	defer d.Close()
+	if *autoOn {
+		fmt.Fprintf(w, "autoscale enabled: shards in [%d, %d], tick %v\n", *minSh, *maxSh, *autoEvery)
+	}
 	if d.restored {
 		st := d.pool.Stats()
 		fmt.Fprintf(w, "restored %s: %d shards, epoch %d, %d ids processed\n",

@@ -428,6 +428,18 @@ func TestBadFlags(t *testing.T) {
 	if err := run(context.Background(), []string{"-http", "256.0.0.1:bad"}, &sb); err == nil {
 		t.Error("unusable http address should fail")
 	}
+	if err := run(context.Background(), []string{"-min-shards", "0"}, &sb); err == nil {
+		t.Error("zero min-shards should fail")
+	}
+	if err := run(context.Background(), []string{"-min-shards", "8", "-max-shards", "4"}, &sb); err == nil {
+		t.Error("inverted autoscale range should fail")
+	}
+	if err := run(context.Background(), []string{"-max-shards", "1000"}, &sb); err == nil {
+		t.Error("max-shards beyond the shard cap should fail")
+	}
+	if err := run(context.Background(), []string{"-autoscale-interval", "-1s"}, &sb); err == nil {
+		t.Error("negative autoscale interval should fail")
+	}
 }
 
 // postJSON posts a JSON body and decodes the JSON answer.
@@ -513,7 +525,9 @@ func TestSnapshotEndpointRequiresPath(t *testing.T) {
 	d := testDaemon(t, defaultOptions())
 	ts := httptest.NewServer(d.handler())
 	defer ts.Close()
-	if code := postJSON(t, ts.URL+"/snapshot", struct{}{}, nil); code != http.StatusConflict {
+	// Asking for the impossible is a client error (409 is reserved for the
+	// transient "another resize or snapshot is running" case).
+	if code := postJSON(t, ts.URL+"/snapshot", struct{}{}, nil); code != http.StatusBadRequest {
 		t.Fatalf("snapshot without path status %d", code)
 	}
 }

@@ -83,6 +83,16 @@
 // paper's defence depends on. The blob embeds the secret partition salt;
 // store it like key material.
 //
+// Resize also has a policy layer: Pool.Topology and the pool's load
+// signals (queue occupancy, ingest and σ′ drop counters) feed the
+// internal/autoscale control loop, which the unsd daemon runs under
+// -autoscale. It grows the shard plane when an input flood makes drops
+// appear — the exact moment the paper's guarantees are under attack — and
+// shrinks it back once the flood subsides, with EWMA smoothing, hysteresis
+// and a post-resize cooldown so a single hostile burst cannot thrash the
+// plane. Library users embedding a Pool can drive Resize with their own
+// policy against the same signals.
+//
 // # The streaming output plane
 //
 // The paper's service is stream-in/stream-out: Algorithm 1 continuously
@@ -103,12 +113,13 @@
 //
 // Use Service for a single node's modest stream, Pool when one sampler
 // cannot absorb the traffic, and the unsd daemon (cmd/unsd) to serve a
-// Pool over the network: HTTP for request/response (plus POST /resize and
-// POST /snapshot admin endpoints for the elastic plane), netgossip TCP for
-// overlay ingest, and a framed bidirectional stream protocol — push id
-// batches up, receive σ′ down, one persistent connection per consumer.
-// With -snapshot-path the daemon restores its pool at boot and persists it
-// periodically and at shutdown. The client package (nodesampling/client)
+// Pool over the network: HTTP for request/response (plus POST /resize,
+// POST /snapshot and POST /autoscale admin endpoints for the elastic
+// plane), netgossip TCP for overlay ingest, and a framed bidirectional
+// stream protocol — push id batches up, receive σ′ down, one persistent
+// connection per consumer. With -snapshot-path the daemon restores its
+// pool at boot and persists it (fsync-durably) periodically and at
+// shutdown; with -autoscale it resizes itself from observed load. The client package (nodesampling/client)
 // speaks the stream protocol, optionally surviving daemon restarts with
 // automatic backoff-and-resubscribe:
 //

@@ -1,0 +1,466 @@
+// Package autoscale implements the policy layer on top of the elastic
+// shard plane: a control loop that watches a pool's load signals — queue
+// occupancy, ingest drop rate and σ′ emit drops, sampled each tick from
+// shard.Pool.LoadSignals — and drives Pool.Resize between a configured
+// [Min, Max] shard range without operator babysitting.
+//
+// The paper's sampler must keep its Uniformity and Freshness guarantees
+// precisely when an adversary floods the input stream with Sybil ids — the
+// moment ingest queues overflow and drops begin. The mechanism (a live,
+// state-preserving Resize) already exists; this package supplies the
+// judgement of when to use it:
+//
+//   - Each tick condenses the signals into a scalar pressure in [0, 1]:
+//     the worst of queue occupancy, the ingest drop fraction and the emit
+//     drop fraction since the previous tick.
+//   - Pressure feeds an exponentially weighted moving average, so a
+//     one-batch spike cannot thrash the plane: only sustained load moves
+//     the average across a threshold.
+//   - Grow and shrink use separate thresholds (hysteresis) with a hold
+//     band between them, and every completed resize starts a cooldown
+//     during which the controller only observes.
+//   - Growing doubles the shard count (floods need a fast response),
+//     shrinking halves it (reclaiming capacity can afford patience); both
+//     clamp to [Min, Max]. If a runtime Tune moves the bounds past the
+//     current count, the next tick corrects it regardless of load.
+//
+// The controller never blocks ingestion itself: reading LoadSignals takes
+// only the pool's read lock, and the resize it occasionally issues is the
+// same quiesce-and-hand-off the operator would have triggered by hand.
+package autoscale
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"nodesampling/internal/shard"
+)
+
+// Target is the surface the controller drives. *shard.Pool satisfies it;
+// cmd/unsd wraps the pool so autoscaler resizes share the daemon's admin
+// gate with manual POST /resize and the snapshot ticker.
+type Target interface {
+	LoadSignals() shard.LoadSignals
+	Resize(shards int) error
+}
+
+// Config parameterises a Controller. The zero value of every field except
+// Min/Max is replaced by the documented default.
+type Config struct {
+	// Min and Max bound the shard range the controller may resize within.
+	// Min defaults to 1, Max to shard.MaxShards.
+	Min, Max int
+	// Interval is the tick period of the Run loop (default 1s). It is fixed
+	// for the controller's lifetime; thresholds and bounds are tunable at
+	// runtime via Tune.
+	Interval time.Duration
+	// Alpha is the EWMA smoothing factor in (0, 1] (default 0.3): the
+	// weight of the newest tick's pressure. Lower values demand longer
+	// sustained load before the controller acts.
+	Alpha float64
+	// GrowThreshold: smoothed pressure at or above it grows the plane
+	// (default 0.5).
+	GrowThreshold float64
+	// ShrinkThreshold: smoothed pressure at or below it shrinks the plane
+	// (default 0.05). Must stay below GrowThreshold — the gap is the
+	// hysteresis band where the controller holds.
+	ShrinkThreshold float64
+	// Cooldown is the post-resize freeze (default 3×Interval): after a
+	// completed resize the controller only observes until it elapses, so
+	// the plane settles before the next decision.
+	Cooldown time.Duration
+	// Enabled arms the controller at construction. A disabled controller
+	// still measures (so /stats shows live pressure) but never resizes.
+	Enabled bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Min == 0 {
+		c.Min = 1
+	}
+	if c.Max == 0 {
+		c.Max = shard.MaxShards
+	}
+	if c.Interval == 0 {
+		c.Interval = time.Second
+	}
+	if c.Alpha == 0 {
+		c.Alpha = 0.3
+	}
+	if c.GrowThreshold == 0 {
+		c.GrowThreshold = 0.5
+	}
+	if c.ShrinkThreshold == 0 {
+		c.ShrinkThreshold = 0.05
+	}
+	if c.Cooldown == 0 {
+		c.Cooldown = 3 * c.Interval
+	}
+	return c
+}
+
+func (c Config) validate() error {
+	if c.Min < 1 || c.Max > shard.MaxShards || c.Min > c.Max {
+		return fmt.Errorf("autoscale: shard range [%d, %d] outside [1, %d]", c.Min, c.Max, shard.MaxShards)
+	}
+	if c.Interval <= 0 {
+		return fmt.Errorf("autoscale: non-positive interval %v", c.Interval)
+	}
+	if c.Alpha <= 0 || c.Alpha > 1 {
+		return fmt.Errorf("autoscale: EWMA alpha %v outside (0, 1]", c.Alpha)
+	}
+	if c.ShrinkThreshold < 0 || c.GrowThreshold <= c.ShrinkThreshold {
+		return fmt.Errorf("autoscale: thresholds must satisfy 0 ≤ shrink (%v) < grow (%v)", c.ShrinkThreshold, c.GrowThreshold)
+	}
+	if c.Cooldown < 0 {
+		return fmt.Errorf("autoscale: negative cooldown %v", c.Cooldown)
+	}
+	return nil
+}
+
+// Action is what a tick decided to do.
+type Action string
+
+// The three possible decisions of a tick.
+const (
+	Hold   Action = "hold"
+	Grow   Action = "grow"
+	Shrink Action = "shrink"
+)
+
+// Decision is the outcome of one control tick.
+type Decision struct {
+	At       time.Time
+	Action   Action
+	From, To int     // shard count before and after (equal on Hold)
+	Pressure float64 // this tick's raw pressure
+	EWMA     float64 // smoothed pressure after this tick
+	Reason   string
+	Err      string // resize failure, empty on success
+}
+
+// State is a snapshot of the controller for operational surfaces (/stats).
+type State struct {
+	Enabled           bool
+	Min, Max          int
+	Interval          time.Duration
+	Alpha             float64
+	GrowThreshold     float64
+	ShrinkThreshold   float64
+	Cooldown          time.Duration
+	EWMA              float64
+	Ticks             uint64
+	Resizes           uint64
+	CooldownRemaining time.Duration
+	Last              Decision // most recent tick's decision (usually a hold)
+	LastResize        Decision // most recent completed grow/shrink
+}
+
+// Tuning is a partial runtime reconfiguration for Tune: nil fields keep
+// their current value, and the combined result is validated as a whole.
+type Tuning struct {
+	Enabled         *bool
+	Min, Max        *int
+	GrowThreshold   *float64
+	ShrinkThreshold *float64
+	Cooldown        *time.Duration
+	Alpha           *float64
+}
+
+// Controller is the load-driven autoscaler. Create one with New, launch
+// the tick loop with Start, and release it with Close. All methods are
+// safe for concurrent use.
+type Controller struct {
+	target Target
+
+	mu            sync.Mutex
+	cfg           Config
+	ewma          float64
+	havePrev      bool
+	prev          shard.LoadSignals
+	cooldownUntil time.Time
+	last          Decision
+	lastResize    Decision
+	ticks         uint64
+	resizes       uint64
+	ticking       bool
+	started       bool
+
+	startOnce sync.Once
+	stopOnce  sync.Once
+	stop      chan struct{}
+	done      chan struct{}
+}
+
+// New creates a controller over target. It does not tick until Start.
+func New(target Target, cfg Config) (*Controller, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	return &Controller{
+		target: target,
+		cfg:    cfg,
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+	}, nil
+}
+
+// Start launches the tick loop at the configured interval. Idempotent.
+func (c *Controller) Start() {
+	c.startOnce.Do(func() {
+		c.mu.Lock()
+		c.started = true
+		interval := c.cfg.Interval
+		c.mu.Unlock()
+		go func() {
+			defer close(c.done)
+			t := time.NewTicker(interval)
+			defer t.Stop()
+			for {
+				select {
+				case now := <-t.C:
+					c.Tick(now)
+				case <-c.stop:
+					return
+				}
+			}
+		}()
+	})
+}
+
+// Close stops the tick loop and waits for it to exit. Idempotent, and safe
+// on a controller that was never started.
+func (c *Controller) Close() {
+	c.stopOnce.Do(func() { close(c.stop) })
+	c.mu.Lock()
+	started := c.started
+	c.mu.Unlock()
+	if started {
+		<-c.done
+	}
+}
+
+// SetEnabled arms or disarms the controller. A disarmed controller keeps
+// measuring (ticks, EWMA) but never resizes.
+func (c *Controller) SetEnabled(on bool) {
+	_, _ = c.Tune(Tuning{Enabled: &on})
+}
+
+// Enabled reports whether the controller may act on its decisions.
+func (c *Controller) Enabled() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.cfg.Enabled
+}
+
+// Tune applies a partial runtime reconfiguration and returns the resulting
+// state. The combined configuration is validated before any of it takes
+// effect; an invalid combination changes nothing.
+func (c *Controller) Tune(t Tuning) (State, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cfg := c.cfg
+	if t.Enabled != nil {
+		cfg.Enabled = *t.Enabled
+	}
+	if t.Min != nil {
+		cfg.Min = *t.Min
+	}
+	if t.Max != nil {
+		cfg.Max = *t.Max
+	}
+	if t.GrowThreshold != nil {
+		cfg.GrowThreshold = *t.GrowThreshold
+	}
+	if t.ShrinkThreshold != nil {
+		cfg.ShrinkThreshold = *t.ShrinkThreshold
+	}
+	if t.Cooldown != nil {
+		cfg.Cooldown = *t.Cooldown
+	}
+	if t.Alpha != nil {
+		cfg.Alpha = *t.Alpha
+	}
+	if err := cfg.validate(); err != nil {
+		return State{}, err
+	}
+	c.cfg = cfg
+	return c.stateLocked(time.Now()), nil
+}
+
+// State snapshots the controller for /stats.
+func (c *Controller) State() State {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stateLocked(time.Now())
+}
+
+func (c *Controller) stateLocked(now time.Time) State {
+	st := State{
+		Enabled:         c.cfg.Enabled,
+		Min:             c.cfg.Min,
+		Max:             c.cfg.Max,
+		Interval:        c.cfg.Interval,
+		Alpha:           c.cfg.Alpha,
+		GrowThreshold:   c.cfg.GrowThreshold,
+		ShrinkThreshold: c.cfg.ShrinkThreshold,
+		Cooldown:        c.cfg.Cooldown,
+		EWMA:            c.ewma,
+		Ticks:           c.ticks,
+		Resizes:         c.resizes,
+		Last:            c.last,
+		LastResize:      c.lastResize,
+	}
+	if r := c.cooldownUntil.Sub(now); r > 0 {
+		st.CooldownRemaining = r
+	}
+	return st
+}
+
+// Tick runs one control evaluation at the given time: sample the signals,
+// update the smoothed pressure, decide, and act on the decision if the
+// controller is enabled. The Run loop calls it per interval; tests and
+// benchmarks drive it directly with explicit clocks.
+func (c *Controller) Tick(now time.Time) Decision {
+	c.mu.Lock()
+	if c.ticking {
+		// A resize issued by a previous tick is still quiescing the plane;
+		// measuring through it would charge the hand-off stall to the load.
+		d := Decision{At: now, Action: Hold, Reason: "resize in flight", EWMA: c.ewma}
+		c.mu.Unlock()
+		return d
+	}
+	c.ticking = true
+	c.mu.Unlock()
+
+	sig := c.target.LoadSignals()
+
+	c.mu.Lock()
+	c.ticks++
+	// A topology change the controller did not make (manual POST /resize,
+	// restore) also quiesced the plane; counter deltas straddling it would
+	// misread that stall as load, so restart the baseline exactly as after
+	// our own resizes.
+	if c.havePrev && sig.Epoch != c.prev.Epoch {
+		c.havePrev = false
+	}
+	pressure := c.pressure(sig)
+	// The EWMA starts at zero and is never seeded with a raw sample, so a
+	// single hostile burst right after boot cannot clear the grow threshold
+	// on its own — only sustained pressure can.
+	c.ewma = c.cfg.Alpha*pressure + (1-c.cfg.Alpha)*c.ewma
+	c.prev, c.havePrev = sig, true
+	d := c.decide(now, sig, pressure)
+	if d.Action == Hold {
+		c.last = d
+		c.ticking = false
+		c.mu.Unlock()
+		return d
+	}
+	c.mu.Unlock()
+
+	// The resize itself runs outside the controller lock: it blocks on the
+	// pool's quiesce barrier, and State/Tune must stay responsive meanwhile.
+	err := c.target.Resize(d.To)
+
+	c.mu.Lock()
+	if err != nil {
+		d.Err = err.Error()
+		// No cooldown on failure: the condition persists and the next tick
+		// should retry (or report the same error for /stats to surface).
+	} else {
+		c.resizes++
+		c.cooldownUntil = now.Add(c.cfg.Cooldown)
+		c.lastResize = d
+		// Counter deltas straddling the quiesce stall would misread the
+		// hand-off as load; restart the delta baseline at the next tick.
+		c.havePrev = false
+	}
+	c.last = d
+	c.ticking = false
+	c.mu.Unlock()
+	return d
+}
+
+// pressure condenses one signals snapshot into a scalar in [0, 1]: the
+// worst of instantaneous queue occupancy and the drop fractions (ingest
+// and σ′ emit) accumulated since the previous tick.
+func (c *Controller) pressure(sig shard.LoadSignals) float64 {
+	p := 0.0
+	if sig.QueueCap > 0 {
+		p = float64(sig.QueueLen) / float64(sig.QueueCap)
+	}
+	if c.havePrev {
+		dProc := sig.Processed - c.prev.Processed
+		if dDrop := sig.Dropped - c.prev.Dropped; dDrop > 0 {
+			if f := float64(dDrop) / float64(dDrop+dProc); f > p {
+				p = f
+			}
+		}
+		if dEmit := sig.EmitDropped - c.prev.EmitDropped; dEmit > 0 {
+			if f := float64(dEmit) / float64(dEmit+dProc); f > p {
+				p = f
+			}
+		}
+	}
+	if p > 1 {
+		p = 1
+	}
+	return p
+}
+
+// decide turns the smoothed pressure into an action. The caller holds c.mu.
+func (c *Controller) decide(now time.Time, sig shard.LoadSignals, pressure float64) Decision {
+	d := Decision{
+		At: now, Action: Hold, From: sig.Shards, To: sig.Shards,
+		Pressure: pressure, EWMA: c.ewma,
+	}
+	if !c.cfg.Enabled {
+		d.Reason = "disabled"
+		return d
+	}
+	switch {
+	// Bounds moved under the plane (a runtime Tune): correct regardless of
+	// load, still honouring the cooldown below.
+	case sig.Shards < c.cfg.Min:
+		d.Action, d.To = Grow, c.cfg.Min
+		d.Reason = fmt.Sprintf("%d shards below configured min %d", sig.Shards, c.cfg.Min)
+	case sig.Shards > c.cfg.Max:
+		d.Action, d.To = Shrink, c.cfg.Max
+		d.Reason = fmt.Sprintf("%d shards above configured max %d", sig.Shards, c.cfg.Max)
+	case c.ewma >= c.cfg.GrowThreshold && sig.Shards < c.cfg.Max:
+		to := sig.Shards * 2
+		if to > c.cfg.Max {
+			to = c.cfg.Max
+		}
+		d.Action, d.To = Grow, to
+		d.Reason = fmt.Sprintf("load %.3f ≥ grow threshold %.3f", c.ewma, c.cfg.GrowThreshold)
+	case c.ewma <= c.cfg.ShrinkThreshold && sig.Shards > c.cfg.Min:
+		to := sig.Shards / 2
+		if to < c.cfg.Min {
+			to = c.cfg.Min
+		}
+		d.Action, d.To = Shrink, to
+		d.Reason = fmt.Sprintf("load %.3f ≤ shrink threshold %.3f", c.ewma, c.cfg.ShrinkThreshold)
+	default:
+		// Name the saturation cases: an operator diagnosing a flooded daemon
+		// must not read "load within thresholds" while the plane is pinned
+		// at a bound.
+		switch {
+		case c.ewma >= c.cfg.GrowThreshold:
+			d.Reason = fmt.Sprintf("at max %d shards, load %.3f above grow threshold", c.cfg.Max, c.ewma)
+		case c.ewma <= c.cfg.ShrinkThreshold:
+			d.Reason = fmt.Sprintf("at min %d shards, load %.3f below shrink threshold", c.cfg.Min, c.ewma)
+		default:
+			d.Reason = "load within thresholds"
+		}
+		return d
+	}
+	if remaining := c.cooldownUntil.Sub(now); remaining > 0 {
+		d.Action, d.To = Hold, sig.Shards
+		d.Reason = fmt.Sprintf("post-resize cooldown (%v remaining)", remaining.Round(time.Millisecond))
+	}
+	return d
+}

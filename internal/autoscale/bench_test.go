@@ -1,0 +1,40 @@
+package autoscale
+
+import (
+	"testing"
+	"time"
+
+	"nodesampling/internal/shard"
+)
+
+// staticTarget serves fixed signals without locks, so the benchmark
+// measures the controller's tick/decision path alone.
+type staticTarget struct{ sig shard.LoadSignals }
+
+func (s *staticTarget) LoadSignals() shard.LoadSignals { return s.sig }
+func (s *staticTarget) Resize(int) error               { return nil }
+
+// BenchmarkControllerTick measures one control evaluation end to end:
+// signal condensation, EWMA update and the decision, on a held (in-band)
+// plane — the steady state a live daemon's controller spends its life in.
+func BenchmarkControllerTick(b *testing.B) {
+	target := &staticTarget{sig: shard.LoadSignals{
+		Shards: 8, QueueCap: 8 * 64, QueueLen: 96,
+		Processed: 1 << 30, Dropped: 1 << 10,
+	}}
+	c, err := New(target, Config{
+		Min: 1, Max: 64, Enabled: true,
+		Alpha: 0.3, GrowThreshold: 0.6, ShrinkThreshold: 0.01,
+		Interval: time.Second,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	now := time.Unix(0, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		now = now.Add(time.Second)
+		c.Tick(now)
+	}
+}

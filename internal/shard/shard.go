@@ -435,12 +435,71 @@ func (p *Pool) Unsubscribe(s *subhub.Subscription) { p.hub.Unsubscribe(s) }
 // NumSubscribers returns the number of live output-stream subscriptions.
 func (p *Pool) NumSubscribers() int { return p.hub.NumSubscribers() }
 
+// Topology returns the shard map epoch and the shard count from a single
+// atomic load of the shard map, so the pair is always mutually consistent:
+// a caller can never observe epoch N paired with the shard count of epoch
+// N+1 while a concurrent Resize swaps the map. Epoch and NumShards are
+// conveniences over it; code that needs both must go through Topology.
+func (p *Pool) Topology() (epoch uint64, shards int) {
+	m := p.smap.Load()
+	return m.epoch, len(m.keys)
+}
+
 // NumShards returns the pool's current shard count.
-func (p *Pool) NumShards() int { return len(p.smap.Load().keys) }
+func (p *Pool) NumShards() int {
+	_, shards := p.Topology()
+	return shards
+}
 
 // Epoch returns the shard map epoch: 0 at construction, incremented by
 // every completed Resize. Restore resumes from the snapshotted epoch.
-func (p *Pool) Epoch() uint64 { return p.smap.Load().epoch }
+func (p *Pool) Epoch() uint64 {
+	epoch, _ := p.Topology()
+	return epoch
+}
+
+// LoadSignals is a cheap snapshot of the pool's ingest pressure — the input
+// of a load-driven autoscaler. Queue figures are instantaneous; the
+// counters are cumulative and monotone even across Resize (retired shards
+// fold into the totals), so a controller diffs successive snapshots to get
+// per-tick rates.
+type LoadSignals struct {
+	Epoch       uint64 // shard map epoch, consistent with Shards
+	Shards      int    // current shard count
+	QueueLen    int    // batches waiting across all shard queues
+	QueueCap    int    // total queue capacity, Shards × Config.Buffer
+	MaxQueueLen int    // deepest single shard queue, in batches
+	Processed   uint64 // cumulative ids processed (incl. retired shards)
+	Dropped     uint64 // cumulative ids dropped at full queues (incl. retired)
+	EmitDropped uint64 // cumulative σ′ draws lost before the hub
+}
+
+// LoadSignals returns the pool's current load signals. It takes only the
+// pool read lock (no per-shard locks), so a controller ticking every few
+// hundred milliseconds costs the ingest path nothing measurable.
+func (p *Pool) LoadSignals() LoadSignals {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	epoch, _ := p.Topology()
+	s := LoadSignals{
+		Epoch:       epoch,
+		Shards:      len(p.workers),
+		QueueCap:    len(p.workers) * p.cfg.Buffer,
+		Processed:   p.retiredProcessed.Load(),
+		Dropped:     p.retiredDropped.Load(),
+		EmitDropped: p.emitDropped.Load(),
+	}
+	for _, w := range p.workers {
+		q := len(w.in)
+		s.QueueLen += q
+		if q > s.MaxQueueLen {
+			s.MaxQueueLen = q
+		}
+		s.Processed += w.processed.Load()
+		s.Dropped += w.dropped.Load()
+	}
+	return s
+}
 
 // Push feeds a single id. PushBatch is the efficient path; Push exists for
 // drop-in compatibility with single-id producers.
@@ -882,13 +941,16 @@ type Stats struct {
 	Subscribers []subhub.SubStats
 }
 
-// Stats returns a snapshot of per-shard and aggregate counters.
+// Stats returns a snapshot of per-shard and aggregate counters. Epoch and
+// the Shards slice come from one critical section (map swaps happen under
+// the write lock), so they describe the same shard-map epoch.
 func (p *Pool) Stats() Stats {
 	p.mu.RLock()
 	defer p.mu.RUnlock()
+	epoch, _ := p.Topology()
 	st := Stats{
 		Shards:      make([]ShardStats, len(p.workers)),
-		Epoch:       p.smap.Load().epoch,
+		Epoch:       epoch,
 		Processed:   p.retiredProcessed.Load(),
 		Dropped:     p.retiredDropped.Load(),
 		EmitDropped: p.emitDropped.Load(),

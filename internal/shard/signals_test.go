@@ -1,0 +1,109 @@
+package shard
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestTopologyCoherentDuringResize pins the satellite fix: (epoch, shard
+// count) must come from one shard-map load. The pool alternates between 2
+// and 3 shards, so the invariant "even epoch ⇔ 2 shards" holds for every
+// map that ever exists; readers pairing Epoch() and NumShards() across two
+// loads could observe a mixed pair, Topology cannot.
+func TestTopologyCoherentDuringResize(t *testing.T) {
+	p := newTestPool(t, 2, 8, 8, 4, true, 4)
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				epoch, shards := p.Topology()
+				want := 2 + int(epoch%2)
+				if shards != want {
+					t.Errorf("epoch %d paired with %d shards, want %d", epoch, shards, want)
+					return
+				}
+			}
+		}()
+	}
+	for i := 0; i < 50; i++ {
+		if err := p.Resize(2 + (i+1)%2); err != nil {
+			t.Error(err)
+			break
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+	if epoch, shards := p.Topology(); epoch != 50 || shards != 2 {
+		t.Fatalf("final topology (%d, %d), want (50, 2)", epoch, shards)
+	}
+}
+
+// TestLoadSignals checks the autoscaler's input surface: counters agree
+// with Stats, queue capacity reflects the configuration, and the drop
+// counter moves when the non-blocking pool is overloaded.
+func TestLoadSignals(t *testing.T) {
+	p := newTestPool(t, 4, 16, 8, 4, true, 8)
+	batch := make([]uint64, 256)
+	for i := range batch {
+		batch[i] = uint64(i + 1)
+	}
+	if err := p.PushBatch(batch); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	sig := p.LoadSignals()
+	if sig.Shards != 4 || sig.Epoch != 0 {
+		t.Fatalf("topology in signals: %+v", sig)
+	}
+	if sig.QueueCap != 4*8 {
+		t.Fatalf("QueueCap %d, want 32", sig.QueueCap)
+	}
+	if sig.QueueLen != 0 || sig.MaxQueueLen != 0 {
+		t.Fatalf("flushed pool reports queued batches: %+v", sig)
+	}
+	if sig.Processed != 256 || sig.Dropped != 0 {
+		t.Fatalf("counters %+v, want 256 processed, 0 dropped", sig)
+	}
+	st := p.Stats()
+	if sig.Processed != st.Processed || sig.Dropped != st.Dropped {
+		t.Fatalf("signals disagree with Stats: %+v vs %+v", sig, st)
+	}
+
+	// Signals stay monotone across a resize (retired counters fold in).
+	if err := p.Resize(2); err != nil {
+		t.Fatal(err)
+	}
+	after := p.LoadSignals()
+	if after.Processed != 256 || after.Shards != 2 || after.Epoch != 1 {
+		t.Fatalf("signals after shrink: %+v", after)
+	}
+
+	// A drop-policy pool under a burst larger than its queues must report
+	// drops through the same surface.
+	q, err := New(testConfig(1, 4, 8, 4, false, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = q.Close() })
+	for i := 0; i < 64; i++ {
+		if err := q.PushBatch(batch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := q.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	dsig := q.LoadSignals()
+	if dsig.Dropped == 0 {
+		t.Fatal("burst against a 1-batch queue dropped nothing")
+	}
+	if dsig.Dropped+dsig.Processed != 64*256 {
+		t.Fatalf("dropped %d + processed %d ≠ offered %d", dsig.Dropped, dsig.Processed, 64*256)
+	}
+}

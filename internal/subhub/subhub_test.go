@@ -372,3 +372,36 @@ func TestStatsSnapshot(t *testing.T) {
 		t.Fatalf("stats = %+v", st[0])
 	}
 }
+
+// TestSubscribeEveryFreshPhase pins the decimation window of a fresh
+// subscription: the first delivery happens on exactly the every-th offered
+// draw, never earlier. The daemon's reconnect path relies on this — a
+// re-issued subscription restarting its window can only stretch the
+// spacing between deliveries, never compress it below every offers.
+func TestSubscribeEveryFreshPhase(t *testing.T) {
+	h := New()
+	defer h.Close()
+	const every = 4
+	s, err := h.SubscribeEvery(16, every)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Publish([]uint64{1, 2, 3}) // every-1 offers: all filtered
+	select {
+	case id := <-s.C():
+		t.Fatalf("delivery of %d before the %d-th offer", id, every)
+	case <-time.After(50 * time.Millisecond):
+	}
+	h.Publish([]uint64{4})
+	select {
+	case id := <-s.C():
+		if id != 4 {
+			t.Fatalf("first delivery %d, want the %d-th offer (4)", id, every)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no delivery on the every-th offer")
+	}
+	if f, d := s.Filtered(), s.Delivered(); f != every-1 || d != 1 {
+		t.Fatalf("filtered %d delivered %d, want %d and 1", f, d, every-1)
+	}
+}

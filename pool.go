@@ -201,6 +201,34 @@ func (p *Pool) Epoch() uint64 { return p.inner.Epoch() }
 // NumShards returns the pool's shard count.
 func (p *Pool) NumShards() int { return p.inner.NumShards() }
 
+// Topology returns the shard map epoch and the shard count from a single
+// atomic load of the shard map. Calling Epoch and NumShards separately can
+// straddle a concurrent Resize and pair epoch N with the shard count of
+// epoch N+1; Topology can not.
+func (p *Pool) Topology() (epoch uint64, shards int) { return p.inner.Topology() }
+
+// LoadSignals is a cheap snapshot of the pool's ingest pressure — the
+// input of a load-driven resize policy. Queue figures are instantaneous;
+// the counters are cumulative and stay monotone across Resize, so a
+// controller diffs successive snapshots for per-tick rates.
+type LoadSignals struct {
+	Epoch       uint64 // shard map epoch, consistent with Shards
+	Shards      int    // current shard count
+	QueueLen    int    // batches waiting across all shard queues
+	QueueCap    int    // total queue capacity (Shards × shard buffer)
+	MaxQueueLen int    // deepest single shard queue, in batches
+	Processed   uint64 // cumulative ids processed (incl. retired shards)
+	Dropped     uint64 // cumulative ids dropped at full queues (incl. retired)
+	EmitDropped uint64 // cumulative σ′ draws lost before the subscription hub
+}
+
+// LoadSignals returns the pool's current load signals: the surface a
+// caller embedding a Pool drives its own Resize policy against (the unsd
+// daemon's autoscaler consumes the same signals).
+func (p *Pool) LoadSignals() LoadSignals {
+	return LoadSignals(p.inner.LoadSignals())
+}
+
 // Push feeds a single id from the input stream. PushBatch is the efficient
 // path; Push exists as a drop-in for single-id producers.
 func (p *Pool) Push(id NodeID) error {

@@ -589,3 +589,53 @@ func TestPoolClose(t *testing.T) {
 		t.Fatalf("Flush after close = %v, want ErrPoolClosed", err)
 	}
 }
+
+// TestPoolTopology pins the coherent (epoch, shards) read on the public
+// surface: both values must come from one shard-map load and track Resize.
+func TestPoolTopology(t *testing.T) {
+	p, err := NewPool(8, 3, WithSeed(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if epoch, shards := p.Topology(); epoch != 0 || shards != 3 {
+		t.Fatalf("fresh topology (%d, %d), want (0, 3)", epoch, shards)
+	}
+	if err := p.Resize(5); err != nil {
+		t.Fatal(err)
+	}
+	epoch, shards := p.Topology()
+	if epoch != 1 || shards != 5 {
+		t.Fatalf("topology after resize (%d, %d), want (1, 5)", epoch, shards)
+	}
+	if epoch != p.Epoch() || shards != p.NumShards() {
+		t.Fatal("Topology disagrees with Epoch/NumShards on a quiet pool")
+	}
+}
+
+// TestPoolLoadSignalsPublic pins the public policy surface: the signals a
+// library user drives their own Resize policy against.
+func TestPoolLoadSignalsPublic(t *testing.T) {
+	p, err := NewPool(8, 2, WithSeed(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	ids := make([]NodeID, 128)
+	for i := range ids {
+		ids[i] = NodeID(i + 1)
+	}
+	if err := p.PushBatch(ids); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	sig := p.LoadSignals()
+	if sig.Shards != 2 || sig.Epoch != 0 || sig.Processed != 128 || sig.Dropped != 0 {
+		t.Fatalf("signals %+v", sig)
+	}
+	if sig.QueueCap == 0 || sig.QueueLen != 0 {
+		t.Fatalf("queue figures %+v", sig)
+	}
+}
