@@ -28,6 +28,7 @@
 package client
 
 import (
+	"crypto/tls"
 	"errors"
 	"fmt"
 	"net"
@@ -58,6 +59,12 @@ const MaxSubscribeEvery = subhub.MaxDecimation
 // rpcTimeout bounds how long Sample and Ping wait for their response frame.
 const rpcTimeout = 30 * time.Second
 
+// handshakeTimeout bounds both the TCP connect and the TLS handshake of a
+// fresh connection, so a black-holed endpoint (SYNs silently dropped) or a
+// byte-trickling one cannot pin a dial — or the reconnect supervisor, or a
+// Close waiting behind it — for the OS's multi-minute connect timeout.
+const handshakeTimeout = 30 * time.Second
+
 // DialOptions configures DialWithOptions. The zero value behaves exactly
 // like Dial: one connection, no reconnection.
 type DialOptions struct {
@@ -73,6 +80,16 @@ type DialOptions struct {
 	// MaxAttempts limits consecutive failed dial attempts before the client
 	// gives up and closes permanently. 0 means retry forever (until Close).
 	MaxAttempts int
+	// TLS, when non-nil, wraps every connection (the initial dial and each
+	// reconnect) in a TLS client handshake before any frame is exchanged —
+	// the transport the unsd daemon serves under -tls-cert/-tls-key. Supply
+	// RootCAs to authenticate the daemon and Certificates when the daemon
+	// demands mutual TLS (-tls-client-ca). When ServerName is empty the
+	// host part of the dialled address is filled in, like tls.Dial does.
+	// The config composes with Reconnect: a restarted daemon is redialled
+	// and re-handshaken with the same credentials, and the subscription is
+	// re-issued on the freshly authenticated connection.
+	TLS *tls.Config
 }
 
 func (o DialOptions) withDefaults() DialOptions {
@@ -88,6 +105,20 @@ func (o DialOptions) withDefaults() DialOptions {
 	return o
 }
 
+// taggedToken is a pong response tagged with the read-session generation
+// that produced it, so a pong buffered across a reconnect can never be
+// mistaken for the current session's answer.
+type taggedToken struct {
+	token uint64
+	gen   uint64
+}
+
+// taggedIDs is a sample response tagged the same way.
+type taggedIDs struct {
+	ids []uint64
+	gen uint64
+}
+
 // Client is one framed connection to an unsd daemon (transparently
 // re-established under DialOptions.Reconnect).
 type Client struct {
@@ -99,11 +130,12 @@ type Client struct {
 	// rpcMu admits one request/response exchange (Sample or Ping) at a
 	// time, so responses need no correlation ids on the wire.
 	rpcMu   sync.Mutex
-	samplec chan []uint64
-	pongc   chan uint64
+	samplec chan taggedIDs
+	pongc   chan taggedToken
 
 	mu       sync.Mutex
 	conn     net.Conn                 // current connection; swapped on reconnect
+	gen      uint64                   // bumped with every fresh connection (session identity)
 	stream   chan nodesampling.NodeID // nil until Subscribe
 	subCap   int                      // saved Subscribe arguments for re-subscription
 	subEvery int
@@ -124,18 +156,51 @@ func Dial(addr string) (*Client, error) {
 }
 
 // DialWithOptions connects to an unsd stream listener with explicit
-// resilience options. The initial dial is synchronous (so a bad address
-// fails immediately); only established connections are re-dialled.
+// resilience and transport options. The initial dial — TLS handshake
+// included when DialOptions.TLS is set — is synchronous, so a bad address,
+// an unauthentic server certificate or a rejected client certificate fails
+// immediately; only established connections are re-dialled.
 func DialWithOptions(addr string, opts DialOptions) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
+	opts = opts.withDefaults()
+	conn, err := dial(addr, opts)
 	if err != nil {
 		return nil, fmt.Errorf("client: dial %s: %w", addr, err)
 	}
 	c := newClient(conn)
 	c.addr = addr
-	c.opts = opts.withDefaults()
+	c.opts = opts
 	go c.supervise(conn)
 	return c, nil
+}
+
+// dial establishes one transport connection to addr, completing the TLS
+// handshake up front when opts.TLS is set: a misconfigured, unauthentic or
+// plaintext endpoint fails the dial loudly instead of poisoning the framed
+// protocol with ciphertext. An empty ServerName is filled from the dialled
+// host, like tls.Dial does.
+func dial(addr string, opts DialOptions) (net.Conn, error) {
+	conn, err := (&net.Dialer{Timeout: handshakeTimeout}).Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	if opts.TLS == nil {
+		return conn, nil
+	}
+	cfg := opts.TLS
+	if cfg.ServerName == "" {
+		if host, _, err := net.SplitHostPort(addr); err == nil {
+			cfg = cfg.Clone()
+			cfg.ServerName = host
+		}
+	}
+	tconn := tls.Client(conn, cfg)
+	_ = tconn.SetDeadline(time.Now().Add(handshakeTimeout))
+	if err := tconn.Handshake(); err != nil {
+		_ = conn.Close()
+		return nil, fmt.Errorf("tls handshake: %w", err)
+	}
+	_ = tconn.SetDeadline(time.Time{})
+	return tconn, nil
 }
 
 // New wraps an established connection (any net.Conn speaking the framed
@@ -151,8 +216,9 @@ func New(conn net.Conn) *Client {
 func newClient(conn net.Conn) *Client {
 	return &Client{
 		conn:      conn,
-		samplec:   make(chan []uint64, 1),
-		pongc:     make(chan uint64, 1),
+		gen:       1,
+		samplec:   make(chan taggedIDs, 1),
+		pongc:     make(chan taggedToken, 1),
 		done:      make(chan struct{}),
 		closingCh: make(chan struct{}),
 	}
@@ -170,9 +236,12 @@ func (c *Client) supervise(conn net.Conn) {
 	backoff := c.opts.MinBackoff
 	var err error
 	for {
+		c.mu.Lock()
+		gen := c.gen
+		c.mu.Unlock()
 		started := time.Now()
 		var productive bool
-		productive, err = c.readSession(conn)
+		productive, err = c.readSession(conn, gen)
 		if productive || time.Since(started) > c.opts.MaxBackoff {
 			attempts, backoff = 0, c.opts.MinBackoff
 		}
@@ -192,9 +261,14 @@ func (c *Client) supervise(conn net.Conn) {
 
 // readSession is one connection's read loop: it dispatches every incoming
 // frame until the connection fails or the server reports a terminal error.
+// gen identifies the session, and every rpc response is delivered tagged
+// with it: a pong (or sample response) left buffered when the session dies
+// must not be mistaken for the next session's answer — without the tag, a
+// Ping straddling a reconnect could consume the previous session's pong
+// token, fail the echo check, and condemn a perfectly healthy connection.
 // productive reports whether at least one frame was read (the signal that
 // the dial reached a live daemon, used to reset the reconnect backoff).
-func (c *Client) readSession(conn net.Conn) (productive bool, err error) {
+func (c *Client) readSession(conn net.Conn, gen uint64) (productive bool, err error) {
 	for {
 		f, err := netgossip.ReadFrame(conn)
 		if err != nil {
@@ -205,20 +279,36 @@ func (c *Client) readSession(conn net.Conn) (productive bool, err error) {
 		case netgossip.FrameStreamData:
 			c.dispatchStream(f.IDs)
 		case netgossip.FrameSampleResp:
-			select {
-			case c.samplec <- f.IDs:
-			default: // unsolicited or abandoned response
-			}
+			deliverRPC(c.samplec, taggedIDs{ids: f.IDs, gen: gen})
 		case netgossip.FramePong:
-			select {
-			case c.pongc <- f.Token:
-			default:
-			}
+			deliverRPC(c.pongc, taggedToken{token: f.Token, gen: gen})
 		case netgossip.FrameError:
 			return productive, fmt.Errorf("client: server error: %s", f.Msg)
 		default:
 			return productive, fmt.Errorf("client: unexpected frame type %d from server", f.Type)
 		}
+	}
+}
+
+// deliverRPC hands a response to the single-slot rpc channel, evicting
+// whatever is already buffered when it is full — by construction an
+// abandoned or stale-session response, which must never be the reason the
+// current response is the one dropped. Only one read session runs at a
+// time, so the evict-and-retry cannot race another producer; a consumer
+// stealing the buffered slot in between just makes the retry succeed.
+func deliverRPC[T any](ch chan T, v T) {
+	select {
+	case ch <- v:
+		return
+	default:
+	}
+	select {
+	case <-ch:
+	default:
+	}
+	select {
+	case ch <- v:
+	default:
 	}
 }
 
@@ -249,7 +339,7 @@ func (c *Client) redial(attempts int, backoff time.Duration) (net.Conn, int, tim
 			return nil, attempts, backoff, ErrClosed
 		}
 		attempts++
-		conn, err := net.Dial("tcp", c.addr)
+		conn, err := dial(c.addr, c.opts)
 		if err == nil {
 			c.mu.Lock()
 			if c.closing.Load() {
@@ -258,6 +348,7 @@ func (c *Client) redial(attempts int, backoff time.Duration) (net.Conn, int, tim
 				return nil, attempts, backoff, ErrClosed
 			}
 			c.conn = conn
+			c.gen++ // a fresh session: rpc responses of the old one are stale
 			subscribed, capacity, every := c.stream != nil, c.subCap, c.subEvery
 			c.mu.Unlock()
 			if subscribed {
@@ -324,20 +415,37 @@ func (c *Client) dispatchStream(ids []uint64) {
 // connection. During a reconnection window the stale connection fails the
 // write, surfacing a transient error to the caller.
 func (c *Client) write(f netgossip.Frame) error {
+	_, err := c.writeRPC(f)
+	return err
+}
+
+// writeRPC is write for request/response exchanges: it also returns the
+// session generation the frame was written against, so the caller can
+// match the response to the session that should answer it (and recognise
+// that no answer can come once that session is gone).
+func (c *Client) writeRPC(f netgossip.Frame) (uint64, error) {
 	select {
 	case <-c.done:
-		return c.Err()
+		return 0, c.Err()
 	default:
 	}
 	c.mu.Lock()
 	conn := c.conn
+	gen := c.gen
 	c.mu.Unlock()
 	c.wmu.Lock()
 	defer c.wmu.Unlock()
 	if err := netgossip.WriteFrame(conn, f); err != nil {
-		return fmt.Errorf("client: write: %w", err)
+		return gen, fmt.Errorf("client: write: %w", err)
 	}
-	return nil
+	return gen, nil
+}
+
+// sessionGen reports the generation of the current connection.
+func (c *Client) sessionGen() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.gen
 }
 
 // PushBatch feeds identifiers into the daemon's input stream. Batches
@@ -377,37 +485,56 @@ func (c *Client) Sample(n int) ([]nodesampling.NodeID, error) {
 	case <-c.samplec:
 	default:
 	}
-	if err := c.write(netgossip.Frame{Type: netgossip.FrameSample, N: uint32(n)}); err != nil {
+	gen, err := c.writeRPC(netgossip.Frame{Type: netgossip.FrameSample, N: uint32(n)})
+	if err != nil {
 		return nil, err
 	}
-	select {
-	case ids := <-c.samplec:
-		out := make([]nodesampling.NodeID, len(ids))
-		for i, id := range ids {
-			out[i] = nodesampling.NodeID(id)
+	timeout := time.After(rpcTimeout)
+	for {
+		select {
+		case resp := <-c.samplec:
+			if resp.gen != gen {
+				// A response buffered by a previous session (possible when
+				// the rpc straddles a reconnect) answers a request that no
+				// longer exists; keep waiting for this session's answer.
+				continue
+			}
+			out := make([]nodesampling.NodeID, len(resp.ids))
+			for i, id := range resp.ids {
+				out[i] = nodesampling.NodeID(id)
+			}
+			return out, nil
+		case <-c.done:
+			return nil, c.Err()
+		case <-timeout:
+			// The response may still arrive later and would be mistaken for
+			// the answer to the next request; the connection is indeterminate
+			// now, so tear it down — unless the session this request was
+			// written to is already gone and replaced, in which case the
+			// successor is healthy and owes this rpc nothing.
+			c.dropSessionIf(gen)
+			return nil, errors.New("client: sample response timed out")
 		}
-		return out, nil
-	case <-c.done:
-		return nil, c.Err()
-	case <-time.After(rpcTimeout):
-		// The response may still arrive later and would be mistaken for the
-		// answer to the next request; the connection is indeterminate now,
-		// so tear it down. (Under Reconnect only this session dies — the
-		// supervisor redials and the subscription survives.)
-		c.dropSession()
-		return nil, errors.New("client: sample response timed out")
 	}
 }
 
-// dropSession discards the current connection: a reconnecting client gets
-// a fresh one from the supervisor (re-subscribing as needed), any other
-// client closes for good.
-func (c *Client) dropSession() {
+// dropSessionIf discards the current connection, but only if it is still
+// the session the failed rpc was written to: the generation comparison and
+// the connection capture happen under one lock acquisition, so a redial
+// landing between an rpc timeout and its teardown can never cost the
+// healthy successor its fresh connection (closing the captured connection
+// outside the lock is safe — it is the stale session's, already dead). A
+// reconnecting client then gets a replacement from the supervisor
+// (re-subscribing as needed); any other client closes for good.
+func (c *Client) dropSessionIf(gen uint64) {
 	if c.opts.Reconnect && c.addr != "" {
 		c.mu.Lock()
 		conn := c.conn
+		current := c.gen == gen
 		c.mu.Unlock()
-		_ = conn.Close()
+		if current {
+			_ = conn.Close()
+		}
 		return
 	}
 	_ = c.Close()
@@ -422,21 +549,33 @@ func (c *Client) Ping() error {
 	default:
 	}
 	token := c.pingSeq.Add(1)
-	if err := c.write(netgossip.Frame{Type: netgossip.FramePing, Token: token}); err != nil {
+	gen, err := c.writeRPC(netgossip.Frame{Type: netgossip.FramePing, Token: token})
+	if err != nil {
 		return err
 	}
-	select {
-	case echo := <-c.pongc:
-		if echo != token {
-			return fmt.Errorf("client: pong token %d, want %d", echo, token)
+	timeout := time.After(rpcTimeout)
+	for {
+		select {
+		case echo := <-c.pongc:
+			if echo.gen != gen {
+				// The previous session's pong, buffered across a reconnect:
+				// not this Ping's echo, and no reason to fail a healthy new
+				// session. Wait on.
+				continue
+			}
+			if echo.token != token {
+				return fmt.Errorf("client: pong token %d, want %d", echo.token, token)
+			}
+			return nil
+		case <-c.done:
+			return c.Err()
+		case <-timeout:
+			// As with Sample: a late pong would desynchronise the next
+			// exchange, so drop the session — but only the session this ping
+			// was actually written to, never a healthy successor.
+			c.dropSessionIf(gen)
+			return errors.New("client: pong timed out")
 		}
-		return nil
-	case <-c.done:
-		return c.Err()
-	case <-time.After(rpcTimeout):
-		// As with Sample: a late pong would desynchronise the next exchange.
-		c.dropSession()
-		return errors.New("client: pong timed out")
 	}
 }
 

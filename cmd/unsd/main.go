@@ -13,7 +13,8 @@
 // HTTP endpoints:
 //
 //	POST /push      {"ids":[1,2,3]}    feed identifiers
-//	GET  /sample?n=K                   K uniform samples (default 1)
+//	GET  /sample?n=K                   K uniform samples (default 1; any
+//	                                   present but invalid n answers 400)
 //	GET  /memory                       the pooled sampling memory Γ
 //	GET  /stats                        drops, per-shard depth, throughput,
 //	                                   shard map epoch, per-subscriber
@@ -21,16 +22,48 @@
 //	POST /resize    {"shards":N}       live re-partition to N shards: a
 //	                                   flush barrier quiesces the pool, Γ
 //	                                   and sketch state follow the moved
-//	                                   ids (admin surface — front it with
-//	                                   auth before exposing it); answers
-//	                                   409 + Retry-After while another
-//	                                   resize or a snapshot is in flight
+//	                                   ids; answers 409 + Retry-After while
+//	                                   another resize or a snapshot is in
+//	                                   flight
 //	POST /snapshot                     write a durable snapshot to
 //	                                   -snapshot-path now (409 while busy)
 //	POST /autoscale {"enabled":b,...}  enable/disable/tune the autoscaler:
 //	                                   min, max, grow_threshold,
 //	                                   shrink_threshold, cooldown_ms —
 //	                                   partial updates, {} reports state
+//
+// Security plane (all opt-in; without these flags the daemon trusts its
+// network, which is only appropriate on loopback or inside a private
+// enclave):
+//
+//	-tls-cert/-tls-key   serve TLS on both the HTTP and the framed stream
+//	                     listener (the gossip listener is unaffected — see
+//	                     ROADMAP)
+//	-tls-client-ca       require and verify client certificates on the
+//	                     framed stream listener (mutual TLS): a peer that
+//	                     cannot present a certificate chained to this CA
+//	                     never reaches the frame decoder
+//	-admin-token         bearer token on the mutating admin endpoints
+//	                     (/resize, /snapshot, /autoscale); falls back to
+//	                     $UNSD_ADMIN_TOKEN so the secret stays out of
+//	                     process listings. Requests without a credential
+//	                     get 401 plus a WWW-Authenticate challenge;
+//	                     requests with a wrong or malformed one get 403 —
+//	                     disjoint from the handlers' own 400 (bad input)
+//	                     and 409 (busy) vocabulary. Comparison is
+//	                     constant-time. /sample, /memory, /stats and
+//	                     /push stay open unless -admin-token-all gates
+//	                     every endpoint.
+//	-snapshot-key-file   a 32-byte AES-256 key (raw or 64 hex chars, file
+//	                     mode 0600 enforced): snapshots are sealed with
+//	                     AES-256-GCM in a versioned "UNSE" envelope, so a
+//	                     blob at rest reveals neither the secret partition
+//	                     salt nor the sampling state and cannot be
+//	                     tampered with undetected. A wrong key refuses at
+//	                     boot; plaintext (pre-encryption) blobs still
+//	                     restore, and the next write seals them.
+//	-strict-snapshot-perms  refuse to restore a group/world-accessible
+//	                     snapshot blob (default: warn and continue)
 //
 // With -autoscale the daemon runs a load-driven control loop
 // (internal/autoscale) over the elastic shard plane: each
@@ -60,7 +93,8 @@
 // internal/shard (magic "UNSS"): shard map + salt, per-shard Count-Min
 // sketches and sampling memories Γ, decay epoch and counters — everything
 // needed so a restarted daemon does not forget attacker frequencies. It
-// embeds the secret partition salt; protect the file like key material.
+// embeds the secret partition salt; protect the file like key material —
+// or better, set -snapshot-key-file and let the daemon seal it at rest.
 //
 // Identifiers are 64-bit; HTTP responses encode them as decimal strings
 // and /push accepts numbers or strings, because JSON doubles corrupt
@@ -69,6 +103,11 @@ package main
 
 import (
 	"context"
+	"crypto/sha256"
+	"crypto/subtle"
+	"crypto/tls"
+	"crypto/x509"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"flag"
@@ -114,6 +153,22 @@ type options struct {
 	snapshotPath     string
 	snapshotInterval time.Duration
 
+	// The security plane, all opt-in: TLS on the stream and HTTP listeners
+	// (tlsClientCA additionally demands client certificates on the framed
+	// protocol), bearer-token auth on the admin endpoints (adminTokenAll
+	// extends it to the read surface), at-rest snapshot encryption, and the
+	// strict mode of the restore-time snapshot permission check.
+	tlsCert, tlsKey     string
+	tlsClientCA         string
+	adminToken          string
+	adminTokenAll       bool
+	snapshotKeyFile     string
+	strictSnapshotPerms bool
+
+	// warnw receives boot-time warnings (nil discards them); run() passes
+	// its output writer.
+	warnw io.Writer
+
 	// The autoscaling plane: the controller is always constructed (so POST
 	// /autoscale can arm it at runtime and /stats always shows live
 	// pressure) and starts enabled only with -autoscale.
@@ -132,6 +187,21 @@ type daemon struct {
 	stream *streamServer // nil until listenStream
 	ctrl   *autoscale.Controller
 	start  time.Time
+
+	// The security plane (all zero when the daemon runs open, the
+	// backwards-compatible default): tlsHTTP serves the HTTP listener,
+	// tlsStream the framed listener (same certificate, plus mutual-TLS
+	// client verification when -tls-client-ca is set); the admin bearer
+	// token gates the mutating admin endpoints (every endpoint under
+	// adminTokenAll) — only its SHA-256 digest is retained, computed once
+	// at construction, so the plaintext secret never sits in a long-lived
+	// struct; snapKey seals snapshots at rest.
+	tlsHTTP        *tls.Config
+	tlsStream      *tls.Config
+	adminTokenHash [sha256.Size]byte
+	adminTokenSet  bool
+	adminTokenAll  bool
+	snapKey        []byte
 
 	// opMu is the admin-plane gate: it serialises the mutating operations —
 	// resizes (manual and autoscaler-issued) and snapshot writes — so they
@@ -168,6 +238,28 @@ func (t scaleTarget) Resize(n int) error {
 }
 
 func newDaemon(o options) (*daemon, error) {
+	warnw := o.warnw
+	if warnw == nil {
+		warnw = io.Discard
+	}
+	// len() comparisons only on the token, never ==/!= — CI greps for raw
+	// equality on it, since that is how a timing side channel sneaks in.
+	if o.adminTokenAll && len(o.adminToken) == 0 {
+		return nil, errors.New("-admin-token-all requires -admin-token (or UNSD_ADMIN_TOKEN)")
+	}
+	tlsHTTP, tlsStream, err := loadTLSConfigs(o)
+	if err != nil {
+		return nil, err
+	}
+	var snapKey []byte
+	if o.snapshotKeyFile != "" {
+		if o.snapshotPath == "" {
+			return nil, errors.New("-snapshot-key-file requires -snapshot-path")
+		}
+		if snapKey, err = readSnapshotKey(o.snapshotKeyFile); err != nil {
+			return nil, err
+		}
+	}
 	scfg := shard.Config{
 		Shards:   o.shards,
 		Buffer:   o.buffer,
@@ -187,6 +279,12 @@ func newDaemon(o options) (*daemon, error) {
 			// The snapshot governs shard count, memory capacity and sketch
 			// shape; the -k/-s flags are validated against it and -shards/-c
 			// are superseded (resize later via POST /resize).
+			if err := checkSnapshotPerms(o.snapshotPath, o.strictSnapshotPerms, warnw); err != nil {
+				return nil, err
+			}
+			if blob, err = unsealSnapshot(blob, snapKey, warnw); err != nil {
+				return nil, fmt.Errorf("restore %s: %w", o.snapshotPath, err)
+			}
 			if pool, err = shard.Restore(scfg, blob); err != nil {
 				return nil, fmt.Errorf("restore %s: %w", o.snapshotPath, err)
 			}
@@ -218,11 +316,19 @@ func newDaemon(o options) (*daemon, error) {
 		return nil, err
 	}
 	d := &daemon{
-		pool:         pool,
-		peer:         peer,
-		start:        time.Now(),
-		snapshotPath: o.snapshotPath,
-		restored:     restored,
+		pool:          pool,
+		peer:          peer,
+		start:         time.Now(),
+		snapshotPath:  o.snapshotPath,
+		restored:      restored,
+		tlsHTTP:       tlsHTTP,
+		tlsStream:     tlsStream,
+		adminTokenAll: o.adminTokenAll,
+		snapKey:       snapKey,
+	}
+	if len(o.adminToken) > 0 {
+		d.adminTokenHash = sha256.Sum256([]byte(o.adminToken))
+		d.adminTokenSet = true
 	}
 	minShards, maxShards := o.minShards, o.maxShards
 	if minShards == 0 {
@@ -251,6 +357,111 @@ func newDaemon(o options) (*daemon, error) {
 	return d, nil
 }
 
+// loadTLSConfigs builds the listener-side TLS configurations from the
+// -tls-* options. Both listeners serve the same certificate; the framed
+// stream listener additionally demands and verifies a client certificate
+// when -tls-client-ca is set — mutual TLS is the peer-authentication story
+// of the framed protocol, while HTTP callers authenticate per request with
+// the bearer token instead. Nil configs mean the daemon runs plaintext
+// (the backwards-compatible default).
+func loadTLSConfigs(o options) (httpConf, streamConf *tls.Config, err error) {
+	if o.tlsCert == "" && o.tlsKey == "" && o.tlsClientCA == "" {
+		return nil, nil, nil
+	}
+	if o.tlsCert == "" || o.tlsKey == "" {
+		return nil, nil, errors.New("-tls-cert and -tls-key must be set together (-tls-client-ca requires both)")
+	}
+	cert, err := tls.LoadX509KeyPair(o.tlsCert, o.tlsKey)
+	if err != nil {
+		return nil, nil, fmt.Errorf("load TLS certificate: %w", err)
+	}
+	base := &tls.Config{
+		Certificates: []tls.Certificate{cert},
+		MinVersion:   tls.VersionTLS12,
+	}
+	streamConf = base.Clone()
+	if o.tlsClientCA != "" {
+		pemBytes, err := os.ReadFile(o.tlsClientCA)
+		if err != nil {
+			return nil, nil, err
+		}
+		pool := x509.NewCertPool()
+		if !pool.AppendCertsFromPEM(pemBytes) {
+			return nil, nil, fmt.Errorf("no CA certificates in %s", o.tlsClientCA)
+		}
+		streamConf.ClientCAs = pool
+		streamConf.ClientAuth = tls.RequireAndVerifyClientCert
+	}
+	return base, streamConf, nil
+}
+
+// readSnapshotKey loads the AES-256 snapshot sealing key: either 32 raw
+// bytes or 64 hex characters (surrounding whitespace ignored). The file
+// must be private to its owner — a group- or world-accessible key would
+// undo exactly the protection the sealed snapshot adds — so unlike the
+// snapshot blob's permission check, this one always refuses.
+func readSnapshotKey(path string) ([]byte, error) {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return nil, err
+	}
+	if perm := fi.Mode().Perm(); perm&0o077 != 0 {
+		return nil, fmt.Errorf("snapshot key file %s is mode %04o; it must be accessible only by its owner (chmod 600)", path, perm)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if trimmed := strings.TrimSpace(string(raw)); len(trimmed) == 2*shard.SnapshotKeyLen {
+		if key, err := hex.DecodeString(trimmed); err == nil {
+			return key, nil
+		}
+	}
+	if len(raw) == shard.SnapshotKeyLen {
+		return raw, nil
+	}
+	return nil, fmt.Errorf("snapshot key file %s must hold %d raw bytes or %d hex characters", path, shard.SnapshotKeyLen, 2*shard.SnapshotKeyLen)
+}
+
+// checkSnapshotPerms guards the restore path against salt exposure through
+// an operator copy: durableWrite creates blobs 0600, but a blob copied or
+// restored from backup can arrive group- or world-readable, leaking the
+// secret partition salt (and, unencrypted, the whole sampling state) to
+// every local user. By default the daemon warns and continues — the blob
+// is still the operator's best recovery state; under -strict-snapshot-perms
+// it refuses to boot.
+func checkSnapshotPerms(path string, strict bool, warnw io.Writer) error {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
+	if perm := fi.Mode().Perm(); perm&0o077 != 0 {
+		if strict {
+			return fmt.Errorf("snapshot %s is mode %04o (group/world-accessible) and embeds the secret partition salt; chmod 600 it or drop -strict-snapshot-perms", path, perm)
+		}
+		fmt.Fprintf(warnw, "warning: snapshot %s is mode %04o (group/world-accessible); it embeds the secret partition salt — chmod 600 it (-strict-snapshot-perms turns this warning into a refusal)\n", path, perm)
+	}
+	return nil
+}
+
+// unsealSnapshot maps an on-disk blob to the plaintext the restore path
+// needs: sealed blobs require the key (a wrong key fails authentication
+// loudly at boot, never a silently corrupt restore), while plaintext blobs
+// from before encryption was enabled still restore — with a warning when a
+// key is configured, since the next write will seal.
+func unsealSnapshot(blob, key []byte, warnw io.Writer) ([]byte, error) {
+	if shard.SnapshotSealed(blob) {
+		if key == nil {
+			return nil, errors.New("snapshot is encrypted; set -snapshot-key-file")
+		}
+		return shard.OpenSealedSnapshot(blob, key)
+	}
+	if key != nil {
+		fmt.Fprintln(warnw, "warning: restoring a plaintext (pre-encryption) snapshot; the next snapshot write will be sealed")
+	}
+	return blob, nil
+}
+
 // writeSnapshot serialises the pool and installs it at snapshotPath,
 // crash-durably: the blob is written to a temp file which is fsynced
 // before the rename, and the directory is fsynced after it. Either alone
@@ -274,6 +485,13 @@ func (d *daemon) writeSnapshotLocked() (int, error) {
 	blob, err := d.pool.Snapshot()
 	if err != nil {
 		return 0, err
+	}
+	if d.snapKey != nil {
+		// Seal before anything touches the disk: with a key configured, no
+		// plaintext snapshot byte (the salt above all) ever leaves memory.
+		if blob, err = shard.SealSnapshot(blob, d.snapKey); err != nil {
+			return 0, err
+		}
 	}
 	tmp := d.snapshotPath + ".tmp"
 	if err := durableWrite(tmp, blob); err != nil {
@@ -381,14 +599,61 @@ const maxSampleN = 65536
 
 func (d *daemon) handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /push", d.handlePush)
-	mux.HandleFunc("GET /sample", d.handleSample)
-	mux.HandleFunc("GET /memory", d.handleMemory)
-	mux.HandleFunc("GET /stats", d.handleStats)
-	mux.HandleFunc("POST /resize", d.handleResize)
-	mux.HandleFunc("POST /snapshot", d.handleSnapshot)
-	mux.HandleFunc("POST /autoscale", d.handleAutoscale)
+	// The mutating admin endpoints are always behind the bearer token when
+	// one is configured; the data and read surface joins them only under
+	// -admin-token-all (an overlay usually needs /push and /sample open).
+	readOpen := func(h http.HandlerFunc) http.HandlerFunc {
+		if d.adminTokenAll {
+			return d.requireToken(h)
+		}
+		return h
+	}
+	mux.HandleFunc("POST /push", readOpen(d.handlePush))
+	mux.HandleFunc("GET /sample", readOpen(d.handleSample))
+	mux.HandleFunc("GET /memory", readOpen(d.handleMemory))
+	mux.HandleFunc("GET /stats", readOpen(d.handleStats))
+	mux.HandleFunc("POST /resize", d.requireToken(d.handleResize))
+	mux.HandleFunc("POST /snapshot", d.requireToken(d.handleSnapshot))
+	mux.HandleFunc("POST /autoscale", d.requireToken(d.handleAutoscale))
 	return mux
+}
+
+// requireToken gates a handler behind the configured admin bearer token.
+// The status split mirrors HTTP semantics and stays disjoint from the
+// handlers' own 400/409 vocabulary: 401 (with a WWW-Authenticate
+// challenge) when no credential was presented at all, 403 when one was
+// presented and does not match. With no token configured the handler runs
+// open — security is opt-in, and ROADMAP tracks the default.
+func (d *daemon) requireToken(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if !d.adminTokenSet {
+			h(w, r)
+			return
+		}
+		auth := r.Header.Get("Authorization")
+		if auth == "" {
+			w.Header().Set("WWW-Authenticate", `Bearer realm="unsd admin"`)
+			httpError(w, http.StatusUnauthorized, "authorization required (Bearer token)")
+			return
+		}
+		const scheme = "Bearer "
+		if len(auth) < len(scheme) || !strings.EqualFold(auth[:len(scheme)], scheme) ||
+			!tokenMatches(auth[len(scheme):], d.adminTokenHash) {
+			httpError(w, http.StatusForbidden, "invalid bearer token")
+			return
+		}
+		h(w, r)
+	}
+}
+
+// tokenMatches compares a presented token against the configured token's
+// digest in constant time. The presented side is hashed to the same fixed
+// width, so the comparison leaks neither content nor length — a raw ==
+// would let a remote caller binary-search the token byte by byte through
+// response timing.
+func tokenMatches(presented string, wantHash [sha256.Size]byte) bool {
+	p := sha256.Sum256([]byte(presented))
+	return subtle.ConstantTimeCompare(p[:], wantHash[:]) == 1
 }
 
 // maxAdminBody bounds an admin-endpoint request body: the legitimate
@@ -482,11 +747,16 @@ func (d *daemon) handlePush(w http.ResponseWriter, r *http.Request) {
 }
 
 func (d *daemon) handleSample(w http.ResponseWriter, r *http.Request) {
+	// Every present n must parse as a plain decimal in [1, maxSampleN]:
+	// non-numeric garbage, n <= 0, out-of-int-range digits (Atoi reports
+	// ErrRange) and an explicitly empty "?n=" all answer 400 with a JSON
+	// error — never a 200 with a surprising body, never a panic. Only a
+	// genuinely absent parameter takes the default of one sample.
 	n := 1
-	if raw := r.URL.Query().Get("n"); raw != "" {
-		v, err := strconv.Atoi(raw)
+	if vals, present := r.URL.Query()["n"]; present {
+		v, err := strconv.Atoi(vals[0])
 		if err != nil || v < 1 || v > maxSampleN {
-			httpError(w, http.StatusBadRequest, fmt.Sprintf("n must be in [1, %d]", maxSampleN))
+			httpError(w, http.StatusBadRequest, fmt.Sprintf("n must be a decimal in [1, %d], got %q", maxSampleN, vals[0]))
 			return
 		}
 		n = v
@@ -729,6 +999,13 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 		minSh      = fs.Int("min-shards", 1, "autoscaler's lower shard bound")
 		maxSh      = fs.Int("max-shards", 64, "autoscaler's upper shard bound")
 		autoEvery  = fs.Duration("autoscale-interval", time.Second, "autoscaler tick period")
+		tlsCert    = fs.String("tls-cert", "", "TLS certificate (PEM) served by the HTTP and stream listeners; enables TLS together with -tls-key")
+		tlsKey     = fs.String("tls-key", "", "TLS private key (PEM) for -tls-cert")
+		tlsCA      = fs.String("tls-client-ca", "", "CA bundle (PEM): the framed stream listener then requires and verifies client certificates (mutual TLS); needs -tls-cert/-tls-key")
+		adminTok   = fs.String("admin-token", "", "bearer token required on POST /resize, /snapshot and /autoscale (empty falls back to $UNSD_ADMIN_TOKEN; both empty leaves the admin surface open)")
+		adminAll   = fs.Bool("admin-token-all", false, "require the admin token on every HTTP endpoint, the read surface included")
+		snapKeyF   = fs.String("snapshot-key-file", "", "file with a 32-byte AES-256 key (raw or hex, mode 0600): snapshots are sealed with it at rest and unsealed at boot; plaintext snapshots still restore")
+		strictPerm = fs.Bool("strict-snapshot-perms", false, "refuse to restore a group/world-accessible snapshot instead of warning")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -751,17 +1028,39 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 	if *autoEvery <= 0 {
 		return fmt.Errorf("non-positive -autoscale-interval %v", *autoEvery)
 	}
+	token := *adminTok
+	if token == "" {
+		token = os.Getenv("UNSD_ADMIN_TOKEN")
+	}
 	d, err := newDaemon(options{
 		shards: *shards, c: *c, k: *k, s: *s,
 		buffer: *buffer, block: *block, seed: *seed, self: *self,
 		snapshotPath: *snapPath, snapshotInterval: *snapEvery,
 		autoscale: *autoOn, minShards: *minSh, maxShards: *maxSh,
 		autoscaleInterval: *autoEvery,
+		tlsCert:           *tlsCert, tlsKey: *tlsKey, tlsClientCA: *tlsCA,
+		adminToken: token, adminTokenAll: *adminAll,
+		snapshotKeyFile:     *snapKeyF,
+		strictSnapshotPerms: *strictPerm,
+		warnw:               w,
 	})
 	if err != nil {
 		return err
 	}
 	defer d.Close()
+	if d.tlsHTTP != nil {
+		fmt.Fprintf(w, "tls enabled (stream client certificates required: %v)\n", *tlsCA != "")
+	}
+	if d.adminTokenSet {
+		if *adminAll {
+			fmt.Fprintln(w, "bearer token required on all HTTP endpoints")
+		} else {
+			fmt.Fprintln(w, "bearer token required on admin endpoints")
+		}
+	}
+	if d.snapKey != nil {
+		fmt.Fprintln(w, "snapshots sealed with AES-256-GCM at rest")
+	}
 	if *autoOn {
 		fmt.Fprintf(w, "autoscale enabled: shards in [%d, %d], tick %v\n", *minSh, *maxSh, *autoEvery)
 	}
@@ -801,6 +1100,11 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 	ln, err := net.Listen("tcp", *httpAddr)
 	if err != nil {
 		return err
+	}
+	if d.tlsHTTP != nil {
+		// Server-authenticated TLS only on the HTTP side: callers prove
+		// themselves per request with the bearer token, not a certificate.
+		ln = tls.NewListener(ln, d.tlsHTTP)
 	}
 	srv := &http.Server{
 		Handler: d.handler(),

@@ -1,0 +1,466 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"nodesampling/internal/shard"
+)
+
+// doJSON issues a request with an optional bearer token and returns the
+// response (body closed via cleanup).
+func doJSON(t *testing.T, method, url, token string, body string) *http.Response {
+	t.Helper()
+	var rdr *strings.Reader
+	if body == "" {
+		rdr = strings.NewReader("{}")
+	} else {
+		rdr = strings.NewReader(body)
+	}
+	req, err := http.NewRequest(method, url, rdr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if token != "" {
+		req.Header.Set("Authorization", "Bearer "+token)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = resp.Body.Close() })
+	return resp
+}
+
+// errBody decodes the JSON error object every refusal must carry.
+func errBody(t *testing.T, resp *http.Response) string {
+	t.Helper()
+	var e struct {
+		Error string `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
+		t.Fatalf("error response is not the JSON error object: %v", err)
+	}
+	if e.Error == "" {
+		t.Fatal("error response carries an empty error message")
+	}
+	return e.Error
+}
+
+// TestAdminTokenGatesMutatingEndpoints pins the 401/403 split on the admin
+// surface: no credential at all is 401 (with a challenge), a wrong or
+// malformed credential is 403, the right token reaches the handler (whose
+// own 400/409 vocabulary stays untouched) — and the read surface stays
+// open by default.
+func TestAdminTokenGatesMutatingEndpoints(t *testing.T) {
+	o := defaultOptions()
+	o.adminToken = "hunter2"
+	d := testDaemon(t, o)
+	ts := httptest.NewServer(d.handler())
+	defer ts.Close()
+
+	for _, ep := range []string{"/resize", "/snapshot", "/autoscale"} {
+		resp := doJSON(t, http.MethodPost, ts.URL+ep, "", "")
+		if resp.StatusCode != http.StatusUnauthorized {
+			t.Fatalf("tokenless POST %s: status %d, want 401", ep, resp.StatusCode)
+		}
+		if ep == "/resize" {
+			if c := resp.Header.Get("WWW-Authenticate"); !strings.Contains(c, "Bearer") {
+				t.Fatalf("401 without a Bearer challenge: %q", c)
+			}
+			errBody(t, resp)
+		}
+	}
+	if resp := doJSON(t, http.MethodPost, ts.URL+"/resize", "wrong-token", `{"shards":2}`); resp.StatusCode != http.StatusForbidden {
+		t.Fatalf("wrong token: status %d, want 403", resp.StatusCode)
+	}
+	// A malformed scheme is a presented-but-invalid credential: 403.
+	req, _ := http.NewRequest(http.MethodPost, ts.URL+"/resize", strings.NewReader(`{"shards":2}`))
+	req.Header.Set("Authorization", "Basic aHVudGVyMg==")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusForbidden {
+		t.Fatalf("basic-auth credential: status %d, want 403", resp.StatusCode)
+	}
+	// The right token reaches the handler; its own validation still runs.
+	if resp := doJSON(t, http.MethodPost, ts.URL+"/resize", "hunter2", `{"shards":2}`); resp.StatusCode != http.StatusOK {
+		t.Fatalf("authorised resize: status %d, want 200", resp.StatusCode)
+	}
+	if resp := doJSON(t, http.MethodPost, ts.URL+"/resize", "hunter2", `{"shards":0}`); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("authorised bad body: status %d, want 400", resp.StatusCode)
+	}
+	// The read and data surface stays open without a token.
+	if resp := postPush(t, ts.URL, []uint64{1, 2, 3}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("open /push with admin token configured: status %d", resp.StatusCode)
+	}
+	var stats struct {
+		Processed uint64 `json:"processed"`
+	}
+	if code := getJSON(t, ts.URL+"/stats", &stats); code != http.StatusOK {
+		t.Fatalf("open /stats: status %d", code)
+	}
+}
+
+// TestAdminTokenAllGatesEverything: under -admin-token-all even the read
+// surface wants the token.
+func TestAdminTokenAllGatesEverything(t *testing.T) {
+	o := defaultOptions()
+	o.adminToken = "hunter2"
+	o.adminTokenAll = true
+	d := testDaemon(t, o)
+	ts := httptest.NewServer(d.handler())
+	defer ts.Close()
+
+	for _, ep := range []string{"/stats", "/sample", "/memory"} {
+		resp, err := http.Get(ts.URL + ep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusUnauthorized {
+			t.Fatalf("tokenless GET %s under -admin-token-all: status %d, want 401", ep, resp.StatusCode)
+		}
+	}
+	if resp := doJSON(t, http.MethodPost, ts.URL+"/push", "", `{"ids":[1]}`); resp.StatusCode != http.StatusUnauthorized {
+		t.Fatalf("tokenless POST /push under -admin-token-all: status %d, want 401", resp.StatusCode)
+	}
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/stats", nil)
+	req.Header.Set("Authorization", "Bearer hunter2")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("authorised /stats: status %d, want 200", resp.StatusCode)
+	}
+	// The flag without a token is a misconfiguration, not silent openness.
+	bad := defaultOptions()
+	bad.adminTokenAll = true
+	if _, err := newDaemon(bad); err == nil {
+		t.Fatal("-admin-token-all without a token should fail")
+	}
+}
+
+// TestAdminTokenFromEnv: run() falls back to UNSD_ADMIN_TOKEN when the
+// flag is absent, so the token need not appear in process listings.
+func TestAdminTokenFromEnv(t *testing.T) {
+	t.Setenv("UNSD_ADMIN_TOKEN", "from-the-env")
+	ctx, cancel := testContext(t)
+	var sb safeBuilder
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{
+			"-http", "127.0.0.1:0",
+			"-shards", "1", "-c", "5", "-k", "6", "-s", "3", "-seed", "17",
+		}, &sb)
+	}()
+	url := "http://" + waitForListener(t, &sb, "http listening on ")
+	if resp := doJSON(t, http.MethodPost, url+"/resize", "", `{"shards":2}`); resp.StatusCode != http.StatusUnauthorized {
+		t.Fatalf("tokenless resize with env token set: status %d, want 401", resp.StatusCode)
+	}
+	if resp := doJSON(t, http.MethodPost, url+"/resize", "from-the-env", `{"shards":2}`); resp.StatusCode != http.StatusOK {
+		t.Fatalf("env-token resize: status %d, want 200", resp.StatusCode)
+	}
+	cancel()
+	<-done
+}
+
+// writeKeyFile writes a snapshot key file with the given bytes and mode.
+func writeKeyFile(t *testing.T, dir, name string, data []byte, mode os.FileMode) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, data, mode); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestEncryptedSnapshotRoundTrip is the at-rest acceptance e2e: a daemon
+// with -snapshot-key-file writes only sealed blobs, a restart with the
+// same key restores bit-identical estimates, the wrong key and a missing
+// key both refuse loudly, and a plaintext-era blob still restores.
+func TestEncryptedSnapshotRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	key := writeKeyFile(t, dir, "snap.key",
+		[]byte("f00dbabe"+strings.Repeat("ab", 28)), 0o600) // 64 hex chars
+	o := defaultOptions()
+	o.snapshotPath = filepath.Join(dir, "pool.snap")
+	o.snapshotKeyFile = key
+
+	d1, err := newDaemon(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const hot = uint64(424242)
+	ids := make([]uint64, 1024)
+	for i := range ids {
+		if i%2 == 0 {
+			ids[i] = hot
+		} else {
+			ids[i] = uint64(i + 1)
+		}
+	}
+	if err := d1.pool.PushBatch(ids); err != nil {
+		t.Fatal(err)
+	}
+	if err := d1.pool.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	estBefore := d1.pool.Estimate(hot)
+	if estBefore == 0 {
+		t.Fatal("hot id estimate is zero before the restart")
+	}
+	d1.Close() // writes the final (sealed) snapshot
+
+	blob, err := os.ReadFile(o.snapshotPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !shard.SnapshotSealed(blob) {
+		t.Fatal("snapshot on disk is not sealed despite -snapshot-key-file")
+	}
+	if bytes.Contains(blob, []byte("UNSS")) {
+		t.Fatal("sealed blob contains the plaintext snapshot magic")
+	}
+
+	// Same key: bit-identical restore.
+	d2, err := newDaemon(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d2.restored {
+		t.Fatal("daemon did not restore from the sealed snapshot")
+	}
+	if got := d2.pool.Estimate(hot); got != estBefore {
+		t.Fatalf("hot id estimate %d after sealed restart, want %d", got, estBefore)
+	}
+	d2.Close()
+
+	// Wrong key: loud refusal at boot.
+	wrong := o
+	wrong.snapshotKeyFile = writeKeyFile(t, dir, "wrong.key", []byte(strings.Repeat("cd", 32)), 0o600)
+	if _, err := newDaemon(wrong); err == nil || !strings.Contains(err.Error(), "authentication") {
+		t.Fatalf("wrong key restore = %v, want authentication failure", err)
+	}
+	// No key at all: the daemon must name the missing flag.
+	bare := o
+	bare.snapshotKeyFile = ""
+	if _, err := newDaemon(bare); err == nil || !strings.Contains(err.Error(), "-snapshot-key-file") {
+		t.Fatalf("keyless restore of a sealed snapshot = %v", err)
+	}
+}
+
+// TestPlaintextSnapshotStillRestoresUnderKey: enabling encryption on an
+// existing deployment must not strand the pre-encryption blob — it
+// restores with a warning, and the next write seals.
+func TestPlaintextSnapshotStillRestoresUnderKey(t *testing.T) {
+	dir := t.TempDir()
+	o := defaultOptions()
+	o.snapshotPath = filepath.Join(dir, "pool.snap")
+
+	d1, err := newDaemon(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d1.pool.PushBatch([]uint64{1, 2, 3, 4, 5, 6, 7, 8}); err != nil {
+		t.Fatal(err)
+	}
+	d1.Close() // plaintext snapshot
+
+	var warn safeBuilder
+	o2 := o
+	o2.snapshotKeyFile = writeKeyFile(t, dir, "snap.key", []byte(strings.Repeat("ef", 32)), 0o600)
+	o2.warnw = &warn
+	d2, err := newDaemon(o2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d2.restored {
+		t.Fatal("plaintext-era snapshot did not restore under a configured key")
+	}
+	if !strings.Contains(warn.String(), "plaintext") {
+		t.Fatalf("no plaintext-restore warning, got: %q", warn.String())
+	}
+	if _, err := d2.writeSnapshot(); err != nil {
+		t.Fatal(err)
+	}
+	d2.Close()
+	blob, err := os.ReadFile(o.snapshotPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !shard.SnapshotSealed(blob) {
+		t.Fatal("snapshot written after key configuration is not sealed")
+	}
+}
+
+// TestSnapshotKeyFileValidation: short, long, non-hex and over-permissive
+// key files all refuse at boot; raw 32-byte keys are accepted.
+func TestSnapshotKeyFileValidation(t *testing.T) {
+	dir := t.TempDir()
+	raw32 := make([]byte, 32)
+	for i := range raw32 {
+		raw32[i] = byte(i)
+	}
+	if key, err := readSnapshotKey(writeKeyFile(t, dir, "raw", raw32, 0o600)); err != nil || len(key) != 32 {
+		t.Fatalf("raw 32-byte key rejected: %v", err)
+	}
+	if key, err := readSnapshotKey(writeKeyFile(t, dir, "hex", []byte(strings.Repeat("0a", 32)+"\n"), 0o600)); err != nil || len(key) != 32 {
+		t.Fatalf("hex key with trailing newline rejected: %v", err)
+	}
+	for name, data := range map[string][]byte{
+		"short":  make([]byte, 16),
+		"long":   make([]byte, 48),
+		"nonhex": []byte(strings.Repeat("zz", 32)),
+	} {
+		if _, err := readSnapshotKey(writeKeyFile(t, dir, name, data, 0o600)); err == nil {
+			t.Fatalf("%s key accepted", name)
+		}
+	}
+	if _, err := readSnapshotKey(writeKeyFile(t, dir, "lax", raw32, 0o644)); err == nil || !strings.Contains(err.Error(), "0644") {
+		t.Fatalf("group/world-readable key file accepted: %v", err)
+	}
+	// A key file without a snapshot path is a misconfiguration.
+	o := defaultOptions()
+	o.snapshotKeyFile = writeKeyFile(t, dir, "ok", raw32, 0o600)
+	if _, err := newDaemon(o); err == nil {
+		t.Fatal("-snapshot-key-file without -snapshot-path should fail")
+	}
+}
+
+// TestSnapshotRestorePermissions pins the restore-time permission check on
+// the blob itself: an operator-copied, group/world-readable snapshot warns
+// by default (the state is still the best recovery option) and refuses
+// under -strict-snapshot-perms.
+func TestSnapshotRestorePermissions(t *testing.T) {
+	dir := t.TempDir()
+	o := defaultOptions()
+	o.snapshotPath = filepath.Join(dir, "pool.snap")
+	d1, err := newDaemon(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d1.pool.PushBatch([]uint64{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	d1.Close()
+	if err := os.Chmod(o.snapshotPath, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Default: warn and continue.
+	var warn safeBuilder
+	lax := o
+	lax.warnw = &warn
+	d2, err := newDaemon(lax)
+	if err != nil {
+		t.Fatalf("lax mode refused a readable snapshot: %v", err)
+	}
+	if !d2.restored {
+		t.Fatal("lax mode did not restore")
+	}
+	d2.Close()
+	if !strings.Contains(warn.String(), "group/world-accessible") {
+		t.Fatalf("no permission warning, got: %q", warn.String())
+	}
+	// Closing d2 rewrote the snapshot 0600 (durableWrite); re-create the
+	// operator-copy situation for the strict case.
+	if err := os.Chmod(o.snapshotPath, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Strict: refuse, naming the mode and the flag.
+	strict := o
+	strict.strictSnapshotPerms = true
+	if _, err := newDaemon(strict); err == nil || !strings.Contains(err.Error(), "0644") {
+		t.Fatalf("strict mode = %v, want a refusal naming mode 0644", err)
+	}
+
+	// A private blob sails through strict mode.
+	if err := os.Chmod(o.snapshotPath, 0o600); err != nil {
+		t.Fatal(err)
+	}
+	d3, err := newDaemon(strict)
+	if err != nil {
+		t.Fatalf("strict mode refused a 0600 snapshot: %v", err)
+	}
+	if !d3.restored {
+		t.Fatal("strict mode did not restore a private snapshot")
+	}
+	d3.Close()
+}
+
+// TestSampleInputClasses audits GET /sample?n= byte by byte: every present
+// but invalid n — non-numeric, zero, negative, explicitly empty,
+// whitespace-padded, float-shaped, over the cap, or beyond int range —
+// answers 400 with a JSON error object, and valid forms still work.
+func TestSampleInputClasses(t *testing.T) {
+	d := testDaemon(t, defaultOptions())
+	ts := httptest.NewServer(d.handler())
+	defer ts.Close()
+	ids := make([]uint64, 256)
+	for i := range ids {
+		ids[i] = uint64(i + 1)
+	}
+	if resp := postPush(t, ts.URL, ids); resp.StatusCode != http.StatusOK {
+		t.Fatalf("push status %d", resp.StatusCode)
+	}
+	if err := d.pool.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	bad := []string{
+		"n=",                     // explicitly empty value
+		"n=0",                    // below range
+		"n=-3",                   // negative
+		"n=abc",                  // non-numeric
+		"n=1e3",                  // float notation is not a decimal count
+		"n=%205",                 // leading whitespace
+		"n=5x",                   // trailing garbage
+		"n=0x10",                 // hex is not a decimal count
+		"n=65537",                // maxSampleN + 1
+		"n=99999999999999999999", // overflows int64 (Atoi ErrRange)
+		"n=abc&n=5",              // first value wins and is garbage
+		"n=+5",                   // '+' is a query-encoded space: " 5"
+	}
+	for _, q := range bad {
+		resp, err := http.Get(ts.URL + "/sample?" + q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusBadRequest {
+			resp.Body.Close()
+			t.Fatalf("/sample?%s status %d, want 400", q, resp.StatusCode)
+		}
+		if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+			resp.Body.Close()
+			t.Fatalf("/sample?%s content-type %q", q, ct)
+		}
+		errBody(t, resp)
+		resp.Body.Close()
+	}
+
+	var sampled struct {
+		Samples []string `json:"samples"`
+	}
+	for q, want := range map[string]int{"": 1, "n=1": 1, "n=64": 64} {
+		url := ts.URL + "/sample"
+		if q != "" {
+			url += "?" + q
+		}
+		if code := getJSON(t, url, &sampled); code != http.StatusOK || len(sampled.Samples) != want {
+			t.Fatalf("/sample?%s = code %d, %d samples, want 200 with %d", q, code, len(sampled.Samples), want)
+		}
+	}
+}

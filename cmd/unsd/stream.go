@@ -1,6 +1,7 @@
 package main
 
 import (
+	"crypto/tls"
 	"errors"
 	"io"
 	"net"
@@ -44,11 +45,19 @@ type streamServer struct {
 }
 
 // listenStream starts serving the framed protocol on addr and returns the
-// live listener (addr may carry port 0).
+// live listener (addr may carry port 0). With the TLS plane configured the
+// listener is wrapped so every connection handshakes before its first
+// frame — and, when -tls-client-ca is set, proves a certificate chained to
+// that CA (mutual TLS): an unauthenticated peer never reaches the frame
+// decoder, let alone the pool. The per-connection read deadlines double as
+// handshake deadlines, since the handshake runs inside the first read.
 func (d *daemon) listenStream(addr string) (net.Listener, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
+	}
+	if d.tlsStream != nil {
+		ln = tls.NewListener(ln, d.tlsStream)
 	}
 	s := &streamServer{d: d, ln: ln, conns: make(map[net.Conn]struct{})}
 	d.stream = s

@@ -1,0 +1,576 @@
+package main
+
+import (
+	"crypto/ecdsa"
+	"crypto/elliptic"
+	"crypto/rand"
+	"crypto/tls"
+	"crypto/x509"
+	"crypto/x509/pkix"
+	"encoding/pem"
+	"math/big"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"nodesampling"
+	"nodesampling/client"
+	"nodesampling/internal/shard"
+)
+
+// certKit is an on-disk PKI for the TLS tests: a CA, a server certificate
+// for 127.0.0.1 and a client certificate signed by that CA — plus a rogue
+// client credential signed by a different CA the daemon does not trust.
+type certKit struct {
+	caPath, serverCertPath, serverKeyPath string
+
+	caPEM      []byte
+	clientCert tls.Certificate
+	rogueCert  tls.Certificate
+}
+
+func newCertKit(t *testing.T) *certKit {
+	t.Helper()
+	dir := t.TempDir()
+	kit := &certKit{
+		caPath:         filepath.Join(dir, "ca.pem"),
+		serverCertPath: filepath.Join(dir, "server.pem"),
+		serverKeyPath:  filepath.Join(dir, "server.key"),
+	}
+	caKey, caCert, caPEM := newTestCA(t, "unsd test CA")
+	kit.caPEM = caPEM
+	writeFile(t, kit.caPath, caPEM)
+
+	serverCertPEM, serverKeyPEM := issueCert(t, caCert, caKey, x509.ExtKeyUsageServerAuth)
+	writeFile(t, kit.serverCertPath, serverCertPEM)
+	writeFile(t, kit.serverKeyPath, serverKeyPEM)
+
+	clientCertPEM, clientKeyPEM := issueCert(t, caCert, caKey, x509.ExtKeyUsageClientAuth)
+	cert, err := tls.X509KeyPair(clientCertPEM, clientKeyPEM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kit.clientCert = cert
+
+	rogueKey, rogueCA, _ := newTestCA(t, "rogue CA")
+	rogueCertPEM, rogueKeyPEM := issueCert(t, rogueCA, rogueKey, x509.ExtKeyUsageClientAuth)
+	rogue, err := tls.X509KeyPair(rogueCertPEM, rogueKeyPEM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kit.rogueCert = rogue
+	return kit
+}
+
+func writeFile(t *testing.T, path string, data []byte) {
+	t.Helper()
+	if err := os.WriteFile(path, data, 0o600); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func newTestCA(t *testing.T, name string) (*ecdsa.PrivateKey, *x509.Certificate, []byte) {
+	t.Helper()
+	key, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmpl := &x509.Certificate{
+		SerialNumber:          big.NewInt(1),
+		Subject:               pkix.Name{CommonName: name},
+		NotBefore:             time.Now().Add(-time.Hour),
+		NotAfter:              time.Now().Add(24 * time.Hour),
+		IsCA:                  true,
+		KeyUsage:              x509.KeyUsageCertSign | x509.KeyUsageDigitalSignature,
+		BasicConstraintsValid: true,
+	}
+	der, err := x509.CreateCertificate(rand.Reader, tmpl, tmpl, &key.PublicKey, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cert, err := x509.ParseCertificate(der)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return key, cert, pem.EncodeToMemory(&pem.Block{Type: "CERTIFICATE", Bytes: der})
+}
+
+// issueCert mints a leaf for 127.0.0.1 signed by the given CA and returns
+// certificate and key as PEM.
+func issueCert(t *testing.T, ca *x509.Certificate, caKey *ecdsa.PrivateKey, usage x509.ExtKeyUsage) (certPEM, keyPEM []byte) {
+	t.Helper()
+	key, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmpl := &x509.Certificate{
+		SerialNumber: big.NewInt(time.Now().UnixNano()),
+		Subject:      pkix.Name{CommonName: "unsd test leaf"},
+		NotBefore:    time.Now().Add(-time.Hour),
+		NotAfter:     time.Now().Add(24 * time.Hour),
+		KeyUsage:     x509.KeyUsageDigitalSignature,
+		ExtKeyUsage:  []x509.ExtKeyUsage{usage},
+		IPAddresses:  []net.IP{net.ParseIP("127.0.0.1")},
+	}
+	der, err := x509.CreateCertificate(rand.Reader, tmpl, ca, &key.PublicKey, caKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keyDER, err := x509.MarshalECPrivateKey(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pem.EncodeToMemory(&pem.Block{Type: "CERTIFICATE", Bytes: der}),
+		pem.EncodeToMemory(&pem.Block{Type: "EC PRIVATE KEY", Bytes: keyDER})
+}
+
+// tlsOptions is defaultOptions plus the full TLS plane (mutual TLS on the
+// stream listener).
+func tlsOptions(t *testing.T, kit *certKit) options {
+	o := defaultOptions()
+	o.tlsCert, o.tlsKey, o.tlsClientCA = kit.serverCertPath, kit.serverKeyPath, kit.caPath
+	return o
+}
+
+// clientTLS builds a client-side config trusting the kit's CA; withCert
+// attaches the kit's (trusted) client certificate.
+func (kit *certKit) clientTLS(t *testing.T, cert *tls.Certificate) *tls.Config {
+	t.Helper()
+	pool := x509.NewCertPool()
+	if !pool.AppendCertsFromPEM(kit.caPEM) {
+		t.Fatal("bad CA PEM")
+	}
+	cfg := &tls.Config{RootCAs: pool, MinVersion: tls.VersionTLS12}
+	if cert != nil {
+		cfg.Certificates = []tls.Certificate{*cert}
+	}
+	return cfg
+}
+
+// TestTLSStreamMutualAuthEndToEnd is the happy path of the secured framed
+// protocol: a client presenting a certificate chained to the daemon's CA
+// handshakes, pushes, samples, pings and rides the σ′ stream — all over
+// one mutually authenticated connection.
+func TestTLSStreamMutualAuthEndToEnd(t *testing.T) {
+	kit := newCertKit(t)
+	d, ln := testStreamDaemon(t, tlsOptions(t, kit))
+	_ = d
+
+	c, err := client.DialWithOptions(ln.Addr().String(), client.DialOptions{
+		TLS: kit.clientTLS(t, &kit.clientCert),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	out, err := c.Subscribe(4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := make([]nodesampling.NodeID, 512)
+	for i := range ids {
+		ids[i] = nodesampling.NodeID(i + 1)
+	}
+	if err := c.PushBatch(ids); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "samples over mTLS", func() bool {
+		s, err := c.Sample(4)
+		return err == nil && len(s) == 4
+	})
+	select {
+	case id := <-out:
+		if id < 1 || id > 512 {
+			t.Fatalf("σ′ draw %d outside the pushed population", id)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("no σ′ stream data over mTLS")
+	}
+}
+
+// TestTLSStreamRejectsUnauthenticatedPeers pins the rejection surface of
+// the mutual-TLS listener: a client with no certificate, a client whose
+// certificate chains to the wrong CA, and a plaintext client must all fail
+// loudly (at dial or on the first exchange) — never hang, never reach the
+// frame decoder.
+func TestTLSStreamRejectsUnauthenticatedPeers(t *testing.T) {
+	kit := newCertKit(t)
+	d, ln := testStreamDaemon(t, tlsOptions(t, kit))
+	addr := ln.Addr().String()
+
+	mustFail := func(t *testing.T, tcfg *tls.Config) {
+		t.Helper()
+		c, err := client.DialWithOptions(addr, client.DialOptions{TLS: tcfg})
+		if err != nil {
+			return // rejected at the handshake: loud and immediate
+		}
+		defer c.Close()
+		if err := c.Ping(); err == nil {
+			t.Fatal("unauthenticated peer completed a Ping")
+		}
+	}
+	t.Run("no client certificate", func(t *testing.T) {
+		mustFail(t, kit.clientTLS(t, nil))
+	})
+	t.Run("wrong-CA client certificate", func(t *testing.T) {
+		mustFail(t, kit.clientTLS(t, &kit.rogueCert))
+	})
+	t.Run("plaintext client", func(t *testing.T) {
+		mustFail(t, nil)
+	})
+
+	// None of the rejected peers may have touched the pool.
+	if st := d.pool.Stats(); st.Processed != 0 {
+		t.Fatalf("rejected peers reached the pool: %d ids processed", st.Processed)
+	}
+
+	// And the listener still serves a proper peer afterwards.
+	c, err := client.DialWithOptions(addr, client.DialOptions{TLS: kit.clientTLS(t, &kit.clientCert)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Ping(); err != nil {
+		t.Fatalf("trusted client after rejections: %v", err)
+	}
+}
+
+// TestTLSClientAgainstPlaintextDaemon: the inverse mismatch must also fail
+// at dial time — the TLS handshake cannot complete against a plaintext
+// framed listener.
+func TestTLSClientAgainstPlaintextDaemon(t *testing.T) {
+	kit := newCertKit(t)
+	_, ln := testStreamDaemon(t, defaultOptions()) // no TLS
+	_, err := client.DialWithOptions(ln.Addr().String(), client.DialOptions{
+		TLS: kit.clientTLS(t, &kit.clientCert),
+	})
+	if err == nil {
+		t.Fatal("TLS handshake against a plaintext listener succeeded")
+	}
+}
+
+// TestTLSReconnectAcrossDaemonRestart proves the resilience machinery
+// composes with the secure transport: a reconnecting mTLS client keeps its
+// stream channel across a daemon kill-and-restart, re-handshaking and
+// re-subscribing on the fresh daemon.
+func TestTLSReconnectAcrossDaemonRestart(t *testing.T) {
+	kit := newCertKit(t)
+	o := tlsOptions(t, kit)
+	d1, ln1 := testStreamDaemon(t, o)
+	addr := ln1.Addr().String()
+
+	c, err := client.DialWithOptions(addr, client.DialOptions{
+		TLS:        kit.clientTLS(t, &kit.clientCert),
+		Reconnect:  true,
+		MinBackoff: 5 * time.Millisecond,
+		MaxBackoff: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	out, err := c.Subscribe(4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.PushBatch([]nodesampling.NodeID{1, 2, 3, 4, 5, 6, 7, 8}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-out:
+	case <-time.After(10 * time.Second):
+		t.Fatal("no stream data before the restart")
+	}
+
+	// Kill the daemon; bring a fresh one up on the same address with the
+	// same credentials.
+	d1.Close()
+	d2, err := newDaemon(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(d2.Close)
+	var ln2 net.Listener
+	for i := 0; i < 100; i++ {
+		if ln2, err = d2.listenStream(addr); err == nil {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err != nil {
+		t.Fatalf("relisten on %s: %v", addr, err)
+	}
+	_ = ln2
+
+	// The client redials, re-handshakes and re-subscribes on its own;
+	// pushing through it must eventually land on the new daemon and flow
+	// back over the surviving channel.
+	deadline := time.After(30 * time.Second)
+	batch := []nodesampling.NodeID{11, 12, 13, 14, 15, 16, 17, 18}
+	for {
+		_ = c.PushBatch(batch) // transient failures expected mid-redial
+		select {
+		case id, ok := <-out:
+			if !ok {
+				t.Fatalf("stream channel closed across restart: %v", c.Err())
+			}
+			if id >= 11 && id <= 18 {
+				if c.Reconnects() == 0 {
+					t.Fatal("post-restart data without a recorded reconnect")
+				}
+				return
+			}
+			// Pre-restart draw still buffered: keep going.
+		case <-deadline:
+			t.Fatalf("no post-restart stream data (reconnects=%d, err=%v)", c.Reconnects(), c.Err())
+		case <-time.After(20 * time.Millisecond):
+		}
+	}
+}
+
+// TestTLSRunFlagsServeHTTPS boots the daemon through run() with the TLS
+// flags and checks both faces of the HTTP listener: an https client
+// trusting the CA is served, and the admin surface still wants its bearer
+// token (transport security does not replace authentication).
+func TestTLSRunFlagsServeHTTPS(t *testing.T) {
+	kit := newCertKit(t)
+	ctx, cancel := testContext(t)
+	var sb safeBuilder
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{
+			"-http", "127.0.0.1:0", "-stream", "127.0.0.1:0",
+			"-shards", "2", "-c", "5", "-k", "6", "-s", "3", "-seed", "13",
+			"-tls-cert", kit.serverCertPath, "-tls-key", kit.serverKeyPath,
+			"-tls-client-ca", kit.caPath,
+			"-admin-token", "deep-secret",
+		}, &sb)
+	}()
+	addr := waitForListener(t, &sb, "http listening on ")
+	httpsURL := "https://" + addr
+
+	hc := &http.Client{Transport: &http.Transport{TLSClientConfig: kit.clientTLS(t, nil)}}
+	resp, err := hc.Get(httpsURL + "/stats")
+	if err != nil {
+		t.Fatalf("https /stats: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("https /stats status %d", resp.StatusCode)
+	}
+	// Plain http against the TLS listener must fail, not silently serve.
+	if resp, err := http.Get("http://" + addr + "/stats"); err == nil {
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusOK {
+			t.Fatal("plaintext request served by the TLS listener")
+		}
+	}
+	// Admin POST without the token: 401 even over authenticated transport.
+	req, err := http.NewRequest(http.MethodPost, httpsURL+"/snapshot", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err = hc.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnauthorized {
+		t.Fatalf("tokenless admin POST over https: status %d, want 401", resp.StatusCode)
+	}
+
+	// The stream listener demands a client certificate (mutual TLS).
+	streamAddr := waitForListener(t, &sb, "stream listening on ")
+	if c, err := client.DialWithOptions(streamAddr, client.DialOptions{TLS: kit.clientTLS(t, nil)}); err == nil {
+		if err := c.Ping(); err == nil {
+			t.Fatal("certificate-less client served on the mTLS stream listener")
+		}
+		c.Close()
+	}
+	c, err := client.DialWithOptions(streamAddr, client.DialOptions{TLS: kit.clientTLS(t, &kit.clientCert)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Ping(); err != nil {
+		t.Fatalf("mTLS client against run() daemon: %v", err)
+	}
+	c.Close()
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("run did not shut down")
+	}
+}
+
+// TestSecureEdgeAcceptance drives the whole security plane at once — the
+// acceptance scenario of the hardened edge: a daemon with
+// -tls-cert/-tls-key/-tls-client-ca/-admin-token/-snapshot-key-file
+// rejects unauthenticated stream peers and tokenless admin POSTs
+// (401/403), serves an mTLS client end-to-end (push → sample → subscribe →
+// reconnect), and restarts from an AES-GCM-sealed snapshot with
+// bit-identical estimates.
+func TestSecureEdgeAcceptance(t *testing.T) {
+	kit := newCertKit(t)
+	dir := t.TempDir()
+	o := tlsOptions(t, kit)
+	o.adminToken = "edge-secret"
+	o.snapshotPath = filepath.Join(dir, "pool.snap")
+	o.snapshotKeyFile = writeKeyFile(t, dir, "snap.key", []byte(strings.Repeat("5a", 32)), 0o600)
+
+	d1, ln1 := testStreamDaemon(t, o)
+	addr := ln1.Addr().String()
+	ts := httptest.NewServer(d1.handler())
+
+	// The mTLS client: push a hot-id-heavy stream, sample, subscribe.
+	c, err := client.DialWithOptions(addr, client.DialOptions{
+		TLS:        kit.clientTLS(t, &kit.clientCert),
+		Reconnect:  true,
+		MinBackoff: 5 * time.Millisecond,
+		MaxBackoff: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	out, err := c.Subscribe(4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const hot = 999999
+	ids := make([]nodesampling.NodeID, 1024)
+	for i := range ids {
+		if i%2 == 0 {
+			ids[i] = hot
+		} else {
+			ids[i] = nodesampling.NodeID(i + 1)
+		}
+	}
+	if err := c.PushBatch(ids); err != nil {
+		t.Fatal(err)
+	}
+	// The push is asynchronous across the wire: wait until the daemon has
+	// absorbed it before cutting the state we compare across the restart.
+	waitFor(t, "the pushed batch to be ingested", func() bool {
+		return d1.pool.Stats().Processed >= uint64(len(ids))
+	})
+	if err := d1.pool.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	estBefore := d1.pool.Estimate(hot)
+	if estBefore == 0 {
+		t.Fatal("hot id estimate is zero")
+	}
+	waitFor(t, "samples over the secured stream", func() bool {
+		s, err := c.Sample(8)
+		return err == nil && len(s) == 8
+	})
+	select {
+	case <-out:
+	case <-time.After(10 * time.Second):
+		t.Fatal("no σ′ over the secured stream")
+	}
+
+	// An unauthenticated stream peer is rejected without touching the pool.
+	if bad, err := client.DialWithOptions(addr, client.DialOptions{TLS: kit.clientTLS(t, nil)}); err == nil {
+		if err := bad.Ping(); err == nil {
+			t.Fatal("certificate-less peer served")
+		}
+		bad.Close()
+	}
+
+	// Admin surface: 401 tokenless, 403 wrong, 200 with the token (the
+	// snapshot it writes must be sealed).
+	if resp := doJSON(t, http.MethodPost, ts.URL+"/snapshot", "", ""); resp.StatusCode != http.StatusUnauthorized {
+		t.Fatalf("tokenless /snapshot: %d, want 401", resp.StatusCode)
+	}
+	if resp := doJSON(t, http.MethodPost, ts.URL+"/snapshot", "not-it", ""); resp.StatusCode != http.StatusForbidden {
+		t.Fatalf("wrong-token /snapshot: %d, want 403", resp.StatusCode)
+	}
+	if resp := doJSON(t, http.MethodPost, ts.URL+"/snapshot", "edge-secret", ""); resp.StatusCode != http.StatusOK {
+		t.Fatalf("authorised /snapshot: %d, want 200", resp.StatusCode)
+	}
+	blob, err := os.ReadFile(o.snapshotPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !shard.SnapshotSealed(blob) {
+		t.Fatal("snapshot written by the admin endpoint is not sealed")
+	}
+
+	// Kill the daemon; restart from the sealed snapshot on the same
+	// address. The client reconnects and the estimates are bit-identical.
+	ts.Close()
+	d1.Close()
+	d2, err := newDaemon(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(d2.Close)
+	if !d2.restored {
+		t.Fatal("second daemon did not restore from the sealed snapshot")
+	}
+	if got := d2.pool.Estimate(hot); got != estBefore {
+		t.Fatalf("hot id estimate %d after sealed restart, want %d", got, estBefore)
+	}
+	var ln2 net.Listener
+	for i := 0; i < 100; i++ {
+		if ln2, err = d2.listenStream(addr); err == nil {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err != nil {
+		t.Fatalf("relisten on %s: %v", addr, err)
+	}
+	_ = ln2
+	deadline := time.After(30 * time.Second)
+	fresh := []nodesampling.NodeID{2001, 2002, 2003, 2004}
+	for {
+		_ = c.PushBatch(fresh)
+		select {
+		case id, ok := <-out:
+			if !ok {
+				t.Fatalf("stream channel closed across the secure restart: %v", c.Err())
+			}
+			if id >= 2001 && id <= 2004 {
+				if c.Reconnects() == 0 {
+					t.Fatal("post-restart data without a recorded reconnect")
+				}
+				return
+			}
+		case <-deadline:
+			t.Fatalf("no post-restart σ′ (reconnects=%d, err=%v)", c.Reconnects(), c.Err())
+		case <-time.After(20 * time.Millisecond):
+		}
+	}
+}
+
+// TestTLSFlagValidation: half-configured TLS must fail at boot, loudly.
+func TestTLSFlagValidation(t *testing.T) {
+	kit := newCertKit(t)
+	var sb safeBuilder
+	ctx, cancel := testContext(t)
+	defer cancel()
+	if err := run(ctx, []string{"-tls-cert", kit.serverCertPath}, &sb); err == nil {
+		t.Error("-tls-cert without -tls-key should fail")
+	}
+	if err := run(ctx, []string{"-tls-client-ca", kit.caPath}, &sb); err == nil {
+		t.Error("-tls-client-ca without a server certificate should fail")
+	}
+	if err := run(ctx, []string{"-tls-cert", kit.serverCertPath, "-tls-key", kit.caPath}, &sb); err == nil {
+		t.Error("mismatched cert/key should fail")
+	}
+}

@@ -111,6 +111,25 @@
 // fans out through the same hub, with the same accounting and decimation,
 // at single-sampler scale.
 //
+// # Securing the service edge
+//
+// The paper's adversary model assumes the sampler sees the stream the
+// overlay actually sent — an assumption that collapses if the transport
+// itself can be owned. The unsd daemon therefore carries an opt-in
+// security plane end to end: TLS on the HTTP and framed stream listeners
+// (-tls-cert/-tls-key), mutual-TLS peer authentication on the framed
+// protocol (-tls-client-ca — an unauthenticated peer never reaches the
+// frame decoder, so Sybil ids need a certificate before they need a
+// collusion), constant-time bearer-token authentication on the mutating
+// admin endpoints (-admin-token, 401/403 disjoint from the 400/409 input
+// vocabulary), and AES-256-GCM sealing of snapshot blobs at rest
+// (-snapshot-key-file) — the blob embeds the secret partition salt that
+// keeps the shard map unpredictable, so an unprotected copy hands an
+// adversary the very unpredictability the defence rests on. The client
+// side mirrors the transport through DialOptions.TLS, composing with
+// automatic reconnection: every redial re-handshakes with the same
+// credentials before the subscription is re-issued.
+//
 // Use Service for a single node's modest stream, Pool when one sampler
 // cannot absorb the traffic, and the unsd daemon (cmd/unsd) to serve a
 // Pool over the network: HTTP for request/response (plus POST /resize,

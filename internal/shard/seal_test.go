@@ -1,0 +1,138 @@
+package shard
+
+import (
+	"bytes"
+	"testing"
+)
+
+func sealTestKey(b byte) []byte {
+	key := make([]byte, SnapshotKeyLen)
+	for i := range key {
+		key[i] = b
+	}
+	return key
+}
+
+// TestSealOpenRoundTrip: a live pool's snapshot survives seal → open →
+// Restore with bit-identical state.
+func TestSealOpenRoundTrip(t *testing.T) {
+	p := newTestPool(t, 4, 10, 12, 5, true, 16)
+	ids := make([]uint64, 512)
+	for i := range ids {
+		ids[i] = uint64(i + 1)
+	}
+	if err := p.PushBatch(ids); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := p.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := sealTestKey(0xA7)
+	sealed, err := SealSnapshot(blob, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !SnapshotSealed(sealed) {
+		t.Fatal("sealed blob not detected as sealed")
+	}
+	if SnapshotSealed(blob) {
+		t.Fatal("plaintext blob misdetected as sealed")
+	}
+	if bytes.Contains(sealed, blob[:16]) {
+		t.Fatal("sealed blob leaks plaintext snapshot prefix")
+	}
+	opened, err := OpenSealedSnapshot(sealed, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(opened, blob) {
+		t.Fatal("open(seal(blob)) differs from blob")
+	}
+	p2, err := Restore(p.cfg, opened)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p2.Close()
+	for _, id := range ids[:32] {
+		if a, b := p.Estimate(id), p2.Estimate(id); a != b {
+			t.Fatalf("estimate of %d diverged across seal round-trip: %d vs %d", id, a, b)
+		}
+	}
+}
+
+// TestSealRejections: wrong key, tampering (header and body), truncation,
+// bad key length, double seal, and Restore fed raw ciphertext all fail
+// loudly.
+func TestSealRejections(t *testing.T) {
+	p := newTestPool(t, 2, 5, 8, 4, true, 16)
+	if err := p.PushBatch([]uint64{1, 2, 3, 4, 5}); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := p.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := sealTestKey(1)
+	sealed, err := SealSnapshot(blob, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := OpenSealedSnapshot(sealed, sealTestKey(2)); err == nil {
+		t.Fatal("wrong key must fail authentication")
+	}
+	for _, i := range []int{4, sealHeaderLen + 2, len(sealed) - 1} {
+		tampered := append([]byte(nil), sealed...)
+		tampered[i] ^= 0x01
+		if _, err := OpenSealedSnapshot(tampered, key); err == nil {
+			t.Fatalf("flipped byte %d must fail authentication", i)
+		}
+	}
+	if _, err := OpenSealedSnapshot(sealed[:sealHeaderLen+4], key); err == nil {
+		t.Fatal("truncated envelope must fail")
+	}
+	if _, err := OpenSealedSnapshot(blob, key); err == nil {
+		t.Fatal("plaintext blob is not a sealed snapshot")
+	}
+	if _, err := OpenSealedSnapshot(sealed, key[:16]); err == nil {
+		t.Fatal("short key must be rejected")
+	}
+	if _, err := SealSnapshot(blob, key[:31]); err == nil {
+		t.Fatal("short key must be rejected on seal too")
+	}
+	if _, err := SealSnapshot(sealed, key); err == nil {
+		t.Fatal("double seal must be refused")
+	}
+	if _, err := Restore(p.cfg, sealed); err == nil {
+		t.Fatal("Restore must reject a sealed blob instead of parsing ciphertext")
+	}
+}
+
+// TestSealFreshNonces: two seals of the same blob must differ (random
+// nonce), or snapshots of an unchanged pool would be linkable at rest.
+func TestSealFreshNonces(t *testing.T) {
+	p := newTestPool(t, 1, 5, 8, 4, true, 16)
+	if err := p.PushBatch([]uint64{9, 9, 9}); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := p.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := sealTestKey(7)
+	a, err := SealSnapshot(blob, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SealSnapshot(blob, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(a, b) {
+		t.Fatal("two seals of the same blob are identical; nonce is not fresh")
+	}
+}

@@ -131,6 +131,12 @@ func Restore(cfg Config, data []byte) (*Pool, error) {
 		return nil, err
 	}
 	if string(magic) != snapshotMagic {
+		if SnapshotSealed(data) {
+			// The caller was handed an encrypted envelope (seal.go) and must
+			// open it first; silently parsing ciphertext would be worse than
+			// any error message.
+			return nil, errors.New("shard: snapshot is sealed (UNSE envelope); open it with the snapshot key first")
+		}
 		return nil, errors.New("shard: bad magic, not a pool snapshot")
 	}
 	version, err := r.u32()
