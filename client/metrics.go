@@ -1,0 +1,51 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+
+	"nodesampling/internal/telemetry"
+)
+
+// ScrapeMetrics fetches a daemon's GET /metrics endpoint and parses the
+// Prometheus text exposition into a queryable snapshot — the programmatic
+// counterpart of pointing a Prometheus server at the daemon, for tools
+// (unsload, health checks, tests) that want one scrape without one. token,
+// when non-empty, is presented as a bearer credential, matching daemons run
+// with -admin-token-all. A nil hc uses http.DefaultClient; pass a client
+// with a TLS transport for https endpoints.
+//
+// The returned snapshot answers point queries:
+//
+//	s, err := client.ScrapeMetrics(ctx, nil, "http://127.0.0.1:9100/metrics", "")
+//	processed, ok := s.Value("unsd_pool_processed_ids_total")
+//	perShard, ok := s.Value("unsd_shard_processed_ids_total", "shard", "0")
+func ScrapeMetrics(ctx context.Context, hc *http.Client, url, token string) (*telemetry.Scrape, error) {
+	if url == "" {
+		return nil, errors.New("client: no metrics URL")
+	}
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	if token != "" {
+		req.Header.Set("Authorization", "Bearer "+token)
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		// Drain a little so the connection can be reused, then report.
+		_, _ = io.CopyN(io.Discard, resp.Body, 512)
+		return nil, fmt.Errorf("client: scrape %s: status %d", url, resp.StatusCode)
+	}
+	return telemetry.Parse(resp.Body)
+}

@@ -1,0 +1,46 @@
+package client
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+func TestScrapeMetrics(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if auth := r.Header.Get("Authorization"); auth != "" && auth != "Bearer tok" {
+			http.Error(w, "no", http.StatusForbidden)
+			return
+		}
+		_, _ = io.WriteString(w, "# HELP unsd_pool_processed_ids_total Ids.\n"+
+			"# TYPE unsd_pool_processed_ids_total counter\n"+
+			"unsd_pool_processed_ids_total 42\n"+
+			"# HELP unsd_shard_processed_ids_total Ids per shard.\n"+
+			"# TYPE unsd_shard_processed_ids_total counter\n"+
+			"unsd_shard_processed_ids_total{shard=\"0\"} 30\n"+
+			"unsd_shard_processed_ids_total{shard=\"1\"} 12\n")
+	}))
+	defer ts.Close()
+
+	s, err := ScrapeMetrics(context.Background(), nil, ts.URL, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := s.Value("unsd_pool_processed_ids_total"); !ok || v != 42 {
+		t.Fatalf("Value = %v, %v", v, ok)
+	}
+	if v, ok := s.Value("unsd_shard_processed_ids_total", "shard", "1"); !ok || v != 12 {
+		t.Fatalf("labelled Value = %v, %v", v, ok)
+	}
+	if _, err := ScrapeMetrics(context.Background(), nil, ts.URL, "tok"); err != nil {
+		t.Fatalf("token scrape: %v", err)
+	}
+	if _, err := ScrapeMetrics(context.Background(), nil, ts.URL, "wrong"); err == nil {
+		t.Fatal("wrong token scrape succeeded")
+	}
+	if _, err := ScrapeMetrics(context.Background(), nil, "", ""); err == nil {
+		t.Fatal("empty URL accepted")
+	}
+}

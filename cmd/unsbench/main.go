@@ -35,15 +35,21 @@ func main() {
 func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("unsbench", flag.ContinueOnError)
 	var (
-		list    = fs.Bool("list", false, "list experiment identifiers and exit")
-		runIDs  = fs.String("run", "", "comma-separated experiment ids, or 'all'")
-		trials  = fs.Int("trials", 10, "trials to average for simulation experiments (paper: 100)")
-		seed    = fs.Uint64("seed", 1, "root random seed")
-		quick   = fs.Bool("quick", false, "shrink streams and sweeps for a fast smoke run")
-		workers = fs.Int("workers", runtime.NumCPU(), "trial-level parallelism")
+		list       = fs.Bool("list", false, "list experiment identifiers and exit")
+		runIDs     = fs.String("run", "", "comma-separated experiment ids, or 'all'")
+		trials     = fs.Int("trials", 10, "trials to average for simulation experiments (paper: 100)")
+		seed       = fs.Uint64("seed", 1, "root random seed")
+		quick      = fs.Bool("quick", false, "shrink streams and sweeps for a fast smoke run")
+		workers    = fs.Int("workers", runtime.NumCPU(), "trial-level parallelism")
+		perf       = fs.Bool("perf", false, "measure the service plane's hot paths and emit a JSON perf artifact")
+		perfOut    = fs.String("perf-out", "-", "perf artifact path ('-' writes to stdout)")
+		perfFilter = fs.String("perf-filter", "", "only run perf benchmarks whose name contains this substring")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *perf {
+		return runPerf(w, *perfOut, *perfFilter)
 	}
 	order, registry := experiments.Registry()
 	if *list {

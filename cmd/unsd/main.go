@@ -31,18 +31,45 @@
 //	                                   min, max, grow_threshold,
 //	                                   shrink_threshold, cooldown_ms —
 //	                                   partial updates, {} reports state
+//	GET  /metrics                      Prometheus text exposition (v0.0.4):
+//	                                   every pool/shard/subscriber/autoscale/
+//	                                   stream/snapshot counter plus the live
+//	                                   uniformity gauge; read-open unless
+//	                                   -admin-token-all
+//
+// Observability plane:
+//
+//	-log-level/-log-format  leveled structured logs (log/slog): connection
+//	                     lifecycle, resize and autoscale decisions, snapshot
+//	                     outcomes and auth failures carry structured fields;
+//	                     -log-format json emits one JSON object per line.
+//	                     The machine-parsed "<plane> listening on <addr>"
+//	                     startup lines stay plain and stable.
+//	-uniformity-window   sliding-window size of the live uniformity gauge:
+//	                     /metrics exports the KL divergence to uniform of
+//	                     the ingest window (unsd_uniformity_input_kl — rises
+//	                     under a targeted flood), of a σ′ output window
+//	                     (unsd_uniformity_output_kl — the live SLO), and the
+//	                     paper's G_KL gain between them. 0 disables.
+//	-pprof               mount net/http/pprof under /debug/pprof/ behind
+//	                     the admin token (refuses to boot without one)
+//
+// cmd/unsload is the companion load generator: it replays adversarial
+// scenarios (uniform baseline, targeted flood, churn storm, slow-trickle
+// bias) against a live daemon over the framed protocol while scraping
+// /metrics, and reports achieved rate, drop fractions and the uniformity
+// gauge's trajectory per phase.
 //
 // Security plane (all opt-in; without these flags the daemon trusts its
 // network, which is only appropriate on loopback or inside a private
 // enclave):
 //
-//	-tls-cert/-tls-key   serve TLS on both the HTTP and the framed stream
-//	                     listener (the gossip listener is unaffected — see
-//	                     ROADMAP)
+//	-tls-cert/-tls-key   serve TLS on the HTTP, framed stream and legacy
+//	                     gossip listeners
 //	-tls-client-ca       require and verify client certificates on the
-//	                     framed stream listener (mutual TLS): a peer that
-//	                     cannot present a certificate chained to this CA
-//	                     never reaches the frame decoder
+//	                     framed stream and gossip listeners (mutual TLS): a
+//	                     peer that cannot present a certificate chained to
+//	                     this CA never reaches the frame decoder
 //	-admin-token         bearer token on the mutating admin endpoints
 //	                     (/resize, /snapshot, /autoscale); falls back to
 //	                     $UNSD_ADMIN_TOKEN so the secret stays out of
@@ -62,6 +89,12 @@
 //	                     tampered with undetected. A wrong key refuses at
 //	                     boot; plaintext (pre-encryption) blobs still
 //	                     restore, and the next write seals them.
+//	-snapshot-key-file-old  the previous key during a rotation: a blob that
+//	                     fails under the new key is retried under this one
+//	                     (with a warning), and the next snapshot write
+//	                     re-seals it under the new key — rotation without a
+//	                     plaintext intermediate. Retire the flag once the
+//	                     blob has been rewritten.
 //	-strict-snapshot-perms  refuse to restore a group/world-accessible
 //	                     snapshot blob (default: warn and continue)
 //
@@ -127,11 +160,14 @@ import (
 	"syscall"
 	"time"
 
+	"log/slog"
+
 	"nodesampling/internal/autoscale"
 	"nodesampling/internal/cms"
 	"nodesampling/internal/netgossip"
 	"nodesampling/internal/rng"
 	"nodesampling/internal/shard"
+	"nodesampling/internal/telemetry"
 )
 
 func main() {
@@ -163,7 +199,18 @@ type options struct {
 	adminToken          string
 	adminTokenAll       bool
 	snapshotKeyFile     string
+	snapshotKeyFileOld  string
 	strictSnapshotPerms bool
+
+	// The observability plane: pprof mounts net/http/pprof behind the admin
+	// token; logLevel/logFormat configure the structured logger ("" takes
+	// the defaults: info, text); uniformityWindow sizes the live uniformity
+	// gauge's sliding windows (0 disables the gauge's divergence samples,
+	// the metadata families stay).
+	pprof            bool
+	logLevel         string
+	logFormat        string
+	uniformityWindow int
 
 	// warnw receives boot-time warnings (nil discards them); run() passes
 	// its output writer.
@@ -202,6 +249,21 @@ type daemon struct {
 	adminTokenSet  bool
 	adminTokenAll  bool
 	snapKey        []byte
+	snapKeyOld     []byte
+
+	// The observability plane: the structured logger (never nil — a daemon
+	// constructed without one logs to io.Discard), the metric registry
+	// behind GET /metrics, the live uniformity gauge whose input probe
+	// rides every ingest front, and the counters only the daemon layer
+	// sees. pprofEnabled mounts net/http/pprof behind the admin token.
+	logger       *slog.Logger
+	registry     *telemetry.Registry
+	uniformity   *telemetry.Uniformity
+	pprofEnabled bool
+	authFailures atomic.Uint64
+	snapWrites   atomic.Uint64
+	snapFailures atomic.Uint64
+	snapDurNanos atomic.Int64
 
 	// opMu is the admin-plane gate: it serialises the mutating operations —
 	// resizes (manual and autoscaler-issued) and snapshot writes — so they
@@ -234,7 +296,15 @@ func (t scaleTarget) LoadSignals() shard.LoadSignals { return t.d.pool.LoadSigna
 func (t scaleTarget) Resize(n int) error {
 	t.d.opMu.Lock()
 	defer t.d.opMu.Unlock()
-	return t.d.pool.Resize(n)
+	from := t.d.pool.NumShards()
+	err := t.d.pool.Resize(n)
+	if err != nil {
+		t.d.logger.Error("autoscale resize failed", "from", from, "to", n, "error", err)
+		return err
+	}
+	epoch, shards := t.d.pool.Topology()
+	t.d.logger.Info("autoscale resize", "from", from, "to", shards, "epoch", epoch)
+	return nil
 }
 
 func newDaemon(o options) (*daemon, error) {
@@ -242,16 +312,23 @@ func newDaemon(o options) (*daemon, error) {
 	if warnw == nil {
 		warnw = io.Discard
 	}
+	logger, err := newLogger(o.warnw, o.logLevel, o.logFormat)
+	if err != nil {
+		return nil, err
+	}
 	// len() comparisons only on the token, never ==/!= — CI greps for raw
 	// equality on it, since that is how a timing side channel sneaks in.
 	if o.adminTokenAll && len(o.adminToken) == 0 {
 		return nil, errors.New("-admin-token-all requires -admin-token (or UNSD_ADMIN_TOKEN)")
 	}
+	if o.pprof && len(o.adminToken) == 0 {
+		return nil, errors.New("-pprof requires -admin-token (or UNSD_ADMIN_TOKEN): profiles expose memory contents")
+	}
 	tlsHTTP, tlsStream, err := loadTLSConfigs(o)
 	if err != nil {
 		return nil, err
 	}
-	var snapKey []byte
+	var snapKey, snapKeyOld []byte
 	if o.snapshotKeyFile != "" {
 		if o.snapshotPath == "" {
 			return nil, errors.New("-snapshot-key-file requires -snapshot-path")
@@ -260,6 +337,18 @@ func newDaemon(o options) (*daemon, error) {
 			return nil, err
 		}
 	}
+	if o.snapshotKeyFileOld != "" {
+		if snapKey == nil {
+			return nil, errors.New("-snapshot-key-file-old requires -snapshot-key-file (the new key to re-seal under)")
+		}
+		if snapKeyOld, err = readSnapshotKey(o.snapshotKeyFileOld); err != nil {
+			return nil, err
+		}
+	}
+	if o.uniformityWindow < 0 {
+		return nil, fmt.Errorf("negative -uniformity-window %d", o.uniformityWindow)
+	}
+	uniformity := telemetry.NewUniformity(o.uniformityWindow, uniformityInputEvery)
 	scfg := shard.Config{
 		Shards:   o.shards,
 		Buffer:   o.buffer,
@@ -282,7 +371,7 @@ func newDaemon(o options) (*daemon, error) {
 			if err := checkSnapshotPerms(o.snapshotPath, o.strictSnapshotPerms, warnw); err != nil {
 				return nil, err
 			}
-			if blob, err = unsealSnapshot(blob, snapKey, warnw); err != nil {
+			if blob, err = unsealSnapshot(blob, snapKey, snapKeyOld, warnw); err != nil {
 				return nil, fmt.Errorf("restore %s: %w", o.snapshotPath, err)
 			}
 			if pool, err = shard.Restore(scfg, blob); err != nil {
@@ -303,7 +392,7 @@ func newDaemon(o options) (*daemon, error) {
 	}
 	peer, err := netgossip.NewPeer(netgossip.Config{
 		Self:   o.self,
-		Sink:   pool,
+		Sink:   ingestTap{Pool: pool, probe: uniformity.In},
 		Fanout: 1,
 		Seed:   o.seed + 1,
 		// The exact per-id histogram is unbounded state an attacker could
@@ -325,6 +414,10 @@ func newDaemon(o options) (*daemon, error) {
 		tlsStream:     tlsStream,
 		adminTokenAll: o.adminTokenAll,
 		snapKey:       snapKey,
+		snapKeyOld:    snapKeyOld,
+		logger:        logger,
+		uniformity:    uniformity,
+		pprofEnabled:  o.pprof,
 	}
 	if len(o.adminToken) > 0 {
 		d.adminTokenHash = sha256.Sum256([]byte(o.adminToken))
@@ -353,8 +446,42 @@ func newDaemon(o options) (*daemon, error) {
 		return nil, err
 	}
 	d.ctrl = ctrl
+	d.registry = d.newRegistry()
 	ctrl.Start()
 	return d, nil
+}
+
+// newLogger builds the daemon's structured logger from the -log-level and
+// -log-format flags. Empty values take the defaults (info, text); unknown
+// values refuse at boot. A nil writer logs to io.Discard, so a daemon
+// constructed directly in tests stays quiet without nil checks at every
+// call site.
+func newLogger(w io.Writer, level, format string) (*slog.Logger, error) {
+	if w == nil {
+		w = io.Discard
+	}
+	var lvl slog.Level
+	switch strings.ToLower(level) {
+	case "", "info":
+		lvl = slog.LevelInfo
+	case "debug":
+		lvl = slog.LevelDebug
+	case "warn":
+		lvl = slog.LevelWarn
+	case "error":
+		lvl = slog.LevelError
+	default:
+		return nil, fmt.Errorf("unknown -log-level %q (debug, info, warn, error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	switch strings.ToLower(format) {
+	case "", "text":
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	default:
+		return nil, fmt.Errorf("unknown -log-format %q (text, json)", format)
+	}
 }
 
 // loadTLSConfigs builds the listener-side TLS configurations from the
@@ -449,12 +576,25 @@ func checkSnapshotPerms(path string, strict bool, warnw io.Writer) error {
 // loudly at boot, never a silently corrupt restore), while plaintext blobs
 // from before encryption was enabled still restore — with a warning when a
 // key is configured, since the next write will seal.
-func unsealSnapshot(blob, key []byte, warnw io.Writer) ([]byte, error) {
+//
+// oldKey is the rotation path (-snapshot-key-file-old): a blob that fails
+// under the new key is retried under the previous one, so operators rotate
+// sealed-snapshot keys without ever writing a plaintext intermediate — the
+// restored pool's next snapshot write re-seals under the new key, and the
+// old key can then be retired.
+func unsealSnapshot(blob, key, oldKey []byte, warnw io.Writer) ([]byte, error) {
 	if shard.SnapshotSealed(blob) {
 		if key == nil {
 			return nil, errors.New("snapshot is encrypted; set -snapshot-key-file")
 		}
-		return shard.OpenSealedSnapshot(blob, key)
+		plain, err := shard.OpenSealedSnapshot(blob, key)
+		if err != nil && oldKey != nil {
+			if plain, err2 := shard.OpenSealedSnapshot(blob, oldKey); err2 == nil {
+				fmt.Fprintln(warnw, "warning: snapshot restored under the previous key (-snapshot-key-file-old); the next snapshot write re-seals it under the new key")
+				return plain, nil
+			}
+		}
+		return plain, err
 	}
 	if key != nil {
 		fmt.Fprintln(warnw, "warning: restoring a plaintext (pre-encryption) snapshot; the next snapshot write will be sealed")
@@ -477,8 +617,22 @@ func (d *daemon) writeSnapshot() (int, error) {
 }
 
 // writeSnapshotLocked is writeSnapshot for callers already holding opMu
-// (the TryLock path of POST /snapshot).
-func (d *daemon) writeSnapshotLocked() (int, error) {
+// (the TryLock path of POST /snapshot). Every outcome is counted and
+// logged here, so on-demand, periodic and shutdown writes report alike.
+func (d *daemon) writeSnapshotLocked() (n int, err error) {
+	began := time.Now()
+	defer func() {
+		if err != nil {
+			d.snapFailures.Add(1)
+			d.logger.Error("snapshot failed", "path", d.snapshotPath, "error", err)
+			return
+		}
+		took := time.Since(began)
+		d.snapWrites.Add(1)
+		d.snapDurNanos.Store(int64(took))
+		d.logger.Info("snapshot written", "path", d.snapshotPath,
+			"bytes", n, "sealed", d.snapKey != nil, "duration", took)
+	}()
 	if d.snapshotPath == "" {
 		return 0, errors.New("no -snapshot-path configured")
 	}
@@ -538,8 +692,9 @@ func syncDir(dir string) {
 	_ = f.Close()
 }
 
-// startSnapshotLoop writes a snapshot every interval until Close.
-func (d *daemon) startSnapshotLoop(interval time.Duration, w io.Writer) {
+// startSnapshotLoop writes a snapshot every interval until Close. Outcomes
+// (success and failure alike) are logged by writeSnapshotLocked.
+func (d *daemon) startSnapshotLoop(interval time.Duration) {
 	d.snapStop = make(chan struct{})
 	d.snapDone = make(chan struct{})
 	go func() {
@@ -549,9 +704,7 @@ func (d *daemon) startSnapshotLoop(interval time.Duration, w io.Writer) {
 		for {
 			select {
 			case <-ticker.C:
-				if _, err := d.writeSnapshot(); err != nil {
-					fmt.Fprintf(w, "snapshot failed: %v\n", err)
-				}
+				_, _ = d.writeSnapshot()
 			case <-d.snapStop:
 				return
 			}
@@ -612,9 +765,13 @@ func (d *daemon) handler() http.Handler {
 	mux.HandleFunc("GET /sample", readOpen(d.handleSample))
 	mux.HandleFunc("GET /memory", readOpen(d.handleMemory))
 	mux.HandleFunc("GET /stats", readOpen(d.handleStats))
+	mux.HandleFunc("GET /metrics", readOpen(d.handleMetrics))
 	mux.HandleFunc("POST /resize", d.requireToken(d.handleResize))
 	mux.HandleFunc("POST /snapshot", d.requireToken(d.handleSnapshot))
 	mux.HandleFunc("POST /autoscale", d.requireToken(d.handleAutoscale))
+	if d.pprofEnabled {
+		d.mountPprof(mux)
+	}
 	return mux
 }
 
@@ -632,6 +789,9 @@ func (d *daemon) requireToken(h http.HandlerFunc) http.HandlerFunc {
 		}
 		auth := r.Header.Get("Authorization")
 		if auth == "" {
+			d.authFailures.Add(1)
+			d.logger.Warn("auth failure", "status", http.StatusUnauthorized,
+				"path", r.URL.Path, "remote", r.RemoteAddr, "reason", "no credential")
 			w.Header().Set("WWW-Authenticate", `Bearer realm="unsd admin"`)
 			httpError(w, http.StatusUnauthorized, "authorization required (Bearer token)")
 			return
@@ -639,6 +799,9 @@ func (d *daemon) requireToken(h http.HandlerFunc) http.HandlerFunc {
 		const scheme = "Bearer "
 		if len(auth) < len(scheme) || !strings.EqualFold(auth[:len(scheme)], scheme) ||
 			!tokenMatches(auth[len(scheme):], d.adminTokenHash) {
+			d.authFailures.Add(1)
+			d.logger.Warn("auth failure", "status", http.StatusForbidden,
+				"path", r.URL.Path, "remote", r.RemoteAddr, "reason", "invalid token")
 			httpError(w, http.StatusForbidden, "invalid bearer token")
 			return
 		}
@@ -739,6 +902,9 @@ func (d *daemon) handlePush(w http.ResponseWriter, r *http.Request) {
 	for i, id := range req.IDs {
 		ids[i] = uint64(id)
 	}
+	// The uniformity gauge watches the offered stream σ — drops included,
+	// since an attacker's flood is part of the input distribution.
+	d.uniformity.In.Offer(ids)
 	if err := d.pool.PushBatch(ids); err != nil {
 		httpError(w, http.StatusServiceUnavailable, err.Error())
 		return
@@ -799,7 +965,9 @@ func (d *daemon) handleResize(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer d.opMu.Unlock()
+	from := d.pool.NumShards()
 	if err := d.pool.Resize(*req.Shards); err != nil {
+		d.logger.Error("resize failed", "source", "admin", "from", from, "to", *req.Shards, "error", err)
 		httpError(w, http.StatusServiceUnavailable, err.Error())
 		return
 	}
@@ -807,6 +975,7 @@ func (d *daemon) handleResize(w http.ResponseWriter, r *http.Request) {
 	// two separate getters cannot produce an epoch from one topology and a
 	// shard count from the next.
 	epoch, shards := d.pool.Topology()
+	d.logger.Info("resize", "source", "admin", "from", from, "to", shards, "epoch", epoch)
 	writeJSON(w, map[string]any{"shards": shards, "epoch": epoch})
 }
 
@@ -871,6 +1040,9 @@ func (d *daemon) handleAutoscale(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err.Error())
 		return
 	}
+	d.logger.Info("autoscale tuned", "enabled", st.Enabled, "min", st.Min, "max", st.Max,
+		"grow_threshold", st.GrowThreshold, "shrink_threshold", st.ShrinkThreshold,
+		"cooldown", st.Cooldown)
 	writeJSON(w, autoscaleJSON(st))
 }
 
@@ -1005,7 +1177,12 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 		adminTok   = fs.String("admin-token", "", "bearer token required on POST /resize, /snapshot and /autoscale (empty falls back to $UNSD_ADMIN_TOKEN; both empty leaves the admin surface open)")
 		adminAll   = fs.Bool("admin-token-all", false, "require the admin token on every HTTP endpoint, the read surface included")
 		snapKeyF   = fs.String("snapshot-key-file", "", "file with a 32-byte AES-256 key (raw or hex, mode 0600): snapshots are sealed with it at rest and unsealed at boot; plaintext snapshots still restore")
+		snapKeyOld = fs.String("snapshot-key-file-old", "", "previous snapshot key (rotation): a snapshot that fails under -snapshot-key-file is retried under this key, and the next write re-seals it under the new one")
 		strictPerm = fs.Bool("strict-snapshot-perms", false, "refuse to restore a group/world-accessible snapshot instead of warning")
+		pprofOn    = fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ behind the admin token (requires -admin-token)")
+		logLevel   = fs.String("log-level", "info", "structured log level: debug, info, warn, error")
+		logFormat  = fs.String("log-format", "text", "structured log encoding: text or json")
+		uniWindow  = fs.Int("uniformity-window", 4096, "sliding-window size of the live uniformity gauge on /metrics (0 disables the divergence samples)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -1041,7 +1218,12 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 		tlsCert:           *tlsCert, tlsKey: *tlsKey, tlsClientCA: *tlsCA,
 		adminToken: token, adminTokenAll: *adminAll,
 		snapshotKeyFile:     *snapKeyF,
+		snapshotKeyFileOld:  *snapKeyOld,
 		strictSnapshotPerms: *strictPerm,
+		pprof:               *pprofOn,
+		logLevel:            *logLevel,
+		logFormat:           *logFormat,
+		uniformityWindow:    *uniWindow,
 		warnw:               w,
 	})
 	if err != nil {
@@ -1070,7 +1252,7 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 			*snapPath, len(st.Shards), st.Epoch, st.Processed)
 	}
 	if *snapEvery > 0 {
-		d.startSnapshotLoop(*snapEvery, w)
+		d.startSnapshotLoop(*snapEvery)
 	}
 
 	if *streamAddr != "" {
@@ -1081,10 +1263,17 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 		fmt.Fprintf(w, "stream listening on %s\n", ln.Addr())
 	}
 	if *gossipAddr != "" {
-		ln, err := d.peer.Listen(*gossipAddr)
+		// The legacy one-way gossip listener rides the same TLS plane as the
+		// framed stream listener (certificate and, under -tls-client-ca,
+		// mutual-TLS client verification): no listener trusts its network.
+		ln, err := net.Listen("tcp", *gossipAddr)
 		if err != nil {
 			return err
 		}
+		if d.tlsStream != nil {
+			ln = tls.NewListener(ln, d.tlsStream)
+		}
+		d.peer.Serve(ln)
 		defer ln.Close()
 		fmt.Fprintf(w, "gossip listening on %s\n", ln.Addr())
 	}

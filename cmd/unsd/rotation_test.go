@@ -1,0 +1,166 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"nodesampling/internal/shard"
+)
+
+// TestSnapshotKeyRotation pins the online rotation path: a snapshot sealed
+// under key A restores on a daemon booted with -snapshot-key-file=B and
+// -snapshot-key-file-old=A (warning the operator), and the very next write
+// re-seals under B — after which A no longer opens the blob and B does, so
+// the old key can actually be retired.
+func TestSnapshotKeyRotation(t *testing.T) {
+	dir := t.TempDir()
+	keyA := writeKeyFile(t, dir, "a.key", []byte(strings.Repeat("ab", 32)), 0o600)
+	keyB := writeKeyFile(t, dir, "b.key", []byte(strings.Repeat("cd", 32)), 0o600)
+
+	o := defaultOptions()
+	o.snapshotPath = filepath.Join(dir, "pool.snap")
+	o.snapshotKeyFile = keyA
+
+	d1, err := newDaemon(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const hot = uint64(424242)
+	ids := make([]uint64, 1024)
+	for i := range ids {
+		if i%2 == 0 {
+			ids[i] = hot
+		} else {
+			ids[i] = uint64(i + 1)
+		}
+	}
+	if err := d1.pool.PushBatch(ids); err != nil {
+		t.Fatal(err)
+	}
+	if err := d1.pool.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	estBefore := d1.pool.Estimate(hot)
+	if estBefore == 0 {
+		t.Fatal("hot id estimate is zero before the rotation")
+	}
+	d1.Close() // final snapshot, sealed under key A
+
+	// Rotation boot: new key B, old key A. The restore must succeed (from
+	// the A-sealed blob), warn about the fallback, and keep the state.
+	var warn safeBuilder
+	o2 := o
+	o2.snapshotKeyFile = keyB
+	o2.snapshotKeyFileOld = keyA
+	o2.warnw = &warn
+	d2, err := newDaemon(o2)
+	if err != nil {
+		t.Fatalf("rotation restore: %v", err)
+	}
+	if !d2.restored {
+		t.Fatal("daemon did not restore from the old-key snapshot")
+	}
+	if got := d2.pool.Estimate(hot); got != estBefore {
+		t.Fatalf("hot id estimate %d after rotation restore, want %d", got, estBefore)
+	}
+	if !strings.Contains(warn.String(), "-snapshot-key-file-old") {
+		t.Fatalf("no old-key restore warning, got: %q", warn.String())
+	}
+
+	// The next write re-seals under the new key — no explicit re-key step.
+	if _, err := d2.writeSnapshot(); err != nil {
+		t.Fatal(err)
+	}
+	d2.Close()
+	blob, err := os.ReadFile(o.snapshotPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !shard.SnapshotSealed(blob) {
+		t.Fatal("rotated snapshot is not sealed")
+	}
+	bKey, err := readSnapshotKey(keyB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := shard.OpenSealedSnapshot(blob, bKey); err != nil {
+		t.Fatalf("rotated snapshot does not open under the new key: %v", err)
+	}
+	aKey, err := readSnapshotKey(keyA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := shard.OpenSealedSnapshot(blob, aKey); err == nil {
+		t.Fatal("rotated snapshot still opens under the retired key")
+	}
+
+	// Retirement boot: key B alone now suffices, and the old-key warning is
+	// gone.
+	var quiet safeBuilder
+	o3 := o
+	o3.snapshotKeyFile = keyB
+	o3.warnw = &quiet
+	d3, err := newDaemon(o3)
+	if err != nil {
+		t.Fatalf("post-rotation restore under the new key alone: %v", err)
+	}
+	if !d3.restored {
+		t.Fatal("post-rotation daemon did not restore")
+	}
+	if got := d3.pool.Estimate(hot); got != estBefore {
+		t.Fatalf("hot id estimate %d after retirement boot, want %d", got, estBefore)
+	}
+	d3.Close()
+	if strings.Contains(quiet.String(), "previous key") {
+		t.Fatalf("new-key restore still warns about the old key: %q", quiet.String())
+	}
+}
+
+// TestSnapshotKeyRotationValidation: the old-key flag is only meaningful
+// next to the new-key flag, a wrong old key still refuses loudly, and the
+// old key is held to the same file hygiene as the primary.
+func TestSnapshotKeyRotationValidation(t *testing.T) {
+	dir := t.TempDir()
+	keyA := writeKeyFile(t, dir, "a.key", []byte(strings.Repeat("ab", 32)), 0o600)
+	keyB := writeKeyFile(t, dir, "b.key", []byte(strings.Repeat("cd", 32)), 0o600)
+	keyC := writeKeyFile(t, dir, "c.key", []byte(strings.Repeat("ef", 32)), 0o600)
+
+	// Old key without a new key is a misconfiguration, named by flag.
+	o := defaultOptions()
+	o.snapshotPath = filepath.Join(dir, "pool.snap")
+	o.snapshotKeyFileOld = keyA
+	if _, err := newDaemon(o); err == nil || !strings.Contains(err.Error(), "-snapshot-key-file-old") {
+		t.Fatalf("-snapshot-key-file-old alone = %v, want a refusal naming the flag", err)
+	}
+
+	// Seal a snapshot under A, then boot with new=B old=C: neither key
+	// opens the blob, so the daemon must refuse rather than start empty.
+	o2 := defaultOptions()
+	o2.snapshotPath = filepath.Join(dir, "pool.snap")
+	o2.snapshotKeyFile = keyA
+	d1, err := newDaemon(o2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d1.pool.PushBatch([]uint64{1, 2, 3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	d1.Close()
+
+	bad := o2
+	bad.snapshotKeyFile = keyB
+	bad.snapshotKeyFileOld = keyC
+	if _, err := newDaemon(bad); err == nil || !strings.Contains(err.Error(), "authentication") {
+		t.Fatalf("restore with two wrong keys = %v, want authentication failure", err)
+	}
+
+	// A lax-permission old-key file refuses at boot like the primary.
+	lax := o2
+	lax.snapshotKeyFile = keyB
+	lax.snapshotKeyFileOld = writeKeyFile(t, dir, "lax.key", []byte(strings.Repeat("ab", 32)), 0o644)
+	if _, err := newDaemon(lax); err == nil || !strings.Contains(err.Error(), "0644") {
+		t.Fatalf("world-readable old key file accepted: %v", err)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"nodesampling/internal/netgossip"
@@ -36,6 +37,14 @@ const (
 // connection instead of a poll loop per sample.
 type streamServer struct {
 	d *daemon
+
+	// Connection accounting for /metrics: accepted admissions, refusals at
+	// the connection limit, and protocol violations (undecodable frames,
+	// unexpected types, double subscribes). Plain atomics — the telemetry
+	// collector reads them at scrape time.
+	accepted    atomic.Uint64
+	rejected    atomic.Uint64
+	frameErrors atomic.Uint64
 
 	mu     sync.Mutex
 	ln     net.Listener
@@ -92,12 +101,18 @@ func (s *streamServer) acceptLoop() {
 		}
 		if len(s.conns) >= maxStreamConns {
 			s.mu.Unlock()
+			s.rejected.Add(1)
+			s.d.logger.Warn("stream connection rejected",
+				"remote", conn.RemoteAddr().String(), "reason", "connection limit",
+				"limit", maxStreamConns)
 			_ = conn.Close()
 			continue
 		}
 		s.conns[conn] = struct{}{}
 		s.wg.Add(1)
 		s.mu.Unlock()
+		s.accepted.Add(1)
+		s.d.logger.Debug("stream connection accepted", "remote", conn.RemoteAddr().String())
 		go s.handle(conn)
 	}
 }
@@ -153,6 +168,7 @@ func (w *connWriter) write(f netgossip.Frame) error {
 func (s *streamServer) handle(conn net.Conn) {
 	defer s.wg.Done()
 	defer s.drop(conn)
+	defer s.d.logger.Debug("stream connection closed", "remote", conn.RemoteAddr().String())
 	w := &connWriter{conn: conn}
 	var sub *subhub.Subscription
 	var subDone chan struct{}
@@ -173,6 +189,9 @@ func (s *streamServer) handle(conn net.Conn) {
 		f, err := netgossip.ReadFrame(conn)
 		if err != nil {
 			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+				s.frameErrors.Add(1)
+				s.d.logger.Debug("stream frame error",
+					"remote", conn.RemoteAddr().String(), "error", err)
 				// Best effort: name the offence before hanging up.
 				_ = w.write(netgossip.Frame{Type: netgossip.FrameError, Msg: trimErr(err)})
 			}
@@ -181,7 +200,10 @@ func (s *streamServer) handle(conn net.Conn) {
 		switch f.Type {
 		case netgossip.FramePushBatch:
 			// A closed or overloaded pool only costs stream elements, like
-			// the gossip path: the connection stays up.
+			// the gossip path: the connection stays up. The uniformity
+			// gauge observes the offered stream before the pool takes
+			// ownership of the slice.
+			s.d.uniformity.In.Offer(f.IDs)
 			_ = s.d.pool.PushBatch(f.IDs)
 		case netgossip.FrameSample:
 			// A SampleResp frame carries at most MaxBatch ids, so that is
@@ -199,6 +221,7 @@ func (s *streamServer) handle(conn net.Conn) {
 				// FrameError is terminal by protocol contract (the client
 				// treats it as fatal), so hang up rather than leave the two
 				// ends disagreeing about connection state.
+				s.frameErrors.Add(1)
 				_ = w.write(netgossip.Frame{Type: netgossip.FrameError, Msg: "already subscribed"})
 				return
 			}
@@ -226,6 +249,7 @@ func (s *streamServer) handle(conn net.Conn) {
 				return
 			}
 		default:
+			s.frameErrors.Add(1)
 			_ = w.write(netgossip.Frame{Type: netgossip.FrameError, Msg: "unexpected frame type"})
 			return
 		}

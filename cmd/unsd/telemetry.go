@@ -1,0 +1,140 @@
+package main
+
+// The daemon's observability surface: the /metrics endpoint (Prometheus
+// text format v0.0.4, internal/telemetry), the daemon-level collector for
+// counters the generic collectors cannot see (listeners, auth, snapshots),
+// the live uniformity gauge's plumbing, and the pprof mount. Everything
+// here is pull-only — collectors read atomics and short-lived-lock
+// snapshots at scrape time; the ingest hot path (shard workers) is never
+// touched.
+
+import (
+	"net/http"
+	"net/http/pprof"
+	"time"
+
+	"nodesampling/internal/shard"
+	"nodesampling/internal/telemetry"
+)
+
+// ingestTap is the netgossip sink: the pool, with the uniformity gauge's
+// input probe watching every decoded batch on the way in. Embedding the
+// pool keeps the peer's Sample/Memory pass-through (SampleSource) intact.
+// The probe costs one mutex acquisition per wire batch, off the per-id
+// shard path.
+type ingestTap struct {
+	*shard.Pool
+	probe *telemetry.Probe
+}
+
+func (t ingestTap) PushBatch(ids []uint64) error {
+	t.probe.Offer(ids)
+	return t.Pool.PushBatch(ids)
+}
+
+// uniformityInputEvery decimates the input probe: one of every 8 offered
+// ids enters the sliding window, bounding the probe's share of a hostile
+// flood's cost while sampling the stream's composition uniformly.
+const uniformityInputEvery = 8
+
+// outputProbeDraws is how many σ′-equivalent draws refresh the output
+// window per scrape. Drawn via SampleN at scrape time — distributionally
+// identical to the hub's σ′ stream, with zero cost between scrapes.
+const outputProbeDraws = 256
+
+// handleMetrics serves the Prometheus exposition. The output-side
+// uniformity window refreshes here, at scrape time, so an unscraped daemon
+// never pays for it.
+func (d *daemon) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if d.uniformity.Out.Window() > 0 {
+		if draws := d.pool.SampleN(outputProbeDraws); len(draws) > 0 {
+			d.uniformity.Out.Offer(draws)
+		}
+	}
+	d.registry.Handler().ServeHTTP(w, r)
+}
+
+// newRegistry assembles the daemon's metric registry: pool ingest and
+// fan-out accounting, autoscaler state, the uniformity gauge and the
+// daemon-level counters below.
+func (d *daemon) newRegistry() *telemetry.Registry {
+	reg := telemetry.NewRegistry()
+	reg.Register(
+		telemetry.PoolCollector(d.pool),
+		telemetry.AutoscaleCollector(d.ctrl),
+		d.uniformity,
+		telemetry.CollectorFunc(d.collectDaemon),
+	)
+	return reg
+}
+
+// collectDaemon exports what only the daemon sees: uptime, both network
+// front-ends' connection accounting, admin-plane auth failures, and the
+// durability plane's snapshot outcomes.
+func (d *daemon) collectDaemon() []telemetry.Family {
+	var accepted, rejected, frameErrs, conns float64
+	if s := d.stream; s != nil {
+		accepted = float64(s.accepted.Load())
+		rejected = float64(s.rejected.Load())
+		frameErrs = float64(s.frameErrors.Load())
+		conns = float64(d.streamConns())
+	}
+	return []telemetry.Family{
+		telemetry.G("unsd_uptime_seconds",
+			"Seconds since the daemon started.",
+			time.Since(d.start).Seconds()),
+		telemetry.G("unsd_gossip_connections",
+			"Live netgossip connections on the legacy one-way listener.",
+			float64(d.peer.NumConns())),
+		telemetry.G("unsd_stream_connections",
+			"Live framed-protocol stream connections.",
+			conns),
+		telemetry.C("unsd_stream_accepted_total",
+			"Stream connections accepted since boot.",
+			accepted),
+		telemetry.C("unsd_stream_rejected_total",
+			"Stream connections refused at the connection limit.",
+			rejected),
+		telemetry.C("unsd_stream_frame_errors_total",
+			"Framed-protocol violations: undecodable frames, unexpected types, double subscribes.",
+			frameErrs),
+		telemetry.C("unsd_auth_failures_total",
+			"Requests rejected by the admin bearer-token gate (missing or wrong credential).",
+			float64(d.authFailures.Load())),
+		telemetry.C("unsd_snapshot_writes_total",
+			"Durable snapshots written successfully.",
+			float64(d.snapWrites.Load())),
+		telemetry.C("unsd_snapshot_failures_total",
+			"Snapshot writes that failed.",
+			float64(d.snapFailures.Load())),
+		telemetry.G("unsd_snapshot_last_size_bytes",
+			"Size of the most recent snapshot blob.",
+			float64(d.snapBytes.Load())),
+		telemetry.G("unsd_snapshot_last_unixtime",
+			"Unix time of the most recent successful snapshot write.",
+			float64(d.snapUnix.Load())),
+		telemetry.G("unsd_snapshot_last_duration_seconds",
+			"Wall time of the most recent successful snapshot write.",
+			time.Duration(d.snapDurNanos.Load()).Seconds()),
+		telemetry.G("unsd_snapshot_sealed",
+			"Whether snapshots are sealed with AES-GCM at rest (1) or written plaintext (0).",
+			telemetry.B(d.snapKey != nil)),
+		telemetry.G("unsd_restored",
+			"Whether this process restored its pool from a snapshot at boot.",
+			telemetry.B(d.restored)),
+	}
+}
+
+// mountPprof exposes net/http/pprof on the admin mux, every handler behind
+// the bearer-token gate: profiles reveal memory contents and timing, so
+// they are operator material, never public. newDaemon refuses -pprof
+// without an admin token, which keeps the no-credential path answering 401
+// with a challenge and a wrong credential 403 — the admin plane's usual
+// vocabulary.
+func (d *daemon) mountPprof(mux *http.ServeMux) {
+	mux.HandleFunc("GET /debug/pprof/", d.requireToken(pprof.Index))
+	mux.HandleFunc("GET /debug/pprof/cmdline", d.requireToken(pprof.Cmdline))
+	mux.HandleFunc("GET /debug/pprof/profile", d.requireToken(pprof.Profile))
+	mux.HandleFunc("GET /debug/pprof/symbol", d.requireToken(pprof.Symbol))
+	mux.HandleFunc("GET /debug/pprof/trace", d.requireToken(pprof.Trace))
+}

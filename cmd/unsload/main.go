@@ -1,0 +1,174 @@
+// Command unsload replays adversarial load scenarios against a live unsd
+// daemon: phased id streams (uniform baseline, targeted flood, churn storm,
+// slow-trickle bias, recovery) pushed over the framed stream protocol at a
+// target rate while GET /metrics is scraped, ending in a per-phase report —
+// achieved rate, the daemon's own processed/dropped deltas, and the live
+// uniformity gauge's trajectory. It turns the paper's evaluation into a
+// drill an operator can run against a running fleet: push the attack, watch
+// the gauge degrade, watch it recover.
+//
+// Usage:
+//
+//	unsload -addr 127.0.0.1:9101 -metrics http://127.0.0.1:9100/metrics \
+//	        -rate 50000 -count 200000 -population 4096
+//
+// TLS mirrors the daemon's stream plane: -tls-ca verifies the server,
+// -tls-cert/-tls-key present a client certificate when the daemon requires
+// mutual TLS. -token is the admin bearer token, needed only against
+// -admin-token-all daemons. -json emits the reports as one JSON document
+// for scripting.
+package main
+
+import (
+	"context"
+	"crypto/tls"
+	"crypto/x509"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"nodesampling/internal/loadgen"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "unsload:", err)
+		os.Exit(1)
+	}
+}
+
+func run(ctx context.Context, args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("unsload", flag.ContinueOnError)
+	fs.SetOutput(w)
+	var (
+		addr       = fs.String("addr", "", "daemon stream endpoint (host:port); required")
+		metricsURL = fs.String("metrics", "", "daemon /metrics URL; empty disables scraping")
+		token      = fs.String("token", "", "admin bearer token for -metrics (only needed against -admin-token-all)")
+		rate       = fs.Float64("rate", 50000, "target push rate in ids/second (0 = unpaced)")
+		count      = fs.Int("count", 100000, "ids pushed per phase")
+		population = fs.Int("population", 4096, "legitimate id population size")
+		batch      = fs.Int("batch", 1024, "ids per frame")
+		scrapeMS   = fs.Int("scrape-ms", 250, "milliseconds between /metrics scrapes")
+		seed       = fs.Uint64("seed", 1, "random seed for the phase streams")
+		tlsCA      = fs.String("tls-ca", "", "CA bundle (PEM) to verify the daemon's stream certificate; enables TLS")
+		tlsCert    = fs.String("tls-cert", "", "client certificate (PEM) for mutual TLS; needs -tls-key")
+		tlsKey     = fs.String("tls-key", "", "client key (PEM) for -tls-cert")
+		jsonOut    = fs.Bool("json", false, "emit the reports as JSON instead of text")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *addr == "" {
+		return errors.New("-addr is required")
+	}
+	tlsCfg, err := clientTLSConfig(*tlsCA, *tlsCert, *tlsKey)
+	if err != nil {
+		return err
+	}
+	var hc *http.Client
+	if tlsCfg != nil {
+		hc = &http.Client{
+			Timeout:   5 * time.Second,
+			Transport: &http.Transport{TLSClientConfig: tlsCfg.Clone()},
+		}
+	}
+
+	phases, err := loadgen.StandardPhases(*population, *count, *seed, *rate)
+	if err != nil {
+		return err
+	}
+	g, err := loadgen.New(loadgen.Config{
+		Addr:           *addr,
+		TLS:            tlsCfg,
+		MetricsURL:     *metricsURL,
+		Token:          *token,
+		HTTPClient:     hc,
+		Rate:           *rate,
+		Batch:          *batch,
+		ScrapeInterval: time.Duration(*scrapeMS) * time.Millisecond,
+	})
+	if err != nil {
+		return err
+	}
+	defer g.Close()
+
+	if !*jsonOut {
+		fmt.Fprintf(w, "unsload: %d phases x %d ids against %s (rate %.0f ids/s)\n",
+			len(phases), *count, *addr, *rate)
+	}
+	reports, runErr := g.Run(ctx, phases)
+	if *jsonOut {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(reports); err != nil {
+			return err
+		}
+	} else {
+		for _, rep := range reports {
+			printReport(w, rep)
+		}
+	}
+	return runErr
+}
+
+// printReport renders one phase the way an operator reads it: what was
+// pushed, what the daemon admitted, and what the uniformity gauge said.
+func printReport(w io.Writer, rep loadgen.Report) {
+	fmt.Fprintf(w, "phase %-14s %8d ids in %8s (%.0f ids/s)\n",
+		rep.Name, rep.Offered, rep.Duration.Round(time.Millisecond), rep.AchievedRate)
+	if rep.HaveDeltas {
+		fmt.Fprintf(w, "  daemon: processed %+.0f, dropped %+.0f (drop fraction %.3f)\n",
+			rep.Processed, rep.Dropped, rep.DropFraction)
+	}
+	if max, ok := rep.MaxInputKL(); ok {
+		final, _ := rep.FinalInputKL()
+		fmt.Fprintf(w, "  uniformity: input KL max %.3f, final %.3f (%d scrapes",
+			max, final, rep.Scrapes)
+		if rep.ScrapeErrors > 0 {
+			fmt.Fprintf(w, ", %d failed", rep.ScrapeErrors)
+		}
+		fmt.Fprintln(w, ")")
+	} else if rep.Scrapes > 0 {
+		fmt.Fprintf(w, "  uniformity: gauge quiet (%d scrapes)\n", rep.Scrapes)
+	}
+}
+
+// clientTLSConfig assembles the stream-plane TLS client config from flag
+// values; all empty means plaintext.
+func clientTLSConfig(caPath, certPath, keyPath string) (*tls.Config, error) {
+	if caPath == "" && certPath == "" && keyPath == "" {
+		return nil, nil
+	}
+	if (certPath == "") != (keyPath == "") {
+		return nil, errors.New("-tls-cert and -tls-key must be set together")
+	}
+	cfg := &tls.Config{MinVersion: tls.VersionTLS12}
+	if caPath != "" {
+		pem, err := os.ReadFile(caPath)
+		if err != nil {
+			return nil, err
+		}
+		pool := x509.NewCertPool()
+		if !pool.AppendCertsFromPEM(pem) {
+			return nil, fmt.Errorf("no certificates in -tls-ca %s", caPath)
+		}
+		cfg.RootCAs = pool
+	}
+	if certPath != "" {
+		cert, err := tls.LoadX509KeyPair(certPath, keyPath)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Certificates = []tls.Certificate{cert}
+	}
+	return cfg, nil
+}

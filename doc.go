@@ -130,6 +130,34 @@
 // automatic reconnection: every redial re-handshakes with the same
 // credentials before the subscription is re-issued.
 //
+// # Operating the daemon: observability
+//
+// A sampler whose guarantees are statistical needs instrumentation that
+// speaks statistics. The unsd daemon exports a Prometheus text exposition
+// on GET /metrics (internal/telemetry, dependency-free): every counter the
+// pool, shards, subscribers, autoscaler, stream listener and snapshot path
+// already keep — and a live uniformity gauge. The gauge holds sliding
+// windows over the ingest stream σ and the output stream σ′ and exports
+// their KL divergence to the uniform distribution plus the paper's G_KL
+// gain between them (-uniformity-window sizes it): a targeted flood is
+// visible as rising unsd_uniformity_input_kl, a failing sampler as rising
+// unsd_uniformity_output_kl, and a healthy one as a gain near 1 — the
+// paper's evaluation, continuously computed against live traffic, scrape
+// by scrape. Collectors read atomic counters and snapshot surfaces at
+// scrape time; nothing is added to the per-id ingest path. Structured
+// leveled logs (-log-level, -log-format=text|json) cover connection
+// lifecycle, resize and autoscale decisions, snapshot outcomes and auth
+// failures; -pprof mounts the Go profiler behind the admin token.
+//
+// Two tools close the loop. client.ScrapeMetrics fetches and parses one
+// scrape programmatically. cmd/unsload replays adversarial load scenarios
+// (uniform baseline, targeted flood, churn storm, slow-trickle bias —
+// internal/adversary's attack shapes) against a live daemon over the
+// framed protocol at a target rate while scraping /metrics, and reports
+// per phase: achieved rate, the daemon's own processed/dropped deltas, and
+// the uniformity gauge's trajectory — push the attack, watch the gauge
+// degrade, watch it recover.
+//
 // Use Service for a single node's modest stream, Pool when one sampler
 // cannot absorb the traffic, and the unsd daemon (cmd/unsd) to serve a
 // Pool over the network: HTTP for request/response (plus POST /resize,

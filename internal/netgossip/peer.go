@@ -327,6 +327,17 @@ func (p *Peer) Listen(addr string) (net.Listener, error) {
 	if err != nil {
 		return nil, fmt.Errorf("netgossip: listen: %w", err)
 	}
+	p.Serve(ln)
+	return ln, nil
+}
+
+// Serve accepts connections from an existing listener and adds each to the
+// peer until the listener fails (e.g. because it was closed). It is Listen
+// for callers that construct the listener themselves — a tls.NewListener
+// wrap, a unix socket, an in-memory pipe listener in tests. The accept loop
+// runs in a background goroutine that exits with the listener; the caller
+// keeps ownership of ln and closes it to stop serving.
+func (p *Peer) Serve(ln net.Listener) {
 	go func() {
 		for {
 			conn, err := ln.Accept()
@@ -339,7 +350,6 @@ func (p *Peer) Listen(addr string) (net.Listener, error) {
 			}
 		}
 	}()
-	return ln, nil
 }
 
 // Connect dials a TCP neighbour and adds the connection.

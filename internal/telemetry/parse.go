@@ -1,0 +1,280 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ParsedFamily is one metric family as read back from an exposition.
+type ParsedFamily struct {
+	Name    string
+	Help    string
+	Type    string
+	Samples []Sample
+}
+
+// Scrape is a parsed exposition: the families in document order, indexed by
+// name. It is what the unsload generator and the exposition tests work on.
+type Scrape struct {
+	Families []ParsedFamily
+	byName   map[string]*ParsedFamily
+}
+
+// Family returns the named family, or nil.
+func (s *Scrape) Family(name string) *ParsedFamily {
+	return s.byName[name]
+}
+
+// Value returns the value of the sample of the named family whose labels
+// exactly match the given name=value pairs (given as alternating name,
+// value strings). ok is false when the family or the labelled sample is
+// absent.
+func (s *Scrape) Value(name string, labelPairs ...string) (v float64, ok bool) {
+	if len(labelPairs)%2 != 0 {
+		panic("telemetry: Value label pairs must alternate name, value")
+	}
+	f := s.byName[name]
+	if f == nil {
+		return 0, false
+	}
+	want := make(map[string]string, len(labelPairs)/2)
+	for i := 0; i < len(labelPairs); i += 2 {
+		want[labelPairs[i]] = labelPairs[i+1]
+	}
+	for _, smp := range f.Samples {
+		if len(smp.Labels) != len(want) {
+			continue
+		}
+		match := true
+		for _, l := range smp.Labels {
+			if want[l.Name] != l.Value {
+				match = false
+				break
+			}
+		}
+		if match {
+			return smp.Value, true
+		}
+	}
+	return 0, false
+}
+
+// Sum returns the sum over all samples of the named family (0 when the
+// family is absent or empty) and whether the family was present.
+func (s *Scrape) Sum(name string) (float64, bool) {
+	f := s.byName[name]
+	if f == nil {
+		return 0, false
+	}
+	var sum float64
+	for _, smp := range f.Samples {
+		sum += smp.Value
+	}
+	return sum, true
+}
+
+// Parse reads a Prometheus text-format (v0.0.4) exposition as written by
+// this package: # HELP and # TYPE comment lines followed by sample lines.
+// Unknown comment lines are skipped; a sample line for a family with no
+// preceding metadata still parses (its family just has empty Help/Type).
+func Parse(r io.Reader) (*Scrape, error) {
+	s := &Scrape{byName: make(map[string]*ParsedFamily)}
+	family := func(name string) *ParsedFamily {
+		if f := s.byName[name]; f != nil {
+			return f
+		}
+		s.Families = append(s.Families, ParsedFamily{Name: name})
+		f := &s.Families[len(s.Families)-1]
+		// Appending may relocate the backing array; reindex every family.
+		s.byName = make(map[string]*ParsedFamily, len(s.Families))
+		for i := range s.Families {
+			s.byName[s.Families[i].Name] = &s.Families[i]
+		}
+		return f
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) < 3 {
+				continue
+			}
+			switch fields[1] {
+			case "HELP":
+				help := ""
+				if len(fields) == 4 {
+					help = unescapeHelp(fields[3])
+				}
+				family(fields[2]).Help = help
+			case "TYPE":
+				if len(fields) >= 4 {
+					family(fields[2]).Type = fields[3]
+				}
+			}
+			continue
+		}
+		name, labels, value, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("telemetry: line %d: %w", lineNo, err)
+		}
+		f := family(name)
+		f.Samples = append(f.Samples, Sample{Labels: labels, Value: value})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("telemetry: reading exposition: %w", err)
+	}
+	return s, nil
+}
+
+func parseSample(line string) (name string, labels []Label, value float64, err error) {
+	rest := line
+	if i := strings.IndexAny(rest, "{ "); i < 0 {
+		return "", nil, 0, fmt.Errorf("malformed sample %q", line)
+	} else {
+		name, rest = rest[:i], rest[i:]
+	}
+	if strings.HasPrefix(rest, "{") {
+		end := findLabelEnd(rest)
+		if end < 0 {
+			return "", nil, 0, fmt.Errorf("unterminated label set in %q", line)
+		}
+		labels, err = parseLabels(rest[1:end])
+		if err != nil {
+			return "", nil, 0, fmt.Errorf("%w in %q", err, line)
+		}
+		rest = rest[end+1:]
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 {
+		return "", nil, 0, fmt.Errorf("sample %q has no value", line)
+	}
+	value, err = parseValue(fields[0])
+	if err != nil {
+		return "", nil, 0, fmt.Errorf("bad value %q in %q", fields[0], line)
+	}
+	return name, labels, value, nil
+}
+
+// findLabelEnd returns the index of the closing brace of a label set that
+// starts at index 0, honouring escapes inside quoted values.
+func findLabelEnd(s string) int {
+	inQuote := false
+	for i := 1; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			if inQuote {
+				i++
+			}
+		case '"':
+			inQuote = !inQuote
+		case '}':
+			if !inQuote {
+				return i
+			}
+		}
+	}
+	return -1
+}
+
+func parseLabels(s string) ([]Label, error) {
+	var labels []Label
+	for len(s) > 0 {
+		eq := strings.IndexByte(s, '=')
+		if eq < 0 {
+			return nil, fmt.Errorf("malformed label pair %q", s)
+		}
+		name := strings.TrimSpace(s[:eq])
+		s = s[eq+1:]
+		if len(s) == 0 || s[0] != '"' {
+			return nil, fmt.Errorf("label %s value not quoted", name)
+		}
+		s = s[1:]
+		var sb strings.Builder
+		i := 0
+		for ; i < len(s); i++ {
+			c := s[i]
+			if c == '\\' && i+1 < len(s) {
+				i++
+				switch s[i] {
+				case 'n':
+					sb.WriteByte('\n')
+				case '\\':
+					sb.WriteByte('\\')
+				case '"':
+					sb.WriteByte('"')
+				default:
+					sb.WriteByte('\\')
+					sb.WriteByte(s[i])
+				}
+				continue
+			}
+			if c == '"' {
+				break
+			}
+			sb.WriteByte(c)
+		}
+		if i == len(s) {
+			return nil, fmt.Errorf("label %s value unterminated", name)
+		}
+		labels = append(labels, Label{Name: name, Value: sb.String()})
+		s = s[i+1:]
+		s = strings.TrimPrefix(strings.TrimSpace(s), ",")
+		s = strings.TrimSpace(s)
+	}
+	return labels, nil
+}
+
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "NaN":
+		return strconv.ParseFloat("NaN", 64)
+	case "+Inf", "Inf":
+		return strconv.ParseFloat("+Inf", 64)
+	case "-Inf":
+		return strconv.ParseFloat("-Inf", 64)
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+func unescapeHelp(s string) string {
+	var sb strings.Builder
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\\' && i+1 < len(s) {
+			i++
+			switch s[i] {
+			case 'n':
+				sb.WriteByte('\n')
+			case '\\':
+				sb.WriteByte('\\')
+			default:
+				sb.WriteByte('\\')
+				sb.WriteByte(s[i])
+			}
+			continue
+		}
+		sb.WriteByte(s[i])
+	}
+	return sb.String()
+}
+
+// SortedNames returns the parsed family names in lexical order — handy for
+// stable test diagnostics.
+func (s *Scrape) SortedNames() []string {
+	names := make([]string, 0, len(s.Families))
+	for i := range s.Families {
+		names = append(names, s.Families[i].Name)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,274 @@
+// Package telemetry is the operational observability plane of the node
+// sampling service: a dependency-free Prometheus registry and text-format
+// (version 0.0.4) exposition writer, collectors that adapt the counters the
+// serving plane already keeps — shard pool ingest, per-subscriber stream
+// accounting, autoscaler state — and a live uniformity gauge that turns the
+// paper's evaluation metric (KL divergence to uniform and the G_KL gain,
+// internal/metrics) into a scrapeable SLO signal.
+//
+// The package is deliberately pull-only: nothing here sits on the ingest
+// hot path. Collectors read atomics and take the same short-lived locks the
+// /stats endpoint already takes, and they do it at scrape time — a daemon
+// nobody scrapes pays nothing. Metric families follow the Prometheus
+// conventions (lowercase snake_case names, counters suffixed _total) and
+// every family exported by the daemon carries the unsd_ prefix.
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// ContentType is the HTTP Content-Type of the exposition format this
+// package writes (Prometheus text format, version 0.0.4).
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// Type is a metric family's type as exposed on the # TYPE line.
+type Type string
+
+// The two family types the plane uses. Counters are cumulative and must
+// never decrease (the exposition test pins this across live resizes);
+// gauges move freely.
+const (
+	Counter Type = "counter"
+	Gauge   Type = "gauge"
+)
+
+// Label is one name="value" pair on a sample.
+type Label struct {
+	Name, Value string
+}
+
+// Sample is one exported value of a family, distinguished by its labels.
+type Sample struct {
+	Labels []Label
+	Value  float64
+}
+
+// Family is one metric family: a # HELP line, a # TYPE line and zero or
+// more samples. A family with no samples still exposes its metadata, so a
+// dashboard can discover a quantity before it first fires.
+type Family struct {
+	Name    string
+	Help    string
+	Type    Type
+	Samples []Sample
+}
+
+// Collector produces a set of families at scrape time.
+type Collector interface {
+	Collect() []Family
+}
+
+// CollectorFunc adapts a plain function to the Collector interface.
+type CollectorFunc func() []Family
+
+// Collect implements Collector.
+func (f CollectorFunc) Collect() []Family { return f() }
+
+// Registry is a set of collectors gathered and written on each scrape. All
+// methods are safe for concurrent use; collectors must be too (ours only
+// read atomics and short-lived-lock snapshots).
+type Registry struct {
+	mu         sync.Mutex
+	collectors []Collector
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// Register adds collectors to the registry.
+func (r *Registry) Register(cs ...Collector) {
+	r.mu.Lock()
+	r.collectors = append(r.collectors, cs...)
+	r.mu.Unlock()
+}
+
+// Gather collects every registered collector's families, validates them
+// (legal names, no duplicate families) and returns them sorted by name so
+// consecutive scrapes are diffable.
+func (r *Registry) Gather() ([]Family, error) {
+	r.mu.Lock()
+	collectors := append([]Collector(nil), r.collectors...)
+	r.mu.Unlock()
+	var fams []Family
+	seen := make(map[string]bool)
+	for _, c := range collectors {
+		for _, f := range c.Collect() {
+			if err := validateFamily(f); err != nil {
+				return nil, err
+			}
+			if seen[f.Name] {
+				return nil, fmt.Errorf("telemetry: duplicate family %q", f.Name)
+			}
+			seen[f.Name] = true
+			fams = append(fams, f)
+		}
+	}
+	sort.Slice(fams, func(i, j int) bool { return fams[i].Name < fams[j].Name })
+	return fams, nil
+}
+
+// WriteTo gathers and writes the exposition in Prometheus text format
+// version 0.0.4: for each family a # HELP line, a # TYPE line, then one
+// line per sample.
+func (r *Registry) WriteTo(w io.Writer) (int64, error) {
+	fams, err := r.Gather()
+	if err != nil {
+		return 0, err
+	}
+	var sb strings.Builder
+	for _, f := range fams {
+		sb.WriteString("# HELP ")
+		sb.WriteString(f.Name)
+		sb.WriteByte(' ')
+		sb.WriteString(escapeHelp(f.Help))
+		sb.WriteByte('\n')
+		sb.WriteString("# TYPE ")
+		sb.WriteString(f.Name)
+		sb.WriteByte(' ')
+		sb.WriteString(string(f.Type))
+		sb.WriteByte('\n')
+		for _, s := range f.Samples {
+			sb.WriteString(f.Name)
+			if len(s.Labels) > 0 {
+				sb.WriteByte('{')
+				for i, l := range s.Labels {
+					if i > 0 {
+						sb.WriteByte(',')
+					}
+					sb.WriteString(l.Name)
+					sb.WriteString(`="`)
+					sb.WriteString(escapeLabelValue(l.Value))
+					sb.WriteByte('"')
+				}
+				sb.WriteByte('}')
+			}
+			sb.WriteByte(' ')
+			sb.WriteString(formatValue(s.Value))
+			sb.WriteByte('\n')
+		}
+	}
+	n, err := io.WriteString(w, sb.String())
+	return int64(n), err
+}
+
+// Handler returns an http.Handler serving the registry's exposition — the
+// body of a /metrics endpoint. A gather failure (always a programming
+// error: an invalid or duplicated family) answers 500 with the reason.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", ContentType)
+		if _, err := r.WriteTo(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+}
+
+// validateFamily enforces the plane's naming convention, stricter than
+// Prometheus requires: family names are lowercase snake_case (or colons for
+// recording-rule style names) with no digits, label names are lowercase
+// snake_case. Keeping the alphabet small keeps variability in labels, where
+// it belongs, and lets the exposition test pin one regular expression.
+func validateFamily(f Family) error {
+	if !validMetricName(f.Name) {
+		return fmt.Errorf("telemetry: invalid family name %q (want [a-z_:]+)", f.Name)
+	}
+	if f.Type != Counter && f.Type != Gauge {
+		return fmt.Errorf("telemetry: family %s has invalid type %q", f.Name, f.Type)
+	}
+	if f.Help == "" {
+		return fmt.Errorf("telemetry: family %s has no help text", f.Name)
+	}
+	for _, s := range f.Samples {
+		for _, l := range s.Labels {
+			if !validLabelName(l.Name) {
+				return fmt.Errorf("telemetry: family %s has invalid label name %q", f.Name, l.Name)
+			}
+		}
+		if f.Type == Counter && s.Value < 0 {
+			return fmt.Errorf("telemetry: counter %s has negative value %v", f.Name, s.Value)
+		}
+	}
+	return nil
+}
+
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for _, c := range s {
+		if (c < 'a' || c > 'z') && c != '_' && c != ':' {
+			return false
+		}
+	}
+	return true
+}
+
+func validLabelName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for _, c := range s {
+		if (c < 'a' || c > 'z') && c != '_' {
+			return false
+		}
+	}
+	return true
+}
+
+// escapeHelp escapes a HELP line per the text format: backslash and
+// newline.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// escapeLabelValue escapes a label value per the text format: backslash,
+// double quote and newline.
+func escapeLabelValue(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// formatValue renders a sample value the way Prometheus expects: shortest
+// round-trippable decimal, with the spec's spellings for the specials.
+func formatValue(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "NaN"
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// gaugeSample and counter helpers keep collector bodies terse.
+
+// G returns an unlabelled gauge family with one sample.
+func G(name, help string, v float64) Family {
+	return Family{Name: name, Help: help, Type: Gauge, Samples: []Sample{{Value: v}}}
+}
+
+// C returns an unlabelled counter family with one sample.
+func C(name, help string, v float64) Family {
+	return Family{Name: name, Help: help, Type: Counter, Samples: []Sample{{Value: v}}}
+}
+
+// B returns 1.0 for true and 0.0 for false — the conventional encoding of a
+// boolean gauge.
+func B(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,152 @@
+package telemetry
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestWriteToFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Register(CollectorFunc(func() []Family {
+		return []Family{
+			{
+				Name: "unsd_test_total",
+				Help: `a counter with \ and a
+newline`,
+				Type: Counter,
+				Samples: []Sample{
+					{Labels: []Label{{Name: "shard", Value: "0"}}, Value: 42},
+					{Labels: []Label{{Name: "shard", Value: `we"ird\v`}}, Value: 1},
+				},
+			},
+			G("unsd_test_gauge", "a gauge", 1.5),
+		}
+	}))
+	var sb strings.Builder
+	if _, err := r.WriteTo(&sb); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	got := sb.String()
+	want := "# HELP unsd_test_gauge a gauge\n" +
+		"# TYPE unsd_test_gauge gauge\n" +
+		"unsd_test_gauge 1.5\n" +
+		`# HELP unsd_test_total a counter with \\ and a\nnewline` + "\n" +
+		"# TYPE unsd_test_total counter\n" +
+		`unsd_test_total{shard="0"} 42` + "\n" +
+		`unsd_test_total{shard="we\"ird\\v"} 1` + "\n"
+	if got != want {
+		t.Fatalf("exposition mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestGatherRejectsInvalidFamilies(t *testing.T) {
+	cases := []struct {
+		name string
+		fam  Family
+	}{
+		{"digits in name", C("unsd_sha256_total", "h", 1)},
+		{"uppercase", C("unsd_Total", "h", 1)},
+		{"empty name", C("", "h", 1)},
+		{"no help", Family{Name: "unsd_x", Type: Counter}},
+		{"bad type", Family{Name: "unsd_x", Help: "h", Type: "histogram"}},
+		{"bad label name", Family{Name: "unsd_x", Help: "h", Type: Gauge,
+			Samples: []Sample{{Labels: []Label{{Name: "Shard", Value: "0"}}, Value: 1}}}},
+		{"negative counter", C("unsd_x_total", "h", -1)},
+	}
+	for _, tc := range cases {
+		r := NewRegistry()
+		r.Register(CollectorFunc(func() []Family { return []Family{tc.fam} }))
+		if _, err := r.Gather(); err == nil {
+			t.Errorf("%s: Gather accepted invalid family", tc.name)
+		}
+	}
+}
+
+func TestGatherRejectsDuplicateFamily(t *testing.T) {
+	r := NewRegistry()
+	r.Register(
+		CollectorFunc(func() []Family { return []Family{G("unsd_dup", "h", 1)} }),
+		CollectorFunc(func() []Family { return []Family{G("unsd_dup", "h", 2)} }),
+	)
+	if _, err := r.Gather(); err == nil {
+		t.Fatal("Gather accepted duplicate family names")
+	}
+}
+
+func TestFormatValueSpecials(t *testing.T) {
+	if got := formatValue(math.NaN()); got != "NaN" {
+		t.Errorf("NaN: got %q", got)
+	}
+	if got := formatValue(math.Inf(1)); got != "+Inf" {
+		t.Errorf("+Inf: got %q", got)
+	}
+	if got := formatValue(math.Inf(-1)); got != "-Inf" {
+		t.Errorf("-Inf: got %q", got)
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Register(CollectorFunc(func() []Family {
+		return []Family{
+			{
+				Name: "unsd_rt_total",
+				Help: `round trip with \ and
+breaks`,
+				Type: Counter,
+				Samples: []Sample{
+					{Labels: []Label{{Name: "a", Value: `x"y\z`}, {Name: "b", Value: "plain"}}, Value: 7},
+					{Value: 9.25},
+				},
+			},
+			G("unsd_rt_gauge", "plain", -0.5),
+		}
+	}))
+	var sb strings.Builder
+	if _, err := r.WriteTo(&sb); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	s, err := Parse(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	f := s.Family("unsd_rt_total")
+	if f == nil {
+		t.Fatal("family unsd_rt_total not parsed")
+	}
+	if f.Type != "counter" {
+		t.Errorf("type: got %q", f.Type)
+	}
+	if want := "round trip with \\ and\nbreaks"; f.Help != want {
+		t.Errorf("help: got %q want %q", f.Help, want)
+	}
+	if v, ok := s.Value("unsd_rt_total", "a", `x"y\z`, "b", "plain"); !ok || v != 7 {
+		t.Errorf("labelled sample: got %v ok=%v", v, ok)
+	}
+	if v, ok := s.Value("unsd_rt_total"); !ok || v != 9.25 {
+		t.Errorf("unlabelled sample: got %v ok=%v", v, ok)
+	}
+	if sum, ok := s.Sum("unsd_rt_total"); !ok || sum != 16.25 {
+		t.Errorf("Sum: got %v ok=%v", sum, ok)
+	}
+	if v, ok := s.Value("unsd_rt_gauge"); !ok || v != -0.5 {
+		t.Errorf("gauge: got %v ok=%v", v, ok)
+	}
+	if _, ok := s.Value("unsd_absent"); ok {
+		t.Error("absent family reported present")
+	}
+}
+
+func TestParseRejectsGarbage(t *testing.T) {
+	for _, bad := range []string{
+		"unsd_x{a=\"unterminated\n",
+		"unsd_x{a=unquoted} 1\n",
+		"unsd_x notanumber\n",
+		"no_space_or_brace\n",
+	} {
+		if _, err := Parse(strings.NewReader(bad)); err == nil {
+			t.Errorf("Parse accepted %q", bad)
+		}
+	}
+}
