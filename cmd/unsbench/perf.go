@@ -13,6 +13,7 @@ import (
 	"nodesampling"
 	"nodesampling/internal/autoscale"
 	"nodesampling/internal/shard"
+	"nodesampling/internal/telemetry"
 )
 
 // The -perf mode measures the service plane's hot paths with the standard
@@ -31,13 +32,17 @@ type perfBench struct {
 	BytesPerOp  int64   `json:"bytes_per_op"`
 }
 
-// perfReport is the BENCH_<pr>.json document.
+// perfReport is the BENCH_<pr>.json document. HistogramFamilies records
+// which latency histogram families were compiled into the measured build:
+// the perf numbers are taken with the full observability plane in place, so
+// the artifact carries its provenance.
 type perfReport struct {
-	Schema     string      `json:"schema"`
-	GoVersion  string      `json:"go_version"`
-	GOMAXPROCS int         `json:"gomaxprocs"`
-	Generated  string      `json:"generated"`
-	Benchmarks []perfBench `json:"benchmarks"`
+	Schema            string      `json:"schema"`
+	GoVersion         string      `json:"go_version"`
+	GOMAXPROCS        int         `json:"gomaxprocs"`
+	Generated         string      `json:"generated"`
+	HistogramFamilies []string    `json:"histogram_families"`
+	Benchmarks        []perfBench `json:"benchmarks"`
 }
 
 // perfSuite names the hot paths the perf artifact tracks.
@@ -60,10 +65,11 @@ var perfSuite = []struct {
 // all) and writes the JSON document to outPath ("-" or "" writes to w).
 func runPerf(w io.Writer, outPath, filter string) error {
 	report := perfReport{
-		Schema:     "unsbench-perf/v1",
-		GoVersion:  runtime.Version(),
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
-		Generated:  time.Now().UTC().Format(time.RFC3339),
+		Schema:            "unsbench-perf/v1",
+		GoVersion:         runtime.Version(),
+		GOMAXPROCS:        runtime.GOMAXPROCS(0),
+		Generated:         time.Now().UTC().Format(time.RFC3339),
+		HistogramFamilies: telemetry.LatencyFamilyNames(),
 	}
 	for _, bench := range perfSuite {
 		if filter != "" && !strings.Contains(bench.name, filter) {

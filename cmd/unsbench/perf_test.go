@@ -35,6 +35,15 @@ func TestPerfEmitsValidArtifact(t *testing.T) {
 	if report.GoVersion == "" || report.Generated == "" || report.GOMAXPROCS < 1 {
 		t.Fatalf("missing provenance: %+v", report)
 	}
+	if len(report.HistogramFamilies) < 4 {
+		t.Fatalf("artifact must record the compiled-in latency histogram families, got %v",
+			report.HistogramFamilies)
+	}
+	for _, name := range report.HistogramFamilies {
+		if !strings.HasPrefix(name, "unsd_") || !strings.HasSuffix(name, "_seconds") {
+			t.Fatalf("implausible histogram family %q in provenance", name)
+		}
+	}
 	if len(report.Benchmarks) != 1 {
 		t.Fatalf("got %d benchmarks, want 1", len(report.Benchmarks))
 	}

@@ -60,6 +60,7 @@ func TestScrapeUnderFlood(t *testing.T) {
 		MetricsURL:     ts.URL + "/metrics",
 		Batch:          1024,
 		ScrapeInterval: 2 * time.Millisecond,
+		LatencySample:  4, // 8 batches per phase -> 2 sampled round trips each
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -91,6 +92,7 @@ func TestScrapeUnderFlood(t *testing.T) {
 		})
 		return kl
 	}
+	sampleRPCs := 0
 	runPhase := func(ph loadgen.Phase) loadgen.Report {
 		t.Helper()
 		reports, err := g.Run(context.Background(), []loadgen.Phase{ph})
@@ -104,6 +106,11 @@ func TestScrapeUnderFlood(t *testing.T) {
 		if rep.Scrapes < 2 {
 			t.Fatalf("phase %s completed %d scrapes", rep.Name, rep.Scrapes)
 		}
+		if rep.PushAck.Count < 1 || rep.SampleRPC.Count < 1 {
+			t.Fatalf("phase %s measured no client-observed latency: %+v / %+v",
+				rep.Name, rep.PushAck, rep.SampleRPC)
+		}
+		sampleRPCs += rep.SampleRPC.Count
 		pushed += rep.Offered
 		return rep
 	}
@@ -127,6 +134,20 @@ func TestScrapeUnderFlood(t *testing.T) {
 	recovered := settledKL(loadgen.PhaseRecovery)
 	if recovered > 0.4 {
 		t.Fatalf("gauge did not recover: flooded %.3f, recovered %.3f", flooded, recovered)
+	}
+
+	// Cross-check the client-observed latency against the server's own
+	// histograms: every sampled Sample RPC was timed by the daemon too, and
+	// every wire batch crossed the ingest funnel.
+	final, err := g.Scrape(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h := final.Histogram("unsd_sample_duration_seconds"); h == nil || h.Count < float64(sampleRPCs) {
+		t.Fatalf("server sample histogram does not cover the %d client-sampled RPCs: %+v", sampleRPCs, h)
+	}
+	if h := final.Histogram("unsd_ingest_batch_duration_seconds"); h == nil || h.Count < float64(pushed/1024) {
+		t.Fatalf("server ingest histogram missed wire batches: %+v", h)
 	}
 
 	cancel()

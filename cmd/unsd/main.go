@@ -33,9 +33,16 @@
 //	                                   partial updates, {} reports state
 //	GET  /metrics                      Prometheus text exposition (v0.0.4):
 //	                                   every pool/shard/subscriber/autoscale/
-//	                                   stream/snapshot counter plus the live
-//	                                   uniformity gauge; read-open unless
+//	                                   stream/snapshot counter, the live
+//	                                   uniformity gauge, and the latency
+//	                                   histograms (snapshot write, resize,
+//	                                   Sample, per-batch ingest, σ′
+//	                                   emit→delivery lag); read-open unless
 //	                                   -admin-token-all
+//	GET  /trace                        the sampled ingest→σ′ span ring as
+//	                                   Chrome trace-event JSON (load it in
+//	                                   chrome://tracing or ui.perfetto.dev);
+//	                                   behind the admin token when one is set
 //
 // Observability plane:
 //
@@ -53,6 +60,18 @@
 //	                     paper's G_KL gain between them. 0 disables.
 //	-pprof               mount net/http/pprof under /debug/pprof/ behind
 //	                     the admin token (refuses to boot without one)
+//	-trace-sample        record one in N ingest batches as a span tree —
+//	                     ingest (wire batch) → shard (worker) → emit (σ′
+//	                     queue wait) → delivery (hub fan-out) — in a bounded
+//	                     in-memory ring served by GET /trace. Unsampled
+//	                     batches cost one atomic add; 0 disables tracing.
+//
+// Latency histograms: /metrics exports fixed-bucket histogram families
+// (unsd_*_duration_seconds / unsd_emit_delivery_lag_seconds) for snapshot
+// writes, resize hand-offs, Sample calls on both the HTTP and stream
+// surfaces, per-wire-batch ingest, and the lag between a shard worker
+// emitting σ′ draws and the hub fanning them out. dashboards/unsd.json is
+// a committed Grafana dashboard over exactly these families.
 //
 // cmd/unsload is the companion load generator: it replays adversarial
 // scenarios (uniform baseline, targeted flood, churn storm, slow-trickle
@@ -167,6 +186,7 @@ import (
 	"nodesampling/internal/netgossip"
 	"nodesampling/internal/rng"
 	"nodesampling/internal/shard"
+	"nodesampling/internal/spans"
 	"nodesampling/internal/telemetry"
 )
 
@@ -211,6 +231,12 @@ type options struct {
 	logLevel         string
 	logFormat        string
 	uniformityWindow int
+
+	// traceSample records one in N ingest batches as a full span tree
+	// (ingest → shard → emit → delivery) in the in-memory ring behind
+	// GET /trace; 0 disables tracing entirely (the zero value, so tests
+	// constructing options directly trace nothing unless they ask).
+	traceSample int
 
 	// warnw receives boot-time warnings (nil discards them); run() passes
 	// its output writer.
@@ -259,6 +285,8 @@ type daemon struct {
 	logger       *slog.Logger
 	registry     *telemetry.Registry
 	uniformity   *telemetry.Uniformity
+	latency      *telemetry.Latency
+	tracer       *spans.Tracer
 	pprofEnabled bool
 	authFailures atomic.Uint64
 	snapWrites   atomic.Uint64
@@ -283,6 +311,15 @@ type daemon struct {
 	snapUnix     atomic.Int64
 	snapStop     chan struct{}
 	snapDone     chan struct{}
+
+	// needReseal marks a restore that left the on-disk blob behind the
+	// configured key: sealed under the previous key (-snapshot-key-file-old)
+	// or plaintext from before encryption. startReseal then rewrites it
+	// automatically, so rotation completes without waiting for the next
+	// scheduled or manual snapshot.
+	needReseal bool
+	resealStop chan struct{}
+	resealDone chan struct{}
 }
 
 // scaleTarget adapts the daemon for the autoscale controller: signals come
@@ -297,11 +334,13 @@ func (t scaleTarget) Resize(n int) error {
 	t.d.opMu.Lock()
 	defer t.d.opMu.Unlock()
 	from := t.d.pool.NumShards()
+	began := time.Now()
 	err := t.d.pool.Resize(n)
 	if err != nil {
 		t.d.logger.Error("autoscale resize failed", "from", from, "to", n, "error", err)
 		return err
 	}
+	t.d.latency.Resize.ObserveSince(began)
 	epoch, shards := t.d.pool.Topology()
 	t.d.logger.Info("autoscale resize", "from", from, "to", shards, "epoch", epoch)
 	return nil
@@ -348,7 +387,11 @@ func newDaemon(o options) (*daemon, error) {
 	if o.uniformityWindow < 0 {
 		return nil, fmt.Errorf("negative -uniformity-window %d", o.uniformityWindow)
 	}
+	if o.traceSample < 0 {
+		return nil, fmt.Errorf("negative -trace-sample %d", o.traceSample)
+	}
 	uniformity := telemetry.NewUniformity(o.uniformityWindow, uniformityInputEvery)
+	latency := telemetry.NewLatency()
 	scfg := shard.Config{
 		Shards:   o.shards,
 		Buffer:   o.buffer,
@@ -358,9 +401,10 @@ func newDaemon(o options) (*daemon, error) {
 		NewSketch: func(r *rng.Xoshiro) (*cms.Sketch, error) {
 			return cms.NewWithDimensions(o.k, o.s, r)
 		},
+		OnEmitLag: latency.EmitLag.Observe,
 	}
 	var pool *shard.Pool
-	restored := false
+	restored, needReseal := false, false
 	if o.snapshotPath != "" {
 		blob, err := os.ReadFile(o.snapshotPath)
 		switch {
@@ -371,7 +415,7 @@ func newDaemon(o options) (*daemon, error) {
 			if err := checkSnapshotPerms(o.snapshotPath, o.strictSnapshotPerms, warnw); err != nil {
 				return nil, err
 			}
-			if blob, err = unsealSnapshot(blob, snapKey, snapKeyOld, warnw); err != nil {
+			if blob, needReseal, err = unsealSnapshot(blob, snapKey, snapKeyOld, warnw); err != nil {
 				return nil, fmt.Errorf("restore %s: %w", o.snapshotPath, err)
 			}
 			if pool, err = shard.Restore(scfg, blob); err != nil {
@@ -390,9 +434,26 @@ func newDaemon(o options) (*daemon, error) {
 			return nil, err
 		}
 	}
+	d := &daemon{
+		pool:          pool,
+		start:         time.Now(),
+		snapshotPath:  o.snapshotPath,
+		restored:      restored,
+		needReseal:    needReseal,
+		tlsHTTP:       tlsHTTP,
+		tlsStream:     tlsStream,
+		adminTokenAll: o.adminTokenAll,
+		snapKey:       snapKey,
+		snapKeyOld:    snapKeyOld,
+		logger:        logger,
+		uniformity:    uniformity,
+		latency:       latency,
+		tracer:        spans.New(o.traceSample, traceRingSize),
+		pprofEnabled:  o.pprof,
+	}
 	peer, err := netgossip.NewPeer(netgossip.Config{
 		Self:   o.self,
-		Sink:   ingestTap{Pool: pool, probe: uniformity.In},
+		Sink:   ingestTap{Pool: pool, d: d},
 		Fanout: 1,
 		Seed:   o.seed + 1,
 		// The exact per-id histogram is unbounded state an attacker could
@@ -404,21 +465,7 @@ func newDaemon(o options) (*daemon, error) {
 		_ = pool.Close()
 		return nil, err
 	}
-	d := &daemon{
-		pool:          pool,
-		peer:          peer,
-		start:         time.Now(),
-		snapshotPath:  o.snapshotPath,
-		restored:      restored,
-		tlsHTTP:       tlsHTTP,
-		tlsStream:     tlsStream,
-		adminTokenAll: o.adminTokenAll,
-		snapKey:       snapKey,
-		snapKeyOld:    snapKeyOld,
-		logger:        logger,
-		uniformity:    uniformity,
-		pprofEnabled:  o.pprof,
-	}
+	d.peer = peer
 	if len(o.adminToken) > 0 {
 		d.adminTokenHash = sha256.Sum256([]byte(o.adminToken))
 		d.adminTokenSet = true
@@ -448,7 +495,46 @@ func newDaemon(o options) (*daemon, error) {
 	d.ctrl = ctrl
 	d.registry = d.newRegistry()
 	ctrl.Start()
+	if d.needReseal {
+		d.startReseal()
+	}
 	return d, nil
+}
+
+// traceRingSize bounds the span ring behind GET /trace: old spans are
+// overwritten, never accumulated, so tracing costs fixed memory no matter
+// how long the daemon runs.
+const traceRingSize = 4096
+
+// resealRetryInterval paces re-seal retries after a failed automatic
+// snapshot write (disk full, path gone); the first attempt is immediate.
+const resealRetryInterval = time.Second
+
+// startReseal rewrites the snapshot blob in the background until one write
+// succeeds: the restore left the on-disk bytes behind the configured key
+// (previous-key sealed, or plaintext from before encryption), and key
+// rotation only completes when the old key stops opening the blob. An
+// operator should not have to wait for the snapshot ticker — or remember a
+// manual POST /snapshot — to retire the old key.
+func (d *daemon) startReseal() {
+	d.resealStop = make(chan struct{})
+	d.resealDone = make(chan struct{})
+	go func() {
+		defer close(d.resealDone)
+		ticker := time.NewTicker(resealRetryInterval)
+		defer ticker.Stop()
+		for {
+			if _, err := d.writeSnapshot(); err == nil {
+				d.logger.Info("snapshot re-sealed under the configured key", "path", d.snapshotPath)
+				return
+			}
+			select {
+			case <-ticker.C:
+			case <-d.resealStop:
+				return
+			}
+		}
+	}()
 }
 
 // newLogger builds the daemon's structured logger from the -log-level and
@@ -579,27 +665,30 @@ func checkSnapshotPerms(path string, strict bool, warnw io.Writer) error {
 //
 // oldKey is the rotation path (-snapshot-key-file-old): a blob that fails
 // under the new key is retried under the previous one, so operators rotate
-// sealed-snapshot keys without ever writing a plaintext intermediate — the
-// restored pool's next snapshot write re-seals under the new key, and the
-// old key can then be retired.
-func unsealSnapshot(blob, key, oldKey []byte, warnw io.Writer) ([]byte, error) {
+// sealed-snapshot keys without ever writing a plaintext intermediate.
+//
+// needReseal reports that the on-disk bytes lag the configured key —
+// previous-key sealed, or plaintext with a key set — and the daemon should
+// rewrite the blob (startReseal) so the old key can be retired.
+func unsealSnapshot(blob, key, oldKey []byte, warnw io.Writer) (plain []byte, needReseal bool, err error) {
 	if shard.SnapshotSealed(blob) {
 		if key == nil {
-			return nil, errors.New("snapshot is encrypted; set -snapshot-key-file")
+			return nil, false, errors.New("snapshot is encrypted; set -snapshot-key-file")
 		}
 		plain, err := shard.OpenSealedSnapshot(blob, key)
 		if err != nil && oldKey != nil {
 			if plain, err2 := shard.OpenSealedSnapshot(blob, oldKey); err2 == nil {
-				fmt.Fprintln(warnw, "warning: snapshot restored under the previous key (-snapshot-key-file-old); the next snapshot write re-seals it under the new key")
-				return plain, nil
+				fmt.Fprintln(warnw, "warning: snapshot restored under the previous key (-snapshot-key-file-old); the daemon re-seals it under the new key automatically")
+				return plain, true, nil
 			}
 		}
-		return plain, err
+		return plain, false, err
 	}
 	if key != nil {
-		fmt.Fprintln(warnw, "warning: restoring a plaintext (pre-encryption) snapshot; the next snapshot write will be sealed")
+		fmt.Fprintln(warnw, "warning: restoring a plaintext (pre-encryption) snapshot; the daemon re-seals it automatically")
+		return blob, true, nil
 	}
-	return blob, nil
+	return blob, false, nil
 }
 
 // writeSnapshot serialises the pool and installs it at snapshotPath,
@@ -630,6 +719,7 @@ func (d *daemon) writeSnapshotLocked() (n int, err error) {
 		took := time.Since(began)
 		d.snapWrites.Add(1)
 		d.snapDurNanos.Store(int64(took))
+		d.latency.SnapshotWrite.Observe(took.Seconds())
 		d.logger.Info("snapshot written", "path", d.snapshotPath,
 			"bytes", n, "sealed", d.snapKey != nil, "duration", took)
 	}()
@@ -719,6 +809,11 @@ func (d *daemon) startSnapshotLoop(interval time.Duration) {
 // remaining stream subscription).
 func (d *daemon) Close() {
 	d.ctrl.Close()
+	if d.resealStop != nil {
+		close(d.resealStop)
+		<-d.resealDone
+		d.resealStop = nil
+	}
 	if d.snapStop != nil {
 		close(d.snapStop)
 		<-d.snapDone
@@ -766,6 +861,7 @@ func (d *daemon) handler() http.Handler {
 	mux.HandleFunc("GET /memory", readOpen(d.handleMemory))
 	mux.HandleFunc("GET /stats", readOpen(d.handleStats))
 	mux.HandleFunc("GET /metrics", readOpen(d.handleMetrics))
+	mux.HandleFunc("GET /trace", d.requireToken(d.handleTrace))
 	mux.HandleFunc("POST /resize", d.requireToken(d.handleResize))
 	mux.HandleFunc("POST /snapshot", d.requireToken(d.handleSnapshot))
 	mux.HandleFunc("POST /autoscale", d.requireToken(d.handleAutoscale))
@@ -902,10 +998,7 @@ func (d *daemon) handlePush(w http.ResponseWriter, r *http.Request) {
 	for i, id := range req.IDs {
 		ids[i] = uint64(id)
 	}
-	// The uniformity gauge watches the offered stream σ — drops included,
-	// since an attacker's flood is part of the input distribution.
-	d.uniformity.In.Offer(ids)
-	if err := d.pool.PushBatch(ids); err != nil {
+	if err := d.ingest(ids, "http"); err != nil {
 		httpError(w, http.StatusServiceUnavailable, err.Error())
 		return
 	}
@@ -927,7 +1020,9 @@ func (d *daemon) handleSample(w http.ResponseWriter, r *http.Request) {
 		}
 		n = v
 	}
+	began := time.Now()
 	samples := d.pool.SampleN(n)
+	d.latency.Sample.ObserveSince(began)
 	if len(samples) == 0 {
 		httpError(w, http.StatusServiceUnavailable, "pool is empty")
 		return
@@ -966,11 +1061,13 @@ func (d *daemon) handleResize(w http.ResponseWriter, r *http.Request) {
 	}
 	defer d.opMu.Unlock()
 	from := d.pool.NumShards()
+	began := time.Now()
 	if err := d.pool.Resize(*req.Shards); err != nil {
 		d.logger.Error("resize failed", "source", "admin", "from", from, "to", *req.Shards, "error", err)
 		httpError(w, http.StatusServiceUnavailable, err.Error())
 		return
 	}
+	d.latency.Resize.ObserveSince(began)
 	// One map load for the pair, so a concurrent autoscaler resize between
 	// two separate getters cannot produce an epoch from one topology and a
 	// shard count from the next.
@@ -1183,6 +1280,7 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 		logLevel   = fs.String("log-level", "info", "structured log level: debug, info, warn, error")
 		logFormat  = fs.String("log-format", "text", "structured log encoding: text or json")
 		uniWindow  = fs.Int("uniformity-window", 4096, "sliding-window size of the live uniformity gauge on /metrics (0 disables the divergence samples)")
+		traceEvery = fs.Int("trace-sample", 1024, "record one in N ingest batches as an ingest→σ′ span tree served by GET /trace (0 disables tracing)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -1224,6 +1322,7 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 		logLevel:            *logLevel,
 		logFormat:           *logFormat,
 		uniformityWindow:    *uniWindow,
+		traceSample:         *traceEvery,
 		warnw:               w,
 	})
 	if err != nil {
@@ -1263,9 +1362,10 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 		fmt.Fprintf(w, "stream listening on %s\n", ln.Addr())
 	}
 	if *gossipAddr != "" {
-		// The legacy one-way gossip listener rides the same TLS plane as the
-		// framed stream listener (certificate and, under -tls-client-ca,
-		// mutual-TLS client verification): no listener trusts its network.
+		// The gossip listener (framed PushBatch exchange between peers) rides
+		// the same TLS plane as the stream listener (certificate and, under
+		// -tls-client-ca, mutual-TLS client verification): no listener trusts
+		// its network.
 		ln, err := net.Listen("tcp", *gossipAddr)
 		if err != nil {
 			return err

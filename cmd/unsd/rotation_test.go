@@ -164,3 +164,64 @@ func TestSnapshotKeyRotationValidation(t *testing.T) {
 		t.Fatalf("world-readable old key file accepted: %v", err)
 	}
 }
+
+// TestAutomaticReseal pins the rotation satellite: a daemon that restored
+// its snapshot under the previous key (-snapshot-key-file-old) rewrites
+// the blob under the new key on its own — no push, no manual POST
+// /snapshot, no snapshot ticker — after which the old key no longer opens
+// it. Rotation completes by booting the daemon, full stop.
+func TestAutomaticReseal(t *testing.T) {
+	dir := t.TempDir()
+	keyA := writeKeyFile(t, dir, "a.key", []byte(strings.Repeat("ab", 32)), 0o600)
+	keyB := writeKeyFile(t, dir, "b.key", []byte(strings.Repeat("cd", 32)), 0o600)
+
+	o := defaultOptions()
+	o.snapshotPath = filepath.Join(dir, "pool.snap")
+	o.snapshotKeyFile = keyA
+	d1, err := newDaemon(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d1.pool.PushBatch([]uint64{7, 8, 9, 10}); err != nil {
+		t.Fatal(err)
+	}
+	d1.Close() // final snapshot, sealed under key A
+
+	aKey, err := readSnapshotKey(keyA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bKey, err := readSnapshotKey(keyB)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Rotation boot. The daemon stays idle: the automatic re-seal alone
+	// must move the blob from key A to key B.
+	o2 := o
+	o2.snapshotKeyFile = keyB
+	o2.snapshotKeyFileOld = keyA
+	d2, err := newDaemon(o2)
+	if err != nil {
+		t.Fatalf("rotation restore: %v", err)
+	}
+	defer d2.Close()
+	if !d2.needReseal {
+		t.Fatal("old-key restore did not mark the blob for re-sealing")
+	}
+	waitFor(t, "the blob to be re-sealed under the new key", func() bool {
+		blob, err := os.ReadFile(o.snapshotPath)
+		if err != nil || !shard.SnapshotSealed(blob) {
+			return false
+		}
+		_, err = shard.OpenSealedSnapshot(blob, bKey)
+		return err == nil
+	})
+	blob, err := os.ReadFile(o.snapshotPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := shard.OpenSealedSnapshot(blob, aKey); err == nil {
+		t.Fatal("automatically re-sealed snapshot still opens under the retired key")
+	}
+}

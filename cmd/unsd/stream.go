@@ -200,11 +200,11 @@ func (s *streamServer) handle(conn net.Conn) {
 		switch f.Type {
 		case netgossip.FramePushBatch:
 			// A closed or overloaded pool only costs stream elements, like
-			// the gossip path: the connection stays up. The uniformity
-			// gauge observes the offered stream before the pool takes
-			// ownership of the slice.
-			s.d.uniformity.In.Offer(f.IDs)
-			_ = s.d.pool.PushBatch(f.IDs)
+			// the gossip path: the connection stays up. The shared ingest
+			// funnel observes the offered stream (uniformity probe, batch
+			// latency, sampled trace) before the pool takes ownership of
+			// the slice.
+			_ = s.d.ingest(f.IDs, "stream")
 		case netgossip.FrameSample:
 			// A SampleResp frame carries at most MaxBatch ids, so that is
 			// the cap here (tighter than the HTTP plane's maxSampleN): a
@@ -213,7 +213,10 @@ func (s *streamServer) handle(conn net.Conn) {
 			if n > netgossip.MaxBatch {
 				n = netgossip.MaxBatch
 			}
-			if err := w.write(netgossip.Frame{Type: netgossip.FrameSampleResp, IDs: s.d.pool.SampleN(n)}); err != nil {
+			began := time.Now()
+			samples := s.d.pool.SampleN(n)
+			s.d.latency.Sample.ObserveSince(began)
+			if err := w.write(netgossip.Frame{Type: netgossip.FrameSampleResp, IDs: samples}); err != nil {
 				return
 			}
 		case netgossip.FrameSubscribe:

@@ -3,10 +3,12 @@ package main
 // The daemon's observability surface: the /metrics endpoint (Prometheus
 // text format v0.0.4, internal/telemetry), the daemon-level collector for
 // counters the generic collectors cannot see (listeners, auth, snapshots),
-// the live uniformity gauge's plumbing, and the pprof mount. Everything
-// here is pull-only — collectors read atomics and short-lived-lock
-// snapshots at scrape time; the ingest hot path (shard workers) is never
-// touched.
+// the live uniformity gauge's plumbing, the unified ingest funnel (batch
+// latency histogram plus the sampled root span of the ingest→σ′ trace),
+// and the pprof mount. Scrape-side work is pull-only — collectors read
+// atomics and short-lived-lock snapshots at scrape time; the per-batch
+// ingest cost is two atomic histogram updates and, unsampled, one atomic
+// add in the tracer.
 
 import (
 	"net/http"
@@ -14,22 +16,42 @@ import (
 	"time"
 
 	"nodesampling/internal/shard"
+	"nodesampling/internal/spans"
 	"nodesampling/internal/telemetry"
 )
 
-// ingestTap is the netgossip sink: the pool, with the uniformity gauge's
-// input probe watching every decoded batch on the way in. Embedding the
-// pool keeps the peer's Sample/Memory pass-through (SampleSource) intact.
-// The probe costs one mutex acquisition per wire batch, off the per-id
-// shard path.
+// ingestTap is the netgossip sink: the daemon's unified ingest funnel,
+// labelled with the gossip surface. Embedding the pool keeps the peer's
+// Sample/Memory pass-through (SampleSource) intact.
 type ingestTap struct {
 	*shard.Pool
-	probe *telemetry.Probe
+	d *daemon
 }
 
 func (t ingestTap) PushBatch(ids []uint64) error {
-	t.probe.Offer(ids)
-	return t.Pool.PushBatch(ids)
+	return t.d.ingest(ids, "gossip")
+}
+
+// ingest is the one funnel every ingest front shares — HTTP POST /push, the
+// framed stream's PushBatch frames, and gossip batches. It offers the batch
+// to the uniformity gauge's input probe (drops included: an attacker's
+// flood is part of the input distribution), observes the wire-batch ingest
+// latency, and — one batch in -trace-sample — opens the root "ingest" span
+// under which the shard, emit and delivery spans hang.
+func (d *daemon) ingest(ids []uint64, surface string) error {
+	began := time.Now()
+	d.uniformity.In.Offer(ids)
+	tc := d.tracer.Root("ingest")
+	err := d.pool.PushBatchTraced(ids, tc)
+	if tc.Sampled() {
+		outcome := "ok"
+		if err != nil {
+			outcome = "rejected"
+		}
+		tc.End(spans.Str("surface", surface), spans.Int("ids", len(ids)), spans.Str("outcome", outcome))
+	}
+	d.latency.IngestBatch.ObserveSince(began)
+	return err
 }
 
 // uniformityInputEvery decimates the input probe: one of every 8 offered
@@ -63,6 +85,7 @@ func (d *daemon) newRegistry() *telemetry.Registry {
 		telemetry.PoolCollector(d.pool),
 		telemetry.AutoscaleCollector(d.ctrl),
 		d.uniformity,
+		d.latency,
 		telemetry.CollectorFunc(d.collectDaemon),
 	)
 	return reg
@@ -84,7 +107,7 @@ func (d *daemon) collectDaemon() []telemetry.Family {
 			"Seconds since the daemon started.",
 			time.Since(d.start).Seconds()),
 		telemetry.G("unsd_gossip_connections",
-			"Live netgossip connections on the legacy one-way listener.",
+			"Live netgossip connections on the framed gossip listener.",
 			float64(d.peer.NumConns())),
 		telemetry.G("unsd_stream_connections",
 			"Live framed-protocol stream connections.",

@@ -72,7 +72,7 @@ func TestMetricsExpositionFormat(t *testing.T) {
 			if !nameRE.MatchString(f.Name) {
 				t.Errorf("family %q does not match ^unsd_[a-z_:]+$", f.Name)
 			}
-			if f.Type != "counter" && f.Type != "gauge" {
+			if f.Type != "counter" && f.Type != "gauge" && f.Type != "histogram" {
 				t.Errorf("family %s has no # TYPE line (or unknown type %q)", f.Name, f.Type)
 			}
 			if f.Help == "" {
@@ -80,6 +80,15 @@ func TestMetricsExpositionFormat(t *testing.T) {
 			}
 			if f.Type == "counter" && len(f.Samples) == 1 && len(f.Samples[0].Labels) == 0 {
 				out[f.Name] = f.Samples[0].Value
+			}
+			// Histogram _count and cumulative bucket counts are counters
+			// too: the resize hand-off must never lose an observation.
+			if f.Type == "histogram" && len(f.Histograms) == 1 && len(f.Histograms[0].Labels) == 0 {
+				h := f.Histograms[0]
+				out[f.Name+"_count"] = h.Count
+				for _, b := range h.Buckets {
+					out[fmt.Sprintf("%s_bucket{le=%v}", f.Name, b.UpperBound)] = b.Count
+				}
 			}
 		}
 		return out
@@ -123,9 +132,36 @@ func TestMetricsExpositionFormat(t *testing.T) {
 		"unsd_snapshot_failures_total", "unsd_snapshot_sealed",
 		"unsd_uniformity_input_kl", "unsd_uniformity_output_kl",
 		"unsd_uniformity_gain", "unsd_uptime_seconds",
+		"unsd_snapshot_write_duration_seconds", "unsd_resize_duration_seconds",
+		"unsd_sample_duration_seconds", "unsd_ingest_batch_duration_seconds",
+		"unsd_emit_delivery_lag_seconds",
 	} {
 		if s.Family(name) == nil {
 			t.Errorf("family %s missing from /metrics", name)
+		}
+	}
+	// The latency families are real histograms that Parse round-trips:
+	// after driving the ingest and sample paths through HTTP, _count moves
+	// and the +Inf bucket agrees with it.
+	resp, err := http.Get(ts.URL + "/sample?n=16")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if code := postPush(t, ts.URL, []uint64{1, 2, 3}).StatusCode; code != http.StatusOK {
+		t.Fatalf("/push status %d", code)
+	}
+	s = scrapeMetrics(t, ts)
+	for _, name := range []string{"unsd_sample_duration_seconds", "unsd_ingest_batch_duration_seconds"} {
+		h := s.Histogram(name)
+		if h == nil {
+			t.Fatalf("%s did not parse as a histogram", name)
+		}
+		if h.Count < 1 {
+			t.Errorf("%s _count = %v, want >= 1 after driving the surface", name, h.Count)
+		}
+		if last := h.Buckets[len(h.Buckets)-1]; last.Count != h.Count {
+			t.Errorf("%s +Inf bucket %v != _count %v", name, last.Count, h.Count)
 		}
 	}
 }

@@ -1,0 +1,59 @@
+package main
+
+// GET /trace: the sampled ingest→σ′ span ring rendered as Chrome
+// trace-event JSON, the format chrome://tracing and ui.perfetto.dev load
+// directly. Each span becomes one complete ("ph":"X") event; the span and
+// trace identities ride in args, with every trace on its own track (tid)
+// so a batch's ingest → shard → emit → delivery chain reads as one lane.
+// The endpoint sits behind the admin bearer token when one is configured:
+// traces carry timing an attacker could mine, like pprof profiles.
+
+import (
+	"net/http"
+	"strconv"
+)
+
+// traceEvent is one Chrome trace-event object: a complete event with
+// microsecond timestamps, as consumed by Perfetto and chrome://tracing.
+type traceEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`  // µs since the unix epoch
+	Dur  float64        `json:"dur"` // µs
+	Pid  int            `json:"pid"`
+	Tid  uint64         `json:"tid"`
+	Args map[string]any `json:"args"`
+}
+
+func (d *daemon) handleTrace(w http.ResponseWriter, r *http.Request) {
+	exported := d.tracer.Export()
+	events := make([]traceEvent, 0, len(exported))
+	for _, s := range exported {
+		args := map[string]any{
+			"trace_id": strconv.FormatUint(s.Trace, 10),
+			"span_id":  strconv.FormatUint(s.ID, 10),
+		}
+		if s.Parent != 0 {
+			args["parent_span_id"] = strconv.FormatUint(s.Parent, 10)
+		}
+		for _, a := range s.Attrs {
+			args[a.Key] = a.Value
+		}
+		events = append(events, traceEvent{
+			Name: s.Name,
+			Ph:   "X",
+			Ts:   float64(s.Start) / 1e3,
+			Dur:  float64(s.Dur) / 1e3,
+			Pid:  1,
+			Tid:  s.Trace,
+			Args: args,
+		})
+	}
+	writeJSON(w, map[string]any{
+		"traceEvents": events,
+		"metadata": map[string]any{
+			"sampled":   d.tracer.Enabled(),
+			"spanCount": len(events),
+		},
+	})
+}

@@ -1,0 +1,161 @@
+package main
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// chromeEvent mirrors one Chrome trace-event object as GET /trace emits it.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur"`
+	Pid  int            `json:"pid"`
+	Tid  uint64         `json:"tid"`
+	Args map[string]any `json:"args"`
+}
+
+type chromeTrace struct {
+	TraceEvents []chromeEvent `json:"traceEvents"`
+}
+
+// TestTraceEndpointSpanTree is the tentpole's tracing acceptance: with
+// -trace-sample=1, one pushed batch yields a connected span tree — the
+// "ingest" root, a "shard" child per worker sub-batch, and the σ′ "emit"
+// and "delivery" spans — all under one trace id, served by GET /trace as
+// Chrome trace-event JSON (which getJSON implicitly validates).
+func TestTraceEndpointSpanTree(t *testing.T) {
+	o := defaultOptions()
+	o.traceSample = 1
+	d := testDaemon(t, o)
+	ts := httptest.NewServer(d.handler())
+	defer ts.Close()
+
+	// σ′ draws (and with them the emit/delivery spans) are only generated
+	// while a subscriber is live — the pool's draw-free fast path otherwise.
+	sub, err := d.pool.Subscribe(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.pool.Unsubscribe(sub)
+
+	ids := make([]uint64, 256)
+	for i := range ids {
+		ids[i] = uint64(i + 1)
+	}
+	if code := postPush(t, ts.URL, ids).StatusCode; code != http.StatusOK {
+		t.Fatalf("/push status %d", code)
+	}
+
+	// The shard, emit and delivery spans finish asynchronously after the
+	// push returns; poll until one trace carries the full chain.
+	var doc chromeTrace
+	var traceID any
+	waitFor(t, "a trace with ingest, shard, emit and delivery spans", func() bool {
+		doc = chromeTrace{}
+		if code := getJSON(t, ts.URL+"/trace", &doc); code != http.StatusOK {
+			t.Fatalf("/trace status %d", code)
+		}
+		byTrace := make(map[any]map[string]bool)
+		for _, ev := range doc.TraceEvents {
+			id := ev.Args["trace_id"]
+			if byTrace[id] == nil {
+				byTrace[id] = make(map[string]bool)
+			}
+			byTrace[id][ev.Name] = true
+		}
+		for id, names := range byTrace {
+			if names["ingest"] && names["shard"] && names["emit"] && names["delivery"] {
+				traceID = id
+				return true
+			}
+		}
+		return false
+	})
+
+	// Structural checks on the complete trace: every event is a ph="X"
+	// complete event with sane timing, the root is the ingest span (no
+	// parent), and every non-root parent link resolves to a span id of the
+	// same trace — the tree is connected, not a bag of orphans.
+	spanIDs := make(map[any]string)
+	for _, ev := range doc.TraceEvents {
+		if ev.Args["trace_id"] != traceID {
+			continue
+		}
+		if ev.Ph != "X" {
+			t.Errorf("span %s has ph %q, want complete event X", ev.Name, ev.Ph)
+		}
+		if ev.Ts <= 0 || ev.Dur < 0 {
+			t.Errorf("span %s has ts/dur %v/%v", ev.Name, ev.Ts, ev.Dur)
+		}
+		spanIDs[ev.Args["span_id"]] = ev.Name
+	}
+	for _, ev := range doc.TraceEvents {
+		if ev.Args["trace_id"] != traceID {
+			continue
+		}
+		parent, has := ev.Args["parent_span_id"]
+		if ev.Name == "ingest" {
+			if has {
+				t.Errorf("ingest root has a parent_span_id %v", parent)
+			}
+			if ev.Args["surface"] != "http" {
+				t.Errorf("ingest surface = %v, want http", ev.Args["surface"])
+			}
+			continue
+		}
+		if !has {
+			t.Errorf("span %s has no parent_span_id", ev.Name)
+			continue
+		}
+		if _, ok := spanIDs[parent]; !ok {
+			t.Errorf("span %s parent %v does not resolve within its trace", ev.Name, parent)
+		}
+	}
+}
+
+// TestTraceDisabledAndGated: with -trace-sample=0 the ring stays empty
+// (the default for options built directly), and with an admin token plus
+// -admin-token-all unset, /trace still demands the credential — traces are
+// operator material like pprof.
+func TestTraceDisabledAndGated(t *testing.T) {
+	d := testDaemon(t, defaultOptions()) // traceSample zero value: disabled
+	ts := httptest.NewServer(d.handler())
+	defer ts.Close()
+	if code := postPush(t, ts.URL, []uint64{1, 2, 3}).StatusCode; code != http.StatusOK {
+		t.Fatalf("/push status %d", code)
+	}
+	var doc chromeTrace
+	if code := getJSON(t, ts.URL+"/trace", &doc); code != http.StatusOK {
+		t.Fatalf("/trace status %d", code)
+	}
+	if len(doc.TraceEvents) != 0 {
+		t.Fatalf("disabled tracer exported %d spans", len(doc.TraceEvents))
+	}
+
+	o := defaultOptions()
+	o.adminToken = "trace-secret"
+	gated := testDaemon(t, o)
+	ts2 := httptest.NewServer(gated.handler())
+	defer ts2.Close()
+	resp, err := http.Get(ts2.URL + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnauthorized {
+		t.Fatalf("credential-less /trace: status %d, want 401", resp.StatusCode)
+	}
+	req, _ := http.NewRequest(http.MethodGet, ts2.URL+"/trace", nil)
+	req.Header.Set("Authorization", "Bearer trace-secret")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("authorized /trace: status %d", resp.StatusCode)
+	}
+}

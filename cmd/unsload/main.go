@@ -2,8 +2,10 @@
 // daemon: phased id streams (uniform baseline, targeted flood, churn storm,
 // slow-trickle bias, recovery) pushed over the framed stream protocol at a
 // target rate while GET /metrics is scraped, ending in a per-phase report —
-// achieved rate, the daemon's own processed/dropped deltas, and the live
-// uniformity gauge's trajectory. It turns the paper's evaluation into a
+// achieved rate, the daemon's own processed/dropped deltas, the live
+// uniformity gauge's trajectory, and client-observed latency percentiles
+// (p50/p95/p99) for the push-ack and Sample RPC round trips, measured on
+// one in -latency-sample batches. It turns the paper's evaluation into a
 // drill an operator can run against a running fleet: push the attack, watch
 // the gauge degrade, watch it recover.
 //
@@ -62,6 +64,7 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 		tlsCA      = fs.String("tls-ca", "", "CA bundle (PEM) to verify the daemon's stream certificate; enables TLS")
 		tlsCert    = fs.String("tls-cert", "", "client certificate (PEM) for mutual TLS; needs -tls-key")
 		tlsKey     = fs.String("tls-key", "", "client key (PEM) for -tls-cert")
+		latEvery   = fs.Int("latency-sample", 8, "measure push-ack and Sample RPC round trips on one in N batches (0 disables; sampled batches serialise on the round trip)")
 		jsonOut    = fs.Bool("json", false, "emit the reports as JSON instead of text")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -95,6 +98,7 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 		Rate:           *rate,
 		Batch:          *batch,
 		ScrapeInterval: time.Duration(*scrapeMS) * time.Millisecond,
+		LatencySample:  *latEvery,
 	})
 	if err != nil {
 		return err
@@ -140,6 +144,18 @@ func printReport(w io.Writer, rep loadgen.Report) {
 	} else if rep.Scrapes > 0 {
 		fmt.Fprintf(w, "  uniformity: gauge quiet (%d scrapes)\n", rep.Scrapes)
 	}
+	printLatency(w, "push-ack", rep.PushAck)
+	printLatency(w, "sample rpc", rep.SampleRPC)
+}
+
+// printLatency renders one client-observed latency summary line.
+func printLatency(w io.Writer, what string, s loadgen.LatencySummary) {
+	if s.Count == 0 {
+		return
+	}
+	fmt.Fprintf(w, "  %-10s p50 %s  p95 %s  p99 %s  max %s (%d samples)\n",
+		what+":", s.P50.Round(time.Microsecond), s.P95.Round(time.Microsecond),
+		s.P99.Round(time.Microsecond), s.Max.Round(time.Microsecond), s.Count)
 }
 
 // clientTLSConfig assembles the stream-plane TLS client config from flag

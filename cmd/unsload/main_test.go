@@ -15,7 +15,9 @@ import (
 	"nodesampling/internal/netgossip"
 )
 
-// sinkListener accepts framed connections and counts PushBatch ids.
+// sinkListener accepts framed connections, counts PushBatch ids, and
+// answers the round-trip frames the latency sampler relies on: Ping with a
+// token-echoing Pong and Sample with a minimal SampleResp.
 func sinkListener(t *testing.T) (net.Listener, *atomic.Uint64) {
 	t.Helper()
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
@@ -37,8 +39,17 @@ func sinkListener(t *testing.T) (net.Listener, *atomic.Uint64) {
 					if err != nil {
 						return
 					}
-					if f.Type == netgossip.FramePushBatch {
+					switch f.Type {
+					case netgossip.FramePushBatch:
 						ids.Add(uint64(len(f.IDs)))
+					case netgossip.FramePing:
+						if err := netgossip.WriteFrame(conn, netgossip.Frame{Type: netgossip.FramePong, Token: f.Token}); err != nil {
+							return
+						}
+					case netgossip.FrameSample:
+						if err := netgossip.WriteFrame(conn, netgossip.Frame{Type: netgossip.FrameSampleResp, IDs: []uint64{1}}); err != nil {
+							return
+						}
 					}
 				}
 			}()
@@ -68,6 +79,7 @@ func TestRunTextReport(t *testing.T) {
 		"-addr", ln.Addr().String(), "-metrics", ms.URL,
 		"-count", "3000", "-population", "256", "-rate", "0",
 		"-batch", "500", "-scrape-ms", "1", "-seed", "3",
+		"-latency-sample", "2",
 	}, &sb)
 	if err != nil {
 		t.Fatalf("run: %v\noutput:\n%s", err, sb.String())
@@ -83,6 +95,9 @@ func TestRunTextReport(t *testing.T) {
 	}
 	if !strings.Contains(out, "input KL max") {
 		t.Fatalf("report missing uniformity trajectory:\n%s", out)
+	}
+	if !strings.Contains(out, "push-ack:") || !strings.Contains(out, "sample rpc:") {
+		t.Fatalf("report missing client-observed latency lines:\n%s", out)
 	}
 	if got := ids.Load(); got != 5*3000 {
 		t.Fatalf("sink saw %d ids, want %d", got, 5*3000)

@@ -149,14 +149,36 @@
 // lifecycle, resize and autoscale decisions, snapshot outcomes and auth
 // failures; -pprof mounts the Go profiler behind the admin token.
 //
+// # Latency and tracing
+//
+// Counters say how much; histograms say how long. The daemon times five
+// paths into fixed-bucket Prometheus histograms (atomic increments on the
+// hot path, bucket scans only at scrape time): per-wire-batch ingest
+// latency (unsd_ingest_batch_duration_seconds, one observation per batch
+// from any surface — HTTP, stream or gossip), Sample/SampleN service time
+// (unsd_sample_duration_seconds), the σ′ emit→delivery lag through the
+// fan-out queue (unsd_emit_delivery_lag_seconds), snapshot write duration
+// (unsd_snapshot_write_duration_seconds) and shard-pool resize hand-off
+// time (unsd_resize_duration_seconds). For depth beyond distributions,
+// -trace-sample=N records one in N ingest batches as a span tree — the
+// ingest root, a shard span per worker sub-batch, and the σ′ emit and
+// delivery spans (internal/spans: a bounded lock-free ring, one atomic add
+// per unsampled batch) — served by GET /trace as Chrome trace-event JSON
+// behind the admin token; open it in a trace viewer to see where a batch's
+// time went. dashboards/unsd.json is a committed Grafana dashboard over
+// exactly these families; CI fails if it ever queries a family the daemon
+// does not export.
+//
 // Two tools close the loop. client.ScrapeMetrics fetches and parses one
 // scrape programmatically. cmd/unsload replays adversarial load scenarios
 // (uniform baseline, targeted flood, churn storm, slow-trickle bias —
 // internal/adversary's attack shapes) against a live daemon over the
 // framed protocol at a target rate while scraping /metrics, and reports
-// per phase: achieved rate, the daemon's own processed/dropped deltas, and
-// the uniformity gauge's trajectory — push the attack, watch the gauge
-// degrade, watch it recover.
+// per phase: achieved rate, the daemon's own processed/dropped deltas, the
+// uniformity gauge's trajectory, and client-observed p50/p95/p99 latency
+// for the push-ack and Sample round trips (-latency-sample) — push the
+// attack, watch the gauge degrade, watch it recover, and cross-check the
+// daemon's histograms from the outside.
 //
 // Use Service for a single node's modest stream, Pool when one sampler
 // cannot absorb the traffic, and the unsd daemon (cmd/unsd) to serve a

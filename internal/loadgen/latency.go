@@ -1,0 +1,46 @@
+package loadgen
+
+import (
+	"sort"
+	"time"
+)
+
+// LatencySummary condenses one phase's client-observed round-trip samples
+// into the percentiles an operator reads off a dashboard. Percentiles are
+// nearest-rank over the collected samples; the zero value means nothing
+// was measured (latency sampling disabled, or the phase was too short to
+// hit a sampled batch).
+type LatencySummary struct {
+	Count int
+	P50   time.Duration
+	P95   time.Duration
+	P99   time.Duration
+	Max   time.Duration
+}
+
+// summarize sorts samples in place and reads off the percentile summary.
+func summarize(samples []time.Duration) LatencySummary {
+	if len(samples) == 0 {
+		return LatencySummary{}
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	return LatencySummary{
+		Count: len(samples),
+		P50:   percentile(samples, 0.50),
+		P95:   percentile(samples, 0.95),
+		P99:   percentile(samples, 0.99),
+		Max:   samples[len(samples)-1],
+	}
+}
+
+// percentile is the nearest-rank percentile of an ascending-sorted slice.
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	rank := int(p*float64(len(sorted))+0.5) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}

@@ -60,6 +60,14 @@ type Config struct {
 	DialTimeout time.Duration
 	// WriteTimeout bounds each frame write; 0 means 30s.
 	WriteTimeout time.Duration
+	// LatencySample measures client-observed latency on one in N batches:
+	// the push-ack round trip (PushBatch followed by a Ping whose Pong
+	// proves the daemon's read loop consumed the batch — frames on one
+	// connection are handled in order) and a Sample RPC round trip
+	// (FrameSample → FrameSampleResp). 0 disables latency sampling; the
+	// measured batches serialise on the round trip, so a small N trades
+	// throughput for latency resolution.
+	LatencySample int
 }
 
 // Phase is one segment of a load run: Count ids drawn from Source, pushed
@@ -96,6 +104,13 @@ type Report struct {
 	Dropped      float64 // unsd_pool_dropped_ids_total delta
 	DropFraction float64 // Dropped / (Processed + Dropped), 0 when idle
 	HaveDeltas   bool
+
+	// Client-observed latency percentiles (Config.LatencySample): the
+	// push-ack round trip and the Sample RPC round trip, as a caller on
+	// this connection actually experienced them — the wire-side complement
+	// of the daemon's own unsd_*_duration_seconds histograms.
+	PushAck   LatencySummary
+	SampleRPC LatencySummary
 }
 
 // MaxInputKL returns the highest input divergence observed in the phase
@@ -122,9 +137,10 @@ func (r Report) FinalInputKL() (float64, bool) {
 
 // Generator pushes phased id streams at a live daemon.
 type Generator struct {
-	cfg  Config
-	conn net.Conn
-	hc   *http.Client
+	cfg       Config
+	conn      net.Conn
+	hc        *http.Client
+	pingToken uint64
 }
 
 // New validates cfg and dials the stream endpoint.
@@ -140,6 +156,9 @@ func New(cfg Config) (*Generator, error) {
 	}
 	if cfg.Batch == 0 {
 		cfg.Batch = 1024
+	}
+	if cfg.LatencySample < 0 {
+		return nil, fmt.Errorf("loadgen: negative latency sample interval %d", cfg.LatencySample)
 	}
 	if cfg.Batch > netgossip.MaxBatch {
 		cfg.Batch = netgossip.MaxBatch
@@ -229,7 +248,8 @@ func (g *Generator) runPhase(ctx context.Context, ph Phase) (Report, error) {
 	nextScrape := start.Add(g.cfg.ScrapeInterval)
 
 	batch := make([]uint64, 0, g.cfg.Batch)
-	sent := 0
+	var pushAcks, sampleRTTs []time.Duration
+	sent, batches := 0, 0
 	for sent < ph.Count {
 		if err := ctx.Err(); err != nil {
 			rep.Duration = time.Since(start)
@@ -243,7 +263,21 @@ func (g *Generator) runPhase(ctx context.Context, ph Phase) (Report, error) {
 		for i := 0; i < n; i++ {
 			batch = append(batch, ph.Source.Next())
 		}
-		if err := g.push(batch); err != nil {
+		batches++
+		if g.cfg.LatencySample > 0 && batches%g.cfg.LatencySample == 0 {
+			ack, err := g.pushAck(batch)
+			if err != nil {
+				rep.Duration = time.Since(start)
+				return rep, err
+			}
+			pushAcks = append(pushAcks, ack)
+			rtt, err := g.sampleRTT(1)
+			if err != nil {
+				rep.Duration = time.Since(start)
+				return rep, err
+			}
+			sampleRTTs = append(sampleRTTs, rtt)
+		} else if err := g.push(batch); err != nil {
 			rep.Duration = time.Since(start)
 			return rep, err
 		}
@@ -288,6 +322,8 @@ func (g *Generator) runPhase(ctx context.Context, ph Phase) (Report, error) {
 	if secs := rep.Duration.Seconds(); secs > 0 {
 		rep.AchievedRate = float64(rep.Offered) / secs
 	}
+	rep.PushAck = summarize(pushAcks)
+	rep.SampleRPC = summarize(sampleRTTs)
 	if first != nil && last != nil && rep.Scrapes >= 2 {
 		p0, ok0 := first.Value("unsd_pool_processed_ids_total")
 		p1, ok1 := last.Value("unsd_pool_processed_ids_total")
@@ -311,6 +347,69 @@ func (g *Generator) push(ids []uint64) error {
 		return err
 	}
 	return netgossip.WriteFrame(g.conn, netgossip.Frame{Type: netgossip.FramePushBatch, IDs: ids})
+}
+
+// readFrame reads one frame under a read deadline, surfacing a FrameError
+// from the daemon as a Go error.
+func (g *Generator) readFrame() (netgossip.Frame, error) {
+	if err := g.conn.SetReadDeadline(time.Now().Add(g.cfg.WriteTimeout)); err != nil {
+		return netgossip.Frame{}, err
+	}
+	f, err := netgossip.ReadFrame(g.conn)
+	if err != nil {
+		return netgossip.Frame{}, err
+	}
+	if f.Type == netgossip.FrameError {
+		return netgossip.Frame{}, fmt.Errorf("daemon error: %s", f.Msg)
+	}
+	return f, nil
+}
+
+// pushAck pushes one batch and measures the client-observed acknowledgement
+// latency: the daemon handles a connection's frames strictly in order, so a
+// Pong answered after the batch proves the batch went through the ingest
+// funnel (uniformity probe, histogram, pool hand-off) before the clock
+// stopped. This generator never subscribes, so the only inbound traffic is
+// the responses it solicits.
+func (g *Generator) pushAck(ids []uint64) (time.Duration, error) {
+	g.pingToken++
+	began := time.Now()
+	if err := g.push(ids); err != nil {
+		return 0, err
+	}
+	if err := g.conn.SetWriteDeadline(time.Now().Add(g.cfg.WriteTimeout)); err != nil {
+		return 0, err
+	}
+	if err := netgossip.WriteFrame(g.conn, netgossip.Frame{Type: netgossip.FramePing, Token: g.pingToken}); err != nil {
+		return 0, err
+	}
+	f, err := g.readFrame()
+	if err != nil {
+		return 0, err
+	}
+	if f.Type != netgossip.FramePong || f.Token != g.pingToken {
+		return 0, fmt.Errorf("loadgen: expected pong %d, got frame type %d token %d", g.pingToken, f.Type, f.Token)
+	}
+	return time.Since(began), nil
+}
+
+// sampleRTT measures one Sample RPC round trip over the framed protocol.
+func (g *Generator) sampleRTT(n uint32) (time.Duration, error) {
+	began := time.Now()
+	if err := g.conn.SetWriteDeadline(time.Now().Add(g.cfg.WriteTimeout)); err != nil {
+		return 0, err
+	}
+	if err := netgossip.WriteFrame(g.conn, netgossip.Frame{Type: netgossip.FrameSample, N: n}); err != nil {
+		return 0, err
+	}
+	f, err := g.readFrame()
+	if err != nil {
+		return 0, err
+	}
+	if f.Type != netgossip.FrameSampleResp {
+		return 0, fmt.Errorf("loadgen: expected sample response, got frame type %d", f.Type)
+	}
+	return time.Since(began), nil
 }
 
 // Scrape fetches and parses the daemon's /metrics once. It is the client

@@ -53,15 +53,23 @@ func (s *frameSink) serve(conn net.Conn) {
 		if err != nil {
 			return
 		}
-		if f.Type != netgossip.FramePushBatch {
-			continue
+		switch f.Type {
+		case netgossip.FramePushBatch:
+			s.mu.Lock()
+			s.ids += uint64(len(f.IDs))
+			for _, id := range f.IDs {
+				s.counts[id]++
+			}
+			s.mu.Unlock()
+		case netgossip.FramePing:
+			if err := netgossip.WriteFrame(conn, netgossip.Frame{Type: netgossip.FramePong, Token: f.Token}); err != nil {
+				return
+			}
+		case netgossip.FrameSample:
+			if err := netgossip.WriteFrame(conn, netgossip.Frame{Type: netgossip.FrameSampleResp, IDs: []uint64{1}}); err != nil {
+				return
+			}
 		}
-		s.mu.Lock()
-		s.ids += uint64(len(f.IDs))
-		for _, id := range f.IDs {
-			s.counts[id]++
-		}
-		s.mu.Unlock()
 	}
 }
 
@@ -235,6 +243,65 @@ func TestGeneratorAbortsOnContext(t *testing.T) {
 	}
 	if len(reports) != 1 || reports[0].Offered >= 1_000_000 {
 		t.Fatalf("aborted run reported %+v", reports)
+	}
+}
+
+func TestGeneratorLatencySampling(t *testing.T) {
+	sink := newFrameSink(t)
+	g, err := New(Config{Addr: sink.addr(), Batch: 128, LatencySample: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	phases, err := StandardPhases(256, 1024, 5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reports, err := g.Run(context.Background(), phases[:1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := reports[0]
+	// 1024 ids / 128 per batch = 8 batches, every 2nd measured = 4 samples
+	// of each round trip.
+	if rep.PushAck.Count != 4 || rep.SampleRPC.Count != 4 {
+		t.Fatalf("latency sample counts push-ack=%d sample=%d, want 4 each",
+			rep.PushAck.Count, rep.SampleRPC.Count)
+	}
+	for _, s := range []LatencySummary{rep.PushAck, rep.SampleRPC} {
+		if s.P50 <= 0 || s.P50 > s.P95 || s.P95 > s.P99 || s.P99 > s.Max {
+			t.Fatalf("latency percentiles out of order: %+v", s)
+		}
+	}
+	// Measured batches still count as pushed ids.
+	waitFor(t, "all pushed ids to land in the sink", func() bool {
+		return sink.total() == 1024
+	})
+
+	if _, err := New(Config{Addr: sink.addr(), LatencySample: -1}); err == nil {
+		t.Fatal("negative latency sample accepted")
+	}
+}
+
+func TestLatencySummarize(t *testing.T) {
+	if s := summarize(nil); s.Count != 0 || s.Max != 0 {
+		t.Fatalf("empty summary = %+v", s)
+	}
+	samples := make([]time.Duration, 100)
+	for i := range samples {
+		samples[i] = time.Duration(100-i) * time.Millisecond // descending: summarize must sort
+	}
+	s := summarize(samples)
+	if s.Count != 100 {
+		t.Fatalf("count %d, want 100", s.Count)
+	}
+	if s.P50 != 50*time.Millisecond || s.P95 != 95*time.Millisecond ||
+		s.P99 != 99*time.Millisecond || s.Max != 100*time.Millisecond {
+		t.Fatalf("percentiles %+v", s)
+	}
+	one := summarize([]time.Duration{7 * time.Millisecond})
+	if one.P50 != 7*time.Millisecond || one.Max != 7*time.Millisecond {
+		t.Fatalf("single-sample summary %+v", one)
 	}
 }
 

@@ -161,7 +161,7 @@ func ReadFrame(r io.Reader) (Frame, error) {
 		return Frame{}, err
 	}
 	if h[0] != frameMagic {
-		if h[0] == protocolMagic {
+		if h[0] == legacyMagic {
 			return Frame{}, errLegacyMagic
 		}
 		return Frame{}, fmt.Errorf("netgossip: bad frame magic 0x%02x", h[0])

@@ -122,7 +122,7 @@ func TestFrameEncodeRejects(t *testing.T) {
 func TestFrameDecodeRejects(t *testing.T) {
 	mk := func(b ...byte) []byte { return b }
 	cases := map[string][]byte{
-		"legacy magic":        mk(protocolMagic, FrameVersion, byte(FramePing), 0, 0, 0, 8),
+		"legacy magic":        mk(legacyMagic, FrameVersion, byte(FramePing), 0, 0, 0, 8),
 		"bad magic":           mk(0x00, FrameVersion, byte(FramePing), 0, 0, 0, 8),
 		"bad version":         mk(frameMagic, 77, byte(FramePing), 0, 0, 0, 8),
 		"unknown type":        mk(frameMagic, FrameVersion, 99, 0, 0, 0, 8),
@@ -201,7 +201,7 @@ func FuzzReadFrame(f *testing.F) {
 		f.Add(append(buf, 0xff)) // trailing garbage
 	}
 	f.Add([]byte{})
-	f.Add([]byte{protocolMagic, 1, 0, 0, 0, 1})             // legacy v1 header
+	f.Add([]byte{legacyMagic, 1, 0, 0, 0, 1})               // legacy v1 header
 	f.Add([]byte{frameMagic, FrameVersion, 99, 0, 0, 0, 0}) // unknown type
 	f.Add([]byte{frameMagic, FrameVersion, byte(FramePushBatch), 0xff, 0xff, 0xff, 0xff})
 

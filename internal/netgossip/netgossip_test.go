@@ -1,10 +1,8 @@
 package netgossip
 
 import (
-	"bytes"
-	"errors"
-	"io"
 	"net"
+	"strings"
 	"testing"
 	"time"
 
@@ -21,62 +19,71 @@ func peerConfig(self uint64) Config {
 	}
 }
 
-func TestBatchRoundTrip(t *testing.T) {
-	var buf bytes.Buffer
-	want := []uint64{1, 99, 1 << 60, 0}
-	if err := writeBatch(&buf, want); err != nil {
-		t.Fatal(err)
-	}
-	got, err := readBatch(&buf)
+// TestLegacyClientRefusedLoudly pins the v1 retirement contract: a client
+// that opens a gossip connection and speaks the retired one-way batch
+// protocol gets a FrameError naming the replacement before the peer drops
+// the connection — not a silent reset.
+func TestLegacyClientRefusedLoudly(t *testing.T) {
+	p, err := NewPeer(peerConfig(3))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(got) != len(want) {
-		t.Fatalf("length %d, want %d", len(got), len(want))
-	}
-	for i := range want {
-		if got[i] != want[i] {
-			t.Fatalf("id %d: %d vs %d", i, got[i], want[i])
-		}
-	}
-}
-
-func TestBatchValidation(t *testing.T) {
-	var buf bytes.Buffer
-	if err := writeBatch(&buf, nil); err == nil {
-		t.Error("empty batch should fail")
-	}
-	if err := writeBatch(&buf, make([]uint64, MaxBatch+1)); !errors.Is(err, ErrBatchTooLarge) {
-		t.Errorf("oversized batch = %v, want ErrBatchTooLarge", err)
-	}
-	// Bad magic.
-	if _, err := readBatch(bytes.NewReader([]byte{0x00, 1, 0, 0, 0, 1})); err == nil {
-		t.Error("bad magic should fail")
-	}
-	// Bad version.
-	if _, err := readBatch(bytes.NewReader([]byte{protocolMagic, 9, 0, 0, 0, 1})); err == nil {
-		t.Error("bad version should fail")
-	}
-	// Announced count above the limit must fail before allocation.
-	big := []byte{protocolMagic, protocolVersion, 0xff, 0xff, 0xff, 0xff}
-	if _, err := readBatch(bytes.NewReader(big)); !errors.Is(err, ErrBatchTooLarge) {
-		t.Errorf("huge announced count = %v, want ErrBatchTooLarge", err)
-	}
-	// Zero count.
-	if _, err := readBatch(bytes.NewReader([]byte{protocolMagic, protocolVersion, 0, 0, 0, 0})); err == nil {
-		t.Error("zero count should fail")
-	}
-	// Truncated payload.
-	var tr bytes.Buffer
-	if err := writeBatch(&tr, []uint64{1, 2}); err != nil {
+	defer p.Close()
+	a, b := net.Pipe()
+	if err := p.AddConn(a); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := readBatch(bytes.NewReader(tr.Bytes()[:10])); err == nil {
-		t.Error("truncated payload should fail")
+	// The head of a v1 batch frame: magic 'u', version 1, count 1, first
+	// payload byte — exactly the framed header's length, so the write
+	// completes on the synchronous pipe before the refusal comes back.
+	legacy := []byte{legacyMagic, 1, 0, 0, 0, 1, 0}
+	if _, err := b.Write(legacy); err != nil {
+		t.Fatal(err)
 	}
-	// Clean EOF surfaces as io.EOF.
-	if _, err := readBatch(bytes.NewReader(nil)); !errors.Is(err, io.EOF) {
-		t.Errorf("empty reader = %v, want io.EOF", err)
+	_ = b.SetReadDeadline(time.Now().Add(5 * time.Second))
+	f, err := ReadFrame(b)
+	if err != nil {
+		t.Fatalf("no loud refusal frame: %v", err)
+	}
+	if f.Type != FrameError {
+		t.Fatalf("refusal frame type %d, want FrameError", f.Type)
+	}
+	if !strings.Contains(f.Msg, "v1") || !strings.Contains(f.Msg, "version 2") {
+		t.Fatalf("refusal message %q does not name the retired and replacement protocols", f.Msg)
+	}
+	waitFor(t, "legacy connection to be dropped", func() bool {
+		return p.NumConns() == 0
+	})
+}
+
+// TestPeerWireFormatIsFramed pins the wire bytes after the fold-in: a
+// PushRound reaches the network as a FramePushBatch frame the framed
+// decoder accepts — there is exactly one decoder left.
+func TestPeerWireFormatIsFramed(t *testing.T) {
+	p, err := NewPeer(peerConfig(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	a, b := net.Pipe()
+	if err := p.AddConn(a); err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		for i := 0; i < 3; i++ {
+			_, _ = p.PushRound()
+		}
+	}()
+	_ = b.SetReadDeadline(time.Now().Add(5 * time.Second))
+	f, err := ReadFrame(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Type != FramePushBatch {
+		t.Fatalf("gossip round frame type %d, want FramePushBatch", f.Type)
+	}
+	if len(f.IDs) == 0 || f.IDs[0] != 11 {
+		t.Fatalf("gossip batch %v, want the own id first", f.IDs)
 	}
 }
 
@@ -350,7 +357,7 @@ func TestGarbageOnWireDropsConnection(t *testing.T) {
 	if err := p.AddConn(a); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := b.Write([]byte{0xde, 0xad, 0xbe, 0xef, 0x00, 0x00}); err != nil {
+	if _, err := b.Write([]byte{0xde, 0xad, 0xbe, 0xef, 0x00, 0x00, 0x00}); err != nil {
 		t.Fatal(err)
 	}
 	waitFor(t, "garbage connection to be dropped", func() bool {

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
 	"nodesampling/internal/core"
 	"nodesampling/internal/metrics"
@@ -134,16 +135,39 @@ func (p *Peer) AddConn(conn net.Conn) error {
 	return nil
 }
 
-// readLoop consumes batches from one connection until error or shutdown.
+// readLoop consumes frames from one connection until error or shutdown.
+// Gossip connections carry FramePushBatch upstream; keepalives are
+// tolerated (and pings answered), anything else is a protocol breach that
+// drops the connection. A client still speaking the retired v1 batch
+// protocol trips the legacy magic on its first byte and is refused loudly:
+// a FrameError naming the replacement goes back best-effort before the
+// drop, so the operator of the stale client sees why instead of a silent
+// reset.
 func (p *Peer) readLoop(conn net.Conn) {
 	defer p.readers.Done()
 	for {
-		ids, err := readBatch(conn)
+		f, err := ReadFrame(conn)
 		if err != nil {
+			if errors.Is(err, errLegacyMagic) {
+				_ = conn.SetWriteDeadline(time.Now().Add(2 * time.Second))
+				_ = WriteFrame(conn, Frame{Type: FrameError,
+					Msg: "v1 batch protocol retired: speak the framed protocol (version 2)"})
+			}
 			p.dropConn(conn)
 			return
 		}
-		p.ingest(ids)
+		switch f.Type {
+		case FramePushBatch:
+			p.ingest(f.IDs)
+		case FramePing, FramePong:
+			// Keepalives are tolerated but not answered here: answering
+			// would interleave writes with a concurrent PushRound on the
+			// same connection, and gossip liveness already rides on the
+			// push-round write path.
+		default:
+			p.dropConn(conn)
+			return
+		}
 	}
 }
 
@@ -225,7 +249,7 @@ func (p *Peer) PushRound() (delivered int, err error) {
 	p.mu.Unlock()
 
 	for _, conn := range targets {
-		if werr := writeBatch(conn, batch); werr != nil {
+		if werr := WriteFrame(conn, Frame{Type: FramePushBatch, IDs: batch}); werr != nil {
 			p.dropConn(conn)
 			continue
 		}
@@ -245,7 +269,7 @@ func (p *Peer) Inject(ids []uint64) error {
 		return errors.New("netgossip: peer closed")
 	}
 	for _, conn := range conns {
-		if err := writeBatch(conn, ids); err != nil {
+		if err := WriteFrame(conn, Frame{Type: FramePushBatch, IDs: ids}); err != nil {
 			p.dropConn(conn)
 		}
 	}

@@ -7,78 +7,27 @@
 // the paper leaves to the deployment: wire format, connection management,
 // and the push-gossip loop.
 //
-// The wire protocol is deliberately minimal: length-prefixed batches of
-// 64-bit identifiers with a protocol magic and a hard batch-size bound (a
-// malicious peer must not be able to stall or bloat a correct node; it can
-// only do what the adversary model already allows — inject many ids).
+// The wire protocol is the framed protocol of frame.go (version 2):
+// length-prefixed, type-tagged frames with every bound checked before any
+// allocation, so a malicious peer can neither stall nor bloat a correct
+// node — it can only do what the adversary model already allows: inject
+// many ids. Gossip peers exchange FramePushBatch frames on persistent
+// connections; the one-way v1 batch protocol (magic 0x75) is retired, and
+// a client still speaking it gets a FrameError naming the replacement
+// before the connection drops.
 package netgossip
 
-import (
-	"encoding/binary"
-	"errors"
-	"fmt"
-	"io"
-)
+import "errors"
 
-// Protocol limits. MaxBatch bounds per-message work; a flood still has to
-// arrive as many messages, which the reader paces one at a time.
-const (
-	protocolMagic   = 0x75 // 'u' for uniform
-	protocolVersion = 1
-	// MaxBatch is the largest number of ids a single message may carry.
-	MaxBatch = 4096
-)
+// legacyMagic is the retired v1 batch protocol's magic byte ('u' for
+// uniform). The framed decoder recognises it only to refuse it loudly:
+// one byte is enough to tell a stale client from line noise.
+const legacyMagic = 0x75
+
+// MaxBatch is the largest number of ids a single message may carry.
+// Bounding per-message work means a flood still has to arrive as many
+// frames, which the reader paces one at a time.
+const MaxBatch = 4096
 
 // ErrBatchTooLarge is returned when a peer announces a batch above MaxBatch.
 var ErrBatchTooLarge = errors.New("netgossip: batch exceeds protocol limit")
-
-// writeBatch frames and writes one batch of ids:
-//
-//	magic (1) | version (1) | count (uint32 BE) | count × id (uint64 BE)
-func writeBatch(w io.Writer, ids []uint64) error {
-	if len(ids) == 0 {
-		return errors.New("netgossip: empty batch")
-	}
-	if len(ids) > MaxBatch {
-		return ErrBatchTooLarge
-	}
-	buf := make([]byte, 0, 6+8*len(ids))
-	buf = append(buf, protocolMagic, protocolVersion)
-	buf = binary.BigEndian.AppendUint32(buf, uint32(len(ids)))
-	for _, id := range ids {
-		buf = binary.BigEndian.AppendUint64(buf, id)
-	}
-	_, err := w.Write(buf)
-	return err
-}
-
-// readBatch reads one framed batch. It validates the header before
-// allocating, so a hostile peer cannot force a large allocation.
-func readBatch(r io.Reader) ([]uint64, error) {
-	var header [6]byte
-	if _, err := io.ReadFull(r, header[:]); err != nil {
-		return nil, err // io.EOF passes through for clean shutdown detection
-	}
-	if header[0] != protocolMagic {
-		return nil, fmt.Errorf("netgossip: bad magic 0x%02x", header[0])
-	}
-	if header[1] != protocolVersion {
-		return nil, fmt.Errorf("netgossip: unsupported version %d", header[1])
-	}
-	count := binary.BigEndian.Uint32(header[2:6])
-	if count == 0 {
-		return nil, errors.New("netgossip: empty batch")
-	}
-	if count > MaxBatch {
-		return nil, ErrBatchTooLarge
-	}
-	payload := make([]byte, 8*count)
-	if _, err := io.ReadFull(r, payload); err != nil {
-		return nil, fmt.Errorf("netgossip: short batch payload: %w", err)
-	}
-	ids := make([]uint64, count)
-	for i := range ids {
-		ids[i] = binary.BigEndian.Uint64(payload[8*i:])
-	}
-	return ids, nil
-}

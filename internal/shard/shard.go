@@ -41,10 +41,12 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"nodesampling/internal/cms"
 	"nodesampling/internal/core"
 	"nodesampling/internal/rng"
+	"nodesampling/internal/spans"
 	"nodesampling/internal/subhub"
 )
 
@@ -110,6 +112,12 @@ type Config struct {
 	// before its estimates are next consulted; a Flush not racing
 	// concurrent pushes leaves every shard at the same epoch.
 	DecayEvery uint64
+	// OnEmitLag, when set, observes the lag in seconds between a shard
+	// worker emitting a σ′ draw batch and the emitter starting its fan-out
+	// — the daemon feeds it a latency histogram. The hook runs on the
+	// emitter goroutine, once per draw batch; it must not block. When nil
+	// (every non-daemon pool), the emit path does not even read the clock.
+	OnEmitLag func(seconds float64)
 }
 
 // validateCommon checks the fields shared by the New and Restore paths.
@@ -187,10 +195,13 @@ func (p *Pool) ShardOf(id uint64) int {
 
 // item is one unit of work on a shard queue. A nil-ids item with an ack is
 // a flush barrier: the worker signals it once everything enqueued before it
-// has been processed.
+// has been processed. tc is the wire batch's ingest span context — the
+// zero Context (every unsampled batch) makes all downstream span calls
+// no-ops.
 type item struct {
 	ids []uint64
 	ack chan<- struct{}
+	tc  spans.Context
 }
 
 // worker is one shard: a queue, a sampler and the goroutine that connects
@@ -199,6 +210,7 @@ type item struct {
 type worker struct {
 	in   chan item
 	done chan struct{}
+	idx  int // position in the pool's worker slice, for span attributes
 
 	mu      sync.Mutex
 	sampler *core.KnowledgeFree
@@ -239,6 +251,7 @@ func (w *worker) run(p *Pool) {
 	defer close(w.done)
 	for it := range w.in {
 		if len(it.ids) > 0 {
+			sc := it.tc.Start("shard")
 			// Gate σ′ generation on a single atomic load: with no live
 			// subscriber the batch path is exactly the draw-free fast path.
 			emit := p.hub.Active()
@@ -260,8 +273,9 @@ func (w *worker) run(p *Pool) {
 			w.mu.Unlock()
 			w.processed.Add(uint64(len(it.ids)))
 			if len(draws) > 0 {
-				p.emit(draws)
+				p.emit(draws, sc)
 			}
+			sc.End(spans.Int("shard", w.idx), spans.Int("ids", len(it.ids)), spans.Int("draws", len(draws)))
 		}
 		if it.ack != nil {
 			if p.cfg.DecayEvery > 0 {
@@ -303,7 +317,7 @@ type Pool struct {
 	// out (non-blocking; overflow counted in emitDropped), and the emitter
 	// goroutine publishes them through the subscription hub.
 	hub         *subhub.Hub
-	out         chan []uint64
+	out         chan emitBatch
 	emitDropped atomic.Uint64
 	emitDone    chan struct{}
 
@@ -368,7 +382,7 @@ func newPoolShell(cfg Config, root *rng.Xoshiro) *Pool {
 		cfg:      cfg,
 		salt:     root.Uint64(),
 		hub:      subhub.New(),
-		out:      make(chan []uint64, emitBuffer),
+		out:      make(chan emitBatch, emitBuffer),
 		emitDone: make(chan struct{}),
 		r:        root,
 	}
@@ -377,19 +391,38 @@ func newPoolShell(cfg Config, root *rng.Xoshiro) *Pool {
 // start launches the shard workers and the emitter. Called once, with no
 // concurrent access possible yet.
 func (p *Pool) start() {
-	for _, w := range p.workers {
+	for i, w := range p.workers {
+		w.idx = i
 		go w.run(p)
 	}
 	go p.emitLoop()
 }
 
+// emitBatch is one shard worker's σ′ draw batch in flight to the emitter:
+// the draws, the hand-off timestamp (zero unless something downstream will
+// read it — the lag histogram hook or a sampled trace) and the open "emit"
+// span covering the queue wait.
+type emitBatch struct {
+	draws []uint64
+	at    int64 // time.Now().UnixNano() at worker hand-off; 0 = unstamped
+	tc    spans.Context
+}
+
 // emitLoop publishes draw batches from the pool output channel through the
 // hub, then closes the hub (cancelling the remaining subscriptions) once
-// the channel is closed by Close.
+// the channel is closed by Close. Per batch it observes the worker→hub lag
+// (Config.OnEmitLag) and, on sampled traces, closes the "emit" span (queue
+// wait) and records a "delivery" child span around the hub fan-out.
 func (p *Pool) emitLoop() {
 	defer close(p.emitDone)
-	for draws := range p.out {
-		p.hub.Publish(draws)
+	for eb := range p.out {
+		if eb.at != 0 && p.cfg.OnEmitLag != nil {
+			p.cfg.OnEmitLag(float64(time.Now().UnixNano()-eb.at) / 1e9)
+		}
+		dc := eb.tc.Start("delivery")
+		eb.tc.End()
+		p.hub.Publish(eb.draws)
+		dc.End(spans.Int("ids", len(eb.draws)))
 	}
 	p.hub.Close()
 }
@@ -397,12 +430,21 @@ func (p *Pool) emitLoop() {
 // emit hands one shard's draw batch to the emitter without ever blocking a
 // worker: when the output channel is full the batch is dropped and counted.
 // σ′ is a sampling stream, so a lost batch costs nothing a later draw does
-// not replace.
-func (p *Pool) emit(draws []uint64) {
+// not replace. sc is the worker's open "shard" span; a sampled batch opens
+// an "emit" child covering the queue wait to the emitter.
+func (p *Pool) emit(draws []uint64, sc spans.Context) {
+	eb := emitBatch{draws: draws}
+	if p.cfg.OnEmitLag != nil || sc.Sampled() {
+		eb.at = time.Now().UnixNano()
+	}
+	if sc.Sampled() {
+		eb.tc = sc.Start("emit")
+	}
 	select {
-	case p.out <- draws:
+	case p.out <- eb:
 	default:
 		p.emitDropped.Add(uint64(len(draws)))
+		eb.tc.End(spans.Str("outcome", "dropped"))
 	}
 }
 
@@ -509,7 +551,7 @@ func (p *Pool) Push(id uint64) error {
 	if p.closed {
 		return ErrPoolClosed
 	}
-	p.send(p.smap.Load().owner(rng.Mix64(id^p.salt)), []uint64{id})
+	p.send(p.smap.Load().owner(rng.Mix64(id^p.salt)), []uint64{id}, spans.Context{})
 	return nil
 }
 
@@ -518,7 +560,15 @@ func (p *Pool) Push(id uint64) error {
 // immediately. Under the drop policy, sub-batches that find their shard
 // queue full are discarded whole and counted in that shard's drop counter.
 func (p *Pool) PushBatch(ids []uint64) error {
-	return PushBatchOf(p, ids)
+	return pushBatchOf(p, ids, spans.Context{})
+}
+
+// PushBatchTraced is PushBatch carrying an open ingest span context: every
+// per-shard sub-batch records a "shard" child span (and its σ′ draws an
+// "emit"/"delivery" chain) under tc's trace. The zero Context makes it
+// exactly PushBatch.
+func (p *Pool) PushBatchTraced(ids []uint64, tc spans.Context) error {
+	return pushBatchOf(p, ids, tc)
 }
 
 // PushBatchOf is PushBatch over any uint64-kind id slice (e.g. the root
@@ -527,6 +577,10 @@ func (p *Pool) PushBatch(ids []uint64) error {
 // under the pool's read lock so it always agrees with the worker set even
 // when a Resize lands between two batches.
 func PushBatchOf[T ~uint64](p *Pool, ids []T) error {
+	return pushBatchOf(p, ids, spans.Context{})
+}
+
+func pushBatchOf[T ~uint64](p *Pool, ids []T, tc spans.Context) error {
 	if len(ids) == 0 {
 		return nil
 	}
@@ -542,7 +596,7 @@ func PushBatchOf[T ~uint64](p *Pool, ids []T) error {
 		for i, id := range ids {
 			b[i] = uint64(id)
 		}
-		p.send(0, b)
+		p.send(0, b, tc)
 		return nil
 	}
 	// Counting sort into one backing array: a single allocation for the
@@ -570,21 +624,21 @@ func PushBatchOf[T ~uint64](p *Pool, ids []T) error {
 	}
 	for i := 0; i < n; i++ {
 		if b := backing[counts[n+i]:counts[i]:counts[i]]; len(b) > 0 {
-			p.send(i, b)
+			p.send(i, b, tc)
 		}
 	}
 	return nil
 }
 
 // send enqueues one sub-batch on shard i; the caller holds mu for reading.
-func (p *Pool) send(i int, batch []uint64) {
+func (p *Pool) send(i int, batch []uint64, tc spans.Context) {
 	w := p.workers[i]
 	if p.cfg.Block {
-		w.in <- item{ids: batch}
+		w.in <- item{ids: batch, tc: tc}
 		return
 	}
 	select {
-	case w.in <- item{ids: batch}:
+	case w.in <- item{ids: batch, tc: tc}:
 	default:
 		w.dropped.Add(uint64(len(batch)))
 	}
@@ -895,7 +949,8 @@ func (p *Pool) Resize(shards int) error {
 	}
 	p.workers = workers
 	p.smap.Store(newMap)
-	for _, w := range workers {
+	for i, w := range workers {
+		w.idx = i
 		go w.run(p)
 	}
 	return nil
@@ -917,7 +972,8 @@ func recycleAll(old []*worker, buffer int) []*worker {
 // but kept so even an invariant breach leaves a functioning pool.
 func (p *Pool) restartWorkers(ws []*worker) {
 	p.workers = ws
-	for _, w := range ws {
+	for i, w := range ws {
+		w.idx = i
 		go w.run(p)
 	}
 }

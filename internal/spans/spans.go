@@ -1,0 +1,179 @@
+// Package spans is a dependency-free tracing substrate for the sampling
+// service's request path. It answers one operational question the metric
+// plane cannot: where does a single pushed batch spend its time between
+// the wire and σ′ delivery? A Tracer makes a probabilistic 1-in-N
+// sampling decision per wire batch (the unsampled hot path pays exactly
+// one atomic add), sampled batches carry a small value-type Context
+// through the shard plane, and finished spans land in a bounded
+// lock-free ring the daemon drains into Chrome trace-event JSON on
+// GET /trace.
+//
+// The name internal/trace was deliberately not used — that namespace
+// belongs to the paper's input trace-data substrate, not to telemetry.
+package spans
+
+import (
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// Attr is one key/value attribute on a finished span. Values are kept as
+// the small set of types the exporters can render losslessly.
+type Attr struct {
+	Key   string
+	Value any // string, int, int64, uint64 or float64
+}
+
+// Int returns an integer attribute.
+func Int(key string, v int) Attr { return Attr{Key: key, Value: int64(v)} }
+
+// Str returns a string attribute.
+func Str(key, v string) Attr { return Attr{Key: key, Value: v} }
+
+// Span is one finished, immutable operation record.
+type Span struct {
+	Trace  uint64 // trace id shared by every span of one sampled batch
+	ID     uint64 // span id, unique within the tracer
+	Parent uint64 // parent span id; 0 for the root
+	Name   string
+	Start  int64 // wall clock, nanoseconds since the Unix epoch
+	Dur    int64 // nanoseconds
+	Attrs  []Attr
+}
+
+// Tracer owns the sampling decision, id allocation and the export ring.
+// All methods are safe for concurrent use.
+type Tracer struct {
+	every uint64 // sample 1 in every; 0 disables tracing entirely
+	seen  atomic.Uint64
+	ids   atomic.Uint64
+	ring  ring
+}
+
+// New returns a tracer sampling one in every `every` root spans into a
+// ring of ringSize finished spans (oldest overwritten first). every <= 0
+// disables sampling: every Root call returns an unsampled Context.
+func New(every, ringSize int) *Tracer {
+	t := &Tracer{}
+	if every > 0 {
+		t.every = uint64(every)
+	}
+	if ringSize < 1 {
+		ringSize = 1
+	}
+	t.ring.slots = make([]atomic.Pointer[Span], ringSize)
+	return t
+}
+
+// Enabled reports whether the tracer can ever sample.
+func (t *Tracer) Enabled() bool { return t != nil && t.every > 0 }
+
+// Root makes the sampling decision for a new trace. The common path — a
+// disabled tracer or an unsampled batch — costs one atomic add and
+// returns the zero Context, which every downstream call treats as a
+// no-op. A sampled batch gets a Context carrying a fresh trace id and an
+// open root span.
+func (t *Tracer) Root(name string) Context {
+	if t == nil || t.every == 0 {
+		return Context{}
+	}
+	if t.seen.Add(1)%t.every != 0 {
+		return Context{}
+	}
+	id := t.ids.Add(1)
+	return Context{
+		t:     t,
+		trace: id,
+		span:  id,
+		name:  name,
+		start: time.Now().UnixNano(),
+	}
+}
+
+// Context is one open span of a sampled trace, passed by value through
+// the pipeline (channels included). The zero Context is the unsampled
+// case: Start returns another zero Context and End does nothing, so
+// instrumented code never branches on sampling itself.
+type Context struct {
+	t      *Tracer
+	trace  uint64
+	span   uint64
+	parent uint64
+	name   string
+	start  int64
+}
+
+// Sampled reports whether this context belongs to a sampled trace.
+func (c Context) Sampled() bool { return c.t != nil }
+
+// Trace returns the trace id (0 when unsampled).
+func (c Context) Trace() uint64 { return c.trace }
+
+// Start opens a child span of c. Call End on the returned context to
+// finish it; parent/child ordering of the End calls does not matter.
+func (c Context) Start(name string) Context {
+	if c.t == nil {
+		return Context{}
+	}
+	return Context{
+		t:      c.t,
+		trace:  c.trace,
+		span:   c.t.ids.Add(1),
+		parent: c.span,
+		name:   name,
+		start:  time.Now().UnixNano(),
+	}
+}
+
+// End finishes the span and publishes it to the tracer's ring. attrs are
+// attached to the finished span. End on the zero Context is a no-op;
+// calling End more than once publishes duplicate records, so don't.
+func (c Context) End(attrs ...Attr) {
+	if c.t == nil {
+		return
+	}
+	c.t.ring.add(&Span{
+		Trace:  c.trace,
+		ID:     c.span,
+		Parent: c.parent,
+		Name:   c.name,
+		Start:  c.start,
+		Dur:    time.Now().UnixNano() - c.start,
+		Attrs:  attrs,
+	})
+}
+
+// ring is a bounded lock-free multi-producer span sink: a monotone head
+// counter hands each finished span a slot, old spans are overwritten.
+type ring struct {
+	slots []atomic.Pointer[Span]
+	head  atomic.Uint64
+}
+
+func (r *ring) add(s *Span) {
+	i := r.head.Add(1) - 1
+	r.slots[i%uint64(len(r.slots))].Store(s)
+}
+
+// Export snapshots the ring: every retained finished span, oldest first
+// (by start time, then id). The ring keeps filling while Export runs;
+// the snapshot is simply whatever each slot held when read.
+func (t *Tracer) Export() []Span {
+	if t == nil {
+		return nil
+	}
+	out := make([]Span, 0, len(t.ring.slots))
+	for i := range t.ring.slots {
+		if s := t.ring.slots[i].Load(); s != nil {
+			out = append(out, *s)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Start != out[j].Start {
+			return out[i].Start < out[j].Start
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}

@@ -1,0 +1,161 @@
+package spans
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestSamplingOneInN: a 1-in-N tracer samples exactly count/N of count
+// root decisions (the counter is deterministic, not pseudo-random), and
+// every=0 disables sampling entirely.
+func TestSamplingOneInN(t *testing.T) {
+	tr := New(8, 64)
+	sampled := 0
+	for i := 0; i < 800; i++ {
+		if tr.Root("ingest").Sampled() {
+			sampled++
+		}
+	}
+	if sampled != 100 {
+		t.Fatalf("1-in-8 tracer sampled %d of 800, want 100", sampled)
+	}
+
+	off := New(0, 64)
+	if off.Enabled() {
+		t.Fatal("every=0 tracer reports Enabled")
+	}
+	for i := 0; i < 100; i++ {
+		if off.Root("ingest").Sampled() {
+			t.Fatal("disabled tracer sampled a root")
+		}
+	}
+	var nilTracer *Tracer
+	if nilTracer.Enabled() || nilTracer.Root("x").Sampled() {
+		t.Fatal("nil tracer is not inert")
+	}
+}
+
+// TestSpanTreeLinks: one sampled root with children finishing out of
+// order still exports a connected tree — shared trace id, parent links
+// resolving to in-trace span ids, root parented at 0.
+func TestSpanTreeLinks(t *testing.T) {
+	tr := New(1, 64)
+	root := tr.Root("ingest")
+	if !root.Sampled() {
+		t.Fatal("1-in-1 tracer did not sample")
+	}
+	shard := root.Start("shard")
+	emit := shard.Start("emit")
+	delivery := emit.Start("delivery")
+	emit.End()
+	root.End(Int("ids", 2048))
+	delivery.End()
+	shard.End()
+
+	spans := tr.Export()
+	if len(spans) != 4 {
+		t.Fatalf("exported %d spans, want 4", len(spans))
+	}
+	byID := make(map[uint64]Span)
+	for _, s := range spans {
+		if s.Trace != root.Trace() {
+			t.Fatalf("span %s carries trace %d, want %d", s.Name, s.Trace, root.Trace())
+		}
+		byID[s.ID] = s
+	}
+	roots := 0
+	for _, s := range spans {
+		if s.Parent == 0 {
+			roots++
+			if s.Name != "ingest" {
+				t.Fatalf("root span is %q, want ingest", s.Name)
+			}
+			continue
+		}
+		if _, ok := byID[s.Parent]; !ok {
+			t.Fatalf("span %s parent %d not in the trace", s.Name, s.Parent)
+		}
+	}
+	if roots != 1 {
+		t.Fatalf("%d roots in the trace, want 1", roots)
+	}
+	for _, s := range spans {
+		if s.Dur < 0 {
+			t.Fatalf("span %s has negative duration %d", s.Name, s.Dur)
+		}
+	}
+}
+
+// TestZeroContextIsFree: the unsampled context threads through the whole
+// instrumentation surface as a no-op and publishes nothing.
+func TestZeroContextIsFree(t *testing.T) {
+	tr := New(1, 16)
+	var zero Context
+	child := zero.Start("shard")
+	child.End(Int("ids", 1))
+	zero.End()
+	if child.Sampled() || zero.Trace() != 0 {
+		t.Fatal("zero context is not inert")
+	}
+	if got := tr.Export(); len(got) != 0 {
+		t.Fatalf("zero contexts published %d spans", len(got))
+	}
+}
+
+// TestRingOverflowConcurrent is the satellite's race-clean overflow
+// proof: many goroutines finishing spans into a ring far smaller than
+// the span count, with concurrent Export calls, must neither race (run
+// under -race in CI) nor yield more than ring-size spans, and every
+// exported record must be intact.
+func TestRingOverflowConcurrent(t *testing.T) {
+	const (
+		ringSize   = 64
+		goroutines = 8
+		perG       = 2000
+	)
+	tr := New(1, ringSize)
+	var writers, reader sync.WaitGroup
+	stop := make(chan struct{})
+	reader.Add(1)
+	go func() { // concurrent reader while the ring churns
+		defer reader.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for _, s := range tr.Export() {
+				if s.Name == "" || s.Trace == 0 || s.ID == 0 {
+					t.Error("torn span exported from the ring")
+					return
+				}
+			}
+		}
+	}()
+	for g := 0; g < goroutines; g++ {
+		writers.Add(1)
+		go func() {
+			defer writers.Done()
+			for i := 0; i < perG; i++ {
+				root := tr.Root("ingest")
+				child := root.Start("shard")
+				child.End(Int("i", i))
+				root.End()
+			}
+		}()
+	}
+	writers.Wait()
+	close(stop)
+	reader.Wait()
+
+	got := tr.Export()
+	if len(got) == 0 || len(got) > ringSize {
+		t.Fatalf("exported %d spans from a %d-slot ring", len(got), ringSize)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].Start < got[i-1].Start {
+			t.Fatal("export not ordered by start time")
+		}
+	}
+}

@@ -1,0 +1,221 @@
+package telemetry
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestHistogramObserve pins the instrument's bucketing semantics: values
+// land in the first bucket whose bound is >= the value (le is inclusive),
+// overflow lands only in +Inf, and sum/count track exactly.
+func TestHistogramObserve(t *testing.T) {
+	h := NewHistogramMetric("unsd_test_seconds", "h", []float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.005, 0.01, 0.05, 0.5, 5} {
+		h.Observe(v)
+	}
+	s := h.snapshot()
+	wantCum := []uint64{2, 3, 4} // le=0.01 takes 0.005 and the boundary 0.01
+	for i, b := range s.Buckets {
+		if b.Count != wantCum[i] {
+			t.Errorf("bucket le=%v count %d, want %d", b.UpperBound, b.Count, wantCum[i])
+		}
+	}
+	if s.Count != 5 {
+		t.Errorf("count %d, want 5", s.Count)
+	}
+	if math.Abs(s.Sum-5.565) > 1e-9 {
+		t.Errorf("sum %v, want 5.565", s.Sum)
+	}
+	if h.Count() != 5 {
+		t.Errorf("Count() %d, want 5", h.Count())
+	}
+}
+
+// TestHistogramExpositionFormat is the satellite's format-validity pin on
+// the wire text: le buckets cumulative and monotone, the +Inf bucket
+// equal to _count, and _sum consistent with the observations.
+func TestHistogramExpositionFormat(t *testing.T) {
+	h := NewHistogramMetric("unsd_test_duration_seconds", "Test latency.", DurationBuckets)
+	for i := 0; i < 1000; i++ {
+		h.Observe(float64(i) * 1e-5)
+	}
+	h.Observe(1e6) // overflow: only +Inf takes it
+	r := NewRegistry()
+	r.Register(h)
+	var sb strings.Builder
+	if _, err := r.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	if !strings.Contains(text, "# TYPE unsd_test_duration_seconds histogram") {
+		t.Fatal("no histogram TYPE line")
+	}
+	s, err := Parse(strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("parsing own exposition: %v", err)
+	}
+	ph := s.Histogram("unsd_test_duration_seconds")
+	if ph == nil {
+		t.Fatal("histogram family did not round-trip")
+	}
+	if len(ph.Buckets) != len(DurationBuckets)+1 {
+		t.Fatalf("%d buckets parsed, want %d (+Inf included)", len(ph.Buckets), len(DurationBuckets)+1)
+	}
+	prevBound := math.Inf(-1)
+	prevCount := -1.0
+	for _, b := range ph.Buckets {
+		if b.UpperBound <= prevBound {
+			t.Fatalf("le bounds not increasing at %v", b.UpperBound)
+		}
+		if b.Count < prevCount {
+			t.Fatalf("cumulative counts decrease at le=%v: %v < %v", b.UpperBound, b.Count, prevCount)
+		}
+		prevBound, prevCount = b.UpperBound, b.Count
+	}
+	last := ph.Buckets[len(ph.Buckets)-1]
+	if !math.IsInf(last.UpperBound, 1) {
+		t.Fatalf("last bucket bound %v, want +Inf", last.UpperBound)
+	}
+	if last.Count != ph.Count {
+		t.Fatalf("+Inf bucket %v != _count %v", last.Count, ph.Count)
+	}
+	if ph.Count != 1001 {
+		t.Fatalf("_count %v, want 1001", ph.Count)
+	}
+	wantSum := 1e6
+	for i := 0; i < 1000; i++ {
+		wantSum += float64(i) * 1e-5
+	}
+	if math.Abs(ph.Sum-wantSum) > 1e-6*wantSum {
+		t.Fatalf("_sum %v, want %v", ph.Sum, wantSum)
+	}
+}
+
+// TestHistogramParseRoundTrip writes a labelled multi-histogram family by
+// hand and checks Parse rebuilds each labelled histogram exactly.
+func TestHistogramParseRoundTrip(t *testing.T) {
+	fam := Family{
+		Name: "unsd_rt_seconds", Help: "rt", Type: Histogram,
+		Histograms: []HistogramSample{
+			{Labels: []Label{{Name: "surface", Value: "http"}},
+				Buckets: []Bucket{{0.1, 3}, {1, 7}}, Count: 9, Sum: 4.25},
+			{Labels: []Label{{Name: "surface", Value: "stream"}},
+				Buckets: []Bucket{{0.1, 1}, {1, 1}}, Count: 2, Sum: 3.5},
+		},
+	}
+	r := NewRegistry()
+	r.Register(CollectorFunc(func() []Family { return []Family{fam} }))
+	var sb strings.Builder
+	if _, err := r.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Parse(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := s.Family("unsd_rt_seconds")
+	if f == nil || f.Type != "histogram" || f.Help != "rt" {
+		t.Fatalf("family metadata did not round-trip: %+v", f)
+	}
+	if len(f.Samples) != 0 {
+		t.Fatalf("histogram series leaked into plain samples: %+v", f.Samples)
+	}
+	for _, want := range fam.Histograms {
+		got := s.Histogram("unsd_rt_seconds", "surface", want.Labels[0].Value)
+		if got == nil {
+			t.Fatalf("histogram surface=%s missing", want.Labels[0].Value)
+		}
+		if got.Count != float64(want.Count) || got.Sum != want.Sum {
+			t.Fatalf("surface=%s count/sum %v/%v, want %d/%v",
+				want.Labels[0].Value, got.Count, got.Sum, want.Count, want.Sum)
+		}
+		if len(got.Buckets) != len(want.Buckets)+1 {
+			t.Fatalf("surface=%s has %d buckets, want %d", want.Labels[0].Value, len(got.Buckets), len(want.Buckets)+1)
+		}
+		for i, wb := range want.Buckets {
+			if got.Buckets[i].UpperBound != wb.UpperBound || got.Buckets[i].Count != float64(wb.Count) {
+				t.Fatalf("surface=%s bucket %d = %+v, want %+v", want.Labels[0].Value, i, got.Buckets[i], wb)
+			}
+		}
+	}
+}
+
+// TestHistogramConcurrentObserve: concurrent observers under -race, with
+// the scrape invariant (+Inf == _count, monotone cumulative buckets)
+// checked on a snapshot taken mid-flight and after.
+func TestHistogramConcurrentObserve(t *testing.T) {
+	h := NewHistogramMetric("unsd_conc_seconds", "h", DurationBuckets)
+	var wg sync.WaitGroup
+	const goroutines, perG = 8, 5000
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				h.Observe(float64(g*perG+i) * 1e-7)
+			}
+		}(g)
+	}
+	check := func(s HistogramSample) {
+		var prev uint64
+		for _, b := range s.Buckets {
+			if b.Count < prev {
+				t.Errorf("mid-flight cumulative decrease at le=%v", b.UpperBound)
+			}
+			prev = b.Count
+		}
+		if s.Count < prev {
+			t.Errorf("mid-flight count %d below last bucket %d", s.Count, prev)
+		}
+	}
+	for i := 0; i < 100; i++ {
+		check(h.snapshot())
+	}
+	wg.Wait()
+	final := h.snapshot()
+	check(final)
+	if final.Count != goroutines*perG {
+		t.Fatalf("final count %d, want %d", final.Count, goroutines*perG)
+	}
+}
+
+// TestLatencyBundle: the bundle exports exactly the advertised families,
+// every one histogram-typed, and LatencyFamilyNames matches.
+func TestLatencyBundle(t *testing.T) {
+	l := NewLatency()
+	l.SnapshotWrite.Observe(0.02)
+	l.Resize.Observe(0.001)
+	l.Sample.Observe(5e-6)
+	l.IngestBatch.Observe(2e-5)
+	l.EmitLag.Observe(1e-4)
+	r := NewRegistry()
+	r.Register(l)
+	var sb strings.Builder
+	if _, err := r.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Parse(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := LatencyFamilyNames()
+	if len(names) != 5 {
+		t.Fatalf("LatencyFamilyNames lists %d families, want 5", len(names))
+	}
+	for _, name := range names {
+		f := s.Family(name)
+		if f == nil {
+			t.Errorf("family %s missing", name)
+			continue
+		}
+		if f.Type != "histogram" {
+			t.Errorf("family %s type %q, want histogram", name, f.Type)
+		}
+		h := s.Histogram(name)
+		if h == nil || h.Count != 1 {
+			t.Errorf("family %s count %+v, want one observation", name, h)
+		}
+	}
+}

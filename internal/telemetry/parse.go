@@ -10,11 +10,31 @@ import (
 )
 
 // ParsedFamily is one metric family as read back from an exposition.
+// Histogram-typed families fold their name_bucket / name_sum / name_count
+// series back into Histograms, grouped by label set.
 type ParsedFamily struct {
-	Name    string
-	Help    string
-	Type    string
-	Samples []Sample
+	Name       string
+	Help       string
+	Type       string
+	Samples    []Sample
+	Histograms []ParsedHistogram
+}
+
+// ParsedBucket is one cumulative bucket read back from an exposition,
+// including the +Inf bucket.
+type ParsedBucket struct {
+	UpperBound float64
+	Count      float64
+}
+
+// ParsedHistogram is one histogram of a parsed histogram family: the
+// label set (without le), the cumulative buckets sorted by bound, and the
+// _sum/_count series.
+type ParsedHistogram struct {
+	Labels  []Label
+	Buckets []ParsedBucket
+	Sum     float64
+	Count   float64
 }
 
 // Scrape is a parsed exposition: the families in document order, indexed by
@@ -63,6 +83,40 @@ func (s *Scrape) Value(name string, labelPairs ...string) (v float64, ok bool) {
 	return 0, false
 }
 
+// Histogram returns the histogram of the named family whose labels
+// exactly match the given name=value pairs, or nil when the family or the
+// labelled histogram is absent.
+func (s *Scrape) Histogram(name string, labelPairs ...string) *ParsedHistogram {
+	if len(labelPairs)%2 != 0 {
+		panic("telemetry: Histogram label pairs must alternate name, value")
+	}
+	f := s.byName[name]
+	if f == nil {
+		return nil
+	}
+	want := make(map[string]string, len(labelPairs)/2)
+	for i := 0; i < len(labelPairs); i += 2 {
+		want[labelPairs[i]] = labelPairs[i+1]
+	}
+	for i := range f.Histograms {
+		h := &f.Histograms[i]
+		if len(h.Labels) != len(want) {
+			continue
+		}
+		match := true
+		for _, l := range h.Labels {
+			if want[l.Name] != l.Value {
+				match = false
+				break
+			}
+		}
+		if match {
+			return h
+		}
+	}
+	return nil
+}
+
 // Sum returns the sum over all samples of the named family (0 when the
 // family is absent or empty) and whether the family was present.
 func (s *Scrape) Sum(name string) (float64, bool) {
@@ -81,6 +135,8 @@ func (s *Scrape) Sum(name string) (float64, bool) {
 // this package: # HELP and # TYPE comment lines followed by sample lines.
 // Unknown comment lines are skipped; a sample line for a family with no
 // preceding metadata still parses (its family just has empty Help/Type).
+// Series of a family whose TYPE line declared histogram are folded back
+// into that family's Histograms.
 func Parse(r io.Reader) (*Scrape, error) {
 	s := &Scrape{byName: make(map[string]*ParsedFamily)}
 	family := func(name string) *ParsedFamily {
@@ -95,6 +151,24 @@ func Parse(r io.Reader) (*Scrape, error) {
 			s.byName[s.Families[i].Name] = &s.Families[i]
 		}
 		return f
+	}
+	// Per histogram family, the index into Histograms for each label key.
+	histIndex := make(map[string]map[string]int)
+	histogram := func(base string, labels []Label) *ParsedHistogram {
+		f := family(base)
+		key := labelKey(labels)
+		idx, ok := histIndex[base]
+		if !ok {
+			idx = make(map[string]int)
+			histIndex[base] = idx
+		}
+		i, ok := idx[key]
+		if !ok {
+			i = len(f.Histograms)
+			f.Histograms = append(f.Histograms, ParsedHistogram{Labels: labels})
+			idx[key] = i
+		}
+		return &f.Histograms[i]
 	}
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
@@ -128,13 +202,84 @@ func Parse(r io.Reader) (*Scrape, error) {
 		if err != nil {
 			return nil, fmt.Errorf("telemetry: line %d: %w", lineNo, err)
 		}
+		if base, suffix, ok := histogramSeries(s, name); ok {
+			switch suffix {
+			case "_bucket":
+				rest, le, found := splitLE(labels)
+				if !found {
+					return nil, fmt.Errorf("telemetry: line %d: histogram bucket %q has no le label", lineNo, name)
+				}
+				bound, err := parseValue(le)
+				if err != nil {
+					return nil, fmt.Errorf("telemetry: line %d: bad le %q on %q", lineNo, le, name)
+				}
+				h := histogram(base, rest)
+				h.Buckets = append(h.Buckets, ParsedBucket{UpperBound: bound, Count: value})
+			case "_sum":
+				histogram(base, labels).Sum = value
+			case "_count":
+				histogram(base, labels).Count = value
+			}
+			continue
+		}
 		f := family(name)
 		f.Samples = append(f.Samples, Sample{Labels: labels, Value: value})
 	}
 	if err := sc.Err(); err != nil {
 		return nil, fmt.Errorf("telemetry: reading exposition: %w", err)
 	}
+	for i := range s.Families {
+		for j := range s.Families[i].Histograms {
+			h := &s.Families[i].Histograms[j]
+			sort.Slice(h.Buckets, func(a, b int) bool {
+				return h.Buckets[a].UpperBound < h.Buckets[b].UpperBound
+			})
+		}
+	}
 	return s, nil
+}
+
+// histogramSeries reports whether a sample name is a series of a family
+// whose TYPE line declared histogram, returning the base family name and
+// the matched suffix.
+func histogramSeries(s *Scrape, name string) (base, suffix string, ok bool) {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		b, found := strings.CutSuffix(name, suf)
+		if !found {
+			continue
+		}
+		if f := s.byName[b]; f != nil && f.Type == string(Histogram) {
+			return b, suf, true
+		}
+	}
+	return "", "", false
+}
+
+// splitLE removes the le label from a label set, returning the remaining
+// labels and the le value.
+func splitLE(labels []Label) (rest []Label, le string, found bool) {
+	for _, l := range labels {
+		if l.Name == "le" {
+			le, found = l.Value, true
+			continue
+		}
+		rest = append(rest, l)
+	}
+	return rest, le, found
+}
+
+// labelKey serializes a label set into a canonical map key.
+func labelKey(labels []Label) string {
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Name < ls[j].Name })
+	var sb strings.Builder
+	for _, l := range ls {
+		sb.WriteString(l.Name)
+		sb.WriteByte('=')
+		sb.WriteString(l.Value)
+		sb.WriteByte(';')
+	}
+	return sb.String()
 }
 
 func parseSample(line string) (name string, labels []Label, value float64, err error) {

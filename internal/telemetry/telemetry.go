@@ -32,12 +32,14 @@ const ContentType = "text/plain; version=0.0.4; charset=utf-8"
 // Type is a metric family's type as exposed on the # TYPE line.
 type Type string
 
-// The two family types the plane uses. Counters are cumulative and must
+// The three family types the plane uses. Counters are cumulative and must
 // never decrease (the exposition test pins this across live resizes);
-// gauges move freely.
+// gauges move freely; histograms expose a fixed-bucket latency
+// distribution as cumulative le-labelled series plus _sum and _count.
 const (
-	Counter Type = "counter"
-	Gauge   Type = "gauge"
+	Counter   Type = "counter"
+	Gauge     Type = "gauge"
+	Histogram Type = "histogram"
 )
 
 // Label is one name="value" pair on a sample.
@@ -51,14 +53,35 @@ type Sample struct {
 	Value  float64
 }
 
+// Bucket is one cumulative histogram bucket: the count of observations
+// less than or equal to UpperBound.
+type Bucket struct {
+	UpperBound float64
+	Count      uint64
+}
+
+// HistogramSample is one exported histogram of a histogram-typed family:
+// cumulative buckets over strictly increasing finite upper bounds (the
+// +Inf bucket is implied by Count), the total observation count and the
+// sum of observed values. Labels must not include "le" — the writer owns
+// that label.
+type HistogramSample struct {
+	Labels  []Label
+	Buckets []Bucket
+	Count   uint64
+	Sum     float64
+}
+
 // Family is one metric family: a # HELP line, a # TYPE line and zero or
 // more samples. A family with no samples still exposes its metadata, so a
-// dashboard can discover a quantity before it first fires.
+// dashboard can discover a quantity before it first fires. Counter and
+// gauge families carry Samples; histogram families carry Histograms.
 type Family struct {
-	Name    string
-	Help    string
-	Type    Type
-	Samples []Sample
+	Name       string
+	Help       string
+	Type       Type
+	Samples    []Sample
+	Histograms []HistogramSample
 }
 
 // Collector produces a set of families at scrape time.
@@ -136,27 +159,50 @@ func (r *Registry) WriteTo(w io.Writer) (int64, error) {
 		sb.WriteString(string(f.Type))
 		sb.WriteByte('\n')
 		for _, s := range f.Samples {
-			sb.WriteString(f.Name)
-			if len(s.Labels) > 0 {
-				sb.WriteByte('{')
-				for i, l := range s.Labels {
-					if i > 0 {
-						sb.WriteByte(',')
-					}
-					sb.WriteString(l.Name)
-					sb.WriteString(`="`)
-					sb.WriteString(escapeLabelValue(l.Value))
-					sb.WriteByte('"')
-				}
-				sb.WriteByte('}')
+			writeSampleLine(&sb, f.Name, s.Labels, "", s.Value)
+		}
+		for _, h := range f.Histograms {
+			for _, b := range h.Buckets {
+				writeSampleLine(&sb, f.Name+"_bucket", h.Labels, formatValue(b.UpperBound), float64(b.Count))
 			}
-			sb.WriteByte(' ')
-			sb.WriteString(formatValue(s.Value))
-			sb.WriteByte('\n')
+			writeSampleLine(&sb, f.Name+"_bucket", h.Labels, "+Inf", float64(h.Count))
+			writeSampleLine(&sb, f.Name+"_sum", h.Labels, "", h.Sum)
+			writeSampleLine(&sb, f.Name+"_count", h.Labels, "", float64(h.Count))
 		}
 	}
 	n, err := io.WriteString(w, sb.String())
 	return int64(n), err
+}
+
+// writeSampleLine renders one sample line: name, the label set (with the
+// reserved le label appended when non-empty — histogram bucket lines) and
+// the value.
+func writeSampleLine(sb *strings.Builder, name string, labels []Label, le string, v float64) {
+	sb.WriteString(name)
+	if len(labels) > 0 || le != "" {
+		sb.WriteByte('{')
+		for i, l := range labels {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			sb.WriteString(l.Name)
+			sb.WriteString(`="`)
+			sb.WriteString(escapeLabelValue(l.Value))
+			sb.WriteByte('"')
+		}
+		if le != "" {
+			if len(labels) > 0 {
+				sb.WriteByte(',')
+			}
+			sb.WriteString(`le="`)
+			sb.WriteString(le)
+			sb.WriteByte('"')
+		}
+		sb.WriteByte('}')
+	}
+	sb.WriteByte(' ')
+	sb.WriteString(formatValue(v))
+	sb.WriteByte('\n')
 }
 
 // Handler returns an http.Handler serving the registry's exposition — the
@@ -180,11 +226,17 @@ func validateFamily(f Family) error {
 	if !validMetricName(f.Name) {
 		return fmt.Errorf("telemetry: invalid family name %q (want [a-z_:]+)", f.Name)
 	}
-	if f.Type != Counter && f.Type != Gauge {
+	if f.Type != Counter && f.Type != Gauge && f.Type != Histogram {
 		return fmt.Errorf("telemetry: family %s has invalid type %q", f.Name, f.Type)
 	}
 	if f.Help == "" {
 		return fmt.Errorf("telemetry: family %s has no help text", f.Name)
+	}
+	if f.Type == Histogram && len(f.Samples) > 0 {
+		return fmt.Errorf("telemetry: histogram family %s carries plain samples", f.Name)
+	}
+	if f.Type != Histogram && len(f.Histograms) > 0 {
+		return fmt.Errorf("telemetry: %s family %s carries histogram samples", f.Type, f.Name)
 	}
 	for _, s := range f.Samples {
 		for _, l := range s.Labels {
@@ -194,6 +246,33 @@ func validateFamily(f Family) error {
 		}
 		if f.Type == Counter && s.Value < 0 {
 			return fmt.Errorf("telemetry: counter %s has negative value %v", f.Name, s.Value)
+		}
+	}
+	for _, h := range f.Histograms {
+		for _, l := range h.Labels {
+			if !validLabelName(l.Name) {
+				return fmt.Errorf("telemetry: family %s has invalid label name %q", f.Name, l.Name)
+			}
+			if l.Name == "le" {
+				return fmt.Errorf("telemetry: histogram %s labels its own le", f.Name)
+			}
+		}
+		prev := math.Inf(-1)
+		var prevCount uint64
+		for _, b := range h.Buckets {
+			if math.IsNaN(b.UpperBound) || math.IsInf(b.UpperBound, 0) {
+				return fmt.Errorf("telemetry: histogram %s has non-finite bucket bound %v", f.Name, b.UpperBound)
+			}
+			if b.UpperBound <= prev {
+				return fmt.Errorf("telemetry: histogram %s bucket bounds not strictly increasing at %v", f.Name, b.UpperBound)
+			}
+			if b.Count < prevCount {
+				return fmt.Errorf("telemetry: histogram %s cumulative bucket counts decrease at le=%v", f.Name, b.UpperBound)
+			}
+			prev, prevCount = b.UpperBound, b.Count
+		}
+		if h.Count < prevCount {
+			return fmt.Errorf("telemetry: histogram %s count %d below last bucket %d", f.Name, h.Count, prevCount)
 		}
 	}
 	return nil

@@ -49,7 +49,19 @@ func TestGatherRejectsInvalidFamilies(t *testing.T) {
 		{"uppercase", C("unsd_Total", "h", 1)},
 		{"empty name", C("", "h", 1)},
 		{"no help", Family{Name: "unsd_x", Type: Counter}},
-		{"bad type", Family{Name: "unsd_x", Help: "h", Type: "histogram"}},
+		{"bad type", Family{Name: "unsd_x", Help: "h", Type: "summary"}},
+		{"histogram with plain samples", Family{Name: "unsd_x", Help: "h", Type: Histogram,
+			Samples: []Sample{{Value: 1}}}},
+		{"gauge with histogram samples", Family{Name: "unsd_x", Help: "h", Type: Gauge,
+			Histograms: []HistogramSample{{Count: 1}}}},
+		{"histogram le label", Family{Name: "unsd_x", Help: "h", Type: Histogram,
+			Histograms: []HistogramSample{{Labels: []Label{{Name: "le", Value: "1"}}}}}},
+		{"histogram bounds not increasing", Family{Name: "unsd_x", Help: "h", Type: Histogram,
+			Histograms: []HistogramSample{{Buckets: []Bucket{{UpperBound: 1, Count: 0}, {UpperBound: 1, Count: 1}}, Count: 1}}}},
+		{"histogram buckets not cumulative", Family{Name: "unsd_x", Help: "h", Type: Histogram,
+			Histograms: []HistogramSample{{Buckets: []Bucket{{UpperBound: 1, Count: 5}, {UpperBound: 2, Count: 3}}, Count: 5}}}},
+		{"histogram count below last bucket", Family{Name: "unsd_x", Help: "h", Type: Histogram,
+			Histograms: []HistogramSample{{Buckets: []Bucket{{UpperBound: 1, Count: 5}}, Count: 3}}}},
 		{"bad label name", Family{Name: "unsd_x", Help: "h", Type: Gauge,
 			Samples: []Sample{{Labels: []Label{{Name: "Shard", Value: "0"}}, Value: 1}}}},
 		{"negative counter", C("unsd_x_total", "h", -1)},
