@@ -1,0 +1,132 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// The -perf-compare mode turns two committed perf artifacts into a
+// machine-readable regression verdict, so CI can gate a change on "no hot
+// path got more than N% slower" instead of a human eyeballing BENCH_*.json
+// diffs. Benchmarks are matched by name; ones present on only one side are
+// reported but never fail the gate (a new benchmark has no baseline, a
+// removed one no longer matters).
+
+// perfDelta is one matched benchmark's before/after comparison. DeltaPct is
+// positive when the new build is slower.
+type perfDelta struct {
+	Name       string  `json:"name"`
+	Unit       string  `json:"unit"`
+	OldNsPerOp float64 `json:"old_ns_per_op"`
+	NewNsPerOp float64 `json:"new_ns_per_op"`
+	DeltaPct   float64 `json:"delta_pct"`
+	OldAllocs  int64   `json:"old_allocs_per_op"`
+	NewAllocs  int64   `json:"new_allocs_per_op"`
+}
+
+// perfComparison is the -perf-compare JSON document.
+type perfComparison struct {
+	Schema       string      `json:"schema"`
+	OldPath      string      `json:"old_path"`
+	NewPath      string      `json:"new_path"`
+	ThresholdPct float64     `json:"threshold_pct"`
+	Benchmarks   []perfDelta `json:"benchmarks"`
+	Added        []string    `json:"added,omitempty"`
+	Removed      []string    `json:"removed,omitempty"`
+	Worst        string      `json:"worst"` // matched benchmark with the largest DeltaPct
+	WorstPct     float64     `json:"worst_pct"`
+	Pass         bool        `json:"pass"`
+}
+
+func loadPerfReport(path string) (perfReport, error) {
+	var r perfReport
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return r, err
+	}
+	if err := json.Unmarshal(data, &r); err != nil {
+		return r, fmt.Errorf("%s: %w", path, err)
+	}
+	if r.Schema != "unsbench-perf/v1" {
+		return r, fmt.Errorf("%s: unexpected schema %q", path, r.Schema)
+	}
+	if len(r.Benchmarks) == 0 {
+		return r, fmt.Errorf("%s: no benchmarks in artifact", path)
+	}
+	return r, nil
+}
+
+// runPerfCompare diffs the artifacts at oldPath and newPath, writes the
+// comparison document to w, and returns an error — failing the process —
+// when any matched benchmark regressed by more than threshold percent.
+func runPerfCompare(w io.Writer, oldPath, newPath string, threshold float64) error {
+	oldRep, err := loadPerfReport(oldPath)
+	if err != nil {
+		return err
+	}
+	newRep, err := loadPerfReport(newPath)
+	if err != nil {
+		return err
+	}
+	oldBy := make(map[string]perfBench, len(oldRep.Benchmarks))
+	for _, b := range oldRep.Benchmarks {
+		oldBy[b.Name] = b
+	}
+	cmp := perfComparison{
+		Schema:       "unsbench-perf-compare/v1",
+		OldPath:      oldPath,
+		NewPath:      newPath,
+		ThresholdPct: threshold,
+		Pass:         true,
+	}
+	seen := make(map[string]bool, len(newRep.Benchmarks))
+	for _, nb := range newRep.Benchmarks {
+		seen[nb.Name] = true
+		ob, ok := oldBy[nb.Name]
+		if !ok {
+			cmp.Added = append(cmp.Added, nb.Name)
+			continue
+		}
+		d := perfDelta{
+			Name:       nb.Name,
+			Unit:       nb.Unit,
+			OldNsPerOp: ob.NsPerOp,
+			NewNsPerOp: nb.NsPerOp,
+			DeltaPct:   (nb.NsPerOp - ob.NsPerOp) / ob.NsPerOp * 100,
+			OldAllocs:  ob.AllocsPerOp,
+			NewAllocs:  nb.AllocsPerOp,
+		}
+		cmp.Benchmarks = append(cmp.Benchmarks, d)
+		if cmp.Worst == "" || d.DeltaPct > cmp.WorstPct {
+			cmp.Worst, cmp.WorstPct = d.Name, d.DeltaPct
+		}
+	}
+	for _, ob := range oldRep.Benchmarks {
+		if !seen[ob.Name] {
+			cmp.Removed = append(cmp.Removed, ob.Name)
+		}
+	}
+	sort.Slice(cmp.Benchmarks, func(i, j int) bool { return cmp.Benchmarks[i].DeltaPct > cmp.Benchmarks[j].DeltaPct })
+	if len(cmp.Benchmarks) == 0 {
+		return fmt.Errorf("perf-compare: no common benchmarks between %s and %s", oldPath, newPath)
+	}
+	if cmp.WorstPct > threshold {
+		cmp.Pass = false
+	}
+	for _, d := range cmp.Benchmarks {
+		fmt.Fprintf(os.Stderr, "perf-compare: %-28s %10.1f -> %10.1f %s  %+6.1f%%\n",
+			d.Name, d.OldNsPerOp, d.NewNsPerOp, d.Unit, d.DeltaPct)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(cmp); err != nil {
+		return err
+	}
+	if !cmp.Pass {
+		return fmt.Errorf("perf-compare: %s regressed %.1f%% (threshold %.1f%%)", cmp.Worst, cmp.WorstPct, threshold)
+	}
+	return nil
+}

@@ -44,12 +44,21 @@ func run(args []string, w io.Writer) error {
 		perf       = fs.Bool("perf", false, "measure the service plane's hot paths and emit a JSON perf artifact")
 		perfOut    = fs.String("perf-out", "-", "perf artifact path ('-' writes to stdout)")
 		perfFilter = fs.String("perf-filter", "", "only run perf benchmarks whose name contains this substring")
+		perfRuns   = fs.Int("perf-runs", 3, "runs per perf benchmark; the fastest is recorded (strips scheduler noise)")
+		perfCmp    = fs.Bool("perf-compare", false, "compare two perf artifacts (args: old.json new.json) and fail on regressions above -perf-threshold")
+		perfThresh = fs.Float64("perf-threshold", 5, "max tolerated slowdown percent for -perf-compare")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *perfCmp {
+		if fs.NArg() != 2 {
+			return fmt.Errorf("-perf-compare takes exactly two artifact paths, got %d args", fs.NArg())
+		}
+		return runPerfCompare(w, fs.Arg(0), fs.Arg(1), *perfThresh)
+	}
 	if *perf {
-		return runPerf(w, *perfOut, *perfFilter)
+		return runPerf(w, *perfOut, *perfFilter, *perfRuns)
 	}
 	order, registry := experiments.Registry()
 	if *list {

@@ -12,6 +12,8 @@ import (
 
 	"nodesampling"
 	"nodesampling/internal/autoscale"
+	"nodesampling/internal/cms"
+	"nodesampling/internal/rng"
 	"nodesampling/internal/shard"
 	"nodesampling/internal/telemetry"
 )
@@ -41,6 +43,7 @@ type perfReport struct {
 	GoVersion         string      `json:"go_version"`
 	GOMAXPROCS        int         `json:"gomaxprocs"`
 	Generated         string      `json:"generated"`
+	Runs              int         `json:"runs_per_benchmark,omitempty"`
 	HistogramFamilies []string    `json:"histogram_families"`
 	Benchmarks        []perfBench `json:"benchmarks"`
 }
@@ -59,16 +62,74 @@ var perfSuite = []struct {
 	{"PoolSubscribeFanout/subs=4", "ns/id", func(b *testing.B) { perfPoolFanout(b, 4) }},
 	{"PoolSubscribeFanout/subs=16", "ns/id", func(b *testing.B) { perfPoolFanout(b, 16) }},
 	{"ControllerTick", "ns/op", perfControllerTick},
+	{"SketchAddEstimate/fused", "ns/op", func(b *testing.B) { perfSketchAdd(b, false) }},
+	{"SketchAddEstimate/reference", "ns/op", func(b *testing.B) { perfSketchAdd(b, true) }},
+	{"Partition/pooled", "ns/id", func(b *testing.B) { perfPartition(b, true) }},
+	{"Partition/alloc", "ns/id", func(b *testing.B) { perfPartition(b, false) }},
+	{"ShardQueue/ring", "ns/op", func(b *testing.B) { perfQueue(b, true) }},
+	{"ShardQueue/channel", "ns/op", func(b *testing.B) { perfQueue(b, false) }},
+}
+
+// perfSink defeats dead-code elimination of the shim benchmarks' results.
+var perfSink uint64
+
+// perfSketchAdd measures the fused Count-Min update (one premix + bulk
+// column pass) against the retained per-row reference path it replaced.
+func perfSketchAdd(b *testing.B, reference bool) {
+	sk, err := cms.NewWithDimensions(1024, 5, rng.New(7))
+	if err != nil {
+		b.Fatal(err)
+	}
+	var s uint64
+	b.ResetTimer()
+	if reference {
+		for i := 0; i < b.N; i++ {
+			s += sk.AddEstimateReference(uint64(i) & 4095)
+		}
+	} else {
+		for i := 0; i < b.N; i++ {
+			s += sk.AddEstimate(uint64(i) & 4095)
+		}
+	}
+	perfSink += s
+}
+
+// perfPartition measures the PushBatch counting-sort partition pass — b.N
+// ids in 2048-id batches across 8 shards — with the production pooled
+// buffers or with fresh allocations per batch (the pre-pool behaviour).
+func perfPartition(b *testing.B, pooled bool) {
+	perfSink += shard.BenchPartition(b.N, 2048, 8, pooled)
+}
+
+// perfQueue measures one enqueue/dequeue round-trip on the shard ingest
+// queue: the MPSC ring versus the buffered channel it replaced.
+func perfQueue(b *testing.B, ring bool) {
+	if ring {
+		perfSink += uint64(shard.BenchQueueRing(b.N, 64))
+		return
+	}
+	perfSink += uint64(shard.BenchQueueChannel(b.N, 64))
 }
 
 // runPerf measures every suite entry whose name contains filter ("" keeps
 // all) and writes the JSON document to outPath ("-" or "" writes to w).
-func runPerf(w io.Writer, outPath, filter string) error {
+// Each benchmark is run `runs` times and the fastest run is recorded: the
+// benchmarks that involve goroutine hand-off (queue round-trips, live
+// subscribers) are scheduling-sensitive on a single-CPU runner, and the
+// minimum over a few runs strips the scheduler noise a mean would keep —
+// what the artifact should pin is the cost of the code, not of the day's
+// preemption pattern. The rule is applied uniformly to every benchmark and
+// the run count is recorded in the artifact.
+func runPerf(w io.Writer, outPath, filter string, runs int) error {
+	if runs < 1 {
+		runs = 1
+	}
 	report := perfReport{
 		Schema:            "unsbench-perf/v1",
 		GoVersion:         runtime.Version(),
 		GOMAXPROCS:        runtime.GOMAXPROCS(0),
 		Generated:         time.Now().UTC().Format(time.RFC3339),
+		Runs:              runs,
 		HistogramFamilies: telemetry.LatencyFamilyNames(),
 	}
 	for _, bench := range perfSuite {
@@ -79,6 +140,16 @@ func runPerf(w io.Writer, outPath, filter string) error {
 		res := testing.Benchmark(bench.fn)
 		if res.N == 0 {
 			return fmt.Errorf("perf: %s did not run", bench.name)
+		}
+		for r := 1; r < runs; r++ {
+			again := testing.Benchmark(bench.fn)
+			if again.N == 0 {
+				return fmt.Errorf("perf: %s did not run", bench.name)
+			}
+			if float64(again.T.Nanoseconds())/float64(again.N) <
+				float64(res.T.Nanoseconds())/float64(res.N) {
+				res = again
+			}
 		}
 		report.Benchmarks = append(report.Benchmarks, perfBench{
 			Name:        bench.name,

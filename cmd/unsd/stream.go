@@ -178,6 +178,10 @@ func (s *streamServer) handle(conn net.Conn) {
 			<-subDone
 		}
 	}()
+	// Buffer-reusing frame decoder: the ingest funnel and the pool copy the
+	// ids they keep before the next Read overwrites them, so a persistent
+	// stream connection pushes with zero per-frame allocations.
+	fr := netgossip.NewFrameReader(conn)
 	for {
 		idle := streamIdleTimeout
 		if sub != nil {
@@ -186,7 +190,7 @@ func (s *streamServer) handle(conn net.Conn) {
 		if err := conn.SetReadDeadline(time.Now().Add(idle)); err != nil {
 			return
 		}
-		f, err := netgossip.ReadFrame(conn)
+		f, err := fr.Read()
 		if err != nil {
 			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
 				s.frameErrors.Add(1)

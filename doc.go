@@ -111,6 +111,45 @@
 // fans out through the same hub, with the same accounting and decimation,
 // at single-sampler scale.
 //
+// # Hot path anatomy
+//
+// Batch ingest is engineered to a nanosecond budget; the numbers below are
+// from the single-CPU reference container (BENCH_8.json, ns per id,
+// single-shard PushBatch ≈ 52 ns/id, 0 allocs/op steady state):
+//
+//   - Partition (~1–2 ns): a counting-sort pass groups the batch by
+//     destination shard — two linear sweeps, no comparisons — into a pooled
+//     payload buffer; the scratch tables come from a sync.Pool, so a
+//     steady-state batch allocates nothing.
+//   - Queue hand-off (~0 ns amortised): each shard's sub-batch is one
+//     enqueue on a bounded MPSC ring (a Vyukov queue: one CAS per producer,
+//     plain loads and stores for the single consumer), amortised over the
+//     whole sub-batch. The payload is reference-counted and returned to its
+//     pool by the last shard worker to finish with it.
+//   - Sketch update (~37 ns): the dominant term. One fused Columns pass
+//     premixes the id once and computes all s row columns — a Carter-Wegman
+//     multiply mod 2⁶¹−1 plus a Lemire fastrange reduction per row — then
+//     the add loop increments one counter per row of the flat row-major
+//     matrix (~24 ns hashing, ~7 ns counter loop, ~6 ns amortised global-
+//     minimum rescan, which the admission probability minσ/f̂ consults per
+//     id and so must stay eagerly maintained).
+//   - Admission (~14 ns): the Algorithm 3 step — a Γ membership scan
+//     (~5 ns at c=10) and one PRNG draw for the Bernoulli admit/evict
+//     decision (~8 ns).
+//
+// What is left is arithmetic the algorithm requires per id, not overhead:
+// s modular multiplications and one random draw. One further fusion was
+// measured and rejected — sharing a single splitmix64 premix between the
+// partition map and the sketch hashes saves under 2 ns but the two
+// deliberately mix different inputs (the partition premixes id⊕salt so the
+// shard map stays unpredictable; the sketch premixes the raw id so blobs
+// restore bit-identically), so the saving would cost a partition-map
+// re-version that invalidates every restored snapshot's routing.
+//
+// The committed BENCH_<pr>.json artifacts pin this budget over time, and
+// `unsbench -perf-compare old.json new.json` turns any two of them into a
+// pass/fail regression verdict (CI gates on the previous PR's artifact).
+//
 // # Securing the service edge
 //
 // The paper's adversary model assumes the sampler sees the stream the

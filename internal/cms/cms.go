@@ -21,9 +21,15 @@ import (
 // Sketch is a Count-Min sketch over uint64 identifiers. It is not safe for
 // concurrent use; wrap it or confine it to one goroutine.
 type Sketch struct {
-	rows    int // s in the paper
-	cols    int // k in the paper
-	counts  [][]uint64
+	rows int // s in the paper
+	cols int // k in the paper
+	// counts is the s × k counter matrix flattened row-major into one
+	// array: row r, column c lives at counts[r*cols+c]. One flat slice
+	// keeps the whole matrix in a single allocation, makes a row access
+	// plain index arithmetic instead of a slice-header load, and turns the
+	// full-matrix passes (rescanMin, Halve, Merge) into single linear
+	// scans the compiler bounds-checks once.
+	counts  []uint64
 	hashes  *hashing.Family
 	total   uint64 // number of Add calls (stream length m)
 	gMin    uint64 // cached min over all counters
@@ -49,27 +55,32 @@ func New(epsilon, delta float64, r *rng.Xoshiro) (*Sketch, error) {
 }
 
 // NewWithDimensions creates a sketch with an explicit k × s shape, matching
-// the parameterisation used throughout the paper's evaluation section.
+// the parameterisation used throughout the paper's evaluation section. New
+// sketches hash under hashing.ModeFastrange; sketches deserialised from
+// pre-mode blobs stay on the modulo map (see NewWithDimensionsMode and
+// UnmarshalBinary).
 func NewWithDimensions(k, s int, r *rng.Xoshiro) (*Sketch, error) {
+	return NewWithDimensionsMode(k, s, r, hashing.ModeFastrange)
+}
+
+// NewWithDimensionsMode is NewWithDimensions with an explicit bucket map
+// mode — primarily for tests and for interoperating with legacy
+// modulo-mode sketch state.
+func NewWithDimensionsMode(k, s int, r *rng.Xoshiro, mode hashing.Mode) (*Sketch, error) {
 	if k <= 0 {
 		return nil, fmt.Errorf("cms: column count k must be positive, got %d", k)
 	}
 	if s <= 0 {
 		return nil, fmt.Errorf("cms: row count s must be positive, got %d", s)
 	}
-	fam, err := hashing.NewFamily(s, k, r)
+	fam, err := hashing.NewFamilyMode(s, k, r, mode)
 	if err != nil {
 		return nil, fmt.Errorf("cms: %w", err)
-	}
-	counts := make([][]uint64, s)
-	backing := make([]uint64, s*k)
-	for i := range counts {
-		counts[i], backing = backing[:k:k], backing[k:]
 	}
 	return &Sketch{
 		rows:    s,
 		cols:    k,
-		counts:  counts,
+		counts:  make([]uint64, s*k),
 		hashes:  fam,
 		gMin:    0,
 		gMinCnt: s * k,
@@ -86,6 +97,9 @@ func (sk *Sketch) Cols() int { return sk.cols }
 // Total returns the number of ids added so far (the stream length m).
 func (sk *Sketch) Total() uint64 { return sk.total }
 
+// Mode returns the bucket map mode of the sketch's hash family.
+func (sk *Sketch) Mode() hashing.Mode { return sk.hashes.Mode() }
+
 // Add records one occurrence of id, incrementing one counter per row
 // (Algorithm 2, lines 6–7).
 func (sk *Sketch) Add(id uint64) { sk.AddEstimate(id) }
@@ -96,13 +110,45 @@ func (sk *Sketch) Add(id uint64) { sk.AddEstimate(id) }
 // the incremented counters. Equivalent to Add followed by Estimate, minus
 // the second set of row hashes — the saving that makes batch ingestion
 // (KnowledgeFree.ProcessBatch) cheaper per id than the single-id path.
+// The row hashes come from one fused Columns pass (a single key premix
+// for all rows, no per-row division under fastrange); the per-row Hash
+// path survives as AddEstimateReference, pinned bit-identical by tests.
 func (sk *Sketch) AddEstimate(id uint64) uint64 {
+	sk.total++
+	sk.hashes.Columns(id, sk.scratch)
+	est := ^uint64(0)
+	gMin := sk.gMin
+	counts := sk.counts
+	base := 0
+	for row := 0; row < sk.rows; row++ {
+		idx := base + sk.scratch[row]
+		v := counts[idx] + 1
+		counts[idx] = v
+		if v-1 == gMin {
+			sk.gMinCnt--
+		}
+		if v < est {
+			est = v
+		}
+		base += sk.cols
+	}
+	if sk.gMinCnt == 0 {
+		sk.rescanMin()
+	}
+	return est
+}
+
+// AddEstimateReference is AddEstimate over the per-row reference hash path
+// (Family.Hash instead of the fused Columns). It exists so property tests
+// and the perf suite can pin the fused path against it — the two must agree
+// bit-for-bit on every counter and estimate.
+func (sk *Sketch) AddEstimateReference(id uint64) uint64 {
 	sk.total++
 	est := ^uint64(0)
 	for row := 0; row < sk.rows; row++ {
-		col := sk.hashes.Hash(row, id)
-		v := sk.counts[row][col] + 1
-		sk.counts[row][col] = v
+		idx := row*sk.cols + sk.hashes.Hash(row, id)
+		v := sk.counts[idx] + 1
+		sk.counts[idx] = v
 		if v-1 == sk.gMin {
 			sk.gMinCnt--
 		}
@@ -132,22 +178,21 @@ func (sk *Sketch) AddConservative(id uint64) { sk.AddConservativeEstimate(id) }
 // for both the estimate and the update.
 func (sk *Sketch) AddConservativeEstimate(id uint64) uint64 {
 	sk.total++
+	sk.hashes.Columns(id, sk.scratch)
 	est := ^uint64(0)
 	for row := 0; row < sk.rows; row++ {
-		col := sk.hashes.Hash(row, id)
-		sk.scratch[row] = col
-		if v := sk.counts[row][col]; v < est {
+		if v := sk.counts[row*sk.cols+sk.scratch[row]]; v < est {
 			est = v
 		}
 	}
 	target := est + 1
 	for row := 0; row < sk.rows; row++ {
-		col := sk.scratch[row]
-		v := sk.counts[row][col]
+		idx := row*sk.cols + sk.scratch[row]
+		v := sk.counts[idx]
 		if v >= target {
 			continue
 		}
-		sk.counts[row][col] = target
+		sk.counts[idx] = target
 		if v == sk.gMin {
 			sk.gMinCnt--
 		}
@@ -166,14 +211,12 @@ func (sk *Sketch) AddConservativeEstimate(id uint64) uint64 {
 func (sk *Sketch) rescanMin() {
 	minV := ^uint64(0)
 	cnt := 0
-	for _, row := range sk.counts {
-		for _, v := range row {
-			switch {
-			case v < minV:
-				minV, cnt = v, 1
-			case v == minV:
-				cnt++
-			}
+	for _, v := range sk.counts {
+		switch {
+		case v < minV:
+			minV, cnt = v, 1
+		case v == minV:
+			cnt++
 		}
 	}
 	sk.gMin, sk.gMinCnt = minV, cnt
@@ -183,9 +226,10 @@ func (sk *Sketch) rescanMin() {
 // minimum of its counters across rows (Algorithm 2, line 8). The estimate
 // never underestimates the true count.
 func (sk *Sketch) Estimate(id uint64) uint64 {
+	sk.hashes.Columns(id, sk.scratch)
 	est := ^uint64(0)
 	for row := 0; row < sk.rows; row++ {
-		if v := sk.counts[row][sk.hashes.Hash(row, id)]; v < est {
+		if v := sk.counts[row*sk.cols+sk.scratch[row]]; v < est {
 			est = v
 		}
 	}
@@ -200,11 +244,9 @@ func (sk *Sketch) GlobalMin() uint64 { return sk.gMin }
 // by tests to validate the incremental tracker.
 func (sk *Sketch) globalMinNaive() uint64 {
 	minV := ^uint64(0)
-	for _, row := range sk.counts {
-		for _, v := range row {
-			if v < minV {
-				minV = v
-			}
+	for _, v := range sk.counts {
+		if v < minV {
+			minV = v
 		}
 	}
 	return minV
@@ -218,10 +260,8 @@ func (sk *Sketch) globalMinNaive() uint64 {
 // within a factor-2 window of the decayed frequencies and never drop below
 // half of a just-observed burst.
 func (sk *Sketch) Halve() {
-	for _, row := range sk.counts {
-		for i := range row {
-			row[i] >>= 1
-		}
+	for i := range sk.counts {
+		sk.counts[i] >>= 1
 	}
 	sk.total >>= 1
 	sk.rescanMin()
@@ -230,23 +270,25 @@ func (sk *Sketch) Halve() {
 // Reset zeroes all counters while keeping the hash functions, so the sketch
 // can be reused across experiment trials without re-deriving the family.
 func (sk *Sketch) Reset() {
-	for _, row := range sk.counts {
-		for i := range row {
-			row[i] = 0
-		}
+	for i := range sk.counts {
+		sk.counts[i] = 0
 	}
 	sk.total = 0
 	sk.gMin = 0
 	sk.gMinCnt = sk.rows * sk.cols
 }
 
-// SharesFamily reports whether both sketches use the same dimensions and
-// the same hash-function parameters, i.e. whether identical ids hit
-// identical counters in both. Only such sketches can be merged meaningfully:
-// summing counters accumulated under different hash families yields a matrix
-// whose minima estimate nothing.
+// SharesFamily reports whether both sketches use the same dimensions, the
+// same hash-function parameters and the same bucket map mode, i.e. whether
+// identical ids hit identical counters in both. Only such sketches can be
+// merged meaningfully: summing counters accumulated under different hash
+// families (or the same parameters under different bucket maps) yields a
+// matrix whose minima estimate nothing.
 func (sk *Sketch) SharesFamily(other *Sketch) bool {
 	if other == nil || sk.rows != other.rows || sk.cols != other.cols {
+		return false
+	}
+	if sk.hashes.Mode() != other.hashes.Mode() {
 		return false
 	}
 	a, b := sk.hashes.Params(), other.hashes.Params()
@@ -274,10 +316,8 @@ func (sk *Sketch) Merge(other *Sketch) error {
 	if !sk.SharesFamily(other) {
 		return fmt.Errorf("cms: merge across distinct hash families")
 	}
-	for r := range sk.counts {
-		for c := range sk.counts[r] {
-			sk.counts[r][c] += other.counts[r][c]
-		}
+	for i := range sk.counts {
+		sk.counts[i] += other.counts[i]
 	}
 	sk.total += other.total
 	sk.rescanMin()
@@ -287,12 +327,8 @@ func (sk *Sketch) Merge(other *Sketch) error {
 // Clone returns a deep copy of the sketch sharing the same hash family, so
 // that the copy estimates identically and is mergeable with the original.
 func (sk *Sketch) Clone() *Sketch {
-	counts := make([][]uint64, sk.rows)
-	backing := make([]uint64, sk.rows*sk.cols)
-	for i := range counts {
-		counts[i], backing = backing[:sk.cols:sk.cols], backing[sk.cols:]
-		copy(counts[i], sk.counts[i])
-	}
+	counts := make([]uint64, len(sk.counts))
+	copy(counts, sk.counts)
 	return &Sketch{
 		rows:    sk.rows,
 		cols:    sk.cols,
@@ -309,15 +345,10 @@ func (sk *Sketch) Clone() *Sketch {
 // clone estimates over its own stream yet remains mergeable with sk and with
 // every other clone — the construction behind the pool's per-shard sketches.
 func (sk *Sketch) CloneEmpty() *Sketch {
-	counts := make([][]uint64, sk.rows)
-	backing := make([]uint64, sk.rows*sk.cols)
-	for i := range counts {
-		counts[i], backing = backing[:sk.cols:sk.cols], backing[sk.cols:]
-	}
 	return &Sketch{
 		rows:    sk.rows,
 		cols:    sk.cols,
-		counts:  counts,
+		counts:  make([]uint64, sk.rows*sk.cols),
 		hashes:  sk.hashes,
 		gMin:    0,
 		gMinCnt: sk.rows * sk.cols,

@@ -1,7 +1,10 @@
 package cms
 
 import (
+	"encoding/binary"
+
 	"math"
+	"nodesampling/internal/hashing"
 	"testing"
 	"testing/quick"
 
@@ -436,4 +439,148 @@ func BenchmarkAddAndEstimate(b *testing.B) {
 		sink += sk.Estimate(id) + sk.GlobalMin()
 	}
 	_ = sink
+}
+
+// TestFusedMatchesReference pins the fused AddEstimate (bulk Columns, one
+// premix per id) against the retained per-row reference path: identical
+// estimates and identical global-min tracking over an interleaved stream,
+// under both bucket maps.
+func TestFusedMatchesReference(t *testing.T) {
+	for _, mode := range []hashing.Mode{hashing.ModeModulo, hashing.ModeFastrange} {
+		fused, err := NewWithDimensionsMode(64, 4, rng.New(71), mode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref := fused.Clone()
+		r := rng.New(72)
+		for i := 0; i < 30000; i++ {
+			id := r.Uint64n(500)
+			ef := fused.AddEstimate(id)
+			er := ref.AddEstimateReference(id)
+			if ef != er {
+				t.Fatalf("mode %v step %d id %d: fused estimate %d != reference %d", mode, i, id, ef, er)
+			}
+			if fused.GlobalMin() != ref.GlobalMin() {
+				t.Fatalf("mode %v step %d: global min diverged %d vs %d",
+					mode, i, fused.GlobalMin(), ref.GlobalMin())
+			}
+		}
+		for id := uint64(0); id < 600; id++ {
+			if fused.Estimate(id) != ref.Estimate(id) {
+				t.Fatalf("mode %v: final estimate mismatch for id %d", mode, id)
+			}
+		}
+	}
+}
+
+// TestLegacyModuloBlobRestores: a modulo-mode sketch must serialise as the
+// legacy version-1 layout (so pre-mode blobs and readers interoperate) and
+// restore under the modulo map with bit-identical behaviour.
+func TestLegacyModuloBlobRestores(t *testing.T) {
+	sk, err := NewWithDimensionsMode(32, 3, rng.New(81), hashing.ModeModulo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(82)
+	for i := 0; i < 10000; i++ {
+		sk.Add(r.Uint64n(200))
+	}
+	data, err := sk.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := binary.BigEndian.Uint32(data[4:8]); v != 1 {
+		t.Fatalf("modulo sketch serialised as version %d, want legacy version 1", v)
+	}
+	if want := headerLenV1 + sk.rows*16 + sk.rows*sk.cols*8; len(data) != want {
+		t.Fatalf("modulo blob length %d, want v1 layout length %d", len(data), want)
+	}
+	var back Sketch
+	if err := back.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if back.Mode() != hashing.ModeModulo {
+		t.Fatalf("restored mode %v, want modulo", back.Mode())
+	}
+	for id := uint64(0); id < 300; id++ {
+		if back.Estimate(id) != sk.Estimate(id) {
+			t.Fatalf("estimate mismatch for id %d after legacy restore", id)
+		}
+	}
+}
+
+// TestFastrangeBlobRoundTripsMode: a fastrange sketch round-trips through
+// the version-2 layout keeping its mode and exact estimates.
+func TestFastrangeBlobRoundTripsMode(t *testing.T) {
+	sk, err := NewWithDimensionsMode(32, 3, rng.New(83), hashing.ModeFastrange)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(84)
+	for i := 0; i < 10000; i++ {
+		sk.Add(r.Uint64n(200))
+	}
+	data, err := sk.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := binary.BigEndian.Uint32(data[4:8]); v != 2 {
+		t.Fatalf("fastrange sketch serialised as version %d, want 2", v)
+	}
+	var back Sketch
+	if err := back.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if back.Mode() != hashing.ModeFastrange {
+		t.Fatalf("restored mode %v, want fastrange", back.Mode())
+	}
+	for id := uint64(0); id < 300; id++ {
+		if back.Estimate(id) != sk.Estimate(id) {
+			t.Fatalf("estimate mismatch for id %d after v2 restore", id)
+		}
+	}
+	sk.Add(9)
+	back.Add(9)
+	if back.Estimate(9) != sk.Estimate(9) {
+		t.Fatal("post-restore evolution diverged")
+	}
+}
+
+// TestMergeAcrossModesRejected: identical (a, b) parameters under different
+// bucket maps are different hash functions; SharesFamily and Merge must say
+// so. The two constructions draw from identically-seeded generators, so the
+// parameters really do coincide — only the mode differs.
+func TestMergeAcrossModesRejected(t *testing.T) {
+	a, err := NewWithDimensionsMode(64, 4, rng.New(91), hashing.ModeModulo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewWithDimensionsMode(64, 4, rng.New(91), hashing.ModeFastrange)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.SharesFamily(b) {
+		t.Fatal("SharesFamily ignored the bucket map mode")
+	}
+	if err := a.Merge(b); err == nil {
+		t.Fatal("Merge across bucket map modes accepted")
+	}
+}
+
+func BenchmarkSketchAddEstimate(b *testing.B) {
+	for _, tc := range []struct {
+		name string
+		add  func(*Sketch, uint64) uint64
+	}{
+		{"fused", (*Sketch).AddEstimate},
+		{"reference", (*Sketch).AddEstimateReference},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			sk := mustSketch(b, 1024, 5, 7)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tc.add(sk, uint64(i)&1023)
+			}
+		})
+	}
 }

@@ -10,22 +10,44 @@ import (
 
 // Binary layout (all fields big-endian uint64 unless noted):
 //
-//	magic "CMSK" | version (uint32) | rows | cols | total
-//	rows × (a, b) hash parameters
-//	rows × cols counters
+//	version 1 (legacy, bucket map implied modulo):
+//	  magic "CMSK" | version (uint32) | rows | cols | total
+//	  rows × (a, b) hash parameters
+//	  rows × cols counters
+//
+//	version 2 (adds the bucket map mode, see hashing.Mode):
+//	  magic "CMSK" | version (uint32) | mode (uint32) | rows | cols | total
+//	  rows × (a, b) hash parameters
+//	  rows × cols counters
+//
+// A modulo-mode sketch still serialises as version 1, byte-identical to
+// blobs written before modes existed, so pre-mode readers and writers stay
+// interoperable for the entire legacy state they can represent; only
+// fastrange sketches need (and get) the version 2 header. Either way the
+// blob pins the bucket map: a restored sketch estimates bit-identically.
 const (
-	marshalMagic   = "CMSK"
-	marshalVersion = 1
+	marshalMagic      = "CMSK"
+	marshalVersion    = 1
+	marshalVersionV2  = 2
+	headerLenV1       = 4 + 4 + 8*3
+	headerLenV2       = 4 + 4 + 4 + 8*3
+	marshalModeModulo = uint32(hashing.ModeModulo)
 )
 
-// MarshalBinary serialises the sketch — counters and hash-family
-// parameters — so a sampler's frequency state survives restarts. It
-// implements encoding.BinaryMarshaler.
+// MarshalBinary serialises the sketch — counters, hash-family parameters
+// and bucket map mode — so a sampler's frequency state survives restarts.
+// It implements encoding.BinaryMarshaler.
 func (sk *Sketch) MarshalBinary() ([]byte, error) {
-	size := 4 + 4 + 8*3 + sk.rows*16 + sk.rows*sk.cols*8
+	mode := sk.hashes.Mode()
+	size := headerLenV2 + sk.rows*16 + sk.rows*sk.cols*8
 	buf := make([]byte, 0, size)
 	buf = append(buf, marshalMagic...)
-	buf = binary.BigEndian.AppendUint32(buf, marshalVersion)
+	if mode == hashing.ModeModulo {
+		buf = binary.BigEndian.AppendUint32(buf, marshalVersion)
+	} else {
+		buf = binary.BigEndian.AppendUint32(buf, marshalVersionV2)
+		buf = binary.BigEndian.AppendUint32(buf, uint32(mode))
+	}
 	buf = binary.BigEndian.AppendUint64(buf, uint64(sk.rows))
 	buf = binary.BigEndian.AppendUint64(buf, uint64(sk.cols))
 	buf = binary.BigEndian.AppendUint64(buf, sk.total)
@@ -33,32 +55,50 @@ func (sk *Sketch) MarshalBinary() ([]byte, error) {
 		buf = binary.BigEndian.AppendUint64(buf, p[0])
 		buf = binary.BigEndian.AppendUint64(buf, p[1])
 	}
-	for _, row := range sk.counts {
-		for _, v := range row {
-			buf = binary.BigEndian.AppendUint64(buf, v)
-		}
+	for _, v := range sk.counts {
+		buf = binary.BigEndian.AppendUint64(buf, v)
 	}
 	return buf, nil
 }
 
 // UnmarshalBinary reconstructs a sketch serialised by MarshalBinary,
-// including its hash family, counters and global-minimum tracking. It
-// implements encoding.BinaryUnmarshaler; the receiver's previous state is
-// discarded.
+// including its hash family (with the recorded bucket map mode — legacy
+// version 1 blobs restore under the modulo map), counters and
+// global-minimum tracking. It implements encoding.BinaryUnmarshaler; the
+// receiver's previous state is discarded.
 func (sk *Sketch) UnmarshalBinary(data []byte) error {
-	const header = 4 + 4 + 8*3
-	if len(data) < header {
+	if len(data) < headerLenV1 {
 		return errors.New("cms: truncated sketch data")
 	}
 	if string(data[:4]) != marshalMagic {
 		return errors.New("cms: bad magic, not a serialised sketch")
 	}
-	if v := binary.BigEndian.Uint32(data[4:8]); v != marshalVersion {
+	header := headerLenV1
+	mode := hashing.ModeModulo
+	off := 8
+	switch v := binary.BigEndian.Uint32(data[4:8]); v {
+	case marshalVersion:
+		// Legacy blob: bucket map implied modulo.
+	case marshalVersionV2:
+		header = headerLenV2
+		if len(data) < header {
+			return errors.New("cms: truncated sketch data")
+		}
+		m := binary.BigEndian.Uint32(data[8:12])
+		if m == marshalModeModulo || m > uint32(hashing.ModeFastrange) {
+			// Modulo sketches serialise as version 1; a v2 blob claiming
+			// modulo (or an unknown mode) is not something this code ever
+			// wrote.
+			return fmt.Errorf("cms: invalid bucket map mode %d in version 2 sketch", m)
+		}
+		mode = hashing.Mode(m)
+		off = 12
+	default:
 		return fmt.Errorf("cms: unsupported version %d", v)
 	}
-	rows := binary.BigEndian.Uint64(data[8:16])
-	cols := binary.BigEndian.Uint64(data[16:24])
-	total := binary.BigEndian.Uint64(data[24:32])
+	rows := binary.BigEndian.Uint64(data[off:])
+	cols := binary.BigEndian.Uint64(data[off+8:])
+	total := binary.BigEndian.Uint64(data[off+16:])
 	if rows == 0 || cols == 0 || rows > 1<<20 || cols > 1<<30 {
 		return fmt.Errorf("cms: implausible dimensions %dx%d", rows, cols)
 	}
@@ -66,25 +106,21 @@ func (sk *Sketch) UnmarshalBinary(data []byte) error {
 	if len(data) != want {
 		return fmt.Errorf("cms: data length %d, want %d for a %dx%d sketch", len(data), want, rows, cols)
 	}
-	off := header
+	off = header
 	params := make([][2]uint64, rows)
 	for i := range params {
 		params[i][0] = binary.BigEndian.Uint64(data[off:])
 		params[i][1] = binary.BigEndian.Uint64(data[off+8:])
 		off += 16
 	}
-	fam, err := hashing.NewFamilyFromParams(params, int(cols))
+	fam, err := hashing.NewFamilyFromParamsMode(params, int(cols), mode)
 	if err != nil {
 		return fmt.Errorf("cms: reconstruct hash family: %w", err)
 	}
-	counts := make([][]uint64, rows)
-	backing := make([]uint64, rows*cols)
+	counts := make([]uint64, rows*cols)
 	for i := range counts {
-		counts[i], backing = backing[:cols:cols], backing[cols:]
-		for j := range counts[i] {
-			counts[i][j] = binary.BigEndian.Uint64(data[off:])
-			off += 8
-		}
+		counts[i] = binary.BigEndian.Uint64(data[off:])
+		off += 8
 	}
 	sk.rows = int(rows)
 	sk.cols = int(cols)

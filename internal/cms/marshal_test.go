@@ -4,6 +4,7 @@ import (
 	"encoding"
 	"testing"
 
+	"nodesampling/internal/hashing"
 	"nodesampling/internal/rng"
 )
 
@@ -88,20 +89,33 @@ func TestUnmarshalRejectsWrongVersionAndLength(t *testing.T) {
 }
 
 func TestUnmarshalRejectsBadHashParams(t *testing.T) {
-	good := mustSketch(t, 4, 2, 53)
-	data, err := good.MarshalBinary()
-	if err != nil {
-		t.Fatal(err)
-	}
-	// First hash parameter a lives right after the 32-byte header; zero is
+	// First hash parameter a lives right after the header — 32 bytes in the
+	// legacy v1 (modulo) layout, 36 in v2 (fastrange, +mode word); zero is
 	// outside [1, p-1].
-	bad := append([]byte(nil), data...)
-	for i := 32; i < 40; i++ {
-		bad[i] = 0
-	}
-	var sk Sketch
-	if err := sk.UnmarshalBinary(bad); err == nil {
-		t.Error("a=0 hash parameter accepted")
+	for _, tc := range []struct {
+		name   string
+		mode   hashing.Mode
+		header int
+	}{
+		{"v1 modulo", hashing.ModeModulo, 32},
+		{"v2 fastrange", hashing.ModeFastrange, 36},
+	} {
+		good, err := NewWithDimensionsMode(4, 2, rng.New(53), tc.mode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := good.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		bad := append([]byte(nil), data...)
+		for i := tc.header; i < tc.header+8; i++ {
+			bad[i] = 0
+		}
+		var sk Sketch
+		if err := sk.UnmarshalBinary(bad); err == nil {
+			t.Errorf("%s: a=0 hash parameter accepted", tc.name)
+		}
 	}
 }
 

@@ -245,7 +245,10 @@ func AblationChurn(cfg Config) (Table, error) {
 	const n, c, k, s = 500, 25, 10, 5
 	m := 200000
 	if cfg.Quick {
-		m = 40000
+		// Long enough that the halving-vs-plain excess-divergence gap (a
+		// difference of two small KL estimates) stands clear of single-run
+		// noise; 40k was borderline and flipped on hash-family realisation.
+		m = 100000
 	}
 	half := m / 2
 	attacked := uint64(n) // the new population's attacked id

@@ -272,3 +272,138 @@ func BenchmarkMinWiseImage(b *testing.B) {
 	}
 	_ = sink
 }
+
+// TestColumnsMatchesHash pins the fused bulk path against the per-row
+// reference Hash bit-for-bit, over randomized shapes and keys, both bucket
+// maps, and bucket counts up to the fastrange limit (k near 2^31 exercises
+// the scaled multiply's top end).
+func TestColumnsMatchesHash(t *testing.T) {
+	r := rng.New(99)
+	ks := []int{1, 2, 3, 7, 10, 1000, 1 << 20, (1 << 31) - 1, 1 << 31}
+	for _, mode := range []Mode{ModeModulo, ModeFastrange} {
+		for _, k := range ks {
+			for _, s := range []int{1, 4, 17} {
+				f, err := NewFamilyMode(s, k, r, mode)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if f.Mode() != mode {
+					t.Fatalf("family mode %v, want %v", f.Mode(), mode)
+				}
+				cols := make([]int, s)
+				for trial := 0; trial < 200; trial++ {
+					x := r.Uint64()
+					if trial < 4 {
+						// Also cover structured keys: 0, 1, p, ^0.
+						x = []uint64{0, 1, MersennePrime, ^uint64(0)}[trial]
+					}
+					f.Columns(x, cols)
+					for row := 0; row < s; row++ {
+						want := f.Hash(row, x)
+						if cols[row] != want {
+							t.Fatalf("mode %v k=%d s=%d row %d key %#x: Columns %d != Hash %d",
+								mode, k, s, row, x, cols[row], want)
+						}
+						if cols[row] < 0 || cols[row] >= k {
+							t.Fatalf("mode %v k=%d: bucket %d out of range", mode, k, cols[row])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestModesDisagree: for a non-trivial bucket count the two maps must be
+// genuinely different functions of the same (a, b) parameters — otherwise
+// the mode versioning would be guarding nothing.
+func TestModesDisagree(t *testing.T) {
+	r := rng.New(5)
+	fm, err := NewFamilyMode(4, 1000, r, ModeModulo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ff, err := NewFamilyFromParamsMode(fm.Params(), 1000, ModeFastrange)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff := 0
+	for x := uint64(0); x < 1000; x++ {
+		for row := 0; row < 4; row++ {
+			if fm.Hash(row, x) != ff.Hash(row, x) {
+				diff++
+			}
+		}
+	}
+	if diff == 0 {
+		t.Fatal("modulo and fastrange agreed on every key; modes are not distinct maps")
+	}
+}
+
+// TestFastrangeUniform: the fastrange map composed with the family stays
+// statistically uniform (the same chi-square criterion the modulo map
+// passes).
+func TestFastrangeUniform(t *testing.T) {
+	const k, draws = 64, 200000
+	r := rng.New(11)
+	h, err := NewUniversal2Mode(k, r, ModeFastrange)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, k)
+	for i := 0; i < draws; i++ {
+		counts[h.Hash(r.Uint64())]++
+	}
+	want := float64(draws) / k
+	chi2 := 0.0
+	for _, c := range counts {
+		d := float64(c) - want
+		chi2 += d * d / want
+	}
+	// 99.9th percentile of chi-square with 63 degrees of freedom ≈ 103.
+	if chi2 > 103 {
+		t.Fatalf("chi-square %.1f over 63 dof; fastrange buckets not uniform", chi2)
+	}
+}
+
+// TestFamilyFromParamsModeRoundTrip: params + mode reconstruct the exact
+// family under both modes.
+func TestFamilyFromParamsModeRoundTrip(t *testing.T) {
+	r := rng.New(3)
+	for _, mode := range []Mode{ModeModulo, ModeFastrange} {
+		f, err := NewFamilyMode(3, 777, r, mode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := NewFamilyFromParamsMode(f.Params(), 777, mode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.Mode() != mode {
+			t.Fatalf("mode %v lost in round trip", mode)
+		}
+		for x := uint64(0); x < 500; x++ {
+			for row := 0; row < 3; row++ {
+				if f.Hash(row, x) != g.Hash(row, x) {
+					t.Fatalf("mode %v: reconstructed family diverged at key %d", mode, x)
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkFamilyColumns(b *testing.B) {
+	for _, mode := range []Mode{ModeModulo, ModeFastrange} {
+		b.Run(mode.String(), func(b *testing.B) {
+			f, err := NewFamilyMode(5, 1024, rng.New(1), mode)
+			if err != nil {
+				b.Fatal(err)
+			}
+			cols := make([]int, 5)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				f.Columns(uint64(i), cols)
+			}
+		})
+	}
+}

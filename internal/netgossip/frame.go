@@ -155,7 +155,36 @@ func WriteFrame(w io.Writer, f Frame) error {
 // payload allocation; a malformed stream yields an error with nothing
 // consumed beyond the offending frame. io.EOF before the first header byte
 // passes through for clean shutdown detection.
+//
+// Each call decodes into fresh buffers, so the returned Frame (including
+// IDs) may be retained indefinitely. Long-lived read loops that consume a
+// frame before reading the next should use a FrameReader instead, which
+// amortises the buffers across calls.
 func ReadFrame(r io.Reader) (Frame, error) {
+	return (&FrameReader{r: r}).Read()
+}
+
+// FrameReader decodes frames from one stream, reusing its payload and id
+// buffers across calls: a steady flood of PushBatch frames costs zero
+// allocations per frame after the first. The price is aliasing — a returned
+// Frame's IDs slice is valid only until the next Read. Callers that hand
+// the ids to a sink which copies (the daemon ingest funnel, shard
+// PushBatch) ride the reuse for free; callers that retain frames must use
+// ReadFrame.
+type FrameReader struct {
+	r       io.Reader
+	payload []byte
+	ids     []uint64
+}
+
+// NewFrameReader returns a FrameReader decoding from r.
+func NewFrameReader(r io.Reader) *FrameReader { return &FrameReader{r: r} }
+
+// Read reads and validates one frame, exactly like ReadFrame except that
+// the returned Frame's IDs alias the reader's internal buffer and are
+// overwritten by the next Read.
+func (fr *FrameReader) Read() (Frame, error) {
+	r := fr.r
 	var h [frameHeaderLen]byte
 	if _, err := io.ReadFull(r, h[:]); err != nil {
 		return Frame{}, err
@@ -203,14 +232,20 @@ func ReadFrame(r io.Reader) (Frame, error) {
 	default:
 		return Frame{}, fmt.Errorf("netgossip: unknown frame type %d", t)
 	}
-	payload := make([]byte, n)
+	if uint32(cap(fr.payload)) < n {
+		fr.payload = make([]byte, n)
+	}
+	payload := fr.payload[:n]
 	if _, err := io.ReadFull(r, payload); err != nil {
 		return Frame{}, fmt.Errorf("netgossip: short frame payload: %w", err)
 	}
 	f := Frame{Type: t}
 	switch t {
 	case FramePushBatch, FrameStreamData, FrameSampleResp:
-		f.IDs = make([]uint64, n/8)
+		if uint32(cap(fr.ids)) < n/8 {
+			fr.ids = make([]uint64, n/8)
+		}
+		f.IDs = fr.ids[:n/8]
 		for i := range f.IDs {
 			f.IDs[i] = binary.BigEndian.Uint64(payload[8*i:])
 		}

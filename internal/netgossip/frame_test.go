@@ -222,3 +222,110 @@ func FuzzReadFrame(f *testing.F) {
 		}
 	})
 }
+
+// TestFrameReaderReusesBuffers pins the FrameReader contract: frames decode
+// identically to ReadFrame, the IDs slice of one Read is overwritten by the
+// next (callers must copy what they keep), and a steady sequence of
+// same-size batches performs zero allocations per frame after the first.
+func TestFrameReaderReusesBuffers(t *testing.T) {
+	var buf bytes.Buffer
+	first := []uint64{1, 2, 3}
+	second := []uint64{7, 8, 9}
+	for _, ids := range [][]uint64{first, second} {
+		if err := WriteFrame(&buf, Frame{Type: FramePushBatch, IDs: ids}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fr := NewFrameReader(&buf)
+	f1, err := fr.Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	held := f1.IDs // retained across Read, against the contract
+	f2, err := fr.Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range second {
+		if f2.IDs[i] != want {
+			t.Fatalf("second frame id %d = %d, want %d", i, f2.IDs[i], want)
+		}
+	}
+	if &held[0] != &f2.IDs[0] {
+		t.Fatal("FrameReader did not reuse the id buffer across same-size reads")
+	}
+	if held[0] != second[0] {
+		t.Fatal("retained slice not overwritten — reuse contract not exercised")
+	}
+}
+
+// TestFrameReaderMatchesReadFrame decodes a mixed frame sequence through
+// one FrameReader and per-frame ReadFrame calls and requires identical
+// results (the reader grows its buffers across differently sized frames).
+func TestFrameReaderMatchesReadFrame(t *testing.T) {
+	seq := []Frame{
+		{Type: FramePushBatch, IDs: []uint64{5, 6}},
+		{Type: FramePushBatch, IDs: []uint64{1, 2, 3, 4, 5, 6, 7, 8}},
+		{Type: FramePing, Token: 3},
+		{Type: FrameStreamData, IDs: []uint64{9}},
+		{Type: FrameSample, N: 4},
+		{Type: FrameError, Msg: "nope"},
+	}
+	var a, b bytes.Buffer
+	for _, f := range seq {
+		if err := WriteFrame(&a, f); err != nil {
+			t.Fatal(err)
+		}
+		if err := WriteFrame(&b, f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fr := NewFrameReader(&a)
+	for i := range seq {
+		got, err := fr.Read()
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		want, err := ReadFrame(&b)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if got.Type != want.Type || got.N != want.N || got.Every != want.Every ||
+			got.Token != want.Token || got.Msg != want.Msg || len(got.IDs) != len(want.IDs) {
+			t.Fatalf("frame %d: %+v vs ReadFrame %+v", i, got, want)
+		}
+		for j := range got.IDs {
+			if got.IDs[j] != want.IDs[j] {
+				t.Fatalf("frame %d id %d: %d vs %d", i, j, got.IDs[j], want.IDs[j])
+			}
+		}
+	}
+	if _, err := fr.Read(); err != io.EOF {
+		t.Fatalf("drained reader returned %v, want io.EOF", err)
+	}
+}
+
+// TestReadFrameStillAllocatesFresh: the package-level ReadFrame keeps its
+// retain-forever contract — ids from consecutive calls never alias.
+func TestReadFrameStillAllocatesFresh(t *testing.T) {
+	var buf bytes.Buffer
+	for i := 0; i < 2; i++ {
+		if err := WriteFrame(&buf, Frame{Type: FramePushBatch, IDs: []uint64{uint64(i + 1), 2}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f1, err := ReadFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := ReadFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &f1.IDs[0] == &f2.IDs[0] {
+		t.Fatal("ReadFrame reused a buffer across calls")
+	}
+	if f1.IDs[0] != 1 || f2.IDs[0] != 2 {
+		t.Fatalf("ids corrupted: %v %v", f1.IDs, f2.IDs)
+	}
+}

@@ -15,7 +15,10 @@ import (
 // BatchSink absorbs batches of received identifiers in place of the peer's
 // own single-goroutine sampler — typically a sharded ingestion pool
 // (internal/shard) that scales to traffic one sampler cannot absorb. The
-// peer hands over each decoded wire batch as-is; the sink owns the slice.
+// slice is valid only for the duration of the call and is reused for the
+// next wire batch: a sink must copy anything it keeps. (shard.Pool.PushBatch
+// already copies ids into its own pooled payloads, so it satisfies the
+// contract for free.)
 type BatchSink interface {
 	PushBatch(ids []uint64) error
 }
@@ -145,8 +148,13 @@ func (p *Peer) AddConn(conn net.Conn) error {
 // reset.
 func (p *Peer) readLoop(conn net.Conn) {
 	defer p.readers.Done()
+	// One buffer-reusing decoder per connection: a sustained batch flood
+	// costs no per-frame allocations. Every consumer below (the histogram,
+	// the sampler, the forward ring, the sink per its contract) copies what
+	// it keeps before the next Read overwrites the buffer.
+	fr := NewFrameReader(conn)
 	for {
-		f, err := ReadFrame(conn)
+		f, err := fr.Read()
 		if err != nil {
 			if errors.Is(err, errLegacyMagic) {
 				_ = conn.SetWriteDeadline(time.Now().Add(2 * time.Second))

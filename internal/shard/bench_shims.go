@@ -1,0 +1,107 @@
+package shard
+
+import "nodesampling/internal/rng"
+
+// Benchmark shims: tight loops over the hot-path building blocks, exported
+// so cmd/unsbench can wrap them in testing.Benchmark without this package
+// importing testing. Each returns a value derived from the work so the
+// compiler cannot elide the loops.
+
+// BenchPartition runs n ids through the PushBatch partition pass (counting
+// sort into contiguous per-shard sub-batches), batchSize ids at a time
+// across `shards` shards. With pooled=true it uses the production
+// scratch/payload pools; with pooled=false it allocates fresh slices per
+// batch, reproducing the pre-pool behaviour for comparison.
+func BenchPartition(n, batchSize, shards int, pooled bool) uint64 {
+	r := rng.New(42)
+	keys := make([]uint64, shards)
+	for i := range keys {
+		keys[i] = r.Uint64()
+	}
+	m := newShardMap(0, keys)
+	salt := r.Uint64()
+	ids := make([]uint64, batchSize)
+	for i := range ids {
+		ids[i] = r.Uint64n(100000)
+	}
+	var sum uint64
+	for done := 0; done < n; done += batchSize {
+		var shardTags []uint8
+		var counts []int
+		var backing []uint64
+		var sc *partScratch
+		var pl *payload
+		if pooled {
+			sc = scratchPool.Get().(*partScratch)
+			shardTags, counts = sc.grow(len(ids), shards)
+			pl = getPayload(len(ids))
+			backing = pl.buf
+		} else {
+			shardTags = make([]uint8, len(ids))
+			counts = make([]int, 2*shards)
+			backing = make([]uint64, len(ids))
+		}
+		for i, id := range ids {
+			s := m.owner(rng.Mix64(id ^ salt))
+			shardTags[i] = uint8(s)
+			counts[s]++
+		}
+		off := 0
+		for i := 0; i < shards; i++ {
+			c := counts[i]
+			counts[i], counts[shards+i] = off, off
+			off += c
+		}
+		for i, id := range ids {
+			s := shardTags[i]
+			backing[counts[s]] = id
+			counts[s]++
+		}
+		sum += backing[0] + uint64(counts[shards-1])
+		if pooled {
+			scratchPool.Put(sc)
+			pl.refs.Store(1)
+			pl.release()
+		}
+	}
+	return sum
+}
+
+// BenchQueueRing measures the uncontended enqueue/dequeue pair on the MPSC
+// ring: n push/pop round-trips through a ring of the given capacity.
+func BenchQueueRing(n, capacity int) int {
+	q := newRing(capacity)
+	it := ringItem{ids: []uint64{1}}
+	count := 0
+	for i := 0; i < n; i++ {
+		if q.tryPush(it) {
+			if _, ok := q.tryPop(); ok {
+				count++
+			}
+		}
+	}
+	return count
+}
+
+// BenchQueueChannel is BenchQueueRing against a buffered channel of the same
+// capacity — the queue the ring replaced, kept as the benchmark baseline.
+func BenchQueueChannel(n, capacity int) int {
+	if capacity < 1 {
+		capacity = 1
+	}
+	ch := make(chan ringItem, capacity)
+	it := ringItem{ids: []uint64{1}}
+	count := 0
+	for i := 0; i < n; i++ {
+		select {
+		case ch <- it:
+			select {
+			case <-ch:
+				count++
+			default:
+			}
+		default:
+		}
+	}
+	return count
+}

@@ -1,0 +1,83 @@
+package shard
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// The ingest hot path recycles every buffer it needs through sync.Pools, so
+// a steady-state PushBatch performs zero heap allocations: the partitioned
+// id payload, the partition scratch (shard tags and counting-sort cursors)
+// and the σ′ draw buffers all come from and return to these pools. The
+// payload is the delicate one — its sub-slices are aliased by up to one
+// in-flight ring item per shard — so it carries a reference count and only
+// re-enters the pool once every shard has consumed (or dropped) its share.
+
+// payload is one PushBatch's partitioned id storage. refs is the number of
+// outstanding sub-batches aliasing buf; it is set once, before any
+// sub-batch is sent (a fast shard could otherwise process and release its
+// share — hitting zero — while later sends are still being enqueued).
+type payload struct {
+	buf  []uint64
+	refs atomic.Int32
+}
+
+var payloadPool = sync.Pool{New: func() any { return new(payload) }}
+
+// getPayload returns a payload with buf sized to exactly n ids.
+func getPayload(n int) *payload {
+	pl := payloadPool.Get().(*payload)
+	if cap(pl.buf) < n {
+		pl.buf = make([]uint64, n)
+	}
+	pl.buf = pl.buf[:n]
+	return pl
+}
+
+// release drops one reference; the last one returns the payload to the
+// pool. Called by the shard worker after its sub-batch is fully processed,
+// and by the drop path when a full queue discards one.
+func (pl *payload) release() {
+	if pl.refs.Add(-1) == 0 {
+		payloadPool.Put(pl)
+	}
+}
+
+// partScratch is PushBatch's partition workspace: one shard tag per id and
+// the counting-sort cursor/start table. Unlike the payload it is never
+// aliased by ring items, so it goes back to the pool as soon as the sends
+// are enqueued.
+type partScratch struct {
+	shards []uint8
+	counts []int
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(partScratch) }}
+
+// grow sizes the scratch for nids ids across n shards and returns the two
+// working slices, with the cursor table zeroed (the counting sort relies on
+// starting from zero, a property fresh allocations used to provide for
+// free).
+func (sc *partScratch) grow(nids, n int) ([]uint8, []int) {
+	if cap(sc.shards) < nids {
+		sc.shards = make([]uint8, nids)
+	}
+	sc.shards = sc.shards[:nids]
+	if cap(sc.counts) < 2*n {
+		sc.counts = make([]int, 2*n)
+	}
+	sc.counts = sc.counts[:2*n]
+	for i := range sc.counts {
+		sc.counts[i] = 0
+	}
+	return sc.shards, sc.counts
+}
+
+// drawPool recycles σ′ draw buffers between shard workers and the emitter:
+// the worker fills one via ProcessBatchEmit, the emitter publishes it
+// through the hub (which copies into subscriber buffers) and returns it
+// here. Buffers keep whatever capacity they grew to.
+var drawPool = sync.Pool{New: func() any {
+	b := make([]uint64, 0, 2048)
+	return &b
+}}

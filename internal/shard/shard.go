@@ -39,6 +39,7 @@ package shard
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -74,7 +75,9 @@ type Config struct {
 	// Ignored by Restore, where the snapshot governs.
 	Shards int
 	// Buffer is each shard's ingest queue capacity, in batches (not ids).
-	// Zero means unbuffered hand-off.
+	// The queue is a power-of-two ring, so the effective capacity is Buffer
+	// rounded up to the next power of two, minimum 2 (the ring protocol's
+	// smallest size).
 	Buffer int
 	// Block selects the backpressure policy: when true a push into a full
 	// shard queue blocks the producer; when false the batch is dropped and
@@ -193,24 +196,42 @@ func (p *Pool) ShardOf(id uint64) int {
 	return p.smap.Load().owner(rng.Mix64(id ^ p.salt))
 }
 
-// item is one unit of work on a shard queue. A nil-ids item with an ack is
-// a flush barrier: the worker signals it once everything enqueued before it
-// has been processed. tc is the wire batch's ingest span context — the
-// zero Context (every unsampled batch) makes all downstream span calls
-// no-ops.
-type item struct {
-	ids []uint64
-	ack chan<- struct{}
-	tc  spans.Context
-}
-
-// worker is one shard: a queue, a sampler and the goroutine that connects
-// them. Its mutex only serialises the worker loop against same-shard
-// Sample/Memory readers — never against other shards.
+// worker is one shard: a ring queue, a control channel, a sampler and the
+// goroutine that connects them. Its mutex only serialises the worker loop
+// against same-shard Sample/Memory readers — never against other shards.
+//
+// The data plane and the control plane are split: id batches travel through
+// the MPSC ring (see ring.go), while flush barriers arrive as ack channels
+// on ctrl and shutdown is close(ctrl). The worker polls ctrl opportunistically
+// on every loop iteration, so a barrier is serviced promptly even while a
+// flood keeps the ring permanently non-empty — under the old single-channel
+// scheme a barrier had to wait its turn behind every queued batch.
 type worker struct {
-	in   chan item
+	q    *ring
+	ctrl chan chan<- struct{}
 	done chan struct{}
 	idx  int // position in the pool's worker slice, for span attributes
+
+	// Consumer parking. The worker publishes its intent to sleep in
+	// `sleeping`, re-checks the ring, then blocks on notify; a producer that
+	// observes sleeping after publishing an item drops a token into notify
+	// (capacity 1, non-blocking). Sequential consistency of the Go atomics
+	// makes the classic flag/recheck handshake lossless: either the
+	// producer's store to the slot sequence precedes the worker's re-check
+	// (the worker finds the item), or the worker's sleeping store precedes
+	// the producer's load (the producer sends the token).
+	notify   chan struct{}
+	sleeping atomic.Uint32
+
+	// Producer blocking (Config.Block). A producer that finds the ring full
+	// registers in waiters under smu and waits on scond; the consumer
+	// broadcasts after freeing a slot whenever waiters is non-zero. The
+	// register-then-retry order on the producer side mirrors the
+	// free-then-check order on the consumer side, closing the lost-wakeup
+	// window the same way the parking handshake does.
+	smu     sync.Mutex
+	scond   *sync.Cond
+	waiters atomic.Int32
 
 	mu      sync.Mutex
 	sampler *core.KnowledgeFree
@@ -226,13 +247,17 @@ type worker struct {
 	memSize atomic.Int64
 }
 
-// newWorker wraps a sampler in a fresh (not yet running) worker.
+// newWorker wraps a sampler in a fresh (not yet running) worker. The ring
+// capacity is buffer rounded up to a power of two, minimum 1.
 func newWorker(sampler *core.KnowledgeFree, buffer int) *worker {
 	w := &worker{
-		in:      make(chan item, buffer),
+		q:       newRing(buffer),
+		ctrl:    make(chan chan<- struct{}),
 		done:    make(chan struct{}),
+		notify:  make(chan struct{}, 1),
 		sampler: sampler,
 	}
+	w.scond = sync.NewCond(&w.smu)
 	w.memSize.Store(int64(sampler.MemorySize()))
 	return w
 }
@@ -247,49 +272,177 @@ func (w *worker) recycle(buffer int) *worker {
 	return nw
 }
 
+// wake rouses a parked consumer. Called by producers after publishing an
+// item; the token channel has capacity 1, so a redundant wake is free and a
+// needed one never blocks.
+func (w *worker) wake() {
+	if w.sleeping.Load() != 0 {
+		select {
+		case w.notify <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// push enqueues under the blocking policy, waiting on the worker's condition
+// variable while the ring is full. Only called with the pool read lock held,
+// so the worker cannot be shut down underneath a blocked producer.
+func (w *worker) push(it ringItem) {
+	if w.q.tryPush(it) {
+		w.wake()
+		return
+	}
+	w.smu.Lock()
+	w.waiters.Add(1)
+	for !w.q.tryPush(it) {
+		w.scond.Wait()
+	}
+	w.waiters.Add(-1)
+	w.smu.Unlock()
+	w.wake()
+}
+
+// pop drains one item and, if producers are blocked on a full ring, lets
+// them know a slot just freed.
+func (w *worker) pop() (ringItem, bool) {
+	it, ok := w.q.tryPop()
+	if ok && w.waiters.Load() > 0 {
+		w.smu.Lock()
+		w.scond.Broadcast()
+		w.smu.Unlock()
+	}
+	return it, ok
+}
+
 func (w *worker) run(p *Pool) {
 	defer close(w.done)
-	for it := range w.in {
-		if len(it.ids) > 0 {
-			sc := it.tc.Start("shard")
-			// Gate σ′ generation on a single atomic load: with no live
-			// subscriber the batch path is exactly the draw-free fast path.
-			emit := p.hub.Active()
-			var draws []uint64
-			w.mu.Lock()
-			if emit {
-				draws = w.sampler.ProcessBatchEmit(it.ids, make([]uint64, 0, len(it.ids)))
-			} else {
-				w.sampler.ProcessBatch(it.ids)
+	for {
+		// Control has priority over data: a pending barrier or shutdown is
+		// taken before the next batch, never starved behind a full ring.
+		select {
+		case ack, ok := <-w.ctrl:
+			if !ok {
+				w.drainAll(p)
+				return
 			}
-			if p.cfg.DecayEvery > 0 {
-				// The decay clock counts at processing time: exactly the ids
-				// that reached a sampler, perfectly ordered with this shard's
-				// own sketch updates (dropped batches never tick the clock).
-				total := p.decayTotal.Add(uint64(len(it.ids)))
-				w.halveTo(total / p.cfg.DecayEvery)
-			}
-			w.memSize.Store(int64(w.sampler.MemorySize()))
-			w.mu.Unlock()
-			w.processed.Add(uint64(len(it.ids)))
-			if len(draws) > 0 {
-				p.emit(draws, sc)
-			}
-			sc.End(spans.Int("shard", w.idx), spans.Int("ids", len(it.ids)), spans.Int("draws", len(draws)))
+			w.barrier(p, ack)
+			continue
+		default:
 		}
-		if it.ack != nil {
-			if p.cfg.DecayEvery > 0 {
-				// A barrier catches the shard up to the current global epoch
-				// even if it saw no recent traffic. Flush runs two barrier
-				// rounds: after the first, every pre-flush id has been
-				// processed (and counted) somewhere, so the second observes
-				// the final total on every shard.
-				w.mu.Lock()
-				w.halveTo(p.decayTotal.Load() / p.cfg.DecayEvery)
-				w.mu.Unlock()
-			}
-			close(it.ack)
+		if it, ok := w.pop(); ok {
+			w.process(p, it)
+			continue
 		}
+		// Ring empty: park. Publish the intent, re-check the ring (an item
+		// published between the check above and here would otherwise sleep
+		// until the next push), then block on either a producer's token or
+		// a control message.
+		w.sleeping.Store(1)
+		if it, ok := w.pop(); ok {
+			w.sleeping.Store(0)
+			w.process(p, it)
+			continue
+		}
+		select {
+		case <-w.notify:
+			w.sleeping.Store(0)
+		case ack, ok := <-w.ctrl:
+			w.sleeping.Store(0)
+			if !ok {
+				w.drainAll(p)
+				return
+			}
+			w.barrier(p, ack)
+		}
+	}
+}
+
+// process runs one id batch through the shard's sampler and releases its
+// payload reference.
+func (w *worker) process(p *Pool, it ringItem) {
+	n := len(it.ids)
+	sc := it.tc.Start("shard")
+	// Gate σ′ generation on a single atomic load: with no live
+	// subscriber the batch path is exactly the draw-free fast path.
+	emit := p.hub.Active()
+	var dp *[]uint64
+	draws := 0
+	w.mu.Lock()
+	if emit {
+		dp = drawPool.Get().(*[]uint64)
+		*dp = w.sampler.ProcessBatchEmit(it.ids, (*dp)[:0])
+		draws = len(*dp)
+	} else {
+		w.sampler.ProcessBatch(it.ids)
+	}
+	if p.cfg.DecayEvery > 0 {
+		// The decay clock counts at processing time: exactly the ids
+		// that reached a sampler, perfectly ordered with this shard's
+		// own sketch updates (dropped batches never tick the clock).
+		total := p.decayTotal.Add(uint64(n))
+		w.halveTo(total / p.cfg.DecayEvery)
+	}
+	w.memSize.Store(int64(w.sampler.MemorySize()))
+	w.mu.Unlock()
+	w.processed.Add(uint64(n))
+	if it.pl != nil {
+		it.pl.release()
+	}
+	if dp != nil {
+		if draws > 0 {
+			p.emit(dp, sc)
+		} else {
+			drawPool.Put(dp)
+		}
+	}
+	sc.End(spans.Int("shard", w.idx), spans.Int("ids", n), spans.Int("draws", draws))
+}
+
+// barrier services one flush barrier: drain every batch enqueued before the
+// barrier was received, catch the sketch up to the global decay epoch, and
+// ack. The enqueue-cursor snapshot bounds the drain — batches pushed after
+// the barrier arrived may stay queued, exactly the pre-ring FIFO semantics.
+func (w *worker) barrier(p *Pool, ack chan<- struct{}) {
+	w.drainTo(p, w.q.enq.Load())
+	if p.cfg.DecayEvery > 0 {
+		// A barrier catches the shard up to the current global epoch
+		// even if it saw no recent traffic. Flush runs two barrier
+		// rounds: after the first, every pre-flush id has been
+		// processed (and counted) somewhere, so the second observes
+		// the final total on every shard.
+		w.mu.Lock()
+		w.halveTo(p.decayTotal.Load() / p.cfg.DecayEvery)
+		w.mu.Unlock()
+	}
+	close(ack)
+}
+
+// drainTo processes batches until the dequeue cursor reaches target. A
+// claimed-but-unpublished slot (a producer between its CAS and its sequence
+// store) makes tryPop fail transiently; yield and retry, the publish is a
+// few instructions away.
+func (w *worker) drainTo(p *Pool, target uint64) {
+	for w.q.deq.Load() < target {
+		if it, ok := w.pop(); ok {
+			w.process(p, it)
+			continue
+		}
+		runtime.Gosched()
+	}
+}
+
+// drainAll empties the ring completely — shutdown path, producers already
+// excluded by the pool write lock.
+func (w *worker) drainAll(p *Pool) {
+	for {
+		if it, ok := w.pop(); ok {
+			w.process(p, it)
+			continue
+		}
+		if w.q.enq.Load() == w.q.deq.Load() {
+			return
+		}
+		runtime.Gosched()
 	}
 }
 
@@ -399,13 +552,14 @@ func (p *Pool) start() {
 }
 
 // emitBatch is one shard worker's σ′ draw batch in flight to the emitter:
-// the draws, the hand-off timestamp (zero unless something downstream will
-// read it — the lag histogram hook or a sampled trace) and the open "emit"
-// span covering the queue wait.
+// a pooled draw buffer (the emitter returns it to drawPool after the hub
+// fan-out, which copies into subscriber buffers), the hand-off timestamp
+// (zero unless something downstream will read it — the lag histogram hook
+// or a sampled trace) and the open "emit" span covering the queue wait.
 type emitBatch struct {
-	draws []uint64
-	at    int64 // time.Now().UnixNano() at worker hand-off; 0 = unstamped
-	tc    spans.Context
+	dp *[]uint64
+	at int64 // time.Now().UnixNano() at worker hand-off; 0 = unstamped
+	tc spans.Context
 }
 
 // emitLoop publishes draw batches from the pool output channel through the
@@ -421,8 +575,10 @@ func (p *Pool) emitLoop() {
 		}
 		dc := eb.tc.Start("delivery")
 		eb.tc.End()
-		p.hub.Publish(eb.draws)
-		dc.End(spans.Int("ids", len(eb.draws)))
+		draws := *eb.dp
+		p.hub.Publish(draws)
+		dc.End(spans.Int("ids", len(draws)))
+		drawPool.Put(eb.dp)
 	}
 	p.hub.Close()
 }
@@ -432,8 +588,8 @@ func (p *Pool) emitLoop() {
 // σ′ is a sampling stream, so a lost batch costs nothing a later draw does
 // not replace. sc is the worker's open "shard" span; a sampled batch opens
 // an "emit" child covering the queue wait to the emitter.
-func (p *Pool) emit(draws []uint64, sc spans.Context) {
-	eb := emitBatch{draws: draws}
+func (p *Pool) emit(dp *[]uint64, sc spans.Context) {
+	eb := emitBatch{dp: dp}
 	if p.cfg.OnEmitLag != nil || sc.Sampled() {
 		eb.at = time.Now().UnixNano()
 	}
@@ -443,7 +599,8 @@ func (p *Pool) emit(draws []uint64, sc spans.Context) {
 	select {
 	case p.out <- eb:
 	default:
-		p.emitDropped.Add(uint64(len(draws)))
+		p.emitDropped.Add(uint64(len(*dp)))
+		drawPool.Put(dp)
 		eb.tc.End(spans.Str("outcome", "dropped"))
 	}
 }
@@ -509,7 +666,7 @@ type LoadSignals struct {
 	Epoch       uint64 // shard map epoch, consistent with Shards
 	Shards      int    // current shard count
 	QueueLen    int    // batches waiting across all shard queues
-	QueueCap    int    // total queue capacity, Shards × Config.Buffer
+	QueueCap    int    // total ring capacity (Config.Buffer rounded up to a power of two, min 2, × Shards)
 	MaxQueueLen int    // deepest single shard queue, in batches
 	Processed   uint64 // cumulative ids processed (incl. retired shards)
 	Dropped     uint64 // cumulative ids dropped at full queues (incl. retired)
@@ -526,13 +683,13 @@ func (p *Pool) LoadSignals() LoadSignals {
 	s := LoadSignals{
 		Epoch:       epoch,
 		Shards:      len(p.workers),
-		QueueCap:    len(p.workers) * p.cfg.Buffer,
 		Processed:   p.retiredProcessed.Load(),
 		Dropped:     p.retiredDropped.Load(),
 		EmitDropped: p.emitDropped.Load(),
 	}
 	for _, w := range p.workers {
-		q := len(w.in)
+		s.QueueCap += w.q.Cap()
+		q := w.q.Len()
 		s.QueueLen += q
 		if q > s.MaxQueueLen {
 			s.MaxQueueLen = q
@@ -551,7 +708,7 @@ func (p *Pool) Push(id uint64) error {
 	if p.closed {
 		return ErrPoolClosed
 	}
-	p.send(p.smap.Load().owner(rng.Mix64(id^p.salt)), []uint64{id}, spans.Context{})
+	p.send(p.smap.Load().owner(rng.Mix64(id^p.salt)), []uint64{id}, nil, spans.Context{})
 	return nil
 }
 
@@ -591,68 +748,85 @@ func pushBatchOf[T ~uint64](p *Pool, ids []T, tc spans.Context) error {
 	}
 	m := p.smap.Load()
 	n := len(p.workers)
+	pl := getPayload(len(ids))
 	if n == 1 {
-		b := make([]uint64, len(ids))
 		for i, id := range ids {
-			b[i] = uint64(id)
+			pl.buf[i] = uint64(id)
 		}
-		p.send(0, b, tc)
+		pl.refs.Store(1)
+		p.send(0, pl.buf, pl, tc)
 		return nil
 	}
-	// Counting sort into one backing array: a single allocation for the
-	// payload and contiguous per-shard sub-batches, instead of n growing
-	// append chains. The shard of each id is hashed once and remembered,
-	// so the placement pass re-reads a byte instead of re-mixing.
-	shards := make([]uint8, len(ids))
-	counts := make([]int, 2*n) // [0,n) cursors, [n,2n) starts
+	// Counting sort into one pooled backing array: contiguous per-shard
+	// sub-batches with no allocation in the steady state, instead of n
+	// growing append chains. The shard of each id is hashed once and
+	// remembered, so the placement pass re-reads a byte instead of
+	// re-mixing.
+	sc := scratchPool.Get().(*partScratch)
+	shards, counts := sc.grow(len(ids), n) // counts: [0,n) cursors, [n,2n) starts
 	for i, id := range ids {
 		s := m.owner(rng.Mix64(uint64(id) ^ p.salt))
 		shards[i] = uint8(s)
 		counts[s]++
 	}
-	sum := 0
+	sum, nonEmpty := 0, 0
 	for i := 0; i < n; i++ {
 		c := counts[i]
+		if c > 0 {
+			nonEmpty++
+		}
 		counts[i], counts[n+i] = sum, sum
 		sum += c
 	}
-	backing := make([]uint64, len(ids))
+	backing := pl.buf
 	for i, id := range ids {
 		s := shards[i]
 		backing[counts[s]] = uint64(id)
 		counts[s]++
 	}
+	// The refcount must cover every sub-batch before the first send: a fast
+	// shard could process and release its share — driving refs to zero and
+	// recycling the payload — while later sends still alias it.
+	pl.refs.Store(int32(nonEmpty))
 	for i := 0; i < n; i++ {
 		if b := backing[counts[n+i]:counts[i]:counts[i]]; len(b) > 0 {
-			p.send(i, b, tc)
+			p.send(i, b, pl, tc)
 		}
 	}
+	scratchPool.Put(sc)
 	return nil
 }
 
 // send enqueues one sub-batch on shard i; the caller holds mu for reading.
-func (p *Pool) send(i int, batch []uint64, tc spans.Context) {
+// pl is the refcounted payload batch aliases (nil when the batch owns its
+// backing array); the drop path must release it like a worker would.
+func (p *Pool) send(i int, batch []uint64, pl *payload, tc spans.Context) {
 	w := p.workers[i]
+	it := ringItem{ids: batch, pl: pl, tc: tc}
 	if p.cfg.Block {
-		w.in <- item{ids: batch, tc: tc}
+		w.push(it)
 		return
 	}
-	select {
-	case w.in <- item{ids: batch, tc: tc}:
-	default:
-		w.dropped.Add(uint64(len(batch)))
+	if w.q.tryPush(it) {
+		w.wake()
+		return
+	}
+	w.dropped.Add(uint64(len(batch)))
+	if pl != nil {
+		pl.release()
 	}
 }
 
-// barrierLocked enqueues a flush barrier on every worker and waits for all
-// acks. The caller holds mu (read or write); workers keep draining, so the
-// enqueues cannot deadlock even on full queues.
+// barrierLocked posts a flush barrier to every worker's control channel and
+// waits for all acks. The caller holds mu (read or write); workers poll
+// their control channel every loop iteration, so the posts are taken
+// promptly even while the rings are full.
 func barrierLocked(workers []*worker) {
 	acks := make([]chan struct{}, len(workers))
 	for i, w := range workers {
 		ch := make(chan struct{})
 		acks[i] = ch
-		w.in <- item{ack: ch}
+		w.ctrl <- ch
 	}
 	for _, ch := range acks {
 		<-ch
@@ -847,7 +1021,7 @@ func (p *Pool) Resize(shards int) error {
 		barrierLocked(old)
 	}
 	for _, w := range old {
-		close(w.in)
+		close(w.ctrl)
 	}
 	for _, w := range old {
 		<-w.done
@@ -1017,7 +1191,7 @@ func (p *Pool) Stats() Stats {
 			Processed:  w.processed.Load(),
 			Dropped:    w.dropped.Load(),
 			Halvings:   w.halvings.Load(),
-			QueueDepth: len(w.in),
+			QueueDepth: w.q.Len(),
 			MemorySize: int(w.memSize.Load()),
 		}
 		st.Shards[i] = s
@@ -1039,7 +1213,7 @@ func (p *Pool) Close() error {
 	}
 	p.closed = true
 	for _, w := range p.workers {
-		close(w.in)
+		close(w.ctrl)
 	}
 	workers := p.workers
 	p.mu.Unlock()
