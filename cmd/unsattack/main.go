@@ -8,9 +8,15 @@
 //
 //	unsattack -k 50 -s 10 -eta 1e-4
 //	unsattack -k 50 -s 10 -eta 0.1 -verify -trials 2000
+//	unsattack -tournament
+//	unsattack -tournament -json -strategy basalt -population 512
 //
 // With -verify, the theoretical thresholds are checked empirically against
-// freshly drawn 2-universal hash families.
+// freshly drawn 2-universal hash families. With -tournament, every
+// registered sampling strategy (or just -strategy) is run against the four
+// adversarial input models — targeted flood, ballot stuffing, churn storm,
+// slow trickle — and scored with the windowed KL divergence and G_KL gain,
+// as a text table or JSON (-json).
 package main
 
 import (
@@ -18,8 +24,10 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"nodesampling/internal/adversary"
+	"nodesampling/internal/core"
 	"nodesampling/internal/rng"
 	"nodesampling/internal/urn"
 )
@@ -34,15 +42,25 @@ func main() {
 func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("unsattack", flag.ContinueOnError)
 	var (
-		k      = fs.Int("k", 50, "sketch columns (urns per row)")
-		s      = fs.Int("s", 10, "sketch rows (independent hash functions)")
-		eta    = fs.Float64("eta", 1e-4, "attack failure probability (success > 1-eta)")
-		verify = fs.Bool("verify", false, "empirically verify the thresholds")
-		trials = fs.Int("trials", 2000, "trials for -verify")
-		seed   = fs.Uint64("seed", 1, "seed for -verify")
+		k        = fs.Int("k", 50, "sketch columns (urns per row)")
+		s        = fs.Int("s", 10, "sketch rows (independent hash functions)")
+		eta      = fs.Float64("eta", 1e-4, "attack failure probability (success > 1-eta)")
+		verify   = fs.Bool("verify", false, "empirically verify the thresholds")
+		trials   = fs.Int("trials", 2000, "trials for -verify")
+		seed     = fs.Uint64("seed", 1, "seed for -verify and -tournament")
+		tourn    = fs.Bool("tournament", false, "run every sampling strategy against the four attack models and print the score table")
+		jsonOut  = fs.Bool("json", false, "emit the -tournament result as JSON instead of text")
+		strategy = fs.String("strategy", "", "restrict -tournament to one strategy, one of: "+strings.Join(core.Strategies(), ", ")+" (empty runs all)")
+		pop      = fs.Int("population", 0, "-tournament honest population size (0 uses the default)")
+		ids      = fs.Int("ids", 0, "-tournament stream length per cell (0 uses the default)")
+		window   = fs.Int("window", 0, "-tournament scoring window in ids (0 uses the default)")
+		capacity = fs.Int("capacity", 0, "-tournament sampler memory size c (0 uses the default)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *tourn {
+		return runTournament(w, *strategy, *pop, *ids, *window, *capacity, *k, *s, *seed, *jsonOut)
 	}
 	plan, err := adversary.NewPlan(*k, *s, *eta)
 	if err != nil {
@@ -74,4 +92,32 @@ func run(args []string, w io.Writer) error {
 	fmt.Fprintf(w, "  targeted success with %d ids: %.4f (want > %v)\n", plan.TargetedIDs, pT, 1-plan.Eta)
 	fmt.Fprintf(w, "  flooding success with %d ids: %.4f (want > %v)\n", allRows, pF, 1-plan.Eta)
 	return nil
+}
+
+// runTournament runs the strategy-vs-attack tournament and writes the
+// table (or JSON). Every sampler is built through the strategy registry,
+// so -strategy accepts exactly the names unsd does.
+func runTournament(w io.Writer, strategy string, pop, ids, window, capacity, k, s int, seed uint64, jsonOut bool) error {
+	cfg := adversary.TournamentConfig{
+		Population: pop, Ids: ids, Window: window,
+		Capacity: capacity, K: k, S: s, Seed: seed,
+	}
+	if strategy != "" {
+		if _, err := core.NewFactory(strategy, core.StrategyParams{}); err != nil {
+			return err
+		}
+		cfg.Strategies = []string{strategy}
+	}
+	res, err := adversary.RunTournament(cfg)
+	if err != nil {
+		return err
+	}
+	if jsonOut {
+		return res.WriteJSON(w)
+	}
+	c := res.Config
+	fmt.Fprintf(w, "tournament: population %d, memory c=%d, sketch %dx%d, %d ids in windows of %d, decay every %d\n",
+		c.Population, c.Capacity, c.K, c.S, c.Ids, c.Window, c.DecayEvery)
+	fmt.Fprintf(w, "G_KL = 1 - D(output||U)/D(input||U): 1 removes all attack bias, 0 none, negative amplifies it.\n\n")
+	return res.WriteTable(w)
 }

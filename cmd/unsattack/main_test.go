@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -49,5 +50,56 @@ func TestBadParameters(t *testing.T) {
 	}
 	if err := run([]string{"-nope"}, &sb); err == nil {
 		t.Error("unknown flag should fail")
+	}
+}
+
+// TestStrategyTournamentText runs the small tournament end to end and
+// checks the text table lists every registered strategy × attack cell.
+func TestStrategyTournamentText(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-tournament", "-population", "64", "-capacity", "16",
+		"-ids", "4096", "-window", "1024", "-k", "16", "-s", "4"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"G_KL", "knowledge-free", "basalt",
+		"targeted-flood", "ballot-stuffing", "churn-storm", "slow-trickle"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("tournament table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestStrategyTournamentJSONAndFilter checks -json output and the
+// -strategy filter, which must resolve through the shared registry.
+func TestStrategyTournamentJSONAndFilter(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-tournament", "-json", "-strategy", "basalt",
+		"-population", "64", "-capacity", "16", "-ids", "4096", "-window", "1024"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res struct {
+		Cells []struct {
+			Strategy string `json:"strategy"`
+			Attack   string `json:"attack"`
+		} `json:"cells"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &res); err != nil {
+		t.Fatalf("tournament JSON does not parse: %v\n%s", err, sb.String())
+	}
+	if len(res.Cells) != 4 {
+		t.Fatalf("filtered tournament has %d cells, want 4", len(res.Cells))
+	}
+	for _, c := range res.Cells {
+		if c.Strategy != "basalt" {
+			t.Fatalf("cell for strategy %q leaked past the -strategy filter", c.Strategy)
+		}
+	}
+	if err := run([]string{"-tournament", "-strategy", "no-such"}, &sb); err == nil {
+		t.Error("unknown -strategy should fail")
+	} else if !strings.Contains(err.Error(), "no-such") {
+		t.Errorf("error %v does not name the unknown strategy", err)
 	}
 }

@@ -13,6 +13,7 @@ import (
 	"nodesampling"
 	"nodesampling/internal/autoscale"
 	"nodesampling/internal/cms"
+	"nodesampling/internal/core"
 	"nodesampling/internal/rng"
 	"nodesampling/internal/shard"
 	"nodesampling/internal/telemetry"
@@ -68,6 +69,7 @@ var perfSuite = []struct {
 	{"Partition/alloc", "ns/id", func(b *testing.B) { perfPartition(b, false) }},
 	{"ShardQueue/ring", "ns/op", func(b *testing.B) { perfQueue(b, true) }},
 	{"ShardQueue/channel", "ns/op", func(b *testing.B) { perfQueue(b, false) }},
+	{"BasaltProcess", "ns/id", perfBasaltProcess},
 }
 
 // perfSink defeats dead-code elimination of the shim benchmarks' results.
@@ -178,6 +180,19 @@ func runPerf(w io.Writer, outPath, filter string, runs int) error {
 	enc := json.NewEncoder(out)
 	enc.SetIndent("", "  ")
 	return enc.Encode(report)
+}
+
+// perfBasaltProcess measures the BASALT strategy's per-id ingest: the
+// seeded-ranking admission over 25 slots under a 1000-id stream.
+func perfBasaltProcess(b *testing.B) {
+	s, err := core.NewBasalt(25, rng.New(7))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		perfSink += s.Process(uint64(i % 1000))
+	}
 }
 
 // perfPoolPushBatch mirrors bench_test.go's benchPoolPushBatch: batch

@@ -182,7 +182,7 @@ import (
 	"log/slog"
 
 	"nodesampling/internal/autoscale"
-	"nodesampling/internal/cms"
+	"nodesampling/internal/core"
 	"nodesampling/internal/netgossip"
 	"nodesampling/internal/rng"
 	"nodesampling/internal/shard"
@@ -202,6 +202,7 @@ func main() {
 // options collects the daemon's configuration.
 type options struct {
 	shards, c, k, s  int
+	strategy         string // sampler strategy registry name ("" = default)
 	buffer           int
 	block            bool
 	seed             uint64
@@ -392,15 +393,20 @@ func newDaemon(o options) (*daemon, error) {
 	}
 	uniformity := telemetry.NewUniformity(o.uniformityWindow, uniformityInputEvery)
 	latency := telemetry.NewLatency()
+	// The sampler strategy resolves against the core registry, so every
+	// place the daemon builds a sampler honours -strategy; an unknown name
+	// fails here with the registered names listed.
+	factory, err := core.NewFactory(o.strategy, core.StrategyParams{K: o.k, S: o.s})
+	if err != nil {
+		return nil, err
+	}
 	scfg := shard.Config{
-		Shards:   o.shards,
-		Buffer:   o.buffer,
-		Block:    o.block,
-		Seed:     o.seed,
-		Capacity: o.c,
-		NewSketch: func(r *rng.Xoshiro) (*cms.Sketch, error) {
-			return cms.NewWithDimensions(o.k, o.s, r)
-		},
+		Shards:    o.shards,
+		Buffer:    o.buffer,
+		Block:     o.block,
+		Seed:      o.seed,
+		Capacity:  o.c,
+		Sampler:   factory,
 		OnEmitLag: latency.EmitLag.Observe,
 	}
 	var pool *shard.Pool
@@ -1226,6 +1232,7 @@ func (d *daemon) handleStats(w http.ResponseWriter, r *http.Request) {
 		"gossip_connections":        d.peer.NumConns(),
 		"stream_connections":        d.streamConns(),
 		"shard_count":               len(shards),
+		"strategy":                  d.pool.Strategy(),
 		"map_epoch":                 st.Epoch,
 		"restored":                  d.restored,
 		"snapshot_bytes":            d.snapBytes.Load(),
@@ -1259,6 +1266,7 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 		c          = fs.Int("c", 25, "sampling memory size per shard")
 		k          = fs.Int("k", 50, "sketch columns per shard")
 		s          = fs.Int("s", 10, "sketch rows per shard")
+		strategy   = fs.String("strategy", core.DefaultStrategy, "sampler strategy, one of: "+strings.Join(core.Strategies(), ", "))
 		buffer     = fs.Int("buffer", 64, "per-shard ingest queue, in batches")
 		block      = fs.Bool("block", false, "block producers on a full shard queue instead of dropping")
 		seed       = fs.Uint64("seed", 0, "random seed (0 means time-derived)")
@@ -1309,7 +1317,8 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 	}
 	d, err := newDaemon(options{
 		shards: *shards, c: *c, k: *k, s: *s,
-		buffer: *buffer, block: *block, seed: *seed, self: *self,
+		strategy: *strategy,
+		buffer:   *buffer, block: *block, seed: *seed, self: *self,
 		snapshotPath: *snapPath, snapshotInterval: *snapEvery,
 		autoscale: *autoOn, minShards: *minSh, maxShards: *maxSh,
 		autoscaleInterval: *autoEvery,
@@ -1406,8 +1415,8 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 		IdleTimeout:       2 * time.Minute,
 	}
 	fmt.Fprintf(w, "http listening on %s\n", ln.Addr())
-	fmt.Fprintf(w, "pool: %d shards, c=%d, sketch %dx%d, buffer %d, block=%v\n",
-		d.pool.NumShards(), *c, *k, *s, *buffer, *block)
+	fmt.Fprintf(w, "pool: %d shards, strategy %s, c=%d, sketch %dx%d, buffer %d, block=%v\n",
+		d.pool.NumShards(), d.pool.Strategy(), *c, *k, *s, *buffer, *block)
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()

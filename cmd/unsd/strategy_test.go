@@ -1,0 +1,160 @@
+package main
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestStrategyBasaltDaemonServes boots the daemon under -strategy basalt and
+// checks the full read surface: samples come out, /stats reports the active
+// strategy, and /metrics carries the unsd_info gauge labelled with it.
+func TestStrategyBasaltDaemonServes(t *testing.T) {
+	o := defaultOptions()
+	o.strategy = "basalt"
+	d := testDaemon(t, o)
+	ts := httptest.NewServer(d.handler())
+	defer ts.Close()
+
+	ids := make([]uint64, 512)
+	for i := range ids {
+		ids[i] = uint64(i%64 + 1)
+	}
+	if resp := postPush(t, ts.URL, ids); resp.StatusCode != http.StatusOK {
+		t.Fatalf("push status %d", resp.StatusCode)
+	}
+	if err := d.pool.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	var sampled struct {
+		Samples []string `json:"samples"`
+	}
+	if code := getJSON(t, ts.URL+"/sample?n=16", &sampled); code != http.StatusOK {
+		t.Fatalf("/sample status %d", code)
+	}
+	if len(sampled.Samples) != 16 {
+		t.Fatalf("got %d samples, want 16", len(sampled.Samples))
+	}
+
+	var stats struct {
+		Strategy string `json:"strategy"`
+	}
+	if code := getJSON(t, ts.URL+"/stats", &stats); code != http.StatusOK {
+		t.Fatalf("/stats status %d", code)
+	}
+	if stats.Strategy != "basalt" {
+		t.Fatalf("/stats strategy %q, want basalt", stats.Strategy)
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), `unsd_info{strategy="basalt"} 1`) {
+		t.Fatalf("/metrics missing the strategy info gauge:\n%s", body)
+	}
+}
+
+// TestStrategyDefaultInStats checks that the default daemon reports the
+// knowledge-free strategy on both observability surfaces.
+func TestStrategyDefaultInStats(t *testing.T) {
+	d := testDaemon(t, defaultOptions())
+	ts := httptest.NewServer(d.handler())
+	defer ts.Close()
+
+	var stats struct {
+		Strategy string `json:"strategy"`
+	}
+	if code := getJSON(t, ts.URL+"/stats", &stats); code != http.StatusOK {
+		t.Fatalf("/stats status %d", code)
+	}
+	if stats.Strategy != "knowledge-free" {
+		t.Fatalf("/stats strategy %q, want knowledge-free", stats.Strategy)
+	}
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), `unsd_info{strategy="knowledge-free"} 1`) {
+		t.Fatalf("/metrics missing the strategy info gauge:\n%s", body)
+	}
+}
+
+// TestStrategyUnknownRefused checks the registry error surfaces through
+// daemon construction with the registered names listed.
+func TestStrategyUnknownRefused(t *testing.T) {
+	o := defaultOptions()
+	o.strategy = "no-such-strategy"
+	if _, err := newDaemon(o); err == nil {
+		t.Fatal("unknown strategy should fail daemon construction")
+	} else if !strings.Contains(err.Error(), "no-such-strategy") {
+		t.Fatalf("error %v does not name the unknown strategy", err)
+	}
+}
+
+// TestStrategySnapshotMismatchRefused is the durability cross-check: a
+// snapshot written by a basalt daemon must refuse to restore into a
+// knowledge-free daemon, and the error names both strategies.
+func TestStrategySnapshotMismatchRefused(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "pool.snap")
+	o := defaultOptions()
+	o.strategy = "basalt"
+	o.snapshotPath = path
+
+	d1, err := newDaemon(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts1 := httptest.NewServer(d1.handler())
+	ids := make([]uint64, 256)
+	for i := range ids {
+		ids[i] = uint64(i + 1)
+	}
+	if resp := postPush(t, ts1.URL, ids); resp.StatusCode != http.StatusOK {
+		t.Fatalf("push status %d", resp.StatusCode)
+	}
+	if err := d1.pool.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	ts1.Close()
+	d1.Close() // writes the final snapshot
+
+	// Same path, same sketch flags, but the default (knowledge-free)
+	// strategy: the restore must fail loudly, naming both sides.
+	mismatched := defaultOptions()
+	mismatched.snapshotPath = path
+	_, err = newDaemon(mismatched)
+	if err == nil {
+		t.Fatal("strategy mismatch against the snapshot should fail")
+	}
+	if !strings.Contains(err.Error(), "basalt") || !strings.Contains(err.Error(), "knowledge-free") {
+		t.Fatalf("mismatch error %v does not name both strategies", err)
+	}
+
+	// Restarting under the matching strategy succeeds and restores.
+	d2, err := newDaemon(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	if !d2.restored {
+		t.Fatal("matching-strategy daemon did not restore from the snapshot")
+	}
+	if got := d2.pool.Strategy(); got != "basalt" {
+		t.Fatalf("restored pool strategy %q, want basalt", got)
+	}
+}

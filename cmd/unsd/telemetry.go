@@ -103,6 +103,15 @@ func (d *daemon) collectDaemon() []telemetry.Family {
 		conns = float64(d.streamConns())
 	}
 	return []telemetry.Family{
+		{
+			Name: "unsd_info",
+			Help: "Constant 1, labelled with the daemon's build-time facts: the active sampler strategy.",
+			Type: telemetry.Gauge,
+			Samples: []telemetry.Sample{{
+				Labels: []telemetry.Label{{Name: "strategy", Value: d.pool.Strategy()}},
+				Value:  1,
+			}},
+		},
 		telemetry.G("unsd_uptime_seconds",
 			"Seconds since the daemon started.",
 			time.Since(d.start).Seconds()),

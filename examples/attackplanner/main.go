@@ -6,8 +6,11 @@
 // requires minting distinct certified identifiers: L_{k,s} of them to bias
 // one victim id, E_k to bias everyone. Both grow linearly with the sketch
 // width k — so a correct node buys safety with memory. This example prints
-// the effort table for several sketch shapes and then verifies the
-// thresholds empirically against freshly drawn hash families.
+// the effort table for several sketch shapes, verifies the thresholds
+// empirically against freshly drawn hash families, and closes with a small
+// strategy tournament: every registered sampling strategy (built through
+// the same registry unsd's -strategy flag uses) against the four attack
+// models, scored with the windowed KL divergence and G_KL gain.
 //
 //	go run ./examples/attackplanner
 package main
@@ -16,6 +19,7 @@ import (
 	"fmt"
 	"os"
 
+	"nodesampling"
 	"nodesampling/internal/adversary"
 	"nodesampling/internal/rng"
 	"nodesampling/internal/urn"
@@ -73,5 +77,18 @@ func run() error {
 		}
 		fmt.Printf("  %4d distinct ids -> targeted attack succeeds with prob %.3f%s\n", decoys, p, marker)
 	}
-	return nil
+
+	// A small strategy tournament: which registered sampler backend holds
+	// up against which attack? Strategies come from the shared registry,
+	// so any newly registered backend joins this table automatically.
+	fmt.Println()
+	fmt.Printf("=== strategy tournament (registered: %v) ===\n", nodesampling.Strategies())
+	res, err := adversary.RunTournament(adversary.TournamentConfig{
+		Population: 128, Capacity: 16, K: k, S: s,
+		Ids: 16384, Window: 2048, Seed: 99,
+	})
+	if err != nil {
+		return err
+	}
+	return res.WriteTable(os.Stdout)
 }

@@ -1,0 +1,206 @@
+package core
+
+import (
+	"testing"
+
+	"nodesampling/internal/rng"
+)
+
+func TestStrategyBasaltFillsAndSamples(t *testing.T) {
+	b, err := NewBasalt(8, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := b.Sample(); ok {
+		t.Fatal("empty sampler must not produce a sample")
+	}
+	b.ProcessBatch([]uint64{42})
+	if b.MemorySize() != 8 {
+		t.Fatalf("one observed id should fill all slots, got %d", b.MemorySize())
+	}
+	if id, ok := b.Sample(); !ok || id != 42 {
+		t.Fatalf("Sample() = (%d, %v), want (42, true)", id, ok)
+	}
+	if mem := b.Memory(); len(mem) != 1 || mem[0] != 42 {
+		t.Fatalf("Memory() = %v, want [42]", mem)
+	}
+	if got := b.Estimate(42); got == 0 {
+		t.Fatal("resident id must have a positive hit estimate")
+	}
+	if got := b.Estimate(7); got != 0 {
+		t.Fatalf("non-resident Estimate = %d, want 0", got)
+	}
+}
+
+// Residents are the rank-minimal observed ids, so processing the same id set
+// in any order yields the same slot contents.
+func TestStrategyBasaltOrderIndependentResidents(t *testing.T) {
+	mk := func(order []uint64) *BasaltSampler {
+		b, err := NewBasalt(16, rng.New(5))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Same family for both samplers: overwrite via CloneEmpty trick is
+		// unnecessary — NewBasalt(rng.New(5)) draws the same family seed.
+		b.ProcessBatch(order)
+		return b
+	}
+	fwd := make([]uint64, 200)
+	rev := make([]uint64, 200)
+	for i := range fwd {
+		fwd[i] = uint64(i + 1)
+		rev[len(rev)-1-i] = uint64(i + 1)
+	}
+	a, z := mk(fwd), mk(rev)
+	for i := range a.slots {
+		if a.slots[i].id != z.slots[i].id {
+			t.Fatalf("slot %d resident differs by order: %d vs %d", i, a.slots[i].id, z.slots[i].id)
+		}
+	}
+}
+
+func TestStrategyBasaltStateRoundTrip(t *testing.T) {
+	b, err := NewBasalt(12, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(77)
+	for i := 0; i < 500; i++ {
+		b.processOne(1 + r.Uint64n(40))
+	}
+	b.Decay()
+	b.Decay()
+	state, err := b.MarshalState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := RestoreBasalt(12, state, rng.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.epoch != b.epoch || back.familySeed != b.familySeed || back.filled != b.filled {
+		t.Fatal("restored sampler header differs")
+	}
+	for i := range b.slots {
+		if b.slots[i] != back.slots[i] {
+			t.Fatalf("slot %d differs after round trip: %+v vs %+v", i, b.slots[i], back.slots[i])
+		}
+	}
+	if _, err := RestoreBasalt(13, state, rng.New(4)); err == nil {
+		t.Fatal("capacity mismatch must fail")
+	}
+	if _, err := RestoreBasalt(12, state[:10], rng.New(4)); err == nil {
+		t.Fatal("truncated state must fail")
+	}
+}
+
+func TestStrategyBasaltMergeAlignsWithUnion(t *testing.T) {
+	a, err := NewBasalt(10, rng.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bc, err := a.CloneEmpty(rng.New(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := bc.(*BasaltSampler)
+	for i := uint64(1); i <= 50; i++ {
+		a.processOne(i)
+	}
+	for i := uint64(51); i <= 100; i++ {
+		b.processOne(i)
+	}
+	union, err := a.CloneEmpty(rng.New(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := union.(*BasaltSampler)
+	for i := uint64(1); i <= 100; i++ {
+		u.processOne(i)
+	}
+	if err := a.MergeState(b); err != nil {
+		t.Fatal(err)
+	}
+	for i := range u.slots {
+		if a.slots[i].id != u.slots[i].id {
+			t.Fatalf("slot %d: merged resident %d, union resident %d", i, a.slots[i].id, u.slots[i].id)
+		}
+	}
+	// Epoch misalignment is refused.
+	b.Decay()
+	if err := a.MergeState(b); err == nil {
+		t.Fatal("merging across decay epochs must fail")
+	}
+	// Foreign families are refused.
+	other, err := NewBasalt(10, rng.New(999))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.MergeState(other); err == nil {
+		t.Fatal("merging across ranking families must fail")
+	}
+}
+
+// Decay must actually forget: with periodic slot refreshes, an id observed
+// only early in the stream eventually loses all its slots to later arrivals.
+func TestStrategyBasaltDecayForgets(t *testing.T) {
+	b, err := NewBasalt(4, rng.New(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.processOne(1) // fills all 4 slots
+	r := rng.New(55)
+	for round := 0; round < 400; round++ {
+		for i := 0; i < 16; i++ {
+			b.processOne(2 + r.Uint64n(1000))
+		}
+		b.Decay()
+	}
+	for i := range b.slots {
+		if b.slots[i].id == 1 {
+			t.Fatalf("slot %d still holds the initial id after 400 refresh cycles", i)
+		}
+	}
+	if b.epoch != 400 {
+		t.Fatalf("epoch = %d, want 400", b.epoch)
+	}
+}
+
+// RestoreMemory from the snapshot's distinct resident set reconstructs the
+// exact slot assignment: every slot's minimum over the full observed stream
+// is inside the resident set, so re-minimising over the set is a no-op.
+func TestStrategyBasaltRestoreMemoryExact(t *testing.T) {
+	b, err := NewBasalt(16, rng.New(31))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(32)
+	for i := 0; i < 1000; i++ {
+		b.processOne(r.Uint64())
+	}
+	want := make([]uint64, len(b.slots))
+	for i := range b.slots {
+		want[i] = b.slots[i].id
+	}
+	clone, err := b.CloneEmpty(rng.New(33))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := clone.RestoreMemory(b.Memory()); err != nil {
+		t.Fatal(err)
+	}
+	c := clone.(*BasaltSampler)
+	for i := range c.slots {
+		if c.slots[i].id != want[i] {
+			t.Fatalf("slot %d restored to %d, want %d", i, c.slots[i].id, want[i])
+		}
+	}
+	// Overflow is refused like the knowledge-free Γ restore.
+	big := make([]uint64, 17)
+	for i := range big {
+		big[i] = uint64(i + 1)
+	}
+	if err := clone.RestoreMemory(big); err == nil {
+		t.Fatal("restoring more distinct ids than slots must fail")
+	}
+}

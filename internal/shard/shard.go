@@ -1,7 +1,8 @@
 // Package shard implements the horizontally scaled ingestion layer of the
-// node sampling service: a pool of independent knowledge-free sampler
-// shards, each owning its own Count-Min sketch, sampling memory Γ and
-// worker goroutine. The input stream is partitioned by an immutable,
+// node sampling service: a pool of independent sampler shards — each one an
+// instance of a registered sampling strategy (core.PoolSampler) owning its
+// own frequency state, sampling memory Γ and worker goroutine. The input
+// stream is partitioned by an immutable,
 // epoch-versioned shard map — salted rendezvous hashing over a slot table —
 // so shards never contend with each other, every id keeps routing to one
 // stable shard between resizes, and growing or shrinking the shard set
@@ -17,13 +18,14 @@
 //
 // The pool is elastic and durable. Resize re-partitions the live pool to a
 // new shard count behind a flush barrier: Γ entries move to their new
-// owners and sketch state follows by merging (every shard's sketch is an
-// empty clone of one template, so all shards share one hash family and
-// their counter matrices add meaningfully), keeping frequency estimates of
-// hot ids within sketch error across the hand-off. Snapshot serialises the
-// whole plane — shard map, per-shard sketches, Γ and the decay epoch —
-// into one versioned blob that Restore turns back into a live pool, so a
-// restarted daemon does not forget attacker frequencies.
+// owners and frequency state follows by merging (every shard's sampler is
+// an empty clone of one template, so all shards share one hash/seed family
+// and their state merges meaningfully), keeping frequency estimates of
+// hot ids within estimator error across the hand-off. Snapshot serialises
+// the whole plane — shard map, strategy name, per-shard sampler state, Γ
+// and the decay epoch — into one versioned blob that Restore turns back
+// into a live pool, so a restarted daemon does not forget attacker
+// frequencies.
 //
 // The pool also carries the paper's output surface: while at least one
 // subscription is live (Subscribe), workers draw one σ′ element per
@@ -31,8 +33,8 @@
 // channel — to a subscription hub (internal/subhub) that fans them out
 // under a drop-oldest policy, so a slow subscriber sheds stream elements
 // instead of slowing ingestion. With Config.DecayEvery set, all shards
-// halve their sketches on one global decay epoch derived from the
-// pool-wide ingest count, keeping per-shard frequency estimates
+// apply their strategy's decay step on one global decay epoch derived from
+// the pool-wide ingest count, keeping per-shard frequency estimates
 // comparable.
 package shard
 
@@ -89,16 +91,25 @@ type Config struct {
 	// Capacity is c, each shard's sampling memory size. Ignored by Restore,
 	// where the snapshot governs.
 	Capacity int
-	// NewSketch constructs the pool's sketch template. Every shard's sketch
-	// is an empty clone of the template, so all shards share one hash family
-	// and their counters stay mergeable — the property the Resize hand-off
-	// and the snapshot format rely on. Optional for Restore (the snapshot
-	// carries the sketches); when provided there, it only validates that the
-	// configured shape matches the snapshot.
+	// Sampler is the strategy factory the pool builds its shard samplers
+	// with, resolved from the core registry (core.NewFactory). One template
+	// sampler is built per pool and every shard receives an empty clone of
+	// it, so all shards share one hash/seed family and their state stays
+	// mergeable — the property the Resize hand-off and the snapshot format
+	// rely on. Optional for Restore when the blob should govern the
+	// strategy; required by New unless NewSketch is set.
+	Sampler core.SamplerFactory
+	// NewSketch is the pre-strategy way to configure the pool: a sketch
+	// constructor hook implying the default knowledge-free strategy. Used
+	// only when Sampler is unset. Optional for Restore (the snapshot
+	// carries the sampler state); when provided there, it only validates
+	// that the configured shape matches the snapshot.
 	NewSketch func(r *rng.Xoshiro) (*cms.Sketch, error)
-	// CoreOptions are applied to every shard sampler (eviction policy,
-	// conservative update). Not persisted by Snapshot: Restore callers must
-	// pass the same options again.
+	// CoreOptions are applied to every shard sampler built via NewSketch
+	// or a blob-governed Restore (eviction policy, conservative update).
+	// Not persisted by Snapshot: Restore callers must pass the same
+	// options again. Configs using Sampler carry options inside the
+	// factory's bound StrategyParams instead.
 	CoreOptions []core.Option
 	// EmitBuffer is the capacity of the pool-level output channel, in draw
 	// batches (default 4 per shard). It bounds how far σ′ generation may run
@@ -144,10 +155,24 @@ func (c Config) validate() error {
 	if c.Capacity < 1 {
 		return fmt.Errorf("shard: memory capacity must be at least 1, got %d", c.Capacity)
 	}
-	if c.NewSketch == nil {
-		return errors.New("shard: nil sketch constructor")
+	if _, ok := c.samplerFactory(); !ok {
+		return errors.New("shard: no sampler strategy configured (set Sampler or NewSketch)")
 	}
 	return nil
+}
+
+// samplerFactory resolves the configured strategy factory: an explicit
+// Sampler field wins, a NewSketch hook adapts to the default strategy, and
+// ok=false means the config names no strategy at all — New rejects that,
+// while Restore lets the snapshot govern.
+func (c Config) samplerFactory() (core.SamplerFactory, bool) {
+	if c.Sampler.New != nil {
+		return c.Sampler, true
+	}
+	if c.NewSketch != nil {
+		return core.LegacySketchFactory(c.NewSketch, c.CoreOptions...), true
+	}
+	return core.SamplerFactory{}, false
 }
 
 // shardMap is one immutable epoch of the partition: a rendezvous key per
@@ -234,7 +259,7 @@ type worker struct {
 	waiters atomic.Int32
 
 	mu      sync.Mutex
-	sampler *core.KnowledgeFree
+	sampler core.PoolSampler
 
 	processed atomic.Uint64
 	dropped   atomic.Uint64
@@ -249,7 +274,7 @@ type worker struct {
 
 // newWorker wraps a sampler in a fresh (not yet running) worker. The ring
 // capacity is buffer rounded up to a power of two, minimum 1.
-func newWorker(sampler *core.KnowledgeFree, buffer int) *worker {
+func newWorker(sampler core.PoolSampler, buffer int) *worker {
 	w := &worker{
 		q:       newRing(buffer),
 		ctrl:    make(chan chan<- struct{}),
@@ -446,19 +471,21 @@ func (w *worker) drainAll(p *Pool) {
 	}
 }
 
-// halveTo halves the shard's sketch until it has applied `target` decay
-// epochs. The caller holds w.mu.
+// halveTo applies the strategy's decay step until the shard has applied
+// `target` decay epochs (a sketch halving for the knowledge-free strategy,
+// a slot-seed refresh for basalt). The caller holds w.mu.
 func (w *worker) halveTo(target uint64) {
 	for w.halvings.Load() < target {
-		w.sampler.Sketch().Halve()
+		w.sampler.Decay()
 		w.halvings.Add(1)
 	}
 }
 
 // Pool is a sharded sampling pool. All methods are safe for concurrent use.
 type Pool struct {
-	cfg  Config
-	salt uint64 // private partition key, see ShardOf
+	cfg      Config
+	salt     uint64 // private partition key, see ShardOf
+	strategy string // registry name of the strategy the shards run
 
 	// smap is the current shard map epoch. It is swapped under mu (write),
 	// but stored atomically so ShardOf and NumShards stay safe without a
@@ -499,17 +526,19 @@ func New(cfg Config) (*Pool, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
+	factory, _ := cfg.samplerFactory() // validate() guarantees ok
 	root := rng.New(cfg.Seed)
-	template, err := cfg.NewSketch(root.Split())
+	template, err := factory.New(cfg.Capacity, root.Split())
 	if err != nil {
-		return nil, fmt.Errorf("shard: sketch template: %w", err)
+		return nil, fmt.Errorf("shard: sampler template: %w", err)
 	}
 	p := newPoolShell(cfg, root)
+	p.strategy = factory.Name
 	keys := make([]uint64, cfg.Shards)
 	p.workers = make([]*worker, cfg.Shards)
 	for i := range p.workers {
 		keys[i] = root.Uint64()
-		sampler, err := core.NewKnowledgeFreeWithSketch(cfg.Capacity, template.CloneEmpty(), root.Split(), cfg.CoreOptions...)
+		sampler, err := template.CloneEmpty(root.Split())
 		if err != nil {
 			return nil, fmt.Errorf("shard %d: %w", i, err)
 		}
@@ -962,18 +991,23 @@ func (p *Pool) Memory() []uint64 {
 	return out
 }
 
-// Estimate returns the owning shard's frequency estimate f̂ for id — an
-// upper bound on how often the pool has seen it (within sketch error, and
-// subject to decay halvings). Resize hand-offs and snapshot restores
-// preserve these estimates; the tests pin that.
+// Estimate returns the owning shard's frequency estimate f̂ for id — for
+// the knowledge-free strategy an upper bound on how often the pool has seen
+// it (within sketch error, and subject to decay), for other strategies
+// whatever frequency knowledge they keep. Resize hand-offs and snapshot
+// restores preserve these estimates; the tests pin that.
 func (p *Pool) Estimate(id uint64) uint64 {
 	p.mu.RLock()
 	defer p.mu.RUnlock()
 	w := p.workers[p.smap.Load().owner(rng.Mix64(id^p.salt))]
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	return w.sampler.Sketch().Estimate(id)
+	return w.sampler.Estimate(id)
 }
+
+// Strategy returns the registry name of the sampling strategy the pool's
+// shards run ("knowledge-free", "basalt", ...).
+func (p *Pool) Strategy() string { return p.strategy }
 
 // Resize re-partitions the live pool to the given shard count. A flush
 // barrier quiesces the workers (producers briefly block on the pool lock —
@@ -1055,22 +1089,27 @@ func (p *Pool) Resize(shards int) error {
 
 	workers := make([]*worker, shards)
 	if grow {
-		merged := old[0].sampler.Sketch().Clone()
-		for _, w := range old[1:] {
-			if err := merged.Merge(w.sampler.Sketch()); err != nil {
-				p.restartWorkers(recycleAll(old, p.cfg.Buffer))
-				return fmt.Errorf("shard: resize sketch hand-off: %w", err)
-			}
-		}
 		for i := range workers {
 			if i < len(old) {
 				workers[i] = old[i].recycle(p.cfg.Buffer)
 				continue
 			}
-			sampler, err := core.NewKnowledgeFreeWithSketch(p.cfg.Capacity, merged.Clone(), resizeRng.Split(), p.cfg.CoreOptions...)
+			// Every new shard receives an empty clone of a survivor with
+			// all previous shards' frequency state merged in — shards
+			// sharing one family, every id counted by exactly one shard,
+			// the merge equals the single global estimator over the whole
+			// stream.
+			sampler, err := old[0].sampler.CloneEmpty(resizeRng.Split())
+			if err == nil {
+				for _, w := range old {
+					if err = sampler.MergeState(w.sampler); err != nil {
+						break
+					}
+				}
+			}
 			if err != nil {
 				p.restartWorkers(recycleAll(old, p.cfg.Buffer))
-				return fmt.Errorf("shard: resize sampler: %w", err)
+				return fmt.Errorf("shard: resize state hand-off: %w", err)
 			}
 			w := newWorker(sampler, p.cfg.Buffer)
 			w.halvings.Store(old[0].halvings.Load())
@@ -1080,22 +1119,16 @@ func (p *Pool) Resize(shards int) error {
 		for i := 0; i < shards; i++ {
 			workers[i] = old[i].recycle(p.cfg.Buffer)
 		}
-		// Accumulate the retired sketches once, then fold the accumulator
-		// into each survivor: retired+survivors merge passes instead of
-		// retired×survivors, bit-identical since counter addition is
-		// associative.
+		// Fold every retired shard's frequency state into each survivor —
+		// the same global-estimator argument applied to the ids the
+		// survivors inherit; retired counters fold into the pool totals.
 		retired := old[shards:]
-		acc := retired[0].sampler.Sketch().Clone()
-		for _, w := range retired[1:] {
-			if err := acc.Merge(w.sampler.Sketch()); err != nil {
-				p.restartWorkers(recycleAll(old, p.cfg.Buffer))
-				return fmt.Errorf("shard: resize sketch hand-off: %w", err)
-			}
-		}
 		for i := 0; i < shards; i++ {
-			if err := workers[i].sampler.Sketch().Merge(acc); err != nil {
-				p.restartWorkers(recycleAll(old, p.cfg.Buffer))
-				return fmt.Errorf("shard: resize sketch hand-off: %w", err)
+			for _, w := range retired {
+				if err := workers[i].sampler.MergeState(w.sampler); err != nil {
+					p.restartWorkers(recycleAll(old, p.cfg.Buffer))
+					return fmt.Errorf("shard: resize state hand-off: %w", err)
+				}
 			}
 		}
 		for _, w := range retired {
@@ -1156,7 +1189,7 @@ func (p *Pool) restartWorkers(ws []*worker) {
 type ShardStats struct {
 	Processed  uint64 // ids processed by the shard's sampler
 	Dropped    uint64 // ids discarded because the shard queue was full
-	Halvings   uint64 // decay halvings applied to the shard's sketch
+	Halvings   uint64 // decay steps applied to the shard's sampler
 	QueueDepth int    // batches currently waiting in the shard queue
 	MemorySize int    // current |Γ| of the shard's sampler
 }

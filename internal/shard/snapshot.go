@@ -5,38 +5,48 @@ import (
 	"errors"
 	"fmt"
 
-	"nodesampling/internal/cms"
 	"nodesampling/internal/core"
 	"nodesampling/internal/rng"
 )
 
-// Snapshot blob layout, version 1 (all integers big-endian):
+// Snapshot blob layout, version 2 (all integers big-endian):
 //
 //	magic "UNSS" | version (uint32)
+//	strategyLen (uint32) | strategy name (UTF-8)
 //	salt | epoch | decayTotal | retiredProcessed | retiredDropped (uint64 each)
 //	capacity (uint32) | shards (uint32)
 //	shards × shard records:
 //	    key | halvings | processed | dropped   (uint64 each)
 //	    gammaLen (uint32) | gammaLen × id (uint64)
-//	    sketchLen (uint32) | sketch blob (cms.Sketch.MarshalBinary)
+//	    stateLen (uint32) | sampler state (core.PoolSampler.MarshalState)
 //
-// The blob is self-contained: it carries the shard map (keys + epoch), the
-// private partition salt, every shard's Γ and serialised sketch, and the
-// global decay clock, so Restore rebuilds the exact partition — every id
-// keeps routing to the shard whose sketch counted it, and frequency
-// estimates resume bit-identical. The salt is a secret (it hides the
-// partition from adversaries), so treat snapshot files like key material.
+// Version 1 blobs (written before the strategy layer) lack the strategy
+// field and are read as the default knowledge-free strategy; their shard
+// records carry raw cms.Sketch bytes, which is exactly what the
+// knowledge-free MarshalState emits, so v1 bodies parse unchanged.
+//
+// The blob is self-contained: it carries the strategy name, the shard map
+// (keys + epoch), the private partition salt, every shard's Γ and
+// serialised sampler state, and the global decay clock, so Restore rebuilds
+// the exact partition — every id keeps routing to the shard whose sampler
+// counted it, and frequency estimates resume bit-identical. The salt is a
+// secret (it hides the partition from adversaries), so treat snapshot files
+// like key material.
 const (
 	snapshotMagic   = "UNSS"
-	snapshotVersion = 1
+	snapshotVersion = 2
+	// maxStrategyLen bounds the strategy-name field so a corrupt blob
+	// cannot demand an absurd allocation.
+	maxStrategyLen = 64
 )
 
-// Snapshot serialises the pool — shard map, per-shard sketches and Γ,
-// decay epoch and aggregate counters — into one versioned blob for
-// Restore. Each shard is captured under its own lock, so a snapshot taken
-// during live ingest is internally consistent per shard but may split a
-// cross-shard batch; quiesce with Flush first when an exact cut matters.
-// Snapshot works on a closed pool too (a daemon's final snapshot).
+// Snapshot serialises the pool — strategy name, shard map, per-shard
+// sampler state and Γ, decay epoch and aggregate counters — into one
+// versioned blob for Restore. Each shard is captured under its own lock, so
+// a snapshot taken during live ingest is internally consistent per shard
+// but may split a cross-shard batch; quiesce with Flush first when an exact
+// cut matters. Snapshot works on a closed pool too (a daemon's final
+// snapshot).
 func (p *Pool) Snapshot() ([]byte, error) {
 	p.mu.RLock()
 	defer p.mu.RUnlock()
@@ -44,6 +54,8 @@ func (p *Pool) Snapshot() ([]byte, error) {
 	buf := make([]byte, 0, 1<<16)
 	buf = append(buf, snapshotMagic...)
 	buf = binary.BigEndian.AppendUint32(buf, snapshotVersion)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(p.strategy)))
+	buf = append(buf, p.strategy...)
 	buf = binary.BigEndian.AppendUint64(buf, p.salt)
 	buf = binary.BigEndian.AppendUint64(buf, m.epoch)
 	buf = binary.BigEndian.AppendUint64(buf, p.decayTotal.Load())
@@ -54,9 +66,9 @@ func (p *Pool) Snapshot() ([]byte, error) {
 	for i, w := range p.workers {
 		w.mu.Lock()
 		mem := w.sampler.Memory()
-		skBlob, err := w.sampler.Sketch().MarshalBinary()
-		// Counters are captured under the same lock as the sketch: halvings
-		// in particular must describe exactly this sketch state, or a decay
+		state, err := w.sampler.MarshalState()
+		// Counters are captured under the same lock as the state: halvings
+		// in particular must describe exactly this sampler state, or a decay
 		// epoch crossed between the two reads would be skipped after
 		// Restore, leaving the shard's estimates ~2× its peers forever.
 		halvings := w.halvings.Load()
@@ -64,7 +76,7 @@ func (p *Pool) Snapshot() ([]byte, error) {
 		dropped := w.dropped.Load()
 		w.mu.Unlock()
 		if err != nil {
-			return nil, fmt.Errorf("shard %d: marshal sketch: %w", i, err)
+			return nil, fmt.Errorf("shard %d: marshal sampler state: %w", i, err)
 		}
 		buf = binary.BigEndian.AppendUint64(buf, m.keys[i])
 		buf = binary.BigEndian.AppendUint64(buf, halvings)
@@ -74,8 +86,8 @@ func (p *Pool) Snapshot() ([]byte, error) {
 		for _, id := range mem {
 			buf = binary.BigEndian.AppendUint64(buf, id)
 		}
-		buf = binary.BigEndian.AppendUint32(buf, uint32(len(skBlob)))
-		buf = append(buf, skBlob...)
+		buf = binary.BigEndian.AppendUint32(buf, uint32(len(state)))
+		buf = append(buf, state...)
 	}
 	return buf, nil
 }
@@ -114,13 +126,20 @@ func (r *snapshotReader) bytes(n int) ([]byte, error) {
 }
 
 // Restore rebuilds a live pool from a Snapshot blob. The snapshot governs
-// the shard count, memory capacity, shard map and sketches (cfg.Shards and
-// cfg.Capacity are ignored); cfg supplies everything a snapshot does not
-// persist — queueing, backpressure, decay period, core options and fresh
-// randomness. When cfg.NewSketch is set it is used only to validate that
-// the configured sketch shape matches the snapshot, so a daemon restarted
-// with different flags fails loudly instead of serving surprising
-// estimates.
+// the shard count, memory capacity, shard map and sampler state (cfg.Shards
+// and cfg.Capacity are ignored); cfg supplies everything a snapshot does
+// not persist — queueing, backpressure, decay period, core options and
+// fresh randomness.
+//
+// The strategy recorded in the blob must match the configured one: a blob
+// written under strategy A refuses to restore into a pool configured for
+// strategy B (and a pre-v2 blob, which implies the default knowledge-free
+// strategy, refuses any other), naming both strategies. When the config
+// names no strategy at all (no Sampler factory, no NewSketch hook), the
+// snapshot governs the strategy too. When a factory or sketch hook is
+// configured it also validates that the configured state shape matches the
+// snapshot, so a daemon restarted with different flags fails loudly instead
+// of serving surprising estimates.
 func Restore(cfg Config, data []byte) (*Pool, error) {
 	if err := cfg.validateCommon(); err != nil {
 		return nil, err
@@ -143,8 +162,41 @@ func Restore(cfg Config, data []byte) (*Pool, error) {
 	if err != nil {
 		return nil, err
 	}
-	if version != snapshotVersion {
+	strategy := core.DefaultStrategy
+	switch version {
+	case 1:
+		// Pre-strategy blob: implies the default strategy, no tag to read.
+	case 2:
+		strategyLen, err := r.u32()
+		if err != nil {
+			return nil, err
+		}
+		if strategyLen == 0 || strategyLen > maxStrategyLen {
+			return nil, fmt.Errorf("shard: snapshot strategy name length %d outside [1, %d]", strategyLen, maxStrategyLen)
+		}
+		name, err := r.bytes(int(strategyLen))
+		if err != nil {
+			return nil, err
+		}
+		strategy = string(name)
+	default:
 		return nil, fmt.Errorf("shard: unsupported snapshot version %d", version)
+	}
+	factory, configured := cfg.samplerFactory()
+	if configured && factory.Name != strategy {
+		if version == 1 {
+			return nil, fmt.Errorf("shard: pre-v2 snapshot carries no strategy tag and implies %q, but the pool is configured for strategy %q",
+				strategy, factory.Name)
+		}
+		return nil, fmt.Errorf("shard: snapshot was written by strategy %q, but the pool is configured for strategy %q",
+			strategy, factory.Name)
+	}
+	if !configured {
+		// The snapshot governs the strategy; only per-sampler options carry
+		// over from the config.
+		if factory, err = core.RestoreFactory(strategy, cfg.CoreOptions...); err != nil {
+			return nil, fmt.Errorf("shard: snapshot strategy: %w", err)
+		}
 	}
 	var hdr [5]uint64
 	for i := range hdr {
@@ -175,16 +227,16 @@ func Restore(cfg Config, data []byte) (*Pool, error) {
 	}
 
 	root := rng.New(cfg.Seed)
-	var template *cms.Sketch
-	if cfg.NewSketch != nil {
-		if template, err = cfg.NewSketch(root.Split()); err != nil {
-			return nil, fmt.Errorf("shard: sketch template: %w", err)
+	var template core.PoolSampler
+	if configured {
+		if template, err = factory.New(capacity, root.Split()); err != nil {
+			return nil, fmt.Errorf("shard: sampler template: %w", err)
 		}
 	}
 
 	keys := make([]uint64, shards)
 	workers := make([]*worker, shards)
-	var family *cms.Sketch
+	var family core.PoolSampler
 	for i := 0; i < shards; i++ {
 		if keys[i], err = r.u64(); err != nil {
 			return nil, err
@@ -211,34 +263,35 @@ func Restore(cfg Config, data []byte) (*Pool, error) {
 				return nil, err
 			}
 		}
-		skLen, err := r.u32()
+		stateLen, err := r.u32()
 		if err != nil {
 			return nil, err
 		}
-		skBlob, err := r.bytes(int(skLen))
+		state, err := r.bytes(int(stateLen))
 		if err != nil {
 			return nil, err
 		}
-		sk := new(cms.Sketch)
-		if err := sk.UnmarshalBinary(skBlob); err != nil {
+		sampler, err := factory.Restore(capacity, state, root.Split())
+		if err != nil {
 			return nil, fmt.Errorf("shard %d: %w", i, err)
 		}
 		if family == nil {
-			family = sk
-			if template != nil && (template.Rows() != sk.Rows() || template.Cols() != sk.Cols()) {
-				return nil, fmt.Errorf("shard: configured sketch %dx%d does not match snapshot %dx%d",
-					template.Cols(), template.Rows(), sk.Cols(), sk.Rows())
+			family = sampler
+			if template != nil && template.StateDesc() != sampler.StateDesc() {
+				return nil, fmt.Errorf("shard: configured sampler state %q does not match snapshot %q",
+					template.StateDesc(), sampler.StateDesc())
 			}
-		} else if !family.SharesFamily(sk) {
+		} else if !family.SharesFamily(sampler) {
 			// Mixed families would make every later Resize merge garbage.
-			return nil, fmt.Errorf("shard %d: snapshot sketch hash family differs from shard 0", i)
+			return nil, fmt.Errorf("shard %d: snapshot sampler family differs from shard 0", i)
 		}
-		sampler, err := core.NewKnowledgeFreeWithSketch(capacity, sk, root.Split(), cfg.CoreOptions...)
-		if err != nil {
-			return nil, fmt.Errorf("shard %d: %w", i, err)
-		}
-		if err := sampler.RestoreMemory(mem); err != nil {
-			return nil, fmt.Errorf("shard %d: %w", i, err)
+		// A strategy's Restore hook may rebuild its memory straight from
+		// the marshalled state (basalt's slot residents live there); the
+		// snapshot's Γ record fills the memory only when it did not.
+		if sampler.MemorySize() == 0 {
+			if err := sampler.RestoreMemory(mem); err != nil {
+				return nil, fmt.Errorf("shard %d: %w", i, err)
+			}
 		}
 		w := newWorker(sampler, cfg.Buffer)
 		w.halvings.Store(counters[0])
@@ -253,6 +306,7 @@ func Restore(cfg Config, data []byte) (*Pool, error) {
 	cfg.Shards = shards // sizes the default emit buffer
 	cfg.Capacity = capacity
 	p := newPoolShell(cfg, root)
+	p.strategy = factory.Name
 	p.salt = salt
 	p.workers = workers
 	p.smap.Store(newShardMap(epoch, keys))

@@ -4,8 +4,7 @@ import (
 	"errors"
 	"fmt"
 
-	"nodesampling/internal/cms"
-	"nodesampling/internal/rng"
+	"nodesampling/internal/core"
 	"nodesampling/internal/shard"
 	"nodesampling/internal/subhub"
 )
@@ -111,7 +110,11 @@ func NewPool(c, shards int, opts ...Option) (*Pool, error) {
 	if err != nil {
 		return nil, err
 	}
-	inner, err := shard.New(poolShardConfig(c, shards, cfg))
+	sc, err := poolShardConfig(c, shards, cfg)
+	if err != nil {
+		return nil, err
+	}
+	inner, err := shard.New(sc)
 	if err != nil {
 		return nil, err
 	}
@@ -119,8 +122,19 @@ func NewPool(c, shards int, opts ...Option) (*Pool, error) {
 }
 
 // poolShardConfig translates the public options into the internal shard
-// configuration shared by NewPool and RestorePool.
-func poolShardConfig(c, shards int, cfg config) shard.Config {
+// configuration shared by NewPool and RestorePool: the strategy name
+// resolves against the core registry, binding the sketch shape (or accuracy
+// targets) and per-sampler options into one factory every shard builds
+// from.
+func poolShardConfig(c, shards int, cfg config) (shard.Config, error) {
+	factory, err := core.NewFactory(cfg.strategy, core.StrategyParams{
+		K: cfg.k, S: cfg.s,
+		UseAccuracy: cfg.useAcc, Epsilon: cfg.eps, Delta: cfg.del,
+		Options: cfg.coreOption,
+	})
+	if err != nil {
+		return shard.Config{}, err
+	}
 	buffer := 16
 	if cfg.shardBufferSet {
 		buffer = cfg.shardBuffer
@@ -133,20 +147,14 @@ func poolShardConfig(c, shards int, cfg config) shard.Config {
 		Capacity: c,
 		// WithDecay is implemented pool-wide: the shards share one decay
 		// epoch derived from the total processed count (see
-		// shard.Config.DecayEvery) instead of each halving on its own
-		// count, so per-shard sketches are never passed the core-level
+		// shard.Config.DecayEvery) instead of each decaying on its own
+		// count, so per-shard samplers are never passed the core-level
 		// halving option here.
 		DecayEvery: cfg.decayEvery,
-		// One sketch template per pool: every shard clones it empty, so all
-		// shards share a hash family and stay mergeable across Resize.
-		NewSketch: func(r *rng.Xoshiro) (*cms.Sketch, error) {
-			if cfg.useAcc {
-				return cms.New(cfg.eps, cfg.del, r)
-			}
-			return cms.NewWithDimensions(cfg.k, cfg.s, r)
-		},
-		CoreOptions: cfg.coreOption,
-	}
+		// One sampler template per pool: every shard clones it empty, so all
+		// shards share a hash/seed family and stay mergeable across Resize.
+		Sampler: factory,
+	}, nil
 }
 
 // RestorePool revives a pool from a Pool.Snapshot blob: the shard map,
@@ -165,7 +173,10 @@ func RestorePool(data []byte, opts ...Option) (*Pool, error) {
 	}
 	// Capacity and shard count come from the blob; the placeholder values
 	// here only shape the template used for validation.
-	sc := poolShardConfig(1, 1, cfg)
+	sc, err := poolShardConfig(1, 1, cfg)
+	if err != nil {
+		return nil, err
+	}
 	inner, err := shard.Restore(sc, data)
 	if err != nil {
 		return nil, err

@@ -60,6 +60,7 @@ type Oracle interface {
 type config struct {
 	seed       uint64
 	seedSet    bool
+	strategy   string
 	k, s       int
 	useAcc     bool
 	eps, del   float64
@@ -84,6 +85,26 @@ func WithSeed(seed uint64) Option {
 		return nil
 	}
 }
+
+// WithStrategy selects the sampling strategy by registry name. The default
+// is "knowledge-free", the paper's Algorithm 3; "basalt" selects the
+// BASALT-style seeded-ranking sampler (sketch-free — the sketch options are
+// ignored by strategies that keep no sketch). Strategies lists the
+// registered names. The strategy applies to NewSampler and to every shard
+// of a NewPool, and is recorded in Pool.Snapshot blobs: a snapshot restores
+// only under the strategy that wrote it.
+func WithStrategy(name string) Option {
+	return func(c *config) error {
+		if name == "" {
+			return errors.New("nodesampling: empty strategy name")
+		}
+		c.strategy = name
+		return nil
+	}
+}
+
+// Strategies lists the registered sampling strategy names, sorted.
+func Strategies() []string { return core.Strategies() }
 
 // WithSketch sets the Count-Min sketch shape to k columns × s rows (the
 // paper's notation). Width k is the defender's main lever: the adversary
@@ -170,21 +191,22 @@ func seedFromEntropy() uint64 {
 	return binary.BigEndian.Uint64(b[:])
 }
 
-// knowledgeFree adapts core.KnowledgeFree to the public NodeID API.
-type knowledgeFree struct {
-	inner *core.KnowledgeFree
+// strategySampler adapts any registered core.PoolSampler strategy to the
+// public NodeID API.
+type strategySampler struct {
+	inner core.PoolSampler
 }
 
-var _ Sampler = (*knowledgeFree)(nil)
+var _ Sampler = (*strategySampler)(nil)
 
-func (w *knowledgeFree) Process(id NodeID) NodeID { return NodeID(w.inner.Process(uint64(id))) }
+func (w *strategySampler) Process(id NodeID) NodeID { return NodeID(w.inner.Process(uint64(id))) }
 
-func (w *knowledgeFree) Sample() (NodeID, bool) {
+func (w *strategySampler) Sample() (NodeID, bool) {
 	id, ok := w.inner.Sample()
 	return NodeID(id), ok
 }
 
-func (w *knowledgeFree) Memory() []NodeID { return convertIDs(w.inner.Memory()) }
+func (w *strategySampler) Memory() []NodeID { return convertIDs(w.inner.Memory()) }
 
 // omniscient adapts core.Omniscient to the public NodeID API.
 type omniscient struct {
@@ -216,16 +238,17 @@ type oracleAdapter struct{ o Oracle }
 func (a oracleAdapter) Prob(id uint64) float64 { return a.o.Prob(NodeID(id)) }
 func (a oracleAdapter) MinProb() float64       { return a.o.MinProb() }
 
-// NewSampler returns the knowledge-free sampling service (the paper's
-// Algorithm 3) with sampling memory capacity c. It requires no knowledge of
-// the stream: frequencies are estimated online by a Count-Min sketch sized
-// by WithSketch or WithSketchAccuracy (default 50×10).
+// NewSampler returns the sampling service with sampling memory capacity c,
+// running the configured strategy (WithStrategy; the default is the paper's
+// knowledge-free Algorithm 3, estimating frequencies online with a
+// Count-Min sketch sized by WithSketch or WithSketchAccuracy, default
+// 50×10).
 //
-// Sizing rule: keep the sketch width k well below the expected number of
-// distinct identifiers in the stream (the paper's evaluation uses
-// k ∈ [10, 50] for populations of 1000). If a sketch column is never hit —
-// possible when k approaches the population size — the global minimum
-// counter stays at zero and the memory stops refreshing.
+// Sizing rule for the default strategy: keep the sketch width k well below
+// the expected number of distinct identifiers in the stream (the paper's
+// evaluation uses k ∈ [10, 50] for populations of 1000). If a sketch column
+// is never hit — possible when k approaches the population size — the
+// global minimum counter stays at zero and the memory stops refreshing.
 func NewSampler(c int, opts ...Option) (Sampler, error) {
 	if c < 1 {
 		return nil, fmt.Errorf("nodesampling: memory size c must be at least 1, got %d", c)
@@ -238,17 +261,19 @@ func NewSampler(c int, opts ...Option) (Sampler, error) {
 		// Single sampler: the decay clock is simply its own processed count.
 		cfg.coreOption = append(cfg.coreOption, core.WithPeriodicHalving(cfg.decayEvery))
 	}
-	r := rng.New(cfg.seed)
-	var inner *core.KnowledgeFree
-	if cfg.useAcc {
-		inner, err = core.NewKnowledgeFreeFromAccuracy(c, cfg.eps, cfg.del, r, cfg.coreOption...)
-	} else {
-		inner, err = core.NewKnowledgeFree(c, cfg.k, cfg.s, r, cfg.coreOption...)
-	}
+	factory, err := core.NewFactory(cfg.strategy, core.StrategyParams{
+		K: cfg.k, S: cfg.s,
+		UseAccuracy: cfg.useAcc, Epsilon: cfg.eps, Delta: cfg.del,
+		Options: cfg.coreOption,
+	})
 	if err != nil {
 		return nil, err
 	}
-	return &knowledgeFree{inner: inner}, nil
+	inner, err := factory.New(c, rng.New(cfg.seed))
+	if err != nil {
+		return nil, err
+	}
+	return &strategySampler{inner: inner}, nil
 }
 
 // NewOmniscientSampler returns the omniscient strategy (the paper's
