@@ -125,6 +125,17 @@ type Client struct {
 	addr string
 	opts DialOptions
 
+	// Cluster dialling (DialCluster): the full address list and the index
+	// of the member currently dialled. A failed redial attempt rotates to
+	// the next member, so a down daemon only costs one backoff step before
+	// the client rides a healthy one. Guarded by mu after construction.
+	addrs   []string
+	addrIdx int
+
+	// canRedial is fixed at construction: whether the client knows an
+	// address to redial at all (false for New over a raw connection).
+	canRedial bool
+
 	wmu sync.Mutex // serialises frame writes
 
 	// rpcMu admits one request/response exchange (Sample or Ping) at a
@@ -139,7 +150,13 @@ type Client struct {
 	stream   chan nodesampling.NodeID // nil until Subscribe
 	subCap   int                      // saved Subscribe arguments for re-subscription
 	subEvery int
-	err      error // first fatal error, behind done
+	subRate  uint32 // saved delivery rate cap (ids/second; 0 uncapped)
+	// resumeToken is the daemon's SubAck token for the live subscription;
+	// a re-subscription presents it so the server resumes the decimation
+	// phase where the old session left off instead of restarting the
+	// 1-in-every window.
+	resumeToken uint64
+	err         error // first fatal error, behind done
 
 	done          chan struct{} // closed when the supervisor exits for good
 	closing       atomic.Bool
@@ -168,9 +185,62 @@ func DialWithOptions(addr string, opts DialOptions) (*Client, error) {
 	}
 	c := newClient(conn)
 	c.addr = addr
+	c.canRedial = addr != ""
 	c.opts = opts
 	go c.supervise(conn)
 	return c, nil
+}
+
+// DialCluster connects to one member of an unsd cluster, trying the given
+// stream addresses in order until one answers. Under DialOptions.Reconnect
+// a lost connection rotates through the member list on every failed redial
+// attempt, so the client rides whichever members are up — any member can
+// ingest (batches are routed to their owners internally) and any member
+// answers Sample over the whole cluster, so members are interchangeable
+// endpoints.
+func DialCluster(addrs []string, opts DialOptions) (*Client, error) {
+	if len(addrs) == 0 {
+		return nil, errors.New("client: no cluster addresses")
+	}
+	opts = opts.withDefaults()
+	var conn net.Conn
+	var err error
+	idx := -1
+	for i, a := range addrs {
+		if conn, err = dial(a, opts); err == nil {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return nil, fmt.Errorf("client: dial cluster %v: %w", addrs, err)
+	}
+	c := newClient(conn)
+	c.addr = addrs[idx]
+	c.addrs = append([]string(nil), addrs...)
+	c.addrIdx = idx
+	c.canRedial = true
+	c.opts = opts
+	go c.supervise(conn)
+	return c, nil
+}
+
+// currentAddr reads the address the next dial should use.
+func (c *Client) currentAddr() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.addr
+}
+
+// rotateAddr advances to the next cluster member after a failed dial
+// attempt; single-address clients keep their one address.
+func (c *Client) rotateAddr() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.addrs) > 1 {
+		c.addrIdx = (c.addrIdx + 1) % len(c.addrs)
+		c.addr = c.addrs[c.addrIdx]
+	}
 }
 
 // dial establishes one transport connection to addr, completing the TLS
@@ -245,7 +315,7 @@ func (c *Client) supervise(conn net.Conn) {
 		if productive || time.Since(started) > c.opts.MaxBackoff {
 			attempts, backoff = 0, c.opts.MinBackoff
 		}
-		if c.closing.Load() || !c.opts.Reconnect || c.addr == "" {
+		if c.closing.Load() || !c.opts.Reconnect || !c.canRedial {
 			break
 		}
 		var rerr error
@@ -282,6 +352,12 @@ func (c *Client) readSession(conn net.Conn, gen uint64) (productive bool, err er
 			deliverRPC(c.samplec, taggedIDs{ids: f.IDs, gen: gen})
 		case netgossip.FramePong:
 			deliverRPC(c.pongc, taggedToken{token: f.Token, gen: gen})
+		case netgossip.FrameSubAck:
+			// The daemon's subscription acknowledgement: the token redeems
+			// this subscription's decimation phase on a reconnect.
+			c.mu.Lock()
+			c.resumeToken = f.Token
+			c.mu.Unlock()
 		case netgossip.FrameError:
 			return productive, fmt.Errorf("client: server error: %s", f.Msg)
 		default:
@@ -339,7 +415,8 @@ func (c *Client) redial(attempts int, backoff time.Duration) (net.Conn, int, tim
 			return nil, attempts, backoff, ErrClosed
 		}
 		attempts++
-		conn, err := dial(c.addr, c.opts)
+		addr := c.currentAddr()
+		conn, err := dial(addr, c.opts)
 		if err == nil {
 			c.mu.Lock()
 			if c.closing.Load() {
@@ -350,9 +427,13 @@ func (c *Client) redial(attempts int, backoff time.Duration) (net.Conn, int, tim
 			c.conn = conn
 			c.gen++ // a fresh session: rpc responses of the old one are stale
 			subscribed, capacity, every := c.stream != nil, c.subCap, c.subEvery
+			rate, token := c.subRate, c.resumeToken
 			c.mu.Unlock()
 			if subscribed {
-				if werr := c.write(netgossip.Frame{Type: netgossip.FrameSubscribe, N: uint32(capacity), Every: uint32(every)}); werr != nil {
+				// The re-subscription carries the previous session's resume
+				// token, so the daemon continues the decimation phase
+				// mid-window instead of restarting it.
+				if werr := c.write(netgossip.Frame{Type: netgossip.FrameSubscribe, N: uint32(capacity), Every: uint32(every), Rate: rate, Token: token}); werr != nil {
 					// The fresh connection died before the subscription was
 					// re-established; treat it like any other failed attempt.
 					_ = conn.Close()
@@ -363,8 +444,11 @@ func (c *Client) redial(attempts int, backoff time.Duration) (net.Conn, int, tim
 				return conn, attempts, backoff, nil
 			}
 		}
+		// Move on to the next cluster member (if there is one) before the
+		// backoff sleep: one down daemon costs one attempt, not the client.
+		c.rotateAddr()
 		if c.opts.MaxAttempts > 0 && attempts >= c.opts.MaxAttempts {
-			return nil, attempts, backoff, fmt.Errorf("client: reconnect to %s gave up after %d attempts: %w", c.addr, attempts, err)
+			return nil, attempts, backoff, fmt.Errorf("client: reconnect to %s gave up after %d attempts: %w", addr, attempts, err)
 		}
 	}
 }
@@ -527,7 +611,7 @@ func (c *Client) Sample(n int) ([]nodesampling.NodeID, error) {
 // reconnecting client then gets a replacement from the supervisor
 // (re-subscribing as needed); any other client closes for good.
 func (c *Client) dropSessionIf(gen uint64) {
-	if c.opts.Reconnect && c.addr != "" {
+	if c.opts.Reconnect && c.canRedial {
 		c.mu.Lock()
 		conn := c.conn
 		current := c.gen == gen
@@ -600,15 +684,25 @@ func (c *Client) Subscribe(capacity int) (<-chan nodesampling.NodeID, error) {
 // stream at a rate it can afford (a 1-in-k thinning of an i.i.d. uniform
 // stream is itself i.i.d. uniform).
 //
-// A reconnect (DialOptions.Reconnect) restarts the decimation window: the
-// re-issued subscription counts every fresh offers before its first
-// delivery, forgetting the up-to-every-1 draws the old session had already
-// counted toward the next one. The restart can therefore only stretch the
-// spacing between two deliveries — never compress it below every offered
-// draws — so a decimated consumer's rate cap survives daemon restarts.
-// (The daemon-side test TestStreamReconnectDecimationPhaseResets pins
-// this.)
+// A reconnect (DialOptions.Reconnect) continues the decimation window
+// where the old session left it: the daemon's Subscribe acknowledgement
+// carries a resume token, the re-issued subscription presents it, and the
+// server seeds the fresh subscription's offer counter with the old one's —
+// so across the whole stitched stream, two deliveries stay (at least)
+// every offered draws apart. Against an old daemon that never acks, the
+// token is simply never set and the window restarts, which can only
+// stretch the spacing — never compress it.
 func (c *Client) SubscribeEvery(capacity, every int) (<-chan nodesampling.NodeID, error) {
+	return c.SubscribeRate(capacity, every, 0)
+}
+
+// SubscribeRate is SubscribeEvery with a delivery rate cap: the daemon
+// discards (and accounts) deliveries beyond rate ids/second for this
+// subscription, enforced server-side with a token bucket allowing one
+// second of burst. rate 0 leaves the subscription uncapped. Decimation
+// composes with the cap: the 1-in-every thinning runs first, the bucket
+// meters what survives it.
+func (c *Client) SubscribeRate(capacity, every int, rate uint32) (<-chan nodesampling.NodeID, error) {
 	if capacity < 1 || capacity > MaxSubscribeCapacity {
 		return nil, fmt.Errorf("client: subscription capacity must be in [1, %d], got %d", MaxSubscribeCapacity, capacity)
 	}
@@ -631,10 +725,10 @@ func (c *Client) SubscribeEvery(capacity, every int) (<-chan nodesampling.NodeID
 	}
 	ch := make(chan nodesampling.NodeID, capacity)
 	c.stream = ch
-	c.subCap, c.subEvery = capacity, every
+	c.subCap, c.subEvery, c.subRate = capacity, every, rate
 	c.mu.Unlock()
-	if err := c.write(netgossip.Frame{Type: netgossip.FrameSubscribe, N: uint32(capacity), Every: uint32(every)}); err != nil {
-		if c.opts.Reconnect && c.addr != "" && !c.closing.Load() {
+	if err := c.write(netgossip.Frame{Type: netgossip.FrameSubscribe, N: uint32(capacity), Every: uint32(every), Rate: rate}); err != nil {
+		if c.opts.Reconnect && c.canRedial && !c.closing.Load() {
 			// The registration stands: the supervisor will re-issue it on
 			// the next connection, so the subscription survives a restart
 			// that lands exactly here.

@@ -1,0 +1,358 @@
+package main
+
+// The daemon's cluster plane: ingest partitioning and forwarding, the
+// cluster-wide weighted sample fan-out, the live-migration admin endpoint
+// (POST /migrate) and the cluster metric families. Everything here is
+// inert when -cluster is off: d.cluster stays nil, ingest and Sample take
+// their standalone paths, and /migrate answers 400.
+
+import (
+	"crypto/tls"
+	"crypto/x509"
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"sync"
+	"time"
+
+	"nodesampling/internal/cluster"
+	"nodesampling/internal/rng"
+	"nodesampling/internal/shard"
+	"nodesampling/internal/telemetry"
+)
+
+// clusterSampleTimeout bounds the remote half of a sample fan-out; a member
+// that cannot answer within it is excluded from the merge (and counted).
+const clusterSampleTimeout = 10 * time.Second
+
+// clusterMigrateTimeout bounds a migration transfer end to end: blob write,
+// target-side import, ack.
+const clusterMigrateTimeout = 60 * time.Second
+
+// ingestRouted is the cluster-aware front of the ingest funnel: batches are
+// partitioned against the routing table, the locally-owned ids ingested
+// here, and the rest forwarded to their owner members. Forward arrivals
+// (surface "forward") are ingested locally unconditionally — a receiver
+// never re-forwards, so no routing disagreement can loop a batch.
+func (d *daemon) ingestRouted(ids []uint64, surface string) error {
+	if d.cluster == nil || surface == "forward" {
+		return d.ingest(ids, surface)
+	}
+	local, remote := d.cluster.Partition(ids)
+	for member, batch := range remote {
+		if len(batch) > 0 {
+			d.cluster.Forward(member, batch)
+		}
+	}
+	if len(local) == 0 {
+		return nil
+	}
+	return d.ingest(local, surface)
+}
+
+// sampleN answers a sample request cluster-wide: n local draws plus n draws
+// from every reachable member, merged by a multinomial weighted on each
+// member's |Γ| — the same estimate-the-union trick the pool plays across
+// its shards, so the cluster-wide output stays uniform over the union of
+// member memories no matter how unevenly the ids are distributed. Standalone
+// daemons take the pool path untouched.
+func (d *daemon) sampleN(n int) []uint64 {
+	if d.cluster == nil {
+		return d.pool.SampleN(n)
+	}
+	d.clusterFanouts.Add(1)
+	type source struct {
+		gamma uint64
+		ids   []uint64
+	}
+	var srcs []source
+	if local := d.pool.SampleN(n); len(local) > 0 {
+		srcs = append(srcs, source{gamma: uint64(d.pool.MemoryTotal()), ids: local})
+	}
+	for _, md := range d.cluster.SampleMembers(n, clusterSampleTimeout) {
+		if md.Err != nil {
+			d.clusterFanoutMissing.Add(1)
+			continue
+		}
+		if md.Gamma == 0 || len(md.IDs) == 0 {
+			continue
+		}
+		srcs = append(srcs, source{gamma: md.Gamma, ids: md.IDs})
+	}
+	if len(srcs) == 0 {
+		return nil
+	}
+	var total uint64
+	for _, s := range srcs {
+		total += s.gamma
+	}
+	out := make([]uint64, 0, n)
+	d.srng.mu.Lock()
+	defer d.srng.mu.Unlock()
+	for len(out) < n {
+		// Weighted pick among sources that still have unconsumed draws; each
+		// member's draws are i.i.d. uniform over its Γ, so a random remaining
+		// draw keeps every merged draw an exact P(id) = 1/|union| sample (up
+		// to the per-member duplicates a union sample inherently tolerates).
+		pick := d.srng.r.Uint64n(total)
+		chosen := -1
+		for i := range srcs {
+			g := srcs[i].gamma
+			if pick < g {
+				chosen = i
+				break
+			}
+			pick -= g
+		}
+		if chosen < 0 || len(srcs[chosen].ids) == 0 {
+			// The chosen member's draws are exhausted (it answered with fewer
+			// than requested): retire it from the multinomial and retry.
+			if chosen >= 0 {
+				total -= srcs[chosen].gamma
+				srcs[chosen].gamma = 0
+			}
+			if total == 0 {
+				break
+			}
+			continue
+		}
+		// Consume a uniformly random remaining draw, not the front one: the
+		// pool groups its draws by shard, so when fewer than all of a
+		// member's draws are consumed, taking a prefix would systematically
+		// exclude its later shards' ids from the merge.
+		ids := srcs[chosen].ids
+		j := int(d.srng.r.Uint64n(uint64(len(ids))))
+		out = append(out, ids[j])
+		ids[j] = ids[len(ids)-1]
+		srcs[chosen].ids = ids[:len(ids)-1]
+	}
+	return out
+}
+
+// loadClusterTLS builds the client-side TLS configuration for dialling
+// other members' stream listeners: the -cluster-ca bundle verifies them,
+// and the daemon's own serving certificate doubles as its client
+// certificate (mutual TLS) when one is configured.
+func loadClusterTLS(caFile, certFile, keyFile string) (*tls.Config, error) {
+	pemBytes, err := os.ReadFile(caFile)
+	if err != nil {
+		return nil, err
+	}
+	roots := x509.NewCertPool()
+	if !roots.AppendCertsFromPEM(pemBytes) {
+		return nil, fmt.Errorf("no CA certificates in %s", caFile)
+	}
+	cfg := &tls.Config{RootCAs: roots, MinVersion: tls.VersionTLS12}
+	if certFile != "" && keyFile != "" {
+		cert, err := tls.LoadX509KeyPair(certFile, keyFile)
+		if err != nil {
+			return nil, fmt.Errorf("load cluster client certificate: %w", err)
+		}
+		cfg.Certificates = []tls.Certificate{cert}
+	}
+	return cfg, nil
+}
+
+// handleMigrate serves POST /migrate: a live hand-off of one slot range —
+// the Γ ids living in it and the pool's merged frequency state — to another
+// member, installed cluster-wide under a bumped placement epoch.
+//
+//	{"from_slot": 0, "to_slot": 1023, "target": "10.0.0.2:7947"}
+//
+// The transfer is flush-barriered (in-queue ids reach the samplers before
+// export) and loses no Γ state: the ids and the sketch evidence travel
+// together, and the target merges both before the ownership flip routes new
+// arrivals its way. Ids ingested at the source between export and the flip
+// stay where they are — transiently misplaced, still sampled correctly,
+// since cluster sampling weights members by realised |Γ|.
+func (d *daemon) handleMigrate(w http.ResponseWriter, r *http.Request) {
+	if d.cluster == nil {
+		httpError(w, http.StatusBadRequest, "daemon is not clustered (-cluster)")
+		return
+	}
+	var req struct {
+		FromSlot *int   `json:"from_slot"`
+		ToSlot   *int   `json:"to_slot"`
+		Target   string `json:"target"`
+	}
+	if err := decodeAdminJSON(w, r, &req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("bad body: %v", err))
+		return
+	}
+	if req.FromSlot == nil || req.ToSlot == nil || req.Target == "" {
+		httpError(w, http.StatusBadRequest, `missing "from_slot", "to_slot" or "target"`)
+		return
+	}
+	from, to := *req.FromSlot, *req.ToSlot
+	if from < 0 || to >= shard.PlacementSlots || from > to {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("slot range [%d, %d] outside [0, %d]", from, to, shard.PlacementSlots-1))
+		return
+	}
+	target := d.cluster.IndexOf(req.Target)
+	if target < 0 {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("target %q is not a cluster member", req.Target))
+		return
+	}
+	if target == d.cluster.SelfIndex() {
+		httpError(w, http.StatusBadRequest, "target is this member")
+		return
+	}
+	if !d.opMu.TryLock() {
+		conflict(w, "another migration, resize or snapshot is in progress")
+		return
+	}
+	defer d.opMu.Unlock()
+	if !d.cluster.OwnsRange(from, to) {
+		httpError(w, http.StatusConflict, fmt.Sprintf("this member does not own all of slots [%d, %d]", from, to))
+		return
+	}
+	began := time.Now()
+	// Barrier: ids already acknowledged into shard queues reach the
+	// samplers (and therefore the export) before the range is read.
+	if err := d.pool.Flush(); err != nil {
+		httpError(w, http.StatusServiceUnavailable, err.Error())
+		return
+	}
+	inRange := func(id uint64) bool {
+		slot := d.cluster.SlotOf(id)
+		return slot >= from && slot <= to
+	}
+	ids, state, err := d.pool.ExportState(inRange)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	epoch := d.cluster.Epoch() + 1
+	blob, err := cluster.EncodeMigration(cluster.Migration{
+		Epoch:    epoch,
+		FromSlot: uint32(from),
+		ToSlot:   uint32(to),
+		Strategy: d.pool.Strategy(),
+		IDs:      ids,
+		State:    state,
+	})
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	ackEpoch, err := d.cluster.MigrateTo(target, blob, clusterMigrateTimeout)
+	if err != nil {
+		d.logger.Error("migration failed", "target", req.Target,
+			"from_slot", from, "to_slot", to, "error", err)
+		httpError(w, http.StatusBadGateway, fmt.Sprintf("transfer to %s: %v", req.Target, err))
+		return
+	}
+	// The target holds the range's state now; drop our copy of the moved Γ
+	// ids and flip ownership. The frequency sketches stay merged on both
+	// sides — over-remembering an attacker is safe, forgetting is not.
+	dropped, err := d.pool.DropMemory(inRange)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	d.cluster.ApplyPlacement(ackEpoch, from, to, target)
+	d.cluster.BroadcastPlacement(ackEpoch, from, to, target)
+	d.cluster.NoteMigration(false)
+	d.logger.Info("migration complete", "target", req.Target,
+		"from_slot", from, "to_slot", to, "moved_ids", len(ids),
+		"dropped", dropped, "epoch", ackEpoch, "duration", time.Since(began))
+	writeJSON(w, map[string]any{
+		"target":    req.Target,
+		"from_slot": from,
+		"to_slot":   to,
+		"moved_ids": len(ids),
+		"epoch":     ackEpoch,
+	})
+}
+
+// importMigration is the target side of a hand-off: merge the range's
+// frequency state and Γ ids into the local pool, then take ownership.
+func (d *daemon) importMigration(m cluster.Migration) (uint64, error) {
+	if d.cluster == nil {
+		return 0, errors.New("daemon is not clustered")
+	}
+	if m.Strategy != d.pool.Strategy() {
+		return 0, fmt.Errorf("migration carries strategy %q, this member runs %q", m.Strategy, d.pool.Strategy())
+	}
+	if err := d.pool.ImportState(m.IDs, m.State); err != nil {
+		return 0, err
+	}
+	d.cluster.ApplyPlacement(m.Epoch, int(m.FromSlot), int(m.ToSlot), d.cluster.SelfIndex())
+	d.cluster.NoteMigration(true)
+	d.logger.Info("migration imported", "from_slot", m.FromSlot, "to_slot", m.ToSlot,
+		"ids", len(m.IDs), "epoch", m.Epoch)
+	return m.Epoch, nil
+}
+
+// collectCluster exports the cluster plane's metric families: epoch,
+// membership health, per-member forwarding accounting and the sample
+// fan-out counters. Registered only when -cluster is on.
+func (d *daemon) collectCluster() []telemetry.Family {
+	st := d.cluster.Stats()
+	fams := []telemetry.Family{
+		telemetry.G("unsd_cluster_members",
+			"Configured cluster member count.",
+			float64(len(st.Members))),
+		telemetry.G("unsd_cluster_epoch",
+			"Current cluster placement epoch (bumped by each migration).",
+			float64(st.Epoch)),
+		telemetry.C("unsd_cluster_stale_forwards_total",
+			"Forward batches that arrived tagged with an older placement epoch (ingested locally).",
+			float64(st.StaleForwards)),
+		telemetry.C("unsd_cluster_migrations_in_total",
+			"Slot-range migrations imported by this member.",
+			float64(st.MigrationsIn)),
+		telemetry.C("unsd_cluster_migrations_out_total",
+			"Slot-range migrations exported by this member.",
+			float64(st.MigrationsOut)),
+		telemetry.C("unsd_cluster_sample_fanouts_total",
+			"Cluster-wide sample requests fanned out by this member.",
+			float64(d.clusterFanouts.Load())),
+		telemetry.C("unsd_cluster_sample_member_misses_total",
+			"Members excluded from a sample merge because they were down or timed out.",
+			float64(d.clusterFanoutMissing.Load())),
+	}
+	connected := telemetry.Family{
+		Name: "unsd_cluster_member_connected",
+		Help: "Whether the persistent connection to each member is up (self is always 1).",
+		Type: telemetry.Gauge,
+	}
+	slots := telemetry.Family{
+		Name: "unsd_cluster_member_slots",
+		Help: "Hash-space slots owned by each member under the current placement.",
+		Type: telemetry.Gauge,
+	}
+	forwarded := telemetry.Family{
+		Name: "unsd_cluster_forwarded_ids_total",
+		Help: "Ids forwarded to each member over the cluster plane.",
+		Type: telemetry.Counter,
+	}
+	fallbacks := telemetry.Family{
+		Name: "unsd_cluster_fallback_ids_total",
+		Help: "Ids ingested locally because their owner member was unreachable or its queue full.",
+		Type: telemetry.Counter,
+	}
+	for _, m := range st.Members {
+		label := []telemetry.Label{{Name: "member", Value: m.Addr}}
+		connected.Samples = append(connected.Samples, telemetry.Sample{Labels: label, Value: telemetry.B(m.Connected)})
+		slots.Samples = append(slots.Samples, telemetry.Sample{Labels: label, Value: float64(m.Slots)})
+		if m.Self {
+			continue
+		}
+		forwarded.Samples = append(forwarded.Samples, telemetry.Sample{Labels: label, Value: float64(m.ForwardedIDs)})
+		fallbacks.Samples = append(fallbacks.Samples, telemetry.Sample{Labels: label, Value: float64(m.FallbackIDs)})
+	}
+	return append(fams, connected, slots, forwarded, fallbacks)
+}
+
+// sampleRNG is the daemon's merge randomness: one generator behind a mutex,
+// used only on the (rare, network-bound) cluster sample path.
+type sampleRNG struct {
+	mu sync.Mutex
+	r  *rng.Xoshiro
+}
+
+func newSampleRNG(seed uint64) *sampleRNG {
+	return &sampleRNG{r: rng.New(rng.Mix64(seed ^ 0x636c7573746572))} // "cluster"
+}

@@ -1,0 +1,630 @@
+package main
+
+// End-to-end tests for the clustered sampling plane: a real 3-daemon fleet
+// over TCP — rendezvous routing of ingest to slot owners, the Γ-weighted
+// cluster-wide sample fan-out (chi-square-checked under disproportionate
+// member memories), live slot-range migration through POST /migrate, client
+// failover across members, rate-capped subscriptions and decimation-phase
+// resume, all through the same wire surfaces production uses.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"testing"
+	"time"
+
+	"nodesampling"
+	"nodesampling/client"
+	"nodesampling/internal/metrics"
+	"nodesampling/internal/netgossip"
+)
+
+// testClusterDaemons boots an n-member fleet on pre-bound loopback
+// listeners (the member list must be known before the daemons exist) and
+// blocks until every member's persistent connections to its peers are up —
+// pushing before that would exercise the fallback path, not routing.
+func testClusterDaemons(t *testing.T, n int, tweak func(*options)) ([]*daemon, []string) {
+	t.Helper()
+	lns := make([]net.Listener, n)
+	addrs := make([]string, n)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	ds := make([]*daemon, n)
+	for i := range ds {
+		o := defaultOptions()
+		o.clusterMembers = addrs
+		o.clusterSelf = addrs[i]
+		if tweak != nil {
+			tweak(&o)
+		}
+		d := testDaemon(t, o)
+		d.serveStream(lns[i])
+		ds[i] = d
+	}
+	waitFor(t, "the cluster mesh to connect", func() bool {
+		for _, d := range ds {
+			for _, m := range d.cluster.Stats().Members {
+				if !m.Self && !m.Connected {
+					return false
+				}
+			}
+		}
+		return true
+	})
+	// The cluster sorts the member list lexicographically, so a daemon's
+	// cluster-wide index need not match its boot order. Return both slices
+	// in cluster-index order so tests can equate ds[i] with owner index i.
+	ordered := make([]*daemon, n)
+	orderedAddrs := make([]string, n)
+	for i, d := range ds {
+		idx := d.cluster.SelfIndex()
+		ordered[idx] = d
+		orderedAddrs[idx] = addrs[i]
+	}
+	return ordered, orderedAddrs
+}
+
+// ownedBy partitions ids by their owner member, per ds[0]'s routing table
+// (every member computes the identical table).
+func ownedBy(ds []*daemon, ids []uint64) map[int][]uint64 {
+	out := make(map[int][]uint64)
+	for _, id := range ids {
+		owner := ds[0].cluster.OwnerOf(id)
+		out[owner] = append(out[owner], id)
+	}
+	return out
+}
+
+// memorySet flushes the pool and returns its Γ as a sorted slice.
+func memorySet(t *testing.T, d *daemon) []uint64 {
+	t.Helper()
+	if err := d.pool.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	mem := d.pool.Memory()
+	sort.Slice(mem, func(i, j int) bool { return mem[i] < mem[j] })
+	return mem
+}
+
+func equalU64(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestClusterRoutingConvergence is the tentpole's routing half: ids pushed
+// at ANY member must land in exactly their owner's Γ. Three members, the
+// population pushed through a different entry member per round, and every
+// daemon's memory must converge to precisely its owned subset.
+func TestClusterRoutingConvergence(t *testing.T) {
+	ds, addrs := testClusterDaemons(t, 3, func(o *options) { o.c = 100 })
+
+	const population = 240
+	ids := make([]uint64, population)
+	for i := range ids {
+		ids[i] = uint64(i + 1)
+	}
+	byOwner := ownedBy(ds, ids)
+	for owner := 0; owner < 3; owner++ {
+		if len(byOwner[owner]) == 0 {
+			t.Fatalf("degenerate rendezvous split: member %d owns nothing of %d ids", owner, population)
+		}
+		sort.Slice(byOwner[owner], func(i, j int) bool { return byOwner[owner][i] < byOwner[owner][j] })
+	}
+
+	// Each member serves as the ingest entry for one round of the whole
+	// population: every id therefore arrives at least once at a member that
+	// does NOT own it and must be forwarded.
+	batch := make([]nodesampling.NodeID, population)
+	for i, id := range ids {
+		batch[i] = nodesampling.NodeID(id)
+	}
+	for _, addr := range addrs {
+		c, err := client.Dial(addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.PushBatch(batch); err != nil {
+			t.Fatal(err)
+		}
+		c.Close()
+	}
+
+	// Forwarding is asynchronous; converge means every daemon's Γ is
+	// exactly its owned subset — nothing missing, nothing misplaced.
+	waitFor(t, "every id to reach its owner and only its owner", func() bool {
+		for i, d := range ds {
+			if !equalU64(memorySet(t, d), byOwner[i]) {
+				return false
+			}
+		}
+		return true
+	})
+
+	// The fleet actually forwarded (this is not a single-node degenerate
+	// case), and the stats surface says so.
+	forwarded := uint64(0)
+	for _, d := range ds {
+		for _, m := range d.cluster.Stats().Members {
+			forwarded += m.ForwardedIDs
+		}
+	}
+	if forwarded == 0 {
+		t.Fatal("no ids were forwarded between members")
+	}
+}
+
+// TestClusterSampleUniformDisproportionate is the acceptance chi-square:
+// cluster-wide Sample must be uniform over the union of member memories
+// even when the members hold wildly different |Γ| — 384/96/32 here, so an
+// unweighted merge would be visibly (and catastrophically) biased toward
+// the small members' ids. df = 511; the 99.99th percentile of chi-square
+// with 511 degrees of freedom is ≈ 639, so 650 keeps false failures out.
+func TestClusterSampleUniformDisproportionate(t *testing.T) {
+	ds, _ := testClusterDaemons(t, 3, func(o *options) { o.c = 120 })
+
+	// Build the population by owner quota: ample capacity everywhere, the
+	// disproportion entirely in how many ids each member owns.
+	quota := map[int]int{0: 384, 1: 96, 2: 32}
+	var population []uint64
+	for id := uint64(1); len(population) < 512; id++ {
+		owner := ds[0].cluster.OwnerOf(id)
+		if quota[owner] > 0 {
+			quota[owner]--
+			population = append(population, id)
+		}
+	}
+	byOwner := ownedBy(ds, population)
+	if len(byOwner[0]) != 384 || len(byOwner[1]) != 96 || len(byOwner[2]) != 32 {
+		t.Fatalf("quota fill broke: %d/%d/%d", len(byOwner[0]), len(byOwner[1]), len(byOwner[2]))
+	}
+
+	if err := ds[0].ingestRouted(population, "stream"); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "the skewed population to settle at its owners", func() bool {
+		total := 0
+		for _, d := range ds {
+			total += len(memorySet(t, d))
+		}
+		return total == len(population)
+	})
+
+	// Draw through the fan-out at every member in turn: a sample must be
+	// uniform no matter which member answers it.
+	hist := metrics.NewHistogram()
+	const rounds = 24
+	for r := 0; r < rounds; r++ {
+		draws := ds[r%3].sampleN(512)
+		if len(draws) != 512 {
+			t.Fatalf("round %d: fan-out returned %d draws, want 512", r, len(draws))
+		}
+		for _, id := range draws {
+			hist.Add(id)
+		}
+	}
+	chi, err := hist.ChiSquareUniform(len(population))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chi > 650 {
+		t.Fatalf("cluster-wide sample not uniform over disproportionate members: chi2 = %v (df = 511)", chi)
+	}
+}
+
+// TestClusterLiveMigration is the acceptance migration scenario: a hot id's
+// slot is handed from member 0 to member 1 through POST /migrate while the
+// fleet runs. The frequency estimate must survive the move, the Γ ids must
+// change hands, the placement epoch must propagate to the third member, and
+// new ingest for the moved range must route to its new owner.
+func TestClusterLiveMigration(t *testing.T) {
+	ds, addrs := testClusterDaemons(t, 3, func(o *options) { o.c = 120 })
+	ts := httptest.NewServer(ds[0].handler())
+	defer ts.Close()
+
+	// Warm a mixed-ownership population through member 0.
+	var population []uint64
+	for id := uint64(1); id <= 200; id++ {
+		population = append(population, id)
+	}
+	if err := ds[0].ingestRouted(population, "stream"); err != nil {
+		t.Fatal(err)
+	}
+	// A hot id owned by member 0, hammered so its sketch count towers over
+	// the rest — the estimate the migration must not lose.
+	var hot uint64
+	for id := uint64(1000); ; id++ {
+		if ds[0].cluster.OwnerOf(id) == 0 {
+			hot = id
+			break
+		}
+	}
+	hotBatch := make([]uint64, 100)
+	for i := range hotBatch {
+		hotBatch[i] = hot
+	}
+	for r := 0; r < 5; r++ {
+		if err := ds[0].ingestRouted(hotBatch, "stream"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, "the population and hot id to settle", func() bool {
+		for _, d := range ds {
+			if err := d.pool.Flush(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return ds[0].pool.Estimate(hot) >= 500
+	})
+	pre := ds[0].pool.Estimate(hot)
+	slot := ds[0].cluster.SlotOf(hot)
+	if ds[0].cluster.SlotOwner(slot) != 0 {
+		t.Fatalf("slot %d not owned by member 0", slot)
+	}
+
+	// The live hand-off: one slot, member 0 -> member 1.
+	body, _ := json.Marshal(map[string]any{"from_slot": slot, "to_slot": slot, "target": addrs[1]})
+	resp, err := http.Post(ts.URL+"/migrate", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var result struct {
+		Target   string `json:"target"`
+		FromSlot int    `json:"from_slot"`
+		ToSlot   int    `json:"to_slot"`
+		MovedIDs int    `json:"moved_ids"`
+		Epoch    uint64 `json:"epoch"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&result); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /migrate = %d (%+v)", resp.StatusCode, result)
+	}
+	if result.MovedIDs < 1 || result.Epoch != 1 || result.Target != addrs[1] {
+		t.Fatalf("migration result %+v, want >= 1 moved id at epoch 1", result)
+	}
+
+	// No lost Γ state: the hot id now lives on member 1 with its frequency
+	// evidence intact (the merged sketch never undercounts), and member 0
+	// dropped its copy.
+	if got := ds[1].pool.Estimate(hot); got < pre {
+		t.Fatalf("hot id estimate %d on the target, want >= %d (pre-migration)", got, pre)
+	}
+	inMem := func(d *daemon, id uint64) bool {
+		for _, m := range memorySet(t, d) {
+			if m == id {
+				return true
+			}
+		}
+		return false
+	}
+	if !inMem(ds[1], hot) {
+		t.Fatal("hot id missing from the target's Γ after migration")
+	}
+	if inMem(ds[0], hot) {
+		t.Fatal("hot id still in the source's Γ after migration")
+	}
+
+	// The epoch bump reaches the uninvolved member via the placement
+	// broadcast, flipping its routing for the moved slot.
+	waitFor(t, "the placement broadcast to reach member 2", func() bool {
+		return ds[2].cluster.Epoch() == 1 && ds[2].cluster.SlotOwner(slot) == 1
+	})
+	for i, d := range ds {
+		if d.cluster.SlotOwner(slot) != 1 {
+			t.Fatalf("member %d still routes slot %d to owner %d", i, slot, d.cluster.SlotOwner(slot))
+		}
+	}
+
+	// New ingest for the moved range — entering at the OLD owner — lands on
+	// the new one.
+	var fresh uint64
+	for id := hot + 1; ; id++ {
+		if ds[0].cluster.SlotOf(id) == slot {
+			fresh = id
+			break
+		}
+	}
+	if err := ds[0].ingestRouted([]uint64{fresh}, "stream"); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "post-migration ingest to land on the new owner", func() bool {
+		return inMem(ds[1], fresh)
+	})
+	if inMem(ds[0], fresh) {
+		t.Fatal("post-migration ingest stuck on the old owner")
+	}
+
+	// Uniformity survives the topology change: cluster-wide draws after the
+	// hand-off stay chi-square-uniform over the (now re-homed) union — the
+	// moved ids are neither over-weighted on their new member nor shadowed
+	// by the transfer. The union is the 200-id warmup + hot + fresh = 202
+	// cells; the 99.99th percentile of chi-square with df = 201 is ≈ 285.
+	union := append(append([]uint64(nil), population...), hot, fresh)
+	hist := metrics.NewHistogram()
+	for r := 0; r < 24; r++ {
+		draws := ds[r%3].sampleN(512)
+		if len(draws) != 512 {
+			t.Fatalf("post-migration round %d: fan-out returned %d draws, want 512", r, len(draws))
+		}
+		for _, id := range draws {
+			hist.Add(id)
+		}
+	}
+	chi, err := hist.ChiSquareUniform(len(union))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chi > 300 {
+		t.Fatalf("cluster-wide sample not uniform after migration: chi2 = %v (df = %d)", chi, len(union)-1)
+	}
+}
+
+// TestMigrateRequiresCluster: the admin surface refuses /migrate on a
+// standalone daemon instead of pretending.
+func TestMigrateRequiresCluster(t *testing.T) {
+	d := testDaemon(t, defaultOptions())
+	ts := httptest.NewServer(d.handler())
+	defer ts.Close()
+	body := []byte(`{"from_slot": 0, "to_slot": 1, "target": "127.0.0.1:1"}`)
+	resp, err := http.Post(ts.URL+"/migrate", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("POST /migrate on a standalone daemon = %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestClusterStatsSurface: /stats on a clustered daemon carries the cluster
+// block (membership, epoch, slots); standalone daemons serve null there.
+func TestClusterStatsSurface(t *testing.T) {
+	ds, addrs := testClusterDaemons(t, 3, nil)
+	ts := httptest.NewServer(ds[0].handler())
+	defer ts.Close()
+	var stats struct {
+		Cluster *struct {
+			Self    string `json:"self"`
+			Epoch   uint64 `json:"epoch"`
+			Members []struct {
+				Addr      string `json:"addr"`
+				Self      bool   `json:"self"`
+				Connected bool   `json:"connected"`
+				Slots     int    `json:"slots"`
+			} `json:"members"`
+		} `json:"cluster"`
+	}
+	getJSON(t, ts.URL+"/stats", &stats)
+	if stats.Cluster == nil {
+		t.Fatal("no cluster block in a clustered daemon's /stats")
+	}
+	if stats.Cluster.Self != addrs[0] || len(stats.Cluster.Members) != 3 {
+		t.Fatalf("cluster stats %+v", stats.Cluster)
+	}
+	slots := 0
+	for _, m := range stats.Cluster.Members {
+		slots += m.Slots
+	}
+	if slots != 4096 {
+		t.Fatalf("member slot counts sum to %d, want the full table", slots)
+	}
+}
+
+// TestClusterRunFlagValidation pins run()'s -cluster contract: the flag
+// demands -stream, an explicit -seed and -members, and -members without
+// -cluster is called out rather than ignored.
+func TestClusterRunFlagValidation(t *testing.T) {
+	cases := map[string][]string{
+		"missing stream":  {"-cluster", "-members", "a:1,b:2", "-seed", "3"},
+		"missing seed":    {"-cluster", "-stream", "127.0.0.1:0", "-members", "a:1,b:2"},
+		"missing members": {"-cluster", "-stream", "127.0.0.1:0", "-seed", "3"},
+		"members alone":   {"-members", "a:1,b:2"},
+	}
+	for name, args := range cases {
+		var sb safeBuilder
+		if err := run(context.Background(), append(args, "-http", "127.0.0.1:0"), &sb); err == nil {
+			t.Errorf("%s: run accepted %v", name, args)
+		}
+	}
+}
+
+// TestClusterClientFailover: DialCluster rides out a member death by
+// rotating to the next address — pushes resume against the survivor without
+// the caller re-dialling.
+func TestClusterClientFailover(t *testing.T) {
+	d0, ln0 := testStreamDaemon(t, defaultOptions())
+	d1, ln1 := testStreamDaemon(t, defaultOptions())
+
+	c, err := client.DialCluster([]string{ln0.Addr().String(), ln1.Addr().String()}, client.DialOptions{
+		Reconnect:  true,
+		MinBackoff: 5 * time.Millisecond,
+		MaxBackoff: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.PushBatch([]nodesampling.NodeID{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "the first member to hold the pushed ids", func() bool {
+		if err := d0.pool.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		return d0.pool.MemoryTotal() == 3
+	})
+
+	// Kill member 0's stream plane: the live connection dies and the
+	// address stops accepting, so the client must rotate to member 1.
+	d0.stream.Close()
+	const marker = nodesampling.NodeID(777777)
+	waitFor(t, "pushes to resume against the surviving member", func() bool {
+		if err := c.PushBatch([]nodesampling.NodeID{marker}); err != nil {
+			return false
+		}
+		if err := d1.pool.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		return d1.pool.Estimate(uint64(marker)) > 0
+	})
+	if c.Reconnects() == 0 {
+		t.Fatal("client claims it never reconnected")
+	}
+}
+
+// TestStreamSubscribeRateCap drives the token-bucket satellite end to end:
+// a rate-capped subscription over the wire shows its cap and a growing
+// capped count in /stats while σ′ runs much faster than the budget.
+func TestStreamSubscribeRateCap(t *testing.T) {
+	d, ln := testStreamDaemon(t, defaultOptions())
+	ts := httptest.NewServer(d.handler())
+	defer ts.Close()
+
+	c, err := client.Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	const rate = 5
+	out, err := c.SubscribeRate(256, 1, rate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drain so ring drops never mask the cap accounting.
+	go func() {
+		for range out {
+		}
+	}()
+	ids := make([]nodesampling.NodeID, 600)
+	for i := range ids {
+		ids[i] = nodesampling.NodeID(i + 1)
+	}
+	if err := c.PushBatch(ids); err != nil {
+		t.Fatal(err)
+	}
+	var stats struct {
+		Subscribers []struct {
+			Offered uint64 `json:"offered"`
+			Capped  uint64 `json:"capped"`
+			Rate    uint32 `json:"rate"`
+		} `json:"subscribers"`
+	}
+	waitFor(t, "the rate cap to surface in /stats", func() bool {
+		getJSON(t, ts.URL+"/stats", &stats)
+		return len(stats.Subscribers) == 1 && stats.Subscribers[0].Capped > 0
+	})
+	if got := stats.Subscribers[0].Rate; got != rate {
+		t.Fatalf("stats report rate=%d, want %d", got, rate)
+	}
+	// The cap actually bit: far more σ′ was offered than a 5/s budget
+	// delivers over a few seconds.
+	if s := stats.Subscribers[0]; s.Offered-s.Capped > s.Offered/2 {
+		t.Fatalf("cap admitted %d of %d offered — not a cap", s.Offered-s.Capped, s.Offered)
+	}
+
+	// Wire-form validation: SubscribeRate rejects a zero rate locally.
+	if _, err := c.SubscribeRate(16, 1, 0); err == nil {
+		t.Fatal("zero rate accepted")
+	}
+}
+
+// TestStreamResumeTokenLifecycle pins the decimation-continuity satellite
+// at the server: a subscribed connection's phase is parked under its
+// SubAck token on disconnect, redeemed (single-use) by a reconnect
+// presenting the token, and an unknown token still yields a working fresh
+// subscription. The InitialSeen arithmetic itself is pinned in the subhub
+// unit tests; this is the wire plumbing around it.
+func TestStreamResumeTokenLifecycle(t *testing.T) {
+	d, ln := testStreamDaemon(t, defaultOptions())
+
+	parked := func() int {
+		d.stream.resumeMu.Lock()
+		defer d.stream.resumeMu.Unlock()
+		return len(d.stream.resumes)
+	}
+	subscribe := func(token uint64) (net.Conn, uint64) {
+		t.Helper()
+		conn, err := net.Dial("tcp", ln.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := netgossip.WriteFrame(conn, netgossip.Frame{
+			Type: netgossip.FrameSubscribe, N: 64, Every: 4, Token: token,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		_ = conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+		f, err := netgossip.ReadFrame(conn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f.Type != netgossip.FrameSubAck || f.Token == 0 {
+			t.Fatalf("frame %+v, want a SubAck with a nonzero token", f)
+		}
+		return conn, f.Token
+	}
+
+	conn1, token1 := subscribe(0)
+	conn1.Close()
+	waitFor(t, "the phase to park under the token", func() bool { return parked() == 1 })
+
+	// Redeeming the token consumes the parked entry; the resumed
+	// subscription streams like any other.
+	conn2, token2 := subscribe(token1)
+	if token2 == token1 {
+		t.Fatal("SubAck reissued the presented token")
+	}
+	waitFor(t, "the parked phase to be redeemed", func() bool { return parked() == 0 })
+
+	// σ′ flows on the resumed subscription.
+	pusher, err := client.Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pusher.Close()
+	ids := make([]nodesampling.NodeID, 400)
+	for i := range ids {
+		ids[i] = nodesampling.NodeID(i + 1)
+	}
+	if err := pusher.PushBatch(ids); err != nil {
+		t.Fatal(err)
+	}
+	_ = conn2.SetReadDeadline(time.Now().Add(10 * time.Second))
+	waitFor(t, "stream data on the resumed subscription", func() bool {
+		f, err := netgossip.ReadFrame(conn2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return f.Type == netgossip.FrameStreamData
+	})
+	conn2.Close()
+	waitFor(t, "the second phase to park", func() bool { return parked() == 1 })
+
+	// The consumed token is gone: presenting it again starts a fresh
+	// window (no error, no redemption) and leaves the second entry parked.
+	conn3, _ := subscribe(token1)
+	defer conn3.Close()
+	if got := parked(); got != 1 {
+		t.Fatalf("stale token redeemed something: %d parked entries, want 1", got)
+	}
+}

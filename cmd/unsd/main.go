@@ -31,6 +31,13 @@
 //	                                   min, max, grow_threshold,
 //	                                   shrink_threshold, cooldown_ms —
 //	                                   partial updates, {} reports state
+//	POST /migrate   {"from_slot":a,    hand a slot range this member owns —
+//	                 "to_slot":b,      its Γ ids and merged frequency state
+//	                 "target":addr}    — to another cluster member, live;
+//	                                   400 on a standalone daemon, 409
+//	                                   while busy or when the range is not
+//	                                   wholly owned here; behind the admin
+//	                                   token like the other mutators
 //	GET  /metrics                      Prometheus text exposition (v0.0.4):
 //	                                   every pool/shard/subscriber/autoscale/
 //	                                   stream/snapshot counter, the live
@@ -134,8 +141,39 @@
 // TCP connection pushes id batches up and receives σ′ stream frames,
 // sample responses and pong keepalives down — the paper's stream-in/
 // stream-out service shape, without per-sample HTTP round trips.
-// Subscribe frames may carry a decimation interval (sample-every-k), so
-// modest consumers ride the hub at a rate they can afford.
+// Subscribe frames may carry a decimation interval (sample-every-k) and a
+// per-second rate cap (token bucket, one-second burst), so modest
+// consumers ride the hub at a rate they can afford; the subscribe
+// acknowledgement carries a resume token a reconnecting decimated
+// subscriber presents to continue its 1-in-k phase where the dropped
+// connection left off.
+//
+// Cluster plane (all members must share -seed and sampler flags):
+//
+//	-cluster             run as one member of a daemon fleet sharing the
+//	                     sampling plane: ingest arriving at any member is
+//	                     partitioned by the same salted rendezvous
+//	                     placement the pool uses for its shards and
+//	                     forwarded in batches to the owning members over
+//	                     persistent framed connections, and Sample/SampleN
+//	                     fan out to the fleet, merging the members' draws
+//	                     weighted by their actual |Γ| — uniform over the
+//	                     union no matter which member answers. Requires
+//	                     -stream, -members and an explicit shared -seed.
+//	-members             comma-separated stream addresses of every member,
+//	                     this daemon's own -stream address included; every
+//	                     member must be started with the identical set
+//	-cluster-ca          CA bundle verifying other members' stream
+//	                     listeners; with -tls-cert/-tls-key the daemon's
+//	                     serving certificate doubles as its client
+//	                     certificate (mutual TLS between members)
+//
+// POST /migrate moves a slot range between members while the fleet runs
+// (flush barrier, one versioned state blob, epoch-bumped ownership flip
+// broadcast to every member — the moved ids' learned frequency estimates
+// survive), /stats gains a "cluster" block (epoch, per-member connectivity
+// and forwarding accounting), and /metrics gains the unsd_cluster_*
+// families.
 //
 // Durability: with -snapshot-path set the daemon restores the pool from
 // the snapshot at boot (the snapshot governs shard count, memory capacity
@@ -182,6 +220,7 @@ import (
 	"log/slog"
 
 	"nodesampling/internal/autoscale"
+	"nodesampling/internal/cluster"
 	"nodesampling/internal/core"
 	"nodesampling/internal/netgossip"
 	"nodesampling/internal/rng"
@@ -239,6 +278,14 @@ type options struct {
 	// constructing options directly trace nothing unless they ask).
 	traceSample int
 
+	// The cluster plane (all empty/zero when the daemon runs standalone):
+	// clusterMembers is every member's stream address including our own
+	// (clusterSelf, the -stream address); clusterCA verifies other members'
+	// stream listeners when they serve TLS.
+	clusterMembers []string
+	clusterSelf    string
+	clusterCA      string
+
 	// warnw receives boot-time warnings (nil discards them); run() passes
 	// its output writer.
 	warnw io.Writer
@@ -261,6 +308,14 @@ type daemon struct {
 	stream *streamServer // nil until listenStream
 	ctrl   *autoscale.Controller
 	start  time.Time
+
+	// The cluster plane (nil/zero standalone): the fleet view of
+	// internal/cluster, the merge randomness of the cluster-wide sample
+	// fan-out, and the fan-out counters only the daemon layer sees.
+	cluster              *cluster.Cluster
+	srng                 *sampleRNG
+	clusterFanouts       atomic.Uint64
+	clusterFanoutMissing atomic.Uint64
 
 	// The security plane (all zero when the daemon runs open, the
 	// backwards-compatible default): tlsHTTP serves the HTTP listener,
@@ -472,6 +527,34 @@ func newDaemon(o options) (*daemon, error) {
 		return nil, err
 	}
 	d.peer = peer
+	if len(o.clusterMembers) > 0 {
+		var clTLS *tls.Config
+		if o.clusterCA != "" {
+			if clTLS, err = loadClusterTLS(o.clusterCA, o.tlsCert, o.tlsKey); err != nil {
+				_ = peer.Close()
+				_ = pool.Close()
+				return nil, err
+			}
+		}
+		cl, err := cluster.New(cluster.Config{
+			Members: o.clusterMembers,
+			Self:    o.clusterSelf,
+			Seed:    o.seed,
+			TLS:     clTLS,
+			Logger:  logger,
+			// Undeliverable forwards ingest locally under the "forward"
+			// surface, which never re-forwards: misplaced, not lost.
+			Fallback: func(ids []uint64) { _ = d.ingest(ids, "forward") },
+		})
+		if err != nil {
+			_ = peer.Close()
+			_ = pool.Close()
+			return nil, err
+		}
+		d.cluster = cl
+		d.srng = newSampleRNG(o.seed)
+		cl.Start()
+	}
 	if len(o.adminToken) > 0 {
 		d.adminTokenHash = sha256.Sum256([]byte(o.adminToken))
 		d.adminTokenSet = true
@@ -829,6 +912,11 @@ func (d *daemon) Close() {
 		d.stream.Close()
 	}
 	_ = d.peer.Close()
+	if d.cluster != nil {
+		// After the ingest fronts: queued forwards drain into local ingest,
+		// so the final snapshot still captures them.
+		d.cluster.Close()
+	}
 	if d.snapshotPath != "" {
 		// Ingest fronts are gone, so the barrier is exact: ids already
 		// acknowledged into shard queues reach the samplers before the
@@ -869,6 +957,7 @@ func (d *daemon) handler() http.Handler {
 	mux.HandleFunc("GET /metrics", readOpen(d.handleMetrics))
 	mux.HandleFunc("GET /trace", d.requireToken(d.handleTrace))
 	mux.HandleFunc("POST /resize", d.requireToken(d.handleResize))
+	mux.HandleFunc("POST /migrate", d.requireToken(d.handleMigrate))
 	mux.HandleFunc("POST /snapshot", d.requireToken(d.handleSnapshot))
 	mux.HandleFunc("POST /autoscale", d.requireToken(d.handleAutoscale))
 	if d.pprofEnabled {
@@ -1004,7 +1093,7 @@ func (d *daemon) handlePush(w http.ResponseWriter, r *http.Request) {
 	for i, id := range req.IDs {
 		ids[i] = uint64(id)
 	}
-	if err := d.ingest(ids, "http"); err != nil {
+	if err := d.ingestRouted(ids, "http"); err != nil {
 		httpError(w, http.StatusServiceUnavailable, err.Error())
 		return
 	}
@@ -1027,7 +1116,9 @@ func (d *daemon) handleSample(w http.ResponseWriter, r *http.Request) {
 		n = v
 	}
 	began := time.Now()
-	samples := d.pool.SampleN(n)
+	// Clustered daemons answer over the union of member memories; the
+	// standalone path is the pool untouched.
+	samples := d.sampleN(n)
 	d.latency.Sample.ObserveSince(began)
 	if len(samples) == 0 {
 		httpError(w, http.StatusServiceUnavailable, "pool is empty")
@@ -1203,9 +1294,11 @@ type subscriberStatsJSON struct {
 	Delivered uint64 `json:"delivered"`
 	Dropped   uint64 `json:"dropped"`
 	Filtered  uint64 `json:"filtered"`
+	Capped    uint64 `json:"capped"`
 	Capacity  int    `json:"capacity"`
 	Depth     int    `json:"depth"`
 	Every     int    `json:"every"`
+	Rate      uint32 `json:"rate"`
 }
 
 func (d *daemon) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -1223,7 +1316,12 @@ func (d *daemon) handleStats(w http.ResponseWriter, r *http.Request) {
 	if uptime > 0 {
 		throughput = float64(st.Processed) / uptime
 	}
+	var clusterStats any
+	if d.cluster != nil {
+		clusterStats = d.cluster.Stats()
+	}
 	writeJSON(w, map[string]any{
+		"cluster":                   clusterStats,
 		"uptime_seconds":            uptime,
 		"processed":                 st.Processed,
 		"dropped":                   st.Dropped,
@@ -1289,9 +1387,31 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 		logFormat  = fs.String("log-format", "text", "structured log encoding: text or json")
 		uniWindow  = fs.Int("uniformity-window", 4096, "sliding-window size of the live uniformity gauge on /metrics (0 disables the divergence samples)")
 		traceEvery = fs.Int("trace-sample", 1024, "record one in N ingest batches as an ingest→σ′ span tree served by GET /trace (0 disables tracing)")
+		clusterOn  = fs.Bool("cluster", false, "run as one member of a daemon fleet sharing the sampling plane (requires -stream, -members and an explicit -seed shared by every member)")
+		membersF   = fs.String("members", "", "comma-separated stream addresses of every cluster member, this daemon's -stream address included")
+		clusterCAF = fs.String("cluster-ca", "", "CA bundle (PEM) verifying other members' stream listeners; with -tls-cert/-tls-key the daemon's certificate doubles as its client certificate for mutual TLS")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	var members []string
+	if *clusterOn {
+		if *streamAddr == "" {
+			return errors.New("-cluster requires -stream (members exchange frames on the stream listener)")
+		}
+		if *seed == 0 {
+			return errors.New("-cluster requires an explicit shared -seed (ids must route identically on every member)")
+		}
+		for _, m := range strings.Split(*membersF, ",") {
+			if m = strings.TrimSpace(m); m != "" {
+				members = append(members, m)
+			}
+		}
+		if len(members) == 0 {
+			return errors.New("-cluster requires -members")
+		}
+	} else if *membersF != "" {
+		return errors.New("-members requires -cluster")
 	}
 	if *seed == 0 {
 		*seed = uint64(time.Now().UnixNano())
@@ -1332,6 +1452,9 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 		logFormat:           *logFormat,
 		uniformityWindow:    *uniWindow,
 		traceSample:         *traceEvery,
+		clusterMembers:      members,
+		clusterSelf:         *streamAddr,
+		clusterCA:           *clusterCAF,
 		warnw:               w,
 	})
 	if err != nil {
@@ -1353,6 +1476,10 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 	}
 	if *autoOn {
 		fmt.Fprintf(w, "autoscale enabled: shards in [%d, %d], tick %v\n", *minSh, *maxSh, *autoEvery)
+	}
+	if d.cluster != nil {
+		fmt.Fprintf(w, "cluster enabled: %d members, self %s\n",
+			len(d.cluster.Members()), *streamAddr)
 	}
 	if d.restored {
 		st := d.pool.Stats()

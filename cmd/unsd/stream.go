@@ -1,7 +1,9 @@
 package main
 
 import (
+	"crypto/rand"
 	"crypto/tls"
+	"encoding/binary"
 	"errors"
 	"io"
 	"net"
@@ -9,9 +11,25 @@ import (
 	"sync/atomic"
 	"time"
 
+	"nodesampling/internal/cluster"
 	"nodesampling/internal/netgossip"
 	"nodesampling/internal/subhub"
 )
+
+// newResumeToken draws a non-zero random resume token. Tokens gate nothing
+// security-sensitive (a resumed phase only changes decimation spacing) but
+// are unguessable anyway so one subscriber cannot disturb another's.
+func newResumeToken() uint64 {
+	var b [8]byte
+	for {
+		if _, err := rand.Read(b[:]); err != nil {
+			return 0 // no entropy: subscriptions proceed without resume
+		}
+		if t := binary.BigEndian.Uint64(b[:]); t != 0 {
+			return t
+		}
+	}
+}
 
 // Stream-endpoint limits. A subscriber asking for more buffer than
 // maxSubscribeBuffer is clamped, not rejected: the cap is the daemon's
@@ -51,6 +69,68 @@ type streamServer struct {
 	conns  map[net.Conn]struct{}
 	closed bool
 	wg     sync.WaitGroup
+
+	// The subscription resume cache: when a subscribed connection tears
+	// down, its decimation phase (Subscription.Seen) is parked here under
+	// the resume token the SubAck handed out, so a reconnecting subscriber
+	// presenting the token continues the 1-in-every cadence where the old
+	// session left off instead of restarting the window. Entries are single
+	// use, TTL-bounded and capped, so an attacker cannot grow the cache.
+	resumeMu sync.Mutex
+	resumes  map[uint64]resumeEntry
+}
+
+// resumeEntry is one parked decimation phase.
+type resumeEntry struct {
+	seen    uint64
+	expires time.Time
+}
+
+// Resume-cache bounds: entries outlive a reconnect window, not a workday,
+// and the cache can never hold more entries than the connection limit
+// would have produced in a few cycles.
+const (
+	resumeTTL        = 15 * time.Minute
+	maxResumeEntries = 4 * maxStreamConns
+)
+
+// parkResume stores a closed subscription's phase under its token.
+func (s *streamServer) parkResume(token, seen uint64) {
+	if token == 0 {
+		return
+	}
+	now := time.Now()
+	s.resumeMu.Lock()
+	defer s.resumeMu.Unlock()
+	if len(s.resumes) >= maxResumeEntries {
+		for t, e := range s.resumes {
+			if now.After(e.expires) {
+				delete(s.resumes, t)
+			}
+		}
+		if len(s.resumes) >= maxResumeEntries {
+			return // still full of live entries: drop the newcomer, not them
+		}
+	}
+	s.resumes[token] = resumeEntry{seen: seen, expires: now.Add(resumeTTL)}
+}
+
+// takeResume redeems a resume token: single use, expired entries refused.
+func (s *streamServer) takeResume(token uint64) (uint64, bool) {
+	if token == 0 {
+		return 0, false
+	}
+	s.resumeMu.Lock()
+	defer s.resumeMu.Unlock()
+	e, ok := s.resumes[token]
+	if !ok {
+		return 0, false
+	}
+	delete(s.resumes, token)
+	if time.Now().After(e.expires) {
+		return 0, false
+	}
+	return e.seen, true
 }
 
 // listenStream starts serving the framed protocol on addr and returns the
@@ -65,14 +145,21 @@ func (d *daemon) listenStream(addr string) (net.Listener, error) {
 	if err != nil {
 		return nil, err
 	}
+	return d.serveStream(ln), nil
+}
+
+// serveStream starts the framed protocol on an existing listener (tests
+// pre-bind theirs so cluster member addresses are known before the daemons
+// are constructed) and returns it, TLS-wrapped when the plane is on.
+func (d *daemon) serveStream(ln net.Listener) net.Listener {
 	if d.tlsStream != nil {
 		ln = tls.NewListener(ln, d.tlsStream)
 	}
-	s := &streamServer{d: d, ln: ln, conns: make(map[net.Conn]struct{})}
+	s := &streamServer{d: d, ln: ln, conns: make(map[net.Conn]struct{}), resumes: make(map[uint64]resumeEntry)}
 	d.stream = s
 	s.wg.Add(1)
 	go s.acceptLoop()
-	return ln, nil
+	return ln
 }
 
 // streamConns reports the number of live framed connections (0 when the
@@ -172,10 +259,17 @@ func (s *streamServer) handle(conn net.Conn) {
 	w := &connWriter{conn: conn}
 	var sub *subhub.Subscription
 	var subDone chan struct{}
+	var resumeToken uint64
+	var subEvery int
 	defer func() {
 		if sub != nil {
 			sub.Cancel()
 			<-subDone
+			// Park the decimation phase so a reconnect presenting the token
+			// resumes the 1-in-every cadence mid-window.
+			if subEvery > 1 {
+				s.parkResume(resumeToken, sub.Seen())
+			}
 		}
 	}()
 	// Buffer-reusing frame decoder: the ingest funnel and the pool copy the
@@ -207,18 +301,75 @@ func (s *streamServer) handle(conn net.Conn) {
 			// the gossip path: the connection stays up. The shared ingest
 			// funnel observes the offered stream (uniformity probe, batch
 			// latency, sampled trace) before the pool takes ownership of
-			// the slice.
-			_ = s.d.ingest(f.IDs, "stream")
+			// the slice — and under -cluster, batches are partitioned and
+			// routed to their owner members first.
+			_ = s.d.ingestRouted(f.IDs, "stream")
+		case netgossip.FrameForward:
+			// A batch another member routed here because we own its slots.
+			// Receivers ingest locally and NEVER re-forward: whatever the
+			// routing tables say, a forwarded batch terminates here, so no
+			// epoch disagreement can loop it. A stale epoch tag is counted;
+			// the ids are still ingested (cluster sampling is Γ-weighted, a
+			// misplaced id remains exactly as samplable).
+			if s.d.cluster == nil {
+				s.frameErrors.Add(1)
+				_ = w.write(netgossip.Frame{Type: netgossip.FrameError, Msg: "not clustered"})
+				return
+			}
+			if f.Token < s.d.cluster.Epoch() {
+				s.d.cluster.NoteStaleForward()
+			}
+			_ = s.d.ingest(f.IDs, "forward")
+		case netgossip.FrameSampleLocal:
+			// A member's half of a cluster-wide sample fan-out: strictly
+			// local draws plus the |Γ| weight they carry in the requester's
+			// multinomial merge. Answering with d.sampleN here would fan out
+			// recursively — this frame is the recursion's base case.
+			n := int(f.N)
+			if n > netgossip.MaxBatch {
+				n = netgossip.MaxBatch
+			}
+			draws := s.d.pool.SampleN(n)
+			gamma := uint64(s.d.pool.MemoryTotal())
+			if err := w.write(netgossip.Frame{Type: netgossip.FrameSampleLocalResp, Token: gamma, IDs: draws}); err != nil {
+				return
+			}
+		case netgossip.FrameMigrateState:
+			// The import side of a live slot-range hand-off.
+			m, err := cluster.DecodeMigration(f.Blob)
+			if err != nil {
+				s.frameErrors.Add(1)
+				_ = w.write(netgossip.Frame{Type: netgossip.FrameError, Msg: trimErr(err)})
+				return
+			}
+			epoch, err := s.d.importMigration(m)
+			if err != nil {
+				_ = w.write(netgossip.Frame{Type: netgossip.FrameError, Msg: trimErr(err)})
+				return
+			}
+			if err := w.write(netgossip.Frame{Type: netgossip.FrameMigrateAck, Token: epoch}); err != nil {
+				return
+			}
+		case netgossip.FramePlacementUpdate:
+			// A migration elsewhere announcing its ownership flip. Stale
+			// epochs are rejected by ApplyPlacement; nothing to answer.
+			if s.d.cluster == nil {
+				s.frameErrors.Add(1)
+				_ = w.write(netgossip.Frame{Type: netgossip.FrameError, Msg: "not clustered"})
+				return
+			}
+			s.d.cluster.ApplyPlacement(f.Token, int(f.SlotFrom), int(f.SlotTo), int(f.Owner))
 		case netgossip.FrameSample:
 			// A SampleResp frame carries at most MaxBatch ids, so that is
 			// the cap here (tighter than the HTTP plane's maxSampleN): a
-			// larger n must not make the response unencodable.
+			// larger n must not make the response unencodable. Clustered
+			// daemons answer over the union of member memories.
 			n := int(f.N)
 			if n > netgossip.MaxBatch {
 				n = netgossip.MaxBatch
 			}
 			began := time.Now()
-			samples := s.d.pool.SampleN(n)
+			samples := s.d.sampleN(n)
 			s.d.latency.Sample.ObserveSince(began)
 			if err := w.write(netgossip.Frame{Type: netgossip.FrameSampleResp, IDs: samples}); err != nil {
 				return
@@ -243,10 +394,26 @@ func (s *streamServer) handle(conn net.Conn) {
 			if every > subhub.MaxDecimation {
 				every = subhub.MaxDecimation
 			}
+			// A presented token redeems the previous session's decimation
+			// phase; an unknown or expired one just starts a fresh window.
+			var initialSeen uint64
+			if f.Token != 0 {
+				initialSeen, _ = s.takeResume(f.Token)
+			}
 			var err error
-			sub, err = s.d.pool.SubscribeEvery(capacity, every)
+			sub, err = s.d.pool.SubscribeWith(subhub.SubOptions{
+				Capacity:    capacity,
+				Every:       every,
+				RatePerSec:  f.Rate,
+				InitialSeen: initialSeen,
+			})
 			if err != nil {
 				_ = w.write(netgossip.Frame{Type: netgossip.FrameError, Msg: trimErr(err)})
+				return
+			}
+			subEvery = every
+			resumeToken = newResumeToken()
+			if err := w.write(netgossip.Frame{Type: netgossip.FrameSubAck, Token: resumeToken}); err != nil {
 				return
 			}
 			subDone = make(chan struct{})

@@ -251,6 +251,15 @@ func TestStreamProtocolErrors(t *testing.T) {
 		}
 	}
 	_ = conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	// The first Subscribe is acknowledged (SubAck carries the resume
+	// token); only the second one is the protocol violation.
+	f, err = netgossip.ReadFrame(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Type != netgossip.FrameSubAck || f.Token == 0 {
+		t.Fatalf("frame = %+v, want a SubAck with a nonzero resume token", f)
+	}
 	f, err = netgossip.ReadFrame(conn)
 	if err != nil {
 		t.Fatal(err)

@@ -29,7 +29,7 @@ type ingestTap struct {
 }
 
 func (t ingestTap) PushBatch(ids []uint64) error {
-	return t.d.ingest(ids, "gossip")
+	return t.d.ingestRouted(ids, "gossip")
 }
 
 // ingest is the one funnel every ingest front shares — HTTP POST /push, the
@@ -88,6 +88,9 @@ func (d *daemon) newRegistry() *telemetry.Registry {
 		d.latency,
 		telemetry.CollectorFunc(d.collectDaemon),
 	)
+	if d.cluster != nil {
+		reg.Register(telemetry.CollectorFunc(d.collectCluster))
+	}
 	return reg
 }
 

@@ -14,6 +14,14 @@
 //	unsload -addr 127.0.0.1:9101 -metrics http://127.0.0.1:9100/metrics \
 //	        -rate 50000 -count 200000 -population 4096
 //
+// Against an unsd cluster, -addr takes a comma-separated member list (and
+// -metrics a matching list, or one URL, or none). One generator per member
+// pushes a distinct id stream — per-target seeds derive from -seed — with
+// every phase started across the fleet together, the way a coordinated
+// adversary would, and the per-phase reports merged into one fleet view:
+// summed offered/processed/dropped, the interleaved uniformity trajectory
+// across every member's gauge, worst-case latency percentiles.
+//
 // TLS mirrors the daemon's stream plane: -tls-ca verifies the server,
 // -tls-cert/-tls-key present a client certificate when the daemon requires
 // mutual TLS. -token is the admin bearer token, needed only against
@@ -33,6 +41,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -52,8 +61,8 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("unsload", flag.ContinueOnError)
 	fs.SetOutput(w)
 	var (
-		addr       = fs.String("addr", "", "daemon stream endpoint (host:port); required")
-		metricsURL = fs.String("metrics", "", "daemon /metrics URL; empty disables scraping")
+		addr       = fs.String("addr", "", "daemon stream endpoint(s), comma-separated for a cluster; required")
+		metricsURL = fs.String("metrics", "", "daemon /metrics URL(s): one per -addr target, a single shared URL, or empty to disable scraping")
 		token      = fs.String("token", "", "admin bearer token for -metrics (only needed against -admin-token-all)")
 		rate       = fs.Float64("rate", 50000, "target push rate in ids/second (0 = unpaced)")
 		count      = fs.Int("count", 100000, "ids pushed per phase")
@@ -73,6 +82,22 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 	if *addr == "" {
 		return errors.New("-addr is required")
 	}
+	addrs := splitList(*addr)
+	metricsURLs := splitList(*metricsURL)
+	switch {
+	case len(metricsURLs) <= 1:
+		// Zero (scraping off) or one (every target scrapes the same
+		// endpoint — fine for a shared gateway) applies to all targets.
+		for len(metricsURLs) < len(addrs) {
+			u := ""
+			if len(metricsURLs) > 0 {
+				u = metricsURLs[0]
+			}
+			metricsURLs = append(metricsURLs, u)
+		}
+	case len(metricsURLs) != len(addrs):
+		return fmt.Errorf("-metrics lists %d URLs for %d targets", len(metricsURLs), len(addrs))
+	}
 	tlsCfg, err := clientTLSConfig(*tlsCA, *tlsCert, *tlsKey)
 	if err != nil {
 		return err
@@ -85,31 +110,55 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 		}
 	}
 
-	phases, err := loadgen.StandardPhases(*population, *count, *seed, *rate)
-	if err != nil {
-		return err
+	gens := make([]*loadgen.Generator, 0, len(addrs))
+	phaseLists := make([][]loadgen.Phase, 0, len(addrs))
+	defer func() {
+		for _, g := range gens {
+			g.Close()
+		}
+	}()
+	for i, target := range addrs {
+		// Per-target seeds keep the member streams distinct — a fleet fed
+		// identical ids would measure dedup, not routing.
+		phases, err := loadgen.StandardPhases(*population, *count, *seed+uint64(i), *rate)
+		if err != nil {
+			return err
+		}
+		g, err := loadgen.New(loadgen.Config{
+			Addr:           target,
+			TLS:            tlsCfg,
+			MetricsURL:     metricsURLs[i],
+			Token:          *token,
+			HTTPClient:     hc,
+			Rate:           *rate,
+			Batch:          *batch,
+			ScrapeInterval: time.Duration(*scrapeMS) * time.Millisecond,
+			LatencySample:  *latEvery,
+		})
+		if err != nil {
+			return err
+		}
+		gens = append(gens, g)
+		phaseLists = append(phaseLists, phases)
 	}
-	g, err := loadgen.New(loadgen.Config{
-		Addr:           *addr,
-		TLS:            tlsCfg,
-		MetricsURL:     *metricsURL,
-		Token:          *token,
-		HTTPClient:     hc,
-		Rate:           *rate,
-		Batch:          *batch,
-		ScrapeInterval: time.Duration(*scrapeMS) * time.Millisecond,
-		LatencySample:  *latEvery,
-	})
-	if err != nil {
-		return err
-	}
-	defer g.Close()
 
 	if !*jsonOut {
-		fmt.Fprintf(w, "unsload: %d phases x %d ids against %s (rate %.0f ids/s)\n",
-			len(phases), *count, *addr, *rate)
+		fmt.Fprintf(w, "unsload: %d phases x %d ids against %s (rate %.0f ids/s",
+			len(phaseLists[0]), *count, *addr, *rate)
+		if len(addrs) > 1 {
+			fmt.Fprintf(w, " per target, %d targets", len(addrs))
+		}
+		fmt.Fprintln(w, ")")
 	}
-	reports, runErr := g.Run(ctx, phases)
+	var (
+		reports []loadgen.Report
+		runErr  error
+	)
+	if len(gens) == 1 {
+		reports, runErr = gens[0].Run(ctx, phaseLists[0])
+	} else {
+		reports, runErr = loadgen.RunMulti(ctx, gens, phaseLists)
+	}
 	if *jsonOut {
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
@@ -122,6 +171,18 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 		}
 	}
 	return runErr
+}
+
+// splitList splits a comma-separated flag value, trimming whitespace and
+// dropping empty entries.
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
 }
 
 // printReport renders one phase the way an operator reads it: what was

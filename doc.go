@@ -161,14 +161,24 @@
 // offered/delivered/dropped/filtered accounting. Subscriptions may opt
 // into decimation (SubscribeEvery): only every k-th draw is delivered, so
 // a modest consumer rides a fast pool at a rate it can afford — a 1-in-k
-// thinning of an i.i.d. uniform stream is itself i.i.d. uniform. Service
-// fans out through the same hub, with the same accounting and decimation,
-// at single-sampler scale.
+// thinning of an i.i.d. uniform stream is itself i.i.d. uniform. A
+// subscription can also be rate-capped (SubscribeRate, the client's
+// SubscribeRate, the wire protocol's rate field): a token bucket of r
+// tokens per second with a one-second burst drops draws beyond the cap
+// before they reach the buffer — time-based where decimation is
+// count-based, and like it a uniformity-preserving thinning; the drops are
+// accounted separately ("capped") from buffer overflow. Over the framed
+// stream protocol a decimated subscription is also resumable: the
+// subscribe acknowledgement carries a resume token, and a reconnecting
+// client that presents it continues the 1-in-k phase exactly where the
+// dropped connection left off instead of restarting the count. Service
+// fans out through the same hub, with the same accounting, decimation and
+// rate caps, at single-sampler scale.
 //
 // # Hot path anatomy
 //
 // Batch ingest is engineered to a nanosecond budget; the numbers below are
-// from the single-CPU reference container (BENCH_9.json, ns per id,
+// from the single-CPU reference container (BENCH_10.json, ns per id,
 // single-shard PushBatch ≈ 52 ns/id, 0 allocs/op steady state):
 //
 //   - Partition (~1–2 ns): a counting-sort pass groups the batch by
@@ -272,6 +282,48 @@
 // for the push-ack and Sample round trips (-latency-sample) — push the
 // attack, watch the gauge degrade, watch it recover, and cross-check the
 // daemon's histograms from the outside.
+//
+// # Cluster operation
+//
+// One daemon's pool shards across cores; a fleet of daemons shards across
+// machines, by lifting the pool's own placement abstraction one level.
+// The salted rendezvous computation that assigns hash-space slots to shard
+// workers (internal/shard.NewPlacement — epoch-versioned, salted by the
+// shared seed, bit-identical across versions because persisted snapshots
+// and mixed fleets both replay it) here assigns the same slots to member
+// daemons, so an id's route is decided by identical arithmetic at both
+// levels: first to a member, then within that member's pool to a shard.
+//
+// Start every member with -cluster, the same -members list, the same
+// explicit -seed and sampler flags (internal/cluster sorts the list, so
+// member indices agree everywhere). Ingest arriving at ANY member — HTTP,
+// framed stream or gossip — is partitioned against the routing table: the
+// locally-owned ids enter the local pool, the rest travel to their owner
+// members in batches over persistent framed connections (FrameForward,
+// tagged with the sender's placement epoch). An undeliverable batch falls
+// back to local ingest: misplaced, never lost, and harmless to uniformity
+// because cluster-wide sampling weights members by the |Γ| they actually
+// hold. Sample and SampleN at any member fan out to the fleet and merge
+// the members' local draws by a |Γ|-weighted multinomial — the same
+// estimate-the-union trick the pool plays across its shards — so the
+// answer is uniform over the union of member memories no matter how
+// unevenly ids are distributed, and no matter which member was asked.
+//
+// Ownership moves while the fleet runs. POST /migrate on a member that
+// owns a slot range hands the range to another member: a flush barrier
+// settles in-queue ids, the range's Γ ids and merged frequency state are
+// exported and transferred as one versioned blob (FrameMigrateState), the
+// target imports both before taking ownership, and the flip is installed
+// under a bumped placement epoch and broadcast to the fleet
+// (FramePlacementUpdate). An id's learned sketch evidence — the state the
+// paper's defence spends the attack window accumulating — survives the
+// move. The cluster plane exports its own metric families (epoch,
+// per-member connectivity, forwarded and fallback ids, sample fan-out
+// health) through the same /metrics surface, and cmd/unsload drives a
+// whole fleet at once (comma-separated -addr targets, per-phase reports
+// merged across members). Client-side, DialCluster rotates across member
+// addresses on reconnect, so a subscription outlives the member it
+// happened to be attached to.
 //
 // Use Service for a single node's modest stream, Pool when one sampler
 // cannot absorb the traffic, and the unsd daemon (cmd/unsd) to serve a

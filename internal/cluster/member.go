@@ -1,0 +1,381 @@
+package cluster
+
+import (
+	"crypto/tls"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"nodesampling/internal/netgossip"
+)
+
+// ErrNotConnected is returned by member RPCs while the connection to that
+// member is down (the dial loop keeps retrying in the background).
+var ErrNotConnected = errors.New("cluster: member not connected")
+
+// ErrRPCTimeout is returned by member RPCs whose response did not arrive in
+// time; the connection is recycled, since a late response would otherwise
+// be mistaken for the next exchange's answer.
+var ErrRPCTimeout = errors.New("cluster: rpc timed out")
+
+// rpcResp is one response frame (or terminal error) tagged with the
+// connection generation that produced it, the same stale-session defence
+// the client package uses across its reconnects.
+type rpcResp struct {
+	gen   uint64
+	typ   netgossip.FrameType
+	token uint64 // |Γ| for sample responses, epoch for migrate acks
+	ids   []uint64
+	err   error
+}
+
+// memberConn is the persistent framed connection to one remote member:
+// a dial/reconnect supervisor, a bounded forward queue drained by a writer
+// goroutine, a reader goroutine dispatching RPC responses, and the
+// single-outstanding RPC surface (sampleLocal, migrate) on top.
+type memberConn struct {
+	c            *Cluster
+	idx          int
+	addr         string
+	tls          *tls.Config
+	dialTimeout  time.Duration
+	writeTimeout time.Duration
+
+	q       chan []uint64 // forward batches awaiting delivery
+	closing chan struct{}
+
+	mu   sync.Mutex // guards conn identity and serialises frame writes
+	conn net.Conn
+
+	gen atomic.Uint64 // bumped per established connection
+
+	// rpcMu admits one request/response exchange at a time (sample or
+	// migrate), so responses need no correlation ids on the wire.
+	rpcMu sync.Mutex
+	rpcc  chan rpcResp
+
+	connected        atomic.Bool
+	forwardedBatches atomic.Uint64
+	forwardedIDs     atomic.Uint64
+	forwardErrors    atomic.Uint64
+	fallbackIDs      atomic.Uint64
+	dialFailures     atomic.Uint64
+	sampleRPCs       atomic.Uint64
+	sampleErrors     atomic.Uint64
+}
+
+func newMemberConn(c *Cluster, idx int, addr string, tlsCfg *tls.Config, queue int, dialTimeout, writeTimeout time.Duration) *memberConn {
+	return &memberConn{
+		c:            c,
+		idx:          idx,
+		addr:         addr,
+		tls:          tlsCfg,
+		dialTimeout:  dialTimeout,
+		writeTimeout: writeTimeout,
+		q:            make(chan []uint64, queue),
+		closing:      make(chan struct{}),
+		rpcc:         make(chan rpcResp, 1),
+	}
+}
+
+// forward enqueues a batch (taking ownership of the slice); a full queue
+// falls back to local ingest immediately rather than blocking the hot
+// ingest path behind a slow member.
+func (mc *memberConn) forward(ids []uint64) {
+	select {
+	case mc.q <- ids:
+	default:
+		mc.fallbackIDs.Add(uint64(len(ids)))
+		mc.c.fallback(ids)
+	}
+}
+
+// shutdown unblocks run and both per-connection goroutines.
+func (mc *memberConn) shutdown() {
+	close(mc.closing)
+	mc.mu.Lock()
+	if mc.conn != nil {
+		_ = mc.conn.Close()
+	}
+	mc.mu.Unlock()
+}
+
+// run is the connection supervisor: dial with bounded backoff, run one
+// connection's writer and reader until it fails, repeat until shutdown. On
+// exit it drains the forward queue into the fallback sink so enqueued
+// batches are ingested locally rather than dropped.
+func (mc *memberConn) run() {
+	defer mc.c.wg.Done()
+	defer mc.drainToFallback()
+	backoff := 50 * time.Millisecond
+	const maxBackoff = 2 * time.Second
+	for {
+		select {
+		case <-mc.closing:
+			return
+		default:
+		}
+		conn, err := mc.dial()
+		if err != nil {
+			mc.dialFailures.Add(1)
+			select {
+			case <-time.After(backoff):
+			case <-mc.closing:
+				return
+			}
+			backoff *= 2
+			if backoff > maxBackoff {
+				backoff = maxBackoff
+			}
+			continue
+		}
+		backoff = 50 * time.Millisecond
+		mc.mu.Lock()
+		select {
+		case <-mc.closing:
+			mc.mu.Unlock()
+			_ = conn.Close()
+			return
+		default:
+		}
+		mc.conn = conn
+		mc.mu.Unlock()
+		mc.gen.Add(1)
+		mc.connected.Store(true)
+		mc.c.logger.Info("cluster member connected", "member", mc.addr)
+
+		dead := make(chan struct{}) // closed by the reader when the connection fails
+		readerDone := make(chan struct{})
+		go mc.readLoop(conn, dead, readerDone)
+		mc.writeLoop(conn, dead)
+
+		mc.connected.Store(false)
+		mc.mu.Lock()
+		mc.conn = nil
+		mc.mu.Unlock()
+		_ = conn.Close()
+		<-readerDone
+		mc.c.logger.Warn("cluster member disconnected", "member", mc.addr)
+	}
+}
+
+func (mc *memberConn) dial() (net.Conn, error) {
+	conn, err := (&net.Dialer{Timeout: mc.dialTimeout}).Dial("tcp", mc.addr)
+	if err != nil {
+		return nil, err
+	}
+	if mc.tls == nil {
+		return conn, nil
+	}
+	cfg := mc.tls
+	if cfg.ServerName == "" {
+		if host, _, herr := net.SplitHostPort(mc.addr); herr == nil {
+			cfg = cfg.Clone()
+			cfg.ServerName = host
+		}
+	}
+	tconn := tls.Client(conn, cfg)
+	_ = tconn.SetDeadline(time.Now().Add(mc.dialTimeout))
+	if err := tconn.Handshake(); err != nil {
+		_ = conn.Close()
+		return nil, fmt.Errorf("tls handshake: %w", err)
+	}
+	_ = tconn.SetDeadline(time.Time{})
+	return tconn, nil
+}
+
+// writeLoop drains the forward queue onto conn, tagging every Forward
+// frame with the current placement epoch so the receiver can spot a stale
+// routing decision. A failed write hands the batch to the fallback sink
+// and recycles the connection.
+func (mc *memberConn) writeLoop(conn net.Conn, dead chan struct{}) {
+	for {
+		select {
+		case ids := <-mc.q:
+			if err := mc.writeFrame(netgossip.Frame{Type: netgossip.FrameForward, Token: mc.c.Epoch(), IDs: ids}); err != nil {
+				mc.forwardErrors.Add(1)
+				mc.fallbackIDs.Add(uint64(len(ids)))
+				mc.c.fallback(ids)
+				return
+			}
+			mc.forwardedBatches.Add(1)
+			mc.forwardedIDs.Add(uint64(len(ids)))
+		case <-dead:
+			return
+		case <-mc.closing:
+			return
+		}
+	}
+}
+
+// readLoop dispatches inbound frames until the connection fails: RPC
+// responses to the single-slot rpc channel (tagged with the connection
+// generation), placement updates to the routing table, pongs ignored.
+func (mc *memberConn) readLoop(conn net.Conn, dead, done chan struct{}) {
+	defer close(done)
+	defer close(dead)
+	gen := mc.gen.Load()
+	fr := netgossip.NewFrameReader(conn)
+	for {
+		f, err := fr.Read()
+		if err != nil {
+			return
+		}
+		switch f.Type {
+		case netgossip.FrameSampleLocalResp:
+			// IDs alias the reader's buffer; copy before handing off.
+			mc.deliver(rpcResp{gen: gen, typ: f.Type, token: f.Token, ids: append([]uint64(nil), f.IDs...)})
+		case netgossip.FrameMigrateAck:
+			mc.deliver(rpcResp{gen: gen, typ: f.Type, token: f.Token})
+		case netgossip.FramePlacementUpdate:
+			mc.c.ApplyPlacement(f.Token, int(f.SlotFrom), int(f.SlotTo), int(f.Owner))
+		case netgossip.FramePong:
+		case netgossip.FrameError:
+			mc.deliver(rpcResp{gen: gen, err: fmt.Errorf("cluster: member %s: %s", mc.addr, f.Msg)})
+			mc.c.logger.Warn("cluster member error frame", "member", mc.addr, "msg", f.Msg)
+			return
+		default:
+			mc.c.logger.Warn("cluster member sent unexpected frame", "member", mc.addr, "type", int(f.Type))
+			return
+		}
+	}
+}
+
+// deliver hands a response to the single-slot rpc channel, evicting a
+// buffered stale one: with rpcMu admitting one exchange at a time, anything
+// already buffered belongs to an abandoned or previous-session request.
+func (mc *memberConn) deliver(r rpcResp) {
+	select {
+	case mc.rpcc <- r:
+		return
+	default:
+	}
+	select {
+	case <-mc.rpcc:
+	default:
+	}
+	select {
+	case mc.rpcc <- r:
+	default:
+	}
+}
+
+// writeFrame sends one frame under the connection lock with a write
+// deadline, so a wedged member cannot pin the writer (or an RPC) forever.
+func (mc *memberConn) writeFrame(f netgossip.Frame) error {
+	mc.mu.Lock()
+	defer mc.mu.Unlock()
+	conn := mc.conn
+	if conn == nil {
+		return ErrNotConnected
+	}
+	_ = conn.SetWriteDeadline(time.Now().Add(mc.writeTimeout))
+	err := netgossip.WriteFrame(conn, f)
+	_ = conn.SetWriteDeadline(time.Time{})
+	return err
+}
+
+// rpc runs one request/response exchange: write req, wait for a response
+// of type want from the same connection generation. A timeout recycles the
+// connection (a late response must not answer the next request).
+func (mc *memberConn) rpc(req netgossip.Frame, want netgossip.FrameType, timeout time.Duration) (rpcResp, error) {
+	mc.rpcMu.Lock()
+	defer mc.rpcMu.Unlock()
+	if !mc.connected.Load() {
+		return rpcResp{}, ErrNotConnected
+	}
+	gen := mc.gen.Load()
+	select { // clear any abandoned predecessor response
+	case <-mc.rpcc:
+	default:
+	}
+	if err := mc.writeFrame(req); err != nil {
+		return rpcResp{}, err
+	}
+	deadline := time.After(timeout)
+	for {
+		select {
+		case r := <-mc.rpcc:
+			if r.gen != gen {
+				continue // buffered response from a dead connection
+			}
+			if r.err != nil {
+				return rpcResp{}, r.err
+			}
+			if r.typ != want {
+				return rpcResp{}, fmt.Errorf("cluster: member %s answered frame type %d, want %d", mc.addr, r.typ, want)
+			}
+			return r, nil
+		case <-deadline:
+			mc.dropConn(gen)
+			return rpcResp{}, fmt.Errorf("%w: member %s", ErrRPCTimeout, mc.addr)
+		case <-mc.closing:
+			return rpcResp{}, ErrNotConnected
+		}
+	}
+}
+
+// dropConn closes the current connection if it is still the one the failed
+// exchange was written to, forcing a reconnect without penalising a
+// healthy successor.
+func (mc *memberConn) dropConn(gen uint64) {
+	mc.mu.Lock()
+	conn := mc.conn
+	current := mc.gen.Load() == gen
+	mc.mu.Unlock()
+	if current && conn != nil {
+		_ = conn.Close()
+	}
+}
+
+// sampleLocal asks the member for n uniform draws from its own pool along
+// with its current |Γ| weight.
+func (mc *memberConn) sampleLocal(n int, timeout time.Duration) (gamma uint64, ids []uint64, err error) {
+	mc.sampleRPCs.Add(1)
+	r, err := mc.rpc(netgossip.Frame{Type: netgossip.FrameSampleLocal, N: uint32(n)}, netgossip.FrameSampleLocalResp, timeout)
+	if err != nil {
+		mc.sampleErrors.Add(1)
+		return 0, nil, err
+	}
+	return r.token, r.ids, nil
+}
+
+// migrate transfers a migration blob and waits for the ack carrying the
+// placement epoch the target installed.
+func (mc *memberConn) migrate(blob []byte, timeout time.Duration) (uint64, error) {
+	r, err := mc.rpc(netgossip.Frame{Type: netgossip.FrameMigrateState, Blob: blob}, netgossip.FrameMigrateAck, timeout)
+	if err != nil {
+		return 0, err
+	}
+	return r.token, nil
+}
+
+// sendPlacement enqueues a placement announcement on the connection,
+// best-effort: a down member misses it and catches up via stale-forward
+// epochs.
+func (mc *memberConn) sendPlacement(epoch uint64, from, to, owner int) {
+	_ = mc.writeFrame(netgossip.Frame{
+		Type:     netgossip.FramePlacementUpdate,
+		Token:    epoch,
+		SlotFrom: uint32(from),
+		SlotTo:   uint32(to),
+		Owner:    uint32(owner),
+	})
+}
+
+// drainToFallback hands every still-queued forward batch to local ingest
+// on shutdown or terminal disconnect — the cluster layer never loses ids.
+func (mc *memberConn) drainToFallback() {
+	for {
+		select {
+		case ids := <-mc.q:
+			mc.fallbackIDs.Add(uint64(len(ids)))
+			mc.c.fallback(ids)
+		default:
+			return
+		}
+	}
+}

@@ -18,7 +18,7 @@ func BenchPartition(n, batchSize, shards int, pooled bool) uint64 {
 	for i := range keys {
 		keys[i] = r.Uint64()
 	}
-	m := newShardMap(0, keys)
+	m := NewPlacement(0, keys)
 	salt := r.Uint64()
 	ids := make([]uint64, batchSize)
 	for i := range ids {
@@ -42,7 +42,7 @@ func BenchPartition(n, batchSize, shards int, pooled bool) uint64 {
 			backing = make([]uint64, len(ids))
 		}
 		for i, id := range ids {
-			s := m.owner(rng.Mix64(id ^ salt))
+			s := m.Owner(rng.Mix64(id ^ salt))
 			shardTags[i] = uint8(s)
 			counts[s]++
 		}

@@ -1,0 +1,71 @@
+package shard
+
+import "nodesampling/internal/rng"
+
+// Placement is the ownership layer extracted from the pool: one immutable
+// epoch of a salted rendezvous partition mapping hashed ids to owner
+// indices through a fixed-size slot table. The pool uses it with one key
+// per in-process shard worker (the historical shardMap); the cluster layer
+// reuses the identical computation with one key per member daemon, so an
+// id's route is decided by the same arithmetic at both levels — slot :=
+// top slotBits of Mix64(id ^ salt), owner := the key scoring highest for
+// that slot.
+//
+// Because keys keep their indices across resizes, a grown placement moves
+// slots only onto the new owners and a shrunk one moves only the retired
+// owners' slots — the minimal-disruption property of rendezvous hashing,
+// at O(1) routing cost per id. The type is immutable after construction
+// and safe for concurrent readers.
+type Placement struct {
+	epoch uint64
+	keys  []uint64
+	table []uint8
+}
+
+// PlacementSlots is the size of the slot table (2^slotBits). Every
+// placement, local or cluster-level, partitions the hash space into this
+// many slots; cluster shard migration moves ownership at slot granularity.
+const PlacementSlots = numSlots
+
+// NewPlacement derives the slot table for the given rendezvous keys. The
+// computation is the routing contract: for each slot, the owner is the
+// index i maximising Mix64(Mix64(slot) ^ keys[i]), ties to the lowest
+// index (so the winner among a surviving prefix of keys never depends on
+// the keys removed after it). Snapshots persist keys and epoch and rebuild
+// the table through this function, so it must stay bit-identical across
+// versions.
+func NewPlacement(epoch uint64, keys []uint64) *Placement {
+	m := &Placement{epoch: epoch, keys: keys, table: make([]uint8, numSlots)}
+	for slot := 0; slot < numSlots; slot++ {
+		h := rng.Mix64(uint64(slot))
+		best, bestScore := 0, rng.Mix64(h^keys[0])
+		for i := 1; i < len(keys); i++ {
+			// Strict inequality: ties go to the lowest index, so the winner
+			// among a surviving prefix of keys never depends on the keys
+			// removed after it.
+			if s := rng.Mix64(h ^ keys[i]); s > bestScore {
+				best, bestScore = i, s
+			}
+		}
+		m.table[slot] = uint8(best)
+	}
+	return m
+}
+
+// Epoch returns the placement's version; every topology change installs a
+// successor with a strictly higher epoch.
+func (m *Placement) Epoch() uint64 { return m.epoch }
+
+// NumOwners returns how many rendezvous keys (owners) the placement ranks.
+func (m *Placement) NumOwners() int { return len(m.keys) }
+
+// PlacementSlot maps a salted id hash to its slot index — the top slotBits
+// bits of the hash. The caller salts and mixes (rng.Mix64(id ^ salt)); the
+// slot is a pure function of that hash, shared by every placement level.
+func PlacementSlot(hashed uint64) int { return int(hashed >> (64 - slotBits)) }
+
+// Owner maps a salted id hash to its owner index.
+func (m *Placement) Owner(hashed uint64) int { return int(m.table[hashed>>(64-slotBits)]) }
+
+// SlotOwner returns the owner index for one slot of the table.
+func (m *Placement) SlotOwner(slot int) int { return int(m.table[slot]) }

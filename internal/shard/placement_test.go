@@ -1,0 +1,108 @@
+package shard
+
+import (
+	"testing"
+
+	"nodesampling/internal/rng"
+)
+
+// placementKeys derives a deterministic key set the way both placement
+// levels do in production: mixed from small integers.
+func placementKeys(n int) []uint64 {
+	keys := make([]uint64, n)
+	for i := range keys {
+		keys[i] = rng.Mix64(uint64(i) + 0x9e3779b97f4a7c15)
+	}
+	return keys
+}
+
+// placementChecksum folds the owner table into one FNV-1a word. Any change
+// to the rendezvous arithmetic shows up here.
+func placementChecksum(m *Placement) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for slot := 0; slot < PlacementSlots; slot++ {
+		h ^= uint64(m.SlotOwner(slot))
+		h *= prime
+	}
+	return h
+}
+
+// TestPlacementGolden pins the routing contract: snapshots persist only the
+// keys and epoch and rebuild the owner table through NewPlacement, and the
+// cluster layer reuses the same arithmetic for member-level routing, so the
+// table for a fixed key set must stay bit-identical across versions. If
+// this test fails, existing snapshots and mixed-version fleets would route
+// ids to the wrong owners — the fix is to revert the arithmetic, not to
+// update the constants.
+func TestPlacementGolden(t *testing.T) {
+	golden := map[int]uint64{
+		1:  0xb93a0c83ce3b6325,
+		3:  0x5fa3a947810cc59e,
+		4:  0xbca555d6d1e50693,
+		16: 0x54d3aac8e19521fa,
+	}
+	for n, want := range golden {
+		if got := placementChecksum(NewPlacement(0, placementKeys(n))); got != want {
+			t.Errorf("placement table checksum for %d keys = %#x, want %#x", n, got, want)
+		}
+	}
+}
+
+// TestPlacementOwnerMatchesSlot pins the two routing entry points to each
+// other: Owner(hash) must agree with SlotOwner(PlacementSlot(hash)) for
+// arbitrary hashes, since ingest routes through the former and migration
+// ranges through the latter.
+func TestPlacementOwnerMatchesSlot(t *testing.T) {
+	m := NewPlacement(2, placementKeys(5))
+	if m.Epoch() != 2 {
+		t.Fatalf("Epoch = %d, want 2", m.Epoch())
+	}
+	if m.NumOwners() != 5 {
+		t.Fatalf("NumOwners = %d, want 5", m.NumOwners())
+	}
+	h := uint64(0x243f6a8885a308d3)
+	for i := 0; i < 10000; i++ {
+		h = rng.Mix64(h + uint64(i))
+		slot := PlacementSlot(h)
+		if slot < 0 || slot >= PlacementSlots {
+			t.Fatalf("PlacementSlot(%#x) = %d outside the table", h, slot)
+		}
+		if m.Owner(h) != m.SlotOwner(slot) {
+			t.Fatalf("Owner(%#x) = %d, SlotOwner(%d) = %d", h, m.Owner(h), slot, m.SlotOwner(slot))
+		}
+	}
+}
+
+// TestPlacementMinimalDisruption pins the property migration relies on:
+// growing the key set moves slots only onto the new owner, and shrinking
+// back restores the original table exactly (ties go to the lowest index, so
+// a surviving prefix never re-ranks).
+func TestPlacementMinimalDisruption(t *testing.T) {
+	small := NewPlacement(0, placementKeys(3))
+	big := NewPlacement(1, placementKeys(4))
+	moved := 0
+	for slot := 0; slot < PlacementSlots; slot++ {
+		was, is := small.SlotOwner(slot), big.SlotOwner(slot)
+		if was != is {
+			if is != 3 {
+				t.Fatalf("slot %d moved %d -> %d, not onto the new owner", slot, was, is)
+			}
+			moved++
+		}
+	}
+	// Rendezvous spreads roughly 1/4 of the slots to a 4th owner; anything
+	// near 0 or near all means the scoring is broken.
+	if moved < PlacementSlots/8 || moved > PlacementSlots/2 {
+		t.Fatalf("%d of %d slots moved to the new owner, want about a quarter", moved, PlacementSlots)
+	}
+	again := NewPlacement(2, placementKeys(3))
+	for slot := 0; slot < PlacementSlots; slot++ {
+		if again.SlotOwner(slot) != small.SlotOwner(slot) {
+			t.Fatalf("slot %d differs after shrinking back", slot)
+		}
+	}
+}

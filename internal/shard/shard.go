@@ -175,39 +175,10 @@ func (c Config) samplerFactory() (core.SamplerFactory, bool) {
 	return core.SamplerFactory{}, false
 }
 
-// shardMap is one immutable epoch of the partition: a rendezvous key per
-// shard and the slot table derived from the keys. Ids hash (salted) to a
-// slot; the slot's owner is the shard whose key scores highest for it.
-// Because keys keep their indices across resizes, a grown map moves slots
-// only onto the new shards and a shrunk map moves only the retired shards'
-// slots — the minimal-disruption property of rendezvous hashing, at O(1)
-// routing cost per id.
-type shardMap struct {
-	epoch uint64
-	keys  []uint64
-	table []uint8
-}
-
-func newShardMap(epoch uint64, keys []uint64) *shardMap {
-	m := &shardMap{epoch: epoch, keys: keys, table: make([]uint8, numSlots)}
-	for slot := 0; slot < numSlots; slot++ {
-		h := rng.Mix64(uint64(slot))
-		best, bestScore := 0, rng.Mix64(h^keys[0])
-		for i := 1; i < len(keys); i++ {
-			// Strict inequality: ties go to the lowest index, so the winner
-			// among a surviving prefix of keys never depends on the keys
-			// removed after it.
-			if s := rng.Mix64(h ^ keys[i]); s > bestScore {
-				best, bestScore = i, s
-			}
-		}
-		m.table[slot] = uint8(best)
-	}
-	return m
-}
-
-// owner maps a salted id hash to its shard index.
-func (m *shardMap) owner(hashed uint64) int { return int(m.table[hashed>>(64-slotBits)]) }
+// The partition's shard map is a Placement (placement.go) with one
+// rendezvous key per in-process shard worker: ids hash (salted) to a slot,
+// the slot's owner is the shard whose key scores highest for it. The same
+// type, with one key per member daemon, is the cluster routing table.
 
 // ShardOf returns the shard index id is routed to under the current shard
 // map. The id is salted with a per-pool secret before mixing: a stationary
@@ -218,7 +189,7 @@ func (m *shardMap) owner(hashed uint64) int { return int(m.table[hashed>>(64-slo
 // every id still maps to one stable shard between resizes, preserving the
 // per-shard Freshness argument.
 func (p *Pool) ShardOf(id uint64) int {
-	return p.smap.Load().owner(rng.Mix64(id ^ p.salt))
+	return p.smap.Load().Owner(rng.Mix64(id ^ p.salt))
 }
 
 // worker is one shard: a ring queue, a control channel, a sampler and the
@@ -491,7 +462,7 @@ type Pool struct {
 	// but stored atomically so ShardOf and NumShards stay safe without a
 	// lock; within a mu critical section (read or write) it is consistent
 	// with workers.
-	smap atomic.Pointer[shardMap]
+	smap atomic.Pointer[Placement]
 
 	// The streaming output plane: workers append per-id output draws onto
 	// out (non-blocking; overflow counted in emitDropped), and the emitter
@@ -544,7 +515,7 @@ func New(cfg Config) (*Pool, error) {
 		}
 		p.workers[i] = newWorker(sampler, cfg.Buffer)
 	}
-	p.smap.Store(newShardMap(0, keys))
+	p.smap.Store(NewPlacement(0, keys))
 	p.start()
 	return p, nil
 }
@@ -656,6 +627,17 @@ func (p *Pool) SubscribeEvery(capacity, every int) (*subhub.Subscription, error)
 	return p.hub.SubscribeEvery(capacity, every)
 }
 
+// SubscribeWith is Subscribe with the full option surface — decimation,
+// delivery rate cap and decimation-phase seeding (subhub.SubOptions).
+func (p *Pool) SubscribeWith(o subhub.SubOptions) (*subhub.Subscription, error) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if p.closed {
+		return nil, ErrPoolClosed
+	}
+	return p.hub.SubscribeWith(o)
+}
+
 // Unsubscribe cancels a subscription obtained from Subscribe. Nil-safe and
 // idempotent.
 func (p *Pool) Unsubscribe(s *subhub.Subscription) { p.hub.Unsubscribe(s) }
@@ -737,7 +719,7 @@ func (p *Pool) Push(id uint64) error {
 	if p.closed {
 		return ErrPoolClosed
 	}
-	p.send(p.smap.Load().owner(rng.Mix64(id^p.salt)), []uint64{id}, nil, spans.Context{})
+	p.send(p.smap.Load().Owner(rng.Mix64(id^p.salt)), []uint64{id}, nil, spans.Context{})
 	return nil
 }
 
@@ -794,7 +776,7 @@ func pushBatchOf[T ~uint64](p *Pool, ids []T, tc spans.Context) error {
 	sc := scratchPool.Get().(*partScratch)
 	shards, counts := sc.grow(len(ids), n) // counts: [0,n) cursors, [n,2n) starts
 	for i, id := range ids {
-		s := m.owner(rng.Mix64(uint64(id) ^ p.salt))
+		s := m.Owner(rng.Mix64(uint64(id) ^ p.salt))
 		shards[i] = uint8(s)
 		counts[s]++
 	}
@@ -999,7 +981,7 @@ func (p *Pool) Memory() []uint64 {
 func (p *Pool) Estimate(id uint64) uint64 {
 	p.mu.RLock()
 	defer p.mu.RUnlock()
-	w := p.workers[p.smap.Load().owner(rng.Mix64(id^p.salt))]
+	w := p.workers[p.smap.Load().Owner(rng.Mix64(id^p.salt))]
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	return w.sampler.Estimate(id)
@@ -1074,7 +1056,7 @@ func (p *Pool) Resize(shards int) error {
 	} else {
 		keys = keys[:shards]
 	}
-	newMap := newShardMap(oldMap.epoch+1, keys)
+	newMap := NewPlacement(oldMap.epoch+1, keys)
 
 	// Γ re-partition: every remembered id moves to its owner under the new
 	// map (rendezvous monotonicity means ids only move onto new shards on a
@@ -1082,7 +1064,7 @@ func (p *Pool) Resize(shards int) error {
 	parts := make([][]uint64, shards)
 	for _, w := range old {
 		for _, id := range w.sampler.Memory() {
-			s := newMap.owner(rng.Mix64(id ^ p.salt))
+			s := newMap.Owner(rng.Mix64(id ^ p.salt))
 			parts[s] = append(parts[s], id)
 		}
 	}

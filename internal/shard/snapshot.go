@@ -309,7 +309,7 @@ func Restore(cfg Config, data []byte) (*Pool, error) {
 	p.strategy = factory.Name
 	p.salt = salt
 	p.workers = workers
-	p.smap.Store(newShardMap(epoch, keys))
+	p.smap.Store(NewPlacement(epoch, keys))
 	p.decayTotal.Store(decayTotal)
 	p.retiredProcessed.Store(retProcessed)
 	p.retiredDropped.Store(retDropped)

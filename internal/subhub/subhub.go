@@ -14,14 +14,19 @@
 //
 // Subscriptions may opt into decimation (SubscribeEvery): only every k-th
 // offered id enters the ring, so a modest consumer rides a fast hub
-// without paying for draws it would discard.
+// without paying for draws it would discard. They may additionally opt
+// into a delivery rate cap (SubscribeWith): a token bucket refilled at
+// RatePerSec ids/second, with one second of burst, discards (and counts)
+// ids beyond the budget before they reach the ring — the absolute ceiling
+// complementing decimation's relative thinning, for consumers that want
+// "at most R ids/second" regardless of how fast the pool runs.
 //
 // Accounting is exact: every id offered to a subscription is eventually
 // counted as delivered (handed to the delivery channel), dropped
-// (overwritten in the ring, or discarded at cancellation) or filtered
-// (thinned away by the decimation interval), so
-// Offered == Delivered + Dropped + Filtered once a subscription has been
-// cancelled.
+// (overwritten in the ring, or discarded at cancellation), filtered
+// (thinned away by the decimation interval) or capped (discarded by the
+// rate limiter), so Offered == Delivered + Dropped + Filtered + Capped
+// once a subscription has been cancelled.
 package subhub
 
 import (
@@ -29,6 +34,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // ErrHubClosed is returned by Subscribe after Close.
@@ -81,8 +87,41 @@ func (h *Hub) Subscribe(capacity int) (*Subscription, error) {
 // deterministic 1-in-k thinning of an i.i.d. uniform stream, they are
 // themselves i.i.d. uniform. every == 1 delivers everything.
 func (h *Hub) SubscribeEvery(capacity, every int) (*Subscription, error) {
+	if every < 1 {
+		return nil, fmt.Errorf("subhub: decimation interval must be in [1, %d], got %d", MaxDecimation, every)
+	}
+	return h.SubscribeWith(SubOptions{Capacity: capacity, Every: every})
+}
+
+// SubOptions parameterises SubscribeWith, the full subscription surface.
+type SubOptions struct {
+	// Capacity is the ring buffer (and delivery channel) size, in ids.
+	// Required, in [1, MaxSubscriptionBuffer].
+	Capacity int
+	// Every is the decimation interval (0 and 1 both deliver everything),
+	// at most MaxDecimation.
+	Every int
+	// RatePerSec, when positive, caps delivery at that many ids per second
+	// via a token bucket with one second of burst; ids beyond the budget
+	// are counted as capped and never enter the ring.
+	RatePerSec uint32
+	// InitialSeen seeds the decimation phase: the subscription behaves as
+	// if InitialSeen ids had already been offered to its 1-in-Every
+	// thinning window (taken modulo Every). A reconnecting subscriber
+	// passes its previous subscription's Seen() so the stitched-together
+	// stream never stretches the delivery spacing beyond Every.
+	InitialSeen uint64
+}
+
+// SubscribeWith registers a new subscriber with decimation, rate capping
+// and decimation-phase seeding per o.
+func (h *Hub) SubscribeWith(o SubOptions) (*Subscription, error) {
+	capacity, every := o.Capacity, o.Every
 	if capacity < 1 || capacity > MaxSubscriptionBuffer {
 		return nil, fmt.Errorf("subhub: subscription capacity must be in [1, %d], got %d", MaxSubscriptionBuffer, capacity)
+	}
+	if every == 0 {
+		every = 1
 	}
 	if every < 1 || every > MaxDecimation {
 		return nil, fmt.Errorf("subhub: decimation interval must be in [1, %d], got %d", MaxDecimation, every)
@@ -97,11 +136,20 @@ func (h *Hub) SubscribeEvery(capacity, every int) (*Subscription, error) {
 		id:       h.nextID,
 		hub:      h,
 		every:    uint64(every),
+		seen:     o.InitialSeen % uint64(every),
+		rate:     float64(o.RatePerSec),
 		ring:     make([]uint64, capacity),
 		out:      make(chan uint64, capacity),
 		wake:     make(chan struct{}, 1),
 		done:     make(chan struct{}),
 		pumpDone: make(chan struct{}),
+		now:      func() int64 { return time.Now().UnixNano() },
+	}
+	if s.rate > 0 {
+		// A full bucket at birth: the first second's budget is available
+		// immediately, then refills at RatePerSec.
+		s.tokens = s.rate
+		s.lastRefill = s.now()
 	}
 	h.subs = append(h.subs, s)
 	h.active.Add(1)
@@ -139,9 +187,11 @@ type SubStats struct {
 	Delivered uint64 // ids handed to the delivery channel
 	Dropped   uint64 // ids overwritten in the ring or discarded at cancel
 	Filtered  uint64 // ids thinned away by the decimation interval
+	Capped    uint64 // ids discarded by the delivery rate cap
 	Capacity  int    // ring capacity
 	Depth     int    // ids buffered and not yet consumed (ring + channel)
 	Every     int    // decimation interval (1 delivers everything)
+	Rate      uint32 // delivery rate cap in ids/second (0 = uncapped)
 }
 
 // Stats returns a snapshot of every live subscription's counters.
@@ -213,10 +263,19 @@ type Subscription struct {
 	every uint64
 	seen  uint64
 
+	// Token-bucket rate cap (guarded by mu): tokens refill at rate per
+	// second up to one second's burst; rate 0 disables the bucket (and the
+	// clock read). now is the time source, swappable by same-package tests.
+	rate       float64
+	tokens     float64
+	lastRefill int64
+	now        func() int64
+
 	offered   atomic.Uint64
 	delivered atomic.Uint64
 	dropped   atomic.Uint64
 	filtered  atomic.Uint64
+	capped    atomic.Uint64
 }
 
 // ID returns the hub-assigned subscription identifier.
@@ -245,14 +304,31 @@ func (s *Subscription) Dropped() uint64 { return s.dropped.Load() }
 // Filtered returns how many ids the decimation interval thinned away.
 func (s *Subscription) Filtered() uint64 { return s.filtered.Load() }
 
+// Capped returns how many ids the delivery rate cap discarded.
+func (s *Subscription) Capped() uint64 { return s.capped.Load() }
+
 // Every returns the subscription's decimation interval.
 func (s *Subscription) Every() int { return int(s.every) }
+
+// Rate returns the delivery rate cap in ids/second (0 = uncapped).
+func (s *Subscription) Rate() uint32 { return uint32(s.rate) }
+
+// Seen returns the decimation window's current phase: how many ids have
+// been offered since the last one entered the ring. A server hands it to a
+// reconnecting subscriber (SubOptions.InitialSeen) so the stitched stream
+// keeps its 1-in-Every spacing across the reconnect.
+func (s *Subscription) Seen() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.seen
+}
 
 // Cancel detaches the subscription from the hub and closes the delivery
 // channel. Ids already buffered are flushed into the channel as far as its
 // capacity allows — without ever blocking — and the remainder is counted
-// as dropped, so Offered == Delivered + Dropped + Filtered holds after
-// cancellation and a consumer that kept up loses nothing to the shutdown.
+// as dropped, so Offered == Delivered + Dropped + Filtered + Capped holds
+// after cancellation and a consumer that kept up loses nothing to the
+// shutdown.
 // Idempotent and safe to call concurrently with Publish.
 func (s *Subscription) Cancel() {
 	s.cancelOnce.Do(func() {
@@ -275,7 +351,21 @@ func (s *Subscription) offer(ids []uint64) {
 	}
 	s.offered.Add(uint64(len(ids)))
 	n := len(s.ring)
-	var dropped, filtered uint64
+	var dropped, filtered, capped uint64
+	if s.rate > 0 {
+		// One refill per offer batch: the bucket accrues rate tokens per
+		// second since the last offer, capped at one second of burst.
+		// Uncapped subscriptions never reach this, so they never read the
+		// clock on the publish path.
+		now := s.now()
+		if elapsed := float64(now-s.lastRefill) / 1e9; elapsed > 0 {
+			s.tokens += elapsed * s.rate
+			if s.tokens > s.rate {
+				s.tokens = s.rate
+			}
+		}
+		s.lastRefill = now
+	}
 	for _, id := range ids {
 		if s.every > 1 {
 			s.seen++
@@ -284,6 +374,13 @@ func (s *Subscription) offer(ids []uint64) {
 				continue
 			}
 			s.seen = 0
+		}
+		if s.rate > 0 {
+			if s.tokens < 1 {
+				capped++
+				continue
+			}
+			s.tokens--
 		}
 		if s.size == n {
 			s.ring[s.head] = id
@@ -306,6 +403,9 @@ func (s *Subscription) offer(ids []uint64) {
 	}
 	if filtered > 0 {
 		s.filtered.Add(filtered)
+	}
+	if capped > 0 {
+		s.capped.Add(capped)
 	}
 	s.mu.Unlock()
 	select {
@@ -398,8 +498,10 @@ func (s *Subscription) stats() SubStats {
 		Delivered: s.delivered.Load(),
 		Dropped:   s.dropped.Load(),
 		Filtered:  s.filtered.Load(),
+		Capped:    s.capped.Load(),
 		Capacity:  len(s.ring),
 		Depth:     depth,
 		Every:     int(s.every),
+		Rate:      uint32(s.rate),
 	}
 }

@@ -405,3 +405,171 @@ func TestSubscribeEveryFreshPhase(t *testing.T) {
 		t.Fatalf("filtered %d delivered %d, want %d and 1", f, d, every-1)
 	}
 }
+
+// TestRateCapTokenBucket drives the delivery rate cap on a fake clock: a
+// rate-R subscription passes at most R ids per publish burst, refills R
+// tokens per elapsed second, never banks more than one second of burst, and
+// keeps the accounting identity exact with capped in the ledger.
+func TestRateCapTokenBucket(t *testing.T) {
+	h := New()
+	defer h.Close()
+	s, err := h.SubscribeWith(SubOptions{Capacity: 256, RatePerSec: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var clock int64 = 5e9
+	s.mu.Lock()
+	s.now = func() int64 { return clock }
+	s.lastRefill = clock
+	s.tokens = 10 // full bucket, as at birth
+	s.mu.Unlock()
+
+	batch := func(n int, base uint64) []uint64 {
+		ids := make([]uint64, n)
+		for i := range ids {
+			ids[i] = base + uint64(i)
+		}
+		return ids
+	}
+	// Burst one: the full bucket admits exactly rate ids.
+	h.Publish(batch(25, 100))
+	if got := s.Capped(); got != 15 {
+		t.Fatalf("capped %d after first burst, want 15", got)
+	}
+	// Same instant: the bucket is empty, everything is capped.
+	h.Publish(batch(5, 200))
+	if got := s.Capped(); got != 20 {
+		t.Fatalf("capped %d after empty-bucket burst, want 20", got)
+	}
+	// One second later: exactly one second's refill.
+	clock += 1e9
+	h.Publish(batch(25, 300))
+	if got := s.Capped(); got != 35 {
+		t.Fatalf("capped %d after refilled burst, want 35", got)
+	}
+	// A long idle stretch banks only one second of burst.
+	clock += 60e9
+	h.Publish(batch(25, 400))
+	if got := s.Capped(); got != 50 {
+		t.Fatalf("capped %d after idle stretch, want 50", got)
+	}
+	// Half a second buys half a bucket.
+	clock += 5e8
+	h.Publish(batch(25, 500))
+	if got := s.Capped(); got != 70 {
+		t.Fatalf("capped %d after half-second refill, want 70", got)
+	}
+
+	if got := s.Rate(); got != 10 {
+		t.Fatalf("Rate() = %d, want 10", got)
+	}
+	s.Cancel()
+	drained := 0
+	for range s.C() {
+		drained++
+	}
+	offered, delivered, dropped := s.Offered(), s.Delivered(), s.Dropped()
+	if offered != 105 {
+		t.Fatalf("offered %d, want 105", offered)
+	}
+	if delivered != uint64(drained) {
+		t.Fatalf("delivered %d but drained %d", delivered, drained)
+	}
+	if offered != delivered+dropped+s.Filtered()+s.Capped() {
+		t.Fatalf("accounting leak: offered %d != delivered %d + dropped %d + filtered %d + capped %d",
+			offered, delivered, dropped, s.Filtered(), s.Capped())
+	}
+	if want := offered - s.Capped(); delivered+dropped != want {
+		t.Fatalf("delivered+dropped = %d, want %d (everything the cap admitted)", delivered+dropped, want)
+	}
+}
+
+// TestRateCapComposesWithDecimation: decimation thins first, then the
+// bucket meters what survives — so a 1-in-5 subscription at rate 10 passes
+// 10 of 50 offered in one instant, filtering 40 and capping nothing until
+// the thinned stream itself exceeds the rate.
+func TestRateCapComposesWithDecimation(t *testing.T) {
+	h := New()
+	defer h.Close()
+	s, err := h.SubscribeWith(SubOptions{Capacity: 64, Every: 5, RatePerSec: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var clock int64 = 9e9
+	s.mu.Lock()
+	s.now = func() int64 { return clock }
+	s.lastRefill = clock
+	s.tokens = 4
+	s.mu.Unlock()
+	ids := make([]uint64, 50)
+	for i := range ids {
+		ids[i] = uint64(i + 1)
+	}
+	h.Publish(ids)
+	if got := s.Filtered(); got != 40 {
+		t.Fatalf("filtered %d, want 40", got)
+	}
+	// 10 survived the thinning; the bucket admitted 4 and capped 6.
+	if got := s.Capped(); got != 6 {
+		t.Fatalf("capped %d, want 6", got)
+	}
+}
+
+// TestInitialSeenPhase pins the reconnect contract: a subscription seeded
+// with the previous incarnation's Seen() continues the thinning window
+// instead of restarting it, so the stitched stream never stretches the
+// delivery spacing beyond Every.
+func TestInitialSeenPhase(t *testing.T) {
+	h := New()
+	defer h.Close()
+	// A fresh 1-in-4 subscription, offered 6 ids, delivers draws 4 and has
+	// seen 2 of the next window.
+	first, err := h.SubscribeWith(SubOptions{Capacity: 16, Every: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Publish([]uint64{1, 2, 3, 4, 5, 6})
+	if got := first.Seen(); got != 2 {
+		t.Fatalf("Seen() = %d after 6 offers at every=4, want 2", got)
+	}
+	first.Cancel()
+
+	// The successor picks up mid-window: two more offers complete it.
+	second, err := h.SubscribeWith(SubOptions{Capacity: 16, Every: 4, InitialSeen: first.Seen()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Publish([]uint64{7})
+	if got := second.Filtered(); got != 1 {
+		t.Fatalf("filtered %d after one offer mid-window, want 1", got)
+	}
+	h.Publish([]uint64{8})
+	select {
+	case id := <-second.C():
+		if id != 8 {
+			t.Fatalf("delivered %d, want 8 (the 4th of the stitched window)", id)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no delivery on the offer completing the stitched window")
+	}
+	second.Cancel()
+
+	// InitialSeen is taken modulo Every, so a stale larger count behaves
+	// like its remainder; phase every-1 delivers on the very first offer.
+	third, err := h.SubscribeWith(SubOptions{Capacity: 16, Every: 4, InitialSeen: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := third.Seen(); got != 3 {
+		t.Fatalf("Seen() = %d for InitialSeen 7 at every=4, want 3", got)
+	}
+	h.Publish([]uint64{9})
+	select {
+	case id := <-third.C():
+		if id != 9 {
+			t.Fatalf("delivered %d, want 9", id)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no delivery for a phase seeded one short of the interval")
+	}
+}

@@ -55,9 +55,11 @@ type SubscriberStats struct {
 	Delivered uint64 // draws handed to the subscription's buffer
 	Dropped   uint64 // draws lost to the drop-oldest policy
 	Filtered  uint64 // draws thinned away by the decimation interval
+	Capped    uint64 // draws discarded by the delivery rate cap
 	Capacity  int    // subscription buffer capacity
 	Depth     int    // draws currently buffered
 	Every     int    // decimation interval (1 delivers everything)
+	Rate      uint32 // delivery rate cap in ids/second (0 = uncapped)
 }
 
 // PoolStats is a whole-pool activity snapshot.
