@@ -684,14 +684,13 @@ func (c *Client) Subscribe(capacity int) (<-chan nodesampling.NodeID, error) {
 // stream at a rate it can afford (a 1-in-k thinning of an i.i.d. uniform
 // stream is itself i.i.d. uniform).
 //
-// A reconnect (DialOptions.Reconnect) continues the decimation window
-// where the old session left it: the daemon's Subscribe acknowledgement
-// carries a resume token, the re-issued subscription presents it, and the
-// server seeds the fresh subscription's offer counter with the old one's —
-// so across the whole stitched stream, two deliveries stay (at least)
-// every offered draws apart. Against an old daemon that never acks, the
-// token is simply never set and the window restarts, which can only
-// stretch the spacing — never compress it.
+// SubscribeEvery keeps the pre-extension wire form, so it works against
+// daemons of any vintage — which also means the daemon never acks it and
+// a reconnect (DialOptions.Reconnect) restarts the decimation window.
+// That can only stretch delivery spacing, never compress it. A
+// subscription that also carries a rate cap (SubscribeRate) uses the
+// extended form and continues its window across reconnects via the
+// daemon's resume token.
 func (c *Client) SubscribeEvery(capacity, every int) (<-chan nodesampling.NodeID, error) {
 	return c.SubscribeRate(capacity, every, 0)
 }
@@ -702,6 +701,14 @@ func (c *Client) SubscribeEvery(capacity, every int) (<-chan nodesampling.NodeID
 // second of burst. rate 0 leaves the subscription uncapped. Decimation
 // composes with the cap: the 1-in-every thinning runs first, the bucket
 // meters what survives it.
+//
+// A rate-capped subscription uses the extended Subscribe wire form, which
+// the daemon acknowledges with a resume token; under
+// DialOptions.Reconnect the re-issued subscription presents it, and the
+// server seeds the fresh subscription's offer counter with the old one's
+// — so across the whole stitched stream, two deliveries stay (at least)
+// every offered draws apart. (Old daemons reject the extended form
+// outright; rate caps require an upgraded daemon.)
 func (c *Client) SubscribeRate(capacity, every int, rate uint32) (<-chan nodesampling.NodeID, error) {
 	if capacity < 1 || capacity > MaxSubscribeCapacity {
 		return nil, fmt.Errorf("client: subscription capacity must be in [1, %d], got %d", MaxSubscribeCapacity, capacity)

@@ -236,6 +236,9 @@ func (d *daemon) handleMigrate(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusInternalServerError, err.Error())
 		return
 	}
+	if d.migrateHook != nil {
+		d.migrateHook()
+	}
 	ackEpoch, err := d.cluster.MigrateTo(target, blob, clusterMigrateTimeout)
 	if err != nil {
 		d.logger.Error("migration failed", "target", req.Target,
@@ -243,16 +246,43 @@ func (d *daemon) handleMigrate(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadGateway, fmt.Sprintf("transfer to %s: %v", req.Target, err))
 		return
 	}
-	// The target holds the range's state now; drop our copy of the moved Γ
-	// ids and flip ownership. The frequency sketches stay merged on both
-	// sides — over-remembering an attacker is safe, forgetting is not.
-	dropped, err := d.pool.DropMemory(inRange)
+	// The target holds the range's state now. Flip ownership before
+	// dropping anything: epochs are allocated without fleet-wide
+	// coordination (each source proposes Epoch()+1 under its own opMu), so
+	// a concurrent migration elsewhere can have installed this epoch first.
+	// When that race is lost, keep our copy — the target's duplicate is
+	// merely over-remembered, which is safe — and surface the conflict
+	// instead of silently reporting success against a routing table that
+	// never flipped.
+	if !d.cluster.ApplyPlacement(ackEpoch, from, to, target) {
+		cur := d.cluster.Epoch()
+		d.logger.Error("migration epoch conflict", "target", req.Target,
+			"from_slot", from, "to_slot", to, "epoch", ackEpoch, "current_epoch", cur)
+		httpError(w, http.StatusConflict, fmt.Sprintf(
+			"placement epoch %d was superseded by a concurrent migration (current epoch %d); nothing dropped, state duplicated on %s — retry",
+			ackEpoch, cur, req.Target))
+		return
+	}
+	d.cluster.BroadcastPlacement(ackEpoch, from, to, target)
+	// Drop exactly the exported Γ ids, not the whole slot range: ingest
+	// continued throughout the transfer, and in-range ids that arrived
+	// after the export were never sent to the target — they stay here,
+	// transiently misplaced but still sampled (cluster sampling weights
+	// members by realised |Γ|), rather than vanishing from the cluster-wide
+	// Γ. The frequency sketches stay merged on both sides —
+	// over-remembering an attacker is safe, forgetting is not.
+	exported := make(map[uint64]struct{}, len(ids))
+	for _, id := range ids {
+		exported[id] = struct{}{}
+	}
+	dropped, err := d.pool.DropMemory(func(id uint64) bool {
+		_, ok := exported[id]
+		return ok
+	})
 	if err != nil {
 		httpError(w, http.StatusInternalServerError, err.Error())
 		return
 	}
-	d.cluster.ApplyPlacement(ackEpoch, from, to, target)
-	d.cluster.BroadcastPlacement(ackEpoch, from, to, target)
 	d.cluster.NoteMigration(false)
 	d.logger.Info("migration complete", "target", req.Target,
 		"from_slot", from, "to_slot", to, "moved_ids", len(ids),
@@ -267,7 +297,11 @@ func (d *daemon) handleMigrate(w http.ResponseWriter, r *http.Request) {
 }
 
 // importMigration is the target side of a hand-off: merge the range's
-// frequency state and Γ ids into the local pool, then take ownership.
+// frequency state and Γ ids into the local pool, then take ownership. A
+// proposal whose epoch is not newer than the current table is rejected —
+// acking it would let the source drop ids behind a routing flip that the
+// fleet will never install (sources allocate epochs uncoordinated, so two
+// concurrent migrations can propose the same one).
 func (d *daemon) importMigration(m cluster.Migration) (uint64, error) {
 	if d.cluster == nil {
 		return 0, errors.New("daemon is not clustered")
@@ -275,10 +309,19 @@ func (d *daemon) importMigration(m cluster.Migration) (uint64, error) {
 	if m.Strategy != d.pool.Strategy() {
 		return 0, fmt.Errorf("migration carries strategy %q, this member runs %q", m.Strategy, d.pool.Strategy())
 	}
+	if cur := d.cluster.Epoch(); m.Epoch <= cur {
+		return 0, fmt.Errorf("migration epoch %d is stale (placement epoch is already %d) — concurrent migration won the race, retry", m.Epoch, cur)
+	}
 	if err := d.pool.ImportState(m.IDs, m.State); err != nil {
 		return 0, err
 	}
-	d.cluster.ApplyPlacement(m.Epoch, int(m.FromSlot), int(m.ToSlot), d.cluster.SelfIndex())
+	if !d.cluster.ApplyPlacement(m.Epoch, int(m.FromSlot), int(m.ToSlot), d.cluster.SelfIndex()) {
+		// A concurrent placement bump landed between the staleness check
+		// and the install. The imported ids stay in our Γ (misplaced,
+		// never lost); erroring out keeps the source from dropping its
+		// copy or flipping ownership under a dead epoch.
+		return 0, fmt.Errorf("placement epoch %d was superseded during import (now %d) — imported state retained, source must retry", m.Epoch, d.cluster.Epoch())
+	}
 	d.cluster.NoteMigration(true)
 	d.logger.Info("migration imported", "from_slot", m.FromSlot, "to_slot", m.ToSlot,
 		"ids", len(m.IDs), "epoch", m.Epoch)

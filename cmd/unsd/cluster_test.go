@@ -20,8 +20,10 @@ import (
 
 	"nodesampling"
 	"nodesampling/client"
+	"nodesampling/internal/cluster"
 	"nodesampling/internal/metrics"
 	"nodesampling/internal/netgossip"
+	"nodesampling/internal/shard"
 )
 
 // testClusterDaemons boots an n-member fleet on pre-bound loopback
@@ -562,6 +564,9 @@ func TestStreamResumeTokenLifecycle(t *testing.T) {
 		defer d.stream.resumeMu.Unlock()
 		return len(d.stream.resumes)
 	}
+	// Subscribe with the extended wire form (a rate cap high enough to
+	// never bite, or a presented resume token): only those forms prove the
+	// client understands the SubAck, so only they are acknowledged.
 	subscribe := func(token uint64) (net.Conn, uint64) {
 		t.Helper()
 		conn, err := net.Dial("tcp", ln.Addr().String())
@@ -569,7 +574,7 @@ func TestStreamResumeTokenLifecycle(t *testing.T) {
 			t.Fatal(err)
 		}
 		if err := netgossip.WriteFrame(conn, netgossip.Frame{
-			Type: netgossip.FrameSubscribe, N: 64, Every: 4, Token: token,
+			Type: netgossip.FrameSubscribe, N: 64, Every: 4, Rate: 1 << 20, Token: token,
 		}); err != nil {
 			t.Fatal(err)
 		}
@@ -626,5 +631,171 @@ func TestStreamResumeTokenLifecycle(t *testing.T) {
 	defer conn3.Close()
 	if got := parked(); got != 1 {
 		t.Fatalf("stale token redeemed something: %d parked entries, want 1", got)
+	}
+
+	// Backward compatibility: the legacy 8-byte Subscribe form (decimation
+	// only, no rate cap or token) is NOT acknowledged — clients of that
+	// vintage treat an unexpected frame type as a fatal protocol error. The
+	// first frame down such a connection is stream data, never a SubAck.
+	legacy, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer legacy.Close()
+	if err := netgossip.WriteFrame(legacy, netgossip.Frame{
+		Type: netgossip.FrameSubscribe, N: 64, Every: 2,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := pusher.PushBatch(ids); err != nil {
+		t.Fatal(err)
+	}
+	_ = legacy.SetReadDeadline(time.Now().Add(10 * time.Second))
+	f, err := netgossip.ReadFrame(legacy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Type != netgossip.FrameStreamData {
+		t.Fatalf("legacy subscribe answered with frame type %d, want stream data (and no SubAck)", f.Type)
+	}
+}
+
+// inClusterMem reports whether id is in d's Γ (after a flush).
+func inClusterMem(t *testing.T, d *daemon, id uint64) bool {
+	t.Helper()
+	for _, m := range memorySet(t, d) {
+		if m == id {
+			return true
+		}
+	}
+	return false
+}
+
+// TestClusterMigrationTransferWindow pins the hand-off's no-loss invariant
+// under live ingest: an id entering the migrated slot range AFTER the
+// export but BEFORE the ownership flip was never part of the transferred
+// blob, so the source must keep it — transiently misplaced, still sampled
+// — rather than dropping the whole range and erasing it from the
+// cluster-wide Γ.
+func TestClusterMigrationTransferWindow(t *testing.T) {
+	ds, addrs := testClusterDaemons(t, 2, nil)
+	ts := httptest.NewServer(ds[0].handler())
+	defer ts.Close()
+
+	// Two ids sharing one member-0-owned slot: early is ingested before
+	// the migration, late arrives inside the transfer window.
+	var early, late uint64
+	for id := uint64(1); ; id++ {
+		if ds[0].cluster.OwnerOf(id) == 0 {
+			early = id
+			break
+		}
+	}
+	slot := ds[0].cluster.SlotOf(early)
+	for id := early + 1; ; id++ {
+		if ds[0].cluster.SlotOf(id) == slot {
+			late = id
+			break
+		}
+	}
+	if err := ds[0].ingestRouted([]uint64{early}, "stream"); err != nil {
+		t.Fatal(err)
+	}
+	if err := ds[0].pool.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	ds[0].migrateHook = func() {
+		// Ingest continues while the blob is in flight; the routing table
+		// still points the slot at the source.
+		if err := ds[0].ingestRouted([]uint64{late}, "stream"); err != nil {
+			t.Error(err)
+		}
+		if err := ds[0].pool.Flush(); err != nil {
+			t.Error(err)
+		}
+	}
+	body, _ := json.Marshal(map[string]any{"from_slot": slot, "to_slot": slot, "target": addrs[1]})
+	resp, err := http.Post(ts.URL+"/migrate", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /migrate = %d, want 200", resp.StatusCode)
+	}
+	if !inClusterMem(t, ds[1], early) {
+		t.Fatal("exported id missing from the target after migration")
+	}
+	if inClusterMem(t, ds[0], early) {
+		t.Fatal("exported id still on the source after migration")
+	}
+	// The transfer-window id was never in the blob: it survives on the
+	// source instead of vanishing with a whole-range drop.
+	if !inClusterMem(t, ds[0], late) {
+		t.Fatal("id ingested during the transfer window vanished from the cluster-wide Γ")
+	}
+	if inClusterMem(t, ds[1], late) {
+		t.Fatal("untransferred transfer-window id appeared on the target")
+	}
+}
+
+// TestClusterMigrationEpochConflict pins the uncoordinated-epoch defence:
+// when a rival migration installs the epoch this source proposed while its
+// blob is in flight, the ownership flip is rejected fleet-wide — so the
+// handler must surface the conflict and keep the source's Γ copy (the
+// target's duplicate is merely over-remembered, which is safe) instead of
+// reporting success against a routing table that never flipped.
+func TestClusterMigrationEpochConflict(t *testing.T) {
+	ds, addrs := testClusterDaemons(t, 3, nil)
+	ts := httptest.NewServer(ds[0].handler())
+	defer ts.Close()
+
+	var id uint64
+	for i := uint64(1); ; i++ {
+		if ds[0].cluster.OwnerOf(i) == 0 {
+			id = i
+			break
+		}
+	}
+	slot := ds[0].cluster.SlotOf(id)
+	if err := ds[0].ingestRouted([]uint64{id}, "stream"); err != nil {
+		t.Fatal(err)
+	}
+	other := (slot + 1) % shard.PlacementSlots
+	ds[0].migrateHook = func() {
+		// A rival migration's broadcast lands mid-transfer, installing the
+		// same epoch this migration proposed for a different range.
+		if !ds[0].cluster.ApplyPlacement(ds[0].cluster.Epoch()+1, other, other, 2) {
+			t.Error("rival placement update did not apply")
+		}
+	}
+	body, _ := json.Marshal(map[string]any{"from_slot": slot, "to_slot": slot, "target": addrs[1]})
+	resp, err := http.Post(ts.URL+"/migrate", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("POST /migrate with a stolen epoch = %d, want 409", resp.StatusCode)
+	}
+	// Nothing was dropped: the id still lives on the source, which still
+	// routes the slot to itself everywhere the flip never happened.
+	if !inClusterMem(t, ds[0], id) {
+		t.Fatal("source dropped its Γ copy although the ownership flip failed")
+	}
+	if ds[0].cluster.SlotOwner(slot) != 0 || ds[2].cluster.SlotOwner(slot) != 0 {
+		t.Fatal("failed migration still flipped slot ownership")
+	}
+
+	// The import side's own guard: a proposal whose epoch is not newer than
+	// the target's table is refused outright — acking it would let the
+	// source drop ids behind a flip the fleet will never install.
+	if _, err := ds[1].importMigration(cluster.Migration{
+		Epoch:    ds[1].cluster.Epoch(),
+		FromSlot: uint32(slot),
+		ToSlot:   uint32(slot),
+		Strategy: ds[1].pool.Strategy(),
+	}); err == nil {
+		t.Fatal("import side accepted a stale-epoch migration")
 	}
 }

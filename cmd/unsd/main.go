@@ -143,10 +143,11 @@
 // stream-out service shape, without per-sample HTTP round trips.
 // Subscribe frames may carry a decimation interval (sample-every-k) and a
 // per-second rate cap (token bucket, one-second burst), so modest
-// consumers ride the hub at a rate they can afford; the subscribe
-// acknowledgement carries a resume token a reconnecting decimated
-// subscriber presents to continue its 1-in-k phase where the dropped
-// connection left off.
+// consumers ride the hub at a rate they can afford; an extended-form
+// subscribe (rate cap or resume token — legacy forms are never acked,
+// since their clients predate the ack frame) is acknowledged with a
+// resume token a reconnecting decimated subscriber presents to continue
+// its 1-in-k phase where the dropped connection left off.
 //
 // Cluster plane (all members must share -seed and sampler flags):
 //
@@ -316,6 +317,11 @@ type daemon struct {
 	srng                 *sampleRNG
 	clusterFanouts       atomic.Uint64
 	clusterFanoutMissing atomic.Uint64
+	// migrateHook, when set (tests only), runs inside a migration's
+	// transfer window — after the slot range is exported and the epoch
+	// proposed, before the blob travels — where ingest continues and a
+	// concurrent migration elsewhere can win the epoch race.
+	migrateHook func()
 
 	// The security plane (all zero when the daemon runs open, the
 	// backwards-compatible default): tlsHTTP serves the HTTP listener,

@@ -412,9 +412,20 @@ func (s *streamServer) handle(conn net.Conn) {
 				return
 			}
 			subEvery = every
-			resumeToken = newResumeToken()
-			if err := w.write(netgossip.Frame{Type: netgossip.FrameSubAck, Token: resumeToken}); err != nil {
-				return
+			// The SubAck (and the resume token it carries) goes only to
+			// clients that demonstrated awareness of the extension by using
+			// the 12- or 20-byte Subscribe form — a rate cap or a presented
+			// resume token, neither of which pre-extension daemons accept.
+			// Clients on the legacy 4/8-byte forms predate the ack and treat
+			// an unexpected frame type as a fatal protocol error, so for
+			// them the subscribe stays silent, exactly as older daemons
+			// behaved; their reconnects restart the decimation window, which
+			// can only stretch delivery spacing, never compress it.
+			if f.Rate > 0 || f.Token != 0 {
+				resumeToken = newResumeToken()
+				if err := w.write(netgossip.Frame{Type: netgossip.FrameSubAck, Token: resumeToken}); err != nil {
+					return
+				}
 			}
 			subDone = make(chan struct{})
 			go streamWriter(sub, w, subDone)

@@ -251,21 +251,16 @@ func TestStreamProtocolErrors(t *testing.T) {
 		}
 	}
 	_ = conn.SetReadDeadline(time.Now().Add(10 * time.Second))
-	// The first Subscribe is acknowledged (SubAck carries the resume
-	// token); only the second one is the protocol violation.
-	f, err = netgossip.ReadFrame(conn)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if f.Type != netgossip.FrameSubAck || f.Token == 0 {
-		t.Fatalf("frame = %+v, want a SubAck with a nonzero resume token", f)
-	}
+	// The first Subscribe used the legacy 4-byte form, so it must NOT be
+	// acknowledged — pre-extension clients treat an unexpected frame type
+	// as fatal, and an upgraded daemon must not disconnect them. The first
+	// frame back is therefore the second Subscribe's protocol violation.
 	f, err = netgossip.ReadFrame(conn)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if f.Type != netgossip.FrameError || f.Msg != "already subscribed" {
-		t.Fatalf("frame = %+v, want already-subscribed error", f)
+		t.Fatalf("frame = %+v, want already-subscribed error (and no SubAck for a legacy subscribe)", f)
 	}
 	waitFor(t, "the server to hang up after the error", func() bool {
 		// Drain any σ′ frames still in flight until the close surfaces.

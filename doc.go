@@ -168,10 +168,13 @@
 // before they reach the buffer — time-based where decimation is
 // count-based, and like it a uniformity-preserving thinning; the drops are
 // accounted separately ("capped") from buffer overflow. Over the framed
-// stream protocol a decimated subscription is also resumable: the
-// subscribe acknowledgement carries a resume token, and a reconnecting
-// client that presents it continues the 1-in-k phase exactly where the
-// dropped connection left off instead of restarting the count. Service
+// stream protocol an extended-form subscription (one carrying a rate cap
+// or a resume token — the forms that prove the client speaks the
+// extension; legacy-form subscribes are never acked, for their clients'
+// sake) is also resumable: the subscribe acknowledgement carries a resume
+// token, and a reconnecting client that presents it continues the 1-in-k
+// phase exactly where the dropped connection left off instead of
+// restarting the count. Service
 // fans out through the same hub, with the same accounting, decimation and
 // rate caps, at single-sampler scale.
 //

@@ -50,7 +50,11 @@ type memberConn struct {
 	mu   sync.Mutex // guards conn identity and serialises frame writes
 	conn net.Conn
 
-	gen atomic.Uint64 // bumped per established connection
+	// gen is bumped per established connection. It is only written under
+	// mc.mu, together with conn, so a holder of mc.mu always observes a
+	// consistent (conn, gen) pair; lock-free readers (dropConn's recheck)
+	// use the atomic load.
+	gen atomic.Uint64
 
 	// rpcMu admits one request/response exchange at a time (sample or
 	// migrate), so responses need no correlation ids on the wire.
@@ -142,14 +146,14 @@ func (mc *memberConn) run() {
 		default:
 		}
 		mc.conn = conn
+		gen := mc.gen.Add(1)
 		mc.mu.Unlock()
-		mc.gen.Add(1)
 		mc.connected.Store(true)
 		mc.c.logger.Info("cluster member connected", "member", mc.addr)
 
 		dead := make(chan struct{}) // closed by the reader when the connection fails
 		readerDone := make(chan struct{})
-		go mc.readLoop(conn, dead, readerDone)
+		go mc.readLoop(conn, gen, dead, readerDone)
 		mc.writeLoop(conn, dead)
 
 		mc.connected.Store(false)
@@ -195,7 +199,7 @@ func (mc *memberConn) writeLoop(conn net.Conn, dead chan struct{}) {
 	for {
 		select {
 		case ids := <-mc.q:
-			if err := mc.writeFrame(netgossip.Frame{Type: netgossip.FrameForward, Token: mc.c.Epoch(), IDs: ids}); err != nil {
+			if _, err := mc.writeFrame(netgossip.Frame{Type: netgossip.FrameForward, Token: mc.c.Epoch(), IDs: ids}); err != nil {
 				mc.forwardErrors.Add(1)
 				mc.fallbackIDs.Add(uint64(len(ids)))
 				mc.c.fallback(ids)
@@ -214,10 +218,9 @@ func (mc *memberConn) writeLoop(conn net.Conn, dead chan struct{}) {
 // readLoop dispatches inbound frames until the connection fails: RPC
 // responses to the single-slot rpc channel (tagged with the connection
 // generation), placement updates to the routing table, pongs ignored.
-func (mc *memberConn) readLoop(conn net.Conn, dead, done chan struct{}) {
+func (mc *memberConn) readLoop(conn net.Conn, gen uint64, dead, done chan struct{}) {
 	defer close(done)
 	defer close(dead)
-	gen := mc.gen.Load()
 	fr := netgossip.NewFrameReader(conn)
 	for {
 		f, err := fr.Read()
@@ -265,17 +268,22 @@ func (mc *memberConn) deliver(r rpcResp) {
 
 // writeFrame sends one frame under the connection lock with a write
 // deadline, so a wedged member cannot pin the writer (or an RPC) forever.
-func (mc *memberConn) writeFrame(f netgossip.Frame) error {
+// It returns the generation of the connection the frame was written to —
+// conn and gen are read together under mc.mu, so an RPC can match its
+// response against the connection that actually carried the request even
+// when a reconnect lands mid-call.
+func (mc *memberConn) writeFrame(f netgossip.Frame) (uint64, error) {
 	mc.mu.Lock()
 	defer mc.mu.Unlock()
 	conn := mc.conn
 	if conn == nil {
-		return ErrNotConnected
+		return 0, ErrNotConnected
 	}
+	gen := mc.gen.Load()
 	_ = conn.SetWriteDeadline(time.Now().Add(mc.writeTimeout))
 	err := netgossip.WriteFrame(conn, f)
 	_ = conn.SetWriteDeadline(time.Time{})
-	return err
+	return gen, err
 }
 
 // rpc runs one request/response exchange: write req, wait for a response
@@ -287,12 +295,12 @@ func (mc *memberConn) rpc(req netgossip.Frame, want netgossip.FrameType, timeout
 	if !mc.connected.Load() {
 		return rpcResp{}, ErrNotConnected
 	}
-	gen := mc.gen.Load()
 	select { // clear any abandoned predecessor response
 	case <-mc.rpcc:
 	default:
 	}
-	if err := mc.writeFrame(req); err != nil {
+	gen, err := mc.writeFrame(req)
+	if err != nil {
 		return rpcResp{}, err
 	}
 	deadline := time.After(timeout)
@@ -357,7 +365,7 @@ func (mc *memberConn) migrate(blob []byte, timeout time.Duration) (uint64, error
 // best-effort: a down member misses it and catches up via stale-forward
 // epochs.
 func (mc *memberConn) sendPlacement(epoch uint64, from, to, owner int) {
-	_ = mc.writeFrame(netgossip.Frame{
+	_, _ = mc.writeFrame(netgossip.Frame{
 		Type:     netgossip.FramePlacementUpdate,
 		Token:    epoch,
 		SlotFrom: uint32(from),

@@ -78,7 +78,11 @@ const (
 	FrameError
 	// FrameSubAck acknowledges a FrameSubscribe with the server-assigned
 	// resume token (8-byte payload, echoed back by a reconnecting client in
-	// the extended Subscribe form for decimation phase continuity).
+	// the extended Subscribe form for decimation phase continuity). The
+	// server sends it only in answer to the 12- and 20-byte Subscribe forms:
+	// those prove the client speaks the extension, while clients on the
+	// legacy 4/8-byte forms predate the ack and would treat it as a fatal
+	// unexpected frame.
 	FrameSubAck
 	// FrameForward carries a batch of input-stream ids between cluster
 	// members: the receiving member ingests them locally and never
